@@ -1,0 +1,143 @@
+//! §10.8 run-time performance: insertion and query throughput of every CCF variant.
+//!
+//! The paper reports that its (unoptimized, single-threaded C++) implementation
+//! processes ≥ 1 million matches per second; these benches measure the same metric for
+//! the Rust implementation — per-variant insert throughput, key+predicate query
+//! throughput on present and absent keys, and predicate-only query (filter derivation)
+//! latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ccf_core::sizing::VariantKind;
+use ccf_core::{AnyCcf, BloomCcf, CcfParams, ChainedCcf, ConditionalFilter, Predicate};
+use ccf_workloads::multiset::{DuplicateDistribution, MultisetStream, Row};
+
+fn params(num_attrs: usize) -> CcfParams {
+    CcfParams {
+        num_buckets: 1 << 14,
+        entries_per_bucket: 6,
+        fingerprint_bits: 12,
+        attr_bits: 8,
+        num_attrs,
+        max_dupes: 3,
+        max_chain: None,
+        bloom_bits: 16,
+        bloom_hashes: 2,
+        seed: 0xBE7C,
+        ..CcfParams::default()
+    }
+}
+
+fn workload(rows: usize) -> Vec<Row> {
+    MultisetStream::new(DuplicateDistribution::zipf_with_mean(4.0), 2, 0xBE7C).generate(rows)
+}
+
+fn filled_filter(kind: VariantKind, rows: &[Row]) -> AnyCcf {
+    let mut f = AnyCcf::new(kind, params(2));
+    for row in rows {
+        let _ = f.insert_row(row.key, &row.attrs);
+    }
+    f
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let rows = workload(50_000);
+    let mut group = c.benchmark_group("insert_row");
+    group.throughput(Throughput::Elements(rows.len() as u64));
+    for kind in [
+        VariantKind::Plain,
+        VariantKind::Chained,
+        VariantKind::Bloom,
+        VariantKind::Mixed,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut f = AnyCcf::new(kind, params(2));
+                for row in &rows {
+                    let _ = f.insert_row(black_box(row.key), black_box(&row.attrs));
+                }
+                black_box(f.occupied_entries())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let rows = workload(50_000);
+    let queries = 20_000usize;
+    let mut group = c.benchmark_group("query_key_predicate");
+    group.throughput(Throughput::Elements(queries as u64));
+    for kind in [
+        VariantKind::Plain,
+        VariantKind::Chained,
+        VariantKind::Bloom,
+        VariantKind::Mixed,
+    ] {
+        let filter = filled_filter(kind, &rows);
+        group.bench_with_input(
+            BenchmarkId::new("present", format!("{kind:?}")),
+            &filter,
+            |b, filter| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for row in rows.iter().take(queries) {
+                        let pred = Predicate::any(2)
+                            .and_eq(0, row.attrs[0])
+                            .and_eq(1, row.attrs[1]);
+                        if filter.query(black_box(row.key), black_box(&pred)) {
+                            hits += 1;
+                        }
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("absent", format!("{kind:?}")),
+            &filter,
+            |b, filter| {
+                b.iter(|| {
+                    let pred = Predicate::any(2).and_eq(0, 123).and_eq(1, 456);
+                    let mut hits = 0usize;
+                    for key in 0..queries as u64 {
+                        if filter.query(black_box(key + 10_000_000), black_box(&pred)) {
+                            hits += 1;
+                        }
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_predicate_only_queries(c: &mut Criterion) {
+    let rows = workload(50_000);
+    let mut group = c.benchmark_group("predicate_only_query");
+
+    let mut bloom = BloomCcf::new(params(2));
+    let mut chained = ChainedCcf::new(params(2));
+    for row in &rows {
+        let _ = bloom.insert_row(row.key, &row.attrs);
+        let _ = chained.insert_row(row.key, &row.attrs);
+    }
+    let pred = Predicate::any(2).and_eq(0, rows[0].attrs[0]);
+
+    group.bench_function("bloom_derive_cuckoo_filter", |b| {
+        b.iter(|| black_box(bloom.predicate_filter(black_box(&pred))).len())
+    });
+    group.bench_function("chained_derive_marked_filter", |b| {
+        b.iter(|| black_box(chained.predicate_filter(black_box(&pred))).size_bits())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_insert, bench_query, bench_predicate_only_queries
+}
+criterion_main!(benches);

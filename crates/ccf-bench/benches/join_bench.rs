@@ -1,0 +1,117 @@
+//! End-to-end join-processing benchmarks: the cost of building pre-computed filter
+//! banks over the synthetic IMDB tables and of evaluating JOB-light scans through
+//! them. Together with `filter_ops` this covers the §10.8 run-time claims in the
+//! context the paper actually targets (scan reduction), not just microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ccf_bench::joblight_experiments::JobLightContext;
+use ccf_core::sizing::VariantKind;
+use ccf_core::ConditionalFilter;
+use ccf_join::bridge::{ccf_attrs_for_row, ccf_predicate_for};
+use ccf_join::filters::{FilterBank, FilterConfig};
+use ccf_join::reduction::evaluate_query;
+use ccf_workloads::imdb::TableId;
+
+fn context() -> JobLightContext {
+    JobLightContext::generate(512, 0xBE7C)
+}
+
+fn bench_bank_build(c: &mut Criterion) {
+    let ctx = context();
+    let total_rows: usize = ctx.db.total_rows();
+    let mut group = c.benchmark_group("filter_bank_build");
+    group.throughput(Throughput::Elements(total_rows as u64));
+    for variant in [VariantKind::Chained, VariantKind::Bloom, VariantKind::Mixed] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{variant:?}")),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    let bank = FilterBank::build(&ctx.db, FilterConfig::small(variant));
+                    black_box(bank.total_ccf_bits())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scan_reduction(c: &mut Criterion) {
+    let ctx = context();
+    let bank = FilterBank::build(&ctx.db, FilterConfig::small(VariantKind::Chained));
+    let query = ctx
+        .workload
+        .queries
+        .iter()
+        .find(|q| q.tables.len() >= 3 && q.tables.iter().all(|t| t.table != TableId::CastInfo))
+        .or_else(|| ctx.workload.queries.iter().find(|q| q.tables.len() >= 3))
+        .expect("multi-join query exists")
+        .clone();
+
+    // Probe throughput: every cast_info row against the query's tables' CCFs — the
+    // §10.8 "matches per second" metric in its natural setting.
+    let cast_info = ctx.db.table(TableId::CastInfo);
+    let others: Vec<_> = query
+        .tables
+        .iter()
+        .filter(|qt| qt.table != TableId::CastInfo)
+        .map(|qt| (qt.table, ccf_predicate_for(qt)))
+        .collect();
+
+    let mut group = c.benchmark_group("scan_reduction");
+    group.throughput(Throughput::Elements(cast_info.num_rows() as u64));
+    group.bench_function("ccf_probe_per_row", |b| {
+        b.iter(|| {
+            let mut survivors = 0usize;
+            for row in 0..cast_info.num_rows() {
+                let key = cast_info.join_keys[row];
+                if others.iter().all(|(tid, pred)| bank.table(*tid).ccf.query(key, pred)) {
+                    survivors += 1;
+                }
+            }
+            black_box(survivors)
+        })
+    });
+    group.bench_function("evaluate_full_query", |b| {
+        b.iter(|| black_box(evaluate_query(&ctx.db, &query, &bank).len()))
+    });
+    group.finish();
+}
+
+fn bench_single_table_probe(c: &mut Criterion) {
+    let ctx = context();
+    let table = ctx.db.table(TableId::MovieCompanies);
+    let mut group = c.benchmark_group("single_table_probe");
+    group.throughput(Throughput::Elements((table.num_rows() / 10) as u64));
+    for variant in [VariantKind::Chained, VariantKind::Mixed] {
+        let bank = FilterBank::build(&ctx.db, FilterConfig::small(variant));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{variant:?}")),
+            &variant,
+            |b, _| {
+                let filters = bank.table(TableId::MovieCompanies);
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for row in (0..table.num_rows()).step_by(10) {
+                        let attrs = ccf_attrs_for_row(table, row);
+                        let pred = ccf_core::Predicate::any(2).and_eq(0, attrs[0]);
+                        if filters.ccf.query(black_box(table.join_keys[row]), &pred) {
+                            hits += 1;
+                        }
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bank_build, bench_scan_reduction, bench_single_table_probe
+}
+criterion_main!(benches);

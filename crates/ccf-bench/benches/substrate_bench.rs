@@ -1,0 +1,120 @@
+//! Microbenchmarks of the substrates the CCF is built from: the Jenkins lookup3 hash,
+//! the salted 64-bit hashers, Bloom filters, the standard cuckoo filter and the cuckoo
+//! hash table. These bound the per-operation cost budget of the CCF variants measured
+//! in `filter_ops`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use ccf_bloom::BloomFilter;
+use ccf_cuckoo::{CuckooFilter, CuckooFilterParams, CuckooHashTable};
+use ccf_hash::{hashlittle, HashFamily, SaltedHasher};
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashing");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    let hasher = SaltedHasher::new(42);
+    group.bench_function("salted_hash_u64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= hasher.hash_u64(black_box(i));
+            }
+            black_box(acc)
+        })
+    });
+    let payload = b"movie_id=123456,company_type_id=2";
+    group.bench_function("lookup3_hashlittle_34B", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..n as u32 {
+                acc ^= hashlittle(black_box(payload), i);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom_filter");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("insert", |b| {
+        b.iter(|| {
+            let mut f = BloomFilter::with_capacity(n as usize, 0.01, &HashFamily::new(1));
+            for i in 0..n {
+                f.insert(black_box(i));
+            }
+            black_box(f.saturation())
+        })
+    });
+    let mut filled = BloomFilter::with_capacity(n as usize, 0.01, &HashFamily::new(1));
+    for i in 0..n {
+        filled.insert(i);
+    }
+    group.bench_function("query", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..n {
+                if filled.contains(black_box(i * 2)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_cuckoo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cuckoo_substrate");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("filter_insert", |b| {
+        b.iter(|| {
+            let mut f = CuckooFilter::new(CuckooFilterParams::for_capacity(n as usize, 12, 3));
+            for i in 0..n {
+                let _ = f.insert(black_box(i));
+            }
+            black_box(f.load_factor())
+        })
+    });
+    let mut filled = CuckooFilter::new(CuckooFilterParams::for_capacity(n as usize, 12, 3));
+    for i in 0..n {
+        let _ = filled.insert(i);
+    }
+    group.bench_function("filter_query", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..n {
+                if filled.contains(black_box(i * 3)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("hash_table_insert_get", |b| {
+        b.iter(|| {
+            let mut t: CuckooHashTable<u64> = CuckooHashTable::with_capacity(n as usize, 9);
+            for i in 0..n {
+                t.insert(black_box(i), i * 2);
+            }
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= *t.get(black_box(i)).unwrap();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hashing, bench_bloom, bench_cuckoo
+}
+criterion_main!(benches);

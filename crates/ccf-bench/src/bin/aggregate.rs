@@ -1,0 +1,65 @@
+//! §10.6 aggregate results: overall reduction factors of the CCF, the cuckoo-filter
+//! baseline, the exact semijoin and the exact semijoin after binning, plus the CCF FPR
+//! against both exact baselines.
+//!
+//! The paper reports (small chained CCFs): CCF ≈ 0.28, cuckoo filter ≈ 0.68, optimal
+//! 0.20, optimal after binning 0.24; the largest chained CCF reaches an FPR of 0.8 %
+//! against the binned semijoin and 6.1 % including binning error.
+//!
+//! Usage: `cargo run --release -p ccf-bench --bin aggregate [--scale N] [--seed N]`
+
+use ccf_bench::joblight_experiments::{evaluate_config, JobLightContext};
+use ccf_bench::report::{f3, header, mb, pct, TextTable};
+use ccf_bench::{arg_value, DEFAULT_SEED};
+use ccf_core::sizing::VariantKind;
+use ccf_join::filters::FilterConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: u64 = arg_value(&args, "--scale", 256);
+    let seed: u64 = arg_value(&args, "--seed", DEFAULT_SEED);
+
+    header(
+        "§10.6 — aggregate reduction factors and FPRs over the JOB-light workload",
+        &[("scale", format!("1/{scale}")), ("seed", seed.to_string())],
+    );
+    let ctx = JobLightContext::generate(scale, seed);
+
+    let configs = [
+        ("Chained CCF (small)", FilterConfig::small(VariantKind::Chained)),
+        ("Chained CCF (large)", FilterConfig::large(VariantKind::Chained)),
+        ("Mixed CCF (small)", FilterConfig::small(VariantKind::Mixed)),
+        ("Bloom CCF (small)", FilterConfig::small(VariantKind::Bloom)),
+    ];
+
+    let mut table = TextTable::new([
+        "configuration",
+        "total CCF size",
+        "RF (CCF)",
+        "RF (cuckoo filter)",
+        "RF (optimal)",
+        "RF (optimal, binned)",
+        "FPR vs exact",
+        "FPR vs binned",
+    ]);
+    for (label, cfg) in configs {
+        let res = evaluate_config(&ctx, label, cfg);
+        table.row([
+            label.to_string(),
+            mb(res.total_ccf_bits),
+            f3(res.summary.rf_ccf),
+            f3(res.summary.rf_key_filter),
+            f3(res.summary.rf_exact),
+            f3(res.summary.rf_exact_binned),
+            pct(res.summary.fpr_vs_exact),
+            pct(res.summary.fpr_vs_binned),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper values (full IMDB): CCF ≈ 0.28, cuckoo filter ≈ 0.68, optimal 0.20, optimal after\n\
+         binning 0.24; largest chained CCF: FPR 0.8% vs binned baseline, 6.1% including binning.\n\
+         Expect the same ordering and rough ratios, not identical absolute numbers: the synthetic\n\
+         dataset preserves the statistics of Tables 2–3, not every correlation of the raw IMDB data."
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 10: per-(table, predicate-column) CCF size relative to the raw data it
+//! summarizes, for Bloom / Chained / Mixed variants of equal configuration.
+//!
+//! Usage: `cargo run --release -p ccf-bench --bin figure10 [--scale N] [--seed N]`
+
+use ccf_bench::joblight_experiments::{figure10_overall, figure10_rows, JobLightContext};
+use ccf_bench::report::{f3, header, TextTable};
+use ccf_bench::{arg_value, DEFAULT_SEED};
+use ccf_core::sizing::VariantKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: u64 = arg_value(&args, "--scale", 256);
+    let seed: u64 = arg_value(&args, "--seed", DEFAULT_SEED);
+
+    header(
+        "Figure 10 — CCF size relative to the raw data, per table and predicate column",
+        &[("scale", format!("1/{scale}")), ("seed", seed.to_string())],
+    );
+    let ctx = JobLightContext::generate(scale, seed);
+    let rows = figure10_rows(&ctx.db, seed);
+
+    let mut table = TextTable::new(["table", "column", "Bloom", "Chained", "Mixed"]);
+    let mut seen: Vec<(String, &'static str)> = Vec::new();
+    for r in &rows {
+        let key = (r.table.name().to_string(), r.column);
+        if !seen.contains(&key) {
+            seen.push(key);
+        }
+    }
+    for (table_name, column) in &seen {
+        let get = |variant: VariantKind| {
+            rows.iter()
+                .find(|r| r.table.name() == table_name && r.column == *column && r.variant == variant)
+                .map(|r| f3(r.relative_size))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        table.row([
+            table_name.clone(),
+            column.to_string(),
+            get(VariantKind::Bloom),
+            get(VariantKind::Chained),
+            get(VariantKind::Mixed),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("overall (mean relative size):");
+    for variant in [VariantKind::Bloom, VariantKind::Chained, VariantKind::Mixed] {
+        println!("  {:?}: {}", variant, f3(figure10_overall(&rows, variant)));
+    }
+    println!(
+        "\nPaper shape: every CCF is a fraction of its raw data; Bloom sketches give the largest\n\
+         size reductions on heavily duplicated tables (movie_keyword, movie_info) while chaining\n\
+         wins on tables with (nearly) unique keys (title)."
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 2: the §7 FPR bounds as predictors of the measured FPR, for attribute
+//! fingerprint sizes of 4 and 8 bits, split by the component (key / attribute /
+//! overall) the false positive is attributed to.
+//!
+//! Usage: `cargo run --release -p ccf-bench --bin figure2 [--seed N] [--dupes X]`
+
+use ccf_bench::fpr_experiments::{fpr_experiment, FprComponent};
+use ccf_bench::report::{f3, header, TextTable};
+use ccf_bench::{arg_value, DEFAULT_SEED};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = arg_value(&args, "--seed", DEFAULT_SEED);
+    let dupes: f64 = arg_value(&args, "--dupes", 4.0);
+
+    header(
+        "Figure 2 — estimated vs actual FPR (attribute fingerprint CCF)",
+        &[
+            ("seed", seed.to_string()),
+            ("avg duplicates per key", dupes.to_string()),
+            ("key fingerprint", "8 bits".to_string()),
+        ],
+    );
+
+    let mut table = TextTable::new(["attr size", "component", "actual FPR", "estimated FPR"]);
+    for attr_bits in [4u32, 8] {
+        for point in fpr_experiment(attr_bits, dupes, seed) {
+            let component = match point.component {
+                FprComponent::DueToKey => "due to key",
+                FprComponent::DueToAttribute => "due to attribute",
+                FprComponent::Overall => "overall",
+            };
+            table.row([
+                format!("{}", point.attr_bits),
+                component.to_string(),
+                f3(point.actual),
+                f3(point.estimated),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper shape: the estimates track the measured FPR closely; at small attribute sizes\n\
+         the FPR is dominated by spurious attribute matches, not key-fingerprint matches."
+    );
+}

@@ -1,0 +1,77 @@
+//! Figure 4: load factor at the first failed insertion versus the average number of
+//! duplicates per key — chained vs plain filters, constant vs Zipf-Mandelbrot
+//! duplicate distributions, bucket sizes b ∈ {4, 6, 8}.
+//!
+//! Usage: `cargo run --release -p ccf-bench --bin figure4 [--runs N] [--buckets N] [--seed N]`
+//! (`--runs 20` reproduces the paper's averaging; the default of 5 keeps the run short.)
+
+use ccf_bench::multiset_experiments::{
+    averaged_load_factor, MultisetConfig, MultisetFilter, StreamKind,
+};
+use ccf_bench::report::{f3, header, TextTable};
+use ccf_bench::{arg_value, DEFAULT_SEED};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs: usize = arg_value(&args, "--runs", 5);
+    let num_buckets: usize = arg_value(&args, "--buckets", 1 << 10);
+    let seed: u64 = arg_value(&args, "--seed", DEFAULT_SEED);
+
+    header(
+        "Figure 4 — load factor at first failed insertion",
+        &[
+            ("runs per point", runs.to_string()),
+            ("buckets", num_buckets.to_string()),
+            ("d (max dupes per pair)", "3".to_string()),
+            ("Lmax", "uncapped".to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
+
+    let duplicate_settings = [1.0f64, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0];
+    for stream in [StreamKind::Constant, StreamKind::Zipf] {
+        for entries_per_bucket in [4usize, 6, 8] {
+            println!(
+                "-- {} duplicates, b = {entries_per_bucket} --",
+                match stream {
+                    StreamKind::Constant => "constant",
+                    StreamKind::Zipf => "zipf",
+                }
+            );
+            let mut table = TextTable::new([
+                "avg dupes",
+                "chained load factor",
+                "plain load factor",
+            ]);
+            for &avg in &duplicate_settings {
+                let run = |filter| {
+                    averaged_load_factor(
+                        &MultisetConfig {
+                            filter,
+                            stream,
+                            avg_duplicates: avg,
+                            entries_per_bucket,
+                            num_buckets,
+                            max_dupes: 3,
+                            seed,
+                        },
+                        runs,
+                    )
+                };
+                let chained = run(MultisetFilter::Chained);
+                let plain = run(MultisetFilter::Plain);
+                table.row([
+                    format!("{avg:.0}"),
+                    f3(chained.load_factor),
+                    f3(plain.load_factor),
+                ]);
+            }
+            println!("{}", table.render());
+        }
+    }
+    println!(
+        "Paper shape: the chained filter holds a roughly constant load factor (≈0.75 at b=4,\n\
+         ≈0.87 at b=6) as duplicates grow, while the plain filter collapses — almost\n\
+         immediately under the Zipf-Mandelbrot distribution."
+    );
+}

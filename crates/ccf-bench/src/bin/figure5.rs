@@ -1,0 +1,52 @@
+//! Figure 5: bit efficiency (eq. 8) of the chained CCF as a function of the fill level,
+//! for several settings of d = maxDupe, on constant and Zipf duplicate distributions.
+//!
+//! Usage: `cargo run --release -p ccf-bench --bin figure5 [--seed N]`
+
+use ccf_bench::multiset_experiments::{bit_efficiency_point, StreamKind};
+use ccf_bench::report::{f3, header, TextTable};
+use ccf_bench::{arg_value, DEFAULT_SEED};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = arg_value(&args, "--seed", DEFAULT_SEED);
+
+    header(
+        "Figure 5 — bit efficiency vs fill, by maxDupe (d)",
+        &[
+            ("efficiency", "size_bits / (n · log2(1/FPR)), eq. 8".to_string()),
+            ("reference", "Bloom filter ≈ 1.44; information-theoretic optimum = 1".to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
+
+    let fills = [0.25f64, 0.5, 0.75, 0.9];
+    for stream in [StreamKind::Constant, StreamKind::Zipf] {
+        println!(
+            "-- {} duplicates (avg 8 per key) --",
+            match stream {
+                StreamKind::Constant => "constant",
+                StreamKind::Zipf => "zipf",
+            }
+        );
+        let mut table = TextTable::new(["maxDupe d", "target fill", "achieved fill %", "FPR", "bit efficiency"]);
+        for d in [2usize, 4, 6, 8, 10] {
+            for &fill in &fills {
+                let p = bit_efficiency_point(stream, 8.0, d, fill, 1 << 11, seed);
+                table.row([
+                    d.to_string(),
+                    format!("{:.0}%", fill * 100.0),
+                    format!("{:.1}", p.fill_pct),
+                    f3(p.fpr),
+                    f3(p.bit_efficiency),
+                ]);
+            }
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "Paper shape: efficiency improves (decreases) as fill grows; small d settings reach the\n\
+         best efficiency (the paper reports ≈1.9 for an optimized chained filter), and very low\n\
+         fill wastes bits regardless of d."
+    );
+}

@@ -1,0 +1,97 @@
+//! Figure 6 (a–d): per-instance reduction factors on the JOB-light workload for large
+//! and small CCFs, against the Exact Semijoin baseline (a, c) and the predicate-blind
+//! Cuckoo Filter baseline (b, d).
+//!
+//! The paper plots all 237 instances; this binary prints the series at a configurable
+//! number of quantile rows (instances sorted by the baseline, as on the paper's x-axis)
+//! plus the full-series aggregates.
+//!
+//! Usage: `cargo run --release -p ccf-bench --bin figure6 [--scale N] [--seed N] [--rows N]`
+
+use ccf_bench::joblight_experiments::{evaluate_config, figure6_configs, JobLightContext};
+use ccf_bench::report::{f3, header, TextTable};
+use ccf_bench::{arg_value, DEFAULT_SEED};
+
+fn print_panel(
+    title: &str,
+    baseline_name: &str,
+    baseline: impl Fn(&ccf_join::InstanceResult) -> f64,
+    configs: &[(String, Vec<ccf_join::InstanceResult>)],
+    rows: usize,
+) {
+    println!("-- {title} --");
+    // Sort instances by the baseline RF, as on the paper's x-axis, then print evenly
+    // spaced quantile rows.
+    let mut order: Vec<usize> = (0..configs[0].1.len()).collect();
+    order.sort_by(|&a, &b| {
+        baseline(&configs[0].1[a])
+            .partial_cmp(&baseline(&configs[0].1[b]))
+            .unwrap()
+    });
+    let mut headers = vec!["instance (sorted)".to_string(), baseline_name.to_string()];
+    headers.extend(configs.iter().map(|(label, _)| label.clone()));
+    let mut table = TextTable::new(headers);
+    let n = order.len();
+    for qi in 0..rows.min(n) {
+        let idx = order[qi * (n - 1) / rows.max(1).min(n - 1).max(1)];
+        let mut cells = vec![format!("{}", qi * n / rows.max(1)), f3(baseline(&configs[0].1[idx]))];
+        cells.extend(configs.iter().map(|(_, inst)| f3(inst[idx].rf_ccf())));
+        table.row(cells);
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: u64 = arg_value(&args, "--scale", 256);
+    let seed: u64 = arg_value(&args, "--seed", DEFAULT_SEED);
+    let rows: usize = arg_value(&args, "--rows", 12);
+
+    header(
+        "Figure 6 — per-instance reduction factors (JOB-light)",
+        &[
+            ("scale", format!("1/{scale}")),
+            ("seed", seed.to_string()),
+            ("quantile rows shown", rows.to_string()),
+        ],
+    );
+    let ctx = JobLightContext::generate(scale, seed);
+
+    for (panel, large) in [("large filters (|κ|=12, |α|=8)", true), ("small filters (|κ|=7, |α|=4)", false)] {
+        let configs: Vec<(String, Vec<ccf_join::InstanceResult>)> = figure6_configs(large)
+            .into_iter()
+            .map(|(label, cfg)| {
+                let res = evaluate_config(&ctx, label, cfg);
+                (label.to_string(), res.instances)
+            })
+            .collect();
+        println!("== {panel} ==");
+        println!("instances evaluated: {}\n", configs[0].1.len());
+        print_panel(
+            "vs Exact Semijoin (Figures 6a / 6c)",
+            "Exact Semijoin RF",
+            |r| r.rf_exact(),
+            &configs,
+            rows,
+        );
+        print_panel(
+            "vs Cuckoo Filter baseline (Figures 6b / 6d)",
+            "Cuckoo Filter RF",
+            |r| r.rf_key_filter(),
+            &configs,
+            rows,
+        );
+        // Aggregates per variant for this panel.
+        let mut agg = TextTable::new(["variant", "aggregate RF", "exact RF", "cuckoo-filter RF"]);
+        for (label, instances) in &configs {
+            let s = ccf_join::WorkloadSummary::from_instances(instances);
+            agg.row([label.clone(), f3(s.rf_ccf), f3(s.rf_exact), f3(s.rf_key_filter)]);
+        }
+        println!("{}", agg.render());
+    }
+    println!(
+        "Paper shape: CCF reduction factors hug the Exact Semijoin curve (slightly above it),\n\
+         and sit far below the Cuckoo Filter baseline; small filters show visibly more\n\
+         false-positive lift than large ones, Bloom CCFs more than Mixed/Chained."
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 7: per-instance reduction factors for large and small CCFs against the
+//! *Exact Semijoin After Binning* baseline — isolating how much of the gap in Figure 6
+//! is explained by the 16-bin `production_year` binning rather than by sketching error.
+//!
+//! Usage: `cargo run --release -p ccf-bench --bin figure7 [--scale N] [--seed N]`
+
+use ccf_bench::joblight_experiments::{evaluate_config, figure6_configs, JobLightContext};
+use ccf_bench::report::{f3, header, TextTable};
+use ccf_bench::{arg_value, DEFAULT_SEED};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: u64 = arg_value(&args, "--scale", 256);
+    let seed: u64 = arg_value(&args, "--seed", DEFAULT_SEED);
+
+    header(
+        "Figure 7 — reduction factors vs the exact semijoin AFTER binning production_year",
+        &[("scale", format!("1/{scale}")), ("seed", seed.to_string())],
+    );
+    let ctx = JobLightContext::generate(scale, seed);
+
+    for (panel, large) in [("large filters", true), ("small filters", false)] {
+        println!("== {panel} ==");
+        let mut table = TextTable::new([
+            "variant",
+            "aggregate RF",
+            "exact RF",
+            "exact-after-binning RF",
+            "FPR vs exact",
+            "FPR vs binned",
+        ]);
+        for (label, cfg) in figure6_configs(large) {
+            let res = evaluate_config(&ctx, label, cfg);
+            table.row([
+                label.to_string(),
+                f3(res.summary.rf_ccf),
+                f3(res.summary.rf_exact),
+                f3(res.summary.rf_exact_binned),
+                f3(res.summary.fpr_vs_exact),
+                f3(res.summary.fpr_vs_binned),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "Paper shape: measured against the after-binning baseline, the CCFs' apparent FPR\n\
+         drops substantially — roughly half of the gap to the exact semijoin in Figure 6 is\n\
+         binning error, not sketching error (§10.6)."
+    );
+}

@@ -1,0 +1,54 @@
+//! Table 1: supported queries and sizing for the different conditional cuckoo filters,
+//! with the entry bounds verified empirically against the synthetic IMDB tables.
+//!
+//! Usage: `cargo run --release -p ccf-bench --bin table1 [--scale N] [--seed N]`
+
+use ccf_bench::report::{header, TextTable};
+use ccf_bench::sizing_experiments::{entries_point, table1_rows};
+use ccf_bench::{arg_value, DEFAULT_SEED};
+use ccf_core::sizing::VariantKind;
+use ccf_workloads::imdb::{SyntheticImdb, TableId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: u64 = arg_value(&args, "--scale", 512);
+    let seed: u64 = arg_value(&args, "--seed", DEFAULT_SEED);
+
+    header(
+        "Table 1 — supported queries and sizing per filter variant",
+        &[("scale", format!("1/{scale}")), ("seed", seed.to_string())],
+    );
+
+    let check = |b: bool| if b { "yes" } else { "no" };
+    let mut taxonomy = TextTable::new([
+        "filter",
+        "key query",
+        "key+predicate query",
+        "predicate query",
+        "# non-empty entries (upper bound)",
+    ]);
+    for row in table1_rows() {
+        taxonomy.row([
+            row.filter.to_string(),
+            check(row.key_queries).to_string(),
+            check(row.key_predicate_queries).to_string(),
+            check(row.predicate_queries).to_string(),
+            row.entry_bound.to_string(),
+        ]);
+    }
+    println!("{}", taxonomy.render());
+
+    // Empirical verification of the entry bounds on one heavily duplicated table.
+    let db = SyntheticImdb::generate(scale, seed);
+    println!("entry bounds measured on movie_keyword (the most duplicated table):");
+    let mut measured = TextTable::new(["variant", "predicted (bound)", "actual entries"]);
+    for variant in [VariantKind::Bloom, VariantKind::Mixed, VariantKind::Chained] {
+        let p = entries_point(&db, TableId::MovieKeyword, variant, seed);
+        measured.row([
+            format!("{variant:?}"),
+            p.predicted.to_string(),
+            p.actual.to_string(),
+        ]);
+    }
+    println!("{}", measured.render());
+}

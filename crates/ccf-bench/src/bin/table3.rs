@@ -1,0 +1,49 @@
+//! Table 3: average and maximum number of distinct duplicate predicate attribute values
+//! per join key, measured on the synthetic IMDB dataset next to the paper's values.
+//!
+//! Usage: `cargo run --release -p ccf-bench --bin table3 [--scale N] [--seed N]`
+
+use ccf_bench::joblight_experiments::table3_rows;
+use ccf_bench::report::{f3, header, TextTable};
+use ccf_bench::{arg_value, DEFAULT_SEED};
+use ccf_workloads::imdb::SyntheticImdb;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: u64 = arg_value(&args, "--scale", 256);
+    let seed: u64 = arg_value(&args, "--seed", DEFAULT_SEED);
+
+    header(
+        "Table 3 — distinct duplicate predicate values per join key",
+        &[("scale", format!("1/{scale}")), ("seed", seed.to_string())],
+    );
+    let db = SyntheticImdb::generate(scale, seed);
+
+    let mut table = TextTable::new([
+        "table",
+        "join key",
+        "predicate column",
+        "avg dupes (synthetic)",
+        "avg dupes (paper)",
+        "max dupes (synthetic)",
+        "max dupes (paper)",
+    ]);
+    for row in table3_rows(&db) {
+        let join_key = if row.table == "title" { "id" } else { "movie_id" };
+        table.row([
+            row.table.to_string(),
+            join_key.to_string(),
+            row.column.to_string(),
+            f3(row.avg_dupes),
+            f3(row.paper_avg),
+            row.max_dupes.to_string(),
+            row.paper_max.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "The heavy duplication of movie_keyword.keyword_id and the uniqueness of title's\n\
+         columns — the structure that drives the paper's sizing and failure analysis — is\n\
+         preserved; absolute maxima shrink with the scale factor."
+    );
+}

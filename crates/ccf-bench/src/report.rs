@@ -1,0 +1,128 @@
+//! Plain-text table formatting shared by the experiment binaries.
+//!
+//! Every binary prints (a) a header describing the experiment and its parameters and
+//! (b) one or more aligned tables whose rows mirror the series of the corresponding
+//! figure or the rows of the corresponding table in the paper, so the output can be
+//! diffed against EXPERIMENTS.md.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must have the same arity as the header).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with 3 decimal places (the precision the paper's figures resolve).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a fraction as a percentage with one decimal place.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a bit count as megabytes, matching the units of Figures 8 and 10.
+pub fn mb(bits: usize) -> String {
+    format!("{:.2} MB", bits as f64 / 8.0 / 1024.0 / 1024.0)
+}
+
+/// Print the standard experiment header.
+pub fn header(title: &str, details: &[(&str, String)]) {
+    println!("=== {title} ===");
+    for (k, v) in details {
+        println!("{k}: {v}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["alpha", "1"]).row(["a-much-longer-name", "22.5"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("alpha"));
+        // Both data rows start their second column at the same offset.
+        let col = lines[3].find("22.5").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_arity_panics() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn numeric_formatters() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(mb(8 * 1024 * 1024), "1.00 MB");
+    }
+}

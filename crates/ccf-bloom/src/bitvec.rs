@@ -1,0 +1,224 @@
+//! A compact, fixed-size bit vector.
+//!
+//! Backs both the standalone [`crate::BloomFilter`] and the packed
+//! [`crate::TinyBloom`]. Size accounting (`len`, `count_ones`, `saturation`) is exposed
+//! because the paper's size and FPR analyses (§7, §10.7) need exact bit counts rather
+//! than word-aligned approximations.
+
+/// A fixed-length vector of bits stored in 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Create a bit vector of `len` bits, all zero.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i` to 1.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Get bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of bits that are set (0.0 for an empty vector).
+    pub fn saturation(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Reset all bits to zero.
+    pub fn reset(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Bitwise OR another vector of the same length into this one.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn union_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bit vector length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Serialize the raw bits, little-endian within each u64 word, into exactly
+    /// `ceil(len/8)` bytes. Used by Bloom conversion to pack a filter's bits across
+    /// several CCF entries.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len.div_ceil(8)];
+        for (i, byte) in out.iter_mut().enumerate() {
+            let word = self.words[i / 8];
+            *byte = ((word >> ((i % 8) * 8)) & 0xFF) as u8;
+        }
+        out
+    }
+
+    /// Reconstruct a bit vector of `len` bits from bytes produced by [`Self::to_bytes`].
+    ///
+    /// # Panics
+    /// Panics if `bytes` is shorter than `ceil(len/8)`.
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
+        assert!(
+            bytes.len() >= len.div_ceil(8),
+            "need {} bytes for {len} bits, got {}",
+            len.div_ceil(8),
+            bytes.len()
+        );
+        let mut v = BitVec::new(len);
+        for i in 0..len {
+            if (bytes[i / 8] >> (i % 8)) & 1 == 1 {
+                v.set(i);
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut v = BitVec::new(130);
+        assert_eq!(v.len(), 130);
+        for i in (0..130).step_by(3) {
+            v.set(i);
+        }
+        for i in 0..130 {
+            assert_eq!(v.get(i), i % 3 == 0, "bit {i}");
+        }
+        v.clear(0);
+        assert!(!v.get(0));
+    }
+
+    #[test]
+    fn count_ones_and_saturation() {
+        let mut v = BitVec::new(100);
+        assert_eq!(v.count_ones(), 0);
+        assert_eq!(v.saturation(), 0.0);
+        for i in 0..25 {
+            v.set(i);
+        }
+        assert_eq!(v.count_ones(), 25);
+        assert!((v.saturation() - 0.25).abs() < 1e-12);
+        v.reset();
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn zero_length_vector() {
+        let v = BitVec::new(0);
+        assert!(v.is_empty());
+        assert_eq!(v.count_ones(), 0);
+        assert_eq!(v.saturation(), 0.0);
+        assert!(v.to_bytes().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        let mut v = BitVec::new(10);
+        v.set(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let v = BitVec::new(10);
+        v.get(11);
+    }
+
+    #[test]
+    fn union_with_merges_bits() {
+        let mut a = BitVec::new(70);
+        let mut b = BitVec::new(70);
+        a.set(3);
+        b.set(65);
+        a.union_with(&b);
+        assert!(a.get(3) && a.get(65));
+        assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn union_with_length_mismatch_panics() {
+        let mut a = BitVec::new(8);
+        let b = BitVec::new(9);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_bits() {
+        let mut v = BitVec::new(37);
+        for i in [0usize, 1, 7, 8, 13, 31, 32, 36] {
+            v.set(i);
+        }
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), 5);
+        let v2 = BitVec::from_bytes(&bytes, 37);
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn byte_roundtrip_non_word_aligned_lengths() {
+        for len in [1usize, 5, 8, 9, 63, 64, 65, 127, 128, 129] {
+            let mut v = BitVec::new(len);
+            for i in (0..len).step_by(7) {
+                v.set(i);
+            }
+            let v2 = BitVec::from_bytes(&v.to_bytes(), len);
+            assert_eq!(v, v2, "roundtrip failed for len {len}");
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! A standard Bloom filter.
+//!
+//! Used in three places in the reproduction:
+//!
+//! * as the conventional pre-built join filter the related-work systems use (§2–3),
+//!   giving the "Bloom filter" reference point for bits/item;
+//! * as the reference implementation that [`crate::TinyBloom`] (the packed in-entry
+//!   variant) is tested against;
+//! * by the join substrate to build per-table key filters for baseline comparisons.
+
+use ccf_hash::{HashFamily, SaltedHasher};
+
+use crate::bitvec::BitVec;
+use crate::params::{bloom_fpr, optimal_num_hashes};
+
+/// A standard Bloom filter over `u64` items with `k` salted hash functions.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: BitVec,
+    hashers: Vec<SaltedHasher>,
+    items: usize,
+}
+
+impl BloomFilter {
+    /// Create a Bloom filter with `num_bits` bits and `num_hashes` hash functions drawn
+    /// from `family`.
+    ///
+    /// # Panics
+    /// Panics if `num_bits == 0` or `num_hashes == 0`.
+    pub fn new(num_bits: usize, num_hashes: usize, family: &HashFamily) -> Self {
+        assert!(num_bits > 0, "Bloom filter needs at least one bit");
+        assert!(num_hashes > 0, "Bloom filter needs at least one hash function");
+        let hashers = (0..num_hashes as u64)
+            .map(|i| family.hasher(ccf_hash::salted::purpose::BLOOM_BASE + i))
+            .collect();
+        Self {
+            bits: BitVec::new(num_bits),
+            hashers,
+            items: 0,
+        }
+    }
+
+    /// Create a Bloom filter sized for `expected_items` items at the given target FPR
+    /// using the standard `m = -n·ln(ρ)/ln²2` rule and the optimal hash count.
+    pub fn with_capacity(expected_items: usize, target_fpr: f64, family: &HashFamily) -> Self {
+        assert!(target_fpr > 0.0 && target_fpr < 1.0, "FPR must be in (0, 1)");
+        let n = expected_items.max(1) as f64;
+        let bits = (-n * target_fpr.ln() / (std::f64::consts::LN_2 * std::f64::consts::LN_2)).ceil()
+            as usize;
+        let bits = bits.max(8);
+        let k = optimal_num_hashes(bits, expected_items.max(1));
+        Self::new(bits, k, family)
+    }
+
+    /// Number of bits in the filter.
+    pub fn num_bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of hash functions.
+    pub fn num_hashes(&self) -> usize {
+        self.hashers.len()
+    }
+
+    /// Number of items inserted so far (counting duplicates).
+    pub fn items_inserted(&self) -> usize {
+        self.items
+    }
+
+    /// Insert an item.
+    pub fn insert(&mut self, item: u64) {
+        let m = self.bits.len();
+        for h in &self.hashers {
+            let i = h.bucket_of(item, m);
+            self.bits.set(i);
+        }
+        self.items += 1;
+    }
+
+    /// Query whether an item may be in the set. Never returns `false` for an item that
+    /// was inserted.
+    pub fn contains(&self, item: u64) -> bool {
+        let m = self.bits.len();
+        self.hashers.iter().all(|h| self.bits.get(h.bucket_of(item, m)))
+    }
+
+    /// Expected FPR for the current number of inserted items, via the standard
+    /// approximation.
+    pub fn expected_fpr(&self) -> f64 {
+        bloom_fpr(self.hashers.len(), self.bits.len(), self.items)
+    }
+
+    /// Fraction of bits set (1.0 means fully saturated: every query returns true).
+    pub fn saturation(&self) -> f64 {
+        self.bits.saturation()
+    }
+
+    /// Size of the filter's bit array in bits (the serialized size a database would
+    /// store; hasher seeds are shared configuration, not per-filter state).
+    pub fn size_bits(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family() -> HashFamily {
+        HashFamily::new(42)
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(4096, 4, &family());
+        for i in 0..400u64 {
+            f.insert(i * 7 + 1);
+        }
+        for i in 0..400u64 {
+            assert!(f.contains(i * 7 + 1), "false negative for {}", i * 7 + 1);
+        }
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new(1024, 3, &family());
+        let hits = (0..1000u64).filter(|&x| f.contains(x)).count();
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn measured_fpr_tracks_expectation() {
+        let mut f = BloomFilter::with_capacity(2000, 0.02, &family());
+        for i in 0..2000u64 {
+            f.insert(i);
+        }
+        let expected = f.expected_fpr();
+        let trials = 50_000u64;
+        let fp = (0..trials).filter(|&x| f.contains(x + 1_000_000)).count();
+        let measured = fp as f64 / trials as f64;
+        assert!(
+            measured < expected * 2.5 + 0.005,
+            "measured {measured} way above expected {expected}"
+        );
+        assert!(measured > expected * 0.2, "measured {measured} suspiciously below expected {expected}");
+    }
+
+    #[test]
+    fn with_capacity_hits_target_fpr_band() {
+        for target in [0.01f64, 0.05] {
+            let mut f = BloomFilter::with_capacity(5000, target, &family());
+            for i in 0..5000u64 {
+                f.insert(i);
+            }
+            let exp = f.expected_fpr();
+            assert!(exp < target * 1.5, "expected fpr {exp} misses target {target}");
+        }
+    }
+
+    #[test]
+    fn saturation_grows_with_insertions() {
+        let mut f = BloomFilter::new(256, 2, &family());
+        let s0 = f.saturation();
+        for i in 0..50u64 {
+            f.insert(i);
+        }
+        let s1 = f.saturation();
+        for i in 50..500u64 {
+            f.insert(i);
+        }
+        let s2 = f.saturation();
+        assert!(s0 < s1 && s1 < s2);
+        assert!(s2 <= 1.0);
+    }
+
+    #[test]
+    fn duplicate_insertions_do_not_change_bits() {
+        let mut f = BloomFilter::new(512, 3, &family());
+        f.insert(99);
+        let ones = f.bits.count_ones();
+        f.insert(99);
+        f.insert(99);
+        assert_eq!(f.bits.count_ones(), ones);
+        assert_eq!(f.items_inserted(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_rejected() {
+        let _ = BloomFilter::new(0, 2, &family());
+    }
+
+    #[test]
+    fn different_families_give_different_layouts() {
+        let mut a = BloomFilter::new(128, 2, &HashFamily::new(1));
+        let mut b = BloomFilter::new(128, 2, &HashFamily::new(2));
+        for i in 0..10u64 {
+            a.insert(i);
+            b.insert(i);
+        }
+        assert_ne!(a.bits, b.bits);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the Bloom filter substrate.
+
+use ccf_bloom::{BitVec, BloomFilter, TinyBloom};
+use ccf_hash::HashFamily;
+use proptest::prelude::*;
+
+proptest! {
+    /// A Bloom filter never returns false for an inserted item, under any combination
+    /// of sizes, hash counts and item sets.
+    #[test]
+    fn bloom_has_no_false_negatives(
+        bits in 8usize..512,
+        hashes in 1usize..6,
+        seed in any::<u64>(),
+        items in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let mut f = BloomFilter::new(bits, hashes, &HashFamily::new(seed));
+        for &x in &items {
+            f.insert(x);
+        }
+        for &x in &items {
+            prop_assert!(f.contains(x), "false negative for {x}");
+        }
+    }
+
+    /// Tiny Bloom sketches never lose an inserted (column, value) pair.
+    #[test]
+    fn tiny_bloom_has_no_false_negatives(
+        bits in 4usize..64,
+        seed in any::<u64>(),
+        rows in proptest::collection::vec(proptest::collection::vec(any::<u64>(), 1..4), 1..20),
+    ) {
+        let family = HashFamily::new(seed);
+        let mut b = TinyBloom::new(bits, 2, &family);
+        for row in &rows {
+            b.insert_row(row);
+        }
+        for row in &rows {
+            for (col, &v) in row.iter().enumerate() {
+                prop_assert!(b.contains_pair(col, v));
+            }
+        }
+    }
+
+    /// Bit-vector byte serialization round-trips for arbitrary lengths and bit patterns.
+    #[test]
+    fn bitvec_roundtrips_through_bytes(
+        len in 1usize..300,
+        set_bits in proptest::collection::vec(any::<usize>(), 0..64),
+    ) {
+        let mut v = BitVec::new(len);
+        for &b in &set_bits {
+            v.set(b % len);
+        }
+        let restored = BitVec::from_bytes(&v.to_bytes(), len);
+        prop_assert_eq!(v, restored);
+    }
+
+    /// Union behaves like set union of inserted items: anything in either filter is in
+    /// the union.
+    #[test]
+    fn tiny_bloom_union_is_superset(
+        seed in any::<u64>(),
+        left in proptest::collection::vec(any::<u64>(), 1..20),
+        right in proptest::collection::vec(any::<u64>(), 1..20),
+    ) {
+        let family = HashFamily::new(seed);
+        let mut a = TinyBloom::new(64, 2, &family);
+        let mut b = TinyBloom::new(64, 2, &family);
+        for &x in &left {
+            a.insert_pair(0, x);
+        }
+        for &x in &right {
+            b.insert_pair(0, x);
+        }
+        a.union_with(&b);
+        for &x in left.iter().chain(&right) {
+            prop_assert!(a.contains_pair(0, x));
+        }
+    }
+}

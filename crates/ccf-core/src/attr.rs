@@ -1,0 +1,160 @@
+//! Attribute sketches (§5): fingerprint vectors and Bloom attribute sketches.
+//!
+//! Every CCF entry pairs a key fingerprint κ with a sketch of the row's attribute
+//! values. This module holds the sketch representations and the predicate-matching
+//! logic shared by the CCF variants:
+//!
+//! * [`match_fingerprint_vector`] — a predicate matches a stored fingerprint vector if,
+//!   for every constrained column, some candidate value's fingerprint equals the stored
+//!   fingerprint (§5.1).
+//! * [`match_raw_bloom`] — matching against a per-entry Bloom sketch of raw
+//!   (column, value) pairs (§5.2).
+//! * [`match_fingerprint_bloom`] — matching against a converted Bloom sketch that
+//!   stores (column, attribute-fingerprint) pairs (§6.1), which therefore collides both
+//!   at the fingerprinting step and inside the Bloom filter.
+
+use ccf_bloom::TinyBloom;
+use ccf_hash::AttrFingerprinter;
+
+use crate::predicate::Predicate;
+
+/// Whether a predicate matches a stored attribute fingerprint vector.
+///
+/// For each constrained column the predicate's candidate values are fingerprinted with
+/// the same [`AttrFingerprinter`] the filter used at insert time; the column matches if
+/// any candidate fingerprint equals the stored one. Unconstrained columns always match.
+pub fn match_fingerprint_vector(
+    pred: &Predicate,
+    stored: &[u16],
+    attr_fp: &AttrFingerprinter,
+) -> bool {
+    debug_assert!(stored.len() >= pred.num_attrs());
+    pred.conditions().iter().enumerate().all(|(col, cond)| {
+        match cond.candidate_values() {
+            None => true,
+            Some(values) => values
+                .iter()
+                .any(|&v| attr_fp.fingerprint(col, v) == stored[col]),
+        }
+    })
+}
+
+/// Whether a predicate matches a Bloom attribute sketch storing raw (column, value)
+/// pairs (the direct Bloom sketch of §5.2).
+pub fn match_raw_bloom(pred: &Predicate, bloom: &TinyBloom) -> bool {
+    pred.conditions().iter().enumerate().all(|(col, cond)| {
+        match cond.candidate_values() {
+            None => true,
+            Some(values) => values.iter().any(|&v| bloom.contains_pair(col, v)),
+        }
+    })
+}
+
+/// Whether a predicate matches a converted Bloom sketch storing (column,
+/// attribute-fingerprint) pairs (§6.1): candidate values are fingerprinted first, then
+/// probed in the Bloom filter.
+pub fn match_fingerprint_bloom(
+    pred: &Predicate,
+    bloom: &TinyBloom,
+    attr_fp: &AttrFingerprinter,
+) -> bool {
+    pred.conditions().iter().enumerate().all(|(col, cond)| {
+        match cond.candidate_values() {
+            None => true,
+            Some(values) => values
+                .iter()
+                .any(|&v| bloom.contains_pair(col, u64::from(attr_fp.fingerprint(col, v)))),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{ColumnPredicate, Predicate};
+    use ccf_hash::HashFamily;
+
+    fn attr_fp() -> AttrFingerprinter {
+        AttrFingerprinter::new(&HashFamily::new(11), 8, true)
+    }
+
+    #[test]
+    fn vector_match_requires_every_constrained_column() {
+        let af = attr_fp();
+        let row = [5u64, 300u64];
+        let stored = af.fingerprint_vector(&row);
+        // Matching both columns.
+        assert!(match_fingerprint_vector(
+            &Predicate::any(2).and_eq(0, 5).and_eq(1, 300),
+            &stored,
+            &af
+        ));
+        // One column wrong → no match (values 5 and 6 are stored exactly thanks to the
+        // small-value optimisation, so no hash collision is possible).
+        assert!(!match_fingerprint_vector(
+            &Predicate::any(2).and_eq(0, 6).and_eq(1, 300),
+            &stored,
+            &af
+        ));
+        // Unconstrained predicate always matches.
+        assert!(match_fingerprint_vector(&Predicate::any(2), &stored, &af));
+    }
+
+    #[test]
+    fn vector_match_in_list_any_candidate() {
+        let af = attr_fp();
+        let stored = af.fingerprint_vector(&[7]);
+        let pred = Predicate::new(vec![ColumnPredicate::InList(vec![1, 7, 9])]);
+        assert!(match_fingerprint_vector(&pred, &stored, &af));
+        let pred_miss = Predicate::new(vec![ColumnPredicate::InList(vec![1, 2, 3])]);
+        assert!(!match_fingerprint_vector(&pred_miss, &stored, &af));
+        let pred_empty = Predicate::new(vec![ColumnPredicate::InList(vec![])]);
+        assert!(!match_fingerprint_vector(&pred_empty, &stored, &af));
+    }
+
+    #[test]
+    fn raw_bloom_match_tracks_inserted_pairs() {
+        let family = HashFamily::new(3);
+        let mut bloom = TinyBloom::new(128, 2, &family);
+        bloom.insert_row(&[4, 1995]);
+        assert!(match_raw_bloom(&Predicate::any(2).and_eq(0, 4), &bloom));
+        assert!(match_raw_bloom(
+            &Predicate::any(2).and_eq(0, 4).and_eq(1, 1995),
+            &bloom
+        ));
+        assert!(!match_raw_bloom(&Predicate::any(2).and_eq(0, 5), &bloom));
+        assert!(match_raw_bloom(&Predicate::any(2), &bloom));
+    }
+
+    #[test]
+    fn raw_bloom_cannot_rule_out_cross_row_combinations() {
+        // §5.2: if rows (a1, a2) and (a1', a2') share a key, the predicate
+        // A0 = a1 ∧ A1 = a2' is a guaranteed false positive on the Bloom sketch.
+        let family = HashFamily::new(4);
+        let mut bloom = TinyBloom::new(256, 2, &family);
+        bloom.insert_row(&[1, 10]);
+        bloom.insert_row(&[2, 20]);
+        assert!(match_raw_bloom(&Predicate::any(2).and_eq(0, 1).and_eq(1, 20), &bloom));
+    }
+
+    #[test]
+    fn fingerprint_bloom_match_uses_fingerprints() {
+        let af = attr_fp();
+        let family = HashFamily::new(5);
+        let mut bloom = TinyBloom::new(64, 2, &family);
+        let row = [123_456u64, 9u64];
+        for (col, &v) in row.iter().enumerate() {
+            bloom.insert_pair(col, u64::from(af.fingerprint(col, v)));
+        }
+        assert!(match_fingerprint_bloom(
+            &Predicate::any(2).and_eq(0, 123_456).and_eq(1, 9),
+            &bloom,
+            &af
+        ));
+        assert!(!match_fingerprint_bloom(
+            &Predicate::any(2).and_eq(1, 10),
+            &bloom,
+            &af
+        ));
+    }
+}

@@ -1,0 +1,350 @@
+//! The CCF with Bloom attribute sketches (§5.2, Algorithms 1 and 2).
+//!
+//! Each entry pairs a key fingerprint κ with a small Bloom filter into which every
+//! (attribute column, value) pair of the key's rows is inserted. Rows sharing a key
+//! merge into the same entry, so "the occupied entries in the sketch are exactly the
+//! same as those of a cuckoo filter" — the variant needs no duplicate handling and is
+//! guaranteed the usual cuckoo-filter load factors, at the cost of a less bit-efficient
+//! attribute sketch and the inability to encode which attribute values co-occur in the
+//! same row.
+//!
+//! Algorithm 2 (predicate-only queries) is [`BloomCcf::predicate_filter`]: entries whose
+//! sketch cannot match the predicate are erased and the surviving key fingerprints are
+//! returned as a standard [`CuckooFilter`].
+
+use ccf_bloom::TinyBloom;
+use ccf_cuckoo::CuckooFilter;
+use ccf_hash::{Fingerprinter, HashFamily, SaltedHasher};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::attr::match_raw_bloom;
+use crate::outcome::{InsertFailure, InsertOutcome};
+use crate::params::CcfParams;
+use crate::predicate::Predicate;
+
+/// Maximum kick rounds before an insertion is reported as failed.
+const MAX_KICKS: usize = 500;
+
+/// One entry: a key fingerprint plus the Bloom sketch of all its rows' attributes.
+#[derive(Debug, Clone)]
+struct Entry {
+    fp: u16,
+    sketch: TinyBloom,
+}
+
+/// Conditional cuckoo filter with per-entry Bloom attribute sketches.
+#[derive(Debug, Clone)]
+pub struct BloomCcf {
+    buckets: Vec<Vec<Entry>>,
+    bucket_mask: usize,
+    params: CcfParams,
+    fingerprinter: Fingerprinter,
+    partial_hasher: SaltedHasher,
+    bloom_family: HashFamily,
+    rng: StdRng,
+    occupied: usize,
+    rows_absorbed: usize,
+}
+
+impl BloomCcf {
+    /// Create an empty filter. `params.num_buckets` is rounded up to a power of two.
+    pub fn new(mut params: CcfParams) -> Self {
+        params.num_buckets = params.num_buckets.next_power_of_two().max(1);
+        params.validate();
+        assert!(params.bloom_bits > 0, "bloom_bits must be positive for the Bloom variant");
+        let family = HashFamily::new(params.seed);
+        Self {
+            buckets: vec![Vec::new(); params.num_buckets],
+            bucket_mask: params.num_buckets - 1,
+            fingerprinter: Fingerprinter::new(&family, params.fingerprint_bits),
+            partial_hasher: family.hasher(ccf_hash::salted::purpose::PARTIAL_KEY),
+            bloom_family: family.subfamily(7),
+            rng: StdRng::seed_from_u64(params.seed ^ 0xB100),
+            occupied: 0,
+            rows_absorbed: 0,
+            params,
+        }
+    }
+
+    /// The filter's parameters (with `num_buckets` normalized).
+    pub fn params(&self) -> &CcfParams {
+        &self.params
+    }
+
+    /// Number of occupied entries (one per distinct key fingerprint per bucket pair).
+    pub fn occupied_entries(&self) -> usize {
+        self.occupied
+    }
+
+    /// Number of rows absorbed.
+    pub fn rows_absorbed(&self) -> usize {
+        self.rows_absorbed
+    }
+
+    /// Total entry slots `m · b`.
+    pub fn capacity(&self) -> usize {
+        self.buckets.len() * self.params.entries_per_bucket
+    }
+
+    /// Load factor β.
+    pub fn load_factor(&self) -> f64 {
+        self.occupied as f64 / self.capacity() as f64
+    }
+
+    /// Serialized size in bits: every slot carries |κ| + Bloom bits.
+    pub fn size_bits(&self) -> usize {
+        self.capacity() * self.params.bloom_entry_bits()
+    }
+
+    #[inline]
+    fn alt_bucket(&self, bucket: usize, fp: u16) -> usize {
+        (bucket ^ self.partial_hasher.hash_u64(u64::from(fp)) as usize) & self.bucket_mask
+    }
+
+    fn new_sketch(&self) -> TinyBloom {
+        TinyBloom::new(self.params.bloom_bits, self.params.bloom_hashes, &self.bloom_family)
+    }
+
+    /// Insert a row. Rows whose key fingerprint is already present in the bucket pair
+    /// are merged into the existing entry's Bloom sketch.
+    pub fn insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
+        assert_eq!(
+            attrs.len(),
+            self.params.num_attrs,
+            "row has {} attributes, filter expects {}",
+            attrs.len(),
+            self.params.num_attrs
+        );
+        let (fp, l) = self
+            .fingerprinter
+            .fingerprint_and_bucket(key, self.buckets.len());
+        let l_alt = self.alt_bucket(l, fp);
+        self.rows_absorbed += 1;
+
+        // Merge into an existing entry for this fingerprint (duplicate key, or a
+        // colliding key — either way no false negatives are introduced).
+        let buckets: &[usize] = if l == l_alt { &[l] } else { &[l, l_alt] };
+        for &bkt in buckets {
+            if let Some(e) = self.buckets[bkt].iter_mut().find(|e| e.fp == fp) {
+                e.sketch.insert_row(attrs);
+                return Ok(InsertOutcome::Merged);
+            }
+        }
+
+        // Otherwise create a fresh entry, kicking as needed.
+        let mut sketch = self.new_sketch();
+        sketch.insert_row(attrs);
+        let entry = Entry { fp, sketch };
+        let b = self.params.entries_per_bucket;
+        if self.buckets[l].len() < b {
+            self.buckets[l].push(entry);
+            self.occupied += 1;
+            return Ok(InsertOutcome::Inserted);
+        }
+        if self.buckets[l_alt].len() < b {
+            self.buckets[l_alt].push(entry);
+            self.occupied += 1;
+            return Ok(InsertOutcome::Inserted);
+        }
+        let mut carried = entry;
+        let mut bucket = if self.rng.gen_bool(0.5) { l } else { l_alt };
+        let mut swaps: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..MAX_KICKS {
+            let slot = self.rng.gen_range(0..b);
+            std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
+            swaps.push((bucket, slot));
+            bucket = self.alt_bucket(bucket, carried.fp);
+            if self.buckets[bucket].len() < b {
+                self.buckets[bucket].push(carried);
+                self.occupied += 1;
+                return Ok(InsertOutcome::Inserted);
+            }
+        }
+        for (bucket, slot) in swaps.into_iter().rev() {
+            std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
+        }
+        self.rows_absorbed -= 1;
+        Err(InsertFailure::KicksExhausted {
+            load_factor_millis: (self.load_factor() * 1000.0) as u32,
+        })
+    }
+
+    /// Query for a key under a predicate (Algorithm 1): true if some entry in the key's
+    /// bucket pair carries the key's fingerprint and its Bloom sketch matches every
+    /// constrained column.
+    pub fn query(&self, key: u64, pred: &Predicate) -> bool {
+        let (fp, l) = self
+            .fingerprinter
+            .fingerprint_and_bucket(key, self.buckets.len());
+        let l_alt = self.alt_bucket(l, fp);
+        let buckets: &[usize] = if l == l_alt { &[l] } else { &[l, l_alt] };
+        buckets.iter().any(|&bkt| {
+            self.buckets[bkt]
+                .iter()
+                .any(|e| e.fp == fp && match_raw_bloom(pred, &e.sketch))
+        })
+    }
+
+    /// Key-only membership query — identical to a regular cuckoo filter (§7.1).
+    pub fn contains_key(&self, key: u64) -> bool {
+        let (fp, l) = self
+            .fingerprinter
+            .fingerprint_and_bucket(key, self.buckets.len());
+        let l_alt = self.alt_bucket(l, fp);
+        self.buckets[l].iter().any(|e| e.fp == fp)
+            || self.buckets[l_alt].iter().any(|e| e.fp == fp)
+    }
+
+    /// Predicate-only query (Algorithm 2): erase entries whose sketch cannot match the
+    /// predicate and return the surviving key fingerprints as a standard cuckoo filter
+    /// with the same geometry.
+    pub fn predicate_filter(&self, pred: &Predicate) -> CuckooFilter {
+        let mut out = CuckooFilter::with_geometry(
+            self.buckets.len(),
+            self.params.entries_per_bucket,
+            self.params.fingerprint_bits,
+            self.params.seed,
+        );
+        for (bucket_idx, bucket) in self.buckets.iter().enumerate() {
+            for e in bucket {
+                if match_raw_bloom(pred, &e.sketch) {
+                    // Entries are copied in place (H′_{ℓ,i} = κ): the surviving
+                    // fingerprint is inserted with the same bucket as its current home,
+                    // which is always one of its two legal buckets.
+                    out.insert_fingerprint(e.fp, bucket_idx)
+                        .expect("derived filter has identical geometry, insertion cannot fail");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(seed: u64) -> CcfParams {
+        CcfParams {
+            num_buckets: 1 << 10,
+            entries_per_bucket: 4,
+            fingerprint_bits: 12,
+            attr_bits: 8,
+            num_attrs: 2,
+            bloom_bits: 24,
+            bloom_hashes: 2,
+            seed,
+            ..CcfParams::default()
+        }
+    }
+
+    #[test]
+    fn no_false_negatives_across_duplicates() {
+        let mut f = BloomCcf::new(params(1));
+        for key in 0..500u64 {
+            for i in 0..5u64 {
+                f.insert_row(key, &[i, key % 7]).unwrap();
+            }
+        }
+        for key in 0..500u64 {
+            for i in 0..5u64 {
+                assert!(
+                    f.query(key, &Predicate::any(2).and_eq(0, i).and_eq(1, key % 7)),
+                    "false negative for key {key}, row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn occupied_entries_equal_distinct_keys() {
+        // Table 1: the Bloom variant's non-empty entries are nk regardless of
+        // duplication (modulo rare fingerprint collisions that merge keys).
+        let mut f = BloomCcf::new(params(2));
+        for key in 0..300u64 {
+            for i in 0..10u64 {
+                f.insert_row(key, &[i, i * 2]).unwrap();
+            }
+        }
+        assert!(f.occupied_entries() <= 300);
+        assert!(f.occupied_entries() >= 295, "unexpectedly many fingerprint merges");
+    }
+
+    #[test]
+    fn non_matching_predicates_are_rejected_with_bloom_fpr() {
+        let mut f = BloomCcf::new(params(3));
+        for key in 0..1000u64 {
+            f.insert_row(key, &[3, 40]).unwrap();
+        }
+        // Probe present keys with an attribute value that was never inserted; the only
+        // false positives are Bloom collisions inside the 24-bit sketch.
+        let fp = (0..1000u64)
+            .filter(|&k| f.query(k, &Predicate::any(2).and_eq(0, 999)))
+            .count();
+        let rate = fp as f64 / 1000.0;
+        assert!(rate < 0.30, "attribute FPR {rate} unreasonably high for a 24-bit sketch");
+    }
+
+    #[test]
+    fn key_only_fpr_matches_cuckoo_filter_regime() {
+        let mut f = BloomCcf::new(params(4));
+        for key in 0..3000u64 {
+            f.insert_row(key, &[1, 2]).unwrap();
+        }
+        let fp = (1_000_000..1_050_000u64).filter(|&k| f.contains_key(k)).count();
+        assert!((fp as f64 / 50_000.0) < 0.01);
+    }
+
+    #[test]
+    fn cross_row_combinations_are_false_positives() {
+        // §5.2: the Bloom sketch cannot encode co-occurrence.
+        let mut f = BloomCcf::new(params(5));
+        f.insert_row(9, &[1, 10]).unwrap();
+        f.insert_row(9, &[2, 20]).unwrap();
+        assert!(f.query(9, &Predicate::any(2).and_eq(0, 1).and_eq(1, 20)));
+    }
+
+    #[test]
+    fn predicate_filter_keeps_matching_keys_and_drops_most_others() {
+        let mut f = BloomCcf::new(params(6));
+        for key in 0..2000u64 {
+            f.insert_row(key, &[key % 4, 7]).unwrap();
+        }
+        let derived = f.predicate_filter(&Predicate::any(2).and_eq(0, 2));
+        let mut misses = 0;
+        let mut kept_non_matching = 0;
+        for key in 0..2000u64 {
+            let should_match = key % 4 == 2;
+            let does = derived.contains(key);
+            if should_match && !does {
+                misses += 1;
+            }
+            if !should_match && does {
+                kept_non_matching += 1;
+            }
+        }
+        assert_eq!(misses, 0, "Algorithm 2 must not introduce false negatives");
+        // Bloom sketches over a single small value are sparse; most non-matching keys
+        // should be erased.
+        assert!(
+            (kept_non_matching as f64 / 1500.0) < 0.5,
+            "derived filter kept {kept_non_matching} non-matching keys"
+        );
+    }
+
+    #[test]
+    fn merge_behaviour_reports_outcomes() {
+        let mut f = BloomCcf::new(params(7));
+        assert_eq!(f.insert_row(1, &[1, 1]).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(f.insert_row(1, &[2, 2]).unwrap(), InsertOutcome::Merged);
+        assert_eq!(f.occupied_entries(), 1);
+        assert_eq!(f.rows_absorbed(), 2);
+    }
+
+    #[test]
+    fn size_bits_reflects_bloom_budget() {
+        let f = BloomCcf::new(params(8));
+        assert_eq!(f.size_bits(), 1024 * 4 * (12 + 24));
+    }
+}

@@ -1,0 +1,618 @@
+//! The CCF with chaining (§6.2, Algorithms 4 and 5) — the paper's central multiset
+//! technique.
+//!
+//! Chaining allows a key to use more than one bucket pair. At most `d` copies of a key
+//! fingerprint κ may live in a bucket pair (ℓ, ℓ′); once a pair is saturated, the next
+//! pair in the chain starts at `h(min(ℓ, ℓ′), κ)`. A query walks the same chain and
+//! stops at the first pair that is not saturated; if it walks `Lmax` saturated pairs it
+//! returns true unconditionally, which is what preserves the no-false-negative
+//! guarantee (Theorem 3) even for rows the insertion discarded.
+//!
+//! Cycle handling: the chain-hop hash additionally folds in the chain depth, so
+//! revisiting a bucket pair at a different depth continues with fresh, independent
+//! hops instead of repeating the cycle. This realizes the "detect cycles and extend the
+//! chain" refinement of §6.2 (the paper suggests Floyd's algorithm; salting by depth
+//! achieves the same extension deterministically, which both insertion and query need
+//! to agree on). [`ChainedCcf::chain_cycle_stats`] still reports how often the raw
+//! recurrence would have cycled, for the curious.
+
+use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily, SaltedHasher};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::attr::match_fingerprint_vector;
+use crate::outcome::{InsertFailure, InsertOutcome};
+use crate::params::CcfParams;
+use crate::predicate::Predicate;
+
+/// Maximum kick rounds before an insertion is reported as failed.
+const MAX_KICKS: usize = 500;
+
+/// Safety cap on the number of bucket pairs a single insert/query may walk when
+/// `Lmax = ∞`; in practice chains stay short, and hitting this indicates a saturated
+/// filter rather than a correctness issue (queries that hit it return true, preserving
+/// the no-false-negative guarantee).
+const WALK_SAFETY_CAP: usize = 1 << 16;
+
+/// One stored row: key fingerprint plus attribute fingerprint vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    fp: u16,
+    attrs: Vec<u16>,
+}
+
+/// Conditional cuckoo filter with chaining.
+#[derive(Debug, Clone)]
+pub struct ChainedCcf {
+    buckets: Vec<Vec<Entry>>,
+    bucket_mask: usize,
+    params: CcfParams,
+    fingerprinter: Fingerprinter,
+    attr_fp: AttrFingerprinter,
+    partial_hasher: SaltedHasher,
+    chain_hasher: SaltedHasher,
+    rng: StdRng,
+    occupied: usize,
+    rows_absorbed: usize,
+    rows_dropped: usize,
+    max_chain_seen: usize,
+}
+
+impl ChainedCcf {
+    /// Create an empty filter. `params.num_buckets` is rounded up to a power of two.
+    pub fn new(mut params: CcfParams) -> Self {
+        params.num_buckets = params.num_buckets.next_power_of_two().max(1);
+        params.validate();
+        let family = HashFamily::new(params.seed);
+        Self {
+            buckets: vec![Vec::new(); params.num_buckets],
+            bucket_mask: params.num_buckets - 1,
+            fingerprinter: Fingerprinter::new(&family, params.fingerprint_bits),
+            attr_fp: AttrFingerprinter::new(&family, params.attr_bits, params.small_value_opt),
+            partial_hasher: family.hasher(ccf_hash::salted::purpose::PARTIAL_KEY),
+            chain_hasher: family.hasher(ccf_hash::salted::purpose::CHAIN),
+            rng: StdRng::seed_from_u64(params.seed ^ 0xC4A1),
+            occupied: 0,
+            rows_absorbed: 0,
+            rows_dropped: 0,
+            max_chain_seen: 0,
+            params,
+        }
+    }
+
+    /// The filter's parameters (with `num_buckets` normalized).
+    pub fn params(&self) -> &CcfParams {
+        &self.params
+    }
+
+    /// Number of occupied entries.
+    pub fn occupied_entries(&self) -> usize {
+        self.occupied
+    }
+
+    /// Number of rows absorbed (including deduplicated and dropped rows).
+    pub fn rows_absorbed(&self) -> usize {
+        self.rows_absorbed
+    }
+
+    /// Number of rows discarded because the chain cap `Lmax` was reached.
+    pub fn rows_dropped(&self) -> usize {
+        self.rows_dropped
+    }
+
+    /// Longest chain (number of bucket pairs) any insertion has walked.
+    pub fn max_chain_seen(&self) -> usize {
+        self.max_chain_seen
+    }
+
+    /// Total entry slots `m · b`.
+    pub fn capacity(&self) -> usize {
+        self.buckets.len() * self.params.entries_per_bucket
+    }
+
+    /// Load factor β.
+    pub fn load_factor(&self) -> f64 {
+        self.occupied as f64 / self.capacity() as f64
+    }
+
+    /// Serialized size in bits: every slot carries |κ| + #α·|α| bits.
+    pub fn size_bits(&self) -> usize {
+        self.capacity() * self.params.vector_entry_bits()
+    }
+
+    /// The attribute fingerprinter used by this filter.
+    pub fn attr_fingerprinter(&self) -> &AttrFingerprinter {
+        &self.attr_fp
+    }
+
+    #[inline]
+    fn alt_bucket(&self, bucket: usize, fp: u16) -> usize {
+        (bucket ^ self.partial_hasher.hash_u64(u64::from(fp)) as usize) & self.bucket_mask
+    }
+
+    /// The start bucket of the next chain pair: `h(min(ℓ, ℓ′), κ)` salted with the
+    /// chain depth (cycle resolution — see module docs).
+    #[inline]
+    fn next_chain_bucket(&self, l: usize, l_alt: usize, fp: u16, depth: usize) -> usize {
+        let lmin = l.min(l_alt) as u64;
+        (self
+            .chain_hasher
+            .hash_pair(lmin, (u64::from(fp) << 32) | depth as u64) as usize)
+            & self.bucket_mask
+    }
+
+    fn max_walk(&self) -> usize {
+        self.params.max_chain.unwrap_or(WALK_SAFETY_CAP)
+    }
+
+    /// Count entries with fingerprint `fp` in the pair (l, l_alt).
+    fn pair_fp_count(&self, l: usize, l_alt: usize, fp: u16) -> usize {
+        let first = self.buckets[l].iter().filter(|e| e.fp == fp).count();
+        if l == l_alt {
+            first
+        } else {
+            first + self.buckets[l_alt].iter().filter(|e| e.fp == fp).count()
+        }
+    }
+
+    /// Insert a row (Algorithm 4). Exact duplicates of a stored (κ, α) pair are
+    /// deduplicated; rows beyond the chain cap are dropped (still covered by the
+    /// no-false-negative guarantee); kick exhaustion fails and rolls back.
+    pub fn insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
+        assert_eq!(
+            attrs.len(),
+            self.params.num_attrs,
+            "row has {} attributes, filter expects {}",
+            attrs.len(),
+            self.params.num_attrs
+        );
+        let (fp, mut l) = self
+            .fingerprinter
+            .fingerprint_and_bucket(key, self.buckets.len());
+        let entry = Entry {
+            fp,
+            attrs: self.attr_fp.fingerprint_vector(attrs),
+        };
+        self.rows_absorbed += 1;
+        let d = self.params.max_dupes;
+        let b = self.params.entries_per_bucket;
+        let max_walk = self.max_walk();
+
+        for depth in 0..max_walk {
+            self.max_chain_seen = self.max_chain_seen.max(depth + 1);
+            let l_alt = self.alt_bucket(l, fp);
+
+            // Dedupe: (κ, α) already present in this pair.
+            if self.buckets[l].contains(&entry) || self.buckets[l_alt].contains(&entry) {
+                return Ok(InsertOutcome::Deduplicated);
+            }
+
+            // Pair saturated with d copies of κ: move to the next pair in the chain.
+            if self.pair_fp_count(l, l_alt, fp) >= d {
+                l = self.next_chain_bucket(l, l_alt, fp, depth);
+                continue;
+            }
+
+            // Room in the primary bucket?
+            if self.buckets[l].len() < b {
+                self.buckets[l].push(entry);
+                self.occupied += 1;
+                return Ok(InsertOutcome::Inserted);
+            }
+            // Room in the alternate bucket, else kick loop on it (Algorithm 4's loop).
+            let mut carried = entry;
+            let mut bucket = l_alt;
+            let mut swaps: Vec<(usize, usize)> = Vec::new();
+            for _ in 0..MAX_KICKS {
+                if self.buckets[bucket].len() < b {
+                    self.buckets[bucket].push(carried);
+                    self.occupied += 1;
+                    return Ok(InsertOutcome::Inserted);
+                }
+                let slot = self.rng.gen_range(0..b);
+                std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
+                swaps.push((bucket, slot));
+                // The carried item is now the kicked victim; move it towards its
+                // alternate bucket (within its own pair, so lemma 1's cap is kept).
+                bucket = self.alt_bucket(bucket, carried.fp);
+            }
+            // Exhausted kicks: roll back so earlier rows keep their guarantee.
+            for (bucket, slot) in swaps.into_iter().rev() {
+                std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
+            }
+            self.rows_absorbed -= 1;
+            return Err(InsertFailure::KicksExhausted {
+                load_factor_millis: (self.load_factor() * 1000.0) as u32,
+            });
+        }
+        // Chain cap Lmax reached with every pair saturated: the row is discarded, but
+        // queries walking the same saturated chain return true (Theorem 3).
+        self.rows_dropped += 1;
+        Ok(InsertOutcome::DroppedChainCap)
+    }
+
+    /// Query for a key under a predicate (Algorithm 5).
+    pub fn query(&self, key: u64, pred: &Predicate) -> bool {
+        let (fp, l) = self
+            .fingerprinter
+            .fingerprint_and_bucket(key, self.buckets.len());
+        self.query_walk(fp, l, |e| match_fingerprint_vector(pred, &e.attrs, &self.attr_fp))
+    }
+
+    /// Key-only membership query. Lemma 2 implies only the first bucket pair needs to
+    /// be examined: if the key was ever inserted, a copy of its fingerprint is in the
+    /// first pair.
+    pub fn contains_key(&self, key: u64) -> bool {
+        let (fp, l) = self
+            .fingerprinter
+            .fingerprint_and_bucket(key, self.buckets.len());
+        let l_alt = self.alt_bucket(l, fp);
+        self.buckets[l].iter().any(|e| e.fp == fp)
+            || self.buckets[l_alt].iter().any(|e| e.fp == fp)
+    }
+
+    /// Walk the chain, applying `matches` to each entry carrying the key's fingerprint.
+    fn query_walk<F: Fn(&Entry) -> bool>(&self, fp: u16, mut l: usize, matches: F) -> bool {
+        let d = self.params.max_dupes;
+        let max_walk = self.max_walk();
+        for depth in 0..max_walk {
+            let l_alt = self.alt_bucket(l, fp);
+            let mut count = 0usize;
+            let buckets: &[usize] = if l == l_alt { &[l] } else { &[l, l_alt] };
+            for &bkt in buckets {
+                for e in &self.buckets[bkt] {
+                    if e.fp == fp {
+                        count += 1;
+                        if matches(e) {
+                            return true;
+                        }
+                    }
+                }
+            }
+            if count >= d {
+                l = self.next_chain_bucket(l, l_alt, fp, depth);
+            } else {
+                return false;
+            }
+        }
+        // Lmax saturated pairs inspected without an answer: return true (§6.2).
+        true
+    }
+
+    /// Predicate-only query (§6.2): derive a key filter for the set of keys whose
+    /// attributes match the predicate. Entries with non-matching attributes are *kept*
+    /// but marked non-matching, so chains stay intact and key queries on the derived
+    /// filter preserve the no-false-negative guarantee.
+    pub fn predicate_filter(&self, pred: &Predicate) -> ChainedPredicateFilter {
+        let marked: Vec<Vec<(u16, bool)>> = self
+            .buckets
+            .iter()
+            .map(|bucket| {
+                bucket
+                    .iter()
+                    .map(|e| (e.fp, match_fingerprint_vector(pred, &e.attrs, &self.attr_fp)))
+                    .collect()
+            })
+            .collect();
+        ChainedPredicateFilter {
+            buckets: marked,
+            bucket_mask: self.bucket_mask,
+            params: self.params,
+            fingerprinter: self.fingerprinter,
+            partial_hasher: self.partial_hasher,
+            chain_hasher: self.chain_hasher,
+        }
+    }
+
+    /// Diagnostics: walking the *unsalted* paper recurrence
+    /// ℓ₁, ℓ₂ = ℓ₁ ⊕ h(κ), ℓ₃ = h(min(ℓ₁, ℓ₂), κ), ... for `steps` hops from each of
+    /// `sample_keys`, how many walks revisit a bucket pair (i.e. would have cycled
+    /// without cycle resolution)?
+    pub fn chain_cycle_stats(&self, sample_keys: &[u64], steps: usize) -> usize {
+        let mut cycles = 0;
+        for &key in sample_keys {
+            let (fp, mut l) = self
+                .fingerprinter
+                .fingerprint_and_bucket(key, self.buckets.len());
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..steps {
+                let l_alt = self.alt_bucket(l, fp);
+                let pair_id = l.min(l_alt);
+                if !seen.insert(pair_id) {
+                    cycles += 1;
+                    break;
+                }
+                // Unsalted recurrence (depth fixed at 0 ≙ h(min, κ)).
+                l = self.next_chain_bucket(l, l_alt, fp, 0);
+            }
+        }
+        cycles
+    }
+}
+
+/// The result of a predicate-only query on a chained CCF (§6.2): key fingerprints with
+/// a one-bit matching mark per entry. Supports key membership queries for the
+/// predicate's key set with no false negatives.
+#[derive(Debug, Clone)]
+pub struct ChainedPredicateFilter {
+    buckets: Vec<Vec<(u16, bool)>>,
+    bucket_mask: usize,
+    params: CcfParams,
+    fingerprinter: Fingerprinter,
+    partial_hasher: SaltedHasher,
+    chain_hasher: SaltedHasher,
+}
+
+impl ChainedPredicateFilter {
+    /// Whether `key` may belong to the predicate's key set.
+    pub fn contains_key(&self, key: u64) -> bool {
+        let (fp, mut l) = self
+            .fingerprinter
+            .fingerprint_and_bucket(key, self.buckets.len());
+        let d = self.params.max_dupes;
+        let max_walk = self.params.max_chain.unwrap_or(WALK_SAFETY_CAP);
+        for depth in 0..max_walk {
+            let l_alt =
+                (l ^ self.partial_hasher.hash_u64(u64::from(fp)) as usize) & self.bucket_mask;
+            let mut count = 0usize;
+            let buckets: &[usize] = if l == l_alt { &[l] } else { &[l, l_alt] };
+            for &bkt in buckets {
+                for &(efp, matching) in &self.buckets[bkt] {
+                    if efp == fp {
+                        count += 1;
+                        if matching {
+                            return true;
+                        }
+                    }
+                }
+            }
+            if count >= d {
+                let lmin = l.min(l_alt) as u64;
+                l = (self
+                    .chain_hasher
+                    .hash_pair(lmin, (u64::from(fp) << 32) | depth as u64)
+                    as usize)
+                    & self.bucket_mask;
+            } else {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Serialized size in bits: |κ| + 1 marking bit per slot over every slot.
+    pub fn size_bits(&self) -> usize {
+        self.buckets.len()
+            * self.params.entries_per_bucket
+            * (self.params.fingerprint_bits as usize + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(seed: u64) -> CcfParams {
+        CcfParams {
+            num_buckets: 1 << 10,
+            entries_per_bucket: 6,
+            fingerprint_bits: 12,
+            attr_bits: 8,
+            num_attrs: 2,
+            max_dupes: 3,
+            max_chain: None,
+            seed,
+            ..CcfParams::default()
+        }
+    }
+
+    #[test]
+    fn no_false_negatives_with_heavy_duplication() {
+        let mut f = ChainedCcf::new(params(1));
+        // 200 keys × 20 distinct attribute rows each = 4000 rows, far beyond the 2b
+        // per-pair capacity a plain filter could handle.
+        for key in 0..200u64 {
+            for i in 0..20u64 {
+                f.insert_row(key, &[1000 + i, 2000 + (i % 5)]).unwrap();
+            }
+        }
+        for key in 0..200u64 {
+            for i in 0..20u64 {
+                let pred = Predicate::any(2).and_eq(0, 1000 + i).and_eq(1, 2000 + (i % 5));
+                assert!(f.query(key, &pred), "false negative for key {key}, row {i}");
+            }
+            assert!(f.contains_key(key));
+        }
+        assert!(f.max_chain_seen() > 1, "chaining should have been exercised");
+    }
+
+    #[test]
+    fn achieves_high_load_factor_under_uniform_duplication() {
+        // Figure 4: with b = 6 and d = 3, chaining sustains β ≈ 0.87 even when every
+        // key has many duplicates.
+        let mut f = ChainedCcf::new(params(2));
+        let capacity = f.capacity();
+        let dupes_per_key = 12u64;
+        let mut failed = false;
+        'outer: for key in 0.. {
+            for i in 0..dupes_per_key {
+                match f.insert_row(key, &[i, i * 3 + 1]) {
+                    Ok(_) => {}
+                    Err(_) => {
+                        failed = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if f.occupied_entries() >= capacity {
+                break;
+            }
+        }
+        assert!(failed || f.occupied_entries() as f64 / capacity as f64 > 0.8);
+        assert!(
+            f.load_factor() > 0.75,
+            "chained load factor at first failure only {}",
+            f.load_factor()
+        );
+    }
+
+    #[test]
+    fn queries_reject_absent_attribute_values() {
+        let mut f = ChainedCcf::new(params(3));
+        for key in 0..500u64 {
+            f.insert_row(key, &[4, 7]).unwrap();
+        }
+        // Attribute 0 stored exactly (small-value optimisation) → a different small
+        // value can never match.
+        let fp = (0..500u64)
+            .filter(|&k| f.query(k, &Predicate::any(2).and_eq(0, 5)))
+            .count();
+        assert_eq!(fp, 0);
+    }
+
+    #[test]
+    fn key_only_queries_probe_only_the_first_pair() {
+        // Insert enough duplicates to create long chains, then confirm absent keys are
+        // still rejected at the usual cuckoo-filter FPR (the chain must not inflate the
+        // key-only FPR, §7.1).
+        let mut f = ChainedCcf::new(params(4));
+        for key in 0..100u64 {
+            for i in 0..30u64 {
+                f.insert_row(key, &[i + 100, i % 9]).unwrap();
+            }
+        }
+        let fp = (1_000_000..1_050_000u64).filter(|&k| f.contains_key(k)).count();
+        let rate = fp as f64 / 50_000.0;
+        assert!(rate < 0.02, "key-only FPR {rate} too high");
+    }
+
+    #[test]
+    fn chain_cap_drops_rows_but_never_lies() {
+        // With Lmax = 1 and d = 3, a key can keep at most 3 rows; further rows are
+        // dropped, but queries for them must still return true (Theorem 3).
+        let mut f = ChainedCcf::new(CcfParams {
+            max_chain: Some(1),
+            ..params(5)
+        });
+        let key = 42u64;
+        let mut dropped = 0;
+        for i in 0..10u64 {
+            match f.insert_row(key, &[5000 + i, 6000 + i]).unwrap() {
+                InsertOutcome::DroppedChainCap => dropped += 1,
+                _ => {}
+            }
+        }
+        assert!(dropped > 0, "expected drops with Lmax = 1");
+        for i in 0..10u64 {
+            let pred = Predicate::any(2).and_eq(0, 5000 + i).and_eq(1, 6000 + i);
+            assert!(f.query(key, &pred), "false negative for dropped row {i}");
+        }
+        assert_eq!(f.rows_dropped(), dropped);
+    }
+
+    #[test]
+    fn duplicate_cap_per_pair_is_respected() {
+        // Lemma 1: never more than d copies of a fingerprint in the first bucket pair.
+        let mut f = ChainedCcf::new(params(6));
+        let key = 7u64;
+        for i in 0..50u64 {
+            f.insert_row(key, &[i + 300, i + 400]).unwrap();
+        }
+        let (fp, l) = f.fingerprinter.fingerprint_and_bucket(key, f.buckets.len());
+        let l_alt = f.alt_bucket(l, fp);
+        assert!(f.pair_fp_count(l, l_alt, fp) <= f.params().max_dupes);
+    }
+
+    #[test]
+    fn exact_duplicates_are_deduplicated() {
+        let mut f = ChainedCcf::new(params(7));
+        assert_eq!(f.insert_row(1, &[500, 600]).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(f.insert_row(1, &[500, 600]).unwrap(), InsertOutcome::Deduplicated);
+        assert_eq!(f.occupied_entries(), 1);
+    }
+
+    #[test]
+    fn predicate_filter_preserves_matching_keys() {
+        let mut f = ChainedCcf::new(params(8));
+        // Keys 0..300 have attribute 0 = key % 4; predicate selects value 2.
+        for key in 0..300u64 {
+            for extra in 0..4u64 {
+                f.insert_row(key, &[key % 4, extra + 10]).unwrap();
+            }
+        }
+        let pf = f.predicate_filter(&Predicate::any(2).and_eq(0, 2));
+        for key in 0..300u64 {
+            if key % 4 == 2 {
+                assert!(pf.contains_key(key), "false negative in predicate filter for {key}");
+            }
+        }
+        // Non-matching keys should be mostly rejected (small-value opt → only key-FPR
+        // collisions remain).
+        let false_pos = (0..300u64)
+            .filter(|&k| k % 4 != 2 && pf.contains_key(k))
+            .count();
+        assert!(false_pos < 10, "too many predicate-filter false positives: {false_pos}");
+        assert!(pf.size_bits() < f.size_bits());
+    }
+
+    #[test]
+    fn failed_insert_rolls_back() {
+        let mut f = ChainedCcf::new(CcfParams {
+            num_buckets: 4,
+            entries_per_bucket: 2,
+            max_dupes: 2,
+            ..params(9)
+        });
+        let mut stored: Vec<(u64, [u64; 2])> = Vec::new();
+        let mut failures = 0;
+        for k in 0..200u64 {
+            let attrs = [k % 6, k % 10];
+            match f.insert_row(k, &attrs) {
+                Ok(_) => stored.push((k, attrs)),
+                Err(_) => failures += 1,
+            }
+        }
+        assert!(failures > 0, "tiny filter should eventually fail");
+        for (k, attrs) in stored {
+            assert!(
+                f.query(k, &Predicate::any(2).and_eq(0, attrs[0]).and_eq(1, attrs[1])),
+                "lost row for key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_like_skew_is_handled() {
+        // A handful of very hot keys plus a long tail — the regime where plain cuckoo
+        // filters fail almost immediately (§10.2).
+        let mut f = ChainedCcf::new(params(10));
+        let mut rows: Vec<(u64, [u64; 2])> = Vec::new();
+        for hot in 0..5u64 {
+            for i in 0..200u64 {
+                rows.push((hot, [i + 256, (i * 7) % 64 + 256]));
+            }
+        }
+        for cold in 100..1500u64 {
+            rows.push((cold, [cold % 50 + 256, cold % 30 + 256]));
+        }
+        for (k, attrs) in &rows {
+            f.insert_row(*k, attrs).unwrap();
+        }
+        for (k, attrs) in &rows {
+            assert!(f.query(*k, &Predicate::any(2).and_eq(0, attrs[0]).and_eq(1, attrs[1])));
+        }
+    }
+
+    #[test]
+    fn cycle_stats_reports_unsalted_cycles_without_affecting_queries() {
+        let f = ChainedCcf::new(CcfParams {
+            num_buckets: 8,
+            entries_per_bucket: 6,
+            ..params(11)
+        });
+        // With only 8 buckets the unsalted recurrence must revisit pairs quickly.
+        let keys: Vec<u64> = (0..50).collect();
+        let cycles = f.chain_cycle_stats(&keys, 16);
+        assert!(cycles > 0, "expected raw-recurrence cycles in a tiny filter");
+    }
+}

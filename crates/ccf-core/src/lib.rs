@@ -1,0 +1,83 @@
+//! Conditional Cuckoo Filters (CCF) — approximate set membership with predicates.
+//!
+//! This crate is a from-scratch Rust implementation of the data structure introduced by
+//! Ting & Cole, *"Conditional Cuckoo Filters"* (arXiv:2005.02537, SIGMOD 2021 context):
+//! a cuckoo-filter-like sketch whose entries carry, besides a key fingerprint κ, a
+//! small sketch of the row's attribute values — so that membership can be tested not
+//! just for a key but for a key *and* a conjunction of equality predicates, and so that
+//! a pre-computed sketch can be specialised into a key filter for any given predicate
+//! (predicate push-down across a join graph, §3).
+//!
+//! # Variants
+//!
+//! | Variant | Attribute sketch | Duplicate handling | Type |
+//! |---------|------------------|--------------------|------|
+//! | Plain   | fingerprint vector | none (2b cap, §4.3) | [`PlainCcf`] |
+//! | Chained | fingerprint vector | chaining (§6.2)     | [`ChainedCcf`] |
+//! | Bloom   | per-entry Bloom (§5.2) | merge into one entry | [`BloomCcf`] |
+//! | Mixed   | fingerprint vector → Bloom conversion (§6.1) | conversion at d duplicates | [`MixedCcf`] |
+//!
+//! All variants guarantee **no false negatives** for rows that were inserted (and, for
+//! the chained variant, even for rows dropped at the chain cap — Theorem 3).
+//!
+//! # Quick start
+//!
+//! ```
+//! use ccf_core::{CcfParams, ChainedCcf, Predicate};
+//!
+//! // Rows of (movie_id, [role_id, company_type_id]).
+//! let rows = [(10u64, [4u64, 2u64]), (10, [4, 1]), (11, [1, 2])];
+//!
+//! let mut filter = ChainedCcf::new(CcfParams {
+//!     num_buckets: 1 << 8,
+//!     num_attrs: 2,
+//!     ..CcfParams::default()
+//! });
+//! for (key, attrs) in &rows {
+//!     filter.insert_row(*key, attrs).unwrap();
+//! }
+//!
+//! // Key + predicate queries: "is there a row for movie 10 with role_id = 4 and
+//! // company_type_id = 2?"
+//! let pred = Predicate::any(2).and_eq(0, 4).and_eq(1, 2);
+//! assert!(filter.query(10, &pred));
+//! assert!(!filter.query(11, &pred) || filter.contains_key(11)); // 11 has role_id = 1
+//! ```
+//!
+//! # Module map
+//!
+//! * [`params`] — parameters and the §8 sizing rules.
+//! * [`predicate`] — equality / in-list predicates, range binning and dyadic expansion.
+//! * [`attr`] — attribute-sketch matching primitives.
+//! * [`plain`], [`chained`], [`bloom_ccf`], [`mixed`] — the four variants.
+//! * [`variant`] — a uniform [`ConditionalFilter`] interface over all of them.
+//! * [`fpr`] — the §7 false-positive-rate estimators.
+//! * [`sizing`] — Table 1 entry-count predictions and load-factor targets.
+//! * [`compress`] — the §9 two-stage attribute compression.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attr;
+pub mod bloom_ccf;
+pub mod chained;
+pub mod compress;
+pub mod fpr;
+pub mod mixed;
+pub mod outcome;
+pub mod params;
+pub mod plain;
+pub mod predicate;
+pub mod sizing;
+pub mod variant;
+
+pub use bloom_ccf::BloomCcf;
+pub use chained::{ChainedCcf, ChainedPredicateFilter};
+pub use compress::AttributeCompressor;
+pub use mixed::MixedCcf;
+pub use outcome::{InsertFailure, InsertOutcome};
+pub use params::{AttrSketchKind, CcfParams};
+pub use plain::PlainCcf;
+pub use predicate::{binning::Binning, ColumnPredicate, Predicate};
+pub use sizing::{DuplicationProfile, VariantKind};
+pub use variant::{AnyCcf, ConditionalFilter};

@@ -1,0 +1,516 @@
+//! The *Mixed* CCF: attribute fingerprint vectors with Bloom conversion (§6.1,
+//! Algorithm 3).
+//!
+//! Rows are stored as fingerprint-vector entries exactly like the chained variant — but
+//! when a bucket pair already holds `d` copies of a key fingerprint and another
+//! distinct row arrives, the `d` fingerprint vectors are *converted*: their bit budget
+//! (`d·s − 2(|κ| + ⌈log₂ d⌉)` bits, where `s` is the per-entry size) is repurposed as a
+//! single Bloom filter over (column, attribute-fingerprint) pairs covering all of the
+//! key's rows, including every row that arrives later. Conversion can never fail, so
+//! the variant keeps the cuckoo-filter-like sizing of Table 1 (at most `d` entries per
+//! key) while retaining fingerprint-vector accuracy for the vast majority of keys that
+//! have few duplicates.
+//!
+//! In-memory representation: the converted group is a `BloomHead` entry plus `d − 1`
+//! `Continuation` entries occupying the same slots the fingerprint vectors held (the
+//! paper packs the Bloom's bits across those entries; we keep the logical layout and
+//! account for the same number of bits). Cuckoo kicks may relocate any slot — a kick
+//! only ever moves an entry to the other bucket of its own pair, so a group's head and
+//! continuation slots merely redistribute across the pair, which is the "maintaining
+//! [the Bloom filter] whenever a bucket's entry is kicked into the alternate bucket"
+//! bookkeeping §6.1 describes.
+
+use ccf_bloom::TinyBloom;
+use ccf_cuckoo::CuckooFilter;
+use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily, SaltedHasher};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::attr::{match_fingerprint_bloom, match_fingerprint_vector};
+use crate::outcome::{InsertFailure, InsertOutcome};
+use crate::params::CcfParams;
+use crate::predicate::Predicate;
+
+/// Maximum kick rounds before an insertion is reported as failed.
+const MAX_KICKS: usize = 500;
+
+/// One slot of a mixed CCF.
+#[derive(Debug, Clone)]
+enum Entry {
+    /// A fingerprint-vector entry for a single row.
+    Vector { fp: u16, attrs: Vec<u16> },
+    /// Head of a converted group: holds the Bloom sketch for every row of this
+    /// fingerprint in the bucket pair.
+    BloomHead { fp: u16, sketch: TinyBloom },
+    /// A continuation slot of a converted group (its bits belong to the head's Bloom
+    /// filter).
+    Continuation { fp: u16 },
+}
+
+impl Entry {
+    fn fp(&self) -> u16 {
+        match self {
+            Entry::Vector { fp, .. } | Entry::BloomHead { fp, .. } | Entry::Continuation { fp } => *fp,
+        }
+    }
+}
+
+/// Conditional cuckoo filter with Bloom conversion for heavily duplicated keys.
+#[derive(Debug, Clone)]
+pub struct MixedCcf {
+    buckets: Vec<Vec<Entry>>,
+    bucket_mask: usize,
+    params: CcfParams,
+    fingerprinter: Fingerprinter,
+    attr_fp: AttrFingerprinter,
+    partial_hasher: SaltedHasher,
+    bloom_family: HashFamily,
+    conversion_hashes: usize,
+    rng: StdRng,
+    occupied: usize,
+    rows_absorbed: usize,
+    conversions: usize,
+}
+
+impl MixedCcf {
+    /// Create an empty filter. `params.num_buckets` is rounded up to a power of two.
+    pub fn new(mut params: CcfParams) -> Self {
+        params.num_buckets = params.num_buckets.next_power_of_two().max(1);
+        params.validate();
+        assert!(
+            params.max_dupes <= params.entries_per_bucket,
+            "Bloom conversion stores a group of max_dupes = {} slots, which must fit in one \
+             bucket of {} entries",
+            params.max_dupes,
+            params.entries_per_bucket
+        );
+        let family = HashFamily::new(params.seed);
+        let conversion_hashes = ccf_bloom::params::conversion_num_hashes(
+            params.conversion_bloom_bits(),
+            params.max_dupes,
+            params.num_attrs,
+        );
+        Self {
+            buckets: vec![Vec::new(); params.num_buckets],
+            bucket_mask: params.num_buckets - 1,
+            fingerprinter: Fingerprinter::new(&family, params.fingerprint_bits),
+            attr_fp: AttrFingerprinter::new(&family, params.attr_bits, params.small_value_opt),
+            partial_hasher: family.hasher(ccf_hash::salted::purpose::PARTIAL_KEY),
+            bloom_family: family.subfamily(13),
+            conversion_hashes,
+            rng: StdRng::seed_from_u64(params.seed ^ 0x30D),
+            occupied: 0,
+            rows_absorbed: 0,
+            conversions: 0,
+            params,
+        }
+    }
+
+    /// The filter's parameters (with `num_buckets` normalized).
+    pub fn params(&self) -> &CcfParams {
+        &self.params
+    }
+
+    /// Number of occupied entry slots (continuation slots count — they hold Bloom bits).
+    pub fn occupied_entries(&self) -> usize {
+        self.occupied
+    }
+
+    /// Number of rows absorbed.
+    pub fn rows_absorbed(&self) -> usize {
+        self.rows_absorbed
+    }
+
+    /// Number of Bloom conversions performed.
+    pub fn conversions(&self) -> usize {
+        self.conversions
+    }
+
+    /// Total entry slots `m · b`.
+    pub fn capacity(&self) -> usize {
+        self.buckets.len() * self.params.entries_per_bucket
+    }
+
+    /// Load factor β.
+    pub fn load_factor(&self) -> f64 {
+        self.occupied as f64 / self.capacity() as f64
+    }
+
+    /// Serialized size in bits: every slot carries |κ| + #α·|α| + 1 bits (the extra bit
+    /// marks converted slots, §6.1).
+    pub fn size_bits(&self) -> usize {
+        self.capacity() * self.params.mixed_entry_bits()
+    }
+
+    /// The attribute fingerprinter used by this filter.
+    pub fn attr_fingerprinter(&self) -> &AttrFingerprinter {
+        &self.attr_fp
+    }
+
+    #[inline]
+    fn alt_bucket(&self, bucket: usize, fp: u16) -> usize {
+        (bucket ^ self.partial_hasher.hash_u64(u64::from(fp)) as usize) & self.bucket_mask
+    }
+
+    fn pair_of(&self, key: u64) -> (u16, usize, usize) {
+        let (fp, l) = self
+            .fingerprinter
+            .fingerprint_and_bucket(key, self.buckets.len());
+        let alt = self.alt_bucket(l, fp);
+        (fp, l, alt)
+    }
+
+    fn fingerprint_row(&self, attrs: &[u64]) -> Vec<u16> {
+        self.attr_fp.fingerprint_vector(attrs)
+    }
+
+    /// Insert a row. Outcomes: `Inserted` (new vector entry), `Deduplicated` (identical
+    /// (κ, α) already stored), `Merged` (added to an existing converted group),
+    /// `Converted` (this row triggered a Bloom conversion).
+    pub fn insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
+        assert_eq!(
+            attrs.len(),
+            self.params.num_attrs,
+            "row has {} attributes, filter expects {}",
+            attrs.len(),
+            self.params.num_attrs
+        );
+        let (fp, l, l_alt) = self.pair_of(key);
+        let alpha = self.fingerprint_row(attrs);
+        self.rows_absorbed += 1;
+        let d = self.params.max_dupes;
+        let b = self.params.entries_per_bucket;
+        let pair: &[usize] = if l == l_alt { &[l] } else { &[l, l_alt] };
+
+        // 1. Existing converted group for this fingerprint → merge.
+        for &bkt in pair {
+            if let Some(Entry::BloomHead { sketch, .. }) = self.buckets[bkt]
+                .iter_mut()
+                .find(|e| e.fp() == fp && matches!(e, Entry::BloomHead { .. }))
+            {
+                for (col, &afp) in alpha.iter().enumerate() {
+                    sketch.insert_pair(col, u64::from(afp));
+                }
+                return Ok(InsertOutcome::Merged);
+            }
+        }
+
+        // 2. Exact duplicate vector entry → dedupe.
+        for &bkt in pair {
+            if self.buckets[bkt].iter().any(
+                |e| matches!(e, Entry::Vector { fp: efp, attrs } if *efp == fp && *attrs == alpha),
+            ) {
+                return Ok(InsertOutcome::Deduplicated);
+            }
+        }
+
+        // 3. Pair already holds d vector copies of κ → convert them plus this row.
+        let vector_copies: usize = pair
+            .iter()
+            .map(|&bkt| {
+                self.buckets[bkt]
+                    .iter()
+                    .filter(|e| e.fp() == fp && matches!(e, Entry::Vector { .. }))
+                    .count()
+            })
+            .sum();
+        if vector_copies >= d {
+            self.convert(fp, l, l_alt, &alpha);
+            return Ok(InsertOutcome::Converted);
+        }
+
+        // 4. Plain vector insertion with kicks (movable entries only).
+        let entry = Entry::Vector { fp, attrs: alpha };
+        if self.buckets[l].len() < b {
+            self.buckets[l].push(entry);
+            self.occupied += 1;
+            return Ok(InsertOutcome::Inserted);
+        }
+        if self.buckets[l_alt].len() < b {
+            self.buckets[l_alt].push(entry);
+            self.occupied += 1;
+            return Ok(InsertOutcome::Inserted);
+        }
+        let mut carried = entry;
+        let mut bucket = if self.rng.gen_bool(0.5) { l } else { l_alt };
+        let mut swaps: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..MAX_KICKS {
+            if self.buckets[bucket].len() < b {
+                self.buckets[bucket].push(carried);
+                self.occupied += 1;
+                return Ok(InsertOutcome::Inserted);
+            }
+            // Any entry may be kicked: a kick only ever moves an entry to the other
+            // bucket of its own pair, so a converted group's head and continuation
+            // slots simply redistribute across the pair — exactly the packing freedom
+            // the paper's bit layout assumes.
+            let slot = self.rng.gen_range(0..b);
+            std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
+            swaps.push((bucket, slot));
+            bucket = self.alt_bucket(bucket, carried.fp());
+        }
+        for (bkt, slot) in swaps.into_iter().rev() {
+            std::mem::swap(&mut self.buckets[bkt][slot], &mut carried);
+        }
+        self.rows_absorbed -= 1;
+        Err(InsertFailure::KicksExhausted {
+            load_factor_millis: (self.load_factor() * 1000.0) as u32,
+        })
+    }
+
+    /// Algorithm 3: replace the `d` vector entries for `fp` in the pair (and the new
+    /// row's fingerprints) with a single Bloom group occupying the same slots.
+    fn convert(&mut self, fp: u16, l: usize, l_alt: usize, new_alpha: &[u16]) {
+        let mut sketch = TinyBloom::new(
+            self.params.conversion_bloom_bits(),
+            self.conversion_hashes,
+            &self.bloom_family,
+        );
+        for (col, &afp) in new_alpha.iter().enumerate() {
+            sketch.insert_pair(col, u64::from(afp));
+        }
+        // Collect and remove the existing vector entries for this fingerprint,
+        // remembering which bucket each slot came from so the group reoccupies them.
+        let mut freed: Vec<usize> = Vec::new();
+        let pair: Vec<usize> = if l == l_alt { vec![l] } else { vec![l, l_alt] };
+        for &bkt in &pair {
+            let mut i = 0;
+            while i < self.buckets[bkt].len() {
+                let matches = matches!(&self.buckets[bkt][i],
+                    Entry::Vector { fp: efp, .. } if *efp == fp);
+                if matches {
+                    if let Entry::Vector { attrs, .. } = self.buckets[bkt].swap_remove(i) {
+                        for (col, afp) in attrs.into_iter().enumerate() {
+                            sketch.insert_pair(col, u64::from(afp));
+                        }
+                        freed.push(bkt);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        debug_assert!(!freed.is_empty(), "conversion triggered without vector copies");
+        // Re-occupy the freed slots: head first, continuations after.
+        self.buckets[freed[0]].push(Entry::BloomHead { fp, sketch });
+        for &bkt in freed.iter().skip(1) {
+            self.buckets[bkt].push(Entry::Continuation { fp });
+        }
+        // Occupancy is unchanged: the group holds exactly the slots it freed.
+        self.conversions += 1;
+    }
+
+    /// Query for a key under a predicate: vector entries are matched per column against
+    /// the predicate's candidate fingerprints; converted groups are matched through
+    /// their Bloom sketch (which stores fingerprints, §6.1).
+    pub fn query(&self, key: u64, pred: &Predicate) -> bool {
+        let (fp, l, l_alt) = self.pair_of(key);
+        let pair: &[usize] = if l == l_alt { &[l] } else { &[l, l_alt] };
+        pair.iter().any(|&bkt| {
+            self.buckets[bkt].iter().any(|e| match e {
+                Entry::Vector { fp: efp, attrs } => {
+                    *efp == fp && match_fingerprint_vector(pred, attrs, &self.attr_fp)
+                }
+                Entry::BloomHead { fp: efp, sketch } => {
+                    *efp == fp && match_fingerprint_bloom(pred, sketch, &self.attr_fp)
+                }
+                Entry::Continuation { .. } => false,
+            })
+        })
+    }
+
+    /// Key-only membership query.
+    pub fn contains_key(&self, key: u64) -> bool {
+        let (fp, l, l_alt) = self.pair_of(key);
+        self.buckets[l].iter().any(|e| e.fp() == fp)
+            || self.buckets[l_alt].iter().any(|e| e.fp() == fp)
+    }
+
+    /// Predicate-only query: erase entries that cannot match and return the surviving
+    /// key fingerprints as a standard cuckoo filter (the mixed variant has no chains,
+    /// so erasing — rather than marking — is sound, as for the Bloom variant).
+    pub fn predicate_filter(&self, pred: &Predicate) -> CuckooFilter {
+        let mut out = CuckooFilter::with_geometry(
+            self.buckets.len(),
+            self.params.entries_per_bucket,
+            self.params.fingerprint_bits,
+            self.params.seed,
+        );
+        for (bucket_idx, bucket) in self.buckets.iter().enumerate() {
+            for e in bucket {
+                let keep = match e {
+                    Entry::Vector { attrs, .. } => {
+                        match_fingerprint_vector(pred, attrs, &self.attr_fp)
+                    }
+                    Entry::BloomHead { sketch, .. } => {
+                        match_fingerprint_bloom(pred, sketch, &self.attr_fp)
+                    }
+                    Entry::Continuation { .. } => false,
+                };
+                if keep {
+                    out.insert_fingerprint(e.fp(), bucket_idx)
+                        .expect("derived filter has identical geometry, insertion cannot fail");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(seed: u64) -> CcfParams {
+        CcfParams {
+            num_buckets: 1 << 10,
+            entries_per_bucket: 6,
+            fingerprint_bits: 12,
+            attr_bits: 8,
+            num_attrs: 2,
+            max_dupes: 3,
+            seed,
+            ..CcfParams::default()
+        }
+    }
+
+    #[test]
+    fn no_false_negatives_before_and_after_conversion() {
+        let mut f = MixedCcf::new(params(1));
+        // 100 keys × 12 distinct rows: every key converts (12 > d = 3).
+        for key in 0..100u64 {
+            for i in 0..12u64 {
+                f.insert_row(key, &[500 + i, 700 + (i % 4)]).unwrap();
+            }
+        }
+        assert!(f.conversions() >= 100);
+        for key in 0..100u64 {
+            for i in 0..12u64 {
+                let pred = Predicate::any(2).and_eq(0, 500 + i).and_eq(1, 700 + (i % 4));
+                assert!(f.query(key, &pred), "false negative for key {key} row {i}");
+            }
+            assert!(f.contains_key(key));
+        }
+    }
+
+    #[test]
+    fn conversion_caps_entries_per_key_at_d() {
+        // Table 1: the mixed variant uses at most d entries per key.
+        let mut f = MixedCcf::new(params(2));
+        for i in 0..50u64 {
+            f.insert_row(99, &[1000 + i, 2000 + i]).unwrap();
+        }
+        assert!(f.occupied_entries() <= f.params().max_dupes);
+        assert_eq!(f.conversions(), 1);
+    }
+
+    #[test]
+    fn low_duplication_keys_never_convert() {
+        let mut f = MixedCcf::new(params(3));
+        for key in 0..500u64 {
+            for i in 0..2u64 {
+                f.insert_row(key, &[i + 20, key % 5]).unwrap();
+            }
+        }
+        assert_eq!(f.conversions(), 0);
+        assert_eq!(f.occupied_entries(), 1000);
+    }
+
+    #[test]
+    fn outcome_sequence_for_one_hot_key() {
+        let mut f = MixedCcf::new(params(4));
+        let key = 5u64;
+        assert_eq!(f.insert_row(key, &[101, 1]).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(f.insert_row(key, &[102, 1]).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(f.insert_row(key, &[103, 1]).unwrap(), InsertOutcome::Inserted);
+        // Fourth distinct row triggers the conversion of the three vectors.
+        assert_eq!(f.insert_row(key, &[104, 1]).unwrap(), InsertOutcome::Converted);
+        // Later rows merge into the converted group.
+        assert_eq!(f.insert_row(key, &[105, 1]).unwrap(), InsertOutcome::Merged);
+        // Exact duplicate before conversion would have been deduplicated; after
+        // conversion it simply merges (the Bloom filter cannot distinguish).
+        assert_eq!(f.insert_row(key, &[105, 1]).unwrap(), InsertOutcome::Merged);
+    }
+
+    #[test]
+    fn wrong_attribute_values_are_mostly_rejected_after_conversion() {
+        let mut f = MixedCcf::new(params(5));
+        for key in 0..200u64 {
+            for i in 0..8u64 {
+                f.insert_row(key, &[i, 3]).unwrap();
+            }
+        }
+        // Column 1 only ever holds value 3; query value 9 (both stored exactly thanks
+        // to small values). False positives now come only from the converted Bloom.
+        let fp = (0..200u64)
+            .filter(|&k| f.query(k, &Predicate::any(2).and_eq(1, 9)))
+            .count();
+        let rate = fp as f64 / 200.0;
+        assert!(rate < 0.6, "conversion Bloom FPR {rate} looks broken");
+        // And a value that IS present matches for every key.
+        for key in 0..200u64 {
+            assert!(f.query(key, &Predicate::any(2).and_eq(1, 3)));
+        }
+    }
+
+    #[test]
+    fn predicate_filter_has_no_false_negatives() {
+        let mut f = MixedCcf::new(params(6));
+        for key in 0..1000u64 {
+            let group = key % 3;
+            for i in 0..(1 + (key % 6)) {
+                f.insert_row(key, &[group, 50 + i]).unwrap();
+            }
+        }
+        let derived = f.predicate_filter(&Predicate::any(2).and_eq(0, 1));
+        for key in 0..1000u64 {
+            if key % 3 == 1 {
+                assert!(derived.contains(key), "predicate filter lost key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn size_accounting_uses_mixed_entry_bits() {
+        let f = MixedCcf::new(params(7));
+        assert_eq!(f.size_bits(), 1024 * 6 * (12 + 16 + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit in one bucket")]
+    fn d_larger_than_bucket_rejected() {
+        let _ = MixedCcf::new(CcfParams {
+            max_dupes: 5,
+            entries_per_bucket: 4,
+            ..params(8)
+        });
+    }
+
+    #[test]
+    fn skewed_workload_reaches_reasonable_load_factor() {
+        let mut f = MixedCcf::new(CcfParams {
+            num_buckets: 1 << 8,
+            ..params(9)
+        });
+        let capacity = f.capacity();
+        let mut inserted = 0usize;
+        'outer: for key in 0u64.. {
+            // Every 10th key is hot with 20 rows, others have 1.
+            let rows = if key % 10 == 0 { 20 } else { 1 };
+            for i in 0..rows {
+                match f.insert_row(key, &[i + 60, (i * 3) % 50 + 60]) {
+                    Ok(_) => inserted += 1,
+                    Err(_) => break 'outer,
+                }
+            }
+            if inserted > 3 * capacity {
+                break;
+            }
+        }
+        assert!(
+            f.load_factor() > 0.6,
+            "mixed CCF load factor at first failure only {}",
+            f.load_factor()
+        );
+    }
+}

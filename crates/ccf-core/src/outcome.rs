@@ -1,0 +1,79 @@
+//! Insertion outcomes and failures shared by all CCF variants.
+
+/// What happened when a row was (successfully) absorbed by a CCF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// A new entry was created for the row.
+    Inserted,
+    /// The exact (key fingerprint, attribute sketch) pair was already present — nothing
+    /// was stored. The multiset experiments (§10.1) count only *unique* (key,
+    /// attribute) pairs, so callers can distinguish this case.
+    Deduplicated,
+    /// The row was merged into an existing entry's Bloom attribute sketch (Bloom and
+    /// mixed variants).
+    Merged,
+    /// The row triggered a Bloom conversion (§6.1): the bucket pair's `d` fingerprint
+    /// vectors plus this row were repacked into a Bloom attribute sketch.
+    Converted,
+    /// The chained variant exhausted its maximum chain length `Lmax` and discarded the
+    /// row (§6.2). This is *not* an error: Theorem 3's no-false-negative guarantee
+    /// still holds, because queries that walk a saturated chain to its end return true.
+    DroppedChainCap,
+}
+
+impl InsertOutcome {
+    /// Whether the row consumed a new entry slot.
+    pub fn consumed_entry(&self) -> bool {
+        matches!(self, InsertOutcome::Inserted)
+    }
+}
+
+/// Why an insertion failed. A failed insertion leaves the filter unchanged (the kick
+/// chain is rolled back), so earlier insertions keep their no-false-negative guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertFailure {
+    /// The kick loop ran for the maximum number of rounds without freeing a slot. This
+    /// is the "failed insertion" event measured in Figure 4; a production deployment
+    /// would resize the filter and re-insert.
+    KicksExhausted {
+        /// Load factor at the time of failure.
+        load_factor_millis: u32,
+    },
+}
+
+impl std::fmt::Display for InsertFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertFailure::KicksExhausted { load_factor_millis } => write!(
+                f,
+                "insertion failed after exhausting cuckoo kicks at load factor {:.3}",
+                *load_factor_millis as f64 / 1000.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InsertFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consumed_entry_only_for_inserted() {
+        assert!(InsertOutcome::Inserted.consumed_entry());
+        assert!(!InsertOutcome::Deduplicated.consumed_entry());
+        assert!(!InsertOutcome::Merged.consumed_entry());
+        assert!(!InsertOutcome::Converted.consumed_entry());
+        assert!(!InsertOutcome::DroppedChainCap.consumed_entry());
+    }
+
+    #[test]
+    fn failures_format_readably() {
+        let msg = InsertFailure::KicksExhausted {
+            load_factor_millis: 873,
+        }
+        .to_string();
+        assert!(msg.contains("0.873"));
+    }
+}

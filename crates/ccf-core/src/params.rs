@@ -1,0 +1,255 @@
+//! Parameters for Conditional Cuckooo Filters (§8).
+//!
+//! A CCF has more parameters than a regular cuckoo filter: besides the number of
+//! buckets `m` and entries per bucket `b`, it needs the maximum number of duplicates
+//! per bucket pair `d`, the maximum chain length `Lmax`, the attribute-sketch
+//! configuration (fingerprint width |α| or Bloom bits), and the key fingerprint width
+//! |κ|. §8 derives the sizing rules this module implements as convenience constructors:
+//! `b ≈ 2d`, capacity `m·b ≈ E[Z′]/β`, and d = 3 as the recommended default.
+
+/// How attribute values are sketched inside each entry (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrSketchKind {
+    /// A vector of per-column attribute fingerprints of `attr_bits` bits each (§5.1).
+    FingerprintVector,
+    /// A small Bloom filter over (column, value) pairs of `bloom_bits` bits (§5.2).
+    Bloom,
+}
+
+/// Parameters shared by every CCF variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcfParams {
+    /// Number of buckets `m` (rounded up to a power of two on construction).
+    pub num_buckets: usize,
+    /// Entries per bucket `b`. §8's rule of thumb is `b ≈ 2d`.
+    pub entries_per_bucket: usize,
+    /// Key fingerprint width |κ| in bits (the paper evaluates 7, 8 and 12).
+    pub fingerprint_bits: u32,
+    /// Attribute fingerprint width |α| in bits (the paper evaluates 4 and 8).
+    pub attr_bits: u32,
+    /// Number of attribute columns #α stored per row.
+    pub num_attrs: usize,
+    /// Maximum number `d` of duplicated key fingerprints per bucket pair (§6).
+    pub max_dupes: usize,
+    /// Maximum chain length `Lmax` (§6.2). `None` means uncapped, as in the multiset
+    /// experiments of §10.1.
+    pub max_chain: Option<usize>,
+    /// Bits of the per-entry Bloom attribute sketch (§5.2); only used by the Bloom
+    /// variant. The paper evaluates 4–24 bits.
+    pub bloom_bits: usize,
+    /// Number of hash functions for Bloom attribute sketches. The paper fixes this at
+    /// 2 after finding "optimized" counts uniformly worse (§10.4).
+    pub bloom_hashes: usize,
+    /// Enable the small-value optimisation of §9 (store attribute values `< 2^|α|`
+    /// exactly instead of hashing them).
+    pub small_value_opt: bool,
+    /// Seed for the hash family; §10.1 averages runs over random salts.
+    pub seed: u64,
+}
+
+impl Default for CcfParams {
+    fn default() -> Self {
+        Self {
+            num_buckets: 1 << 16,
+            entries_per_bucket: 6,
+            fingerprint_bits: 12,
+            attr_bits: 8,
+            num_attrs: 1,
+            max_dupes: 3,
+            max_chain: None,
+            bloom_bits: 16,
+            bloom_hashes: 2,
+            small_value_opt: true,
+            seed: 0,
+        }
+    }
+}
+
+impl CcfParams {
+    /// The paper's "large" JOB-light configuration: 12-bit key fingerprints and 8-bit
+    /// attribute fingerprints (§10.5).
+    pub fn large(num_attrs: usize) -> Self {
+        Self {
+            fingerprint_bits: 12,
+            attr_bits: 8,
+            bloom_bits: 24,
+            bloom_hashes: 4,
+            num_attrs,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's "small" JOB-light configuration: 7-bit key fingerprints and 4-bit
+    /// attribute fingerprints, with 2 Bloom hash functions (§10.5).
+    pub fn small(num_attrs: usize) -> Self {
+        Self {
+            fingerprint_bits: 7,
+            attr_bits: 4,
+            bloom_bits: 8,
+            bloom_hashes: 2,
+            num_attrs,
+            ..Self::default()
+        }
+    }
+
+    /// Size the filter for an expected number of occupied entries at a target load
+    /// factor, following §8: choose `m` so that `m · b ≈ E[Z′] / β`.
+    pub fn sized_for_entries(mut self, expected_entries: usize, target_load_factor: f64) -> Self {
+        assert!(
+            target_load_factor > 0.0 && target_load_factor <= 1.0,
+            "target load factor must be in (0, 1]"
+        );
+        let slots = (expected_entries as f64 / target_load_factor).ceil() as usize;
+        self.num_buckets = slots
+            .div_ceil(self.entries_per_bucket)
+            .next_power_of_two()
+            .max(1);
+        self
+    }
+
+    /// Apply the `b ≈ 2d` rule of thumb from §8 for the configured `max_dupes`.
+    pub fn with_rule_of_thumb_bucket_size(mut self) -> Self {
+        self.entries_per_bucket = (2 * self.max_dupes).max(2);
+        self
+    }
+
+    /// Size of one entry in bits for a fingerprint-vector sketch: |κ| + #α·|α|.
+    pub fn vector_entry_bits(&self) -> usize {
+        self.fingerprint_bits as usize + self.num_attrs * self.attr_bits as usize
+    }
+
+    /// Size of one entry in bits for a Bloom attribute sketch: |κ| + bloom bits.
+    pub fn bloom_entry_bits(&self) -> usize {
+        self.fingerprint_bits as usize + self.bloom_bits
+    }
+
+    /// Size of one entry in bits for the mixed (conversion) variant: |κ| + #α·|α| + 1,
+    /// the extra bit tracking whether the entry holds a Bloom filter (§6.1).
+    pub fn mixed_entry_bits(&self) -> usize {
+        self.vector_entry_bits() + 1
+    }
+
+    /// Bit budget available to a converted Bloom filter (§6.1):
+    /// `d·s − 2(|κ| + ceil(log2 d))` where `s` is the single-entry size.
+    pub fn conversion_bloom_bits(&self) -> usize {
+        let s = self.mixed_entry_bits();
+        let d = self.max_dupes;
+        let header = 2 * (self.fingerprint_bits as usize + usize::BITS as usize - (d.max(2) - 1).leading_zeros() as usize);
+        (d * s).saturating_sub(header).max(4)
+    }
+
+    /// Validate parameter combinations, panicking with a descriptive message on
+    /// impossible configurations.
+    pub fn validate(&self) {
+        assert!(self.num_buckets > 0, "num_buckets must be positive");
+        assert!(self.entries_per_bucket > 0, "entries_per_bucket must be positive");
+        assert!(
+            (1..=16).contains(&self.fingerprint_bits),
+            "fingerprint_bits must be 1..=16"
+        );
+        assert!((1..=16).contains(&self.attr_bits), "attr_bits must be 1..=16");
+        assert!(self.max_dupes >= 1, "max_dupes must be at least 1");
+        assert!(
+            self.max_dupes <= 2 * self.entries_per_bucket,
+            "max_dupes {} cannot exceed the 2b = {} entries of a bucket pair",
+            self.max_dupes,
+            2 * self.entries_per_bucket
+        );
+        assert!(self.bloom_hashes >= 1, "bloom_hashes must be at least 1");
+        if self.max_chain == Some(0) {
+            panic!("max_chain of 0 would make every insertion fail; use Some(1) or None");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_paper_recommendations() {
+        let p = CcfParams::default();
+        assert_eq!(p.max_dupes, 3);
+        assert_eq!(p.entries_per_bucket, 6); // b = 2d
+        assert_eq!(p.bloom_hashes, 2);
+        p.validate();
+    }
+
+    #[test]
+    fn large_and_small_presets_match_section_10_5() {
+        let large = CcfParams::large(2);
+        assert_eq!(large.fingerprint_bits, 12);
+        assert_eq!(large.attr_bits, 8);
+        let small = CcfParams::small(2);
+        assert_eq!(small.fingerprint_bits, 7);
+        assert_eq!(small.attr_bits, 4);
+        assert_eq!(small.bloom_hashes, 2);
+        large.validate();
+        small.validate();
+    }
+
+    #[test]
+    fn sized_for_entries_gives_enough_slots() {
+        let p = CcfParams::default().sized_for_entries(100_000, 0.85);
+        assert!(p.num_buckets * p.entries_per_bucket >= (100_000f64 / 0.85) as usize);
+        assert!(p.num_buckets.is_power_of_two());
+    }
+
+    #[test]
+    fn rule_of_thumb_sets_b_to_2d() {
+        let p = CcfParams {
+            max_dupes: 5,
+            ..CcfParams::default()
+        }
+        .with_rule_of_thumb_bucket_size();
+        assert_eq!(p.entries_per_bucket, 10);
+    }
+
+    #[test]
+    fn entry_bit_formulas() {
+        let p = CcfParams {
+            fingerprint_bits: 12,
+            attr_bits: 8,
+            num_attrs: 2,
+            bloom_bits: 20,
+            ..CcfParams::default()
+        };
+        assert_eq!(p.vector_entry_bits(), 12 + 16);
+        assert_eq!(p.bloom_entry_bits(), 12 + 20);
+        assert_eq!(p.mixed_entry_bits(), 12 + 16 + 1);
+    }
+
+    #[test]
+    fn conversion_bloom_budget_matches_algorithm_3() {
+        // d = 3, |κ| = 12, #α = 2, |α| = 8 → s = 29, budget = 3·29 − 2·(12 + 2) = 59.
+        let p = CcfParams {
+            fingerprint_bits: 12,
+            attr_bits: 8,
+            num_attrs: 2,
+            max_dupes: 3,
+            ..CcfParams::default()
+        };
+        assert_eq!(p.conversion_bloom_bits(), 3 * 29 - 2 * (12 + 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_dupes")]
+    fn validate_rejects_d_larger_than_pair() {
+        CcfParams {
+            max_dupes: 9,
+            entries_per_bucket: 4,
+            ..CcfParams::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fingerprint_bits")]
+    fn validate_rejects_wide_fingerprints() {
+        CcfParams {
+            fingerprint_bits: 32,
+            ..CcfParams::default()
+        }
+        .validate();
+    }
+}

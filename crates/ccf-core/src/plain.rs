@@ -1,0 +1,322 @@
+//! The *Plain* CCF: a multiset cuckoo filter whose entries carry attribute fingerprint
+//! vectors, with no duplicate handling beyond what the bucket pair can hold.
+//!
+//! This is the "Plain (regular cuckoo filter allowing duplicate keys)" baseline of
+//! §10.4. Each distinct (key, attribute vector) row occupies its own entry, and because
+//! a key can only reach its two buckets, at most `2b` rows per key fit. §10.5 reports
+//! that Plain filters "did not result in reasonably sized filters" on JOB-light — the
+//! `movie_keyword` table would need a bucket size of 270 — and Figure 4 shows the load
+//! factor at first failure collapsing as duplication grows. The variant exists so those
+//! comparisons can be reproduced.
+
+use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily, SaltedHasher};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::attr::match_fingerprint_vector;
+use crate::outcome::{InsertFailure, InsertOutcome};
+use crate::params::CcfParams;
+use crate::predicate::Predicate;
+
+/// Maximum kick rounds before an insertion is reported as failed.
+const MAX_KICKS: usize = 500;
+
+/// One stored row: a key fingerprint plus the row's attribute fingerprint vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    fp: u16,
+    attrs: Vec<u16>,
+}
+
+/// A plain (non-chaining, non-converting) conditional cuckoo filter.
+#[derive(Debug, Clone)]
+pub struct PlainCcf {
+    buckets: Vec<Vec<Entry>>,
+    bucket_mask: usize,
+    params: CcfParams,
+    fingerprinter: Fingerprinter,
+    attr_fp: AttrFingerprinter,
+    partial_hasher: SaltedHasher,
+    rng: StdRng,
+    occupied: usize,
+    rows_absorbed: usize,
+}
+
+impl PlainCcf {
+    /// Create an empty filter. `params.num_buckets` is rounded up to a power of two.
+    pub fn new(mut params: CcfParams) -> Self {
+        params.num_buckets = params.num_buckets.next_power_of_two().max(1);
+        params.validate();
+        let family = HashFamily::new(params.seed);
+        Self {
+            buckets: vec![Vec::new(); params.num_buckets],
+            bucket_mask: params.num_buckets - 1,
+            fingerprinter: Fingerprinter::new(&family, params.fingerprint_bits),
+            attr_fp: AttrFingerprinter::new(&family, params.attr_bits, params.small_value_opt),
+            partial_hasher: family.hasher(ccf_hash::salted::purpose::PARTIAL_KEY),
+            rng: StdRng::seed_from_u64(params.seed ^ 0x9A1C),
+            occupied: 0,
+            rows_absorbed: 0,
+            params,
+        }
+    }
+
+    /// The filter's parameters (with `num_buckets` normalized).
+    pub fn params(&self) -> &CcfParams {
+        &self.params
+    }
+
+    /// Number of occupied entries.
+    pub fn occupied_entries(&self) -> usize {
+        self.occupied
+    }
+
+    /// Number of rows absorbed (including deduplicated ones).
+    pub fn rows_absorbed(&self) -> usize {
+        self.rows_absorbed
+    }
+
+    /// Total entry slots `m · b`.
+    pub fn capacity(&self) -> usize {
+        self.buckets.len() * self.params.entries_per_bucket
+    }
+
+    /// Load factor β.
+    pub fn load_factor(&self) -> f64 {
+        self.occupied as f64 / self.capacity() as f64
+    }
+
+    /// Serialized size in bits: every slot carries |κ| + #α·|α| bits.
+    pub fn size_bits(&self) -> usize {
+        self.capacity() * self.params.vector_entry_bits()
+    }
+
+    #[inline]
+    fn alt_bucket(&self, bucket: usize, fp: u16) -> usize {
+        (bucket ^ self.partial_hasher.hash_u64(u64::from(fp)) as usize) & self.bucket_mask
+    }
+
+    fn pair_of(&self, key: u64) -> (u16, usize, usize) {
+        let (fp, l) = self
+            .fingerprinter
+            .fingerprint_and_bucket(key, self.buckets.len());
+        let alt = self.alt_bucket(l, fp);
+        (fp, l, alt)
+    }
+
+    /// Insert a row. Exact duplicates of an already-stored (key, attributes) pair are
+    /// deduplicated. Fails (leaving the filter unchanged) once the kick limit is hit.
+    pub fn insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
+        assert_eq!(
+            attrs.len(),
+            self.params.num_attrs,
+            "row has {} attributes, filter expects {}",
+            attrs.len(),
+            self.params.num_attrs
+        );
+        let (fp, l, alt) = self.pair_of(key);
+        let entry = Entry {
+            fp,
+            attrs: self.attr_fp.fingerprint_vector(attrs),
+        };
+        self.rows_absorbed += 1;
+
+        // Dedupe exact (κ, α) duplicates.
+        if self.buckets[l].contains(&entry) || self.buckets[alt].contains(&entry) {
+            return Ok(InsertOutcome::Deduplicated);
+        }
+
+        // Free slot in either bucket (primary preferred).
+        let b = self.params.entries_per_bucket;
+        if self.buckets[l].len() < b {
+            self.buckets[l].push(entry);
+            self.occupied += 1;
+            return Ok(InsertOutcome::Inserted);
+        }
+        if self.buckets[alt].len() < b {
+            self.buckets[alt].push(entry);
+            self.occupied += 1;
+            return Ok(InsertOutcome::Inserted);
+        }
+
+        // Kick loop, recording swaps so a failure can be rolled back.
+        let mut carried = entry;
+        let mut bucket = if self.rng.gen_bool(0.5) { l } else { alt };
+        let mut swaps: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..MAX_KICKS {
+            let slot = self.rng.gen_range(0..b);
+            std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
+            swaps.push((bucket, slot));
+            bucket = self.alt_bucket(bucket, carried.fp);
+            if self.buckets[bucket].len() < b {
+                self.buckets[bucket].push(carried);
+                self.occupied += 1;
+                return Ok(InsertOutcome::Inserted);
+            }
+        }
+        // Roll back so previously inserted rows keep their no-false-negative guarantee.
+        for (bucket, slot) in swaps.into_iter().rev() {
+            std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
+        }
+        self.rows_absorbed -= 1;
+        Err(InsertFailure::KicksExhausted {
+            load_factor_millis: (self.load_factor() * 1000.0) as u32,
+        })
+    }
+
+    /// Query for a key under a predicate: true if some entry in the key's bucket pair
+    /// has the key's fingerprint and an attribute vector matching the predicate.
+    pub fn query(&self, key: u64, pred: &Predicate) -> bool {
+        let (fp, l, alt) = self.pair_of(key);
+        let candidates: &[usize] = if l == alt { &[l] } else { &[l, alt] };
+        candidates.iter().any(|&bkt| {
+            self.buckets[bkt]
+                .iter()
+                .any(|e| e.fp == fp && match_fingerprint_vector(pred, &e.attrs, &self.attr_fp))
+        })
+    }
+
+    /// Key-only membership query.
+    pub fn contains_key(&self, key: u64) -> bool {
+        let (fp, l, alt) = self.pair_of(key);
+        self.buckets[l].iter().any(|e| e.fp == fp) || self.buckets[alt].iter().any(|e| e.fp == fp)
+    }
+
+    /// The attribute fingerprinter (shared so baselines can compute identical
+    /// fingerprints when analysing false positives).
+    pub fn attr_fingerprinter(&self) -> &AttrFingerprinter {
+        &self.attr_fp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(seed: u64) -> CcfParams {
+        CcfParams {
+            num_buckets: 1 << 10,
+            entries_per_bucket: 4,
+            fingerprint_bits: 12,
+            attr_bits: 8,
+            num_attrs: 2,
+            seed,
+            ..CcfParams::default()
+        }
+    }
+
+    #[test]
+    fn no_false_negatives_on_unique_keys() {
+        let mut f = PlainCcf::new(params(1));
+        for k in 0..3000u64 {
+            f.insert_row(k, &[k % 7, k % 11]).unwrap();
+        }
+        for k in 0..3000u64 {
+            assert!(f.query(k, &Predicate::any(2).and_eq(0, k % 7).and_eq(1, k % 11)));
+            assert!(f.contains_key(k));
+        }
+    }
+
+    #[test]
+    fn non_matching_predicates_are_mostly_rejected() {
+        let mut f = PlainCcf::new(params(2));
+        for k in 0..2000u64 {
+            f.insert_row(k, &[3, 100]).unwrap();
+        }
+        // Query each present key with a wrong attribute value; small-value optimisation
+        // stores 3 exactly, so column 0 mismatches can never collide.
+        let fp = (0..2000u64)
+            .filter(|&k| f.query(k, &Predicate::any(2).and_eq(0, 4)))
+            .count();
+        assert_eq!(fp, 0);
+    }
+
+    #[test]
+    fn absent_keys_have_low_fpr() {
+        let mut f = PlainCcf::new(params(3));
+        for k in 0..3000u64 {
+            f.insert_row(k, &[1, 2]).unwrap();
+        }
+        let fp = (10_000..60_000u64).filter(|&k| f.contains_key(k)).count();
+        let rate = fp as f64 / 50_000.0;
+        // E[D]·2^-12 with ~6 occupied entries/pair ≈ 0.15 %.
+        assert!(rate < 0.01, "key-only FPR too high: {rate}");
+    }
+
+    #[test]
+    fn duplicate_rows_are_deduplicated() {
+        let mut f = PlainCcf::new(params(4));
+        assert_eq!(f.insert_row(5, &[1, 1]).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(f.insert_row(5, &[1, 1]).unwrap(), InsertOutcome::Deduplicated);
+        assert_eq!(f.occupied_entries(), 1);
+        assert_eq!(f.rows_absorbed(), 2);
+    }
+
+    #[test]
+    fn duplicate_keys_with_distinct_attrs_fill_the_pair_then_fail() {
+        let mut f = PlainCcf::new(params(5));
+        let b = f.params().entries_per_bucket;
+        let mut failures = 0;
+        for i in 0..(2 * b as u64 + 4) {
+            // Distinct attribute values > 2^8 so each gets its own entry.
+            if f.insert_row(77, &[1000 + i, 2000 + i]).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures >= 4, "expected the pair to overflow, got {failures} failures");
+        assert!(f.occupied_entries() <= 2 * b);
+    }
+
+    #[test]
+    fn failed_insert_leaves_filter_unchanged() {
+        let mut f = PlainCcf::new(CcfParams {
+            num_buckets: 4,
+            entries_per_bucket: 2,
+            ..params(6)
+        });
+        // Fill to capacity with unique keys, tolerating failures.
+        let mut stored = Vec::new();
+        for k in 0..64u64 {
+            if f.insert_row(k, &[k % 5, k % 3]).is_ok() {
+                stored.push(k);
+            }
+        }
+        let occupied = f.occupied_entries();
+        // Now force failures and verify nothing previously stored is lost.
+        let mut failed_any = false;
+        for k in 1000..1100u64 {
+            if f.insert_row(k, &[0, 0]).is_err() {
+                failed_any = true;
+            }
+        }
+        assert!(failed_any, "expected at least one failure on a tiny filter");
+        for &k in &stored {
+            assert!(
+                f.query(k, &Predicate::any(2).and_eq(0, k % 5).and_eq(1, k % 3)),
+                "lost row for key {k} after failed insertions"
+            );
+        }
+        assert!(f.occupied_entries() >= occupied);
+    }
+
+    #[test]
+    fn size_bits_counts_every_slot() {
+        let f = PlainCcf::new(params(7));
+        assert_eq!(f.size_bits(), 1024 * 4 * (12 + 2 * 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "attributes")]
+    fn wrong_attribute_arity_panics() {
+        let mut f = PlainCcf::new(params(8));
+        let _ = f.insert_row(1, &[1]);
+    }
+
+    #[test]
+    fn in_list_queries_match_any_candidate() {
+        let mut f = PlainCcf::new(params(9));
+        f.insert_row(10, &[6, 0]).unwrap();
+        assert!(f.query(10, &Predicate::in_list(2, 0, vec![5, 6, 7])));
+        assert!(!f.query(10, &Predicate::in_list(2, 0, vec![1, 2])));
+    }
+}

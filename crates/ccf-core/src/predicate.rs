@@ -1,0 +1,206 @@
+//! Predicates over attribute columns.
+//!
+//! The paper restricts itself to equality predicates (§1) plus range predicates handled
+//! by binning or dyadic expansion (§9.1). A [`Predicate`] is a conjunction of
+//! per-column conditions; columns not mentioned are unconstrained.
+//!
+//! Predicates are evaluated in two ways:
+//!
+//! * against *raw rows* ([`Predicate::matches_row`]) — used by the exact-semijoin
+//!   baseline and to label false positives in the experiments;
+//! * against *attribute sketches* — done inside each CCF variant, which consults
+//!   [`Predicate::conditions`] column by column.
+
+pub mod binning;
+pub mod dyadic;
+
+/// A condition on a single attribute column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnPredicate {
+    /// No constraint on this column.
+    Any,
+    /// Column must equal the value.
+    Eq(u64),
+    /// Column must equal one of the listed values (how binned range predicates are
+    /// expressed, §9.1: "A range predicate can then be converted into a small
+    /// in-list").
+    InList(Vec<u64>),
+}
+
+impl ColumnPredicate {
+    /// Whether a raw attribute value satisfies the condition.
+    pub fn matches_value(&self, value: u64) -> bool {
+        match self {
+            ColumnPredicate::Any => true,
+            ColumnPredicate::Eq(v) => *v == value,
+            ColumnPredicate::InList(vs) => vs.contains(&value),
+        }
+    }
+
+    /// Whether the condition constrains the column at all.
+    pub fn is_constrained(&self) -> bool {
+        !matches!(self, ColumnPredicate::Any)
+    }
+
+    /// The candidate values the condition accepts (`None` for unconstrained).
+    pub fn candidate_values(&self) -> Option<&[u64]> {
+        match self {
+            ColumnPredicate::Any => None,
+            ColumnPredicate::Eq(v) => Some(std::slice::from_ref(v)),
+            ColumnPredicate::InList(vs) => Some(vs.as_slice()),
+        }
+    }
+}
+
+/// A conjunction of per-column conditions, aligned with the filter's attribute columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predicate {
+    conditions: Vec<ColumnPredicate>,
+}
+
+impl Predicate {
+    /// A predicate with no constraints on `num_attrs` columns (a key-only query).
+    pub fn any(num_attrs: usize) -> Self {
+        Self {
+            conditions: vec![ColumnPredicate::Any; num_attrs],
+        }
+    }
+
+    /// Build a predicate from explicit per-column conditions.
+    pub fn new(conditions: Vec<ColumnPredicate>) -> Self {
+        Self { conditions }
+    }
+
+    /// A single-column equality predicate `A_col = value` over `num_attrs` columns.
+    pub fn eq(num_attrs: usize, col: usize, value: u64) -> Self {
+        assert!(col < num_attrs, "column {col} out of range for {num_attrs} attributes");
+        let mut conditions = vec![ColumnPredicate::Any; num_attrs];
+        conditions[col] = ColumnPredicate::Eq(value);
+        Self { conditions }
+    }
+
+    /// A single-column in-list predicate over `num_attrs` columns.
+    pub fn in_list(num_attrs: usize, col: usize, values: Vec<u64>) -> Self {
+        assert!(col < num_attrs, "column {col} out of range for {num_attrs} attributes");
+        let mut conditions = vec![ColumnPredicate::Any; num_attrs];
+        conditions[col] = ColumnPredicate::InList(values);
+        Self { conditions }
+    }
+
+    /// Add / replace the condition on one column, returning the modified predicate.
+    pub fn and_eq(mut self, col: usize, value: u64) -> Self {
+        assert!(col < self.conditions.len());
+        self.conditions[col] = ColumnPredicate::Eq(value);
+        self
+    }
+
+    /// Number of columns the predicate spans (constrained or not).
+    pub fn num_attrs(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// Number of columns that carry a real constraint.
+    pub fn num_constrained(&self) -> usize {
+        self.conditions.iter().filter(|c| c.is_constrained()).count()
+    }
+
+    /// Whether the predicate constrains nothing (equivalent to a key-only query).
+    pub fn is_unconstrained(&self) -> bool {
+        self.num_constrained() == 0
+    }
+
+    /// Per-column conditions, aligned with attribute columns.
+    pub fn conditions(&self) -> &[ColumnPredicate] {
+        &self.conditions
+    }
+
+    /// Whether a raw attribute row satisfies every condition.
+    ///
+    /// # Panics
+    /// Panics if the row has fewer columns than the predicate.
+    pub fn matches_row(&self, row: &[u64]) -> bool {
+        assert!(
+            row.len() >= self.conditions.len(),
+            "row has {} columns but predicate spans {}",
+            row.len(),
+            self.conditions.len()
+        );
+        self.conditions
+            .iter()
+            .zip(row)
+            .all(|(c, &v)| c.matches_value(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_predicate_matches_everything() {
+        let p = Predicate::any(3);
+        assert!(p.is_unconstrained());
+        assert!(p.matches_row(&[1, 2, 3]));
+        assert!(p.matches_row(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn eq_predicate_matches_only_equal_values() {
+        let p = Predicate::eq(2, 1, 7);
+        assert!(p.matches_row(&[100, 7]));
+        assert!(!p.matches_row(&[100, 8]));
+        assert_eq!(p.num_constrained(), 1);
+    }
+
+    #[test]
+    fn in_list_predicate() {
+        let p = Predicate::in_list(1, 0, vec![2, 4, 6]);
+        assert!(p.matches_row(&[4]));
+        assert!(!p.matches_row(&[5]));
+    }
+
+    #[test]
+    fn conjunction_requires_all_columns() {
+        let p = Predicate::new(vec![ColumnPredicate::Eq(1), ColumnPredicate::Eq(2)]);
+        assert!(p.matches_row(&[1, 2]));
+        assert!(!p.matches_row(&[1, 3]));
+        assert!(!p.matches_row(&[0, 2]));
+        assert_eq!(p.num_constrained(), 2);
+    }
+
+    #[test]
+    fn and_eq_builds_conjunctions() {
+        let p = Predicate::any(3).and_eq(0, 5).and_eq(2, 9);
+        assert!(p.matches_row(&[5, 123, 9]));
+        assert!(!p.matches_row(&[5, 123, 8]));
+    }
+
+    #[test]
+    fn candidate_values_exposes_the_right_sets() {
+        assert_eq!(ColumnPredicate::Any.candidate_values(), None);
+        assert_eq!(ColumnPredicate::Eq(3).candidate_values(), Some(&[3u64][..]));
+        assert_eq!(
+            ColumnPredicate::InList(vec![1, 2]).candidate_values(),
+            Some(&[1u64, 2][..])
+        );
+    }
+
+    #[test]
+    fn rows_may_have_extra_columns() {
+        let p = Predicate::eq(1, 0, 9);
+        assert!(p.matches_row(&[9, 1, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn eq_rejects_out_of_range_column() {
+        let _ = Predicate::eq(2, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns but predicate spans")]
+    fn short_rows_panic() {
+        let p = Predicate::any(3);
+        p.matches_row(&[1, 2]);
+    }
+}

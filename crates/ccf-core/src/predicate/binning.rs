@@ -1,0 +1,202 @@
+//! Range predicates via binning (§9.1).
+//!
+//! "Given a column with a range predicate, one simple method is to bin the column into
+//! a small number of bins. A range predicate can then be converted into a small
+//! in-list." The JOB-light experiments map the 132 distinct `production_year` values
+//! (1880–2019) to 16 roughly equal-sized intervals (§10.3) and convert inequality
+//! predicates to in-lists of bin ids.
+//!
+//! Binning introduces error: a bin that straddles the range boundary matches rows whose
+//! raw value is outside the range. §10.6 quantifies this as the difference between the
+//! "Exact Semijoin" and "Exact Semijoin After Binning" baselines.
+
+use super::ColumnPredicate;
+
+/// A binning scheme mapping a value domain `[min, max]` to `num_bins` roughly
+/// equal-width bins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binning {
+    min: u64,
+    max: u64,
+    num_bins: u64,
+}
+
+impl Binning {
+    /// Create a binning of `[min, max]` (inclusive) into `num_bins` bins.
+    ///
+    /// # Panics
+    /// Panics if `min > max` or `num_bins == 0`.
+    pub fn new(min: u64, max: u64, num_bins: usize) -> Self {
+        assert!(min <= max, "empty domain: min {min} > max {max}");
+        assert!(num_bins > 0, "need at least one bin");
+        Self {
+            min,
+            max,
+            num_bins: num_bins as u64,
+        }
+    }
+
+    /// Equal-size binning for the JOB-light `production_year` column: 1880–2019 in 16
+    /// bins (§10.3).
+    pub fn production_year() -> Self {
+        Self::new(1880, 2019, 16)
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.num_bins as usize
+    }
+
+    /// The bin id of a value. Values outside the domain are clamped to the first or
+    /// last bin so that inserted data never falls outside the binned universe.
+    pub fn bin_of(&self, value: u64) -> u64 {
+        let v = value.clamp(self.min, self.max);
+        let width = self.max - self.min + 1;
+        // floor((v - min) * num_bins / width), safe in u128.
+        (((v - self.min) as u128 * self.num_bins as u128) / width as u128) as u64
+    }
+
+    /// Inclusive value range `[lo, hi]` covered by a bin.
+    pub fn bin_range(&self, bin: u64) -> (u64, u64) {
+        assert!(bin < self.num_bins, "bin {bin} out of range");
+        let width = (self.max - self.min + 1) as u128;
+        let n = self.num_bins as u128;
+        // bin_of(v) = floor((v - min)·n / width) = bin  ⇔
+        //   v - min ∈ [ceil(bin·width / n), ceil((bin+1)·width / n) − 1].
+        let ceil_div = |a: u128, b: u128| ((a + b - 1) / b) as u64;
+        let lo = self.min + ceil_div(bin as u128 * width, n);
+        let hi = self.min + ceil_div((bin + 1) as u128 * width, n) - 1;
+        (lo, hi.min(self.max))
+    }
+
+    /// Convert an inclusive range predicate `[lo, hi]` into the in-list of bins that
+    /// overlap it — the §9.1 conversion. Returns `Any` if every bin is covered (no
+    /// filtering power left).
+    pub fn range_to_bins(&self, lo: u64, hi: u64) -> ColumnPredicate {
+        if lo > hi {
+            return ColumnPredicate::InList(Vec::new());
+        }
+        let first = self.bin_of(lo.max(self.min));
+        let last = self.bin_of(hi.min(self.max));
+        let bins: Vec<u64> = (first..=last).collect();
+        if bins.len() >= self.num_bins as usize {
+            ColumnPredicate::Any
+        } else {
+            ColumnPredicate::InList(bins)
+        }
+    }
+
+    /// Convert a one-sided predicate `value >= lo` into a bin in-list.
+    pub fn ge_to_bins(&self, lo: u64) -> ColumnPredicate {
+        self.range_to_bins(lo, self.max)
+    }
+
+    /// Convert a one-sided predicate `value <= hi` into a bin in-list.
+    pub fn le_to_bins(&self, hi: u64) -> ColumnPredicate {
+        self.range_to_bins(self.min, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_cover_domain_contiguously() {
+        let b = Binning::new(0, 99, 10);
+        // Every value maps to a bin, bins are monotone in the value, and each of the
+        // 10 bins receives exactly 10 values.
+        let mut counts = vec![0u32; 10];
+        let mut prev = 0;
+        for v in 0..100u64 {
+            let bin = b.bin_of(v);
+            assert!(bin < 10);
+            assert!(bin >= prev);
+            prev = bin;
+            counts[bin as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn production_year_binning_matches_paper_setup() {
+        let b = Binning::production_year();
+        assert_eq!(b.num_bins(), 16);
+        assert_eq!(b.bin_of(1880), 0);
+        assert_eq!(b.bin_of(2019), 15);
+        // 140 values in 16 bins: bins hold 8 or 9 consecutive years.
+        for bin in 0..16u64 {
+            let (lo, hi) = b.bin_range(bin);
+            let width = hi - lo + 1;
+            assert!((8..=9).contains(&width), "bin {bin} spans {width} years");
+        }
+    }
+
+    #[test]
+    fn bin_range_is_consistent_with_bin_of() {
+        let b = Binning::new(10, 500, 7);
+        for bin in 0..7u64 {
+            let (lo, hi) = b.bin_range(bin);
+            assert_eq!(b.bin_of(lo), bin);
+            assert_eq!(b.bin_of(hi), bin);
+            if lo > 10 {
+                assert_eq!(b.bin_of(lo - 1), bin - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_domain_values_clamp() {
+        let b = Binning::new(100, 200, 4);
+        assert_eq!(b.bin_of(0), 0);
+        assert_eq!(b.bin_of(1000), 3);
+    }
+
+    #[test]
+    fn range_to_bins_overlapping_bins_only() {
+        let b = Binning::new(0, 159, 16); // 10 values per bin
+        match b.range_to_bins(25, 44) {
+            ColumnPredicate::InList(bins) => assert_eq!(bins, vec![2, 3, 4]),
+            other => panic!("expected in-list, got {other:?}"),
+        }
+        // Covering the whole domain loses all filtering power.
+        assert_eq!(b.range_to_bins(0, 159), ColumnPredicate::Any);
+        // Empty ranges yield an empty (never-matching) in-list.
+        assert_eq!(b.range_to_bins(50, 40), ColumnPredicate::InList(vec![]));
+    }
+
+    #[test]
+    fn one_sided_ranges() {
+        let b = Binning::new(0, 159, 16);
+        match b.ge_to_bins(150) {
+            ColumnPredicate::InList(bins) => assert_eq!(bins, vec![15]),
+            other => panic!("unexpected {other:?}"),
+        }
+        match b.le_to_bins(9) {
+            ColumnPredicate::InList(bins) => assert_eq!(bins, vec![0]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binning_never_introduces_false_negatives() {
+        // Every raw value inside [lo, hi] must map to a bin inside the converted
+        // in-list — the "no false negatives" requirement of the conversion.
+        let b = Binning::new(1880, 2019, 16);
+        let (lo, hi) = (1950u64, 1990u64);
+        let pred = b.range_to_bins(lo, hi);
+        for v in lo..=hi {
+            assert!(
+                pred.matches_value(b.bin_of(v)),
+                "value {v} in range but bin {} not in list",
+                b.bin_of(v)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn inverted_domain_rejected() {
+        let _ = Binning::new(10, 5, 4);
+    }
+}

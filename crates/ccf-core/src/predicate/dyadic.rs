@@ -1,0 +1,214 @@
+//! Dyadic range decomposition (§9.1, second method).
+//!
+//! "Another method uses a standard approach of using a dyadic expansion over the range
+//! [a0, b0] of the column. An item x can be represented as a sequence of intervals
+//! [a1, b1], ..., [aη, bη] with exponentially decreasing lengths ... This requires η
+//! insertions into a CCF for each item, and a range query likewise requires querying
+//! for the existence of up to η intervals that cover the range."
+//!
+//! The paper uses the simpler binning approach in its experiments; the dyadic scheme is
+//! provided as the documented alternative. Values are mapped to the chain of dyadic
+//! intervals containing them (one per level); a range query is decomposed into the
+//! canonical minimal set of dyadic intervals covering it, and the query succeeds if any
+//! canonical interval was inserted for the probed key.
+
+/// A dyadic decomposition of the domain `[0, 2^levels)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DyadicDomain {
+    /// Number of levels η; the domain is `[0, 2^levels)`.
+    levels: u32,
+}
+
+/// A dyadic interval identified by (level, index): it covers
+/// `[index · 2^(levels-level), (index+1) · 2^(levels-level))`.
+/// Level 0 is the whole domain; level `levels` is a single value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DyadicInterval {
+    /// Level in the dyadic tree (0 = whole domain).
+    pub level: u32,
+    /// Index of the interval within its level.
+    pub index: u64,
+}
+
+impl DyadicDomain {
+    /// Create a domain `[0, 2^levels)`.
+    ///
+    /// # Panics
+    /// Panics if `levels` is 0 or exceeds 40 (the experiments never need more).
+    pub fn new(levels: u32) -> Self {
+        assert!((1..=40).contains(&levels), "levels must be in 1..=40");
+        Self { levels }
+    }
+
+    /// Number of levels η.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Size of the domain.
+    pub fn domain_size(&self) -> u64 {
+        1u64 << self.levels
+    }
+
+    /// The chain of dyadic intervals containing `value`, one per level from coarse to
+    /// fine — these are the η insertions performed per item.
+    ///
+    /// # Panics
+    /// Panics if the value is outside the domain.
+    pub fn intervals_of(&self, value: u64) -> Vec<DyadicInterval> {
+        assert!(value < self.domain_size(), "value {value} outside dyadic domain");
+        (1..=self.levels)
+            .map(|level| DyadicInterval {
+                level,
+                index: value >> (self.levels - level),
+            })
+            .collect()
+    }
+
+    /// Encode an interval as a single u64 suitable for insertion as an attribute value
+    /// (level in the high bits).
+    pub fn encode(&self, interval: DyadicInterval) -> u64 {
+        (u64::from(interval.level) << 48) | interval.index
+    }
+
+    /// The canonical (minimal) set of dyadic intervals exactly covering `[lo, hi]`
+    /// inclusive. A range query probes each of these.
+    ///
+    /// Only levels 1..=η are used (the same levels [`Self::intervals_of`] inserts), so a
+    /// range covering the whole domain is returned as the two level-1 halves rather
+    /// than the level-0 root.
+    pub fn cover(&self, lo: u64, hi: u64) -> Vec<DyadicInterval> {
+        if lo > hi {
+            return Vec::new();
+        }
+        assert!(hi < self.domain_size(), "range end {hi} outside dyadic domain");
+        let mut out = Vec::new();
+        let mut lo = lo;
+        let hi_excl = hi + 1;
+        while lo < hi_excl {
+            // Largest aligned block starting at lo that does not overshoot hi_excl,
+            // capped at level 1 blocks (half the domain) so insertions can match it.
+            let max_by_alignment = if lo == 0 {
+                self.levels - 1
+            } else {
+                lo.trailing_zeros().min(self.levels - 1)
+            };
+            let mut size_log = max_by_alignment;
+            while (1u64 << size_log) > hi_excl - lo {
+                size_log -= 1;
+            }
+            let level = self.levels - size_log;
+            out.push(DyadicInterval {
+                level,
+                index: lo >> size_log,
+            });
+            lo += 1u64 << size_log;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intervals_of_forms_a_nested_chain() {
+        let d = DyadicDomain::new(4); // domain [0, 16)
+        let chain = d.intervals_of(11); // binary 1011
+        assert_eq!(chain.len(), 4);
+        assert_eq!(
+            chain,
+            vec![
+                DyadicInterval { level: 1, index: 1 },  // [8, 16)
+                DyadicInterval { level: 2, index: 2 },  // [8, 12)
+                DyadicInterval { level: 3, index: 5 },  // [10, 12)
+                DyadicInterval { level: 4, index: 11 }, // [11, 11]
+            ]
+        );
+    }
+
+    #[test]
+    fn cover_is_minimal_and_exact() {
+        let d = DyadicDomain::new(4);
+        // [3, 12] over a 16-value domain: canonical cover {3}, [4,8), [8,12), {12}.
+        let cover = d.cover(3, 12);
+        assert_eq!(cover.len(), 4);
+        // Verify exact coverage by expanding every interval.
+        let mut covered = vec![false; 16];
+        for iv in &cover {
+            let size = 1u64 << (d.levels() - iv.level);
+            for v in (iv.index * size)..((iv.index + 1) * size) {
+                assert!(!covered[v as usize], "overlap at {v}");
+                covered[v as usize] = true;
+            }
+        }
+        for (v, &c) in covered.iter().enumerate() {
+            assert_eq!(c, (3..=12).contains(&(v as u64)), "coverage wrong at {v}");
+        }
+    }
+
+    #[test]
+    fn cover_of_full_domain_is_the_two_level_one_halves() {
+        let d = DyadicDomain::new(6);
+        let cover = d.cover(0, 63);
+        assert_eq!(
+            cover,
+            vec![
+                DyadicInterval { level: 1, index: 0 },
+                DyadicInterval { level: 1, index: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn cover_of_single_value_is_leaf() {
+        let d = DyadicDomain::new(5);
+        assert_eq!(d.cover(17, 17), vec![DyadicInterval { level: 5, index: 17 }]);
+        assert!(d.cover(9, 3).is_empty());
+    }
+
+    #[test]
+    fn cover_size_is_logarithmic() {
+        // The canonical cover of any range over 2^η values has at most 2η intervals.
+        let d = DyadicDomain::new(16);
+        for (lo, hi) in [(1u64, 65_534u64), (12_345, 54_321), (0, 1), (100, 100)] {
+            let cover = d.cover(lo, hi);
+            assert!(cover.len() <= 32, "cover of [{lo},{hi}] has {} intervals", cover.len());
+        }
+    }
+
+    #[test]
+    fn range_query_via_membership_has_no_false_negatives() {
+        // Simulate the CCF usage: insert the interval chain of each value, then check
+        // that for a query range every value inside it shares at least one interval
+        // with the canonical cover.
+        let d = DyadicDomain::new(8);
+        let (lo, hi) = (37u64, 180u64);
+        let cover: std::collections::HashSet<_> = d.cover(lo, hi).into_iter().collect();
+        for v in 0..d.domain_size() {
+            let hit = d.intervals_of(v).iter().any(|iv| cover.contains(iv));
+            assert_eq!(hit, (lo..=hi).contains(&v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn encode_is_injective_across_levels() {
+        let d = DyadicDomain::new(10);
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..1024u64 {
+            for iv in d.intervals_of(v) {
+                seen.insert(d.encode(iv));
+            }
+        }
+        // Sum over levels of 2^level intervals = 2^(η+1) − 2.
+        assert_eq!(seen.len(), (1 << 11) - 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside dyadic domain")]
+    fn out_of_domain_value_panics() {
+        let d = DyadicDomain::new(3);
+        let _ = d.intervals_of(8);
+    }
+}

@@ -1,0 +1,221 @@
+//! A uniform interface over the four CCF variants.
+//!
+//! The evaluation (§10.4) runs every experiment for Plain, Chained, Bloom and Mixed
+//! filters under identical workloads; [`AnyCcf`] lets the harness (and applications
+//! that want to pick a variant at run time) treat them interchangeably. The
+//! [`ConditionalFilter`] trait captures the common operations; the concrete types
+//! remain available for variant-specific features (chained predicate filters,
+//! conversion statistics, ...).
+
+use crate::bloom_ccf::BloomCcf;
+use crate::chained::ChainedCcf;
+use crate::mixed::MixedCcf;
+use crate::outcome::{InsertFailure, InsertOutcome};
+use crate::params::CcfParams;
+use crate::plain::PlainCcf;
+use crate::predicate::Predicate;
+use crate::sizing::VariantKind;
+
+/// Operations every conditional cuckoo filter supports.
+pub trait ConditionalFilter {
+    /// Insert a row (key plus attribute vector).
+    fn insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure>;
+    /// Query for a key under a predicate.
+    fn query(&self, key: u64, pred: &Predicate) -> bool;
+    /// Key-only membership query.
+    fn contains_key(&self, key: u64) -> bool;
+    /// Number of occupied entry slots.
+    fn occupied_entries(&self) -> usize;
+    /// Load factor β.
+    fn load_factor(&self) -> f64;
+    /// Serialized size in bits.
+    fn size_bits(&self) -> usize;
+    /// The filter's parameters.
+    fn params(&self) -> &CcfParams;
+}
+
+macro_rules! impl_conditional_filter {
+    ($ty:ty) => {
+        impl ConditionalFilter for $ty {
+            fn insert_row(
+                &mut self,
+                key: u64,
+                attrs: &[u64],
+            ) -> Result<InsertOutcome, InsertFailure> {
+                <$ty>::insert_row(self, key, attrs)
+            }
+            fn query(&self, key: u64, pred: &Predicate) -> bool {
+                <$ty>::query(self, key, pred)
+            }
+            fn contains_key(&self, key: u64) -> bool {
+                <$ty>::contains_key(self, key)
+            }
+            fn occupied_entries(&self) -> usize {
+                <$ty>::occupied_entries(self)
+            }
+            fn load_factor(&self) -> f64 {
+                <$ty>::load_factor(self)
+            }
+            fn size_bits(&self) -> usize {
+                <$ty>::size_bits(self)
+            }
+            fn params(&self) -> &CcfParams {
+                <$ty>::params(self)
+            }
+        }
+    };
+}
+
+impl_conditional_filter!(PlainCcf);
+impl_conditional_filter!(ChainedCcf);
+impl_conditional_filter!(BloomCcf);
+impl_conditional_filter!(MixedCcf);
+
+/// A conditional cuckoo filter of any variant, chosen at run time.
+#[derive(Debug, Clone)]
+pub enum AnyCcf {
+    /// Plain multiset CCF.
+    Plain(PlainCcf),
+    /// CCF with chaining.
+    Chained(ChainedCcf),
+    /// CCF with Bloom attribute sketches.
+    Bloom(BloomCcf),
+    /// CCF with Bloom conversion.
+    Mixed(MixedCcf),
+}
+
+impl AnyCcf {
+    /// Construct an empty filter of the requested variant.
+    pub fn new(kind: VariantKind, params: CcfParams) -> Self {
+        match kind {
+            VariantKind::Plain => AnyCcf::Plain(PlainCcf::new(params)),
+            VariantKind::Chained => AnyCcf::Chained(ChainedCcf::new(params)),
+            VariantKind::Bloom => AnyCcf::Bloom(BloomCcf::new(params)),
+            VariantKind::Mixed => AnyCcf::Mixed(MixedCcf::new(params)),
+        }
+    }
+
+    /// Which variant this is.
+    pub fn kind(&self) -> VariantKind {
+        match self {
+            AnyCcf::Plain(_) => VariantKind::Plain,
+            AnyCcf::Chained(_) => VariantKind::Chained,
+            AnyCcf::Bloom(_) => VariantKind::Bloom,
+            AnyCcf::Mixed(_) => VariantKind::Mixed,
+        }
+    }
+
+    fn as_dyn(&self) -> &dyn ConditionalFilter {
+        match self {
+            AnyCcf::Plain(f) => f,
+            AnyCcf::Chained(f) => f,
+            AnyCcf::Bloom(f) => f,
+            AnyCcf::Mixed(f) => f,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn ConditionalFilter {
+        match self {
+            AnyCcf::Plain(f) => f,
+            AnyCcf::Chained(f) => f,
+            AnyCcf::Bloom(f) => f,
+            AnyCcf::Mixed(f) => f,
+        }
+    }
+}
+
+impl ConditionalFilter for AnyCcf {
+    fn insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
+        self.as_dyn_mut().insert_row(key, attrs)
+    }
+    fn query(&self, key: u64, pred: &Predicate) -> bool {
+        self.as_dyn().query(key, pred)
+    }
+    fn contains_key(&self, key: u64) -> bool {
+        self.as_dyn().contains_key(key)
+    }
+    fn occupied_entries(&self) -> usize {
+        self.as_dyn().occupied_entries()
+    }
+    fn load_factor(&self) -> f64 {
+        self.as_dyn().load_factor()
+    }
+    fn size_bits(&self) -> usize {
+        self.as_dyn().size_bits()
+    }
+    fn params(&self) -> &CcfParams {
+        self.as_dyn().params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CcfParams {
+        CcfParams {
+            num_buckets: 1 << 9,
+            entries_per_bucket: 6,
+            fingerprint_bits: 12,
+            attr_bits: 8,
+            num_attrs: 2,
+            max_dupes: 3,
+            seed: 77,
+            ..CcfParams::default()
+        }
+    }
+
+    #[test]
+    fn all_variants_round_trip_through_the_uniform_interface() {
+        for kind in [
+            VariantKind::Plain,
+            VariantKind::Chained,
+            VariantKind::Bloom,
+            VariantKind::Mixed,
+        ] {
+            let mut f = AnyCcf::new(kind, params());
+            assert_eq!(f.kind(), kind);
+            for key in 0..200u64 {
+                f.insert_row(key, &[key % 5, key % 9])
+                    .unwrap_or_else(|e| panic!("{kind:?}: insert failed: {e}"));
+            }
+            for key in 0..200u64 {
+                let pred = Predicate::any(2).and_eq(0, key % 5).and_eq(1, key % 9);
+                assert!(f.query(key, &pred), "{kind:?}: false negative for {key}");
+                assert!(f.contains_key(key), "{kind:?}: key lost for {key}");
+            }
+            assert!(f.occupied_entries() > 0);
+            assert!(f.load_factor() > 0.0);
+            assert!(f.size_bits() > 0);
+            assert_eq!(f.params().num_attrs, 2);
+        }
+    }
+
+    #[test]
+    fn variant_sizes_reflect_entry_layouts() {
+        // Same geometry, different per-entry budgets: Bloom entries carry bloom_bits,
+        // mixed entries carry one extra flag bit relative to plain/chained.
+        let p = params();
+        let plain = AnyCcf::new(VariantKind::Plain, p).size_bits();
+        let chained = AnyCcf::new(VariantKind::Chained, p).size_bits();
+        let mixed = AnyCcf::new(VariantKind::Mixed, p).size_bits();
+        let bloom = AnyCcf::new(VariantKind::Bloom, p).size_bits();
+        assert_eq!(plain, chained);
+        assert_eq!(mixed, plain + 512 * 6);
+        assert_eq!(bloom, 512 * 6 * (12 + p.bloom_bits));
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let mut filters: Vec<Box<dyn ConditionalFilter>> = vec![
+            Box::new(PlainCcf::new(params())),
+            Box::new(ChainedCcf::new(params())),
+            Box::new(BloomCcf::new(params())),
+            Box::new(MixedCcf::new(params())),
+        ];
+        for f in &mut filters {
+            f.insert_row(1, &[2, 3]).unwrap();
+            assert!(f.query(1, &Predicate::any(2).and_eq(0, 2)));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for the CCF variants: the no-false-negative guarantee under
+//! arbitrary workloads, the lemma 1 duplicate cap, predicate-filter consistency, and
+//! the range-predicate conversions.
+
+use ccf_core::predicate::binning::Binning;
+use ccf_core::predicate::dyadic::DyadicDomain;
+use ccf_core::sizing::VariantKind;
+use ccf_core::{AnyCcf, CcfParams, ChainedCcf, ColumnPredicate, ConditionalFilter, Predicate};
+use proptest::prelude::*;
+
+fn params(seed: u64, num_attrs: usize) -> CcfParams {
+    CcfParams {
+        num_buckets: 1 << 9,
+        entries_per_bucket: 6,
+        fingerprint_bits: 12,
+        attr_bits: 8,
+        num_attrs,
+        max_dupes: 3,
+        max_chain: None,
+        bloom_bits: 16,
+        bloom_hashes: 2,
+        seed,
+        ..CcfParams::default()
+    }
+}
+
+/// Strategy: a workload of rows with skewed keys (so duplicates are common) and small
+/// attribute vectors.
+fn rows_strategy(num_attrs: usize) -> impl Strategy<Value = Vec<(u64, Vec<u64>)>> {
+    proptest::collection::vec(
+        (0u64..64, proptest::collection::vec(0u64..1000, num_attrs..=num_attrs)),
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every variant: a row that was successfully inserted is always found by its own
+    /// (key, exact-attributes) query, and its key is always found by a key-only query.
+    #[test]
+    fn all_variants_have_no_false_negatives(
+        seed in any::<u64>(),
+        rows in rows_strategy(2),
+    ) {
+        for kind in [VariantKind::Plain, VariantKind::Chained, VariantKind::Bloom, VariantKind::Mixed] {
+            let mut filter = AnyCcf::new(kind, params(seed, 2));
+            let mut stored = Vec::new();
+            for (key, attrs) in &rows {
+                match filter.insert_row(*key, attrs) {
+                    Ok(outcome) => {
+                        // Rows dropped at the chain cap are still covered by the
+                        // guarantee, so keep them too.
+                        let _ = outcome;
+                        stored.push((*key, attrs.clone()));
+                    }
+                    Err(_) => {
+                        // Failed insertions leave the filter unchanged; the row is not
+                        // covered by the guarantee.
+                    }
+                }
+            }
+            for (key, attrs) in &stored {
+                let pred = Predicate::any(2).and_eq(0, attrs[0]).and_eq(1, attrs[1]);
+                prop_assert!(
+                    filter.query(*key, &pred),
+                    "{kind:?}: false negative for key {key} attrs {attrs:?}"
+                );
+                prop_assert!(filter.contains_key(*key), "{kind:?}: key {key} lost");
+            }
+        }
+    }
+
+    /// The chained variant respects the lemma 1 cap even with a finite chain length,
+    /// and queries for dropped rows still return true (theorem 3).
+    #[test]
+    fn chained_with_finite_lmax_never_lies(
+        seed in any::<u64>(),
+        lmax in 1usize..4,
+        rows in rows_strategy(1),
+    ) {
+        let mut filter = ChainedCcf::new(CcfParams {
+            max_chain: Some(lmax),
+            ..params(seed, 1)
+        });
+        let mut absorbed = Vec::new();
+        for (key, attrs) in &rows {
+            if filter.insert_row(*key, attrs).is_ok() {
+                absorbed.push((*key, attrs.clone()));
+            }
+        }
+        for (key, attrs) in &absorbed {
+            let pred = Predicate::any(1).and_eq(0, attrs[0]);
+            prop_assert!(filter.query(*key, &pred));
+        }
+    }
+
+    /// Predicate-only filters derived from the Bloom and chained variants never lose a
+    /// key that has a matching row (Algorithm 2 / §6.2 consistency).
+    #[test]
+    fn predicate_filters_are_consistent_with_direct_queries(
+        seed in any::<u64>(),
+        rows in rows_strategy(1),
+        predicate_value in 0u64..1000,
+    ) {
+        let pred = Predicate::any(1).and_eq(0, predicate_value);
+
+        let mut bloom = ccf_core::BloomCcf::new(params(seed, 1));
+        let mut chained = ChainedCcf::new(params(seed, 1));
+        for (key, attrs) in &rows {
+            bloom.insert_row(*key, attrs).unwrap();
+            chained.insert_row(*key, attrs).unwrap();
+        }
+        let bloom_derived = bloom.predicate_filter(&pred);
+        let chained_derived = chained.predicate_filter(&pred);
+        for (key, attrs) in &rows {
+            if attrs[0] == predicate_value {
+                prop_assert!(bloom_derived.contains(*key), "Bloom derived filter lost key {key}");
+                prop_assert!(chained_derived.contains_key(*key), "chained derived filter lost key {key}");
+            }
+        }
+        // The derived filters also agree with (i.e. are no more permissive than would
+        // be sound for) the direct query path: any key the direct query accepts must be
+        // accepted by the derived filter too.
+        for (key, _) in &rows {
+            if bloom.query(*key, &pred) {
+                prop_assert!(bloom_derived.contains(*key));
+            }
+            if chained.query(*key, &pred) {
+                prop_assert!(chained_derived.contains_key(*key));
+            }
+        }
+    }
+
+    /// Range-to-bin conversion never produces false negatives: every value inside the
+    /// range maps to a bin the converted predicate accepts.
+    #[test]
+    fn binning_conversion_has_no_false_negatives(
+        min in 0u64..1000,
+        span in 1u64..5000,
+        bins in 1usize..64,
+        lo_off in 0u64..5000,
+        len in 0u64..5000,
+    ) {
+        let max = min + span;
+        let binning = Binning::new(min, max, bins);
+        let lo = (min + lo_off).min(max);
+        let hi = (lo + len).min(max);
+        let converted = binning.range_to_bins(lo, hi);
+        for v in lo..=hi {
+            let bin = binning.bin_of(v);
+            let ok = match &converted {
+                ColumnPredicate::Any => true,
+                other => other.matches_value(bin),
+            };
+            prop_assert!(ok, "value {v} in [{lo},{hi}] but bin {bin} rejected");
+        }
+    }
+
+    /// Dyadic covers are exact: a value shares an interval with the canonical cover of
+    /// [lo, hi] iff it lies inside [lo, hi].
+    #[test]
+    fn dyadic_cover_is_exact(levels in 2u32..10, lo in 0u64..1000, len in 0u64..1000) {
+        let d = DyadicDomain::new(levels);
+        let size = d.domain_size();
+        let lo = lo % size;
+        let hi = (lo + len).min(size - 1);
+        let cover: std::collections::HashSet<_> = d.cover(lo, hi).into_iter().collect();
+        for v in 0..size {
+            let hit = d.intervals_of(v).iter().any(|iv| cover.contains(iv));
+            prop_assert_eq!(hit, (lo..=hi).contains(&v), "value {}", v);
+        }
+    }
+
+    /// Occupied-entry accounting: the number of occupied entries never exceeds the
+    /// number of successful `Inserted` outcomes, and the load factor is consistent.
+    #[test]
+    fn entry_accounting_is_consistent(seed in any::<u64>(), rows in rows_strategy(1)) {
+        for kind in [VariantKind::Chained, VariantKind::Mixed, VariantKind::Bloom] {
+            let mut filter = AnyCcf::new(kind, params(seed, 1));
+            let mut inserted_entries = 0usize;
+            for (key, attrs) in &rows {
+                if let Ok(outcome) = filter.insert_row(*key, attrs) {
+                    if outcome.consumed_entry() {
+                        inserted_entries += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(filter.occupied_entries(), inserted_entries, "{:?}", kind);
+            let expected_lf = inserted_entries as f64
+                / (filter.params().num_buckets * filter.params().entries_per_bucket) as f64;
+            prop_assert!((filter.load_factor() - expected_lf).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Fixed-capacity buckets of fingerprint entries.
+//!
+//! A cuckoo filter is "arranged as a fixed size array of entries ... an item is first
+//! hashed to one of m candidate buckets. Each bucket contains b entries in which data
+//! can be stored" (§4). An empty entry is represented by fingerprint 0, which is why
+//! fingerprint derivation guarantees κ ≠ 0.
+
+/// A bucket holding up to `b` key fingerprints. Fingerprint 0 marks an empty slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucket {
+    slots: Vec<u16>,
+}
+
+impl Bucket {
+    /// Create an empty bucket with `b` slots.
+    pub fn new(b: usize) -> Self {
+        assert!(b > 0, "bucket must have at least one slot");
+        Self { slots: vec![0; b] }
+    }
+
+    /// Number of slots (the `b` parameter).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|&&f| f != 0).count()
+    }
+
+    /// Whether the bucket has no occupied slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|&f| f == 0)
+    }
+
+    /// Whether every slot is occupied.
+    pub fn is_full(&self) -> bool {
+        self.slots.iter().all(|&f| f != 0)
+    }
+
+    /// Try to insert a fingerprint into a free slot. Returns `true` on success.
+    ///
+    /// # Panics
+    /// Panics (debug) if `fp == 0`, which is reserved for empty slots.
+    pub fn try_insert(&mut self, fp: u16) -> bool {
+        debug_assert_ne!(fp, 0, "fingerprint 0 is reserved for empty slots");
+        for slot in &mut self.slots {
+            if *slot == 0 {
+                *slot = fp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the bucket contains the fingerprint.
+    pub fn contains(&self, fp: u16) -> bool {
+        self.slots.iter().any(|&f| f == fp)
+    }
+
+    /// Number of copies of `fp` in the bucket.
+    pub fn count(&self, fp: u16) -> usize {
+        self.slots.iter().filter(|&&f| f == fp).count()
+    }
+
+    /// Remove one copy of `fp`. Returns `true` if a copy was removed.
+    pub fn remove_one(&mut self, fp: u16) -> bool {
+        debug_assert_ne!(fp, 0);
+        for slot in &mut self.slots {
+            if *slot == fp {
+                *slot = 0;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Replace the fingerprint at `slot` with `fp`, returning the previous occupant.
+    /// This is the "kick" primitive of cuckoo insertion.
+    ///
+    /// # Panics
+    /// Panics if `slot >= b`.
+    pub fn swap(&mut self, slot: usize, fp: u16) -> u16 {
+        debug_assert_ne!(fp, 0);
+        std::mem::replace(&mut self.slots[slot], fp)
+    }
+
+    /// Fingerprint stored at `slot` (0 if empty).
+    pub fn get(&self, slot: usize) -> u16 {
+        self.slots[slot]
+    }
+
+    /// Iterate over the occupied fingerprints.
+    pub fn iter(&self) -> impl Iterator<Item = u16> + '_ {
+        self.slots.iter().copied().filter(|&f| f != 0)
+    }
+
+    /// The raw slots, including empties (used by semi-sorting and serialization).
+    pub fn slots(&self) -> &[u16] {
+        &self.slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_until_full() {
+        let mut b = Bucket::new(4);
+        assert!(b.is_empty());
+        for fp in 1..=4u16 {
+            assert!(b.try_insert(fp));
+        }
+        assert!(b.is_full());
+        assert_eq!(b.len(), 4);
+        assert!(!b.try_insert(5));
+    }
+
+    #[test]
+    fn contains_and_count() {
+        let mut b = Bucket::new(4);
+        b.try_insert(7);
+        b.try_insert(7);
+        b.try_insert(9);
+        assert!(b.contains(7) && b.contains(9));
+        assert!(!b.contains(8));
+        assert_eq!(b.count(7), 2);
+        assert_eq!(b.count(9), 1);
+        assert_eq!(b.count(8), 0);
+    }
+
+    #[test]
+    fn remove_one_removes_single_copy() {
+        let mut b = Bucket::new(4);
+        b.try_insert(3);
+        b.try_insert(3);
+        assert!(b.remove_one(3));
+        assert_eq!(b.count(3), 1);
+        assert!(b.remove_one(3));
+        assert!(!b.remove_one(3));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn swap_returns_previous_occupant() {
+        let mut b = Bucket::new(2);
+        b.try_insert(10);
+        let prev = b.swap(0, 20);
+        assert_eq!(prev, 10);
+        assert_eq!(b.get(0), 20);
+        // Swapping an empty slot returns 0.
+        let prev = b.swap(1, 30);
+        assert_eq!(prev, 0);
+    }
+
+    #[test]
+    fn iter_skips_empty_slots() {
+        let mut b = Bucket::new(4);
+        b.try_insert(5);
+        b.try_insert(6);
+        b.remove_one(5);
+        let v: Vec<u16> = b.iter().collect();
+        assert_eq!(v, vec![6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        let _ = Bucket::new(0);
+    }
+}

@@ -1,0 +1,324 @@
+//! A chained cuckoo hash *table* — the §11 extension.
+//!
+//! "Furthermore, the chaining technique can also be used to allow regular cuckoo hash
+//! tables, which store the full key, to store duplicates." This module applies the
+//! CCF's chaining idea (§6.2) to an ordinary open-addressing cuckoo hash table: at most
+//! `d` entries for a key live in its bucket pair; once a pair is saturated, further
+//! entries continue in a chained pair derived from `h(min(ℓ, ℓ′), key)`. Because full
+//! keys are stored there are no false positives at all — the structure is an exact
+//! multimap whose per-key capacity is no longer limited to `2b`, unlike
+//! [`crate::CuckooHashTable::insert_duplicate`].
+
+use ccf_hash::{HashFamily, SaltedHasher};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum kick rounds before an insertion is reported as failed.
+const MAX_KICKS: usize = 500;
+
+/// Safety cap on chain length when walking pairs.
+const WALK_SAFETY_CAP: usize = 1 << 16;
+
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    key: u64,
+    value: V,
+}
+
+/// Error returned when the kick loop cannot free a slot (the table is effectively
+/// full); the failed insertion leaves the table unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableFull {
+    /// Load factor at the time of failure, in thousandths.
+    pub load_factor_millis: u32,
+}
+
+impl std::fmt::Display for TableFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "chained cuckoo table full at load factor {:.3}",
+            self.load_factor_millis as f64 / 1000.0
+        )
+    }
+}
+
+impl std::error::Error for TableFull {}
+
+/// An exact multimap from `u64` keys to values, built on cuckoo hashing with the CCF's
+/// chaining technique for duplicate keys.
+#[derive(Debug, Clone)]
+pub struct ChainedCuckooTable<V> {
+    buckets: Vec<Vec<Slot<V>>>,
+    bucket_mask: usize,
+    entries_per_bucket: usize,
+    max_dupes: usize,
+    key_hasher: SaltedHasher,
+    alt_hasher: SaltedHasher,
+    chain_hasher: SaltedHasher,
+    rng: StdRng,
+    len: usize,
+}
+
+impl<V> ChainedCuckooTable<V> {
+    /// Create a table with at least `num_buckets` buckets (rounded up to a power of
+    /// two) of `entries_per_bucket` slots, allowing `max_dupes` entries per key per
+    /// bucket pair.
+    ///
+    /// # Panics
+    /// Panics if `entries_per_bucket == 0`, `max_dupes == 0`, or `max_dupes` exceeds
+    /// `2 · entries_per_bucket`.
+    pub fn new(num_buckets: usize, entries_per_bucket: usize, max_dupes: usize, seed: u64) -> Self {
+        assert!(entries_per_bucket > 0, "entries_per_bucket must be positive");
+        assert!(max_dupes > 0, "max_dupes must be positive");
+        assert!(
+            max_dupes <= 2 * entries_per_bucket,
+            "max_dupes cannot exceed the bucket pair's 2b slots"
+        );
+        let m = num_buckets.next_power_of_two().max(2);
+        let family = HashFamily::new(seed);
+        Self {
+            buckets: (0..m).map(|_| Vec::new()).collect(),
+            bucket_mask: m - 1,
+            entries_per_bucket,
+            max_dupes,
+            key_hasher: family.hasher(0),
+            alt_hasher: family.hasher(1),
+            chain_hasher: family.hasher(2),
+            rng: StdRng::seed_from_u64(seed ^ 0xC7A1),
+            len: 0,
+        }
+    }
+
+    /// Number of stored (key, value) entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.buckets.len() * self.entries_per_bucket
+    }
+
+    /// Current load factor.
+    pub fn load_factor(&self) -> f64 {
+        self.len as f64 / self.capacity() as f64
+    }
+
+    #[inline]
+    fn primary_bucket(&self, key: u64) -> usize {
+        self.key_hasher.hash_u64(key) as usize & self.bucket_mask
+    }
+
+    #[inline]
+    fn alt_bucket(&self, bucket: usize, key: u64) -> usize {
+        (bucket ^ (self.alt_hasher.hash_u64(key) as usize | 1)) & self.bucket_mask
+    }
+
+    #[inline]
+    fn next_chain_bucket(&self, l: usize, l_alt: usize, key: u64, depth: usize) -> usize {
+        let lmin = l.min(l_alt) as u64;
+        (self.chain_hasher.hash_pair(lmin, key ^ ((depth as u64) << 48)) as usize) & self.bucket_mask
+    }
+
+    fn key_count_in_pair(&self, l: usize, l_alt: usize, key: u64) -> usize {
+        let count = |b: usize| self.buckets[b].iter().filter(|s| s.key == key).count();
+        if l == l_alt {
+            count(l)
+        } else {
+            count(l) + count(l_alt)
+        }
+    }
+
+    /// Insert another (key, value) entry. Duplicate keys are always accepted as long as
+    /// space remains somewhere along the chain; the `2b` cap of a plain cuckoo table no
+    /// longer applies.
+    pub fn insert(&mut self, key: u64, value: V) -> Result<(), TableFull> {
+        let mut l = self.primary_bucket(key);
+        let b = self.entries_per_bucket;
+        for depth in 0..WALK_SAFETY_CAP {
+            let l_alt = self.alt_bucket(l, key);
+            if self.key_count_in_pair(l, l_alt, key) >= self.max_dupes {
+                l = self.next_chain_bucket(l, l_alt, key, depth);
+                continue;
+            }
+            // Free slot in the primary or alternate bucket.
+            if self.buckets[l].len() < b {
+                self.buckets[l].push(Slot { key, value });
+                self.len += 1;
+                return Ok(());
+            }
+            if self.buckets[l_alt].len() < b {
+                self.buckets[l_alt].push(Slot { key, value });
+                self.len += 1;
+                return Ok(());
+            }
+            // Kick loop on the alternate bucket; rollback on failure.
+            let mut carried = Slot { key, value };
+            let mut bucket = l_alt;
+            let mut swaps: Vec<(usize, usize)> = Vec::new();
+            for _ in 0..MAX_KICKS {
+                let slot = self.rng.gen_range(0..b);
+                std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
+                swaps.push((bucket, slot));
+                bucket = self.alt_bucket(bucket, carried.key);
+                if self.buckets[bucket].len() < b {
+                    self.buckets[bucket].push(carried);
+                    self.len += 1;
+                    return Ok(());
+                }
+            }
+            for (bkt, slot) in swaps.into_iter().rev() {
+                std::mem::swap(&mut self.buckets[bkt][slot], &mut carried);
+            }
+            return Err(TableFull {
+                load_factor_millis: (self.load_factor() * 1000.0) as u32,
+            });
+        }
+        Err(TableFull {
+            load_factor_millis: (self.load_factor() * 1000.0) as u32,
+        })
+    }
+
+    /// All values stored for a key, walking the chain as far as saturated pairs lead.
+    ///
+    /// Long chains can revisit a bucket that an earlier pair already covered (chain
+    /// pairs are not disjoint); the walk's continuation test deliberately uses the same
+    /// per-pair count the insertion used, but each physical slot is reported only once.
+    pub fn get_all(&self, key: u64) -> Vec<&V> {
+        let mut out = Vec::new();
+        let mut seen_buckets = std::collections::HashSet::new();
+        let mut l = self.primary_bucket(key);
+        for depth in 0..WALK_SAFETY_CAP {
+            let l_alt = self.alt_bucket(l, key);
+            let buckets: &[usize] = if l == l_alt { &[l] } else { &[l, l_alt] };
+            let mut count = 0usize;
+            for &bkt in buckets {
+                let first_visit = seen_buckets.insert(bkt);
+                for slot in &self.buckets[bkt] {
+                    if slot.key == key {
+                        count += 1;
+                        if first_visit {
+                            out.push(&slot.value);
+                        }
+                    }
+                }
+            }
+            if count >= self.max_dupes {
+                l = self.next_chain_bucket(l, l_alt, key, depth);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Whether the key has at least one entry.
+    pub fn contains_key(&self, key: u64) -> bool {
+        let l = self.primary_bucket(key);
+        let l_alt = self.alt_bucket(l, key);
+        self.buckets[l].iter().any(|s| s.key == key)
+            || self.buckets[l_alt].iter().any(|s| s.key == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_far_more_duplicates_than_a_bucket_pair() {
+        // The plain table caps a key at 2b = 8 copies; chaining stores hundreds.
+        let mut t: ChainedCuckooTable<u32> = ChainedCuckooTable::new(256, 4, 3, 1);
+        for i in 0..300u32 {
+            t.insert(42, i).unwrap();
+        }
+        let mut values: Vec<u32> = t.get_all(42).into_iter().copied().collect();
+        values.sort_unstable();
+        assert_eq!(values.len(), 300);
+        assert_eq!(values, (0..300).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn exact_multimap_semantics_across_many_keys() {
+        let mut t: ChainedCuckooTable<u64> = ChainedCuckooTable::new(1 << 10, 6, 3, 2);
+        // Skewed duplication: key k gets (k % 17) + 1 values.
+        for key in 0..500u64 {
+            for i in 0..=(key % 17) {
+                t.insert(key, key * 1000 + i).unwrap();
+            }
+        }
+        for key in 0..500u64 {
+            let mut got: Vec<u64> = t.get_all(key).into_iter().copied().collect();
+            got.sort_unstable();
+            let expected: Vec<u64> = (0..=(key % 17)).map(|i| key * 1000 + i).collect();
+            assert_eq!(got, expected, "wrong value set for key {key}");
+            assert!(t.contains_key(key));
+        }
+        assert!(!t.contains_key(10_000));
+    }
+
+    #[test]
+    fn no_false_entries_for_absent_keys() {
+        let mut t: ChainedCuckooTable<u8> = ChainedCuckooTable::new(128, 4, 3, 3);
+        for key in 0..200u64 {
+            t.insert(key, key as u8).unwrap();
+        }
+        // Full keys are compared, so absent keys return nothing — ever.
+        for key in 1_000..2_000u64 {
+            assert!(t.get_all(key).is_empty());
+            assert!(!t.contains_key(key));
+        }
+    }
+
+    #[test]
+    fn sustains_a_high_load_factor_with_duplicates() {
+        let mut t: ChainedCuckooTable<u32> = ChainedCuckooTable::new(512, 6, 3, 4);
+        let mut inserted = 0u32;
+        'outer: for key in 0u64.. {
+            for i in 0..10u32 {
+                if t.insert(key, i).is_err() {
+                    break 'outer;
+                }
+                inserted += 1;
+            }
+        }
+        assert!(inserted > 0);
+        assert!(
+            t.load_factor() > 0.8,
+            "chained table failed at load factor {}",
+            t.load_factor()
+        );
+    }
+
+    #[test]
+    fn failed_insert_leaves_table_unchanged() {
+        let mut t: ChainedCuckooTable<u64> = ChainedCuckooTable::new(4, 2, 2, 5);
+        let mut stored = Vec::new();
+        let mut failed = false;
+        for key in 0..64u64 {
+            match t.insert(key, key * 7) {
+                Ok(()) => stored.push(key),
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        assert!(failed, "a 16-slot table must eventually fill");
+        for key in stored {
+            assert_eq!(t.get_all(key), vec![&(key * 7)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_dupes cannot exceed")]
+    fn rejects_impossible_duplicate_caps() {
+        let _: ChainedCuckooTable<u8> = ChainedCuckooTable::new(8, 2, 5, 0);
+    }
+}

@@ -1,0 +1,448 @@
+//! A standard partial-key cuckoo filter (§4.2), with the multiset insertion behaviour
+//! of §4.3.
+//!
+//! The filter stores only a small fingerprint κ of each key. An item hashes to a
+//! primary bucket ℓ; the alternate bucket is ℓ′ = ℓ ⊕ h(κ), computable from the stored
+//! fingerprint alone, which is what allows kicked entries to be relocated without the
+//! original key. Insertion kicks random victims for up to [`MAX_KICKS`] rounds before
+//! reporting failure.
+//!
+//! Duplicate keys *can* be inserted (each inserts another copy of κ), but a bucket pair
+//! holds at most `2b` entries, so heavy duplication quickly causes insertion failures —
+//! the behaviour quantified in Figure 4 and the motivation for the CCF's chaining.
+
+use ccf_hash::{Fingerprinter, HashFamily, SaltedHasher};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bucket::Bucket;
+use crate::metrics::OccupancyStats;
+
+/// Maximum number of kick (evict-and-reinsert) rounds before an insertion fails,
+/// matching the constant used by the original cuckoo-filter implementation.
+pub const MAX_KICKS: usize = 500;
+
+/// Configuration for a [`CuckooFilter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CuckooFilterParams {
+    /// Number of buckets `m`. Rounded up to a power of two so the ℓ ⊕ h(κ) partial-key
+    /// mapping stays within range and is an involution.
+    pub num_buckets: usize,
+    /// Entries per bucket `b` (the paper uses 4 as the typical setting).
+    pub entries_per_bucket: usize,
+    /// Key fingerprint width |κ| in bits (1..=16).
+    pub fingerprint_bits: u32,
+    /// Seed for the hash family (varying it reproduces the paper's random-salt runs).
+    pub seed: u64,
+}
+
+impl Default for CuckooFilterParams {
+    fn default() -> Self {
+        Self {
+            num_buckets: 1 << 16,
+            entries_per_bucket: 4,
+            fingerprint_bits: 12,
+            seed: 0,
+        }
+    }
+}
+
+impl CuckooFilterParams {
+    /// Parameters sized to hold `capacity` items at roughly 95 % load factor with
+    /// `b = 4` (the optimally-sized configuration of §4.2).
+    pub fn for_capacity(capacity: usize, fingerprint_bits: u32, seed: u64) -> Self {
+        let entries_per_bucket = 4;
+        let needed = (capacity as f64 / 0.95).ceil() as usize;
+        let buckets = needed.div_ceil(entries_per_bucket).next_power_of_two().max(1);
+        Self {
+            num_buckets: buckets,
+            entries_per_bucket,
+            fingerprint_bits,
+            seed,
+        }
+    }
+}
+
+/// Why an insertion failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertError {
+    /// The kick loop ran for [`MAX_KICKS`] rounds without finding a free slot.
+    /// (A production filter would resize and rehash; the experiments measure the load
+    /// factor at which this first happens, so we surface it instead.)
+    FilterFull {
+        /// The fingerprint that was left without a home (the original victim chain's
+        /// final evictee has already been re-stored; the reported fingerprint is the
+        /// one that could not be placed).
+        fingerprint: u16,
+    },
+}
+
+impl std::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertError::FilterFull { fingerprint } => {
+                write!(f, "cuckoo filter full: could not place fingerprint {fingerprint:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// A standard partial-key cuckoo filter over `u64` keys.
+#[derive(Debug, Clone)]
+pub struct CuckooFilter {
+    buckets: Vec<Bucket>,
+    bucket_mask: usize,
+    entries_per_bucket: usize,
+    fingerprinter: Fingerprinter,
+    partial_hasher: SaltedHasher,
+    items: usize,
+    rng: StdRng,
+    params: CuckooFilterParams,
+}
+
+impl CuckooFilter {
+    /// Create an empty filter with the given parameters.
+    pub fn new(params: CuckooFilterParams) -> Self {
+        let num_buckets = params.num_buckets.next_power_of_two().max(1);
+        assert!(params.entries_per_bucket > 0, "entries_per_bucket must be positive");
+        let family = HashFamily::new(params.seed);
+        Self {
+            buckets: (0..num_buckets)
+                .map(|_| Bucket::new(params.entries_per_bucket))
+                .collect(),
+            bucket_mask: num_buckets - 1,
+            entries_per_bucket: params.entries_per_bucket,
+            fingerprinter: Fingerprinter::new(&family, params.fingerprint_bits),
+            partial_hasher: family.hasher(ccf_hash::salted::purpose::PARTIAL_KEY),
+            items: 0,
+            rng: StdRng::seed_from_u64(params.seed ^ 0xCCF0_CCF0),
+            params: CuckooFilterParams {
+                num_buckets,
+                ..params
+            },
+        }
+    }
+
+    /// Create an empty filter with explicit geometry (used by Algorithm 2, which builds
+    /// a filter with the *same* `(m, b)` dimensions as the CCF it is derived from).
+    pub fn with_geometry(num_buckets: usize, entries_per_bucket: usize, fingerprint_bits: u32, seed: u64) -> Self {
+        Self::new(CuckooFilterParams {
+            num_buckets,
+            entries_per_bucket,
+            fingerprint_bits,
+            seed,
+        })
+    }
+
+    /// The parameters this filter was built with (with `num_buckets` normalized to the
+    /// actual power of two in use).
+    pub fn params(&self) -> &CuckooFilterParams {
+        &self.params
+    }
+
+    /// Number of buckets `m`.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Entries per bucket `b`.
+    pub fn entries_per_bucket(&self) -> usize {
+        self.entries_per_bucket
+    }
+
+    /// Number of fingerprints currently stored.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// Whether the filter stores no fingerprints.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Total number of entry slots (`m · b`).
+    pub fn capacity(&self) -> usize {
+        self.buckets.len() * self.entries_per_bucket
+    }
+
+    /// Load factor β: occupied slots / total slots.
+    pub fn load_factor(&self) -> f64 {
+        self.items as f64 / self.capacity() as f64
+    }
+
+    /// Serialized size in bits: `m · b · |κ|`.
+    pub fn size_bits(&self) -> usize {
+        self.capacity() * self.params.fingerprint_bits as usize
+    }
+
+    /// Occupancy statistics (used by the experiment harness).
+    pub fn occupancy(&self) -> OccupancyStats {
+        OccupancyStats::from_counts(self.buckets.iter().map(|b| b.len()), self.entries_per_bucket)
+    }
+
+    /// The (fingerprint, primary bucket) pair for a key.
+    #[inline]
+    pub fn index_of(&self, key: u64) -> (u16, usize) {
+        self.fingerprinter.fingerprint_and_bucket(key, self.buckets.len())
+    }
+
+    /// The alternate bucket for a (bucket, fingerprint) pair: ℓ′ = ℓ ⊕ h(κ).
+    #[inline]
+    pub fn alt_bucket(&self, bucket: usize, fp: u16) -> usize {
+        (bucket ^ self.partial_hasher.hash_u64(u64::from(fp)) as usize) & self.bucket_mask
+    }
+
+    /// Insert a key. Duplicate keys insert additional fingerprint copies (§4.3).
+    pub fn insert(&mut self, key: u64) -> Result<(), InsertError> {
+        let (fp, bucket) = self.index_of(key);
+        self.insert_fingerprint(fp, bucket)
+    }
+
+    /// Insert a raw (fingerprint, primary-bucket) pair. Exposed so that Algorithm 2 can
+    /// copy surviving entries of a CCF into a fresh filter without re-deriving keys.
+    pub fn insert_fingerprint(&mut self, fp: u16, bucket: usize) -> Result<(), InsertError> {
+        debug_assert_ne!(fp, 0);
+        let bucket = bucket & self.bucket_mask;
+        let alt = self.alt_bucket(bucket, fp);
+
+        // Prefer the primary bucket, then the alternate (§4.1: "ℓ being preferred
+        // over ℓ′").
+        if self.buckets[bucket].try_insert(fp) || self.buckets[alt].try_insert(fp) {
+            self.items += 1;
+            return Ok(());
+        }
+
+        // Both buckets full: kick a random victim and relocate it, up to MAX_KICKS.
+        let mut current_bucket = if self.rng.gen_bool(0.5) { bucket } else { alt };
+        let mut current_fp = fp;
+        for _ in 0..MAX_KICKS {
+            let slot = self.rng.gen_range(0..self.entries_per_bucket);
+            let victim = self.buckets[current_bucket].swap(slot, current_fp);
+            debug_assert_ne!(victim, 0, "kicked an empty slot from a full bucket");
+            current_fp = victim;
+            current_bucket = self.alt_bucket(current_bucket, current_fp);
+            if self.buckets[current_bucket].try_insert(current_fp) {
+                self.items += 1;
+                return Ok(());
+            }
+        }
+        Err(InsertError::FilterFull {
+            fingerprint: current_fp,
+        })
+    }
+
+    /// Query whether a key may be in the set. No false negatives for inserted keys
+    /// (unless a copy was deleted).
+    pub fn contains(&self, key: u64) -> bool {
+        let (fp, bucket) = self.index_of(key);
+        let alt = self.alt_bucket(bucket, fp);
+        self.buckets[bucket].contains(fp) || self.buckets[alt].contains(fp)
+    }
+
+    /// Number of stored copies of the key's fingerprint in its bucket pair (≤ 2b).
+    pub fn count(&self, key: u64) -> usize {
+        let (fp, bucket) = self.index_of(key);
+        let alt = self.alt_bucket(bucket, fp);
+        if bucket == alt {
+            self.buckets[bucket].count(fp)
+        } else {
+            self.buckets[bucket].count(fp) + self.buckets[alt].count(fp)
+        }
+    }
+
+    /// Delete one copy of a key's fingerprint. Returns `true` if a copy was removed.
+    ///
+    /// As with all cuckoo filters, deleting a key that was never inserted may remove
+    /// another key's colliding fingerprint; only delete keys known to be present.
+    pub fn delete(&mut self, key: u64) -> bool {
+        let (fp, bucket) = self.index_of(key);
+        let alt = self.alt_bucket(bucket, fp);
+        if self.buckets[bucket].remove_one(fp) || self.buckets[alt].remove_one(fp) {
+            self.items -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Theoretical FPR bound for a membership query: `E[D] · 2^{-|κ|}` where `D` is the
+    /// number of occupied entries in a bucket pair (§4.2 / eq. 4), estimated from the
+    /// current occupancy.
+    pub fn expected_fpr(&self) -> f64 {
+        let avg_occupied_pair = 2.0 * self.load_factor() * self.entries_per_bucket as f64;
+        avg_occupied_pair * 2f64.powi(-(self.params.fingerprint_bits as i32))
+    }
+
+    /// Expose bucket contents for size/occupancy analysis and semi-sorting experiments.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params(seed: u64) -> CuckooFilterParams {
+        CuckooFilterParams {
+            num_buckets: 1 << 10,
+            entries_per_bucket: 4,
+            fingerprint_bits: 12,
+            seed,
+        }
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = CuckooFilter::new(small_params(1));
+        let n = 3500; // ~85% load
+        for k in 0..n {
+            f.insert(k).expect("insert should succeed below capacity");
+        }
+        for k in 0..n {
+            assert!(f.contains(k), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn fpr_is_near_theory() {
+        let mut f = CuckooFilter::new(small_params(2));
+        for k in 0..3800u64 {
+            f.insert(k).unwrap();
+        }
+        let expected = f.expected_fpr();
+        let trials = 200_000u64;
+        let fps = (0..trials).filter(|&k| f.contains(k + 1_000_000)).count();
+        let measured = fps as f64 / trials as f64;
+        assert!(
+            measured < expected * 2.0 + 1e-3,
+            "measured FPR {measured} far above expected {expected}"
+        );
+    }
+
+    #[test]
+    fn achieves_high_load_factor_on_unique_keys() {
+        // §4.2: an optimally sized filter empirically achieves β ≈ 95% with b = 4.
+        let mut f = CuckooFilter::new(small_params(3));
+        let mut inserted = 0u64;
+        for k in 0..f.capacity() as u64 {
+            if f.insert(k).is_err() {
+                break;
+            }
+            inserted += 1;
+        }
+        let lf = inserted as f64 / f.capacity() as f64;
+        assert!(lf > 0.93, "load factor at first failure only {lf}");
+    }
+
+    #[test]
+    fn duplicate_keys_fail_early() {
+        // §4.3: at most 2b copies of a key fit; the (2b+1)-th insertion must fail.
+        let mut f = CuckooFilter::new(small_params(4));
+        let b = f.entries_per_bucket();
+        for i in 0..(2 * b) {
+            f.insert(42).unwrap_or_else(|_| panic!("copy {i} should fit"));
+        }
+        assert!(f.insert(42).is_err(), "copy {} must not fit", 2 * b + 1);
+        assert_eq!(f.count(42), 2 * b);
+    }
+
+    #[test]
+    fn delete_removes_one_copy_at_a_time() {
+        let mut f = CuckooFilter::new(small_params(5));
+        f.insert(7).unwrap();
+        f.insert(7).unwrap();
+        assert_eq!(f.count(7), 2);
+        assert!(f.delete(7));
+        assert!(f.contains(7));
+        assert!(f.delete(7));
+        assert!(!f.contains(7));
+        assert!(!f.delete(7));
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn alt_bucket_is_an_involution() {
+        let f = CuckooFilter::new(small_params(6));
+        for key in 0..2000u64 {
+            let (fp, b) = f.index_of(key);
+            let alt = f.alt_bucket(b, fp);
+            assert_eq!(f.alt_bucket(alt, fp), b, "xor mapping must be an involution");
+        }
+    }
+
+    #[test]
+    fn insert_after_delete_reuses_space() {
+        let mut f = CuckooFilter::new(CuckooFilterParams {
+            num_buckets: 8,
+            entries_per_bucket: 2,
+            fingerprint_bits: 8,
+            seed: 9,
+        });
+        let mut keys: Vec<u64> = (0..12).collect();
+        for &k in &keys {
+            // Fill to near capacity; ignore failures.
+            let _ = f.insert(k);
+        }
+        let len_before = f.len();
+        // Delete the first half that are present and re-insert fresh keys.
+        keys.retain(|&k| f.contains(k));
+        for &k in keys.iter().take(len_before / 2) {
+            assert!(f.delete(k));
+        }
+        for nk in 100..(100 + (len_before / 2) as u64) {
+            f.insert(nk).expect("freed space should be reusable");
+        }
+        assert_eq!(f.len(), len_before);
+    }
+
+    #[test]
+    fn for_capacity_sizes_generously() {
+        let p = CuckooFilterParams::for_capacity(10_000, 12, 0);
+        assert!(p.num_buckets * p.entries_per_bucket >= 10_000);
+        let mut f = CuckooFilter::new(p);
+        for k in 0..10_000u64 {
+            f.insert(k).expect("sized-for capacity inserts must succeed");
+        }
+    }
+
+    #[test]
+    fn load_factor_and_len_track_insertions() {
+        let mut f = CuckooFilter::new(small_params(7));
+        assert!(f.is_empty());
+        for k in 0..100u64 {
+            f.insert(k).unwrap();
+        }
+        assert_eq!(f.len(), 100);
+        assert!((f.load_factor() - 100.0 / f.capacity() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_bits_matches_geometry() {
+        let f = CuckooFilter::new(CuckooFilterParams {
+            num_buckets: 1 << 8,
+            entries_per_bucket: 4,
+            fingerprint_bits: 9,
+            seed: 0,
+        });
+        assert_eq!(f.size_bits(), 256 * 4 * 9);
+    }
+
+    #[test]
+    fn different_seeds_produce_different_layouts_same_semantics() {
+        let mut a = CuckooFilter::new(small_params(100));
+        let mut b = CuckooFilter::new(small_params(200));
+        for k in 0..500u64 {
+            a.insert(k).unwrap();
+            b.insert(k).unwrap();
+        }
+        for k in 0..500u64 {
+            assert!(a.contains(k) && b.contains(k));
+        }
+        // Layouts should differ (fingerprints under different salts).
+        let differs = (0..500u64).any(|k| a.index_of(k) != b.index_of(k));
+        assert!(differs);
+    }
+}

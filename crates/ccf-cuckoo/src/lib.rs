@@ -1,0 +1,35 @@
+//! Cuckoo filter and cuckoo hash table substrate (§4 of the paper).
+//!
+//! This crate provides the structures the Conditional Cuckoo Filter is built from and
+//! compared against:
+//!
+//! * [`CuckooFilter`] — a standard partial-key cuckoo filter (Fan et al., 2014): `m`
+//!   buckets of `b` entries, each entry a small non-zero fingerprint κ; the alternate
+//!   bucket is ℓ′ = ℓ ⊕ h(κ). This is the *"Cuckoo Filter"* baseline of Figures 6b/6d
+//!   (a pre-built key-only join filter that ignores predicates) and the structure
+//!   returned by predicate-only queries (Algorithm 2).
+//! * Multiset insertion behaviour on [`CuckooFilter`] (§4.3): duplicate keys may be
+//!   inserted as extra fingerprint copies, but at most `2b` copies fit in a bucket pair
+//!   and load factors collapse under skew — the limitation that motivates chaining.
+//! * [`CuckooHashTable`] — an open-addressing cuckoo hash table storing full keys and
+//!   values (§4.1), used by the join substrate for exact hash joins and for the
+//!   raw-hash-table size comparison of §10.7.
+//! * [`semisort`] — the semi-sorting encoding of §4.2 used in the bit-efficiency
+//!   analysis (Figure 5).
+//! * [`metrics`] — occupancy / load-factor accounting shared by the experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod chained_table;
+pub mod filter;
+pub mod metrics;
+pub mod semisort;
+pub mod table;
+
+pub use bucket::Bucket;
+pub use chained_table::ChainedCuckooTable;
+pub use filter::{CuckooFilter, CuckooFilterParams, InsertError, MAX_KICKS};
+pub use metrics::OccupancyStats;
+pub use table::CuckooHashTable;

@@ -1,0 +1,94 @@
+//! Occupancy metrics shared by the filter experiments.
+//!
+//! The multiset experiments (§10.1–10.2, Figures 4–5) report the *load factor at first
+//! failed insertion* and the distribution of bucket occupancy; this module provides the
+//! summary statistics those experiments print.
+
+/// Summary of bucket occupancy for a cuckoo structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancyStats {
+    /// Number of buckets.
+    pub num_buckets: usize,
+    /// Entries per bucket (`b`).
+    pub entries_per_bucket: usize,
+    /// Total occupied entries.
+    pub occupied: usize,
+    /// Number of completely full buckets.
+    pub full_buckets: usize,
+    /// Number of completely empty buckets.
+    pub empty_buckets: usize,
+}
+
+impl OccupancyStats {
+    /// Build stats from an iterator of per-bucket occupancy counts.
+    pub fn from_counts<I: IntoIterator<Item = usize>>(counts: I, entries_per_bucket: usize) -> Self {
+        let mut num_buckets = 0;
+        let mut occupied = 0;
+        let mut full_buckets = 0;
+        let mut empty_buckets = 0;
+        for c in counts {
+            num_buckets += 1;
+            occupied += c;
+            if c == entries_per_bucket {
+                full_buckets += 1;
+            }
+            if c == 0 {
+                empty_buckets += 1;
+            }
+        }
+        Self {
+            num_buckets,
+            entries_per_bucket,
+            occupied,
+            full_buckets,
+            empty_buckets,
+        }
+    }
+
+    /// Total slot capacity `m · b`.
+    pub fn capacity(&self) -> usize {
+        self.num_buckets * self.entries_per_bucket
+    }
+
+    /// Load factor β = occupied / capacity (0 for an empty structure).
+    pub fn load_factor(&self) -> f64 {
+        if self.capacity() == 0 {
+            0.0
+        } else {
+            self.occupied as f64 / self.capacity() as f64
+        }
+    }
+
+    /// Fraction of buckets that are completely full.
+    pub fn full_fraction(&self) -> f64 {
+        if self.num_buckets == 0 {
+            0.0
+        } else {
+            self.full_buckets as f64 / self.num_buckets as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_counts_aggregates_correctly() {
+        let stats = OccupancyStats::from_counts(vec![0, 4, 2, 4, 1], 4);
+        assert_eq!(stats.num_buckets, 5);
+        assert_eq!(stats.occupied, 11);
+        assert_eq!(stats.full_buckets, 2);
+        assert_eq!(stats.empty_buckets, 1);
+        assert_eq!(stats.capacity(), 20);
+        assert!((stats.load_factor() - 0.55).abs() < 1e-12);
+        assert!((stats.full_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_structure_has_zero_load() {
+        let stats = OccupancyStats::from_counts(std::iter::empty(), 4);
+        assert_eq!(stats.load_factor(), 0.0);
+        assert_eq!(stats.full_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Semi-sorting bucket compression (§4.2).
+//!
+//! "In order to further reduce the number of bits per item needed to achieve a target
+//! FPR, the entries in the bucket can be sorted. This reduces the entropy of the bucket
+//! and allows for a more efficient encoding. This can be done efficiently if only 4-bit
+//! prefixes of the fingerprints are sorted."
+//!
+//! With `b = 4` entries per bucket, the sorted multiset of four 4-bit prefixes has
+//! C(16 + 4 − 1, 4) = 3876 possible values, which fits in 12 bits instead of 16 — one
+//! bit saved per entry, turning the cuckoo filter's `(log2(1/ρ) + 3)/β` bits per item
+//! into `(log2(1/ρ) + 2)/β`. The paper only uses this in its bit-efficiency analysis
+//! (Figure 5 / §10.2), so this module provides the codec plus the size accounting.
+
+/// Number of distinct sorted multisets of `b` values drawn from an alphabet of size
+/// `a`: C(a + b − 1, b).
+pub fn multiset_count(alphabet: usize, b: usize) -> u64 {
+    // Small values only (a=16, b<=8): direct binomial is fine in u64/u128.
+    let n = (alphabet + b - 1) as u128;
+    let k = b as u128;
+    let mut num: u128 = 1;
+    let mut den: u128 = 1;
+    for i in 0..k {
+        num *= n - i;
+        den *= i + 1;
+    }
+    (num / den) as u64
+}
+
+/// Bits needed to encode the sorted 4-bit prefixes of a bucket of `b` entries.
+pub fn sorted_prefix_bits(b: usize) -> u32 {
+    let count = multiset_count(16, b);
+    64 - (count - 1).leading_zeros()
+}
+
+/// Bits saved per entry by the semi-sorting encoding relative to storing `b` raw 4-bit
+/// prefixes.
+pub fn bits_saved_per_entry(b: usize) -> f64 {
+    (4 * b) as f64 / b as f64 - sorted_prefix_bits(b) as f64 / b as f64
+}
+
+/// Encode the 4-bit prefixes of a bucket's `b` fingerprints as a single index into the
+/// lexicographically ordered list of sorted multisets. Returns the index and the sorted
+/// prefixes (the remainder of each fingerprint must be stored separately and
+/// re-associated by sort order).
+pub fn encode_prefixes(fingerprints: &[u16]) -> (u64, Vec<u8>) {
+    let mut prefixes: Vec<u8> = fingerprints.iter().map(|&f| (f & 0xF) as u8).collect();
+    prefixes.sort_unstable();
+    (rank_of_sorted_multiset(&prefixes), prefixes)
+}
+
+/// Decode an index produced by [`encode_prefixes`] back into the sorted prefixes.
+pub fn decode_prefixes(mut rank: u64, b: usize) -> Vec<u8> {
+    // Enumerate sorted multisets of length b over 0..16 in lexicographic order and
+    // invert the ranking combinatorially.
+    let mut out = Vec::with_capacity(b);
+    let mut min = 0u8;
+    for pos in 0..b {
+        let remaining = b - pos - 1;
+        for v in min..16 {
+            // Number of sorted multisets of length `remaining` with values >= v.
+            let count = multiset_count((16 - v) as usize, remaining);
+            if rank < count {
+                out.push(v);
+                min = v;
+                break;
+            }
+            rank -= count;
+        }
+    }
+    out
+}
+
+/// Rank of a sorted multiset (ascending) among all sorted multisets of the same length
+/// over 0..16, in lexicographic order.
+fn rank_of_sorted_multiset(sorted: &[u8]) -> u64 {
+    let b = sorted.len();
+    let mut rank = 0u64;
+    let mut min = 0u8;
+    for (pos, &x) in sorted.iter().enumerate() {
+        let remaining = b - pos - 1;
+        for v in min..x {
+            rank += multiset_count((16 - v) as usize, remaining);
+        }
+        min = x;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiset_count_matches_paper_figure() {
+        // b = 4, 4-bit prefixes: 3876 combinations, fitting in 12 bits.
+        assert_eq!(multiset_count(16, 4), 3876);
+        assert_eq!(sorted_prefix_bits(4), 12);
+        // One bit saved per entry relative to 4 raw prefixes (16 bits).
+        assert!((bits_saved_per_entry(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_small_cases() {
+        // Exhaustively roundtrip every sorted multiset for b = 2 (136 of them) and a
+        // sample for b = 4.
+        for a in 0..16u16 {
+            for b in a..16u16 {
+                let (rank, sorted) = encode_prefixes(&[b, a]);
+                assert_eq!(decode_prefixes(rank, 2), sorted);
+            }
+        }
+        let samples: [[u16; 4]; 5] = [
+            [0, 0, 0, 0],
+            [15, 15, 15, 15],
+            [1, 7, 7, 12],
+            [3, 3, 9, 14],
+            [0, 5, 10, 15],
+        ];
+        for s in samples {
+            let (rank, sorted) = encode_prefixes(&s);
+            assert!(rank < 3876);
+            assert_eq!(decode_prefixes(rank, 4), sorted);
+        }
+    }
+
+    #[test]
+    fn ranks_are_unique_for_b4() {
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..16u16 {
+            for b in a..16 {
+                for c in b..16 {
+                    for d in c..16 {
+                        let (rank, _) = encode_prefixes(&[d, b, a, c]);
+                        assert!(seen.insert(rank), "duplicate rank {rank}");
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), 3876);
+    }
+
+    #[test]
+    fn encode_ignores_input_order_and_high_bits() {
+        // Only the 4-bit prefixes matter and order is canonicalized by sorting.
+        let (r1, _) = encode_prefixes(&[0x012, 0x345, 0x678, 0x9AB]);
+        let (r2, _) = encode_prefixes(&[0xFF8, 0xCC5, 0x112, 0x00B]);
+        assert_eq!(r1, r2);
+    }
+}

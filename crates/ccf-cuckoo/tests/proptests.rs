@@ -1,0 +1,132 @@
+//! Property-based tests for the cuckoo filter and cuckoo hash table substrate.
+
+use ccf_cuckoo::{CuckooFilter, CuckooFilterParams, CuckooHashTable};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+proptest! {
+    /// Keys successfully inserted into a cuckoo filter are always found (no false
+    /// negatives), regardless of seed and key set.
+    #[test]
+    fn cuckoo_filter_no_false_negatives(
+        seed in any::<u64>(),
+        keys in proptest::collection::hash_set(any::<u64>(), 1..500),
+    ) {
+        let mut f = CuckooFilter::new(CuckooFilterParams::for_capacity(keys.len() + 16, 12, seed));
+        let mut inserted = Vec::new();
+        for &k in &keys {
+            if f.insert(k).is_ok() {
+                inserted.push(k);
+            }
+        }
+        for &k in &inserted {
+            prop_assert!(f.contains(k), "false negative for {k}");
+        }
+    }
+
+    /// Deleting an inserted key removes exactly one copy; remaining copies stay
+    /// findable and the length bookkeeping is exact.
+    #[test]
+    fn cuckoo_filter_delete_bookkeeping(
+        seed in any::<u64>(),
+        keys in proptest::collection::vec(0u64..200, 1..300),
+    ) {
+        let mut f = CuckooFilter::new(CuckooFilterParams {
+            num_buckets: 256,
+            entries_per_bucket: 4,
+            fingerprint_bits: 12,
+            seed,
+        });
+        let mut copies: HashMap<u64, usize> = HashMap::new();
+        for &k in &keys {
+            if f.insert(k).is_ok() {
+                *copies.entry(k).or_default() += 1;
+            }
+        }
+        let total: usize = copies.values().sum();
+        prop_assert_eq!(f.len(), total);
+        // Delete one copy of each distinct key that has one.
+        for (&k, &n) in &copies {
+            prop_assert!(f.delete(k));
+            if n > 1 {
+                prop_assert!(f.contains(k), "other copies of {k} must remain");
+            }
+        }
+        prop_assert_eq!(f.len(), total - copies.len());
+    }
+
+    /// The cuckoo hash table behaves like a HashMap under inserts, updates, removals
+    /// and lookups.
+    #[test]
+    fn cuckoo_table_matches_hashmap(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u8..3, 0u64..100, any::<u32>()), 1..400),
+    ) {
+        let mut table: CuckooHashTable<u32> = CuckooHashTable::new(4, 4, seed);
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for (op, key, value) in ops {
+            match op {
+                0 => {
+                    let expected = model.insert(key, value);
+                    let got = table.insert(key, value);
+                    prop_assert_eq!(got, expected);
+                }
+                1 => {
+                    let expected = model.remove(&key);
+                    let got = table.remove(key);
+                    prop_assert_eq!(got, expected);
+                }
+                _ => {
+                    prop_assert_eq!(table.get(key), model.get(&key));
+                }
+            }
+        }
+        prop_assert_eq!(table.len(), model.len());
+        for (&k, v) in &model {
+            prop_assert_eq!(table.get(k), Some(v));
+        }
+    }
+
+    /// Semi-sorting encode/decode round-trips the sorted 4-bit prefixes of any bucket.
+    #[test]
+    fn semisort_roundtrips(fingerprints in proptest::collection::vec(any::<u16>(), 1..8)) {
+        let (rank, sorted) = ccf_cuckoo::semisort::encode_prefixes(&fingerprints);
+        let decoded = ccf_cuckoo::semisort::decode_prefixes(rank, fingerprints.len());
+        prop_assert_eq!(sorted, decoded);
+    }
+
+    /// The filter's count() for a key never exceeds 2b and matches the number of
+    /// successful inserts for well-separated keys.
+    #[test]
+    fn duplicate_counts_are_capped(seed in any::<u64>(), copies in 1usize..20) {
+        let mut f = CuckooFilter::new(CuckooFilterParams {
+            num_buckets: 64,
+            entries_per_bucket: 4,
+            fingerprint_bits: 12,
+            seed,
+        });
+        let mut ok = 0usize;
+        for _ in 0..copies {
+            if f.insert(42).is_ok() {
+                ok += 1;
+            }
+        }
+        prop_assert!(f.count(42) <= 8);
+        prop_assert_eq!(f.count(42), ok);
+    }
+}
+
+#[test]
+fn distinct_key_sets_do_not_interfere() {
+    // Deterministic cross-check: two disjoint key sets inserted into the same filter
+    // remain individually queryable.
+    let mut f = CuckooFilter::new(CuckooFilterParams::for_capacity(2000, 12, 7));
+    let a: HashSet<u64> = (0..1000).collect();
+    let b: HashSet<u64> = (10_000..11_000).collect();
+    for &k in a.iter().chain(&b) {
+        f.insert(k).unwrap();
+    }
+    for &k in a.iter().chain(&b) {
+        assert!(f.contains(k));
+    }
+}

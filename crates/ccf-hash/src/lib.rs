@@ -1,0 +1,31 @@
+//! Hashing substrate for conditional cuckoo filters.
+//!
+//! The paper (§10.8) uses Bob Jenkins' `lookup3` hash function, the same hash used by
+//! the original cuckoo-filter paper (Fan et al., CoNEXT 2014). This crate provides:
+//!
+//! * [`lookup3`] — a faithful port of `lookup3.c` (`hashword`, `hashlittle`,
+//!   `hashlittle2`).
+//! * [`mix`] — 64-bit finalizers / mixers (splitmix64, Murmur3 fmix64) used wherever a
+//!   fast, well-distributed word mix is sufficient.
+//! * [`salted`] — a small family of salted hashers so that independent hash functions
+//!   (key hash, fingerprint hash, attribute hash, chain hash, per-Bloom-filter hashes)
+//!   can be derived from a single seed, matching the experimental setup of §10.1 where
+//!   runs are repeated "using random salts for the hash functions".
+//! * [`fingerprint`] — derivation of non-zero key fingerprints κ and attribute
+//!   fingerprints α of a configurable bit width.
+//!
+//! Everything here is deterministic given a seed; the same seed reproduces the same
+//! filter layout, which the experiment harness relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fingerprint;
+pub mod lookup3;
+pub mod mix;
+pub mod salted;
+
+pub use fingerprint::{AttrFingerprinter, Fingerprinter};
+pub use lookup3::{hashlittle, hashlittle2, hashword};
+pub use mix::{fmix64, hash_u64, splitmix64};
+pub use salted::{HashFamily, SaltedHasher};

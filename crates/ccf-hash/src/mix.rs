@@ -1,0 +1,131 @@
+//! 64-bit mixing / finalizer functions.
+//!
+//! The cuckoo-filter machinery mostly hashes small fixed-width integers (join keys,
+//! attribute values, bucket indices). For those a full byte-stream hash is overkill; a
+//! strong 64-bit finalizer gives the same statistical quality at a fraction of the
+//! cost. The salted hasher family in [`crate::salted`] composes these with per-purpose
+//! salts.
+
+/// The splitmix64 mixer (Steele, Lea & Flood; used as the seed sequencer of
+/// xoshiro/xoroshiro). A bijection on `u64` with excellent avalanche behaviour.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// MurmurHash3's 64-bit finalizer (`fmix64`). A bijection on `u64`.
+#[inline]
+pub fn fmix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^= x >> 33;
+    x
+}
+
+/// Hash a `u64` value under a 64-bit seed.
+///
+/// This is the workhorse primitive used by [`crate::salted::SaltedHasher`]: mixing the
+/// seed in through an xor-then-finalize construction gives hash functions that behave
+/// independently for distinct seeds.
+#[inline]
+pub fn hash_u64(value: u64, seed: u64) -> u64 {
+    fmix64(splitmix64(value ^ seed).wrapping_add(seed.rotate_left(32)))
+}
+
+/// Hash a pair of `u64` values under a seed. Used e.g. for the chaining hash
+/// `h(min(ℓ, ℓ′), κ)` of §6.2, which takes a bucket index *and* a fingerprint.
+#[inline]
+pub fn hash_u64_pair(a: u64, b: u64, seed: u64) -> u64 {
+    // Combine with distinct odd multipliers before finalizing so that (a, b) and
+    // (b, a) map to unrelated values.
+    let x = splitmix64(a ^ seed);
+    let y = splitmix64(b.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed.rotate_left(17));
+    fmix64(x ^ y.rotate_left(29))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn splitmix64_known_sequence() {
+        // Reference values from the splitmix64 reference implementation seeded with 0:
+        // successive outputs of the generator are splitmix64 applied to 1, 2, 3 ... of
+        // the *state*, but the mixer itself is deterministic; check stability.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+    }
+
+    #[test]
+    fn fmix64_is_bijective_on_sample() {
+        let mut seen = HashSet::new();
+        for i in 0..100_000u64 {
+            assert!(seen.insert(fmix64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn fmix64_zero_maps_to_zero() {
+        // fmix64 fixes 0; callers that need non-zero outputs must handle this.
+        assert_eq!(fmix64(0), 0);
+    }
+
+    #[test]
+    fn hash_u64_seed_independence() {
+        // The same values hashed under two different seeds should look unrelated:
+        // count collisions in the low 16 bits.
+        let mut same = 0usize;
+        for v in 0..10_000u64 {
+            if hash_u64(v, 1) & 0xFFFF == hash_u64(v, 2) & 0xFFFF {
+                same += 1;
+            }
+        }
+        // Expected ~ 10000 / 65536 ≈ 0.15; allow generous slack.
+        assert!(same < 30, "too many low-bit collisions across seeds: {same}");
+    }
+
+    #[test]
+    fn hash_u64_avalanche() {
+        // Flipping one input bit should flip roughly half of the output bits.
+        let mut total_flips = 0u32;
+        let trials = 1000;
+        for v in 0..trials {
+            let h0 = hash_u64(v, 42);
+            let h1 = hash_u64(v ^ 1, 42);
+            total_flips += (h0 ^ h1).count_ones();
+        }
+        let avg = total_flips as f64 / trials as f64;
+        assert!((24.0..40.0).contains(&avg), "poor avalanche: {avg} bits");
+    }
+
+    #[test]
+    fn hash_pair_is_order_sensitive() {
+        assert_ne!(hash_u64_pair(1, 2, 0), hash_u64_pair(2, 1, 0));
+        assert_ne!(hash_u64_pair(5, 5, 1), hash_u64_pair(5, 5, 2));
+    }
+
+    #[test]
+    fn hash_pair_uniform_low_bits() {
+        // Bucket selection uses modulo on these hashes; make sure low bits are usable.
+        let m = 64u64;
+        let mut counts = vec![0u32; m as usize];
+        for a in 0..200u64 {
+            for b in 0..50u64 {
+                counts[(hash_u64_pair(a, b, 7) % m) as usize] += 1;
+            }
+        }
+        let expected = (200 * 50) as f64 / m as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > expected * 0.5 && (c as f64) < expected * 1.5,
+                "bucket {i} count {c} far from expected {expected}"
+            );
+        }
+    }
+}

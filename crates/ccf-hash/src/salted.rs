@@ -1,0 +1,194 @@
+//! Salted hash functions and hash-function families.
+//!
+//! The CCF needs several *independent* hash functions:
+//!
+//! * the key hash that selects the primary bucket ℓ,
+//! * the fingerprint hash producing κ,
+//! * the partial-key hash `h(κ)` used to derive the alternate bucket ℓ′ = ℓ ⊕ h(κ),
+//! * the chain hash `h(min(ℓ, ℓ′), κ)` of §6.2,
+//! * one hash per attribute column for attribute fingerprints,
+//! * `k` hashes for each Bloom attribute sketch.
+//!
+//! All of them are derived from one `u64` seed via [`HashFamily`], so an experiment run
+//! is reproducible from a single salt (§10.1 averages over 20 runs with random salts).
+
+use crate::lookup3::hashlittle2_u64;
+use crate::mix::{hash_u64, hash_u64_pair, splitmix64};
+
+/// A single salted hash function over `u64` values and byte strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaltedHasher {
+    seed: u64,
+}
+
+impl SaltedHasher {
+    /// Create a hasher with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The seed this hasher was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Hash a 64-bit value.
+    #[inline]
+    pub fn hash_u64(&self, value: u64) -> u64 {
+        hash_u64(value, self.seed)
+    }
+
+    /// Hash a pair of 64-bit values (order-sensitive).
+    #[inline]
+    pub fn hash_pair(&self, a: u64, b: u64) -> u64 {
+        hash_u64_pair(a, b, self.seed)
+    }
+
+    /// Hash a byte slice using Jenkins lookup3 (`hashlittle2`), seeded by this salt.
+    #[inline]
+    pub fn hash_bytes(&self, bytes: &[u8]) -> u64 {
+        hashlittle2_u64(bytes, self.seed)
+    }
+
+    /// Hash a value into the range `[0, m)`.
+    ///
+    /// Uses the "multiply-shift" / Lemire reduction rather than a modulo so the result
+    /// is unbiased for non-power-of-two `m` and cheap to compute.
+    #[inline]
+    pub fn bucket_of(&self, value: u64, m: usize) -> usize {
+        debug_assert!(m > 0);
+        let h = self.hash_u64(value);
+        // 128-bit multiply-high reduction.
+        (((h as u128) * (m as u128)) >> 64) as usize
+    }
+}
+
+/// A family of independent salted hashers derived from one master seed.
+///
+/// Index `i` of the family is deterministic: `family.hasher(i)` always returns the same
+/// hasher for the same master seed, and hashers at distinct indices behave
+/// independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashFamily {
+    master_seed: u64,
+}
+
+impl HashFamily {
+    /// Create a family from a master seed.
+    pub fn new(master_seed: u64) -> Self {
+        Self { master_seed }
+    }
+
+    /// The master seed.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// The `i`-th hasher of the family.
+    pub fn hasher(&self, i: u64) -> SaltedHasher {
+        // Two rounds of splitmix decorrelate consecutive indices thoroughly.
+        SaltedHasher::new(splitmix64(splitmix64(self.master_seed ^ i.wrapping_mul(0xA24B_AED4_963E_E407))))
+    }
+
+    /// Derive a sub-family, e.g. one family per Bloom attribute sketch.
+    pub fn subfamily(&self, i: u64) -> HashFamily {
+        HashFamily::new(self.hasher(i).seed() ^ 0x5851_F42D_4C95_7F2D)
+    }
+}
+
+/// Well-known hash-function indices used throughout the CCF crates, so every component
+/// draws its hasher from the same family without colliding with another component.
+pub mod purpose {
+    /// Key → primary bucket ℓ.
+    pub const KEY_BUCKET: u64 = 0;
+    /// Key → fingerprint κ.
+    pub const KEY_FINGERPRINT: u64 = 1;
+    /// Fingerprint κ → alternate-bucket offset h(κ) (partial-key cuckoo hashing).
+    pub const PARTIAL_KEY: u64 = 2;
+    /// (min(ℓ, ℓ′), κ) → next chain bucket (§6.2).
+    pub const CHAIN: u64 = 3;
+    /// Base index for per-attribute-column fingerprint hashes; column `c` uses
+    /// `ATTRIBUTE_BASE + c`.
+    pub const ATTRIBUTE_BASE: u64 = 16;
+    /// Base index for Bloom-attribute-sketch hash functions; hash `j` uses
+    /// `BLOOM_BASE + j`.
+    pub const BLOOM_BASE: u64 = 1024;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_is_deterministic() {
+        let f1 = HashFamily::new(99);
+        let f2 = HashFamily::new(99);
+        for i in 0..20 {
+            assert_eq!(f1.hasher(i), f2.hasher(i));
+        }
+    }
+
+    #[test]
+    fn family_members_are_distinct() {
+        let f = HashFamily::new(7);
+        let mut seeds = std::collections::HashSet::new();
+        for i in 0..1000 {
+            assert!(seeds.insert(f.hasher(i).seed()), "duplicate seed at index {i}");
+        }
+    }
+
+    #[test]
+    fn different_master_seeds_give_different_hashers() {
+        let a = HashFamily::new(1).hasher(0);
+        let b = HashFamily::new(2).hasher(0);
+        assert_ne!(a.hash_u64(42), b.hash_u64(42));
+    }
+
+    #[test]
+    fn bucket_of_is_in_range_and_roughly_uniform() {
+        let h = SaltedHasher::new(123);
+        let m = 97; // non power of two
+        let mut counts = vec![0u32; m];
+        for v in 0..97_000u64 {
+            let b = h.bucket_of(v, m);
+            assert!(b < m);
+            counts[b] += 1;
+        }
+        let expected = 97_000.0 / m as f64;
+        for &c in &counts {
+            assert!((c as f64) > expected * 0.8 && (c as f64) < expected * 1.2);
+        }
+    }
+
+    #[test]
+    fn hash_bytes_uses_lookup3() {
+        let h = SaltedHasher::new(0);
+        assert_eq!(
+            h.hash_bytes(b"abc"),
+            crate::lookup3::hashlittle2_u64(b"abc", 0)
+        );
+    }
+
+    #[test]
+    fn subfamily_differs_from_parent() {
+        let f = HashFamily::new(5);
+        let sub = f.subfamily(0);
+        assert_ne!(f.hasher(0), sub.hasher(0));
+        assert_ne!(f.master_seed(), sub.master_seed());
+    }
+
+    #[test]
+    fn independence_between_family_members() {
+        // Correlation check: members 0 and 1 should not agree on low bits more than
+        // chance would allow.
+        let f = HashFamily::new(2024);
+        let (a, b) = (f.hasher(0), f.hasher(1));
+        let mut agree = 0;
+        for v in 0..10_000u64 {
+            if a.hash_u64(v) & 0xFF == b.hash_u64(v) & 0xFF {
+                agree += 1;
+            }
+        }
+        assert!(agree < 100, "members look correlated: {agree}/10000 byte agreements");
+    }
+}

@@ -1,0 +1,257 @@
+//! Bridging JOB-light query predicates to raw-row evaluation and CCF predicates.
+//!
+//! A query predicate on a table is used in two ways:
+//!
+//! * evaluated *exactly* on the table's raw rows (to compute `M_predicate`, the exact
+//!   semijoin baselines, and ground truth for FPR accounting);
+//! * translated into a [`ccf_core::Predicate`] over the table's CCF attribute columns,
+//!   with `production_year` ranges converted to bin in-lists per §9.1/§10.3 (the CCF
+//!   stores the binned year, except that a scan *on* `title` itself evaluates the year
+//!   predicate directly and needs no binning).
+
+use ccf_core::predicate::binning::Binning;
+use ccf_core::{ColumnPredicate, Predicate};
+use ccf_workloads::imdb::{spec_of, SyntheticTable, TableId};
+use ccf_workloads::joblight::{QueryPredicate, QueryTable};
+
+/// The binning used for `title.production_year` (16 bins over 1880–2019, §10.3).
+pub fn production_year_binning() -> Binning {
+    Binning::production_year()
+}
+
+/// Index of the `production_year` column within `title`'s predicate columns.
+pub const PRODUCTION_YEAR_COLUMN: usize = 1;
+
+/// Whether a table column stores binned values inside the CCF.
+pub fn column_is_binned(table: TableId, column: usize) -> bool {
+    table == TableId::Title && column == PRODUCTION_YEAR_COLUMN
+}
+
+/// The attribute vector a CCF stores for one row of a table: the raw predicate-column
+/// values, with `production_year` replaced by its bin id.
+pub fn ccf_attrs_for_row(table: &SyntheticTable, row: usize) -> Vec<u64> {
+    let binning = production_year_binning();
+    table
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(ci, col)| {
+            if column_is_binned(table.id, ci) {
+                binning.bin_of(col[row])
+            } else {
+                col[row]
+            }
+        })
+        .collect()
+}
+
+/// Evaluate a single query predicate against one raw row of a table.
+pub fn row_matches_predicate(table: &SyntheticTable, row: usize, pred: &QueryPredicate) -> bool {
+    match pred {
+        QueryPredicate::Eq { column, value } => table.columns[*column][row] == *value,
+        QueryPredicate::Range { column, lo, hi } => {
+            let v = table.columns[*column][row];
+            v >= *lo && v <= *hi
+        }
+    }
+}
+
+/// Evaluate all of a query-table's predicates against one raw row (conjunction).
+pub fn row_matches_table_predicates(table: &SyntheticTable, row: usize, qt: &QueryTable) -> bool {
+    debug_assert_eq!(table.id, qt.table);
+    qt.predicates
+        .iter()
+        .all(|p| row_matches_predicate(table, row, p))
+}
+
+/// Evaluate a query-table's predicates against one raw row *after binning* range
+/// predicates: a row matches if its value falls in a bin that overlaps the range. This
+/// is the "Exact Semijoin After Binning" baseline of Figure 7 / §10.6 — the error
+/// introduced by binning, with no sketching error on top.
+pub fn row_matches_table_predicates_binned(
+    table: &SyntheticTable,
+    row: usize,
+    qt: &QueryTable,
+) -> bool {
+    debug_assert_eq!(table.id, qt.table);
+    let binning = production_year_binning();
+    qt.predicates.iter().all(|p| match p {
+        QueryPredicate::Eq { .. } => row_matches_predicate(table, row, p),
+        QueryPredicate::Range { column, lo, hi } => {
+            if column_is_binned(table.id, *column) {
+                let bin = binning.bin_of(table.columns[*column][row]);
+                match binning.range_to_bins(*lo, *hi) {
+                    ColumnPredicate::Any => true,
+                    cond => cond.matches_value(bin),
+                }
+            } else {
+                row_matches_predicate(table, row, p)
+            }
+        }
+    })
+}
+
+/// Translate a query-table's predicates into a [`Predicate`] over the table's CCF
+/// attribute columns (equality stays equality; ranges on binned columns become bin
+/// in-lists; unconstrained columns stay unconstrained).
+pub fn ccf_predicate_for(qt: &QueryTable) -> Predicate {
+    let spec = spec_of(qt.table);
+    let binning = production_year_binning();
+    let mut conditions = vec![ColumnPredicate::Any; spec.columns.len()];
+    for p in &qt.predicates {
+        match p {
+            QueryPredicate::Eq { column, value } => {
+                let literal = if column_is_binned(qt.table, *column) {
+                    binning.bin_of(*value)
+                } else {
+                    *value
+                };
+                conditions[*column] = ColumnPredicate::Eq(literal);
+            }
+            QueryPredicate::Range { column, lo, hi } => {
+                conditions[*column] = if column_is_binned(qt.table, *column) {
+                    binning.range_to_bins(*lo, *hi)
+                } else {
+                    // Ranges on non-binned columns do not occur in JOB-light, but are
+                    // handled by enumerating the (small) value range.
+                    ColumnPredicate::InList((*lo..=*hi).collect())
+                };
+            }
+        }
+    }
+    Predicate::new(conditions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccf_workloads::imdb::SyntheticImdb;
+    use ccf_workloads::joblight::JobLightWorkload;
+
+    fn db() -> SyntheticImdb {
+        SyntheticImdb::generate(512, 11)
+    }
+
+    #[test]
+    fn ccf_attrs_bin_the_production_year() {
+        let db = db();
+        let title = db.table(TableId::Title);
+        let binning = production_year_binning();
+        for row in 0..50 {
+            let attrs = ccf_attrs_for_row(title, row);
+            assert_eq!(attrs.len(), 2);
+            assert_eq!(attrs[0], title.columns[0][row]);
+            assert_eq!(attrs[1], binning.bin_of(title.columns[1][row]));
+            assert!(attrs[1] < 16);
+        }
+        // Non-title tables keep raw values.
+        let ci = db.table(TableId::CastInfo);
+        for row in 0..50 {
+            assert_eq!(ccf_attrs_for_row(ci, row), vec![ci.columns[0][row]]);
+        }
+    }
+
+    #[test]
+    fn raw_predicate_evaluation() {
+        let db = db();
+        let title = db.table(TableId::Title);
+        let qt = QueryTable {
+            table: TableId::Title,
+            predicates: vec![
+                QueryPredicate::Eq {
+                    column: 0,
+                    value: title.columns[0][0],
+                },
+                QueryPredicate::Range {
+                    column: 1,
+                    lo: title.columns[1][0],
+                    hi: title.columns[1][0],
+                },
+            ],
+        };
+        assert!(row_matches_table_predicates(title, 0, &qt));
+        // A row with a different year must fail the range.
+        let other = (0..title.num_rows())
+            .find(|&r| title.columns[1][r] != title.columns[1][0])
+            .unwrap();
+        let matches = row_matches_table_predicates(title, other, &qt);
+        assert!(!matches || title.columns[0][other] == title.columns[0][0]);
+    }
+
+    #[test]
+    fn binned_evaluation_is_a_superset_of_exact() {
+        // Binning can only add rows (bins overlap the range boundary), never drop rows
+        // that match exactly.
+        let db = db();
+        let title = db.table(TableId::Title);
+        let qt = QueryTable {
+            table: TableId::Title,
+            predicates: vec![QueryPredicate::Range {
+                column: 1,
+                lo: 1950,
+                hi: 1983,
+            }],
+        };
+        for row in 0..title.num_rows() {
+            if row_matches_table_predicates(title, row, &qt) {
+                assert!(
+                    row_matches_table_predicates_binned(title, row, &qt),
+                    "binned evaluation dropped an exactly-matching row"
+                );
+            }
+        }
+        let exact = (0..title.num_rows())
+            .filter(|&r| row_matches_table_predicates(title, r, &qt))
+            .count();
+        let binned = (0..title.num_rows())
+            .filter(|&r| row_matches_table_predicates_binned(title, r, &qt))
+            .count();
+        assert!(binned >= exact);
+    }
+
+    #[test]
+    fn ccf_predicate_translation_covers_all_shapes() {
+        let qt = QueryTable {
+            table: TableId::Title,
+            predicates: vec![
+                QueryPredicate::Eq { column: 0, value: 3 },
+                QueryPredicate::Range {
+                    column: 1,
+                    lo: 1990,
+                    hi: 2005,
+                },
+            ],
+        };
+        let pred = ccf_predicate_for(&qt);
+        assert_eq!(pred.num_attrs(), 2);
+        assert_eq!(pred.conditions()[0], ColumnPredicate::Eq(3));
+        match &pred.conditions()[1] {
+            ColumnPredicate::InList(bins) => {
+                let binning = production_year_binning();
+                for year in 1990..=2005u64 {
+                    assert!(bins.contains(&binning.bin_of(year)));
+                }
+            }
+            other => panic!("expected bin in-list, got {other:?}"),
+        }
+        // A table occurrence without predicates translates to an unconstrained
+        // predicate (key-only behaviour).
+        let bare = QueryTable {
+            table: TableId::CastInfo,
+            predicates: vec![],
+        };
+        assert!(ccf_predicate_for(&bare).is_unconstrained());
+    }
+
+    #[test]
+    fn workload_predicates_translate_without_panicking() {
+        let db = db();
+        let wl = JobLightWorkload::generate(&db, 1);
+        for q in &wl.queries {
+            for qt in &q.tables {
+                let pred = ccf_predicate_for(qt);
+                assert_eq!(pred.num_attrs(), spec_of(qt.table).columns.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Join-processing substrate for the Conditional Cuckoo Filter evaluation.
+//!
+//! §3 of the paper motivates CCFs with star joins: pre-built filters let predicates on
+//! one table be pushed down to scans of every other table in the join graph, shrinking
+//! the tuple sets that reach hash tables or the network. §10.3–10.7 quantify this as
+//! the *reduction factor* of each scan — the fraction of predicate-qualified rows that
+//! survive semijoin reduction against the other tables.
+//!
+//! This crate implements the machinery those experiments need:
+//!
+//! * [`bridge`] — translating JOB-light query predicates into raw-row evaluation and
+//!   into [`ccf_core::Predicate`]s (with §9.1 binning for the `production_year`
+//!   ranges).
+//! * [`filters`] — building one pre-computed filter per table: a CCF of any variant
+//!   over (movie_id, predicate columns), plus the key-only cuckoo-filter baseline.
+//! * [`semijoin`] — exact semijoin reducers (the "Exact Semijoin" and "Exact Semijoin
+//!   After Binning" baselines).
+//! * [`reduction`] — per-(query, base-table) instance evaluation producing the
+//!   reduction factors of Figures 6–9 and the aggregates of §10.6.
+//! * [`hash_join`] — a cuckoo-hash-table-based hash join used by the examples to show
+//!   the end-to-end effect (smaller build sides) rather than just the counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod filters;
+pub mod hash_join;
+pub mod reduction;
+pub mod semijoin;
+
+pub use bridge::{ccf_predicate_for, row_matches_table_predicates};
+pub use filters::{FilterBank, FilterConfig};
+pub use reduction::{evaluate_workload, InstanceResult, WorkloadSummary};
+pub use semijoin::{exact_semijoin_keys, predicate_matching_keys};

@@ -1,0 +1,158 @@
+//! Exact semijoin reducers — the "best possible" baselines of the evaluation.
+//!
+//! "The minimum size output for the scan operator is produced by converting joins of
+//! this base table to other tables to semijoins, which only check if the key exists in
+//! the other tables after applying predicates." (§10.3)
+//!
+//! [`predicate_matching_keys`] computes, for one table occurrence in a query, the exact
+//! set of join keys that have at least one row satisfying the occurrence's predicates —
+//! with either exact or binned range evaluation. [`exact_semijoin_keys`] intersects
+//! those sets across all the *other* tables of a query, which is what a base-table scan
+//! is reduced by.
+
+use std::collections::HashSet;
+
+use ccf_workloads::imdb::SyntheticImdb;
+use ccf_workloads::joblight::{JobLightQuery, QueryTable};
+
+use crate::bridge::{row_matches_table_predicates, row_matches_table_predicates_binned};
+
+/// The set of join keys of `qt.table` that have at least one row satisfying `qt`'s
+/// predicates. With `binned = true`, range predicates are evaluated at bin granularity
+/// (the §9.1 conversion) instead of exactly.
+pub fn predicate_matching_keys(
+    db: &SyntheticImdb,
+    qt: &QueryTable,
+    binned: bool,
+) -> HashSet<u64> {
+    let table = db.table(qt.table);
+    let mut keys = HashSet::new();
+    for row in 0..table.num_rows() {
+        let matches = if binned {
+            row_matches_table_predicates_binned(table, row, qt)
+        } else {
+            row_matches_table_predicates(table, row, qt)
+        };
+        if matches {
+            keys.insert(table.join_keys[row]);
+        }
+    }
+    keys
+}
+
+/// The exact semijoin reduction set for a base table in a query: join keys that, for
+/// *every other* table of the query, appear in that table with its predicates
+/// satisfied. A base-table row survives the (exact) semijoin reduction iff its join key
+/// is in the returned set.
+///
+/// Returns `None` when the query has no other tables (nothing to reduce by).
+pub fn exact_semijoin_keys(
+    db: &SyntheticImdb,
+    query: &JobLightQuery,
+    base: &QueryTable,
+    binned: bool,
+) -> Option<HashSet<u64>> {
+    let mut acc: Option<HashSet<u64>> = None;
+    for other in query.other_tables(base.table) {
+        let keys = predicate_matching_keys(db, other, binned);
+        acc = Some(match acc {
+            None => keys,
+            Some(prev) => prev.intersection(&keys).copied().collect(),
+        });
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccf_workloads::imdb::{SyntheticImdb, TableId};
+    use ccf_workloads::joblight::{JobLightWorkload, QueryPredicate};
+
+    fn db() -> SyntheticImdb {
+        SyntheticImdb::generate(512, 31)
+    }
+
+    #[test]
+    fn matching_keys_without_predicates_are_all_table_keys() {
+        let db = db();
+        let qt = QueryTable {
+            table: TableId::MovieKeyword,
+            predicates: vec![],
+        };
+        let keys = predicate_matching_keys(&db, &qt, false);
+        assert_eq!(keys.len(), db.table(TableId::MovieKeyword).distinct_keys());
+    }
+
+    #[test]
+    fn equality_predicates_shrink_the_key_set() {
+        let db = db();
+        let table = db.table(TableId::CastInfo);
+        let value = table.columns[0][0];
+        let qt = QueryTable {
+            table: TableId::CastInfo,
+            predicates: vec![QueryPredicate::Eq { column: 0, value }],
+        };
+        let with_pred = predicate_matching_keys(&db, &qt, false);
+        let without = predicate_matching_keys(
+            &db,
+            &QueryTable {
+                table: TableId::CastInfo,
+                predicates: vec![],
+            },
+            false,
+        );
+        assert!(!with_pred.is_empty());
+        assert!(with_pred.len() < without.len());
+        assert!(with_pred.is_subset(&without));
+    }
+
+    #[test]
+    fn binned_key_sets_contain_exact_key_sets() {
+        let db = db();
+        let qt = QueryTable {
+            table: TableId::Title,
+            predicates: vec![QueryPredicate::Range {
+                column: 1,
+                lo: 1960,
+                hi: 1999,
+            }],
+        };
+        let exact = predicate_matching_keys(&db, &qt, false);
+        let binned = predicate_matching_keys(&db, &qt, true);
+        assert!(exact.is_subset(&binned));
+        assert!(binned.len() >= exact.len());
+    }
+
+    #[test]
+    fn semijoin_intersects_across_other_tables() {
+        let db = db();
+        let wl = JobLightWorkload::generate(&db, 31);
+        // Find a query with at least 3 tables.
+        let query = wl
+            .queries
+            .iter()
+            .find(|q| q.tables.len() >= 3)
+            .expect("workload contains multi-join queries");
+        let base = &query.tables[0];
+        let semijoin = exact_semijoin_keys(&db, query, base, false).unwrap();
+        // The intersection is a subset of each individual other-table key set.
+        for other in query.other_tables(base.table) {
+            let keys = predicate_matching_keys(&db, other, false);
+            assert!(semijoin.is_subset(&keys));
+        }
+    }
+
+    #[test]
+    fn single_table_query_has_nothing_to_reduce() {
+        let db = db();
+        let query = JobLightQuery {
+            id: 0,
+            tables: vec![QueryTable {
+                table: TableId::Title,
+                predicates: vec![],
+            }],
+        };
+        assert!(exact_semijoin_keys(&db, &query, &query.tables[0], false).is_none());
+    }
+}

@@ -1,0 +1,298 @@
+//! A JOB-light-style query workload (§10.3).
+//!
+//! JOB-light consists of 70 queries derived from the Join Order Benchmark: each query
+//! star-joins `title` with between 1 and 4 of the other five tables on `movie_id` and
+//! applies equality predicates on the tables' predicate columns, plus inequality
+//! (range) predicates on `title.production_year` in 55 of the 70 queries. The original
+//! query text accompanies the IMDB snapshot; this module generates a workload with the
+//! same structure deterministically from a seed, against the synthetic dataset of
+//! [`crate::imdb`].
+//!
+//! The paper reports 237 (query, base-table) instances that qualify for semijoin
+//! reduction across the 70 queries; the generated workload lands in the same range (a
+//! query with `t` tables contributes `t` instances).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::imdb::{spec_of, SyntheticImdb, TableId, PRODUCTION_YEAR_RANGE};
+
+/// A predicate of a JOB-light query on one column of one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryPredicate {
+    /// Equality on a predicate column (column index within the table's spec).
+    Eq {
+        /// Column index within the table's predicate columns.
+        column: usize,
+        /// The literal value.
+        value: u64,
+    },
+    /// Inclusive range on a predicate column (used for `title.production_year`).
+    Range {
+        /// Column index within the table's predicate columns.
+        column: usize,
+        /// Lower bound (inclusive).
+        lo: u64,
+        /// Upper bound (inclusive).
+        hi: u64,
+    },
+}
+
+/// One table occurrence in a query, with the predicates applied to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTable {
+    /// Which table.
+    pub table: TableId,
+    /// Predicates on this table (possibly empty).
+    pub predicates: Vec<QueryPredicate>,
+}
+
+/// One JOB-light-style query: a star join of the listed tables on `movie_id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobLightQuery {
+    /// Query number (0-based).
+    pub id: usize,
+    /// Tables involved (always includes `title`).
+    pub tables: Vec<QueryTable>,
+}
+
+impl JobLightQuery {
+    /// Number of joins in the query (tables − 1).
+    pub fn num_joins(&self) -> usize {
+        self.tables.len().saturating_sub(1)
+    }
+
+    /// The tables other than `base` (the CCF providers when `base` is scanned).
+    pub fn other_tables(&self, base: TableId) -> Vec<&QueryTable> {
+        self.tables.iter().filter(|t| t.table != base).collect()
+    }
+}
+
+/// The whole workload.
+#[derive(Debug, Clone)]
+pub struct JobLightWorkload {
+    /// The queries, in id order.
+    pub queries: Vec<JobLightQuery>,
+}
+
+impl JobLightWorkload {
+    /// Number of queries in JOB-light.
+    pub const NUM_QUERIES: usize = 70;
+    /// Number of queries with an inequality predicate on `title.production_year`.
+    pub const NUM_YEAR_RANGE_QUERIES: usize = 55;
+
+    /// Generate the workload against a synthetic dataset. Predicate literals are drawn
+    /// from values that actually occur in the data (so predicates are selective but not
+    /// vacuously empty), and the mix of join counts / year ranges follows §10.3.
+    pub fn generate(db: &SyntheticImdb, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x10B_1167);
+        let joinable = [
+            TableId::CastInfo,
+            TableId::MovieCompanies,
+            TableId::MovieInfo,
+            TableId::MovieInfoIdx,
+            TableId::MovieKeyword,
+        ];
+        // 55 of 70 queries carry a production_year range predicate.
+        let mut has_year_range = [true; Self::NUM_QUERIES];
+        for slot in has_year_range
+            .iter_mut()
+            .take(Self::NUM_QUERIES)
+            .skip(Self::NUM_YEAR_RANGE_QUERIES)
+        {
+            *slot = false;
+        }
+        has_year_range.shuffle(&mut rng);
+
+        let queries = (0..Self::NUM_QUERIES)
+            .map(|id| {
+                // 1 to 4 joined tables besides title (JOB-light queries join 2–5 tables
+                // in total).
+                let num_others = rng.gen_range(1..=4usize);
+                let mut others = joinable.to_vec();
+                others.shuffle(&mut rng);
+                others.truncate(num_others);
+
+                let mut tables = Vec::with_capacity(num_others + 1);
+                // title: always present; kind_id equality on most queries, year range
+                // on the designated ones.
+                let mut title_preds = Vec::new();
+                if rng.gen_bool(0.8) {
+                    title_preds.push(QueryPredicate::Eq {
+                        column: 0,
+                        value: Self::pick_value(db, TableId::Title, 0, &mut rng),
+                    });
+                }
+                if has_year_range[id] {
+                    let (lo_bound, hi_bound) = PRODUCTION_YEAR_RANGE;
+                    let lo = rng.gen_range(lo_bound..=hi_bound - 10);
+                    let hi = rng.gen_range(lo..=hi_bound);
+                    title_preds.push(QueryPredicate::Range { column: 1, lo, hi });
+                }
+                tables.push(QueryTable {
+                    table: TableId::Title,
+                    predicates: title_preds,
+                });
+
+                for other in others {
+                    let spec = spec_of(other);
+                    let mut predicates = Vec::new();
+                    // Most table occurrences carry one equality predicate on one of
+                    // their predicate columns (that is what makes CCFs useful); some
+                    // are bare joins.
+                    if rng.gen_bool(0.85) {
+                        let column = rng.gen_range(0..spec.columns.len());
+                        predicates.push(QueryPredicate::Eq {
+                            column,
+                            value: Self::pick_value(db, other, column, &mut rng),
+                        });
+                    }
+                    tables.push(QueryTable {
+                        table: other,
+                        predicates,
+                    });
+                }
+                JobLightQuery { id, tables }
+            })
+            .collect();
+        Self { queries }
+    }
+
+    /// Pick a predicate literal that occurs in the data (biased towards common values,
+    /// like the hand-written JOB-light predicates).
+    fn pick_value(db: &SyntheticImdb, table: TableId, column: usize, rng: &mut StdRng) -> u64 {
+        let col = &db.table(table).columns[column];
+        col[rng.gen_range(0..col.len())]
+    }
+
+    /// Total number of (query, base-table) instances — each table occurrence in each
+    /// query is one scan that other tables' CCFs can reduce. The paper reports 237 such
+    /// instances for the original workload.
+    pub fn num_instances(&self) -> usize {
+        self.queries.iter().map(|q| q.tables.len()).sum()
+    }
+
+    /// Queries grouped by number of joins (for the Figure 9 breakdown).
+    pub fn by_num_joins(&self) -> std::collections::BTreeMap<usize, Vec<&JobLightQuery>> {
+        let mut map: std::collections::BTreeMap<usize, Vec<&JobLightQuery>> =
+            std::collections::BTreeMap::new();
+        for q in &self.queries {
+            map.entry(q.num_joins()).or_default().push(q);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> (SyntheticImdb, JobLightWorkload) {
+        let db = SyntheticImdb::generate(512, 5);
+        let wl = JobLightWorkload::generate(&db, 5);
+        (db, wl)
+    }
+
+    #[test]
+    fn seventy_queries_with_title_in_each() {
+        let (_, wl) = workload();
+        assert_eq!(wl.queries.len(), 70);
+        for q in &wl.queries {
+            assert!(q.tables.iter().any(|t| t.table == TableId::Title));
+            assert!((1..=4).contains(&q.num_joins()));
+            // No table appears twice in one query.
+            let mut ids: Vec<TableId> = q.tables.iter().map(|t| t.table).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), q.tables.len());
+        }
+    }
+
+    #[test]
+    fn year_range_predicates_on_55_queries() {
+        let (_, wl) = workload();
+        let with_range = wl
+            .queries
+            .iter()
+            .filter(|q| {
+                q.tables.iter().any(|t| {
+                    t.table == TableId::Title
+                        && t.predicates
+                            .iter()
+                            .any(|p| matches!(p, QueryPredicate::Range { .. }))
+                })
+            })
+            .count();
+        assert_eq!(with_range, 55);
+    }
+
+    #[test]
+    fn instance_count_is_in_the_papers_ballpark() {
+        let (_, wl) = workload();
+        let n = wl.num_instances();
+        assert!((200..=320).contains(&n), "instances = {n}, paper reports 237");
+    }
+
+    #[test]
+    fn equality_literals_occur_in_the_data() {
+        let (db, wl) = workload();
+        for q in &wl.queries {
+            for t in &q.tables {
+                for p in &t.predicates {
+                    if let QueryPredicate::Eq { column, value } = p {
+                        assert!(
+                            db.table(t.table).columns[*column].contains(value),
+                            "literal {value} not present in {}.{}",
+                            t.table.name(),
+                            spec_of(t.table).columns[*column].name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_bounds_are_ordered_and_in_domain() {
+        let (_, wl) = workload();
+        for q in &wl.queries {
+            for t in &q.tables {
+                for p in &t.predicates {
+                    if let QueryPredicate::Range { lo, hi, .. } = p {
+                        assert!(lo <= hi);
+                        assert!(*lo >= PRODUCTION_YEAR_RANGE.0 && *hi <= PRODUCTION_YEAR_RANGE.1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let db = SyntheticImdb::generate(512, 5);
+        let a = JobLightWorkload::generate(&db, 1);
+        let b = JobLightWorkload::generate(&db, 1);
+        assert_eq!(a.queries, b.queries);
+        let c = JobLightWorkload::generate(&db, 2);
+        assert_ne!(a.queries, c.queries);
+    }
+
+    #[test]
+    fn join_count_grouping_covers_all_queries() {
+        let (_, wl) = workload();
+        let grouped = wl.by_num_joins();
+        let total: usize = grouped.values().map(|v| v.len()).sum();
+        assert_eq!(total, 70);
+        assert!(grouped.keys().all(|&k| (1..=4).contains(&k)));
+    }
+
+    #[test]
+    fn other_tables_excludes_the_base() {
+        let (_, wl) = workload();
+        let q = &wl.queries[0];
+        let others = q.other_tables(TableId::Title);
+        assert_eq!(others.len(), q.tables.len() - 1);
+        assert!(others.iter().all(|t| t.table != TableId::Title));
+    }
+}

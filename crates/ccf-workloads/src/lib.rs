@@ -1,0 +1,31 @@
+//! Workload generators for the Conditional Cuckoo Filter experiments.
+//!
+//! Two families of workloads appear in the paper's evaluation (§10):
+//!
+//! * **Multiset experiments** (§10.1–10.2, Figures 4–5): synthetic streams of
+//!   (key, attribute) rows where the number of duplicates per key follows either a
+//!   constant or a truncated Zipf-Mandelbrot distribution. [`zipf`] implements the
+//!   distribution (with a solver that finds the exponent α achieving a target mean
+//!   number of duplicates); [`multiset`] turns it into the insertion streams the
+//!   experiments consume.
+//! * **JOB-light experiments** (§10.3–10.7, Figures 6–10, Tables 2–3): a join workload
+//!   over the IMDB dataset. The original snapshot is not redistributable and far larger
+//!   than a laptop-scale reproduction needs, so [`imdb`] generates a *synthetic* IMDB
+//!   whose per-table statistics match Tables 2 and 3 (row counts at a configurable
+//!   scale, predicate-column cardinalities, and the distribution of distinct duplicate
+//!   attribute values per join key), and [`joblight`] generates a 70-query workload
+//!   with the same structure as JOB-light (star joins of 2–5 tables on `movie_id`,
+//!   equality predicates plus inequality predicates on `title.production_year`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod imdb;
+pub mod joblight;
+pub mod multiset;
+pub mod zipf;
+
+pub use imdb::{SyntheticImdb, TableId, TableSpec};
+pub use joblight::{JobLightQuery, JobLightWorkload, QueryPredicate, QueryTable};
+pub use multiset::{DuplicateDistribution, MultisetStream, Row};
+pub use zipf::ZipfMandelbrot;

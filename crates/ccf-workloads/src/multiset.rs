@@ -1,0 +1,188 @@
+//! Multiset insertion streams for the Figure 4 / Figure 5 experiments (§10.1).
+//!
+//! The setup: "For each filter type and each setting for the average number of
+//! duplicates per key in the input data, we generate a dataset that is approximately
+//! 20 % larger than the capacity of the sketch and measure the number of items
+//! processed before the first failed insertion and the load factor at that point. ...
+//! The order of items is randomly permuted."
+//!
+//! A [`MultisetStream`] generates the (key, attribute-vector) rows: each key gets a
+//! number of *distinct* duplicate rows drawn from either a constant or a truncated
+//! Zipf-Mandelbrot distribution, every duplicate of a key carrying a different
+//! attribute value, and the concatenated rows are shuffled before insertion.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::ZipfMandelbrot;
+
+/// One row of a multiset workload: a key plus its attribute vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Join key.
+    pub key: u64,
+    /// Attribute values (one per attribute column).
+    pub attrs: Vec<u64>,
+}
+
+/// How the number of duplicates per key is drawn (§10.1 evaluates both).
+#[derive(Debug, Clone)]
+pub enum DuplicateDistribution {
+    /// Every key has exactly this many distinct duplicate rows.
+    Constant(u64),
+    /// Duplicates per key follow a truncated Zipf-Mandelbrot distribution.
+    Zipf(ZipfMandelbrot),
+}
+
+impl DuplicateDistribution {
+    /// The paper's Zipf-Mandelbrot configuration tuned to a target mean number of
+    /// duplicates (offset 2.7, truncated to [1, 500]).
+    pub fn zipf_with_mean(mean: f64) -> Self {
+        let alpha = ZipfMandelbrot::solve_alpha_for_mean(mean);
+        DuplicateDistribution::Zipf(ZipfMandelbrot::paper(alpha))
+    }
+
+    /// Expected number of duplicates per key.
+    pub fn mean(&self) -> f64 {
+        match self {
+            DuplicateDistribution::Constant(c) => *c as f64,
+            DuplicateDistribution::Zipf(z) => z.mean(),
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self {
+            DuplicateDistribution::Constant(c) => (*c).max(1),
+            DuplicateDistribution::Zipf(z) => z.sample(rng),
+        }
+    }
+}
+
+/// Generator for multiset insertion streams.
+#[derive(Debug, Clone)]
+pub struct MultisetStream {
+    /// Distribution of distinct duplicates per key.
+    pub duplicates: DuplicateDistribution,
+    /// Number of attribute columns per row.
+    pub num_attrs: usize,
+    /// RNG seed (the experiments average over seeds / "random salts").
+    pub seed: u64,
+}
+
+impl MultisetStream {
+    /// Create a stream generator.
+    pub fn new(duplicates: DuplicateDistribution, num_attrs: usize, seed: u64) -> Self {
+        assert!(num_attrs >= 1, "need at least one attribute column");
+        Self {
+            duplicates,
+            num_attrs,
+            seed,
+        }
+    }
+
+    /// Generate approximately `target_rows` rows (the last key's duplicates may
+    /// overshoot slightly), shuffled into random order.
+    ///
+    /// Keys are consecutive integers starting at 1; the i-th duplicate of a key has
+    /// attribute vector `[base + i, base + 2i, ...]` with `base = 1 << 20` so that
+    /// attribute values are distinct, non-small (exercising hashing rather than the
+    /// small-value optimisation), and deterministic.
+    pub fn generate(&self, target_rows: usize) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rows = Vec::with_capacity(target_rows + 512);
+        let mut key = 0u64;
+        const BASE: u64 = 1 << 20;
+        while rows.len() < target_rows {
+            key += 1;
+            let dupes = self.duplicates.sample(&mut rng);
+            for i in 0..dupes {
+                let attrs: Vec<u64> = (0..self.num_attrs as u64)
+                    .map(|c| BASE + i * (c + 1) + c * 7919)
+                    .collect();
+                rows.push(Row { key, attrs });
+            }
+        }
+        rows.shuffle(&mut rng);
+        rows
+    }
+
+    /// Generate a dataset sized "approximately 20 % larger than the capacity of the
+    /// sketch", as in §10.1.
+    pub fn generate_for_capacity(&self, sketch_capacity: usize) -> Vec<Row> {
+        self.generate((sketch_capacity as f64 * 1.2).ceil() as usize)
+    }
+}
+
+/// Per-key duplicate counts of a generated stream (useful for Table-1-style entry
+/// predictions and test assertions).
+pub fn duplicate_counts(rows: &[Row]) -> Vec<usize> {
+    use std::collections::HashMap;
+    let mut per_key: HashMap<u64, std::collections::HashSet<&[u64]>> = HashMap::new();
+    for row in rows {
+        per_key.entry(row.key).or_default().insert(&row.attrs);
+    }
+    per_key.into_values().map(|s| s.len()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_distribution_gives_exact_duplicates() {
+        let s = MultisetStream::new(DuplicateDistribution::Constant(4), 2, 1);
+        let rows = s.generate(1000);
+        assert!(rows.len() >= 1000);
+        let counts = duplicate_counts(&rows);
+        // Every key except possibly the last has exactly 4 distinct rows.
+        let full_keys = counts.iter().filter(|&&c| c == 4).count();
+        assert!(full_keys >= counts.len() - 1);
+    }
+
+    #[test]
+    fn zipf_distribution_mean_is_respected() {
+        let s = MultisetStream::new(DuplicateDistribution::zipf_with_mean(6.0), 1, 2);
+        let rows = s.generate(60_000);
+        let counts = duplicate_counts(&rows);
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!((mean - 6.0).abs() < 0.8, "mean duplicates {mean}, wanted ≈ 6");
+        // Skew: some keys should have far more duplicates than the mean.
+        assert!(*counts.iter().max().unwrap() > 20);
+    }
+
+    #[test]
+    fn rows_are_shuffled() {
+        let s = MultisetStream::new(DuplicateDistribution::Constant(3), 1, 3);
+        let rows = s.generate(5000);
+        // If unshuffled, keys would be non-decreasing; count inversions.
+        let inversions = rows.windows(2).filter(|w| w[0].key > w[1].key).count();
+        assert!(inversions > 100, "stream does not look shuffled ({inversions} inversions)");
+    }
+
+    #[test]
+    fn duplicates_of_a_key_have_distinct_attributes() {
+        let s = MultisetStream::new(DuplicateDistribution::Constant(8), 2, 4);
+        let rows = s.generate(4000);
+        let counts = duplicate_counts(&rows);
+        assert!(counts.iter().all(|&c| c <= 8));
+        let full = counts.iter().filter(|&&c| c == 8).count();
+        assert!(full >= counts.len() - 1, "duplicates must be distinct rows");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s = MultisetStream::new(DuplicateDistribution::zipf_with_mean(3.0), 2, 42);
+        assert_eq!(s.generate(2000), s.generate(2000));
+        let other = MultisetStream::new(DuplicateDistribution::zipf_with_mean(3.0), 2, 43);
+        assert_ne!(s.generate(2000), other.generate(2000));
+    }
+
+    #[test]
+    fn capacity_sizing_overshoots_by_twenty_percent() {
+        let s = MultisetStream::new(DuplicateDistribution::Constant(1), 1, 5);
+        let rows = s.generate_for_capacity(10_000);
+        assert!(rows.len() >= 12_000);
+        assert!(rows.len() < 12_600);
+    }
+}

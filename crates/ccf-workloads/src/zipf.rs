@@ -1,0 +1,235 @@
+//! Truncated Zipf-Mandelbrot distribution (§10.1).
+//!
+//! The multiset experiments draw key frequencies from "a truncated Zipf-Mandelbrot
+//! distribution ... with a mass function of the form p(x) ∝ (c + x)^{-α}", with the
+//! offset fixed at c = 2.7 and the range truncated to [1, 500]; α is varied to obtain a
+//! desired average number of duplicates per key. This module implements the
+//! distribution, sampling, and the solver that recovers α from a target mean.
+
+use rand::Rng;
+
+/// A truncated Zipf-Mandelbrot distribution over `{1, ..., max_value}` with mass
+/// `p(x) ∝ (c + x)^{-α}`.
+#[derive(Debug, Clone)]
+pub struct ZipfMandelbrot {
+    alpha: f64,
+    offset: f64,
+    max_value: u64,
+    /// Cumulative distribution, `cdf[i]` = P(X ≤ i + 1).
+    cdf: Vec<f64>,
+}
+
+impl ZipfMandelbrot {
+    /// The offset c = 2.7 used throughout §10.1.
+    pub const PAPER_OFFSET: f64 = 2.7;
+    /// The truncation range [1, 500] used throughout §10.1.
+    pub const PAPER_MAX: u64 = 500;
+
+    /// Create a distribution with explicit parameters.
+    ///
+    /// # Panics
+    /// Panics if `max_value == 0`, `offset <= -1.0`, or `alpha` is not finite.
+    pub fn new(alpha: f64, offset: f64, max_value: u64) -> Self {
+        assert!(max_value >= 1, "max_value must be at least 1");
+        assert!(offset > -1.0, "offset must exceed -1");
+        assert!(alpha.is_finite(), "alpha must be finite");
+        let weights: Vec<f64> = (1..=max_value)
+            .map(|x| (offset + x as f64).powf(-alpha))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(max_value as usize);
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        // Guard against floating-point drift.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self {
+            alpha,
+            offset,
+            max_value,
+            cdf,
+        }
+    }
+
+    /// The paper's configuration: offset 2.7, range [1, 500], explicit α.
+    pub fn paper(alpha: f64) -> Self {
+        Self::new(alpha, Self::PAPER_OFFSET, Self::PAPER_MAX)
+    }
+
+    /// The exponent α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The offset c.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// The truncation bound.
+    pub fn max_value(&self) -> u64 {
+        self.max_value
+    }
+
+    /// The exact mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        let weights: Vec<f64> = (1..=self.max_value)
+            .map(|x| (self.offset + x as f64).powf(-self.alpha))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i as f64 + 1.0) * w / total)
+            .sum()
+    }
+
+    /// Probability mass at `x` (0 outside `[1, max_value]`).
+    pub fn pmf(&self, x: u64) -> f64 {
+        if x == 0 || x > self.max_value {
+            return 0.0;
+        }
+        let prev = if x == 1 { 0.0 } else { self.cdf[(x - 2) as usize] };
+        self.cdf[(x - 1) as usize] - prev
+    }
+
+    /// Draw one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // Binary search the CDF.
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => (i as u64 + 1).min(self.max_value),
+        }
+    }
+
+    /// Find the α for which the paper's distribution (c = 2.7, range [1, 500]) has the
+    /// requested mean, by bisection. The mean is monotonically decreasing in α; means
+    /// must lie in the attainable range (≈ 1.0 .. ≈ 112 for the paper's truncation).
+    pub fn solve_alpha_for_mean(target_mean: f64) -> f64 {
+        Self::solve_alpha_for_mean_with(target_mean, Self::PAPER_OFFSET, Self::PAPER_MAX)
+    }
+
+    /// As [`Self::solve_alpha_for_mean`] with explicit offset and truncation.
+    ///
+    /// Target means at (or marginally beyond) the attainable boundary — e.g. exactly
+    /// 1.0, where the distribution degenerates to a point mass at 1 — clamp to the
+    /// nearest attainable α instead of failing.
+    pub fn solve_alpha_for_mean_with(target_mean: f64, offset: f64, max_value: u64) -> f64 {
+        assert!(target_mean >= 1.0, "mean duplicates below 1 is unattainable");
+        let mean_at = |alpha: f64| ZipfMandelbrot::new(alpha, offset, max_value).mean();
+        let (mut lo, mut hi) = (-10.0f64, 40.0f64);
+        if target_mean >= mean_at(lo) {
+            return lo;
+        }
+        if target_mean <= mean_at(hi) {
+            return hi;
+        }
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if mean_at(mid) > target_mean {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one_and_is_decreasing() {
+        let z = ZipfMandelbrot::paper(1.2);
+        let total: f64 = (1..=500).map(|x| z.pmf(x)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for x in 1..500u64 {
+            assert!(z.pmf(x) >= z.pmf(x + 1), "pmf must be non-increasing at {x}");
+        }
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(501), 0.0);
+    }
+
+    #[test]
+    fn sample_mean_tracks_exact_mean() {
+        let z = ZipfMandelbrot::paper(1.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| z.sample(&mut rng)).sum();
+        let sample_mean = sum as f64 / n as f64;
+        let exact = z.mean();
+        assert!(
+            (sample_mean - exact).abs() / exact < 0.05,
+            "sample mean {sample_mean} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn samples_stay_in_truncation_range() {
+        let z = ZipfMandelbrot::new(0.5, 2.7, 37);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = z.sample(&mut rng);
+            assert!((1..=37).contains(&x));
+        }
+    }
+
+    #[test]
+    fn mean_is_monotone_in_alpha() {
+        let means: Vec<f64> = [-1.0, 0.0, 0.5, 1.0, 2.0, 4.0]
+            .iter()
+            .map(|&a| ZipfMandelbrot::paper(a).mean())
+            .collect();
+        for w in means.windows(2) {
+            assert!(w[0] > w[1], "mean must decrease with alpha: {means:?}");
+        }
+    }
+
+    #[test]
+    fn alpha_solver_recovers_target_means() {
+        for target in [1.5f64, 2.0, 4.0, 8.0, 12.0, 50.0] {
+            let alpha = ZipfMandelbrot::solve_alpha_for_mean(target);
+            let mean = ZipfMandelbrot::paper(alpha).mean();
+            assert!(
+                (mean - target).abs() / target < 0.01,
+                "target {target}: alpha {alpha} gives mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_solver_clamps_boundary_means() {
+        // Mean exactly 1.0 is the degenerate "all mass at 1" limit: the solver clamps
+        // to its largest α instead of failing, and the resulting mean is ≈ 1.
+        let alpha = ZipfMandelbrot::solve_alpha_for_mean(1.0);
+        assert!(ZipfMandelbrot::paper(alpha).mean() < 1.01);
+        // A mean at the top of the attainable range clamps to the smallest α.
+        let alpha = ZipfMandelbrot::solve_alpha_for_mean(10_000.0);
+        assert!(ZipfMandelbrot::paper(alpha).mean() > 400.0);
+    }
+
+    #[test]
+    fn extreme_alphas_concentrate_or_flatten() {
+        // Very large α: essentially all mass at 1.
+        let concentrated = ZipfMandelbrot::paper(30.0);
+        assert!(concentrated.pmf(1) > 0.99);
+        // α = 0: uniform over [1, 500], mean ≈ 250.5.
+        let flat = ZipfMandelbrot::paper(0.0);
+        assert!((flat.mean() - 250.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unattainable")]
+    fn solver_rejects_sub_one_means()
+    {
+        let _ = ZipfMandelbrot::solve_alpha_for_mean(0.5);
+    }
+}

@@ -1,0 +1,71 @@
+//! Chaining vs a plain cuckoo filter under duplicate-key skew — the §10.1 multiset
+//! experiment as a runnable demonstration.
+//!
+//! Generates streams of (key, attribute) rows where the number of duplicates per key is
+//! either constant or Zipf-Mandelbrot distributed, inserts them into a plain multiset
+//! CCF and a chained CCF of identical geometry, and reports the load factor each
+//! sustains before its first failed insertion.
+//!
+//! Run with: `cargo run --release --example multiset_skew`
+
+use conditional_cuckoo_filters::ccf::{CcfParams, ChainedCcf, ConditionalFilter, PlainCcf};
+use conditional_cuckoo_filters::workloads::multiset::{DuplicateDistribution, MultisetStream};
+
+fn fill_until_failure<F: ConditionalFilter>(filter: &mut F, rows: &[(u64, Vec<u64>)]) -> (f64, usize) {
+    let mut absorbed = 0usize;
+    for (key, attrs) in rows {
+        if filter.insert_row(*key, attrs).is_err() {
+            return (filter.load_factor(), absorbed);
+        }
+        absorbed += 1;
+    }
+    (filter.load_factor(), absorbed)
+}
+
+fn main() {
+    let params = CcfParams {
+        num_buckets: 1 << 12,
+        entries_per_bucket: 6,
+        fingerprint_bits: 12,
+        attr_bits: 8,
+        num_attrs: 1,
+        max_dupes: 3,
+        max_chain: None,
+        seed: 7,
+        ..CcfParams::default()
+    };
+    let capacity = (1 << 12) * 6;
+
+    println!("filter geometry: 4096 buckets × 6 entries, d = 3, Lmax = ∞\n");
+    println!(
+        "{:<28} {:>14} {:>14} {:>12} {:>12}",
+        "duplicate distribution", "plain load", "chained load", "plain rows", "chained rows"
+    );
+
+    for (label, dist) in [
+        ("constant, 2 per key", DuplicateDistribution::Constant(2)),
+        ("constant, 6 per key", DuplicateDistribution::Constant(6)),
+        ("constant, 12 per key", DuplicateDistribution::Constant(12)),
+        ("zipf-mandelbrot, mean 4", DuplicateDistribution::zipf_with_mean(4.0)),
+        ("zipf-mandelbrot, mean 8", DuplicateDistribution::zipf_with_mean(8.0)),
+        ("zipf-mandelbrot, mean 12", DuplicateDistribution::zipf_with_mean(12.0)),
+    ] {
+        let stream = MultisetStream::new(dist, 1, 7);
+        let rows: Vec<(u64, Vec<u64>)> = stream
+            .generate_for_capacity(capacity)
+            .into_iter()
+            .map(|r| (r.key, r.attrs))
+            .collect();
+        let (plain_load, plain_rows) = fill_until_failure(&mut PlainCcf::new(params), &rows);
+        let (chained_load, chained_rows) = fill_until_failure(&mut ChainedCcf::new(params), &rows);
+        println!(
+            "{label:<28} {plain_load:>14.3} {chained_load:>14.3} {plain_rows:>12} {chained_rows:>12}"
+        );
+    }
+
+    println!(
+        "\nThe plain filter's sustainable load factor collapses as duplicates per key exceed\n\
+         what one bucket pair can hold (2b = 12), and collapses almost immediately under the\n\
+         skewed Zipf-Mandelbrot distribution; chaining holds ≈0.87 throughout (Figure 4)."
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build a Conditional Cuckoo Filter over a keyed table, query it with
+//! predicates, and compare against what a plain key-only filter could tell you.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use conditional_cuckoo_filters::ccf::{CcfParams, ChainedCcf, Predicate};
+
+fn main() {
+    // A toy "movie_companies"-like table: (movie_id, [company_id, company_type_id]).
+    // Movie 10 was produced by company 7 (type 1) and distributed by company 21 (type 2);
+    // movie 11 only has a distribution row; movie 12 has three companies.
+    let rows: &[(u64, [u64; 2])] = &[
+        (10, [7, 1]),
+        (10, [21, 2]),
+        (11, [21, 2]),
+        (12, [7, 1]),
+        (12, [8, 1]),
+        (12, [33, 2]),
+    ];
+
+    // Size and build a chained CCF: 2 attribute columns, defaults otherwise
+    // (d = 3 duplicates per bucket pair, b = 6 entries per bucket, 12-bit key
+    // fingerprints, 8-bit attribute fingerprints).
+    let mut filter = ChainedCcf::new(CcfParams {
+        num_buckets: 1 << 8,
+        num_attrs: 2,
+        ..CcfParams::default()
+    });
+    for (movie_id, attrs) in rows {
+        filter
+            .insert_row(*movie_id, attrs)
+            .expect("a 256-bucket filter easily holds six rows");
+    }
+
+    println!("inserted {} rows into {} occupied entries ({} bits serialized)\n",
+        rows.len(), filter.occupied_entries(), filter.size_bits());
+
+    // Key + predicate queries: "does movie X have a company of type 2?"
+    let type2 = Predicate::any(2).and_eq(1, 2);
+    for movie in [10u64, 11, 12, 99] {
+        println!(
+            "movie {movie}: key present = {:<5} | has a type-2 company = {}",
+            filter.contains_key(movie),
+            filter.query(movie, &type2)
+        );
+    }
+
+    // Conjunctions work too: "produced by company 7 AND type 1".
+    let produced_by_7 = Predicate::any(2).and_eq(0, 7).and_eq(1, 1);
+    println!();
+    for movie in [10u64, 11, 12] {
+        println!(
+            "movie {movie}: produced by company 7 = {}",
+            filter.query(movie, &produced_by_7)
+        );
+    }
+
+    // The guarantee that makes this safe to use for pruning work: no false negatives.
+    for (movie_id, attrs) in rows {
+        let exact = Predicate::any(2).and_eq(0, attrs[0]).and_eq(1, attrs[1]);
+        assert!(filter.query(*movie_id, &exact), "no false negatives, ever");
+    }
+    println!("\nevery inserted row is found by its own (key, predicate) query — no false negatives");
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the Conditional Cuckoo Filter workspace.
+//!
+//! Most users will depend on [`ccf_core`] directly; this crate exists so the runnable
+//! examples in `examples/` and the cross-crate integration tests in `tests/` have a
+//! single package exposing the whole public API surface.
+
+pub use ccf_bloom as bloom;
+pub use ccf_core as ccf;
+pub use ccf_cuckoo as cuckoo;
+pub use ccf_hash as hash;
+pub use ccf_join as join;
+pub use ccf_workloads as workloads;

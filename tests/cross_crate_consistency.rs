@@ -1,0 +1,123 @@
+//! Cross-crate integration tests tying the substrates together: the CCF variants built
+//! from real (synthetic-IMDB) table data, Algorithm 2's derived filters compared
+//! against ground truth, and the sizing machinery driving filter construction.
+
+use conditional_cuckoo_filters::ccf::sizing::{
+    attainable_load_factor, predicted_entries, size_for_profile, DuplicationProfile, VariantKind,
+};
+use conditional_cuckoo_filters::ccf::{
+    AnyCcf, BloomCcf, CcfParams, ConditionalFilter, Predicate,
+};
+use conditional_cuckoo_filters::join::bridge::ccf_attrs_for_row;
+use conditional_cuckoo_filters::workloads::imdb::{SyntheticImdb, TableId};
+
+#[test]
+fn sized_filters_absorb_real_tables_at_predicted_load() {
+    let db = SyntheticImdb::generate(1024, 77);
+    for &table_id in &[TableId::MovieKeyword, TableId::CastInfo, TableId::MovieCompanies] {
+        let table = db.table(table_id);
+        let profile = DuplicationProfile::from_counts(table.distinct_attr_vectors_per_key());
+        for variant in [VariantKind::Chained, VariantKind::Mixed, VariantKind::Bloom] {
+            let params = size_for_profile(
+                variant,
+                &profile,
+                CcfParams {
+                    num_attrs: table.spec().columns.len(),
+                    seed: 77,
+                    ..CcfParams::default()
+                },
+            );
+            let mut filter = AnyCcf::new(variant, params);
+            let mut failures = 0;
+            for row in 0..table.num_rows() {
+                let attrs = ccf_attrs_for_row(table, row);
+                if filter.insert_row(table.join_keys[row], &attrs).is_err() {
+                    failures += 1;
+                }
+            }
+            assert_eq!(failures, 0, "{table_id:?}/{variant:?}: sized filter dropped rows");
+            // The filter's occupancy stays at or below the predicted entries and the
+            // load factor stays below the empirical attainable target.
+            let predicted = predicted_entries(variant, &profile, &params);
+            assert!(filter.occupied_entries() <= predicted);
+            assert!(
+                filter.load_factor() <= attainable_load_factor(params.entries_per_bucket) + 0.02,
+                "{table_id:?}/{variant:?}: load factor {} above target",
+                filter.load_factor()
+            );
+        }
+    }
+}
+
+#[test]
+fn derived_predicate_filter_matches_ground_truth_on_imdb_data() {
+    let db = SyntheticImdb::generate(1024, 78);
+    let table = db.table(TableId::MovieInfoIdx); // single predicate column, cardinality 5
+    let profile = DuplicationProfile::from_counts(table.distinct_attr_vectors_per_key());
+    let params = size_for_profile(
+        VariantKind::Bloom,
+        &profile,
+        CcfParams {
+            num_attrs: 1,
+            bloom_bits: 16,
+            seed: 78,
+            ..CcfParams::default()
+        },
+    );
+    let mut ccf = BloomCcf::new(params);
+    for row in 0..table.num_rows() {
+        ccf.insert_row(table.join_keys[row], &[table.columns[0][row]])
+            .unwrap();
+    }
+    // Ground truth: movie ids having info_type_id = 2.
+    let truth: std::collections::HashSet<u64> = (0..table.num_rows())
+        .filter(|&r| table.columns[0][r] == 2)
+        .map(|r| table.join_keys[r])
+        .collect();
+    let derived = ccf.predicate_filter(&Predicate::any(1).and_eq(0, 2));
+    // No false negatives, and the surviving key count is in the right ballpark (some
+    // false positives are expected from Bloom collisions).
+    for &k in &truth {
+        assert!(derived.contains(k), "derived filter lost movie {k}");
+    }
+    let survivors = (1..=db.num_movies).filter(|&m| derived.contains(m)).count();
+    assert!(survivors >= truth.len());
+    assert!(
+        survivors <= table.distinct_keys(),
+        "derived filter kept more keys than the table has"
+    );
+}
+
+#[test]
+fn variants_agree_on_key_membership_for_identical_data() {
+    // Whatever the attribute machinery does, key-only membership must behave like a
+    // cuckoo filter for every variant: no inserted key is ever lost.
+    let db = SyntheticImdb::generate(2048, 79);
+    let table = db.table(TableId::MovieCompanies);
+    let params = CcfParams {
+        num_buckets: 1 << 13,
+        entries_per_bucket: 6,
+        num_attrs: 2,
+        seed: 79,
+        ..CcfParams::default()
+    };
+    let mut filters: Vec<AnyCcf> = [
+        VariantKind::Chained,
+        VariantKind::Bloom,
+        VariantKind::Mixed,
+    ]
+    .iter()
+    .map(|&k| AnyCcf::new(k, params))
+    .collect();
+    for row in 0..table.num_rows() {
+        let attrs = ccf_attrs_for_row(table, row);
+        for f in &mut filters {
+            f.insert_row(table.join_keys[row], &attrs).unwrap();
+        }
+    }
+    for &key in table.join_keys.iter().step_by(17) {
+        for f in &filters {
+            assert!(f.contains_key(key));
+        }
+    }
+}

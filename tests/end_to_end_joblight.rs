@@ -1,0 +1,81 @@
+//! End-to-end integration test: the full JOB-light pipeline at small scale.
+//!
+//! Generates the synthetic IMDB dataset, generates the query workload, builds filter
+//! banks for every CCF variant, evaluates reduction factors, and checks the invariants
+//! the paper's evaluation relies on: no strategy beats the exact semijoin, CCFs beat the
+//! predicate-blind cuckoo-filter baseline in aggregate, and the whole bank is an order
+//! of magnitude smaller than the raw data.
+
+use conditional_cuckoo_filters::ccf::sizing::VariantKind;
+use conditional_cuckoo_filters::join::filters::{FilterBank, FilterConfig};
+use conditional_cuckoo_filters::join::reduction::{evaluate_workload, WorkloadSummary};
+use conditional_cuckoo_filters::workloads::imdb::SyntheticImdb;
+use conditional_cuckoo_filters::workloads::joblight::JobLightWorkload;
+
+fn small_context() -> (SyntheticImdb, JobLightWorkload) {
+    let db = SyntheticImdb::generate(1024, 2024);
+    let mut wl = JobLightWorkload::generate(&db, 2024);
+    wl.queries.truncate(15); // keep the integration test fast
+    (db, wl)
+}
+
+#[test]
+fn reduction_factor_pipeline_respects_all_orderings() {
+    let (db, wl) = small_context();
+    let mut aggregate_rf = Vec::new();
+    for variant in [VariantKind::Chained, VariantKind::Bloom, VariantKind::Mixed] {
+        let bank = FilterBank::build(&db, FilterConfig::small(variant));
+        assert_eq!(bank.total_failed_rows(), 0, "{variant:?}: bank dropped rows");
+        let results = evaluate_workload(&db, &wl, &bank);
+        assert!(!results.is_empty());
+        for r in &results {
+            assert!(r.m_exact <= r.m_ccf, "{variant:?}: CCF lost a true match in {r:?}");
+            assert!(r.m_ccf <= r.m_predicate, "{variant:?}: CCF passed more rows than exist");
+            assert!(r.m_exact <= r.m_key_filter);
+            assert!(r.m_exact <= r.m_exact_binned);
+        }
+        let summary = WorkloadSummary::from_instances(&results);
+        assert!(summary.rf_exact <= summary.rf_ccf + 1e-9);
+        assert!(summary.rf_ccf <= summary.rf_key_filter + 1e-9, "{variant:?}: CCF worse than key-only filters");
+        aggregate_rf.push((variant, summary.rf_ccf, summary.rf_key_filter));
+    }
+    // The headline claim: predicates make the pre-built filters substantially better.
+    for (variant, rf_ccf, rf_key) in aggregate_rf {
+        assert!(
+            rf_ccf < rf_key,
+            "{variant:?}: CCF RF {rf_ccf} not better than key-only RF {rf_key}"
+        );
+    }
+}
+
+#[test]
+fn filter_banks_are_an_order_of_magnitude_smaller_than_raw_data() {
+    let (db, _) = small_context();
+    let raw_bits: usize = db.tables.iter().map(|t| t.raw_size_bits()).sum();
+    let bank = FilterBank::build(&db, FilterConfig::small(VariantKind::Bloom));
+    assert!(
+        bank.total_ccf_bits() * 4 < raw_bits,
+        "Bloom CCF bank ({}) should be several times smaller than raw data ({})",
+        bank.total_ccf_bits(),
+        raw_bits
+    );
+    // And the large chained bank still stays clearly below the raw data.
+    let large = FilterBank::build(&db, FilterConfig::large(VariantKind::Chained));
+    assert!(large.total_ccf_bits() < raw_bits);
+}
+
+#[test]
+fn larger_filters_have_lower_fpr() {
+    let (db, wl) = small_context();
+    let small = FilterBank::build(&db, FilterConfig::small(VariantKind::Chained));
+    let large = FilterBank::build(&db, FilterConfig::large(VariantKind::Chained));
+    let s = WorkloadSummary::from_instances(&evaluate_workload(&db, &wl, &small));
+    let l = WorkloadSummary::from_instances(&evaluate_workload(&db, &wl, &large));
+    assert!(
+        l.fpr_vs_exact <= s.fpr_vs_exact + 0.02,
+        "large filters should not have a (meaningfully) higher FPR: large {} vs small {}",
+        l.fpr_vs_exact,
+        s.fpr_vs_exact
+    );
+    assert!(large.total_ccf_bits() > small.total_ccf_bits());
+}

@@ -1,0 +1,80 @@
+//! Workspace-level property tests exercising the public API exactly as a downstream
+//! user would: through the umbrella crate's re-exports, mixing workload generation,
+//! filter construction and join-style querying.
+
+use conditional_cuckoo_filters::ccf::sizing::VariantKind;
+use conditional_cuckoo_filters::ccf::{AnyCcf, CcfParams, ConditionalFilter, Predicate};
+use conditional_cuckoo_filters::workloads::multiset::{DuplicateDistribution, MultisetStream};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated multiset workloads round-trip through every variant: every generated
+    /// row is queryable afterwards, for any seed and duplicate level the generator
+    /// supports at this size.
+    #[test]
+    fn generated_workloads_round_trip(
+        seed in any::<u64>(),
+        mean_dupes in 1.0f64..10.0,
+        zipf in any::<bool>(),
+    ) {
+        let dist = if zipf {
+            DuplicateDistribution::zipf_with_mean(mean_dupes)
+        } else {
+            DuplicateDistribution::Constant(mean_dupes as u64)
+        };
+        let rows = MultisetStream::new(dist, 2, seed).generate(1500);
+        let params = CcfParams {
+            num_buckets: 1 << 10,
+            entries_per_bucket: 6,
+            num_attrs: 2,
+            seed,
+            ..CcfParams::default()
+        };
+        for kind in [VariantKind::Chained, VariantKind::Bloom, VariantKind::Mixed] {
+            let mut filter = AnyCcf::new(kind, params);
+            for row in &rows {
+                filter.insert_row(row.key, &row.attrs).unwrap();
+            }
+            for row in &rows {
+                let pred = Predicate::any(2).and_eq(0, row.attrs[0]).and_eq(1, row.attrs[1]);
+                prop_assert!(filter.query(row.key, &pred), "{kind:?} lost a row");
+            }
+        }
+    }
+
+    /// Key-only false positive rates stay within a small multiple of the §7.1 bound for
+    /// every variant, across seeds.
+    #[test]
+    fn key_only_fpr_stays_near_bound(seed in any::<u64>()) {
+        let rows = MultisetStream::new(DuplicateDistribution::Constant(2), 1, seed).generate(2500);
+        let params = CcfParams {
+            num_buckets: 1 << 10,
+            entries_per_bucket: 6,
+            fingerprint_bits: 12,
+            num_attrs: 1,
+            seed,
+            ..CcfParams::default()
+        };
+        for kind in [VariantKind::Chained, VariantKind::Bloom, VariantKind::Mixed] {
+            let mut filter = AnyCcf::new(kind, params);
+            for row in &rows {
+                filter.insert_row(row.key, &row.attrs).unwrap();
+            }
+            let bound = ccf_core::fpr::key_only_fpr(
+                2.0 * filter.load_factor() * 6.0,
+                12,
+            );
+            let probes = 30_000u64;
+            let fps = (0..probes)
+                .filter(|i| filter.contains_key(5_000_000_000 + i))
+                .count();
+            let measured = fps as f64 / probes as f64;
+            prop_assert!(
+                measured <= bound * 3.0 + 0.002,
+                "{kind:?}: measured key FPR {measured} vs bound {bound}"
+            );
+        }
+    }
+}
