@@ -51,15 +51,19 @@ fn bench_insert(c: &mut Criterion) {
         VariantKind::Bloom,
         VariantKind::Mixed,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut f = AnyCcf::new(kind, params(2));
-                for row in &rows {
-                    let _ = f.insert_row(black_box(row.key), black_box(&row.attrs));
-                }
-                black_box(f.occupied_entries())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut f = AnyCcf::new(kind, params(2));
+                    for row in &rows {
+                        let _ = f.insert_row(black_box(row.key), black_box(&row.attrs));
+                    }
+                    black_box(f.occupied_entries())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -67,7 +67,10 @@ fn bench_scan_reduction(c: &mut Criterion) {
             let mut survivors = 0usize;
             for row in 0..cast_info.num_rows() {
                 let key = cast_info.join_keys[row];
-                if others.iter().all(|(tid, pred)| bank.table(*tid).ccf.query(key, pred)) {
+                if others
+                    .iter()
+                    .all(|(tid, pred)| bank.table(*tid).ccf.query(key, pred))
+                {
                     survivors += 1;
                 }
             }

@@ -26,8 +26,14 @@ fn main() {
     let ctx = JobLightContext::generate(scale, seed);
 
     let configs = [
-        ("Chained CCF (small)", FilterConfig::small(VariantKind::Chained)),
-        ("Chained CCF (large)", FilterConfig::large(VariantKind::Chained)),
+        (
+            "Chained CCF (small)",
+            FilterConfig::small(VariantKind::Chained),
+        ),
+        (
+            "Chained CCF (large)",
+            FilterConfig::large(VariantKind::Chained),
+        ),
         ("Mixed CCF (small)", FilterConfig::small(VariantKind::Mixed)),
         ("Bloom CCF (small)", FilterConfig::small(VariantKind::Bloom)),
     ];

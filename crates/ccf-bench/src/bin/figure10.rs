@@ -31,7 +31,9 @@ fn main() {
     for (table_name, column) in &seen {
         let get = |variant: VariantKind| {
             rows.iter()
-                .find(|r| r.table.name() == table_name && r.column == *column && r.variant == variant)
+                .find(|r| {
+                    r.table.name() == table_name && r.column == *column && r.variant == variant
+                })
                 .map(|r| f3(r.relative_size))
                 .unwrap_or_else(|| "-".to_string())
         };

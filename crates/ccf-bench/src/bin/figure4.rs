@@ -38,11 +38,8 @@ fn main() {
                     StreamKind::Zipf => "zipf",
                 }
             );
-            let mut table = TextTable::new([
-                "avg dupes",
-                "chained load factor",
-                "plain load factor",
-            ]);
+            let mut table =
+                TextTable::new(["avg dupes", "chained load factor", "plain load factor"]);
             for &avg in &duplicate_settings {
                 let run = |filter| {
                     averaged_load_factor(

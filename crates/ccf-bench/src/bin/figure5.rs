@@ -14,8 +14,14 @@ fn main() {
     header(
         "Figure 5 — bit efficiency vs fill, by maxDupe (d)",
         &[
-            ("efficiency", "size_bits / (n · log2(1/FPR)), eq. 8".to_string()),
-            ("reference", "Bloom filter ≈ 1.44; information-theoretic optimum = 1".to_string()),
+            (
+                "efficiency",
+                "size_bits / (n · log2(1/FPR)), eq. 8".to_string(),
+            ),
+            (
+                "reference",
+                "Bloom filter ≈ 1.44; information-theoretic optimum = 1".to_string(),
+            ),
             ("seed", seed.to_string()),
         ],
     );
@@ -29,7 +35,13 @@ fn main() {
                 StreamKind::Zipf => "zipf",
             }
         );
-        let mut table = TextTable::new(["maxDupe d", "target fill", "achieved fill %", "FPR", "bit efficiency"]);
+        let mut table = TextTable::new([
+            "maxDupe d",
+            "target fill",
+            "achieved fill %",
+            "FPR",
+            "bit efficiency",
+        ]);
         for d in [2usize, 4, 6, 8, 10] {
             for &fill in &fills {
                 let p = bit_efficiency_point(stream, 8.0, d, fill, 1 << 11, seed);

@@ -34,7 +34,10 @@ fn print_panel(
     let n = order.len();
     for qi in 0..rows.min(n) {
         let idx = order[qi * (n - 1) / rows.max(1).min(n - 1).max(1)];
-        let mut cells = vec![format!("{}", qi * n / rows.max(1)), f3(baseline(&configs[0].1[idx]))];
+        let mut cells = vec![
+            format!("{}", qi * n / rows.max(1)),
+            f3(baseline(&configs[0].1[idx])),
+        ];
         cells.extend(configs.iter().map(|(_, inst)| f3(inst[idx].rf_ccf())));
         table.row(cells);
     }
@@ -57,7 +60,10 @@ fn main() {
     );
     let ctx = JobLightContext::generate(scale, seed);
 
-    for (panel, large) in [("large filters (|κ|=12, |α|=8)", true), ("small filters (|κ|=7, |α|=4)", false)] {
+    for (panel, large) in [
+        ("large filters (|κ|=12, |α|=8)", true),
+        ("small filters (|κ|=7, |α|=4)", false),
+    ] {
         let configs: Vec<(String, Vec<ccf_join::InstanceResult>)> = figure6_configs(large)
             .into_iter()
             .map(|(label, cfg)| {
@@ -85,7 +91,12 @@ fn main() {
         let mut agg = TextTable::new(["variant", "aggregate RF", "exact RF", "cuckoo-filter RF"]);
         for (label, instances) in &configs {
             let s = ccf_join::WorkloadSummary::from_instances(instances);
-            agg.row([label.clone(), f3(s.rf_ccf), f3(s.rf_exact), f3(s.rf_key_filter)]);
+            agg.row([
+                label.clone(),
+                f3(s.rf_ccf),
+                f3(s.rf_exact),
+                f3(s.rf_key_filter),
+            ]);
         }
         println!("{}", agg.render());
     }

@@ -25,9 +25,18 @@ fn main() {
     // all independent of the sweep (taken from any one evaluation).
     let reference = evaluate_config(&ctx, "reference", FilterConfig::large(VariantKind::Chained));
     println!("reference lines:");
-    println!("  optimal (exact semijoin) RF        : {}", f3(reference.summary.rf_exact));
-    println!("  optimal after binning RF           : {}", f3(reference.summary.rf_exact_binned));
-    println!("  plain cuckoo filter (no preds) RF  : {}", f3(reference.summary.rf_key_filter));
+    println!(
+        "  optimal (exact semijoin) RF        : {}",
+        f3(reference.summary.rf_exact)
+    );
+    println!(
+        "  optimal after binning RF           : {}",
+        f3(reference.summary.rf_exact_binned)
+    );
+    println!(
+        "  plain cuckoo filter (no preds) RF  : {}",
+        f3(reference.summary.rf_key_filter)
+    );
     println!();
 
     let mut table = TextTable::new([

@@ -23,7 +23,11 @@ fn main() {
         ],
     );
     let ctx = JobLightContext::generate(scale, seed);
-    let results = evaluate_config(&ctx, "Chained CCF (small)", FilterConfig::small(VariantKind::Chained));
+    let results = evaluate_config(
+        &ctx,
+        "Chained CCF (small)",
+        FilterConfig::small(VariantKind::Chained),
+    );
 
     let mut table = TextTable::new([
         "number of joins",

@@ -29,7 +29,11 @@ fn main() {
         "max dupes (paper)",
     ]);
     for row in table3_rows(&db) {
-        let join_key = if row.table == "title" { "id" } else { "movie_id" };
+        let join_key = if row.table == "title" {
+            "id"
+        } else {
+            "movie_id"
+        };
         table.row([
             row.table.to_string(),
             join_key.to_string(),

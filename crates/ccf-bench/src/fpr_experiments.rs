@@ -70,7 +70,11 @@ pub fn fpr_experiment(attr_bits: u32, avg_duplicates: f64, seed: u64) -> Vec<Fpr
     // produces, so none of the probed (key, predicate) pairs has a matching row and
     // every positive is a false positive. The values are *varied* across probes so the
     // measurement averages over the attribute-hash randomness the §7 model assumes.
-    let probe_pred = |i: u64| Predicate::any(2).and_eq(0, 100 + i * 2).and_eq(1, 200_000 + i * 3);
+    let probe_pred = |i: u64| {
+        Predicate::any(2)
+            .and_eq(0, 100 + i * 2)
+            .and_eq(1, 200_000 + i * 3)
+    };
 
     // --- Queries whose key is absent: FPR due to the key. -----------------------------
     let absent_probes = 200_000u64;
@@ -99,8 +103,7 @@ pub fn fpr_experiment(attr_bits: u32, avg_duplicates: f64, seed: u64) -> Vec<Fpr
     // key actually occupies): every stored entry of the key mismatches both constrained
     // columns.
     let avg_entries_per_key = rows.len() as f64 / max_key as f64;
-    let estimated_attr =
-        avg_entries_per_key * ccf_core::fpr::vector_entry_match_prob(2, attr_bits);
+    let estimated_attr = avg_entries_per_key * ccf_core::fpr::vector_entry_match_prob(2, attr_bits);
 
     // --- Overall: mix of the two query populations (half absent, half present). -------
     let actual_overall = 0.5 * actual_key + 0.5 * actual_attr;

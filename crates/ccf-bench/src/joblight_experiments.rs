@@ -170,9 +170,8 @@ pub fn figure9_rows(results: &ConfigResults) -> Vec<JoinCountRow> {
     groups
         .into_iter()
         .map(|(num_joins, rs)| {
-            let sum = |f: fn(&InstanceResult) -> usize| -> f64 {
-                rs.iter().map(|r| f(r) as f64).sum()
-            };
+            let sum =
+                |f: fn(&InstanceResult) -> usize| -> f64 { rs.iter().map(|r| f(r) as f64).sum() };
             let m_pred = sum(|r| r.m_predicate).max(1.0);
             JoinCountRow {
                 num_joins,
@@ -221,8 +220,7 @@ pub fn figure10_rows(db: &SyntheticImdb, seed: u64) -> Vec<RelativeSizeRow> {
                     .or_default()
                     .insert(table.columns[ci][row]);
             }
-            let profile =
-                DuplicationProfile::from_counts(per_key.values().map(|s| s.len()));
+            let profile = DuplicationProfile::from_counts(per_key.values().map(|s| s.len()));
 
             for variant in [VariantKind::Bloom, VariantKind::Chained, VariantKind::Mixed] {
                 // Single-attribute CCFs: an 8-bit Bloom sketch per entry matches the
@@ -360,7 +358,11 @@ mod tests {
     #[test]
     fn evaluate_config_produces_consistent_summaries() {
         let ctx = ctx();
-        let results = evaluate_config(&ctx, "small chained", FilterConfig::small(VariantKind::Chained));
+        let results = evaluate_config(
+            &ctx,
+            "small chained",
+            FilterConfig::small(VariantKind::Chained),
+        );
         assert!(!results.instances.is_empty());
         assert!(results.total_ccf_bits > 0);
         // The aggregate RF sits between the exact floor and the key-only baseline.

@@ -50,7 +50,10 @@ mod tests {
         assert_eq!(arg_value(&args, "--runs", 20usize), 3);
         assert_eq!(arg_value(&args, "--seed", 7u64), 7);
         // Malformed values fall back to the default.
-        let bad: Vec<String> = ["prog", "--scale", "banana"].iter().map(|s| s.to_string()).collect();
+        let bad: Vec<String> = ["prog", "--scale", "banana"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_value(&bad, "--scale", 64u64), 64);
     }
 }

@@ -201,7 +201,7 @@ pub fn bit_efficiency_point(
     let false_pos = (0..probes)
         .filter(|i| filter.contains_key(1_000_000_000 + i))
         .count();
-    let fpr = (false_pos as f64 / probes as f64).max(1e-9).min(0.999_999);
+    let fpr = (false_pos as f64 / probes as f64).clamp(1e-9, 0.999_999);
     EfficiencyPoint {
         max_dupes,
         fill_pct: filter.load_factor() * 100.0,
@@ -218,7 +218,12 @@ pub fn bit_efficiency_point(
 mod tests {
     use super::*;
 
-    fn base_config(filter: MultisetFilter, stream: StreamKind, avg: f64, b: usize) -> MultisetConfig {
+    fn base_config(
+        filter: MultisetFilter,
+        stream: StreamKind,
+        avg: f64,
+        b: usize,
+    ) -> MultisetConfig {
         MultisetConfig {
             filter,
             stream,

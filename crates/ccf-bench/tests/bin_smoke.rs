@@ -1,0 +1,58 @@
+//! Smoke tests for the 14 experiment binaries: each one must run to completion at a
+//! minimal workload scale and produce non-empty tabular output.
+//!
+//! `--scale` is a *divisor* of the synthetic IMDB size (scale N ⇒ 1/N of the full
+//! dataset), so "minimal" means a large value. Binaries that don't take a given flag
+//! simply ignore it, letting every binary share one argument list. Without these
+//! tests the binaries would only be compiled, never executed, and could silently rot.
+
+use std::process::Command;
+
+/// Flags that make every binary's workload as small as it supports.
+const SMOKE_ARGS: &[&str] = &[
+    "--scale",
+    "4096",
+    "--runs",
+    "1",
+    "--rows",
+    "2",
+    "--buckets",
+    "512",
+    "--seed",
+    "7",
+];
+
+fn run_smoke(name: &str, exe: &str) {
+    let output = Command::new(exe)
+        .args(SMOKE_ARGS)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {name} ({exe}): {e}"));
+    assert!(
+        output.status.success(),
+        "{name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.lines().count() >= 3,
+        "{name} produced suspiciously little output:\n{stdout}"
+    );
+}
+
+macro_rules! bin_smoke_tests {
+    ($($name:ident),+ $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                run_smoke(stringify!($name), env!(concat!("CARGO_BIN_EXE_", stringify!($name))));
+            }
+        )+
+    };
+}
+
+bin_smoke_tests!(
+    figure2, figure3, figure4, figure5, figure6, figure7, figure8, figure9, figure10, table1,
+    table2, table3, aggregate,
+);

@@ -29,7 +29,10 @@ impl BloomFilter {
     /// Panics if `num_bits == 0` or `num_hashes == 0`.
     pub fn new(num_bits: usize, num_hashes: usize, family: &HashFamily) -> Self {
         assert!(num_bits > 0, "Bloom filter needs at least one bit");
-        assert!(num_hashes > 0, "Bloom filter needs at least one hash function");
+        assert!(
+            num_hashes > 0,
+            "Bloom filter needs at least one hash function"
+        );
         let hashers = (0..num_hashes as u64)
             .map(|i| family.hasher(ccf_hash::salted::purpose::BLOOM_BASE + i))
             .collect();
@@ -43,7 +46,10 @@ impl BloomFilter {
     /// Create a Bloom filter sized for `expected_items` items at the given target FPR
     /// using the standard `m = -n·ln(ρ)/ln²2` rule and the optimal hash count.
     pub fn with_capacity(expected_items: usize, target_fpr: f64, family: &HashFamily) -> Self {
-        assert!(target_fpr > 0.0 && target_fpr < 1.0, "FPR must be in (0, 1)");
+        assert!(
+            target_fpr > 0.0 && target_fpr < 1.0,
+            "FPR must be in (0, 1)"
+        );
         let n = expected_items.max(1) as f64;
         let bits = (-n * target_fpr.ln() / (std::f64::consts::LN_2 * std::f64::consts::LN_2)).ceil()
             as usize;
@@ -81,7 +87,9 @@ impl BloomFilter {
     /// was inserted.
     pub fn contains(&self, item: u64) -> bool {
         let m = self.bits.len();
-        self.hashers.iter().all(|h| self.bits.get(h.bucket_of(item, m)))
+        self.hashers
+            .iter()
+            .all(|h| self.bits.get(h.bucket_of(item, m)))
     }
 
     /// Expected FPR for the current number of inserted items, via the standard
@@ -142,7 +150,10 @@ mod tests {
             measured < expected * 2.5 + 0.005,
             "measured {measured} way above expected {expected}"
         );
-        assert!(measured > expected * 0.2, "measured {measured} suspiciously below expected {expected}");
+        assert!(
+            measured > expected * 0.2,
+            "measured {measured} suspiciously below expected {expected}"
+        );
     }
 
     #[test]
@@ -153,7 +164,10 @@ mod tests {
                 f.insert(i);
             }
             let exp = f.expected_fpr();
-            assert!(exp < target * 1.5, "expected fpr {exp} misses target {target}");
+            assert!(
+                exp < target * 1.5,
+                "expected fpr {exp} misses target {target}"
+            );
         }
     }
 

@@ -82,23 +82,38 @@ pub fn bloom_fpr_exact_small(num_hashes: usize, bits: usize, items: usize) -> f6
 
 /// Bits per item a Bloom filter needs for a target FPR: `1.44 · log2(1/ρ)` (§4.2).
 pub fn optimal_bits_per_item(target_fpr: f64) -> f64 {
-    assert!(target_fpr > 0.0 && target_fpr < 1.0, "FPR must be in (0, 1)");
+    assert!(
+        target_fpr > 0.0 && target_fpr < 1.0,
+        "FPR must be in (0, 1)"
+    );
     (1.0 / std::f64::consts::LN_2) * (1.0 / target_fpr).log2()
 }
 
 /// Bits per item an optimally sized cuckoo filter needs for a target FPR and load
 /// factor β, with `b = 4` entries per bucket: `(log2(1/ρ) + 3)/β` (§4.2).
 pub fn cuckoo_bits_per_item(target_fpr: f64, load_factor: f64) -> f64 {
-    assert!(target_fpr > 0.0 && target_fpr < 1.0, "FPR must be in (0, 1)");
-    assert!(load_factor > 0.0 && load_factor <= 1.0, "load factor must be in (0, 1]");
+    assert!(
+        target_fpr > 0.0 && target_fpr < 1.0,
+        "FPR must be in (0, 1)"
+    );
+    assert!(
+        load_factor > 0.0 && load_factor <= 1.0,
+        "load factor must be in (0, 1]"
+    );
     ((1.0 / target_fpr).log2() + 3.0) / load_factor
 }
 
 /// Bits per item of a cuckoo filter with the semi-sorting optimisation:
 /// `(log2(1/ρ) + 2)/β` (§4.2).
 pub fn semisorted_cuckoo_bits_per_item(target_fpr: f64, load_factor: f64) -> f64 {
-    assert!(target_fpr > 0.0 && target_fpr < 1.0, "FPR must be in (0, 1)");
-    assert!(load_factor > 0.0 && load_factor <= 1.0, "load factor must be in (0, 1]");
+    assert!(
+        target_fpr > 0.0 && target_fpr < 1.0,
+        "FPR must be in (0, 1)"
+    );
+    assert!(
+        load_factor > 0.0 && load_factor <= 1.0,
+        "load factor must be in (0, 1]"
+    );
     ((1.0 / target_fpr).log2() + 2.0) / load_factor
 }
 
@@ -155,7 +170,10 @@ mod tests {
     fn exact_small_fpr_converges_to_approximation_for_larger_filters() {
         let approx = bloom_fpr(4, 256, 40);
         let exact = bloom_fpr_exact_small(4, 256, 40);
-        assert!((exact - approx).abs() / exact < 0.15, "approx {approx} vs exact {exact}");
+        assert!(
+            (exact - approx).abs() / exact < 0.15,
+            "approx {approx} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl TinyBloom {
     /// Panics if `num_bits == 0` or `num_hashes == 0`.
     pub fn new(num_bits: usize, num_hashes: usize, family: &HashFamily) -> Self {
         assert!(num_bits > 0, "tiny Bloom filter needs at least one bit");
-        assert!(num_hashes > 0, "tiny Bloom filter needs at least one hash function");
+        assert!(
+            num_hashes > 0,
+            "tiny Bloom filter needs at least one hash function"
+        );
         let hashers = (0..num_hashes as u64)
             .map(|i| family.hasher(ccf_hash::salted::purpose::BLOOM_BASE + i))
             .collect();
@@ -80,7 +83,9 @@ impl TinyBloom {
     pub fn contains_pair(&self, column: usize, value: u64) -> bool {
         let m = self.bits.len();
         let e = Self::encode(column, value);
-        self.hashers.iter().all(|h| self.bits.get(h.bucket_of(e, m)))
+        self.hashers
+            .iter()
+            .all(|h| self.bits.get(h.bucket_of(e, m)))
     }
 
     /// Merge another tiny Bloom filter (same size and hash count) into this one.
@@ -89,8 +94,16 @@ impl TinyBloom {
     /// # Panics
     /// Panics if dimensions differ.
     pub fn union_with(&mut self, other: &TinyBloom) {
-        assert_eq!(self.bits.len(), other.bits.len(), "bit-size mismatch in union");
-        assert_eq!(self.hashers.len(), other.hashers.len(), "hash-count mismatch in union");
+        assert_eq!(
+            self.bits.len(),
+            other.bits.len(),
+            "bit-size mismatch in union"
+        );
+        assert_eq!(
+            self.hashers.len(),
+            other.hashers.len(),
+            "hash-count mismatch in union"
+        );
         self.bits.union_with(&other.bits);
         self.pairs_inserted += other.pairs_inserted;
     }
@@ -113,8 +126,16 @@ impl TinyBloom {
 
     /// Rebuild a filter from raw bits previously produced by [`Self::to_bits`], plus the
     /// hash configuration (which is shared filter configuration, not per-filter state).
-    pub fn from_bits(bits: BitVec, num_hashes: usize, family: &HashFamily, pairs_inserted: usize) -> Self {
-        assert!(num_hashes > 0, "tiny Bloom filter needs at least one hash function");
+    pub fn from_bits(
+        bits: BitVec,
+        num_hashes: usize,
+        family: &HashFamily,
+        pairs_inserted: usize,
+    ) -> Self {
+        assert!(
+            num_hashes > 0,
+            "tiny Bloom filter needs at least one hash function"
+        );
         let hashers = (0..num_hashes as u64)
             .map(|i| family.hasher(ccf_hash::salted::purpose::BLOOM_BASE + i))
             .collect();
@@ -179,7 +200,10 @@ mod tests {
         b.insert_row(&[2, 20]);
         assert!(b.contains_pair(0, 1) && b.contains_pair(1, 20));
         // The "false positive guaranteed" case from the paper:
-        assert!(b.contains_pair(0, 1) && b.contains_pair(1, 20), "cross-row match must hold");
+        assert!(
+            b.contains_pair(0, 1) && b.contains_pair(1, 20),
+            "cross-row match must hold"
+        );
     }
 
     #[test]

@@ -29,25 +29,27 @@ pub fn match_fingerprint_vector(
     attr_fp: &AttrFingerprinter,
 ) -> bool {
     debug_assert!(stored.len() >= pred.num_attrs());
-    pred.conditions().iter().enumerate().all(|(col, cond)| {
-        match cond.candidate_values() {
+    pred.conditions()
+        .iter()
+        .enumerate()
+        .all(|(col, cond)| match cond.candidate_values() {
             None => true,
             Some(values) => values
                 .iter()
                 .any(|&v| attr_fp.fingerprint(col, v) == stored[col]),
-        }
-    })
+        })
 }
 
 /// Whether a predicate matches a Bloom attribute sketch storing raw (column, value)
 /// pairs (the direct Bloom sketch of §5.2).
 pub fn match_raw_bloom(pred: &Predicate, bloom: &TinyBloom) -> bool {
-    pred.conditions().iter().enumerate().all(|(col, cond)| {
-        match cond.candidate_values() {
+    pred.conditions()
+        .iter()
+        .enumerate()
+        .all(|(col, cond)| match cond.candidate_values() {
             None => true,
             Some(values) => values.iter().any(|&v| bloom.contains_pair(col, v)),
-        }
-    })
+        })
 }
 
 /// Whether a predicate matches a converted Bloom sketch storing (column,
@@ -58,14 +60,15 @@ pub fn match_fingerprint_bloom(
     bloom: &TinyBloom,
     attr_fp: &AttrFingerprinter,
 ) -> bool {
-    pred.conditions().iter().enumerate().all(|(col, cond)| {
-        match cond.candidate_values() {
+    pred.conditions()
+        .iter()
+        .enumerate()
+        .all(|(col, cond)| match cond.candidate_values() {
             None => true,
             Some(values) => values
                 .iter()
                 .any(|&v| bloom.contains_pair(col, u64::from(attr_fp.fingerprint(col, v)))),
-        }
-    })
+        })
 }
 
 #[cfg(test)]
@@ -134,7 +137,10 @@ mod tests {
         let mut bloom = TinyBloom::new(256, 2, &family);
         bloom.insert_row(&[1, 10]);
         bloom.insert_row(&[2, 20]);
-        assert!(match_raw_bloom(&Predicate::any(2).and_eq(0, 1).and_eq(1, 20), &bloom));
+        assert!(match_raw_bloom(
+            &Predicate::any(2).and_eq(0, 1).and_eq(1, 20),
+            &bloom
+        ));
     }
 
     #[test]

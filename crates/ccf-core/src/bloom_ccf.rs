@@ -52,7 +52,10 @@ impl BloomCcf {
     pub fn new(mut params: CcfParams) -> Self {
         params.num_buckets = params.num_buckets.next_power_of_two().max(1);
         params.validate();
-        assert!(params.bloom_bits > 0, "bloom_bits must be positive for the Bloom variant");
+        assert!(
+            params.bloom_bits > 0,
+            "bloom_bits must be positive for the Bloom variant"
+        );
         let family = HashFamily::new(params.seed);
         Self {
             buckets: vec![Vec::new(); params.num_buckets],
@@ -103,7 +106,11 @@ impl BloomCcf {
     }
 
     fn new_sketch(&self) -> TinyBloom {
-        TinyBloom::new(self.params.bloom_bits, self.params.bloom_hashes, &self.bloom_family)
+        TinyBloom::new(
+            self.params.bloom_bits,
+            self.params.bloom_hashes,
+            &self.bloom_family,
+        )
     }
 
     /// Insert a row. Rows whose key fingerprint is already present in the bucket pair
@@ -192,8 +199,7 @@ impl BloomCcf {
             .fingerprinter
             .fingerprint_and_bucket(key, self.buckets.len());
         let l_alt = self.alt_bucket(l, fp);
-        self.buckets[l].iter().any(|e| e.fp == fp)
-            || self.buckets[l_alt].iter().any(|e| e.fp == fp)
+        self.buckets[l].iter().any(|e| e.fp == fp) || self.buckets[l_alt].iter().any(|e| e.fp == fp)
     }
 
     /// Predicate-only query (Algorithm 2): erase entries whose sketch cannot match the
@@ -268,7 +274,10 @@ mod tests {
             }
         }
         assert!(f.occupied_entries() <= 300);
-        assert!(f.occupied_entries() >= 295, "unexpectedly many fingerprint merges");
+        assert!(
+            f.occupied_entries() >= 295,
+            "unexpectedly many fingerprint merges"
+        );
     }
 
     #[test]
@@ -283,7 +292,10 @@ mod tests {
             .filter(|&k| f.query(k, &Predicate::any(2).and_eq(0, 999)))
             .count();
         let rate = fp as f64 / 1000.0;
-        assert!(rate < 0.30, "attribute FPR {rate} unreasonably high for a 24-bit sketch");
+        assert!(
+            rate < 0.30,
+            "attribute FPR {rate} unreasonably high for a 24-bit sketch"
+        );
     }
 
     #[test]
@@ -292,7 +304,9 @@ mod tests {
         for key in 0..3000u64 {
             f.insert_row(key, &[1, 2]).unwrap();
         }
-        let fp = (1_000_000..1_050_000u64).filter(|&k| f.contains_key(k)).count();
+        let fp = (1_000_000..1_050_000u64)
+            .filter(|&k| f.contains_key(k))
+            .count();
         assert!((fp as f64 / 50_000.0) < 0.01);
     }
 

@@ -236,7 +236,9 @@ impl ChainedCcf {
         let (fp, l) = self
             .fingerprinter
             .fingerprint_and_bucket(key, self.buckets.len());
-        self.query_walk(fp, l, |e| match_fingerprint_vector(pred, &e.attrs, &self.attr_fp))
+        self.query_walk(fp, l, |e| {
+            match_fingerprint_vector(pred, &e.attrs, &self.attr_fp)
+        })
     }
 
     /// Key-only membership query. Lemma 2 implies only the first bucket pair needs to
@@ -247,8 +249,7 @@ impl ChainedCcf {
             .fingerprinter
             .fingerprint_and_bucket(key, self.buckets.len());
         let l_alt = self.alt_bucket(l, fp);
-        self.buckets[l].iter().any(|e| e.fp == fp)
-            || self.buckets[l_alt].iter().any(|e| e.fp == fp)
+        self.buckets[l].iter().any(|e| e.fp == fp) || self.buckets[l_alt].iter().any(|e| e.fp == fp)
     }
 
     /// Walk the chain, applying `matches` to each entry carrying the key's fingerprint.
@@ -290,7 +291,12 @@ impl ChainedCcf {
             .map(|bucket| {
                 bucket
                     .iter()
-                    .map(|e| (e.fp, match_fingerprint_vector(pred, &e.attrs, &self.attr_fp)))
+                    .map(|e| {
+                        (
+                            e.fp,
+                            match_fingerprint_vector(pred, &e.attrs, &self.attr_fp),
+                        )
+                    })
                     .collect()
             })
             .collect();
@@ -418,12 +424,17 @@ mod tests {
         }
         for key in 0..200u64 {
             for i in 0..20u64 {
-                let pred = Predicate::any(2).and_eq(0, 1000 + i).and_eq(1, 2000 + (i % 5));
+                let pred = Predicate::any(2)
+                    .and_eq(0, 1000 + i)
+                    .and_eq(1, 2000 + (i % 5));
                 assert!(f.query(key, &pred), "false negative for key {key}, row {i}");
             }
             assert!(f.contains_key(key));
         }
-        assert!(f.max_chain_seen() > 1, "chaining should have been exercised");
+        assert!(
+            f.max_chain_seen() > 1,
+            "chaining should have been exercised"
+        );
     }
 
     #[test]
@@ -481,7 +492,9 @@ mod tests {
                 f.insert_row(key, &[i + 100, i % 9]).unwrap();
             }
         }
-        let fp = (1_000_000..1_050_000u64).filter(|&k| f.contains_key(k)).count();
+        let fp = (1_000_000..1_050_000u64)
+            .filter(|&k| f.contains_key(k))
+            .count();
         let rate = fp as f64 / 50_000.0;
         assert!(rate < 0.02, "key-only FPR {rate} too high");
     }
@@ -497,9 +510,8 @@ mod tests {
         let key = 42u64;
         let mut dropped = 0;
         for i in 0..10u64 {
-            match f.insert_row(key, &[5000 + i, 6000 + i]).unwrap() {
-                InsertOutcome::DroppedChainCap => dropped += 1,
-                _ => {}
+            if f.insert_row(key, &[5000 + i, 6000 + i]).unwrap() == InsertOutcome::DroppedChainCap {
+                dropped += 1
             }
         }
         assert!(dropped > 0, "expected drops with Lmax = 1");
@@ -526,8 +538,14 @@ mod tests {
     #[test]
     fn exact_duplicates_are_deduplicated() {
         let mut f = ChainedCcf::new(params(7));
-        assert_eq!(f.insert_row(1, &[500, 600]).unwrap(), InsertOutcome::Inserted);
-        assert_eq!(f.insert_row(1, &[500, 600]).unwrap(), InsertOutcome::Deduplicated);
+        assert_eq!(
+            f.insert_row(1, &[500, 600]).unwrap(),
+            InsertOutcome::Inserted
+        );
+        assert_eq!(
+            f.insert_row(1, &[500, 600]).unwrap(),
+            InsertOutcome::Deduplicated
+        );
         assert_eq!(f.occupied_entries(), 1);
     }
 
@@ -543,7 +561,10 @@ mod tests {
         let pf = f.predicate_filter(&Predicate::any(2).and_eq(0, 2));
         for key in 0..300u64 {
             if key % 4 == 2 {
-                assert!(pf.contains_key(key), "false negative in predicate filter for {key}");
+                assert!(
+                    pf.contains_key(key),
+                    "false negative in predicate filter for {key}"
+                );
             }
         }
         // Non-matching keys should be mostly rejected (small-value opt → only key-FPR
@@ -551,7 +572,10 @@ mod tests {
         let false_pos = (0..300u64)
             .filter(|&k| k % 4 != 2 && pf.contains_key(k))
             .count();
-        assert!(false_pos < 10, "too many predicate-filter false positives: {false_pos}");
+        assert!(
+            false_pos < 10,
+            "too many predicate-filter false positives: {false_pos}"
+        );
         assert!(pf.size_bits() < f.size_bits());
     }
 
@@ -575,7 +599,10 @@ mod tests {
         assert!(failures > 0, "tiny filter should eventually fail");
         for (k, attrs) in stored {
             assert!(
-                f.query(k, &Predicate::any(2).and_eq(0, attrs[0]).and_eq(1, attrs[1])),
+                f.query(
+                    k,
+                    &Predicate::any(2).and_eq(0, attrs[0]).and_eq(1, attrs[1])
+                ),
                 "lost row for key {k}"
             );
         }
@@ -599,7 +626,10 @@ mod tests {
             f.insert_row(*k, attrs).unwrap();
         }
         for (k, attrs) in &rows {
-            assert!(f.query(*k, &Predicate::any(2).and_eq(0, attrs[0]).and_eq(1, attrs[1])));
+            assert!(f.query(
+                *k,
+                &Predicate::any(2).and_eq(0, attrs[0]).and_eq(1, attrs[1])
+            ));
         }
     }
 
@@ -613,6 +643,9 @@ mod tests {
         // With only 8 buckets the unsalted recurrence must revisit pairs quickly.
         let keys: Vec<u64> = (0..50).collect();
         let cycles = f.chain_cycle_stats(&keys, 16);
-        assert!(cycles > 0, "expected raw-recurrence cycles in a tiny filter");
+        assert!(
+            cycles > 0,
+            "expected raw-recurrence cycles in a tiny filter"
+        );
     }
 }

@@ -161,8 +161,13 @@ mod tests {
             s.observe(v * 17);
         }
         let c = AttributeCompressor::build(std::slice::from_ref(&s), 4);
-        let codes: std::collections::HashSet<u64> = (0..10u64).map(|v| c.compress(0, v * 17)).collect();
-        assert_eq!(codes.len(), 10, "distinct values ≤ 2^4 must map injectively");
+        let codes: std::collections::HashSet<u64> =
+            (0..10u64).map(|v| c.compress(0, v * 17)).collect();
+        assert_eq!(
+            codes.len(),
+            10,
+            "distinct values ≤ 2^4 must map injectively"
+        );
         assert_eq!(c.collision_probability(&s, 0), 0.0);
     }
 

@@ -50,7 +50,9 @@ enum Entry {
 impl Entry {
     fn fp(&self) -> u16 {
         match self {
-            Entry::Vector { fp, .. } | Entry::BloomHead { fp, .. } | Entry::Continuation { fp } => *fp,
+            Entry::Vector { fp, .. } | Entry::BloomHead { fp, .. } | Entry::Continuation { fp } => {
+                *fp
+            }
         }
     }
 }
@@ -290,7 +292,10 @@ impl MixedCcf {
                 }
             }
         }
-        debug_assert!(!freed.is_empty(), "conversion triggered without vector copies");
+        debug_assert!(
+            !freed.is_empty(),
+            "conversion triggered without vector copies"
+        );
         // Re-occupy the freed slots: head first, continuations after.
         self.buckets[freed[0]].push(Entry::BloomHead { fp, sketch });
         for &bkt in freed.iter().skip(1) {
@@ -386,7 +391,9 @@ mod tests {
         assert!(f.conversions() >= 100);
         for key in 0..100u64 {
             for i in 0..12u64 {
-                let pred = Predicate::any(2).and_eq(0, 500 + i).and_eq(1, 700 + (i % 4));
+                let pred = Predicate::any(2)
+                    .and_eq(0, 500 + i)
+                    .and_eq(1, 700 + (i % 4));
                 assert!(f.query(key, &pred), "false negative for key {key} row {i}");
             }
             assert!(f.contains_key(key));
@@ -420,11 +427,23 @@ mod tests {
     fn outcome_sequence_for_one_hot_key() {
         let mut f = MixedCcf::new(params(4));
         let key = 5u64;
-        assert_eq!(f.insert_row(key, &[101, 1]).unwrap(), InsertOutcome::Inserted);
-        assert_eq!(f.insert_row(key, &[102, 1]).unwrap(), InsertOutcome::Inserted);
-        assert_eq!(f.insert_row(key, &[103, 1]).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(
+            f.insert_row(key, &[101, 1]).unwrap(),
+            InsertOutcome::Inserted
+        );
+        assert_eq!(
+            f.insert_row(key, &[102, 1]).unwrap(),
+            InsertOutcome::Inserted
+        );
+        assert_eq!(
+            f.insert_row(key, &[103, 1]).unwrap(),
+            InsertOutcome::Inserted
+        );
         // Fourth distinct row triggers the conversion of the three vectors.
-        assert_eq!(f.insert_row(key, &[104, 1]).unwrap(), InsertOutcome::Converted);
+        assert_eq!(
+            f.insert_row(key, &[104, 1]).unwrap(),
+            InsertOutcome::Converted
+        );
         // Later rows merge into the converted group.
         assert_eq!(f.insert_row(key, &[105, 1]).unwrap(), InsertOutcome::Merged);
         // Exact duplicate before conversion would have been deduplicated; after

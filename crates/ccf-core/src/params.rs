@@ -134,7 +134,9 @@ impl CcfParams {
     pub fn conversion_bloom_bits(&self) -> usize {
         let s = self.mixed_entry_bits();
         let d = self.max_dupes;
-        let header = 2 * (self.fingerprint_bits as usize + usize::BITS as usize - (d.max(2) - 1).leading_zeros() as usize);
+        let header = 2
+            * (self.fingerprint_bits as usize + usize::BITS as usize
+                - (d.max(2) - 1).leading_zeros() as usize);
         (d * s).saturating_sub(header).max(4)
     }
 
@@ -142,12 +144,18 @@ impl CcfParams {
     /// impossible configurations.
     pub fn validate(&self) {
         assert!(self.num_buckets > 0, "num_buckets must be positive");
-        assert!(self.entries_per_bucket > 0, "entries_per_bucket must be positive");
+        assert!(
+            self.entries_per_bucket > 0,
+            "entries_per_bucket must be positive"
+        );
         assert!(
             (1..=16).contains(&self.fingerprint_bits),
             "fingerprint_bits must be 1..=16"
         );
-        assert!((1..=16).contains(&self.attr_bits), "attr_bits must be 1..=16");
+        assert!(
+            (1..=16).contains(&self.attr_bits),
+            "attr_bits must be 1..=16"
+        );
         assert!(self.max_dupes >= 1, "max_dupes must be at least 1");
         assert!(
             self.max_dupes <= 2 * self.entries_per_bucket,

@@ -247,7 +247,10 @@ mod tests {
     fn duplicate_rows_are_deduplicated() {
         let mut f = PlainCcf::new(params(4));
         assert_eq!(f.insert_row(5, &[1, 1]).unwrap(), InsertOutcome::Inserted);
-        assert_eq!(f.insert_row(5, &[1, 1]).unwrap(), InsertOutcome::Deduplicated);
+        assert_eq!(
+            f.insert_row(5, &[1, 1]).unwrap(),
+            InsertOutcome::Deduplicated
+        );
         assert_eq!(f.occupied_entries(), 1);
         assert_eq!(f.rows_absorbed(), 2);
     }
@@ -263,7 +266,10 @@ mod tests {
                 failures += 1;
             }
         }
-        assert!(failures >= 4, "expected the pair to overflow, got {failures} failures");
+        assert!(
+            failures >= 4,
+            "expected the pair to overflow, got {failures} failures"
+        );
         assert!(f.occupied_entries() <= 2 * b);
     }
 

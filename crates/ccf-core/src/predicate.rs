@@ -73,7 +73,10 @@ impl Predicate {
 
     /// A single-column equality predicate `A_col = value` over `num_attrs` columns.
     pub fn eq(num_attrs: usize, col: usize, value: u64) -> Self {
-        assert!(col < num_attrs, "column {col} out of range for {num_attrs} attributes");
+        assert!(
+            col < num_attrs,
+            "column {col} out of range for {num_attrs} attributes"
+        );
         let mut conditions = vec![ColumnPredicate::Any; num_attrs];
         conditions[col] = ColumnPredicate::Eq(value);
         Self { conditions }
@@ -81,7 +84,10 @@ impl Predicate {
 
     /// A single-column in-list predicate over `num_attrs` columns.
     pub fn in_list(num_attrs: usize, col: usize, values: Vec<u64>) -> Self {
-        assert!(col < num_attrs, "column {col} out of range for {num_attrs} attributes");
+        assert!(
+            col < num_attrs,
+            "column {col} out of range for {num_attrs} attributes"
+        );
         let mut conditions = vec![ColumnPredicate::Any; num_attrs];
         conditions[col] = ColumnPredicate::InList(values);
         Self { conditions }
@@ -101,7 +107,10 @@ impl Predicate {
 
     /// Number of columns that carry a real constraint.
     pub fn num_constrained(&self) -> usize {
-        self.conditions.iter().filter(|c| c.is_constrained()).count()
+        self.conditions
+            .iter()
+            .filter(|c| c.is_constrained())
+            .count()
     }
 
     /// Whether the predicate constrains nothing (equivalent to a key-only query).

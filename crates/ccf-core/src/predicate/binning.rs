@@ -63,7 +63,7 @@ impl Binning {
         let n = self.num_bins as u128;
         // bin_of(v) = floor((v - min)·n / width) = bin  ⇔
         //   v - min ∈ [ceil(bin·width / n), ceil((bin+1)·width / n) − 1].
-        let ceil_div = |a: u128, b: u128| ((a + b - 1) / b) as u64;
+        let ceil_div = |a: u128, b: u128| a.div_ceil(b) as u64;
         let lo = self.min + ceil_div(bin as u128 * width, n);
         let hi = self.min + ceil_div((bin + 1) as u128 * width, n) - 1;
         (lo, hi.min(self.max))
@@ -106,7 +106,7 @@ mod tests {
         let b = Binning::new(0, 99, 10);
         // Every value maps to a bin, bins are monotone in the value, and each of the
         // 10 bins receives exactly 10 values.
-        let mut counts = vec![0u32; 10];
+        let mut counts = [0u32; 10];
         let mut prev = 0;
         for v in 0..100u64 {
             let bin = b.bin_of(v);

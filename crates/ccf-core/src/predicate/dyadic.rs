@@ -56,7 +56,10 @@ impl DyadicDomain {
     /// # Panics
     /// Panics if the value is outside the domain.
     pub fn intervals_of(&self, value: u64) -> Vec<DyadicInterval> {
-        assert!(value < self.domain_size(), "value {value} outside dyadic domain");
+        assert!(
+            value < self.domain_size(),
+            "value {value} outside dyadic domain"
+        );
         (1..=self.levels)
             .map(|level| DyadicInterval {
                 level,
@@ -81,7 +84,10 @@ impl DyadicDomain {
         if lo > hi {
             return Vec::new();
         }
-        assert!(hi < self.domain_size(), "range end {hi} outside dyadic domain");
+        assert!(
+            hi < self.domain_size(),
+            "range end {hi} outside dyadic domain"
+        );
         let mut out = Vec::new();
         let mut lo = lo;
         let hi_excl = hi + 1;
@@ -120,10 +126,13 @@ mod tests {
         assert_eq!(
             chain,
             vec![
-                DyadicInterval { level: 1, index: 1 },  // [8, 16)
-                DyadicInterval { level: 2, index: 2 },  // [8, 12)
-                DyadicInterval { level: 3, index: 5 },  // [10, 12)
-                DyadicInterval { level: 4, index: 11 }, // [11, 11]
+                DyadicInterval { level: 1, index: 1 }, // [8, 16)
+                DyadicInterval { level: 2, index: 2 }, // [8, 12)
+                DyadicInterval { level: 3, index: 5 }, // [10, 12)
+                DyadicInterval {
+                    level: 4,
+                    index: 11
+                }, // [11, 11]
             ]
         );
     }
@@ -135,7 +144,7 @@ mod tests {
         let cover = d.cover(3, 12);
         assert_eq!(cover.len(), 4);
         // Verify exact coverage by expanding every interval.
-        let mut covered = vec![false; 16];
+        let mut covered = [false; 16];
         for iv in &cover {
             let size = 1u64 << (d.levels() - iv.level);
             for v in (iv.index * size)..((iv.index + 1) * size) {
@@ -164,7 +173,13 @@ mod tests {
     #[test]
     fn cover_of_single_value_is_leaf() {
         let d = DyadicDomain::new(5);
-        assert_eq!(d.cover(17, 17), vec![DyadicInterval { level: 5, index: 17 }]);
+        assert_eq!(
+            d.cover(17, 17),
+            vec![DyadicInterval {
+                level: 5,
+                index: 17
+            }]
+        );
         assert!(d.cover(9, 3).is_empty());
     }
 
@@ -174,7 +189,11 @@ mod tests {
         let d = DyadicDomain::new(16);
         for (lo, hi) in [(1u64, 65_534u64), (12_345, 54_321), (0, 1), (100, 100)] {
             let cover = d.cover(lo, hi);
-            assert!(cover.len() <= 32, "cover of [{lo},{hi}] has {} intervals", cover.len());
+            assert!(
+                cover.len() <= 32,
+                "cover of [{lo},{hi}] has {} intervals",
+                cover.len()
+            );
         }
     }
 

@@ -76,7 +76,11 @@ impl DuplicationProfile {
 
     /// Maximum number of distinct rows for any key.
     pub fn max_duplicates(&self) -> usize {
-        self.distinct_rows_per_key.iter().copied().max().unwrap_or(0)
+        self.distinct_rows_per_key
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -134,7 +138,9 @@ pub fn attainable_load_factor(entries_per_bucket: usize) -> f64 {
         6 => 0.87,
         7 => 0.885,
         8 => 0.90,
-        _ => 0.95f64.min(0.90 + 0.01 * (entries_per_bucket as f64 - 8.0)).min(0.95),
+        _ => 0.95f64
+            .min(0.90 + 0.01 * (entries_per_bucket as f64 - 8.0))
+            .min(0.95),
     }
 }
 
@@ -214,10 +220,16 @@ mod tests {
             ..CcfParams::default()
         };
         assert_eq!(predicted_entries(VariantKind::Bloom, &p, &params), 4);
-        assert_eq!(predicted_entries(VariantKind::Mixed, &p, &params), 1 + 2 + 3 + 3);
+        assert_eq!(
+            predicted_entries(VariantKind::Mixed, &p, &params),
+            1 + 2 + 3 + 3
+        );
         assert_eq!(predicted_entries(VariantKind::Chained, &p, &params), 48);
         // Plain caps at 2b = 12.
-        assert_eq!(predicted_entries(VariantKind::Plain, &p, &params), 1 + 2 + 5 + 12);
+        assert_eq!(
+            predicted_entries(VariantKind::Plain, &p, &params),
+            1 + 2 + 5 + 12
+        );
         // With a chain cap of Lmax = 2 the chained variant caps at d·Lmax = 6.
         let capped = CcfParams {
             max_chain: Some(2),
@@ -254,7 +266,8 @@ mod tests {
             let entries = predicted_entries(variant, &p, &params);
             assert!(
                 params.num_buckets * params.entries_per_bucket
-                    >= (entries as f64 / attainable_load_factor(params.entries_per_bucket)) as usize,
+                    >= (entries as f64 / attainable_load_factor(params.entries_per_bucket))
+                        as usize,
                 "variant {variant:?} undersized"
             );
         }

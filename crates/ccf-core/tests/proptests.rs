@@ -28,7 +28,10 @@ fn params(seed: u64, num_attrs: usize) -> CcfParams {
 /// attribute vectors.
 fn rows_strategy(num_attrs: usize) -> impl Strategy<Value = Vec<(u64, Vec<u64>)>> {
     proptest::collection::vec(
-        (0u64..64, proptest::collection::vec(0u64..1000, num_attrs..=num_attrs)),
+        (
+            0u64..64,
+            proptest::collection::vec(0u64..1000, num_attrs..=num_attrs),
+        ),
         1..400,
     )
 }

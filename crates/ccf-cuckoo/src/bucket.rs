@@ -55,7 +55,7 @@ impl Bucket {
 
     /// Whether the bucket contains the fingerprint.
     pub fn contains(&self, fp: u16) -> bool {
-        self.slots.iter().any(|&f| f == fp)
+        self.slots.contains(&fp)
     }
 
     /// Number of copies of `fp` in the bucket.

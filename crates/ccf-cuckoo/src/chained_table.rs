@@ -69,7 +69,10 @@ impl<V> ChainedCuckooTable<V> {
     /// Panics if `entries_per_bucket == 0`, `max_dupes == 0`, or `max_dupes` exceeds
     /// `2 · entries_per_bucket`.
     pub fn new(num_buckets: usize, entries_per_bucket: usize, max_dupes: usize, seed: u64) -> Self {
-        assert!(entries_per_bucket > 0, "entries_per_bucket must be positive");
+        assert!(
+            entries_per_bucket > 0,
+            "entries_per_bucket must be positive"
+        );
         assert!(max_dupes > 0, "max_dupes must be positive");
         assert!(
             max_dupes <= 2 * entries_per_bucket,
@@ -123,7 +126,10 @@ impl<V> ChainedCuckooTable<V> {
     #[inline]
     fn next_chain_bucket(&self, l: usize, l_alt: usize, key: u64, depth: usize) -> usize {
         let lmin = l.min(l_alt) as u64;
-        (self.chain_hasher.hash_pair(lmin, key ^ ((depth as u64) << 48)) as usize) & self.bucket_mask
+        (self
+            .chain_hasher
+            .hash_pair(lmin, key ^ ((depth as u64) << 48)) as usize)
+            & self.bucket_mask
     }
 
     fn key_count_in_pair(&self, l: usize, l_alt: usize, key: u64) -> usize {

@@ -53,7 +53,10 @@ impl CuckooFilterParams {
     pub fn for_capacity(capacity: usize, fingerprint_bits: u32, seed: u64) -> Self {
         let entries_per_bucket = 4;
         let needed = (capacity as f64 / 0.95).ceil() as usize;
-        let buckets = needed.div_ceil(entries_per_bucket).next_power_of_two().max(1);
+        let buckets = needed
+            .div_ceil(entries_per_bucket)
+            .next_power_of_two()
+            .max(1);
         Self {
             num_buckets: buckets,
             entries_per_bucket,
@@ -81,7 +84,10 @@ impl std::fmt::Display for InsertError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             InsertError::FilterFull { fingerprint } => {
-                write!(f, "cuckoo filter full: could not place fingerprint {fingerprint:#x}")
+                write!(
+                    f,
+                    "cuckoo filter full: could not place fingerprint {fingerprint:#x}"
+                )
             }
         }
     }
@@ -106,7 +112,10 @@ impl CuckooFilter {
     /// Create an empty filter with the given parameters.
     pub fn new(params: CuckooFilterParams) -> Self {
         let num_buckets = params.num_buckets.next_power_of_two().max(1);
-        assert!(params.entries_per_bucket > 0, "entries_per_bucket must be positive");
+        assert!(
+            params.entries_per_bucket > 0,
+            "entries_per_bucket must be positive"
+        );
         let family = HashFamily::new(params.seed);
         Self {
             buckets: (0..num_buckets)
@@ -127,7 +136,12 @@ impl CuckooFilter {
 
     /// Create an empty filter with explicit geometry (used by Algorithm 2, which builds
     /// a filter with the *same* `(m, b)` dimensions as the CCF it is derived from).
-    pub fn with_geometry(num_buckets: usize, entries_per_bucket: usize, fingerprint_bits: u32, seed: u64) -> Self {
+    pub fn with_geometry(
+        num_buckets: usize,
+        entries_per_bucket: usize,
+        fingerprint_bits: u32,
+        seed: u64,
+    ) -> Self {
         Self::new(CuckooFilterParams {
             num_buckets,
             entries_per_bucket,
@@ -179,13 +193,17 @@ impl CuckooFilter {
 
     /// Occupancy statistics (used by the experiment harness).
     pub fn occupancy(&self) -> OccupancyStats {
-        OccupancyStats::from_counts(self.buckets.iter().map(|b| b.len()), self.entries_per_bucket)
+        OccupancyStats::from_counts(
+            self.buckets.iter().map(|b| b.len()),
+            self.entries_per_bucket,
+        )
     }
 
     /// The (fingerprint, primary bucket) pair for a key.
     #[inline]
     pub fn index_of(&self, key: u64) -> (u16, usize) {
-        self.fingerprinter.fingerprint_and_bucket(key, self.buckets.len())
+        self.fingerprinter
+            .fingerprint_and_bucket(key, self.buckets.len())
     }
 
     /// The alternate bucket for a (bucket, fingerprint) pair: ℓ′ = ℓ ⊕ h(κ).
@@ -343,7 +361,8 @@ mod tests {
         let mut f = CuckooFilter::new(small_params(4));
         let b = f.entries_per_bucket();
         for i in 0..(2 * b) {
-            f.insert(42).unwrap_or_else(|_| panic!("copy {i} should fit"));
+            f.insert(42)
+                .unwrap_or_else(|_| panic!("copy {i} should fit"));
         }
         assert!(f.insert(42).is_err(), "copy {} must not fit", 2 * b + 1);
         assert_eq!(f.count(42), 2 * b);
@@ -369,7 +388,11 @@ mod tests {
         for key in 0..2000u64 {
             let (fp, b) = f.index_of(key);
             let alt = f.alt_bucket(b, fp);
-            assert_eq!(f.alt_bucket(alt, fp), b, "xor mapping must be an involution");
+            assert_eq!(
+                f.alt_bucket(alt, fp),
+                b,
+                "xor mapping must be an involution"
+            );
         }
     }
 
@@ -404,7 +427,8 @@ mod tests {
         assert!(p.num_buckets * p.entries_per_bucket >= 10_000);
         let mut f = CuckooFilter::new(p);
         for k in 0..10_000u64 {
-            f.insert(k).expect("sized-for capacity inserts must succeed");
+            f.insert(k)
+                .expect("sized-for capacity inserts must succeed");
         }
     }
 

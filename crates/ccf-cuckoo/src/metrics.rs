@@ -21,7 +21,10 @@ pub struct OccupancyStats {
 
 impl OccupancyStats {
     /// Build stats from an iterator of per-bucket occupancy counts.
-    pub fn from_counts<I: IntoIterator<Item = usize>>(counts: I, entries_per_bucket: usize) -> Self {
+    pub fn from_counts<I: IntoIterator<Item = usize>>(
+        counts: I,
+        entries_per_bucket: usize,
+    ) -> Self {
         let mut num_buckets = 0;
         let mut occupied = 0;
         let mut full_buckets = 0;

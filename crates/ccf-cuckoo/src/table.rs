@@ -67,7 +67,10 @@ impl<V: Clone> CuckooHashTable<V> {
     /// Create a table with at least `initial_buckets` buckets of `entries_per_bucket`
     /// slots each.
     pub fn new(initial_buckets: usize, entries_per_bucket: usize, seed: u64) -> Self {
-        assert!(entries_per_bucket > 0, "entries_per_bucket must be positive");
+        assert!(
+            entries_per_bucket > 0,
+            "entries_per_bucket must be positive"
+        );
         let m = initial_buckets.next_power_of_two().max(2);
         let family = HashFamily::new(seed);
         Self {
@@ -124,11 +127,9 @@ impl<V: Clone> CuckooHashTable<V> {
     pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
         let (b1, b2) = self.candidate_buckets(key);
         for &b in &[b1, b2] {
-            for slot in &mut self.buckets[b] {
-                if let Some(s) = slot {
-                    if s.key == key {
-                        return Some(std::mem::replace(&mut s.value, value));
-                    }
+            for s in self.buckets[b].iter_mut().flatten() {
+                if s.key == key {
+                    return Some(std::mem::replace(&mut s.value, value));
                 }
             }
         }
@@ -145,12 +146,15 @@ impl<V: Clone> CuckooHashTable<V> {
     /// exists precisely to lift this cap.
     pub fn insert_duplicate(&mut self, key: u64, value: V) -> Result<(), DuplicateCapacityError> {
         let (b1, b2) = self.candidate_buckets(key);
-        let copies = self.count_key_in(b1, key) + if b1 == b2 { 0 } else { self.count_key_in(b2, key) };
-        if copies >= 2 * self.entries_per_bucket || (b1 == b2 && copies >= self.entries_per_bucket) {
-            return Err(DuplicateCapacityError {
-                key,
-                copies,
-            });
+        let copies = self.count_key_in(b1, key)
+            + if b1 == b2 {
+                0
+            } else {
+                self.count_key_in(b2, key)
+            };
+        if copies >= 2 * self.entries_per_bucket || (b1 == b2 && copies >= self.entries_per_bucket)
+        {
+            return Err(DuplicateCapacityError { key, copies });
         }
         self.insert_new(key, value);
         Ok(())

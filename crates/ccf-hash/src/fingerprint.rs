@@ -231,8 +231,13 @@ mod tests {
     fn small_value_optimisation_disabled_hashes_everything() {
         let a = AttrFingerprinter::new(&family(), 8, false);
         // With hashing, the identity mapping should not hold for all small values.
-        let identical = (0..256u64).filter(|&v| a.fingerprint(0, v) as u64 == v).count();
-        assert!(identical < 32, "too many identity mappings for a hash: {identical}");
+        let identical = (0..256u64)
+            .filter(|&v| a.fingerprint(0, v) as u64 == v)
+            .count();
+        assert!(
+            identical < 32,
+            "too many identity mappings for a hash: {identical}"
+        );
     }
 
     #[test]

@@ -208,7 +208,13 @@ mod tests {
     fn hashword_matches_hashlittle_on_word_aligned_input() {
         // lookup3 documents that hashword and hashlittle agree on little-endian
         // machines when the input is a whole number of words.
-        let words = [0x01020304u32, 0x05060708, 0x090a0b0c, 0x0d0e0f10, 0xdeadbeef];
+        let words = [
+            0x01020304u32,
+            0x05060708,
+            0x090a0b0c,
+            0x0d0e0f10,
+            0xdeadbeef,
+        ];
         for n in 0..=words.len() {
             let bytes: Vec<u8> = words[..n].iter().flat_map(|w| w.to_le_bytes()).collect();
             assert_eq!(

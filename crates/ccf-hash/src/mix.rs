@@ -87,7 +87,10 @@ mod tests {
             }
         }
         // Expected ~ 10000 / 65536 ≈ 0.15; allow generous slack.
-        assert!(same < 30, "too many low-bit collisions across seeds: {same}");
+        assert!(
+            same < 30,
+            "too many low-bit collisions across seeds: {same}"
+        );
     }
 
     #[test]

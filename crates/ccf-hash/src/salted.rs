@@ -87,7 +87,9 @@ impl HashFamily {
     /// The `i`-th hasher of the family.
     pub fn hasher(&self, i: u64) -> SaltedHasher {
         // Two rounds of splitmix decorrelate consecutive indices thoroughly.
-        SaltedHasher::new(splitmix64(splitmix64(self.master_seed ^ i.wrapping_mul(0xA24B_AED4_963E_E407))))
+        SaltedHasher::new(splitmix64(splitmix64(
+            self.master_seed ^ i.wrapping_mul(0xA24B_AED4_963E_E407),
+        )))
     }
 
     /// Derive a sub-family, e.g. one family per Bloom attribute sketch.
@@ -133,7 +135,10 @@ mod tests {
         let f = HashFamily::new(7);
         let mut seeds = std::collections::HashSet::new();
         for i in 0..1000 {
-            assert!(seeds.insert(f.hasher(i).seed()), "duplicate seed at index {i}");
+            assert!(
+                seeds.insert(f.hasher(i).seed()),
+                "duplicate seed at index {i}"
+            );
         }
     }
 
@@ -189,6 +194,9 @@ mod tests {
                 agree += 1;
             }
         }
-        assert!(agree < 100, "members look correlated: {agree}/10000 byte agreements");
+        assert!(
+            agree < 100,
+            "members look correlated: {agree}/10000 byte agreements"
+        );
     }
 }

@@ -214,7 +214,10 @@ mod tests {
         let qt = QueryTable {
             table: TableId::Title,
             predicates: vec![
-                QueryPredicate::Eq { column: 0, value: 3 },
+                QueryPredicate::Eq {
+                    column: 0,
+                    value: 3,
+                },
                 QueryPredicate::Range {
                     column: 1,
                     lo: 1990,

@@ -20,10 +20,8 @@ pub struct BuildSide {
 impl BuildSide {
     /// Build from the rows of `table` whose indices satisfy `keep`.
     pub fn build<F: Fn(usize) -> bool>(table: &SyntheticTable, keep: F, seed: u64) -> Self {
-        let mut ht: CuckooHashTable<Vec<u32>> = CuckooHashTable::with_capacity(
-            table.num_rows().max(16),
-            seed,
-        );
+        let mut ht: CuckooHashTable<Vec<u32>> =
+            CuckooHashTable::with_capacity(table.num_rows().max(16), seed);
         let mut rows = 0usize;
         for row in 0..table.num_rows() {
             if !keep(row) {

@@ -112,8 +112,8 @@ pub fn evaluate_query(
 
         let exact_keys = exact_semijoin_keys(db, query, base, false)
             .expect("query has at least one other table");
-        let exact_binned_keys = exact_semijoin_keys(db, query, base, true)
-            .expect("query has at least one other table");
+        let exact_binned_keys =
+            exact_semijoin_keys(db, query, base, true).expect("query has at least one other table");
 
         let mut m_predicate = 0usize;
         let mut m_exact = 0usize;
@@ -185,9 +185,8 @@ pub struct WorkloadSummary {
 impl WorkloadSummary {
     /// Aggregate a set of instance results.
     pub fn from_instances(results: &[InstanceResult]) -> Self {
-        let sum = |f: fn(&InstanceResult) -> usize| -> f64 {
-            results.iter().map(|r| f(r) as f64).sum()
-        };
+        let sum =
+            |f: fn(&InstanceResult) -> usize| -> f64 { results.iter().map(|r| f(r) as f64).sum() };
         let m_pred = sum(|r| r.m_predicate).max(1.0);
         let m_exact = sum(|r| r.m_exact);
         let m_exact_binned = sum(|r| r.m_exact_binned);
@@ -237,7 +236,10 @@ mod tests {
             // Exact semijoin is the floor; every sketch-based strategy sits between it
             // and the predicate-only count. The CCF never loses a true match.
             assert!(r.m_exact <= r.m_exact_binned, "{r:?}");
-            assert!(r.m_exact <= r.m_ccf, "CCF returned fewer rows than exact: {r:?}");
+            assert!(
+                r.m_exact <= r.m_ccf,
+                "CCF returned fewer rows than exact: {r:?}"
+            );
             assert!(r.m_exact <= r.m_key_filter, "{r:?}");
             assert!(r.m_ccf <= r.m_predicate, "{r:?}");
             assert!(r.m_key_filter <= r.m_predicate, "{r:?}");

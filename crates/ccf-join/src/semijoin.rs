@@ -20,11 +20,7 @@ use crate::bridge::{row_matches_table_predicates, row_matches_table_predicates_b
 /// The set of join keys of `qt.table` that have at least one row satisfying `qt`'s
 /// predicates. With `binned = true`, range predicates are evaluated at bin granularity
 /// (the §9.1 conversion) instead of exactly.
-pub fn predicate_matching_keys(
-    db: &SyntheticImdb,
-    qt: &QueryTable,
-    binned: bool,
-) -> HashSet<u64> {
+pub fn predicate_matching_keys(db: &SyntheticImdb, qt: &QueryTable, binned: bool) -> HashSet<u64> {
     let table = db.table(qt.table);
     let mut keys = HashSet::new();
     for row in 0..table.num_rows() {

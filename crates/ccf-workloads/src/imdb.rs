@@ -285,7 +285,11 @@ impl SyntheticImdb {
         let num_movies = (FULL_NUM_MOVIES / scale).max(1000);
         let mut tables = Vec::with_capacity(6);
         for (i, spec) in TABLE_SPECS.iter().enumerate() {
-            tables.push(Self::generate_table(spec, num_movies, seed ^ ((i as u64 + 1) << 32)));
+            tables.push(Self::generate_table(
+                spec,
+                num_movies,
+                seed ^ ((i as u64 + 1) << 32),
+            ));
         }
         Self {
             scale,
@@ -362,7 +366,8 @@ impl SyntheticImdb {
         // Row budget: keep the per-table ratios of Table 2. Rows per included movie is
         // derived from the duplicate structure; extra repetitions model the fact that
         // the same (movie, value) pair occurs in multiple raw rows.
-        let target_rows = (spec.full_rows as f64 * num_movies as f64 / FULL_NUM_MOVIES as f64) as usize;
+        let target_rows =
+            (spec.full_rows as f64 * num_movies as f64 / FULL_NUM_MOVIES as f64) as usize;
 
         for movie in 1..=num_movies {
             if !rng.gen_bool(spec.movie_coverage) {
@@ -480,7 +485,10 @@ mod tests {
         let mk = db.table(TableId::MovieKeyword);
         let counts = mk.distinct_attr_vectors_per_key();
         let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
-        assert!((4.0..16.0).contains(&mean), "movie_keyword mean dupes {mean}");
+        assert!(
+            (4.0..16.0).contains(&mean),
+            "movie_keyword mean dupes {mean}"
+        );
         assert!(*counts.iter().max().unwrap() > 30, "missing heavy tail");
         // cast_info: mean ≈ 4.7, max ≤ 11 (cardinality bound).
         let ci = db.table(TableId::CastInfo);

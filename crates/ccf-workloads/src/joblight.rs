@@ -231,7 +231,10 @@ mod tests {
     fn instance_count_is_in_the_papers_ballpark() {
         let (_, wl) = workload();
         let n = wl.num_instances();
-        assert!((200..=320).contains(&n), "instances = {n}, paper reports 237");
+        assert!(
+            (200..=320).contains(&n),
+            "instances = {n}, paper reports 237"
+        );
     }
 
     #[test]

@@ -146,7 +146,10 @@ mod tests {
         let rows = s.generate(60_000);
         let counts = duplicate_counts(&rows);
         let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
-        assert!((mean - 6.0).abs() < 0.8, "mean duplicates {mean}, wanted ≈ 6");
+        assert!(
+            (mean - 6.0).abs() < 0.8,
+            "mean duplicates {mean}, wanted ≈ 6"
+        );
         // Skew: some keys should have far more duplicates than the mean.
         assert!(*counts.iter().max().unwrap() > 20);
     }
@@ -157,7 +160,10 @@ mod tests {
         let rows = s.generate(5000);
         // If unshuffled, keys would be non-decreasing; count inversions.
         let inversions = rows.windows(2).filter(|w| w[0].key > w[1].key).count();
-        assert!(inversions > 100, "stream does not look shuffled ({inversions} inversions)");
+        assert!(
+            inversions > 100,
+            "stream does not look shuffled ({inversions} inversions)"
+        );
     }
 
     #[test]

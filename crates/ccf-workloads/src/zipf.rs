@@ -93,7 +93,11 @@ impl ZipfMandelbrot {
         if x == 0 || x > self.max_value {
             return 0.0;
         }
-        let prev = if x == 1 { 0.0 } else { self.cdf[(x - 2) as usize] };
+        let prev = if x == 1 {
+            0.0
+        } else {
+            self.cdf[(x - 2) as usize]
+        };
         self.cdf[(x - 1) as usize] - prev
     }
 
@@ -119,7 +123,10 @@ impl ZipfMandelbrot {
     /// 1.0, where the distribution degenerates to a point mass at 1 — clamp to the
     /// nearest attainable α instead of failing.
     pub fn solve_alpha_for_mean_with(target_mean: f64, offset: f64, max_value: u64) -> f64 {
-        assert!(target_mean >= 1.0, "mean duplicates below 1 is unattainable");
+        assert!(
+            target_mean >= 1.0,
+            "mean duplicates below 1 is unattainable"
+        );
         let mean_at = |alpha: f64| ZipfMandelbrot::new(alpha, offset, max_value).mean();
         let (mut lo, mut hi) = (-10.0f64, 40.0f64);
         if target_mean >= mean_at(lo) {
@@ -152,7 +159,10 @@ mod tests {
         let total: f64 = (1..=500).map(|x| z.pmf(x)).sum();
         assert!((total - 1.0).abs() < 1e-9);
         for x in 1..500u64 {
-            assert!(z.pmf(x) >= z.pmf(x + 1), "pmf must be non-increasing at {x}");
+            assert!(
+                z.pmf(x) >= z.pmf(x + 1),
+                "pmf must be non-increasing at {x}"
+            );
         }
         assert_eq!(z.pmf(0), 0.0);
         assert_eq!(z.pmf(501), 0.0);
@@ -228,8 +238,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "unattainable")]
-    fn solver_rejects_sub_one_means()
-    {
+    fn solver_rejects_sub_one_means() {
         let _ = ZipfMandelbrot::solve_alpha_for_mean(0.5);
     }
 }

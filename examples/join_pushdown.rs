@@ -38,11 +38,17 @@ fn main() {
     // cast_info predicate role_id = 4 is applied directly by the cast_info scan below).
     let t_pred = QueryTable {
         table: TableId::Title,
-        predicates: vec![QueryPredicate::Eq { column: 0, value: 1 }], // kind_id = 1
+        predicates: vec![QueryPredicate::Eq {
+            column: 0,
+            value: 1,
+        }], // kind_id = 1
     };
     let mc_pred = QueryTable {
         table: TableId::MovieCompanies,
-        predicates: vec![QueryPredicate::Eq { column: 1, value: 2 }], // company_type_id = 2
+        predicates: vec![QueryPredicate::Eq {
+            column: 1,
+            value: 2,
+        }], // company_type_id = 2
     };
 
     let cast_info = db.table(TableId::CastInfo);
@@ -73,7 +79,10 @@ fn main() {
             cast_info.columns[0][r] == 4 && {
                 let k = cast_info.join_keys[r];
                 bank.table(TableId::Title).ccf.query(k, &title_ccf_pred)
-                    && bank.table(TableId::MovieCompanies).ccf.query(k, &mc_ccf_pred)
+                    && bank
+                        .table(TableId::MovieCompanies)
+                        .ccf
+                        .query(k, &mc_ccf_pred)
             }
         })
         .count();

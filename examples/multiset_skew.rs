@@ -11,7 +11,10 @@
 use conditional_cuckoo_filters::ccf::{CcfParams, ChainedCcf, ConditionalFilter, PlainCcf};
 use conditional_cuckoo_filters::workloads::multiset::{DuplicateDistribution, MultisetStream};
 
-fn fill_until_failure<F: ConditionalFilter>(filter: &mut F, rows: &[(u64, Vec<u64>)]) -> (f64, usize) {
+fn fill_until_failure<F: ConditionalFilter>(
+    filter: &mut F,
+    rows: &[(u64, Vec<u64>)],
+) -> (f64, usize) {
     let mut absorbed = 0usize;
     for (key, attrs) in rows {
         if filter.insert_row(*key, attrs).is_err() {
@@ -46,9 +49,18 @@ fn main() {
         ("constant, 2 per key", DuplicateDistribution::Constant(2)),
         ("constant, 6 per key", DuplicateDistribution::Constant(6)),
         ("constant, 12 per key", DuplicateDistribution::Constant(12)),
-        ("zipf-mandelbrot, mean 4", DuplicateDistribution::zipf_with_mean(4.0)),
-        ("zipf-mandelbrot, mean 8", DuplicateDistribution::zipf_with_mean(8.0)),
-        ("zipf-mandelbrot, mean 12", DuplicateDistribution::zipf_with_mean(12.0)),
+        (
+            "zipf-mandelbrot, mean 4",
+            DuplicateDistribution::zipf_with_mean(4.0),
+        ),
+        (
+            "zipf-mandelbrot, mean 8",
+            DuplicateDistribution::zipf_with_mean(8.0),
+        ),
+        (
+            "zipf-mandelbrot, mean 12",
+            DuplicateDistribution::zipf_with_mean(12.0),
+        ),
     ] {
         let stream = MultisetStream::new(dist, 1, 7);
         let rows: Vec<(u64, Vec<u64>)> = stream

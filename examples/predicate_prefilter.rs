@@ -49,22 +49,34 @@ fn main() {
     // probe by key only.
     let derived = bloom_ccf.predicate_filter(&pred);
     let survivors = (0..50_000u64).filter(|&m| derived.contains(m)).count();
-    let missed = truly_matching.iter().filter(|&&m| !derived.contains(m)).count();
+    let missed = truly_matching
+        .iter()
+        .filter(|&&m| !derived.contains(m))
+        .count();
     println!("Bloom CCF → derived cuckoo filter (Algorithm 2):");
     println!("  truly matching movies : {}", truly_matching.len());
     println!("  keys kept by filter   : {survivors}");
     println!("  false negatives       : {missed} (must be 0)");
-    println!("  derived filter size   : {} KiB\n", derived.size_bits() / 8 / 1024);
+    println!(
+        "  derived filter size   : {} KiB\n",
+        derived.size_bits() / 8 / 1024
+    );
 
     // The chained variant cannot simply erase entries (it would break chains); it
     // returns a marked filter instead (§6.2).
     let marked = chained_ccf.predicate_filter(&pred);
     let survivors = (0..50_000u64).filter(|&m| marked.contains_key(m)).count();
-    let missed = truly_matching.iter().filter(|&&m| !marked.contains_key(m)).count();
+    let missed = truly_matching
+        .iter()
+        .filter(|&&m| !marked.contains_key(m))
+        .count();
     println!("Chained CCF → marked key filter (§6.2):");
     println!("  keys kept by filter   : {survivors}");
     println!("  false negatives       : {missed} (must be 0)");
-    println!("  marked filter size    : {} KiB", marked.size_bits() / 8 / 1024);
+    println!(
+        "  marked filter size    : {} KiB",
+        marked.size_bits() / 8 / 1024
+    );
 
     assert_eq!(missed, 0);
     println!("\nA downstream scan can now probe either filter by movie_id alone — the predicate\nhas been baked in, exactly the pre-built join-filter use case of §3.");

@@ -32,8 +32,12 @@ fn main() {
             .expect("a 256-bucket filter easily holds six rows");
     }
 
-    println!("inserted {} rows into {} occupied entries ({} bits serialized)\n",
-        rows.len(), filter.occupied_entries(), filter.size_bits());
+    println!(
+        "inserted {} rows into {} occupied entries ({} bits serialized)\n",
+        rows.len(),
+        filter.occupied_entries(),
+        filter.size_bits()
+    );
 
     // Key + predicate queries: "does movie X have a company of type 2?"
     let type2 = Predicate::any(2).and_eq(1, 2);
@@ -60,5 +64,7 @@ fn main() {
         let exact = Predicate::any(2).and_eq(0, attrs[0]).and_eq(1, attrs[1]);
         assert!(filter.query(*movie_id, &exact), "no false negatives, ever");
     }
-    println!("\nevery inserted row is found by its own (key, predicate) query — no false negatives");
+    println!(
+        "\nevery inserted row is found by its own (key, predicate) query — no false negatives"
+    );
 }

@@ -5,16 +5,18 @@
 use conditional_cuckoo_filters::ccf::sizing::{
     attainable_load_factor, predicted_entries, size_for_profile, DuplicationProfile, VariantKind,
 };
-use conditional_cuckoo_filters::ccf::{
-    AnyCcf, BloomCcf, CcfParams, ConditionalFilter, Predicate,
-};
+use conditional_cuckoo_filters::ccf::{AnyCcf, BloomCcf, CcfParams, ConditionalFilter, Predicate};
 use conditional_cuckoo_filters::join::bridge::ccf_attrs_for_row;
 use conditional_cuckoo_filters::workloads::imdb::{SyntheticImdb, TableId};
 
 #[test]
 fn sized_filters_absorb_real_tables_at_predicted_load() {
     let db = SyntheticImdb::generate(1024, 77);
-    for &table_id in &[TableId::MovieKeyword, TableId::CastInfo, TableId::MovieCompanies] {
+    for &table_id in &[
+        TableId::MovieKeyword,
+        TableId::CastInfo,
+        TableId::MovieCompanies,
+    ] {
         let table = db.table(table_id);
         let profile = DuplicationProfile::from_counts(table.distinct_attr_vectors_per_key());
         for variant in [VariantKind::Chained, VariantKind::Mixed, VariantKind::Bloom] {
@@ -35,7 +37,10 @@ fn sized_filters_absorb_real_tables_at_predicted_load() {
                     failures += 1;
                 }
             }
-            assert_eq!(failures, 0, "{table_id:?}/{variant:?}: sized filter dropped rows");
+            assert_eq!(
+                failures, 0,
+                "{table_id:?}/{variant:?}: sized filter dropped rows"
+            );
             // The filter's occupancy stays at or below the predicted entries and the
             // load factor stays below the empirical attainable target.
             let predicted = predicted_entries(variant, &profile, &params);
@@ -101,14 +106,10 @@ fn variants_agree_on_key_membership_for_identical_data() {
         seed: 79,
         ..CcfParams::default()
     };
-    let mut filters: Vec<AnyCcf> = [
-        VariantKind::Chained,
-        VariantKind::Bloom,
-        VariantKind::Mixed,
-    ]
-    .iter()
-    .map(|&k| AnyCcf::new(k, params))
-    .collect();
+    let mut filters: Vec<AnyCcf> = [VariantKind::Chained, VariantKind::Bloom, VariantKind::Mixed]
+        .iter()
+        .map(|&k| AnyCcf::new(k, params))
+        .collect();
     for row in 0..table.num_rows() {
         let attrs = ccf_attrs_for_row(table, row);
         for f in &mut filters {

@@ -25,18 +25,31 @@ fn reduction_factor_pipeline_respects_all_orderings() {
     let mut aggregate_rf = Vec::new();
     for variant in [VariantKind::Chained, VariantKind::Bloom, VariantKind::Mixed] {
         let bank = FilterBank::build(&db, FilterConfig::small(variant));
-        assert_eq!(bank.total_failed_rows(), 0, "{variant:?}: bank dropped rows");
+        assert_eq!(
+            bank.total_failed_rows(),
+            0,
+            "{variant:?}: bank dropped rows"
+        );
         let results = evaluate_workload(&db, &wl, &bank);
         assert!(!results.is_empty());
         for r in &results {
-            assert!(r.m_exact <= r.m_ccf, "{variant:?}: CCF lost a true match in {r:?}");
-            assert!(r.m_ccf <= r.m_predicate, "{variant:?}: CCF passed more rows than exist");
+            assert!(
+                r.m_exact <= r.m_ccf,
+                "{variant:?}: CCF lost a true match in {r:?}"
+            );
+            assert!(
+                r.m_ccf <= r.m_predicate,
+                "{variant:?}: CCF passed more rows than exist"
+            );
             assert!(r.m_exact <= r.m_key_filter);
             assert!(r.m_exact <= r.m_exact_binned);
         }
         let summary = WorkloadSummary::from_instances(&results);
         assert!(summary.rf_exact <= summary.rf_ccf + 1e-9);
-        assert!(summary.rf_ccf <= summary.rf_key_filter + 1e-9, "{variant:?}: CCF worse than key-only filters");
+        assert!(
+            summary.rf_ccf <= summary.rf_key_filter + 1e-9,
+            "{variant:?}: CCF worse than key-only filters"
+        );
         aggregate_rf.push((variant, summary.rf_ccf, summary.rf_key_filter));
     }
     // The headline claim: predicates make the pre-built filters substantially better.

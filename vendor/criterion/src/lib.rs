@@ -1,0 +1,377 @@
+//! Offline vendored stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate implements the
+//! subset of the criterion 0.5 API the workspace's three bench harnesses use:
+//! benchmark groups, `bench_function` / `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `sample_size`, and the [`criterion_group!`] / [`criterion_main!`]
+//! macros (both the simple and the `name/config/targets` forms).
+//!
+//! Measurement is intentionally simple — median of `sample_size` wall-clock samples
+//! after a short warm-up, printed as a plain-text table line with derived throughput.
+//! It has none of criterion's statistical machinery (no outlier analysis, no
+//! comparison against saved baselines, no plots), which is fine for the spot-check
+//! role benches play in an offline CI; absolute numbers remain honest wall-clock
+//! measurements.
+//!
+//! Use `cargo bench` as usual. `--quick` reduces sample counts further; a positional
+//! filter argument restricts which benchmarks run, mirroring criterion's CLI.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour of
+/// `std::hint::black_box`, but still widely imported).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-rate annotation for a benchmark group; printed as derived elements/sec or
+/// bytes/sec next to the time per iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The measured routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The measured routine decodes this many bytes per iteration.
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter, as produced by
+/// [`BenchmarkId::new`] or [`BenchmarkId::from_parameter`].
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call, filled by the harness.
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`: a short warm-up, then `samples` timed runs; records the
+    /// median per-run wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed run (populates caches, triggers lazy init).
+        black_box(routine());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.measured = Some(times[times.len() / 2]);
+    }
+
+    /// Batched measurement: `setup` runs untimed before each timed `routine` run.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.measured = Some(times[times.len() / 2]);
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; ignored by this harness.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small input batches.
+    SmallInput,
+    /// Large input batches.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A named collection of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a work rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the per-benchmark measurement budget (accepted for API
+    /// compatibility; this harness is bounded by sample count, not time).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches_filter(&full) {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: self.criterion.sample_size,
+            measured: None,
+        };
+        f(&mut bencher);
+        match bencher.measured {
+            Some(t) => println!("{}", render_line(&full, t, self.throughput)),
+            None => println!("{full:<60} (no measurement: closure never called iter)"),
+        }
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op marker).
+    pub fn finish(&mut self) {}
+}
+
+fn render_line(name: &str, t: Duration, throughput: Option<Throughput>) -> String {
+    let per_iter = format_duration(t);
+    let rate = throughput.map(|tp| {
+        let secs = t.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Elements(n) => format!("  {:>14}/s", format_si(n as f64 / secs, "elem")),
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                format!("  {:>14}/s", format_si(n as f64 / secs, "B"))
+            }
+        }
+    });
+    format!("{name:<60} {per_iter:>12}{}", rate.unwrap_or_default())
+}
+
+fn format_duration(t: Duration) -> String {
+    let ns = t.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_si(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // Mirror criterion's CLI shape loosely: `--quick` shrinks samples, the first
+        // non-flag positional arg is a substring filter. Harness flags cargo passes
+        // (e.g. `--bench`) are ignored.
+        let quick = args.iter().any(|a| a == "--quick");
+        let filter = args
+            .iter()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && *a != "bench")
+            .cloned();
+        Criterion {
+            sample_size: if quick { 3 } else { 10 },
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (criterion's minimum is 10;
+    /// this harness accepts anything ≥ 2).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness is bounded by sample count.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is fixed at one untimed run.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches_filter(name) {
+            let mut bencher = Bencher {
+                samples: self.sample_size,
+                measured: None,
+            };
+            f(&mut bencher);
+            if let Some(t) = bencher.measured {
+                println!("{}", render_line(name, t, None));
+            }
+        }
+        self
+    }
+
+    /// Criterion calls this after all groups; a no-op here.
+    pub fn final_summary(&mut self) {}
+
+    fn matches_filter(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+}
+
+/// Declares a group of benchmark functions, in either upstream form:
+///
+/// ```ignore
+/// criterion_group!(benches, bench_a, bench_b);
+/// criterion_group! {
+///     name = benches;
+///     config = Criterion::default().sample_size(10);
+///     targets = bench_a, bench_b
+/// }
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

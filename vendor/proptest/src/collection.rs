@@ -1,0 +1,151 @@
+//! Collection strategies (`vec`, `hash_set`), mirroring `proptest::collection`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive size bound for generated collections.
+///
+/// Constructed implicitly from `usize`, `a..b` and `a..=b`, matching how upstream's
+/// `SizeRange` conversions are used in strategy expressions.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<S::Value>` with a target size drawn from `size`.
+///
+/// As upstream documents, the set may come out smaller than the target when the
+/// element strategy produces duplicates; a bounded number of extra draws tries to
+/// reach the minimum.
+pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`hash_set`].
+#[derive(Clone, Debug)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let target = self.size.pick(rng);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        let max_attempts = target.saturating_mul(4) + 16;
+        while out.len() < target && attempts < max_attempts {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let v = vec(0u64..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        let exact = vec(any::<u32>(), 3usize..=3).generate(&mut rng);
+        assert_eq!(exact.len(), 3);
+    }
+
+    #[test]
+    fn hash_set_hits_target_for_wide_domains() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = hash_set(any::<u64>(), 1..50).generate(&mut rng);
+            assert!((1..50).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn hash_set_tolerates_narrow_domains() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Only 3 possible values but target up to 10: must terminate, possibly small.
+        let s = hash_set(0u64..3, 5..=10).generate(&mut rng);
+        assert!(s.len() <= 3);
+    }
+}

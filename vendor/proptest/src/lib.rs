@@ -1,0 +1,99 @@
+//! Offline vendored stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this crate reimplements the
+//! subset of proptest's API the workspace's property suites use:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]` header)
+//! - [`strategy::Strategy`] with range, `any::<T>()`, tuple and collection strategies
+//! - [`collection::vec`] / [`collection::hash_set`]
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`]
+//! - [`test_runner::ProptestConfig`] honouring the `PROPTEST_CASES` env var
+//!
+//! Differences from upstream, deliberately accepted for an offline test harness:
+//!
+//! - **No shrinking.** A failing case panics with the case index; cases are derived
+//!   deterministically from the test name, so the failure reproduces exactly on rerun.
+//! - **Deterministic by default.** Upstream seeds from OS entropy unless a
+//!   `proptest-regressions` file exists; here every case seed is a pure function of
+//!   `(test name, case index)`, which keeps tier-1 CI runs reproducible.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Asserts a condition inside a [`proptest!`] body.
+///
+/// Upstream returns a `TestCaseError` so the runner can shrink; without shrinking a
+/// panic carries exactly the same information, so this expands to [`assert!`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a [`proptest!`] body. Expands to [`assert_eq!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a [`proptest!`] body. Expands to [`assert_ne!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests.
+///
+/// Supported grammar (the subset upstream's macro accepts that this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///
+///     /// doc comments and attributes pass through
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(any::<u32>(), 1..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+///
+/// Each test runs `cases` deterministic iterations (from the config, or the
+/// `PROPTEST_CASES` env var, default 64). On failure the panic message names the case
+/// index; rerunning reproduces it exactly.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
+                for case in 0..cases {
+                    let mut runner_rng =
+                        $crate::test_runner::case_rng(concat!(module_path!(), "::", stringify!($name)), case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut runner_rng);)+
+                    let run = move || $body;
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest case {case}/{cases} of {} failed (deterministic; rerun reproduces it)",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

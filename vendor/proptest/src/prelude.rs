@@ -1,0 +1,9 @@
+//! The glob-import surface (`use proptest::prelude::*`), matching what the
+//! workspace's test files expect to find in scope.
+
+pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+/// Re-export of the RNG type strategies draw from, handy for custom strategies.
+pub use rand::rngs::StdRng as TestRng;

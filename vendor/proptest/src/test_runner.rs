@@ -1,0 +1,89 @@
+//! Test-runner configuration and deterministic per-case RNG derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default number of cases per property when neither the config nor the
+/// `PROPTEST_CASES` environment variable says otherwise.
+///
+/// Upstream defaults to 256; this workspace pins 64 so tier-1 CI stays fast (the
+/// suites run every filter variant per case, which is comparatively expensive).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Runner configuration, mirroring the fields of upstream's `ProptestConfig` that the
+/// workspace sets.
+#[derive(Clone, Debug, Default)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property. `None` defers to `PROPTEST_CASES` or
+    /// [`DEFAULT_CASES`] at run time.
+    pub cases: Option<u32>,
+}
+
+impl ProptestConfig {
+    /// A config that runs exactly `cases` cases, ignoring the environment.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases: Some(cases) }
+    }
+
+    /// Resolves the case count: explicit config, then `PROPTEST_CASES`, then
+    /// [`DEFAULT_CASES`].
+    pub fn resolved_cases(&self) -> u32 {
+        if let Some(n) = self.cases {
+            return n;
+        }
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES)
+    }
+}
+
+/// Derives the deterministic RNG for one test case.
+///
+/// The seed is a pure FNV-1a hash of the fully-qualified test name mixed with the
+/// case index, so every property walks a fixed, reproducible sequence of cases —
+/// independent of execution order, parallelism, or platform.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^= case as u64;
+    h = h.wrapping_mul(0x1000_0000_01b3);
+    StdRng::seed_from_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn case_rng_is_deterministic_and_name_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = case_rng("mod::t1", 0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = case_rng("mod::t1", 0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = case_rng("mod::t2", 0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let d: Vec<u64> = {
+            let mut r = case_rng("mod::t1", 1);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn with_cases_overrides_everything() {
+        assert_eq!(ProptestConfig::with_cases(7).resolved_cases(), 7);
+    }
+}

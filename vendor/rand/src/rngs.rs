@@ -1,0 +1,67 @@
+//! Named generator types, mirroring `rand::rngs`.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard seeded generator: xoshiro256++.
+///
+/// Upstream `rand`'s `StdRng` is ChaCha12; the streams differ, but every consumer in
+/// this workspace treats `StdRng` as an opaque deterministic source, so only
+/// seed-stability matters. xoshiro256++ passes BigCrush and is much smaller.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // An all-zero state is a fixed point of xoshiro; nudge it.
+        if s == [0; 4] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xD1B5_4A32_D192_ED03,
+                0xAEF1_7502_B3DD_9156,
+                1,
+            ];
+        }
+        StdRng { s }
+    }
+}
+
+/// Alias kept for call sites that name the small generator explicitly.
+pub type SmallRng = StdRng;
