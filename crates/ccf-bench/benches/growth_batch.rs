@@ -1,0 +1,141 @@
+//! Criterion bench for the growth/batch work: per-key vs batched probe loops on the
+//! cuckoo substrate and the chained CCF, and the amortized cost of inserting to 4× a
+//! filter's sized capacity with `auto_grow` enabled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ccf_core::{CcfParams, ChainedCcf, Predicate};
+use ccf_cuckoo::{CuckooFilter, CuckooFilterParams};
+
+const KEYS: usize = 50_000;
+const PROBES: usize = 100_000;
+
+fn probe_stream() -> Vec<u64> {
+    (0..PROBES as u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                (i / 2) % KEYS as u64
+            } else {
+                1_000_000_000 + i
+            }
+        })
+        .collect()
+}
+
+fn bench_cuckoo_probes(c: &mut Criterion) {
+    let mut filter = CuckooFilter::new(CuckooFilterParams::for_capacity(KEYS, 12, 0xBE7C));
+    for k in 0..KEYS as u64 {
+        filter.insert(k).unwrap();
+    }
+    let stream = probe_stream();
+    let mut group = c.benchmark_group("cuckoo_probe");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("per_key", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &k in &stream {
+                if filter.contains(black_box(k)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let hits = filter
+                .contains_batch(black_box(&stream))
+                .iter()
+                .filter(|&&h| h)
+                .count();
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_ccf_probes(c: &mut Criterion) {
+    let mut filter = ChainedCcf::new(
+        CcfParams {
+            num_attrs: 2,
+            seed: 0xBE7C,
+            ..CcfParams::default()
+        }
+        .sized_for_entries(KEYS, 0.8),
+    );
+    for k in 0..KEYS as u64 {
+        filter.insert_row(k, &[k % 7, k % 11]).unwrap();
+    }
+    let stream = probe_stream();
+    let pred = Predicate::any(2).and_eq(0, 3);
+    let mut group = c.benchmark_group("ccf_query");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("per_key", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &k in &stream {
+                if filter.query(black_box(k), black_box(&pred)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let hits = filter
+                .query_batch(black_box(&stream), black_box(&pred))
+                .iter()
+                .filter(|&&h| h)
+                .count();
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_to_4x_capacity");
+    for (name, sized_for) in [("n=10k", 10_000usize), ("n=40k", 40_000)] {
+        group.throughput(Throughput::Elements(4 * sized_for as u64));
+        group.bench_with_input(
+            BenchmarkId::new("cuckoo_auto_grow", name),
+            &sized_for,
+            |b, &n| {
+                b.iter(|| {
+                    let mut f = CuckooFilter::new(
+                        CuckooFilterParams::for_capacity(n, 12, 0xBE7C).with_auto_grow(),
+                    );
+                    for k in 0..(4 * n) as u64 {
+                        f.insert(k).unwrap();
+                    }
+                    black_box(f.growth_bits())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cuckoo_presized", name),
+            &sized_for,
+            |b, &n| {
+                // The baseline: a filter sized for the final population up front.
+                b.iter(|| {
+                    let mut f =
+                        CuckooFilter::new(CuckooFilterParams::for_capacity(4 * n, 12, 0xBE7C));
+                    for k in 0..(4 * n) as u64 {
+                        f.insert(k).unwrap();
+                    }
+                    black_box(f.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cuckoo_probes, bench_ccf_probes, bench_growth
+}
+criterion_main!(benches);

@@ -1,0 +1,263 @@
+//! Growth and batched-probe experiments (beyond the paper: the production-hardening
+//! additions of the growable-filter work).
+//!
+//! Two questions the paper leaves open for a deployed system are answered here with
+//! honest wall-clock measurements:
+//!
+//! 1. **Batched probing** — how much throughput does splitting a probe loop into a
+//!    hash pass plus a probe pass buy ([`probe_comparison`])? The comparison also
+//!    cross-checks that the batched results are bit-identical to the per-key loop,
+//!    which is the correctness contract of the batch API.
+//! 2. **Growth cost** — what does it cost to insert into a filter sized for `n` until
+//!    it holds `factor·n` keys with `auto_grow` doing the doubling
+//!    ([`growth_experiment`])? The report counts doublings and verifies the zero
+//!    failure / zero false-negative contract along the way.
+
+use std::time::Instant;
+
+use ccf_core::{CcfParams, ChainedCcf, Predicate};
+use ccf_cuckoo::{CuckooFilter, CuckooFilterParams};
+
+/// Results of one per-key vs batched probe comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeComparison {
+    /// Number of keys probed.
+    pub probes: usize,
+    /// Wall-clock seconds for the per-key loop.
+    pub per_key_secs: f64,
+    /// Wall-clock seconds for the batched path.
+    pub batched_secs: f64,
+    /// Number of positive responses (identical for both paths by construction).
+    pub hits: usize,
+    /// Whether the batched results were bit-identical to the per-key loop (always
+    /// checked; `false` would be a correctness bug).
+    pub identical: bool,
+}
+
+impl ProbeComparison {
+    /// Probes per second of the per-key loop.
+    pub fn per_key_throughput(&self) -> f64 {
+        self.probes as f64 / self.per_key_secs.max(1e-12)
+    }
+
+    /// Probes per second of the batched path.
+    pub fn batched_throughput(&self) -> f64 {
+        self.probes as f64 / self.batched_secs.max(1e-12)
+    }
+
+    /// Batched over per-key throughput.
+    pub fn speedup(&self) -> f64 {
+        self.batched_throughput() / self.per_key_throughput().max(1e-12)
+    }
+}
+
+/// A mixed hit/miss probe stream: even indices are inserted keys, odd indices absent.
+fn probe_stream(num_keys: u64, probes: usize) -> Vec<u64> {
+    (0..probes as u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                (i / 2) % num_keys.max(1)
+            } else {
+                1_000_000_000 + i
+            }
+        })
+        .collect()
+}
+
+/// Fill a cuckoo filter with `num_keys` unique keys and time a per-key `contains`
+/// loop against `contains_batch` over `probes` mixed hit/miss probes.
+pub fn cuckoo_probe_comparison(num_keys: usize, probes: usize, seed: u64) -> ProbeComparison {
+    let mut filter = CuckooFilter::new(CuckooFilterParams::for_capacity(num_keys, 12, seed));
+    for k in 0..num_keys as u64 {
+        let _ = filter.insert(k);
+    }
+    let stream = probe_stream(num_keys as u64, probes);
+
+    let start = Instant::now();
+    let per_key: Vec<bool> = stream.iter().map(|&k| filter.contains(k)).collect();
+    let per_key_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let batched = filter.contains_batch(&stream);
+    let batched_secs = start.elapsed().as_secs_f64();
+
+    ProbeComparison {
+        probes: stream.len(),
+        per_key_secs,
+        batched_secs,
+        hits: per_key.iter().filter(|&&h| h).count(),
+        identical: per_key == batched,
+    }
+}
+
+/// Fill a chained CCF with `num_keys` keys (two rows each) and time a per-key
+/// predicate `query` loop against `query_batch` over `probes` mixed hit/miss probes.
+pub fn ccf_probe_comparison(num_keys: usize, probes: usize, seed: u64) -> ProbeComparison {
+    let mut filter = ChainedCcf::new(
+        CcfParams {
+            num_attrs: 2,
+            seed,
+            ..CcfParams::default()
+        }
+        .sized_for_entries(2 * num_keys.max(1), 0.8),
+    );
+    for k in 0..num_keys as u64 {
+        filter
+            .insert_row(k, &[k % 7, k % 11])
+            .expect("sized filter");
+        filter
+            .insert_row(k, &[k % 7 + 20, k % 11])
+            .expect("sized filter");
+    }
+    let stream = probe_stream(num_keys as u64, probes);
+    let pred = Predicate::any(2).and_eq(0, 3);
+
+    let start = Instant::now();
+    let per_key: Vec<bool> = stream.iter().map(|&k| filter.query(k, &pred)).collect();
+    let per_key_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let batched = filter.query_batch(&stream, &pred);
+    let batched_secs = start.elapsed().as_secs_f64();
+
+    ProbeComparison {
+        probes: stream.len(),
+        per_key_secs,
+        batched_secs,
+        hits: per_key.iter().filter(|&&h| h).count(),
+        identical: per_key == batched,
+    }
+}
+
+/// Results of one insert-to-`factor`×-capacity growth run.
+#[derive(Debug, Clone, Copy)]
+pub struct GrowthReport {
+    /// Keys the filter was originally sized for.
+    pub sized_for: usize,
+    /// Keys actually inserted (`factor · sized_for`).
+    pub inserted: usize,
+    /// Insert failures observed (the auto-grow contract demands 0).
+    pub failures: usize,
+    /// Capacity doublings performed.
+    pub growths: u32,
+    /// False negatives among all inserted keys after the run (contract: 0).
+    pub false_negatives: usize,
+    /// Wall-clock seconds for the whole insert stream, growth included.
+    pub insert_secs: f64,
+    /// Load factor at the end of the run.
+    pub final_load_factor: f64,
+}
+
+impl GrowthReport {
+    /// Inserts per second, amortizing every doubling.
+    pub fn insert_throughput(&self) -> f64 {
+        self.inserted as f64 / self.insert_secs.max(1e-12)
+    }
+}
+
+/// Size a cuckoo filter for `sized_for` keys, enable `auto_grow`, insert
+/// `factor · sized_for` unique keys, and report the cost and the contract checks.
+pub fn cuckoo_growth_experiment(sized_for: usize, factor: usize, seed: u64) -> GrowthReport {
+    let mut filter =
+        CuckooFilter::new(CuckooFilterParams::for_capacity(sized_for, 12, seed).with_auto_grow());
+    let total = sized_for * factor;
+    let mut failures = 0usize;
+    let start = Instant::now();
+    for k in 0..total as u64 {
+        if filter.insert(k).is_err() {
+            failures += 1;
+        }
+    }
+    let insert_secs = start.elapsed().as_secs_f64();
+    let false_negatives = (0..total as u64).filter(|&k| !filter.contains(k)).count();
+    GrowthReport {
+        sized_for,
+        inserted: total,
+        failures,
+        growths: filter.growth_bits(),
+        false_negatives,
+        insert_secs,
+        final_load_factor: filter.load_factor(),
+    }
+}
+
+/// The same growth run for a chained CCF storing (key, 2-attribute) rows.
+pub fn ccf_growth_experiment(sized_for: usize, factor: usize, seed: u64) -> GrowthReport {
+    let mut filter = ChainedCcf::new(
+        CcfParams {
+            num_attrs: 2,
+            seed,
+            ..CcfParams::default()
+        }
+        .sized_for_entries(sized_for.max(1), 0.8)
+        .with_auto_grow(),
+    );
+    let total = sized_for * factor;
+    let mut failures = 0usize;
+    let start = Instant::now();
+    for k in 0..total as u64 {
+        if filter.insert_row(k, &[k % 7, k % 11]).is_err() {
+            failures += 1;
+        }
+    }
+    let insert_secs = start.elapsed().as_secs_f64();
+    let false_negatives = (0..total as u64)
+        .filter(|&k| !filter.query(k, &Predicate::any(2).and_eq(0, k % 7).and_eq(1, k % 11)))
+        .count();
+    GrowthReport {
+        sized_for,
+        inserted: total,
+        failures,
+        growths: filter.growth_bits(),
+        false_negatives,
+        insert_secs,
+        final_load_factor: filter.load_factor(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cuckoo_probe_comparison_is_bit_identical() {
+        let cmp = cuckoo_probe_comparison(2000, 10_000, 1);
+        assert!(cmp.identical, "batched results diverged from per-key loop");
+        assert_eq!(cmp.probes, 10_000);
+        // Half the probes are inserted keys, so at least those must hit.
+        assert!(cmp.hits >= 5000);
+    }
+
+    #[test]
+    fn ccf_probe_comparison_is_bit_identical() {
+        let cmp = ccf_probe_comparison(1000, 5000, 2);
+        assert!(cmp.identical);
+        assert_eq!(cmp.probes, 5000);
+    }
+
+    #[test]
+    fn growth_experiments_meet_the_zero_failure_contract() {
+        let cuckoo = cuckoo_growth_experiment(1500, 4, 3);
+        assert_eq!(cuckoo.failures, 0, "{cuckoo:?}");
+        assert_eq!(cuckoo.false_negatives, 0, "{cuckoo:?}");
+        assert!(
+            cuckoo.growths >= 2,
+            "4× the sized capacity needs ≥ 2 doublings"
+        );
+
+        let ccf = ccf_growth_experiment(1000, 4, 4);
+        assert_eq!(ccf.failures, 0, "{ccf:?}");
+        assert_eq!(ccf.false_negatives, 0, "{ccf:?}");
+        assert!(ccf.growths >= 1);
+    }
+
+    #[test]
+    fn tiny_scales_do_not_panic() {
+        // The smoke harness runs the binary with --rows 2; the library paths must
+        // cope with degenerate sizes.
+        let cmp = cuckoo_probe_comparison(1, 2, 5);
+        assert!(cmp.identical);
+        let report = cuckoo_growth_experiment(1, 4, 6);
+        assert_eq!(report.false_negatives, 0);
+    }
+}

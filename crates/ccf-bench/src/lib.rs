@@ -12,12 +12,14 @@
 //! | [`fpr_experiments`] | Figure 2 (estimated vs actual FPR) |
 //! | [`sizing_experiments`] | Figure 3 (predicted vs actual entries), Table 1 |
 //! | [`joblight_experiments`] | Figures 6–10, Tables 2–3, §10.6 aggregates |
+//! | [`growth_experiments`] | beyond the paper: auto-grow cost and batched-probe throughput |
 //! | [`report`] | plain-text table formatting shared by the binaries |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fpr_experiments;
+pub mod growth_experiments;
 pub mod joblight_experiments;
 pub mod multiset_experiments;
 pub mod report;

@@ -1,5 +1,8 @@
-//! Smoke tests for the 14 experiment binaries: each one must run to completion at a
-//! minimal workload scale and produce non-empty tabular output.
+//! Smoke tests for the experiment binaries (the 13 paper artefacts plus the
+//! growth/batch harness): each one must run to completion at a minimal workload scale
+//! and produce non-empty tabular output. For `growth_batch` this also re-verifies the
+//! bit-identity and zero-failure contracts at smoke scale, so the growth/batch bench
+//! cannot silently rot.
 //!
 //! `--scale` is a *divisor* of the synthetic IMDB size (scale N ⇒ 1/N of the full
 //! dataset), so "minimal" means a large value. Binaries that don't take a given flag
@@ -53,6 +56,18 @@ macro_rules! bin_smoke_tests {
 }
 
 bin_smoke_tests!(
-    figure2, figure3, figure4, figure5, figure6, figure7, figure8, figure9, figure10, table1,
-    table2, table3, aggregate,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+    table2,
+    table3,
+    aggregate,
+    growth_batch,
 );

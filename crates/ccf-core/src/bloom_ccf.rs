@@ -13,6 +13,7 @@
 //! returned as a standard [`CuckooFilter`].
 
 use ccf_bloom::TinyBloom;
+use ccf_cuckoo::geometry::probe_chunked;
 use ccf_cuckoo::CuckooFilter;
 use ccf_hash::{Fingerprinter, HashFamily, SaltedHasher};
 use rand::rngs::StdRng;
@@ -173,7 +174,7 @@ impl BloomCcf {
         }
         self.rows_absorbed -= 1;
         Err(InsertFailure::KicksExhausted {
-            load_factor_millis: (self.load_factor() * 1000.0) as u32,
+            load_factor_millis: (self.load_factor() * 1000.0).round() as u32,
         })
     }
 
@@ -181,16 +182,29 @@ impl BloomCcf {
     /// bucket pair carries the key's fingerprint and its Bloom sketch matches every
     /// constrained column.
     pub fn query(&self, key: u64, pred: &Predicate) -> bool {
-        let (fp, l) = self
-            .fingerprinter
-            .fingerprint_and_bucket(key, self.buckets.len());
-        let l_alt = self.alt_bucket(l, fp);
+        let (fp, l, l_alt) = self.pair_of(key);
+        self.query_pair(fp, l, l_alt, pred)
+    }
+
+    /// The probe shared by [`BloomCcf::query`] and [`BloomCcf::query_batch`], so the
+    /// two can never diverge.
+    fn query_pair(&self, fp: u16, l: usize, l_alt: usize, pred: &Predicate) -> bool {
         let buckets: &[usize] = if l == l_alt { &[l] } else { &[l, l_alt] };
         buckets.iter().any(|&bkt| {
             self.buckets[bkt]
                 .iter()
                 .any(|e| e.fp == fp && match_raw_bloom(pred, &e.sketch))
         })
+    }
+
+    /// Batched predicate query: bit-identical to calling [`BloomCcf::query`] per key,
+    /// using the chunked two-pass driver ([`ccf_cuckoo::geometry::probe_chunked`]).
+    pub fn query_batch(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
+        probe_chunked(
+            keys,
+            |key| self.pair_of(key),
+            |fp, l, l_alt| self.query_pair(fp, l, l_alt, pred),
+        )
     }
 
     /// Key-only membership query — identical to a regular cuckoo filter (§7.1).
@@ -200,6 +214,28 @@ impl BloomCcf {
             .fingerprint_and_bucket(key, self.buckets.len());
         let l_alt = self.alt_bucket(l, fp);
         self.buckets[l].iter().any(|e| e.fp == fp) || self.buckets[l_alt].iter().any(|e| e.fp == fp)
+    }
+
+    /// Batched key-only membership query (see [`BloomCcf::query_batch`]).
+    pub fn contains_key_batch(&self, keys: &[u64]) -> Vec<bool> {
+        probe_chunked(
+            keys,
+            |key| self.pair_of(key),
+            |fp, l, l_alt| {
+                self.buckets[l].iter().any(|e| e.fp == fp)
+                    || self.buckets[l_alt].iter().any(|e| e.fp == fp)
+            },
+        )
+    }
+
+    /// The `(κ, ℓ, ℓ′)` triple for a key (this variant never grows, so the full
+    /// bucket mask is the base mask).
+    #[inline]
+    fn pair_of(&self, key: u64) -> (u16, usize, usize) {
+        let (fp, l) = self
+            .fingerprinter
+            .fingerprint_and_bucket(key, self.buckets.len());
+        (fp, l, self.alt_bucket(l, fp))
     }
 
     /// Predicate-only query (Algorithm 2): erase entries whose sketch cannot match the

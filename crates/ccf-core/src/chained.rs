@@ -16,6 +16,7 @@
 //! to agree on). [`ChainedCcf::chain_cycle_stats`] still reports how often the raw
 //! recurrence would have cycled, for the curious.
 
+use ccf_cuckoo::geometry::{grow_and_retry, probe_chunked, split_buckets, SplitGeometry};
 use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily, SaltedHasher};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,11 +46,10 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct ChainedCcf {
     buckets: Vec<Vec<Entry>>,
-    bucket_mask: usize,
+    geometry: SplitGeometry,
     params: CcfParams,
     fingerprinter: Fingerprinter,
     attr_fp: AttrFingerprinter,
-    partial_hasher: SaltedHasher,
     chain_hasher: SaltedHasher,
     rng: StdRng,
     occupied: usize,
@@ -66,10 +66,9 @@ impl ChainedCcf {
         let family = HashFamily::new(params.seed);
         Self {
             buckets: vec![Vec::new(); params.num_buckets],
-            bucket_mask: params.num_buckets - 1,
+            geometry: SplitGeometry::new(&family, params.num_buckets, 0),
             fingerprinter: Fingerprinter::new(&family, params.fingerprint_bits),
             attr_fp: AttrFingerprinter::new(&family, params.attr_bits, params.small_value_opt),
-            partial_hasher: family.hasher(ccf_hash::salted::purpose::PARTIAL_KEY),
             chain_hasher: family.hasher(ccf_hash::salted::purpose::CHAIN),
             rng: StdRng::seed_from_u64(params.seed ^ 0xC4A1),
             occupied: 0,
@@ -125,20 +124,65 @@ impl ChainedCcf {
         &self.attr_fp
     }
 
+    /// Number of capacity doublings applied so far.
+    pub fn growth_bits(&self) -> u32 {
+        self.geometry.growth_bits()
+    }
+
+    /// Raw storage snapshot: per bucket, the (κ, attribute-fingerprint-vector) entries
+    /// in slot order. Used by rollback tests and state diagnostics; two filters with
+    /// equal snapshots answer every query identically.
+    pub fn bucket_snapshot(&self) -> Vec<Vec<(u16, Vec<u16>)>> {
+        self.buckets
+            .iter()
+            .map(|bucket| bucket.iter().map(|e| (e.fp, e.attrs.clone())).collect())
+            .collect()
+    }
+
+    /// The alternate bucket ℓ′ = ℓ ⊕ h(κ), with the xor confined to the base-geometry
+    /// bits so a pair always shares its growth bits.
     #[inline]
     fn alt_bucket(&self, bucket: usize, fp: u16) -> usize {
-        (bucket ^ self.partial_hasher.hash_u64(u64::from(fp)) as usize) & self.bucket_mask
+        self.geometry.alt_bucket(bucket, fp)
+    }
+
+    /// The (fingerprint, primary bucket) pair for a key under the current geometry.
+    #[inline]
+    fn home_of(&self, key: u64) -> (u16, usize) {
+        let (fp, base) = self
+            .fingerprinter
+            .fingerprint_and_bucket(key, self.geometry.base_buckets());
+        (fp, self.geometry.home_bucket(base, fp))
     }
 
     /// The start bucket of the next chain pair: `h(min(ℓ, ℓ′), κ)` salted with the
-    /// chain depth (cycle resolution — see module docs).
+    /// chain depth (cycle resolution — see module docs). The hop only rewrites the
+    /// base-geometry bits ([`SplitGeometry::rebase`]): the whole chain of a
+    /// fingerprint stays inside its growth block, which is what lets growth migrate
+    /// chained entries as a pure remap.
     #[inline]
     fn next_chain_bucket(&self, l: usize, l_alt: usize, fp: u16, depth: usize) -> usize {
-        let lmin = l.min(l_alt) as u64;
-        (self
-            .chain_hasher
-            .hash_pair(lmin, (u64::from(fp) << 32) | depth as u64) as usize)
-            & self.bucket_mask
+        let lmin = l.min(l_alt);
+        let hop = self.chain_hasher.hash_pair(
+            (lmin & self.geometry.base_mask()) as u64,
+            (u64::from(fp) << 32) | depth as u64,
+        ) as usize;
+        self.geometry.rebase(hop, lmin)
+    }
+
+    /// Double the filter's capacity, migrating entries by their stored fingerprints
+    /// alone ([`ccf_cuckoo::geometry::split_buckets`]). Entries of one fingerprint
+    /// move together (same growth bit), every bucket pair maps onto a pair, and chain
+    /// hops only rewrite base-geometry bits — so the remap preserves per-pair
+    /// saturation counts and every chain walk, and cannot fail. No original keys (and
+    /// no chain re-walking) are needed.
+    pub fn grow(&mut self) {
+        let old_m = self.buckets.len();
+        let bit = self.geometry.growth_bits();
+        self.buckets.resize_with(old_m * 2, Vec::new);
+        split_buckets(&self.geometry, &mut self.buckets, old_m, bit, |e| e.fp);
+        self.geometry.record_doubling();
+        self.params.num_buckets = self.buckets.len();
     }
 
     fn max_walk(&self) -> usize {
@@ -157,8 +201,21 @@ impl ChainedCcf {
 
     /// Insert a row (Algorithm 4). Exact duplicates of a stored (κ, α) pair are
     /// deduplicated; rows beyond the chain cap are dropped (still covered by the
-    /// no-false-negative guarantee); kick exhaustion fails and rolls back.
+    /// no-false-negative guarantee). Without `auto_grow`, kick exhaustion fails and
+    /// rolls back; with it, the filter doubles and retries (chained filters never
+    /// fail on duplicate saturation — that is what chains are for — so every
+    /// `KicksExhausted` is a genuine capacity problem growth can relieve).
     pub fn insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
+        grow_and_retry(
+            self,
+            self.params.auto_grow,
+            |f| f.try_insert_row(key, attrs),
+            |_| true, // chained failures are genuine fullness; growth always helps
+            |f| f.grow(),
+        )
+    }
+
+    fn try_insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
         assert_eq!(
             attrs.len(),
             self.params.num_attrs,
@@ -166,9 +223,7 @@ impl ChainedCcf {
             attrs.len(),
             self.params.num_attrs
         );
-        let (fp, mut l) = self
-            .fingerprinter
-            .fingerprint_and_bucket(key, self.buckets.len());
+        let (fp, mut l) = self.home_of(key);
         let entry = Entry {
             fp,
             attrs: self.attr_fp.fingerprint_vector(attrs),
@@ -222,7 +277,7 @@ impl ChainedCcf {
             }
             self.rows_absorbed -= 1;
             return Err(InsertFailure::KicksExhausted {
-                load_factor_millis: (self.load_factor() * 1000.0) as u32,
+                load_factor_millis: (self.load_factor() * 1000.0).round() as u32,
             });
         }
         // Chain cap Lmax reached with every pair saturated: the row is discarded, but
@@ -233,31 +288,74 @@ impl ChainedCcf {
 
     /// Query for a key under a predicate (Algorithm 5).
     pub fn query(&self, key: u64, pred: &Predicate) -> bool {
-        let (fp, l) = self
-            .fingerprinter
-            .fingerprint_and_bucket(key, self.buckets.len());
+        let (fp, l) = self.home_of(key);
         self.query_walk(fp, l, |e| {
             match_fingerprint_vector(pred, &e.attrs, &self.attr_fp)
         })
+    }
+
+    /// Batched predicate query: bit-identical to calling [`ChainedCcf::query`] per
+    /// key. The `(κ, ℓ, ℓ′)` triples for every key are derived in a hash-only first
+    /// pass; the probe pass then streams over them (chains beyond the first pair are
+    /// rare and walked on demand).
+    pub fn query_batch(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
+        probe_chunked(
+            keys,
+            |key| self.first_pair_of(key),
+            |fp, l, l_alt| {
+                self.query_walk_from(fp, l, l_alt, |e| {
+                    match_fingerprint_vector(pred, &e.attrs, &self.attr_fp)
+                })
+            },
+        )
     }
 
     /// Key-only membership query. Lemma 2 implies only the first bucket pair needs to
     /// be examined: if the key was ever inserted, a copy of its fingerprint is in the
     /// first pair.
     pub fn contains_key(&self, key: u64) -> bool {
-        let (fp, l) = self
-            .fingerprinter
-            .fingerprint_and_bucket(key, self.buckets.len());
+        let (fp, l) = self.home_of(key);
         let l_alt = self.alt_bucket(l, fp);
         self.buckets[l].iter().any(|e| e.fp == fp) || self.buckets[l_alt].iter().any(|e| e.fp == fp)
     }
 
+    /// Batched key-only membership query (see [`ChainedCcf::query_batch`]).
+    pub fn contains_key_batch(&self, keys: &[u64]) -> Vec<bool> {
+        probe_chunked(
+            keys,
+            |key| self.first_pair_of(key),
+            |fp, l, l_alt| {
+                self.buckets[l].iter().any(|e| e.fp == fp)
+                    || self.buckets[l_alt].iter().any(|e| e.fp == fp)
+            },
+        )
+    }
+
+    /// The `(κ, ℓ, ℓ′)` triple of a key's first bucket pair.
+    #[inline]
+    fn first_pair_of(&self, key: u64) -> (u16, usize, usize) {
+        let (fp, l) = self.home_of(key);
+        (fp, l, self.alt_bucket(l, fp))
+    }
+
     /// Walk the chain, applying `matches` to each entry carrying the key's fingerprint.
-    fn query_walk<F: Fn(&Entry) -> bool>(&self, fp: u16, mut l: usize, matches: F) -> bool {
+    fn query_walk<F: Fn(&Entry) -> bool>(&self, fp: u16, l: usize, matches: F) -> bool {
+        let l_alt = self.alt_bucket(l, fp);
+        self.query_walk_from(fp, l, l_alt, matches)
+    }
+
+    /// [`ChainedCcf::query_walk`] with the first pair's alternate bucket already
+    /// derived (the batched path precomputes it).
+    fn query_walk_from<F: Fn(&Entry) -> bool>(
+        &self,
+        fp: u16,
+        mut l: usize,
+        mut l_alt: usize,
+        matches: F,
+    ) -> bool {
         let d = self.params.max_dupes;
         let max_walk = self.max_walk();
         for depth in 0..max_walk {
-            let l_alt = self.alt_bucket(l, fp);
             let mut count = 0usize;
             let buckets: &[usize] = if l == l_alt { &[l] } else { &[l, l_alt] };
             for &bkt in buckets {
@@ -272,6 +370,7 @@ impl ChainedCcf {
             }
             if count >= d {
                 l = self.next_chain_bucket(l, l_alt, fp, depth);
+                l_alt = self.alt_bucket(l, fp);
             } else {
                 return false;
             }
@@ -302,10 +401,11 @@ impl ChainedCcf {
             .collect();
         ChainedPredicateFilter {
             buckets: marked,
-            bucket_mask: self.bucket_mask,
+            // The derived filter copies the source's geometry and hashers verbatim, so
+            // its walk agrees bucket-for-bucket at any growth level.
+            geometry: self.geometry,
             params: self.params,
             fingerprinter: self.fingerprinter,
-            partial_hasher: self.partial_hasher,
             chain_hasher: self.chain_hasher,
         }
     }
@@ -317,9 +417,7 @@ impl ChainedCcf {
     pub fn chain_cycle_stats(&self, sample_keys: &[u64], steps: usize) -> usize {
         let mut cycles = 0;
         for &key in sample_keys {
-            let (fp, mut l) = self
-                .fingerprinter
-                .fingerprint_and_bucket(key, self.buckets.len());
+            let (fp, mut l) = self.home_of(key);
             let mut seen = std::collections::HashSet::new();
             for _ in 0..steps {
                 let l_alt = self.alt_bucket(l, fp);
@@ -342,24 +440,25 @@ impl ChainedCcf {
 #[derive(Debug, Clone)]
 pub struct ChainedPredicateFilter {
     buckets: Vec<Vec<(u16, bool)>>,
-    bucket_mask: usize,
+    geometry: SplitGeometry,
     params: CcfParams,
     fingerprinter: Fingerprinter,
-    partial_hasher: SaltedHasher,
     chain_hasher: SaltedHasher,
 }
 
 impl ChainedPredicateFilter {
-    /// Whether `key` may belong to the predicate's key set.
+    /// Whether `key` may belong to the predicate's key set. Mirrors the source
+    /// filter's walk through the shared [`SplitGeometry`], so the two can never
+    /// drift apart — including after the source has grown.
     pub fn contains_key(&self, key: u64) -> bool {
-        let (fp, mut l) = self
+        let (fp, base) = self
             .fingerprinter
-            .fingerprint_and_bucket(key, self.buckets.len());
+            .fingerprint_and_bucket(key, self.geometry.base_buckets());
+        let mut l = self.geometry.home_bucket(base, fp);
         let d = self.params.max_dupes;
         let max_walk = self.params.max_chain.unwrap_or(WALK_SAFETY_CAP);
         for depth in 0..max_walk {
-            let l_alt =
-                (l ^ self.partial_hasher.hash_u64(u64::from(fp)) as usize) & self.bucket_mask;
+            let l_alt = self.geometry.alt_bucket(l, fp);
             let mut count = 0usize;
             let buckets: &[usize] = if l == l_alt { &[l] } else { &[l, l_alt] };
             for &bkt in buckets {
@@ -373,12 +472,12 @@ impl ChainedPredicateFilter {
                 }
             }
             if count >= d {
-                let lmin = l.min(l_alt) as u64;
-                l = (self
-                    .chain_hasher
-                    .hash_pair(lmin, (u64::from(fp) << 32) | depth as u64)
-                    as usize)
-                    & self.bucket_mask;
+                let lmin = l.min(l_alt);
+                let hop = self.chain_hasher.hash_pair(
+                    (lmin & self.geometry.base_mask()) as u64,
+                    (u64::from(fp) << 32) | depth as u64,
+                ) as usize;
+                l = self.geometry.rebase(hop, lmin);
             } else {
                 return false;
             }
@@ -631,6 +730,127 @@ mod tests {
                 &Predicate::any(2).and_eq(0, attrs[0]).and_eq(1, attrs[1])
             ));
         }
+    }
+
+    #[test]
+    fn grow_preserves_chains_and_saturation_counts() {
+        let mut f = ChainedCcf::new(params(20));
+        // Heavy duplication so real chains exist before the doubling.
+        for key in 0..150u64 {
+            for i in 0..15u64 {
+                f.insert_row(key, &[1000 + i, 2000 + (i % 4)]).unwrap();
+            }
+        }
+        assert!(
+            f.max_chain_seen() > 1,
+            "need chains to make the test honest"
+        );
+        let occupied = f.occupied_entries();
+        f.grow();
+        assert_eq!(f.occupied_entries(), occupied);
+        assert_eq!(f.params().num_buckets, 1 << 11);
+        for key in 0..150u64 {
+            for i in 0..15u64 {
+                let pred = Predicate::any(2)
+                    .and_eq(0, 1000 + i)
+                    .and_eq(1, 2000 + (i % 4));
+                assert!(
+                    f.query(key, &pred),
+                    "false negative for key {key} row {i} after growth"
+                );
+            }
+            assert!(f.contains_key(key));
+        }
+        // Lemma 1 must survive the remap: at most d copies in the first pair.
+        for key in 0..150u64 {
+            let (fp, l) = f.home_of(key);
+            let l_alt = f.alt_bucket(l, fp);
+            assert!(f.pair_fp_count(l, l_alt, fp) <= f.params().max_dupes);
+        }
+    }
+
+    #[test]
+    fn auto_grow_accepts_four_times_the_sized_capacity() {
+        let mut f = ChainedCcf::new(
+            CcfParams {
+                num_buckets: 1 << 7,
+                ..params(21)
+            }
+            .with_auto_grow(),
+        );
+        let four_n = 4 * f.capacity() as u64;
+        for k in 0..four_n {
+            f.insert_row(k, &[k % 6, k % 10])
+                .unwrap_or_else(|e| panic!("auto-grow insert of {k} failed: {e}"));
+        }
+        assert!(f.growth_bits() >= 2);
+        for k in 0..four_n {
+            assert!(
+                f.query(k, &Predicate::any(2).and_eq(0, k % 6).and_eq(1, k % 10)),
+                "false negative for {k} after auto-growth"
+            );
+        }
+    }
+
+    #[test]
+    fn predicate_filter_tracks_grown_geometry() {
+        let mut f = ChainedCcf::new(params(22));
+        for key in 0..400u64 {
+            for extra in 0..4u64 {
+                f.insert_row(key, &[key % 4, extra + 10]).unwrap();
+            }
+        }
+        f.grow();
+        let pf = f.predicate_filter(&Predicate::any(2).and_eq(0, 2));
+        for key in 0..400u64 {
+            if key % 4 == 2 {
+                assert!(
+                    pf.contains_key(key),
+                    "grown predicate filter lost key {key}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_queries_match_per_key_loops() {
+        let mut f = ChainedCcf::new(params(23));
+        for key in 0..300u64 {
+            for i in 0..(1 + key % 8) {
+                f.insert_row(key, &[i + 100, key % 5]).unwrap();
+            }
+        }
+        f.grow();
+        let keys: Vec<u64> = (0..1000u64).collect();
+        let pred = Predicate::any(2).and_eq(0, 101);
+        let queried = f.query_batch(&keys, &pred);
+        let contained = f.contains_key_batch(&keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(queried[i], f.query(k, &pred), "query mismatch for {k}");
+            assert_eq!(contained[i], f.contains_key(k), "contains mismatch for {k}");
+        }
+    }
+
+    #[test]
+    fn kicks_exhausted_load_factor_is_rounded() {
+        // A failure at e.g. load factor 0.8959 must report 896, not the floor 895.
+        let mut f = ChainedCcf::new(CcfParams {
+            num_buckets: 4,
+            entries_per_bucket: 2,
+            max_dupes: 2,
+            ..params(24)
+        });
+        let mut seen_failure = false;
+        for k in 0..200u64 {
+            if let Err(InsertFailure::KicksExhausted { load_factor_millis }) =
+                f.insert_row(k, &[k % 6, k % 10])
+            {
+                seen_failure = true;
+                let expected = (f.load_factor() * 1000.0).round() as u32;
+                assert_eq!(load_factor_millis, expected);
+            }
+        }
+        assert!(seen_failure, "tiny filter should fail at least once");
     }
 
     #[test]

@@ -21,8 +21,9 @@
 //! bookkeeping §6.1 describes.
 
 use ccf_bloom::TinyBloom;
+use ccf_cuckoo::geometry::{grow_and_retry, probe_chunked, split_buckets, SplitGeometry};
 use ccf_cuckoo::CuckooFilter;
-use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily, SaltedHasher};
+use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,11 +62,10 @@ impl Entry {
 #[derive(Debug, Clone)]
 pub struct MixedCcf {
     buckets: Vec<Vec<Entry>>,
-    bucket_mask: usize,
+    geometry: SplitGeometry,
     params: CcfParams,
     fingerprinter: Fingerprinter,
     attr_fp: AttrFingerprinter,
-    partial_hasher: SaltedHasher,
     bloom_family: HashFamily,
     conversion_hashes: usize,
     rng: StdRng,
@@ -94,10 +94,9 @@ impl MixedCcf {
         );
         Self {
             buckets: vec![Vec::new(); params.num_buckets],
-            bucket_mask: params.num_buckets - 1,
+            geometry: SplitGeometry::new(&family, params.num_buckets, 0),
             fingerprinter: Fingerprinter::new(&family, params.fingerprint_bits),
             attr_fp: AttrFingerprinter::new(&family, params.attr_bits, params.small_value_opt),
-            partial_hasher: family.hasher(ccf_hash::salted::purpose::PARTIAL_KEY),
             bloom_family: family.subfamily(13),
             conversion_hashes,
             rng: StdRng::seed_from_u64(params.seed ^ 0x30D),
@@ -149,16 +148,24 @@ impl MixedCcf {
         &self.attr_fp
     }
 
+    /// Number of capacity doublings applied so far.
+    pub fn growth_bits(&self) -> u32 {
+        self.geometry.growth_bits()
+    }
+
+    /// The alternate bucket ℓ′ = ℓ ⊕ h(κ), with the xor confined to the base-geometry
+    /// bits so a pair always shares its growth bits.
     #[inline]
     fn alt_bucket(&self, bucket: usize, fp: u16) -> usize {
-        (bucket ^ self.partial_hasher.hash_u64(u64::from(fp)) as usize) & self.bucket_mask
+        self.geometry.alt_bucket(bucket, fp)
     }
 
     fn pair_of(&self, key: u64) -> (u16, usize, usize) {
-        let (fp, l) = self
+        let (fp, base) = self
             .fingerprinter
-            .fingerprint_and_bucket(key, self.buckets.len());
-        let alt = self.alt_bucket(l, fp);
+            .fingerprint_and_bucket(key, self.geometry.base_buckets());
+        let l = self.geometry.home_bucket(base, fp);
+        let alt = self.geometry.alt_bucket(l, fp);
         (fp, l, alt)
     }
 
@@ -166,10 +173,37 @@ impl MixedCcf {
         self.attr_fp.fingerprint_vector(attrs)
     }
 
+    /// Double the filter's capacity, migrating entries by their stored fingerprints
+    /// alone ([`ccf_cuckoo::geometry::split_buckets`]). A converted group's head and
+    /// continuation slots all carry the same κ, so they share a growth bit and migrate
+    /// to the same bucket pair together; the remap cannot fail and preserves every
+    /// query answer.
+    pub fn grow(&mut self) {
+        let old_m = self.buckets.len();
+        let bit = self.geometry.growth_bits();
+        self.buckets.resize_with(old_m * 2, Vec::new);
+        split_buckets(&self.geometry, &mut self.buckets, old_m, bit, |e| e.fp());
+        self.geometry.record_doubling();
+        self.params.num_buckets = self.buckets.len();
+    }
+
     /// Insert a row. Outcomes: `Inserted` (new vector entry), `Deduplicated` (identical
     /// (κ, α) already stored), `Merged` (added to an existing converted group),
-    /// `Converted` (this row triggered a Bloom conversion).
+    /// `Converted` (this row triggered a Bloom conversion). With `auto_grow`, a
+    /// kick-exhaustion failure doubles the filter and retries (duplicate saturation
+    /// never fails here — it converts — so every failure is a genuine capacity
+    /// problem).
     pub fn insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
+        grow_and_retry(
+            self,
+            self.params.auto_grow,
+            |f| f.try_insert_row(key, attrs),
+            |_| true, // duplicate saturation converts instead of failing; growth always helps
+            |f| f.grow(),
+        )
+    }
+
+    fn try_insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
         assert_eq!(
             attrs.len(),
             self.params.num_attrs,
@@ -256,7 +290,7 @@ impl MixedCcf {
         }
         self.rows_absorbed -= 1;
         Err(InsertFailure::KicksExhausted {
-            load_factor_millis: (self.load_factor() * 1000.0) as u32,
+            load_factor_millis: (self.load_factor() * 1000.0).round() as u32,
         })
     }
 
@@ -310,6 +344,10 @@ impl MixedCcf {
     /// their Bloom sketch (which stores fingerprints, §6.1).
     pub fn query(&self, key: u64, pred: &Predicate) -> bool {
         let (fp, l, l_alt) = self.pair_of(key);
+        self.query_pair(fp, l, l_alt, pred)
+    }
+
+    fn query_pair(&self, fp: u16, l: usize, l_alt: usize, pred: &Predicate) -> bool {
         let pair: &[usize] = if l == l_alt { &[l] } else { &[l, l_alt] };
         pair.iter().any(|&bkt| {
             self.buckets[bkt].iter().any(|e| match e {
@@ -324,6 +362,16 @@ impl MixedCcf {
         })
     }
 
+    /// Batched predicate query: bit-identical to calling [`MixedCcf::query`] per key,
+    /// using the chunked two-pass driver ([`ccf_cuckoo::geometry::probe_chunked`]).
+    pub fn query_batch(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
+        probe_chunked(
+            keys,
+            |key| self.pair_of(key),
+            |fp, l, l_alt| self.query_pair(fp, l, l_alt, pred),
+        )
+    }
+
     /// Key-only membership query.
     pub fn contains_key(&self, key: u64) -> bool {
         let (fp, l, l_alt) = self.pair_of(key);
@@ -331,15 +379,35 @@ impl MixedCcf {
             || self.buckets[l_alt].iter().any(|e| e.fp() == fp)
     }
 
+    /// Batched key-only membership query (see [`MixedCcf::query_batch`]).
+    pub fn contains_key_batch(&self, keys: &[u64]) -> Vec<bool> {
+        probe_chunked(
+            keys,
+            |key| self.pair_of(key),
+            |fp, l, l_alt| {
+                self.buckets[l].iter().any(|e| e.fp() == fp)
+                    || self.buckets[l_alt].iter().any(|e| e.fp() == fp)
+            },
+        )
+    }
+
     /// Predicate-only query: erase entries that cannot match and return the surviving
     /// key fingerprints as a standard cuckoo filter (the mixed variant has no chains,
     /// so erasing — rather than marking — is sound, as for the Bloom variant).
     pub fn predicate_filter(&self, pred: &Predicate) -> CuckooFilter {
-        let mut out = CuckooFilter::with_geometry(
-            self.buckets.len(),
-            self.params.entries_per_bucket,
-            self.params.fingerprint_bits,
-            self.params.seed,
+        // The derived filter must share this filter's *split* geometry — after any
+        // growth, bucket indices carry fingerprint-derived high bits that a filter
+        // constructed flat at the current size would not reproduce.
+        let mut out = CuckooFilter::with_split_geometry(
+            self.geometry.base_buckets(),
+            self.geometry.growth_bits(),
+            ccf_cuckoo::CuckooFilterParams {
+                num_buckets: self.geometry.base_buckets(),
+                entries_per_bucket: self.params.entries_per_bucket,
+                fingerprint_bits: self.params.fingerprint_bits,
+                seed: self.params.seed,
+                auto_grow: false,
+            },
         );
         for (bucket_idx, bucket) in self.buckets.iter().enumerate() {
             for e in bucket {
@@ -486,6 +554,99 @@ mod tests {
             if key % 3 == 1 {
                 assert!(derived.contains(key), "predicate filter lost key {key}");
             }
+        }
+    }
+
+    #[test]
+    fn grow_preserves_vector_entries_and_converted_groups() {
+        let mut f = MixedCcf::new(params(10));
+        // Mix of light keys (vector entries) and hot keys (converted groups).
+        for key in 0..200u64 {
+            let rows = if key % 5 == 0 { 10 } else { 2 };
+            for i in 0..rows {
+                f.insert_row(key, &[500 + i, 700 + (i % 3)]).unwrap();
+            }
+        }
+        assert!(f.conversions() > 0);
+        let occupied = f.occupied_entries();
+        f.grow();
+        assert_eq!(f.occupied_entries(), occupied);
+        for key in 0..200u64 {
+            let rows = if key % 5 == 0 { 10 } else { 2 };
+            for i in 0..rows {
+                let pred = Predicate::any(2)
+                    .and_eq(0, 500 + i)
+                    .and_eq(1, 700 + (i % 3));
+                assert!(
+                    f.query(key, &pred),
+                    "false negative for key {key} row {i} after growth"
+                );
+            }
+            assert!(f.contains_key(key));
+        }
+    }
+
+    #[test]
+    fn auto_grow_accepts_four_times_the_sized_capacity() {
+        let mut f = MixedCcf::new(
+            CcfParams {
+                num_buckets: 1 << 7,
+                ..params(11)
+            }
+            .with_auto_grow(),
+        );
+        let four_n = 4 * f.capacity() as u64;
+        for k in 0..four_n {
+            f.insert_row(k, &[k % 6, k % 10])
+                .unwrap_or_else(|e| panic!("auto-grow insert of {k} failed: {e}"));
+        }
+        assert!(f.growth_bits() >= 2);
+        for k in 0..four_n {
+            assert!(
+                f.query(k, &Predicate::any(2).and_eq(0, k % 6).and_eq(1, k % 10)),
+                "false negative for {k} after auto-growth"
+            );
+        }
+    }
+
+    #[test]
+    fn predicate_filter_tracks_grown_geometry() {
+        let mut f = MixedCcf::new(params(12));
+        for key in 0..600u64 {
+            let group = key % 3;
+            for i in 0..(1 + (key % 6)) {
+                f.insert_row(key, &[group, 50 + i]).unwrap();
+            }
+        }
+        f.grow();
+        let derived = f.predicate_filter(&Predicate::any(2).and_eq(0, 1));
+        assert_eq!(derived.num_buckets(), f.params().num_buckets);
+        for key in 0..600u64 {
+            if key % 3 == 1 {
+                assert!(
+                    derived.contains(key),
+                    "grown predicate filter lost key {key}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_queries_match_per_key_loops() {
+        let mut f = MixedCcf::new(params(13));
+        for key in 0..300u64 {
+            for i in 0..(1 + key % 7) {
+                f.insert_row(key, &[i + 30, key % 4]).unwrap();
+            }
+        }
+        f.grow();
+        let keys: Vec<u64> = (0..1000u64).collect();
+        let pred = Predicate::any(2).and_eq(0, 31);
+        let queried = f.query_batch(&keys, &pred);
+        let contained = f.contains_key_batch(&keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(queried[i], f.query(k, &pred));
+            assert_eq!(contained[i], f.contains_key(k));
         }
     }
 

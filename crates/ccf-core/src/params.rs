@@ -43,6 +43,11 @@ pub struct CcfParams {
     /// Enable the small-value optimisation of §9 (store attribute values `< 2^|α|`
     /// exactly instead of hashing them).
     pub small_value_opt: bool,
+    /// When `true`, an insertion failing with `KicksExhausted` doubles the filter
+    /// (capacity-doubling growth, migrating entries by their stored fingerprints — no
+    /// original keys needed) and retries transparently. Supported by the plain,
+    /// chained and mixed variants; the Bloom variant ignores it.
+    pub auto_grow: bool,
     /// Seed for the hash family; §10.1 averages runs over random salts.
     pub seed: u64,
 }
@@ -60,6 +65,7 @@ impl Default for CcfParams {
             bloom_bits: 16,
             bloom_hashes: 2,
             small_value_opt: true,
+            auto_grow: false,
             seed: 0,
         }
     }
@@ -110,6 +116,12 @@ impl CcfParams {
     /// Apply the `b ≈ 2d` rule of thumb from §8 for the configured `max_dupes`.
     pub fn with_rule_of_thumb_bucket_size(mut self) -> Self {
         self.entries_per_bucket = (2 * self.max_dupes).max(2);
+        self
+    }
+
+    /// Enable transparent grow-and-retry on insertion failure.
+    pub fn with_auto_grow(mut self) -> Self {
+        self.auto_grow = true;
         self
     }
 
@@ -180,6 +192,8 @@ mod tests {
         assert_eq!(p.max_dupes, 3);
         assert_eq!(p.entries_per_bucket, 6); // b = 2d
         assert_eq!(p.bloom_hashes, 2);
+        assert!(!p.auto_grow, "growth is opt-in");
+        assert!(CcfParams::default().with_auto_grow().auto_grow);
         p.validate();
     }
 

@@ -9,7 +9,8 @@
 //! factor at first failure collapsing as duplication grows. The variant exists so those
 //! comparisons can be reproduced.
 
-use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily, SaltedHasher};
+use ccf_cuckoo::geometry::{grow_and_retry, probe_chunked, split_buckets, SplitGeometry};
+use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,11 +33,10 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct PlainCcf {
     buckets: Vec<Vec<Entry>>,
-    bucket_mask: usize,
+    geometry: SplitGeometry,
     params: CcfParams,
     fingerprinter: Fingerprinter,
     attr_fp: AttrFingerprinter,
-    partial_hasher: SaltedHasher,
     rng: StdRng,
     occupied: usize,
     rows_absorbed: usize,
@@ -50,10 +50,9 @@ impl PlainCcf {
         let family = HashFamily::new(params.seed);
         Self {
             buckets: vec![Vec::new(); params.num_buckets],
-            bucket_mask: params.num_buckets - 1,
+            geometry: SplitGeometry::new(&family, params.num_buckets, 0),
             fingerprinter: Fingerprinter::new(&family, params.fingerprint_bits),
             attr_fp: AttrFingerprinter::new(&family, params.attr_bits, params.small_value_opt),
-            partial_hasher: family.hasher(ccf_hash::salted::purpose::PARTIAL_KEY),
             rng: StdRng::seed_from_u64(params.seed ^ 0x9A1C),
             occupied: 0,
             rows_absorbed: 0,
@@ -91,22 +90,70 @@ impl PlainCcf {
         self.capacity() * self.params.vector_entry_bits()
     }
 
-    #[inline]
-    fn alt_bucket(&self, bucket: usize, fp: u16) -> usize {
-        (bucket ^ self.partial_hasher.hash_u64(u64::from(fp)) as usize) & self.bucket_mask
+    /// Number of capacity doublings applied so far.
+    pub fn growth_bits(&self) -> u32 {
+        self.geometry.growth_bits()
     }
 
     fn pair_of(&self, key: u64) -> (u16, usize, usize) {
-        let (fp, l) = self
+        let (fp, base) = self
             .fingerprinter
-            .fingerprint_and_bucket(key, self.buckets.len());
-        let alt = self.alt_bucket(l, fp);
+            .fingerprint_and_bucket(key, self.geometry.base_buckets());
+        let l = self.geometry.home_bucket(base, fp);
+        let alt = self.geometry.alt_bucket(l, fp);
         (fp, l, alt)
     }
 
+    /// Double the filter's capacity, migrating entries by their stored fingerprints
+    /// alone: each entry keeps its bucket index or moves up by the old bucket count
+    /// according to its fingerprint's next growth bit
+    /// ([`ccf_cuckoo::geometry::split_buckets`]). The remap cannot fail.
+    pub fn grow(&mut self) {
+        let old_m = self.buckets.len();
+        let bit = self.geometry.growth_bits();
+        self.buckets.resize_with(old_m * 2, Vec::new);
+        split_buckets(&self.geometry, &mut self.buckets, old_m, bit, |e| e.fp);
+        self.geometry.record_doubling();
+        self.params.num_buckets = self.buckets.len();
+    }
+
     /// Insert a row. Exact duplicates of an already-stored (key, attributes) pair are
-    /// deduplicated. Fails (leaving the filter unchanged) once the kick limit is hit.
+    /// deduplicated. Without `auto_grow`, a kick-limit failure leaves the filter
+    /// unchanged; with it, the filter doubles and retries — except when the row's own
+    /// bucket pair is already saturated with its key fingerprint (the §4.3 `2b` cap,
+    /// which growth cannot lift because fingerprint copies share both buckets at every
+    /// size).
     pub fn insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
+        grow_and_retry(
+            self,
+            self.params.auto_grow,
+            |f| f.try_insert_row(key, attrs),
+            // Growth cannot lift the §4.3 duplicate cap: fingerprint copies share
+            // both buckets at every size.
+            |f| !f.pair_saturated_with_own_fp(key),
+            |f| f.grow(),
+        )
+    }
+
+    /// Whether the key's bucket pair is already filled to its slot capacity (`2b`, or
+    /// `b` when self-paired) with copies of the key's own fingerprint.
+    fn pair_saturated_with_own_fp(&self, key: u64) -> bool {
+        let (fp, l, alt) = self.pair_of(key);
+        let pair_capacity = if l == alt {
+            self.params.entries_per_bucket
+        } else {
+            2 * self.params.entries_per_bucket
+        };
+        let copies = self.buckets[l].iter().filter(|e| e.fp == fp).count()
+            + if l == alt {
+                0
+            } else {
+                self.buckets[alt].iter().filter(|e| e.fp == fp).count()
+            };
+        copies >= pair_capacity
+    }
+
+    fn try_insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
         assert_eq!(
             attrs.len(),
             self.params.num_attrs,
@@ -147,7 +194,7 @@ impl PlainCcf {
             let slot = self.rng.gen_range(0..b);
             std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
             swaps.push((bucket, slot));
-            bucket = self.alt_bucket(bucket, carried.fp);
+            bucket = self.geometry.alt_bucket(bucket, carried.fp);
             if self.buckets[bucket].len() < b {
                 self.buckets[bucket].push(carried);
                 self.occupied += 1;
@@ -160,7 +207,7 @@ impl PlainCcf {
         }
         self.rows_absorbed -= 1;
         Err(InsertFailure::KicksExhausted {
-            load_factor_millis: (self.load_factor() * 1000.0) as u32,
+            load_factor_millis: (self.load_factor() * 1000.0).round() as u32,
         })
     }
 
@@ -168,6 +215,10 @@ impl PlainCcf {
     /// has the key's fingerprint and an attribute vector matching the predicate.
     pub fn query(&self, key: u64, pred: &Predicate) -> bool {
         let (fp, l, alt) = self.pair_of(key);
+        self.query_pair(fp, l, alt, pred)
+    }
+
+    fn query_pair(&self, fp: u16, l: usize, alt: usize, pred: &Predicate) -> bool {
         let candidates: &[usize] = if l == alt { &[l] } else { &[l, alt] };
         candidates.iter().any(|&bkt| {
             self.buckets[bkt]
@@ -176,10 +227,33 @@ impl PlainCcf {
         })
     }
 
+    /// Batched predicate query: bit-identical to calling [`PlainCcf::query`] per key,
+    /// using the chunked two-pass driver ([`ccf_cuckoo::geometry::probe_chunked`])
+    /// shared by every batched query path.
+    pub fn query_batch(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
+        probe_chunked(
+            keys,
+            |key| self.pair_of(key),
+            |fp, l, alt| self.query_pair(fp, l, alt, pred),
+        )
+    }
+
     /// Key-only membership query.
     pub fn contains_key(&self, key: u64) -> bool {
         let (fp, l, alt) = self.pair_of(key);
         self.buckets[l].iter().any(|e| e.fp == fp) || self.buckets[alt].iter().any(|e| e.fp == fp)
+    }
+
+    /// Batched key-only membership query (see [`PlainCcf::query_batch`]).
+    pub fn contains_key_batch(&self, keys: &[u64]) -> Vec<bool> {
+        probe_chunked(
+            keys,
+            |key| self.pair_of(key),
+            |fp, l, alt| {
+                self.buckets[l].iter().any(|e| e.fp == fp)
+                    || self.buckets[alt].iter().any(|e| e.fp == fp)
+            },
+        )
     }
 
     /// The attribute fingerprinter (shared so baselines can compute identical
@@ -303,6 +377,78 @@ mod tests {
             );
         }
         assert!(f.occupied_entries() >= occupied);
+    }
+
+    #[test]
+    fn grow_preserves_every_stored_row() {
+        let mut f = PlainCcf::new(params(10));
+        for k in 0..2000u64 {
+            f.insert_row(k, &[k % 7, k % 11]).unwrap();
+        }
+        let occupied = f.occupied_entries();
+        f.grow();
+        assert_eq!(f.params().num_buckets, 1 << 11);
+        assert_eq!(f.occupied_entries(), occupied);
+        for k in 0..2000u64 {
+            assert!(f.query(k, &Predicate::any(2).and_eq(0, k % 7).and_eq(1, k % 11)));
+            assert!(f.contains_key(k));
+        }
+    }
+
+    #[test]
+    fn auto_grow_accepts_four_times_the_sized_capacity() {
+        let mut f = PlainCcf::new(
+            CcfParams {
+                num_buckets: 1 << 8,
+                ..params(11)
+            }
+            .with_auto_grow(),
+        );
+        let four_n = 4 * f.capacity() as u64;
+        for k in 0..four_n {
+            f.insert_row(k, &[k % 5, k % 9])
+                .unwrap_or_else(|e| panic!("auto-grow insert of {k} failed: {e}"));
+        }
+        assert!(f.growth_bits() >= 2);
+        for k in 0..four_n {
+            assert!(
+                f.query(k, &Predicate::any(2).and_eq(0, k % 5).and_eq(1, k % 9)),
+                "false negative for {k} after auto-growth"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_grow_does_not_chase_the_duplicate_cap() {
+        // >2b distinct rows of one key saturate its pair with one fingerprint; growth
+        // cannot separate the copies, so the insert must fail without doubling forever.
+        let mut f = PlainCcf::new(params(12).with_auto_grow());
+        let b = f.params().entries_per_bucket as u64;
+        let mut failures = 0;
+        for i in 0..(2 * b + 4) {
+            if f.insert_row(99, &[1000 + i, 2000 + i]).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures >= 4, "the 2b cap must still bind under auto_grow");
+        assert_eq!(f.growth_bits(), 0, "duplicate-cap failures must not grow");
+    }
+
+    #[test]
+    fn batch_queries_match_per_key_loops() {
+        let mut f = PlainCcf::new(params(13));
+        for k in 0..1500u64 {
+            f.insert_row(k, &[k % 4, k % 6]).unwrap();
+        }
+        f.grow(); // batch and per-key must also agree on grown geometry
+        let keys: Vec<u64> = (0..4000u64).collect();
+        let pred = Predicate::any(2).and_eq(0, 1);
+        let queried = f.query_batch(&keys, &pred);
+        let contained = f.contains_key_batch(&keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(queried[i], f.query(k, &pred));
+            assert_eq!(contained[i], f.contains_key(k));
+        }
     }
 
     #[test]

@@ -168,6 +168,32 @@ pub fn size_for_profile(
     params
 }
 
+/// Like [`size_for_profile`], but for a *growable* filter: the initial geometry is
+/// sized for only `initial_fraction` of the predicted entries (at least one bucket)
+/// and `auto_grow` is enabled, so the filter starts small and doubles on demand as the
+/// stream arrives. Useful when the duplication profile is a forecast rather than a
+/// measurement — under-prediction costs a few O(m·b) remaps instead of insert
+/// failures.
+///
+/// # Panics
+/// Panics if `initial_fraction` is not in `(0, 1]`.
+pub fn size_for_profile_growable(
+    variant: VariantKind,
+    profile: &DuplicationProfile,
+    params: CcfParams,
+    initial_fraction: f64,
+) -> CcfParams {
+    assert!(
+        initial_fraction > 0.0 && initial_fraction <= 1.0,
+        "initial_fraction must be in (0, 1]"
+    );
+    let mut sized = size_for_profile(variant, profile, params);
+    let scaled = (sized.num_buckets as f64 * initial_fraction).ceil() as usize;
+    sized.num_buckets = scaled.next_power_of_two().max(1);
+    sized.auto_grow = true;
+    sized
+}
+
 /// Bit efficiency of a sketch (eq. 8): `size-in-bits / (n · log2(1/ρ))`, where `n` is
 /// the number of keys inserted (counting duplicates, as in §10.2) and `ρ` the measured
 /// or target FPR. 1.0 is the information-theoretic optimum for sets; a Bloom filter
@@ -271,6 +297,32 @@ mod tests {
                 "variant {variant:?} undersized"
             );
         }
+    }
+
+    #[test]
+    fn growable_sizing_starts_small_with_auto_grow_enabled() {
+        let p = DuplicationProfile::from_counts(vec![3; 10_000]);
+        let full = size_for_profile(VariantKind::Chained, &p, CcfParams::default());
+        let growable =
+            size_for_profile_growable(VariantKind::Chained, &p, CcfParams::default(), 0.25);
+        assert!(growable.auto_grow);
+        assert!(growable.num_buckets < full.num_buckets);
+        assert!(growable.num_buckets.is_power_of_two());
+        // The under-sized filter must still absorb the whole profile by growing.
+        let mut f = crate::ChainedCcf::new(growable);
+        for (key, &rows) in p.distinct_rows_per_key.iter().enumerate() {
+            for i in 0..rows as u64 {
+                f.insert_row(key as u64, &[i])
+                    .expect("auto-grow absorbs the stream");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "initial_fraction")]
+    fn growable_sizing_rejects_zero_fraction() {
+        let p = DuplicationProfile::from_counts(vec![1]);
+        let _ = size_for_profile_growable(VariantKind::Plain, &p, CcfParams::default(), 0.0);
     }
 
     #[test]

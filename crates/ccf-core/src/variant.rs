@@ -24,6 +24,18 @@ pub trait ConditionalFilter {
     fn query(&self, key: u64, pred: &Predicate) -> bool;
     /// Key-only membership query.
     fn contains_key(&self, key: u64) -> bool;
+    /// Batched predicate query: results are bit-identical to calling
+    /// [`ConditionalFilter::query`] per key. Variants override the default per-key
+    /// loop with a two-pass implementation that hashes all `(κ, ℓ, ℓ′)` triples
+    /// before probing.
+    fn query_batch(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
+        keys.iter().map(|&k| self.query(k, pred)).collect()
+    }
+    /// Batched key-only membership query: bit-identical to a per-key
+    /// [`ConditionalFilter::contains_key`] loop.
+    fn contains_key_batch(&self, keys: &[u64]) -> Vec<bool> {
+        keys.iter().map(|&k| self.contains_key(k)).collect()
+    }
     /// Number of occupied entry slots.
     fn occupied_entries(&self) -> usize;
     /// Load factor β.
@@ -49,6 +61,12 @@ macro_rules! impl_conditional_filter {
             }
             fn contains_key(&self, key: u64) -> bool {
                 <$ty>::contains_key(self, key)
+            }
+            fn query_batch(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
+                <$ty>::query_batch(self, keys, pred)
+            }
+            fn contains_key_batch(&self, keys: &[u64]) -> Vec<bool> {
+                <$ty>::contains_key_batch(self, keys)
             }
             fn occupied_entries(&self) -> usize {
                 <$ty>::occupied_entries(self)
@@ -134,6 +152,12 @@ impl ConditionalFilter for AnyCcf {
     fn contains_key(&self, key: u64) -> bool {
         self.as_dyn().contains_key(key)
     }
+    fn query_batch(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
+        self.as_dyn().query_batch(keys, pred)
+    }
+    fn contains_key_batch(&self, keys: &[u64]) -> Vec<bool> {
+        self.as_dyn().contains_key_batch(keys)
+    }
     fn occupied_entries(&self) -> usize {
         self.as_dyn().occupied_entries()
     }
@@ -203,6 +227,57 @@ mod tests {
         assert_eq!(plain, chained);
         assert_eq!(mixed, plain + 512 * 6);
         assert_eq!(bloom, 512 * 6 * (12 + p.bloom_bits));
+    }
+
+    #[test]
+    fn batch_queries_agree_with_per_key_loops_for_every_variant() {
+        for kind in [
+            VariantKind::Plain,
+            VariantKind::Chained,
+            VariantKind::Bloom,
+            VariantKind::Mixed,
+        ] {
+            let mut f = AnyCcf::new(kind, params());
+            for key in 0..400u64 {
+                f.insert_row(key, &[key % 5, key % 9]).unwrap();
+            }
+            let keys: Vec<u64> = (0..1200u64).collect();
+            let pred = Predicate::any(2).and_eq(0, 2);
+            let queried = f.query_batch(&keys, &pred);
+            let contained = f.contains_key_batch(&keys);
+            for (i, &k) in keys.iter().enumerate() {
+                assert_eq!(queried[i], f.query(k, &pred), "{kind:?}: query mismatch");
+                assert_eq!(
+                    contained[i],
+                    f.contains_key(k),
+                    "{kind:?}: contains mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_grow_via_the_uniform_interface() {
+        // The growable variants absorb 4× their sized capacity through AnyCcf.
+        for kind in [VariantKind::Plain, VariantKind::Chained, VariantKind::Mixed] {
+            let mut f = AnyCcf::new(
+                kind,
+                CcfParams {
+                    num_buckets: 1 << 6,
+                    ..params()
+                }
+                .with_auto_grow(),
+            );
+            let four_n = 4 * (f.params().num_buckets * f.params().entries_per_bucket) as u64;
+            for key in 0..four_n {
+                f.insert_row(key, &[key % 5, key % 9])
+                    .unwrap_or_else(|e| panic!("{kind:?}: auto-grow insert failed: {e}"));
+            }
+            for key in 0..four_n {
+                assert!(f.contains_key(key), "{kind:?}: key {key} lost after growth");
+            }
+            assert!(f.params().num_buckets > 1 << 6, "{kind:?}: never grew");
+        }
     }
 
     #[test]

@@ -175,6 +175,113 @@ proptest! {
         }
     }
 
+    /// Rollback: a failed `insert_row` must leave the chained filter byte-identical to
+    /// its pre-insert state — same bucket contents (via the snapshot), same `occupied`
+    /// and `rows_absorbed` counters — and every previously inserted row must keep its
+    /// no-false-negative guarantee afterwards.
+    #[test]
+    fn chained_kicks_exhausted_rolls_back_byte_identically(
+        seed in any::<u64>(),
+        rows in proptest::collection::vec(
+            (0u64..32, proptest::collection::vec(0u64..1000, 2..=2)),
+            1..250,
+        ),
+    ) {
+        // Tiny geometry so kick exhaustion actually happens.
+        let mut filter = ChainedCcf::new(CcfParams {
+            num_buckets: 4,
+            entries_per_bucket: 2,
+            max_dupes: 2,
+            max_chain: Some(2),
+            ..params(seed, 2)
+        });
+        let mut stored: Vec<(u64, Vec<u64>)> = Vec::new();
+        let mut failures = 0usize;
+        for (key, attrs) in &rows {
+            let before = filter.bucket_snapshot();
+            let occupied_before = filter.occupied_entries();
+            let absorbed_before = filter.rows_absorbed();
+            match filter.insert_row(*key, attrs) {
+                Ok(_) => stored.push((*key, attrs.clone())),
+                Err(_) => {
+                    failures += 1;
+                    prop_assert_eq!(
+                        filter.bucket_snapshot(),
+                        before,
+                        "failed insert of ({}, {:?}) mutated the buckets", key, attrs
+                    );
+                    prop_assert_eq!(filter.occupied_entries(), occupied_before);
+                    prop_assert_eq!(filter.rows_absorbed(), absorbed_before);
+                }
+            }
+        }
+        // Whether or not failures occurred, no previously inserted row may be lost.
+        let _ = failures;
+        for (key, attrs) in &stored {
+            let pred = Predicate::any(2).and_eq(0, attrs[0]).and_eq(1, attrs[1]);
+            prop_assert!(
+                filter.query(*key, &pred),
+                "row ({}, {:?}) lost its guarantee", key, attrs
+            );
+        }
+    }
+
+    /// With `auto_grow`, the growable variants absorb any workload of unique keys
+    /// without failures, and growth (explicit or automatic) never creates a false
+    /// negative.
+    #[test]
+    fn auto_grow_never_fails_or_lies_on_unique_keys(
+        seed in any::<u64>(),
+        num_keys in 1usize..600,
+        extra_doublings in 0u32..2,
+    ) {
+        for kind in [VariantKind::Plain, VariantKind::Chained, VariantKind::Mixed] {
+            let mut filter = AnyCcf::new(kind, CcfParams {
+                num_buckets: 16,
+                ..params(seed, 2)
+            }.with_auto_grow());
+            for key in 0..num_keys as u64 {
+                let attrs = [key % 7, key % 11];
+                prop_assert!(
+                    filter.insert_row(key, &attrs).is_ok(),
+                    "{kind:?}: auto-grow insert of {key} failed"
+                );
+            }
+            if let AnyCcf::Chained(f) = &mut filter {
+                for _ in 0..extra_doublings { f.grow(); }
+            }
+            for key in 0..num_keys as u64 {
+                let pred = Predicate::any(2).and_eq(0, key % 7).and_eq(1, key % 11);
+                prop_assert!(filter.query(key, &pred), "{kind:?}: false negative for {key}");
+                prop_assert!(filter.contains_key(key), "{kind:?}: key {key} lost");
+            }
+        }
+    }
+
+    /// Batch queries are bit-identical to per-key loops for every variant, on a mix of
+    /// present and absent keys.
+    #[test]
+    fn batch_queries_match_per_key_loops(
+        seed in any::<u64>(),
+        rows in rows_strategy(2),
+        probe_span in 1u64..200,
+    ) {
+        for kind in [VariantKind::Plain, VariantKind::Chained, VariantKind::Bloom, VariantKind::Mixed] {
+            let mut filter = AnyCcf::new(kind, params(seed, 2));
+            for (key, attrs) in &rows {
+                let _ = filter.insert_row(*key, attrs);
+            }
+            let probes: Vec<u64> = (0..probe_span).chain(1_000_000..1_000_000 + probe_span).collect();
+            let pred = Predicate::any(2).and_eq(0, rows[0].1[0]).and_eq(1, rows[0].1[1]);
+            let queried = filter.query_batch(&probes, &pred);
+            let contained = filter.contains_key_batch(&probes);
+            for (i, &k) in probes.iter().enumerate() {
+                prop_assert_eq!(queried[i], filter.query(k, &pred), "{:?} query mismatch at {}", kind, k);
+                prop_assert_eq!(contained[i], filter.contains_key(k), "{:?} contains mismatch at {}", kind, k);
+            }
+        }
+    }
+
     /// Occupied-entry accounting: the number of occupied entries never exceeds the
     /// number of successful `Inserted` outcomes, and the load factor is consistent.
     #[test]

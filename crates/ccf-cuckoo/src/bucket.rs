@@ -75,6 +75,13 @@ impl Bucket {
         false
     }
 
+    /// Empty `slot`, returning the fingerprint it held (0 if it was already empty).
+    /// Used by capacity growth to move entries between buckets without the non-zero
+    /// requirement of [`Bucket::swap`].
+    pub fn take(&mut self, slot: usize) -> u16 {
+        std::mem::take(&mut self.slots[slot])
+    }
+
     /// Replace the fingerprint at `slot` with `fp`, returning the previous occupant.
     /// This is the "kick" primitive of cuckoo insertion.
     ///
@@ -152,6 +159,15 @@ mod tests {
         // Swapping an empty slot returns 0.
         let prev = b.swap(1, 30);
         assert_eq!(prev, 0);
+    }
+
+    #[test]
+    fn take_empties_a_slot_and_returns_the_occupant() {
+        let mut b = Bucket::new(2);
+        b.try_insert(9);
+        assert_eq!(b.take(0), 9);
+        assert_eq!(b.take(0), 0, "taking an empty slot yields 0");
+        assert!(b.is_empty());
     }
 
     #[test]

@@ -183,7 +183,7 @@ impl<V> ChainedCuckooTable<V> {
                 std::mem::swap(&mut self.buckets[bkt][slot], &mut carried);
             }
             return Err(TableFull {
-                load_factor_millis: (self.load_factor() * 1000.0) as u32,
+                load_factor_millis: (self.load_factor() * 1000.0).round() as u32,
             });
         }
         Err(TableFull {

@@ -1,5 +1,5 @@
 //! A standard partial-key cuckoo filter (§4.2), with the multiset insertion behaviour
-//! of §4.3.
+//! of §4.3, capacity-doubling growth, and a batched query path.
 //!
 //! The filter stores only a small fingerprint κ of each key. An item hashes to a
 //! primary bucket ℓ; the alternate bucket is ℓ′ = ℓ ⊕ h(κ), computable from the stored
@@ -10,13 +10,29 @@
 //! Duplicate keys *can* be inserted (each inserts another copy of κ), but a bucket pair
 //! holds at most `2b` entries, so heavy duplication quickly causes insertion failures —
 //! the behaviour quantified in Figure 4 and the motivation for the CCF's chaining.
+//!
+//! # Growth
+//!
+//! A filter can double its capacity with [`CuckooFilter::grow`] (or transparently, by
+//! enabling [`CuckooFilterParams::auto_grow`]). Doubling a *partial-key* structure is
+//! subtle: the stored fingerprints cannot reproduce the key hash bits a larger table
+//! would normally consume. The filter therefore uses a **split geometry**: the primary
+//! bucket's low `log2(base_buckets)` bits always come from the key hash, the alternate
+//! mapping ℓ′ = ℓ ⊕ (h(κ) mod base_buckets) only ever touches those low bits, and every
+//! doubling appends one high index bit drawn from an independent hash of κ
+//! ([`ccf_hash::salted::purpose::GROWTH`]). Both queries and migration can recompute
+//! the high bits from the fingerprint alone, so growth is a pure O(m·b) remap
+//! (`index → index + bit(κ)·m_old`) that can never fail and preserves every membership
+//! answer. For a filter that has never grown the scheme is bit-for-bit identical to the
+//! classic ℓ ⊕ h(κ) layout.
 
-use ccf_hash::{Fingerprinter, HashFamily, SaltedHasher};
+use ccf_hash::{Fingerprinter, HashFamily};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::bucket::Bucket;
-use crate::metrics::OccupancyStats;
+use crate::geometry::{probe_chunked, SplitGeometry, MAX_GROWTHS_PER_INSERT};
+use crate::metrics::{GrowthStats, OccupancyStats};
 
 /// Maximum number of kick (evict-and-reinsert) rounds before an insertion fails,
 /// matching the constant used by the original cuckoo-filter implementation.
@@ -34,6 +50,11 @@ pub struct CuckooFilterParams {
     pub fingerprint_bits: u32,
     /// Seed for the hash family (varying it reproduces the paper's random-salt runs).
     pub seed: u64,
+    /// When `true`, an insertion that would otherwise fail doubles the filter
+    /// ([`CuckooFilter::grow`]) and retries transparently, unless the failure is a
+    /// bucket pair saturated with copies of one fingerprint (which no amount of growth
+    /// can separate — the §4.3 duplicate cap still applies).
+    pub auto_grow: bool,
 }
 
 impl Default for CuckooFilterParams {
@@ -43,6 +64,7 @@ impl Default for CuckooFilterParams {
             entries_per_bucket: 4,
             fingerprint_bits: 12,
             seed: 0,
+            auto_grow: false,
         }
     }
 }
@@ -62,16 +84,23 @@ impl CuckooFilterParams {
             entries_per_bucket,
             fingerprint_bits,
             seed,
+            auto_grow: false,
         }
+    }
+
+    /// Enable transparent grow-and-retry on insertion failure.
+    pub fn with_auto_grow(mut self) -> Self {
+        self.auto_grow = true;
+        self
     }
 }
 
 /// Why an insertion failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InsertError {
-    /// The kick loop ran for [`MAX_KICKS`] rounds without finding a free slot.
-    /// (A production filter would resize and rehash; the experiments measure the load
-    /// factor at which this first happens, so we surface it instead.)
+    /// The kick loop ran for [`MAX_KICKS`] rounds without finding a free slot, the
+    /// bucket pair was already saturated with copies of the fingerprint, or (with
+    /// `auto_grow`) growth retries were exhausted.
     FilterFull {
         /// The fingerprint that was left without a home (the original victim chain's
         /// final evictee has already been re-stored; the reported fingerprint is the
@@ -99,11 +128,18 @@ impl std::error::Error for InsertError {}
 #[derive(Debug, Clone)]
 pub struct CuckooFilter {
     buckets: Vec<Bucket>,
+    /// `buckets.len() - 1`; sanitizes caller-supplied bucket indices.
     bucket_mask: usize,
+    /// Split bucket geometry: base size, growth bits and the index-derivation hashes.
+    geometry: SplitGeometry,
     entries_per_bucket: usize,
     fingerprinter: Fingerprinter,
-    partial_hasher: SaltedHasher,
+    /// Fraction of fingerprint values whose bucket pair degenerates to a single bucket
+    /// (h(κ) ≡ 0 mod base_buckets); feeds the occupied-pair estimate of
+    /// [`CuckooFilter::expected_fpr`].
+    self_paired_fraction: f64,
     items: usize,
+    auto_grow: bool,
     rng: StdRng,
     params: CuckooFilterParams,
 }
@@ -111,27 +147,7 @@ pub struct CuckooFilter {
 impl CuckooFilter {
     /// Create an empty filter with the given parameters.
     pub fn new(params: CuckooFilterParams) -> Self {
-        let num_buckets = params.num_buckets.next_power_of_two().max(1);
-        assert!(
-            params.entries_per_bucket > 0,
-            "entries_per_bucket must be positive"
-        );
-        let family = HashFamily::new(params.seed);
-        Self {
-            buckets: (0..num_buckets)
-                .map(|_| Bucket::new(params.entries_per_bucket))
-                .collect(),
-            bucket_mask: num_buckets - 1,
-            entries_per_bucket: params.entries_per_bucket,
-            fingerprinter: Fingerprinter::new(&family, params.fingerprint_bits),
-            partial_hasher: family.hasher(ccf_hash::salted::purpose::PARTIAL_KEY),
-            items: 0,
-            rng: StdRng::seed_from_u64(params.seed ^ 0xCCF0_CCF0),
-            params: CuckooFilterParams {
-                num_buckets,
-                ..params
-            },
-        }
+        Self::with_split_geometry(params.num_buckets, 0, params)
     }
 
     /// Create an empty filter with explicit geometry (used by Algorithm 2, which builds
@@ -147,11 +163,48 @@ impl CuckooFilter {
             entries_per_bucket,
             fingerprint_bits,
             seed,
+            auto_grow: false,
         })
     }
 
+    /// Create an empty filter whose index derivation matches a structure that started
+    /// at `base_buckets` and has grown `growth_bits` times (total bucket count
+    /// `base_buckets · 2^growth_bits`). Derived filters (Algorithm 2) of a *grown*
+    /// source must share its split geometry, not just its total size, for fingerprints
+    /// copied bucket-by-bucket to stay reachable.
+    pub fn with_split_geometry(
+        base_buckets: usize,
+        growth_bits: u32,
+        params: CuckooFilterParams,
+    ) -> Self {
+        assert!(
+            params.entries_per_bucket > 0,
+            "entries_per_bucket must be positive"
+        );
+        let family = HashFamily::new(params.seed);
+        let geometry = SplitGeometry::new(&family, base_buckets, growth_bits);
+        let num_buckets = geometry.num_buckets();
+        Self {
+            buckets: (0..num_buckets)
+                .map(|_| Bucket::new(params.entries_per_bucket))
+                .collect(),
+            bucket_mask: num_buckets - 1,
+            entries_per_bucket: params.entries_per_bucket,
+            fingerprinter: Fingerprinter::new(&family, params.fingerprint_bits),
+            self_paired_fraction: self_paired_fraction(&geometry, params.fingerprint_bits),
+            geometry,
+            items: 0,
+            auto_grow: params.auto_grow,
+            rng: StdRng::seed_from_u64(params.seed ^ 0xCCF0_CCF0),
+            params: CuckooFilterParams {
+                num_buckets,
+                ..params
+            },
+        }
+    }
+
     /// The parameters this filter was built with (with `num_buckets` normalized to the
-    /// actual power of two in use).
+    /// actual power of two in use, and updated after every growth).
     pub fn params(&self) -> &CuckooFilterParams {
         &self.params
     }
@@ -159,6 +212,22 @@ impl CuckooFilter {
     /// Number of buckets `m`.
     pub fn num_buckets(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// Bucket count at construction (the key hash addresses only these; growth bits
+    /// extend the index above them).
+    pub fn base_buckets(&self) -> usize {
+        self.geometry.base_buckets()
+    }
+
+    /// Number of capacity doublings applied so far.
+    pub fn growth_bits(&self) -> u32 {
+        self.geometry.growth_bits()
+    }
+
+    /// Whether insertion failures trigger transparent grow-and-retry.
+    pub fn auto_grow(&self) -> bool {
+        self.auto_grow
     }
 
     /// Entries per bucket `b`.
@@ -199,17 +268,47 @@ impl CuckooFilter {
         )
     }
 
+    /// Growth statistics: base geometry, current geometry and doubling count.
+    pub fn growth_stats(&self) -> GrowthStats {
+        GrowthStats {
+            base_buckets: self.geometry.base_buckets(),
+            current_buckets: self.buckets.len(),
+            growth_bits: self.geometry.growth_bits(),
+        }
+    }
+
     /// The (fingerprint, primary bucket) pair for a key.
     #[inline]
     pub fn index_of(&self, key: u64) -> (u16, usize) {
-        self.fingerprinter
-            .fingerprint_and_bucket(key, self.buckets.len())
+        let (fp, base) = self
+            .fingerprinter
+            .fingerprint_and_bucket(key, self.geometry.base_buckets());
+        (fp, self.geometry.home_bucket(base, fp))
     }
 
-    /// The alternate bucket for a (bucket, fingerprint) pair: ℓ′ = ℓ ⊕ h(κ).
+    /// The alternate bucket for a (bucket, fingerprint) pair: ℓ′ = ℓ ⊕ h(κ), with the
+    /// xor confined to the base-geometry bits so a pair always shares its growth bits.
     #[inline]
     pub fn alt_bucket(&self, bucket: usize, fp: u16) -> usize {
-        (bucket ^ self.partial_hasher.hash_u64(u64::from(fp)) as usize) & self.bucket_mask
+        self.geometry.alt_bucket(bucket, fp)
+    }
+
+    /// Number of copies of `fp` its bucket pair can hold: `2b`, or `b` for the
+    /// degenerate self-paired case ℓ′ == ℓ.
+    fn pair_slot_capacity(&self, bucket: usize, alt: usize) -> usize {
+        if bucket == alt {
+            self.entries_per_bucket
+        } else {
+            2 * self.entries_per_bucket
+        }
+    }
+
+    fn pair_fp_count(&self, bucket: usize, alt: usize, fp: u16) -> usize {
+        if bucket == alt {
+            self.buckets[bucket].count(fp)
+        } else {
+            self.buckets[bucket].count(fp) + self.buckets[alt].count(fp)
+        }
     }
 
     /// Insert a key. Duplicate keys insert additional fingerprint copies (§4.3).
@@ -219,22 +318,104 @@ impl CuckooFilter {
     }
 
     /// Insert a raw (fingerprint, primary-bucket) pair. Exposed so that Algorithm 2 can
-    /// copy surviving entries of a CCF into a fresh filter without re-deriving keys.
+    /// copy surviving entries of a CCF into a fresh filter without re-deriving keys —
+    /// the same keyless property growth relies on. Either bucket of the pair is
+    /// accepted (the ℓ ⊕ h(κ) mapping is an involution).
     pub fn insert_fingerprint(&mut self, fp: u16, bucket: usize) -> Result<(), InsertError> {
+        match self.place_fingerprint(fp, bucket) {
+            Ok(()) => Ok(()),
+            Err((fp, _)) if !self.auto_grow => Err(InsertError::FilterFull { fingerprint: fp }),
+            Err((mut homeless, mut home)) => {
+                for _ in 0..MAX_GROWTHS_PER_INSERT {
+                    // A pair saturated with copies of one fingerprint can never be
+                    // helped by growing: the copies share both candidate buckets at
+                    // every size (they carry identical growth bits), so the §4.3
+                    // duplicate cap binds regardless of capacity.
+                    let alt = self.alt_bucket(home, homeless);
+                    if self.pair_fp_count(home, alt, homeless) >= self.pair_slot_capacity(home, alt)
+                    {
+                        return Err(InsertError::FilterFull {
+                            fingerprint: homeless,
+                        });
+                    }
+                    let old_m = self.buckets.len();
+                    let bit = self.geometry.growth_bits();
+                    self.grow();
+                    // The homeless fingerprint's pair extends by its own growth bit.
+                    if self.geometry.growth_bit(homeless, bit) {
+                        home += old_m;
+                    }
+                    match self.place_fingerprint(homeless, home) {
+                        Ok(()) => return Ok(()),
+                        Err((next_fp, next_home)) => {
+                            homeless = next_fp;
+                            home = next_home;
+                        }
+                    }
+                }
+                Err(InsertError::FilterFull {
+                    fingerprint: homeless,
+                })
+            }
+        }
+    }
+
+    /// Place a fingerprint, kicking victims as needed. On failure returns the homeless
+    /// fingerprint and the last bucket of its pair, so a grow-and-retry caller can
+    /// re-place it after the geometry changes.
+    fn place_fingerprint(&mut self, fp: u16, bucket: usize) -> Result<(), (u16, usize)> {
         debug_assert_ne!(fp, 0);
         let bucket = bucket & self.bucket_mask;
         let alt = self.alt_bucket(bucket, fp);
 
         // Prefer the primary bucket, then the alternate (§4.1: "ℓ being preferred
         // over ℓ′").
-        if self.buckets[bucket].try_insert(fp) || self.buckets[alt].try_insert(fp) {
+        if self.buckets[bucket].try_insert(fp) {
+            self.items += 1;
+            return Ok(());
+        }
+        if bucket != alt && self.buckets[alt].try_insert(fp) {
             self.items += 1;
             return Ok(());
         }
 
-        // Both buckets full: kick a random victim and relocate it, up to MAX_KICKS.
-        let mut current_bucket = if self.rng.gen_bool(0.5) { bucket } else { alt };
+        // A pair already holding its maximum number of κ copies cannot accept another:
+        // every copy shares both candidate buckets, so the kick loop would only churn
+        // copies of κ in place until MAX_KICKS. Fail fast with the filter untouched.
+        // Note the degenerate self-paired case (ℓ′ == ℓ, i.e. h(κ) ≡ 0 mod m₀) caps at
+        // `b`, not `2b`: the "pair" is a single bucket.
+        if self.pair_fp_count(bucket, alt, fp) >= self.pair_slot_capacity(bucket, alt) {
+            return Err((fp, bucket));
+        }
+
         let mut current_fp = fp;
+        let mut current_bucket;
+        if bucket == alt {
+            // Degenerate pair with a full bucket: only a victim whose own alternate
+            // bucket differs can actually leave; kicking a self-paired victim swaps in
+            // place and burns kick rounds without progress. If no victim can move,
+            // the insertion is hopeless at this size — fail fast.
+            let movable: Vec<usize> = (0..self.entries_per_bucket)
+                .filter(|&slot| {
+                    let victim = self.buckets[bucket].get(slot);
+                    self.alt_bucket(bucket, victim) != bucket
+                })
+                .collect();
+            if movable.is_empty() {
+                return Err((fp, bucket));
+            }
+            let slot = movable[self.rng.gen_range(0..movable.len())];
+            let victim = self.buckets[bucket].swap(slot, fp);
+            current_fp = victim;
+            current_bucket = self.alt_bucket(bucket, victim);
+            if self.buckets[current_bucket].try_insert(current_fp) {
+                self.items += 1;
+                return Ok(());
+            }
+        } else {
+            // Both buckets full: start the kick loop from a random side.
+            current_bucket = if self.rng.gen_bool(0.5) { bucket } else { alt };
+        }
         for _ in 0..MAX_KICKS {
             let slot = self.rng.gen_range(0..self.entries_per_bucket);
             let victim = self.buckets[current_bucket].swap(slot, current_fp);
@@ -246,9 +427,31 @@ impl CuckooFilter {
                 return Ok(());
             }
         }
-        Err(InsertError::FilterFull {
-            fingerprint: current_fp,
-        })
+        Err((current_fp, current_bucket))
+    }
+
+    /// Double the filter's capacity, migrating every stored fingerprint without the
+    /// original keys. Each entry either keeps its bucket index or moves up by the old
+    /// bucket count, according to its fingerprint's next growth bit — an O(m·b) remap
+    /// that cannot fail and preserves every membership answer.
+    pub fn grow(&mut self) {
+        let old_m = self.buckets.len();
+        let bit = self.geometry.growth_bits();
+        self.buckets
+            .extend((0..old_m).map(|_| Bucket::new(self.entries_per_bucket)));
+        for bucket in 0..old_m {
+            for slot in 0..self.entries_per_bucket {
+                let fp = self.buckets[bucket].get(slot);
+                if fp != 0 && self.geometry.growth_bit(fp, bit) {
+                    self.buckets[bucket].take(slot);
+                    let moved = self.buckets[bucket + old_m].try_insert(fp);
+                    debug_assert!(moved, "split target bucket cannot overflow");
+                }
+            }
+        }
+        self.geometry.record_doubling();
+        self.bucket_mask = self.buckets.len() - 1;
+        self.params.num_buckets = self.buckets.len();
     }
 
     /// Query whether a key may be in the set. No false negatives for inserted keys
@@ -259,15 +462,25 @@ impl CuckooFilter {
         self.buckets[bucket].contains(fp) || self.buckets[alt].contains(fp)
     }
 
+    /// Batched membership query: results are bit-identical to calling
+    /// [`CuckooFilter::contains`] per key, using the chunked two-pass driver
+    /// ([`crate::geometry::probe_chunked`]) shared by every batched query path.
+    pub fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
+        probe_chunked(
+            keys,
+            |key| {
+                let (fp, bucket) = self.index_of(key);
+                (fp, bucket, self.alt_bucket(bucket, fp))
+            },
+            |fp, bucket, alt| self.buckets[bucket].contains(fp) || self.buckets[alt].contains(fp),
+        )
+    }
+
     /// Number of stored copies of the key's fingerprint in its bucket pair (≤ 2b).
     pub fn count(&self, key: u64) -> usize {
         let (fp, bucket) = self.index_of(key);
         let alt = self.alt_bucket(bucket, fp);
-        if bucket == alt {
-            self.buckets[bucket].count(fp)
-        } else {
-            self.buckets[bucket].count(fp) + self.buckets[alt].count(fp)
-        }
+        self.pair_fp_count(bucket, alt, fp)
     }
 
     /// Delete one copy of a key's fingerprint. Returns `true` if a copy was removed.
@@ -277,7 +490,9 @@ impl CuckooFilter {
     pub fn delete(&mut self, key: u64) -> bool {
         let (fp, bucket) = self.index_of(key);
         let alt = self.alt_bucket(bucket, fp);
-        if self.buckets[bucket].remove_one(fp) || self.buckets[alt].remove_one(fp) {
+        if self.buckets[bucket].remove_one(fp)
+            || (bucket != alt && self.buckets[alt].remove_one(fp))
+        {
             self.items -= 1;
             true
         } else {
@@ -285,18 +500,38 @@ impl CuckooFilter {
         }
     }
 
-    /// Theoretical FPR bound for a membership query: `E[D] · 2^{-|κ|}` where `D` is the
-    /// number of occupied entries in a bucket pair (§4.2 / eq. 4), estimated from the
-    /// current occupancy.
+    /// Theoretical FPR bound for a membership query: `E[D] · 2^{-|κ|}` where `D` is
+    /// the number of occupied entries in the queried bucket pair (§4.2 / eq. 4).
+    ///
+    /// `E[D]` is estimated from the actual occupancy: a random probe sees the mean
+    /// bucket occupancy `β·b` twice for a regular pair but only once for a degenerate
+    /// self-paired fingerprint (ℓ′ == ℓ), so the pair estimate is `(2 − p₀)·β·b` with
+    /// `p₀` the exact fraction of fingerprint values that self-pair. An empty filter
+    /// reports 0.
     pub fn expected_fpr(&self) -> f64 {
-        let avg_occupied_pair = 2.0 * self.load_factor() * self.entries_per_bucket as f64;
-        avg_occupied_pair * 2f64.powi(-(self.params.fingerprint_bits as i32))
+        if self.items == 0 {
+            return 0.0;
+        }
+        let mean_bucket_occupancy = self.load_factor() * self.entries_per_bucket as f64;
+        let occupied_pair = (2.0 - self.self_paired_fraction) * mean_bucket_occupancy;
+        occupied_pair * 2f64.powi(-(self.params.fingerprint_bits as i32))
     }
 
     /// Expose bucket contents for size/occupancy analysis and semi-sorting experiments.
     pub fn buckets(&self) -> &[Bucket] {
         &self.buckets
     }
+}
+
+/// Exact fraction of fingerprint values whose alternate bucket equals their primary
+/// bucket (h(κ) ≡ 0 mod base_buckets). The fingerprint domain is at most 2^16 values,
+/// so the scan is cheap enough to run once per construction.
+fn self_paired_fraction(geometry: &SplitGeometry, fp_bits: u32) -> f64 {
+    let fp_values = (1u32 << fp_bits) - 1; // κ = 0 is reserved for empty slots.
+    let self_paired = (1..=fp_values)
+        .filter(|&fp| geometry.alt_bucket(0, fp as u16) == 0)
+        .count();
+    self_paired as f64 / fp_values as f64
 }
 
 #[cfg(test)]
@@ -309,7 +544,16 @@ mod tests {
             entries_per_bucket: 4,
             fingerprint_bits: 12,
             seed,
+            auto_grow: false,
         }
+    }
+
+    /// A fingerprint with h(κ) ≡ 0 mod base_buckets, i.e. whose bucket pair collapses
+    /// to a single bucket.
+    fn self_paired_fp(f: &CuckooFilter) -> u16 {
+        (1..1u16 << f.params().fingerprint_bits)
+            .find(|&fp| f.alt_bucket(0, fp) == 0)
+            .expect("some fingerprint must self-pair")
     }
 
     #[test]
@@ -341,6 +585,12 @@ mod tests {
     }
 
     #[test]
+    fn expected_fpr_is_zero_when_empty() {
+        let f = CuckooFilter::new(small_params(2));
+        assert_eq!(f.expected_fpr(), 0.0);
+    }
+
+    #[test]
     fn achieves_high_load_factor_on_unique_keys() {
         // §4.2: an optimally sized filter empirically achieves β ≈ 95% with b = 4.
         let mut f = CuckooFilter::new(small_params(3));
@@ -366,6 +616,87 @@ mod tests {
         }
         assert!(f.insert(42).is_err(), "copy {} must not fit", 2 * b + 1);
         assert_eq!(f.count(42), 2 * b);
+    }
+
+    #[test]
+    fn duplicate_cap_still_binds_with_auto_grow() {
+        // Growth separates *different* fingerprints; copies of one fingerprint share
+        // both buckets at every size, so the 2b cap must fail fast instead of growing.
+        let mut f = CuckooFilter::new(small_params(4).with_auto_grow());
+        let b = f.entries_per_bucket();
+        for _ in 0..(2 * b) {
+            f.insert(42).unwrap();
+        }
+        let buckets_before = f.num_buckets();
+        assert!(f.insert(42).is_err());
+        assert_eq!(
+            f.num_buckets(),
+            buckets_before,
+            "a duplicate-cap failure must not trigger growth"
+        );
+    }
+
+    #[test]
+    fn self_paired_fingerprint_caps_at_b_and_fails_fast() {
+        // Degenerate case ℓ′ == ℓ: the "pair" is one bucket, so only b copies fit
+        // (mirroring the count() special case), and the failing insert must leave the
+        // filter untouched instead of churning copies of κ for MAX_KICKS rounds.
+        let mut f = CuckooFilter::new(small_params(5));
+        let fp = self_paired_fp(&f);
+        let b = f.entries_per_bucket();
+        let bucket = 17; // arbitrary: every bucket self-pairs for this fingerprint
+        assert_eq!(f.alt_bucket(bucket, fp), bucket);
+        for i in 0..b {
+            f.insert_fingerprint(fp, bucket)
+                .unwrap_or_else(|_| panic!("copy {i} of a self-paired κ should fit"));
+        }
+        let before: Vec<u16> = f.buckets()[bucket].slots().to_vec();
+        let items_before = f.len();
+        assert_eq!(
+            f.insert_fingerprint(fp, bucket),
+            Err(InsertError::FilterFull { fingerprint: fp }),
+            "copy b+1 of a self-paired fingerprint cannot fit"
+        );
+        assert_eq!(
+            f.buckets()[bucket].slots(),
+            before.as_slice(),
+            "failing degenerate insert must not disturb the bucket"
+        );
+        assert_eq!(f.len(), items_before);
+    }
+
+    #[test]
+    fn self_paired_insert_relocates_movable_victims() {
+        // A full degenerate bucket that still holds regular entries: the insert must
+        // kick one of those (they can leave) rather than spinning or failing.
+        let mut f = CuckooFilter::new(CuckooFilterParams {
+            num_buckets: 16,
+            entries_per_bucket: 2,
+            fingerprint_bits: 12,
+            seed: 11,
+            auto_grow: false,
+        });
+        let fp = self_paired_fp(&f);
+        let bucket = 3;
+        // Fill the bucket with movable fingerprints.
+        let movable: Vec<u16> = (1..1u16 << 12)
+            .filter(|&c| c != fp && f.alt_bucket(bucket, c) != bucket)
+            .take(2)
+            .collect();
+        for &c in &movable {
+            f.insert_fingerprint(c, bucket).unwrap();
+        }
+        f.insert_fingerprint(fp, bucket)
+            .expect("self-paired insert should relocate a movable victim");
+        assert!(f.buckets()[bucket].contains(fp));
+        // The displaced victims must all still be reachable from their pair.
+        for &c in &movable {
+            let alt = f.alt_bucket(bucket, c);
+            assert!(
+                f.buckets()[bucket].contains(c) || f.buckets()[alt].contains(c),
+                "victim {c:#x} lost"
+            );
+        }
     }
 
     #[test]
@@ -397,12 +728,80 @@ mod tests {
     }
 
     #[test]
+    fn alt_bucket_stays_an_involution_after_growth() {
+        let mut f = CuckooFilter::new(small_params(6));
+        f.grow();
+        f.grow();
+        for key in 0..2000u64 {
+            let (fp, b) = f.index_of(key);
+            assert!(b < f.num_buckets());
+            let alt = f.alt_bucket(b, fp);
+            assert!(alt < f.num_buckets());
+            assert_eq!(f.alt_bucket(alt, fp), b);
+            // The pair shares its growth bits: both members sit in the same
+            // base-geometry block.
+            assert_eq!(b / f.base_buckets(), alt / f.base_buckets());
+        }
+    }
+
+    #[test]
+    fn grow_preserves_membership_and_counts() {
+        let mut f = CuckooFilter::new(small_params(8));
+        for k in 0..3000u64 {
+            f.insert(k).unwrap();
+        }
+        f.insert(77).unwrap(); // a duplicate copy, to check count preservation
+        let len_before = f.len();
+        f.grow();
+        assert_eq!(f.num_buckets(), 2 << 10);
+        assert_eq!(f.len(), len_before);
+        for k in 0..3000u64 {
+            assert!(f.contains(k), "false negative for {k} after growth");
+        }
+        assert_eq!(f.count(77), 2);
+        // FPR improves (load factor halved): absent keys mostly rejected.
+        let fps = (1_000_000..1_050_000u64).filter(|&k| f.contains(k)).count();
+        assert!((fps as f64 / 50_000.0) < 0.01);
+    }
+
+    #[test]
+    fn auto_grow_accepts_four_times_the_sized_capacity() {
+        // Acceptance criterion: a filter sized for n takes 4n unique keys with zero
+        // failures and zero false negatives when auto_grow is on.
+        let n = 4000usize;
+        let mut f = CuckooFilter::new(CuckooFilterParams::for_capacity(n, 12, 21).with_auto_grow());
+        for k in 0..(4 * n) as u64 {
+            f.insert(k)
+                .unwrap_or_else(|e| panic!("auto-grow insert of {k} failed: {e}"));
+        }
+        assert!(f.growth_bits() >= 2, "4n keys must trigger ≥ 2 doublings");
+        for k in 0..(4 * n) as u64 {
+            assert!(f.contains(k), "false negative for {k} after auto-growth");
+        }
+    }
+
+    #[test]
+    fn contains_batch_matches_per_key_loop() {
+        let mut f = CuckooFilter::new(small_params(9));
+        for k in 0..3000u64 {
+            f.insert(k).unwrap();
+        }
+        f.grow(); // the batch path must agree on grown geometry too
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 7 % 20_000).collect();
+        let batch = f.contains_batch(&keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(batch[i], f.contains(k), "mismatch for key {k}");
+        }
+    }
+
+    #[test]
     fn insert_after_delete_reuses_space() {
         let mut f = CuckooFilter::new(CuckooFilterParams {
             num_buckets: 8,
             entries_per_bucket: 2,
             fingerprint_bits: 8,
             seed: 9,
+            auto_grow: false,
         });
         let mut keys: Vec<u64> = (0..12).collect();
         for &k in &keys {
@@ -450,8 +849,39 @@ mod tests {
             entries_per_bucket: 4,
             fingerprint_bits: 9,
             seed: 0,
+            auto_grow: false,
         });
         assert_eq!(f.size_bits(), 256 * 4 * 9);
+    }
+
+    #[test]
+    fn growth_stats_track_doublings() {
+        let mut f = CuckooFilter::new(small_params(10));
+        let stats = f.growth_stats();
+        assert_eq!(stats.base_buckets, 1 << 10);
+        assert_eq!(stats.expansion_factor(), 1);
+        f.grow();
+        f.grow();
+        let stats = f.growth_stats();
+        assert_eq!(stats.growth_bits, 2);
+        assert_eq!(stats.current_buckets, 1 << 12);
+        assert_eq!(stats.expansion_factor(), 4);
+    }
+
+    #[test]
+    fn split_geometry_matches_a_grown_filter() {
+        // A filter constructed with with_split_geometry must agree bucket-for-bucket
+        // with one that started at the base size and grew — the property Algorithm 2
+        // derived filters rely on.
+        let mut grown = CuckooFilter::new(small_params(12));
+        grown.grow();
+        let derived = CuckooFilter::with_split_geometry(1 << 10, 1, small_params(12));
+        assert_eq!(derived.num_buckets(), grown.num_buckets());
+        for key in 0..2000u64 {
+            assert_eq!(derived.index_of(key), grown.index_of(key));
+            let (fp, b) = derived.index_of(key);
+            assert_eq!(derived.alt_bucket(b, fp), grown.alt_bucket(b, fp));
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   raw-hash-table size comparison of §10.7.
 //! * [`semisort`] — the semi-sorting encoding of §4.2 used in the bit-efficiency
 //!   analysis (Figure 5).
+//! * [`geometry`] — the split bucket geometry that makes partial-key structures
+//!   growable without their original keys, shared with the CCF variants upstream.
 //! * [`metrics`] — occupancy / load-factor accounting shared by the experiments.
 
 #![forbid(unsafe_code)]
@@ -24,6 +26,7 @@
 pub mod bucket;
 pub mod chained_table;
 pub mod filter;
+pub mod geometry;
 pub mod metrics;
 pub mod semisort;
 pub mod table;
@@ -31,5 +34,6 @@ pub mod table;
 pub use bucket::Bucket;
 pub use chained_table::ChainedCuckooTable;
 pub use filter::{CuckooFilter, CuckooFilterParams, InsertError, MAX_KICKS};
-pub use metrics::OccupancyStats;
+pub use geometry::SplitGeometry;
+pub use metrics::{GrowthStats, OccupancyStats};
 pub use table::CuckooHashTable;

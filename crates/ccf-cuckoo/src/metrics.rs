@@ -4,6 +4,24 @@
 //! failed insertion* and the distribution of bucket occupancy; this module provides the
 //! summary statistics those experiments print.
 
+/// Summary of a growable cuckoo structure's resize history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrowthStats {
+    /// Bucket count at construction.
+    pub base_buckets: usize,
+    /// Bucket count now.
+    pub current_buckets: usize,
+    /// Number of capacity doublings applied.
+    pub growth_bits: u32,
+}
+
+impl GrowthStats {
+    /// How many times larger than its base geometry the structure is (`2^growth_bits`).
+    pub fn expansion_factor(&self) -> usize {
+        1 << self.growth_bits
+    }
+}
+
 /// Summary of bucket occupancy for a cuckoo structure.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OccupancyStats {

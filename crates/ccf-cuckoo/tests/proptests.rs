@@ -36,6 +36,7 @@ proptest! {
             entries_per_bucket: 4,
             fingerprint_bits: 12,
             seed,
+            auto_grow: false,
         });
         let mut copies: HashMap<u64, usize> = HashMap::new();
         for &k in &keys {
@@ -95,6 +96,37 @@ proptest! {
         prop_assert_eq!(sorted, decoded);
     }
 
+    /// Growth never loses a stored key, and batch queries agree with the per-key path
+    /// at every growth level.
+    #[test]
+    fn growth_preserves_membership_and_batch_agrees(
+        seed in any::<u64>(),
+        keys in proptest::collection::hash_set(any::<u64>(), 1..300),
+        doublings in 0u32..3,
+    ) {
+        let mut f = CuckooFilter::new(CuckooFilterParams {
+            num_buckets: 128,
+            entries_per_bucket: 4,
+            fingerprint_bits: 12,
+            seed,
+            auto_grow: true,
+        });
+        for &k in &keys {
+            prop_assert!(f.insert(k).is_ok(), "auto-grow insert of {} failed", k);
+        }
+        for _ in 0..doublings {
+            f.grow();
+        }
+        let probe: Vec<u64> = keys.iter().copied().chain(0..100).collect();
+        let batch = f.contains_batch(&probe);
+        for (i, &k) in probe.iter().enumerate() {
+            prop_assert_eq!(batch[i], f.contains(k), "batch mismatch for {}", k);
+        }
+        for &k in &keys {
+            prop_assert!(f.contains(k), "false negative for {} after growth", k);
+        }
+    }
+
     /// The filter's count() for a key never exceeds 2b and matches the number of
     /// successful inserts for well-separated keys.
     #[test]
@@ -104,6 +136,7 @@ proptest! {
             entries_per_bucket: 4,
             fingerprint_bits: 12,
             seed,
+            auto_grow: false,
         });
         let mut ok = 0usize;
         for _ in 0..copies {

@@ -109,6 +109,11 @@ pub mod purpose {
     pub const PARTIAL_KEY: u64 = 2;
     /// (min(ℓ, ℓ′), κ) → next chain bucket (§6.2).
     pub const CHAIN: u64 = 3;
+    /// Fingerprint κ → growth-bit stream for capacity doubling. When a filter grows,
+    /// each doubling appends one index bit taken from this hash of the stored
+    /// fingerprint, so entries can be migrated (and later queried) without the
+    /// original keys.
+    pub const GROWTH: u64 = 4;
     /// Base index for per-attribute-column fingerprint hashes; column `c` uses
     /// `ATTRIBUTE_BASE + c`.
     pub const ATTRIBUTE_BASE: u64 = 16;

@@ -115,11 +115,12 @@ pub fn evaluate_query(
         let exact_binned_keys =
             exact_semijoin_keys(db, query, base, true).expect("query has at least one other table");
 
+        // Pass 1: evaluate the base table's own predicates and the exact baselines,
+        // collecting the qualifying keys for the filter probes.
         let mut m_predicate = 0usize;
         let mut m_exact = 0usize;
         let mut m_exact_binned = 0usize;
-        let mut m_key_filter = 0usize;
-        let mut m_ccf = 0usize;
+        let mut probe_keys: Vec<u64> = Vec::new();
 
         for row in 0..table.num_rows() {
             if !row_matches_table_predicates(table, row, base) {
@@ -133,19 +134,39 @@ pub fn evaluate_query(
             if exact_binned_keys.contains(&key) {
                 m_exact_binned += 1;
             }
-            if others
-                .iter()
-                .all(|qt| bank.table(qt.table).key_filter.contains(key))
-            {
-                m_key_filter += 1;
-            }
-            if other_preds
-                .iter()
-                .all(|(tid, pred)| bank.table(*tid).ccf.query(key, pred))
-            {
-                m_ccf += 1;
-            }
+            probe_keys.push(key);
         }
+
+        // Pass 2: batched probes — one filter at a time, keeping only the keys still
+        // alive after each filter, so a selective early filter shrinks the work for
+        // the rest (the batched analogue of the per-row `.all()` short-circuit). The
+        // surviving-key count is bit-identical to probing every filter per row.
+        let keep_survivors = |mut keys: Vec<u64>, hits: Vec<bool>| -> Vec<u64> {
+            let mut alive = hits.iter().copied();
+            keys.retain(|_| alive.next().unwrap_or(false));
+            keys
+        };
+        let mut key_survivors = probe_keys.clone();
+        for qt in &others {
+            if key_survivors.is_empty() {
+                break;
+            }
+            let hits = bank
+                .table(qt.table)
+                .key_filter
+                .contains_batch(&key_survivors);
+            key_survivors = keep_survivors(key_survivors, hits);
+        }
+        let mut ccf_survivors = probe_keys;
+        for (tid, pred) in &other_preds {
+            if ccf_survivors.is_empty() {
+                break;
+            }
+            let hits = bank.table(*tid).ccf.query_batch(&ccf_survivors, pred);
+            ccf_survivors = keep_survivors(ccf_survivors, hits);
+        }
+        let m_key_filter = key_survivors.len();
+        let m_ccf = ccf_survivors.len();
 
         out.push(InstanceResult {
             query_id: query.id,
@@ -270,6 +291,54 @@ mod tests {
             let results = evaluate_workload(&db, &subset_workload(&wl, 8), &bank);
             for r in &results {
                 assert!(r.m_exact <= r.m_ccf, "{variant:?}: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_probe_counts_match_a_per_key_reference() {
+        // The production path probes filters in batches; this reference re-derives
+        // m_key_filter and m_ccf with the straightforward per-row, per-filter loop and
+        // must agree exactly.
+        let (db, wl, bank) = setup(VariantKind::Chained);
+        let results = evaluate_workload(&db, &subset_workload(&wl, 10), &bank);
+        for query in &subset_workload(&wl, 10).queries {
+            for base in &query.tables {
+                if query.tables.len() < 2 {
+                    continue;
+                }
+                let table = db.table(base.table);
+                let others: Vec<_> = query.other_tables(base.table);
+                let other_preds: Vec<_> = others
+                    .iter()
+                    .map(|qt| (qt.table, crate::bridge::ccf_predicate_for(qt)))
+                    .collect();
+                let mut m_key_filter = 0usize;
+                let mut m_ccf = 0usize;
+                for row in 0..table.num_rows() {
+                    if !crate::bridge::row_matches_table_predicates(table, row, base) {
+                        continue;
+                    }
+                    let key = table.join_keys[row];
+                    if others
+                        .iter()
+                        .all(|qt| bank.table(qt.table).key_filter.contains(key))
+                    {
+                        m_key_filter += 1;
+                    }
+                    if other_preds
+                        .iter()
+                        .all(|(tid, pred)| bank.table(*tid).ccf.query(key, pred))
+                    {
+                        m_ccf += 1;
+                    }
+                }
+                let result = results
+                    .iter()
+                    .find(|r| r.query_id == query.id && r.base_table == base.table)
+                    .expect("instance evaluated");
+                assert_eq!(result.m_key_filter, m_key_filter, "{result:?}");
+                assert_eq!(result.m_ccf, m_ccf, "{result:?}");
             }
         }
     }

@@ -1,0 +1,134 @@
+//! Cross-crate acceptance tests for the growth subsystem and the batched query API:
+//! an auto-growing filter sized for `n` must accept `4n` unique keys with zero insert
+//! failures and zero false negatives, batched probes must be bit-identical to per-key
+//! loops on a large mixed hit/miss stream, and the join-side reduction pipeline (which
+//! now probes in batches) must keep its exactness invariants.
+
+use conditional_cuckoo_filters::ccf::sizing::{size_for_profile_growable, VariantKind};
+use conditional_cuckoo_filters::ccf::{
+    AnyCcf, CcfParams, ChainedCcf, ConditionalFilter, Predicate,
+};
+use conditional_cuckoo_filters::cuckoo::{CuckooFilter, CuckooFilterParams};
+
+#[test]
+fn auto_grow_accepts_4n_unique_keys_without_failures_or_false_negatives() {
+    let n = 10_000usize;
+    let mut filter =
+        CuckooFilter::new(CuckooFilterParams::for_capacity(n, 12, 0xACCE97).with_auto_grow());
+    let mut failures = 0usize;
+    for key in 0..(4 * n) as u64 {
+        if filter.insert(key).is_err() {
+            failures += 1;
+        }
+    }
+    assert_eq!(failures, 0, "auto-grow must absorb 4n unique keys");
+    let false_negatives = (0..(4 * n) as u64).filter(|&k| !filter.contains(k)).count();
+    assert_eq!(false_negatives, 0);
+    assert!(
+        filter.growth_bits() >= 2,
+        "4n keys require at least two doublings"
+    );
+    // The geometry stays queryable for absent keys at a sane FPR after growth.
+    let fps = (10_000_000..10_050_000u64)
+        .filter(|&k| filter.contains(k))
+        .count();
+    assert!((fps as f64 / 50_000.0) < 0.02);
+}
+
+#[test]
+fn contains_batch_is_bit_identical_on_a_million_mixed_probes() {
+    let mut filter = CuckooFilter::new(CuckooFilterParams::for_capacity(100_000, 12, 0xBA7C4));
+    for key in 0..100_000u64 {
+        filter.insert(key).unwrap();
+    }
+    // 1M probes, alternating inserted keys and absent keys.
+    let probes: Vec<u64> = (0..1_000_000u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                i / 2 % 100_000
+            } else {
+                5_000_000 + i
+            }
+        })
+        .collect();
+    let batched = filter.contains_batch(&probes);
+    for (i, &key) in probes.iter().enumerate() {
+        assert_eq!(batched[i], filter.contains(key), "mismatch at probe {i}");
+    }
+}
+
+#[test]
+fn growable_ccf_variants_survive_4n_rows_through_the_uniform_interface() {
+    for kind in [VariantKind::Plain, VariantKind::Chained, VariantKind::Mixed] {
+        let mut filter = AnyCcf::new(
+            kind,
+            CcfParams {
+                num_buckets: 1 << 8,
+                num_attrs: 2,
+                seed: 0x640,
+                ..CcfParams::default()
+            }
+            .with_auto_grow(),
+        );
+        let four_n = 4 * (filter.params().num_buckets * filter.params().entries_per_bucket) as u64;
+        for key in 0..four_n {
+            filter
+                .insert_row(key, &[key % 13, key % 17])
+                .unwrap_or_else(|e| panic!("{kind:?}: insert of {key} failed: {e}"));
+        }
+        let pred_hits = filter.query_batch(
+            &(0..four_n).collect::<Vec<_>>(),
+            &Predicate::any(2).and_eq(0, 5),
+        );
+        for (key, hit) in (0..four_n).zip(pred_hits) {
+            assert_eq!(
+                hit,
+                filter.query(key, &Predicate::any(2).and_eq(0, 5)),
+                "{kind:?}: batch/per-key divergence for {key}"
+            );
+            if key % 13 == 5 {
+                assert!(hit, "{kind:?}: false negative for {key}");
+            }
+        }
+    }
+}
+
+#[test]
+fn growable_sizing_profile_absorbs_an_underestimated_stream() {
+    // A filter deliberately sized for a quarter of the (badly forecast) profile grows
+    // to fit the real stream; chained semantics (no-false-negative across chains)
+    // survive the doublings.
+    let profile =
+        conditional_cuckoo_filters::ccf::sizing::DuplicationProfile::from_counts(vec![4; 2000]);
+    let params = size_for_profile_growable(
+        VariantKind::Chained,
+        &profile,
+        CcfParams {
+            num_attrs: 1,
+            seed: 9,
+            ..CcfParams::default()
+        },
+        0.25,
+    );
+    let mut filter = ChainedCcf::new(params);
+    for key in 0..2000u64 {
+        for i in 0..8u64 {
+            // Twice the forecast rows per key.
+            filter
+                .insert_row(key, &[1000 + i])
+                .expect("growable filter absorbs the underestimated stream");
+        }
+    }
+    assert!(
+        filter.growth_bits() >= 1,
+        "undersized filter must have grown"
+    );
+    for key in 0..2000u64 {
+        for i in 0..8u64 {
+            assert!(
+                filter.query(key, &Predicate::any(1).and_eq(0, 1000 + i)),
+                "false negative for key {key} row {i}"
+            );
+        }
+    }
+}
