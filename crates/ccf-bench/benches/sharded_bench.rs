@@ -1,0 +1,48 @@
+//! Criterion bench for the sharded service: batched key-membership throughput across
+//! shard and thread counts on a Zipf probe stream, against the same service run
+//! single-threaded (shards = threads = 1 is the single-filter-equivalent baseline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ccf_bench::sharded_experiments::{ProbeWorkload, ShardedProbeExperiment};
+
+const KEYS: usize = 50_000;
+const PROBES: usize = 100_000;
+const BATCH: usize = 4096;
+
+fn bench_sharded_probes(c: &mut Criterion) {
+    let experiment = ShardedProbeExperiment::new(ProbeWorkload::Zipf, KEYS, PROBES, 0x5AD);
+    let mut group = c.benchmark_group("sharded_probe");
+    group.throughput(Throughput::Elements(PROBES as u64));
+    for shards in [1usize, 2, 4, 8] {
+        let mut service = experiment.build_service(shards);
+        for threads in [1usize, 2, 4] {
+            if threads > shards {
+                continue;
+            }
+            service.set_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{shards}shards"), format!("{threads}threads")),
+                &threads,
+                |b, _| {
+                    b.iter(|| {
+                        let mut hits = 0usize;
+                        for chunk in experiment.probe_stream().chunks(BATCH) {
+                            hits += service
+                                .contains_key_batch(black_box(chunk))
+                                .iter()
+                                .filter(|&&h| h)
+                                .count();
+                        }
+                        black_box(hits)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_probes);
+criterion_main!(benches);

@@ -13,6 +13,7 @@
 //! | [`sizing_experiments`] | Figure 3 (predicted vs actual entries), Table 1 |
 //! | [`joblight_experiments`] | Figures 6–10, Tables 2–3, §10.6 aggregates |
 //! | [`growth_experiments`] | beyond the paper: auto-grow cost and batched-probe throughput |
+//! | [`sharded_experiments`] | beyond the paper: sharded-service batch-probe scaling |
 //! | [`report`] | plain-text table formatting shared by the binaries |
 
 #![forbid(unsafe_code)]
@@ -23,6 +24,7 @@ pub mod growth_experiments;
 pub mod joblight_experiments;
 pub mod multiset_experiments;
 pub mod report;
+pub mod sharded_experiments;
 pub mod sizing_experiments;
 
 /// Default seed used by every experiment binary (override with `--seed N`).

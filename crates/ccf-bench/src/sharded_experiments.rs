@@ -1,0 +1,392 @@
+//! Sharded-service throughput experiments (beyond the paper: the concurrency work).
+//!
+//! The question a sharded front end must answer with wall-clock numbers: how does
+//! batch-probe throughput scale with shard count × thread count × batch size, and
+//! what does the fan-out cost when parallelism is *not* available? Two workloads:
+//!
+//! * **Zipf** — probe keys drawn from a truncated Zipf-Mandelbrot distribution over
+//!   the keyspace (hot keys dominate, the adversarial case for a partitioned design:
+//!   a hot key concentrates on one shard but routing stays uniform *per distinct
+//!   key*, so shard loads stay balanced while probe traffic is skewed).
+//! * **Multiset** — a §10.1-style multiset insert stream (Zipf-distributed duplicate
+//!   counts) with a uniform mixed hit/miss probe stream.
+//!
+//! Every comparison re-checks the service's determinism contract: the sharded,
+//! multi-threaded batch results must be bit-identical to a sequential per-key loop
+//! over the same service. Timings are honest wall clocks; on a single-core machine
+//! the sharded path shows its fan-out overhead instead of a speedup, which is exactly
+//! what an operator needs to know before deploying shards there.
+
+use std::time::Instant;
+
+use ccf_core::{CcfParams, ChainedCcf, Predicate, VariantKind};
+use ccf_shard::ShardedCcf;
+use ccf_workloads::multiset::{DuplicateDistribution, MultisetStream, Row};
+use ccf_workloads::zipf::ZipfMandelbrot;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which probe workload a report was measured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeWorkload {
+    /// Zipf-Mandelbrot-distributed probe keys (hot-key skew).
+    Zipf,
+    /// Uniform mixed hit/miss probes over a multiset insert stream.
+    Multiset,
+}
+
+impl std::fmt::Display for ProbeWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeWorkload::Zipf => write!(f, "zipf"),
+            ProbeWorkload::Multiset => write!(f, "multiset"),
+        }
+    }
+}
+
+/// One (shards × threads × batch) cell of the throughput sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedThroughputReport {
+    /// Probe workload.
+    pub workload: ProbeWorkload,
+    /// Shard count of the service.
+    pub shards: usize,
+    /// Worker-thread cap of the service.
+    pub threads: usize,
+    /// Probe batch size (the stream is chunked into batches of this many keys).
+    pub batch: usize,
+    /// Total probes.
+    pub probes: usize,
+    /// Wall-clock seconds for the single-filter, single-threaded `contains_key_batch`
+    /// baseline over the same batches.
+    pub baseline_secs: f64,
+    /// Wall-clock seconds for the sharded `contains_key_batch` path.
+    pub sharded_secs: f64,
+    /// Wall-clock seconds for the sharded predicate `query_batch` path.
+    pub sharded_query_secs: f64,
+    /// Whether the sharded batch results were bit-identical to a sequential per-key
+    /// loop over the same service (always checked; `false` is a correctness bug).
+    pub identical: bool,
+    /// Positive responses from the sharded path.
+    pub hits: usize,
+}
+
+impl ShardedThroughputReport {
+    /// Baseline probes per second.
+    pub fn baseline_throughput(&self) -> f64 {
+        self.probes as f64 / self.baseline_secs.max(1e-12)
+    }
+
+    /// Sharded probes per second.
+    pub fn sharded_throughput(&self) -> f64 {
+        self.probes as f64 / self.sharded_secs.max(1e-12)
+    }
+
+    /// Sharded over baseline throughput.
+    pub fn speedup(&self) -> f64 {
+        self.sharded_throughput() / self.baseline_throughput().max(1e-12)
+    }
+}
+
+/// A built probe experiment: insert stream, probe stream, and the single-filter
+/// baseline, reusable across every (shards × threads × batch) cell.
+pub struct ShardedProbeExperiment {
+    workload: ProbeWorkload,
+    rows: Vec<Row>,
+    probes: Vec<u64>,
+    baseline: ChainedCcf,
+    shard_seed: u64,
+}
+
+/// Parameters for a chained filter sized for the experiment's rows.
+fn filter_params(expected_entries: usize, seed: u64) -> CcfParams {
+    CcfParams {
+        num_attrs: 2,
+        seed,
+        ..CcfParams::default()
+    }
+    .sized_for_entries(expected_entries.max(1), 0.8)
+    .with_auto_grow()
+}
+
+impl ShardedProbeExperiment {
+    /// Generate the workload and build the single-filter baseline.
+    ///
+    /// * `num_keys` — distinct keys inserted (the filters are sized for the resulting
+    ///   row count).
+    /// * `num_probes` — length of the probe stream.
+    /// * Zipf probes are drawn over `[1, 2·num_keys]` ranks, so roughly the top half
+    ///   of the mass hits inserted keys and the cold tail misses.
+    pub fn new(workload: ProbeWorkload, num_keys: usize, num_probes: usize, seed: u64) -> Self {
+        let num_keys = num_keys.max(1);
+        let rows: Vec<Row> = match workload {
+            ProbeWorkload::Zipf => {
+                // Unique keys, two attribute columns; the skew lives in the probes.
+                (0..num_keys as u64)
+                    .map(|k| Row {
+                        key: k,
+                        attrs: vec![k % 7, k % 11],
+                    })
+                    .collect()
+            }
+            ProbeWorkload::Multiset => {
+                MultisetStream::new(DuplicateDistribution::zipf_with_mean(3.0), 2, seed)
+                    .generate(num_keys)
+            }
+        };
+        let probes = match workload {
+            ProbeWorkload::Zipf => {
+                let alpha = 1.05;
+                let zipf =
+                    ZipfMandelbrot::new(alpha, ZipfMandelbrot::PAPER_OFFSET, (2 * num_keys) as u64);
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x51F7);
+                (0..num_probes)
+                    .map(|_| {
+                        let rank = zipf.sample(&mut rng);
+                        if rank <= num_keys as u64 {
+                            rank - 1 // hot ranks hit inserted keys
+                        } else {
+                            (1 << 40) + rank // cold tail misses
+                        }
+                    })
+                    .collect()
+            }
+            ProbeWorkload::Multiset => (0..num_probes as u64)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        rows[(i as usize / 2) % rows.len()].key
+                    } else {
+                        (1 << 40) + i
+                    }
+                })
+                .collect(),
+        };
+        let mut baseline = ChainedCcf::new(filter_params(rows.len(), seed));
+        for row in &rows {
+            baseline
+                .insert_row(row.key, &row.attrs)
+                .expect("auto-grow baseline absorbs the stream");
+        }
+        Self {
+            workload,
+            rows,
+            probes,
+            baseline,
+            shard_seed: seed,
+        }
+    }
+
+    /// Number of probes in the stream.
+    pub fn num_probes(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// The probe stream (for callers timing the batch kernels directly, e.g. the
+    /// Criterion bench).
+    pub fn probe_stream(&self) -> &[u64] {
+        &self.probes
+    }
+
+    /// Build the sharded service for one shard count (shares the baseline's sizing:
+    /// each shard gets the per-slice bucket budget and `auto_grow`).
+    pub fn build_service(&self, shards: usize) -> ShardedCcf {
+        let service = ShardedCcf::sized_for_entries(
+            VariantKind::Chained,
+            filter_params(self.rows.len(), self.shard_seed),
+            shards,
+            self.rows.len(),
+            0.8,
+        );
+        let rows: Vec<(u64, &[u64])> = self
+            .rows
+            .iter()
+            .map(|r| (r.key, r.attrs.as_slice()))
+            .collect();
+        let outcomes = service.insert_batch(&rows);
+        assert!(
+            outcomes.iter().all(|o| o.is_ok()),
+            "auto-grow shards must absorb the whole stream"
+        );
+        service
+    }
+
+    /// Measure one (service × threads × batch) cell. The service is mutated only in
+    /// its thread cap; pass the value returned by [`Self::build_service`].
+    pub fn run_cell(
+        &self,
+        service: &mut ShardedCcf,
+        threads: usize,
+        batch: usize,
+    ) -> ShardedThroughputReport {
+        service.set_threads(threads);
+        let batch = batch.max(1);
+        let pred = Predicate::any(2).and_eq(0, 3);
+
+        // Baseline: single filter, single thread, same batch boundaries.
+        let start = Instant::now();
+        let mut baseline_results = Vec::with_capacity(self.probes.len());
+        for chunk in self.probes.chunks(batch) {
+            baseline_results.extend(self.baseline.contains_key_batch(chunk));
+        }
+        let baseline_secs = start.elapsed().as_secs_f64();
+
+        // Sharded key-only path.
+        let start = Instant::now();
+        let mut sharded_results = Vec::with_capacity(self.probes.len());
+        for chunk in self.probes.chunks(batch) {
+            sharded_results.extend(service.contains_key_batch(chunk));
+        }
+        let sharded_secs = start.elapsed().as_secs_f64();
+
+        // Sharded predicate path (same batches, CCF query semantics).
+        let start = Instant::now();
+        let mut query_hits = 0usize;
+        for chunk in self.probes.chunks(batch) {
+            query_hits += service
+                .query_batch(chunk, &pred)
+                .iter()
+                .filter(|&&h| h)
+                .count();
+        }
+        let sharded_query_secs = start.elapsed().as_secs_f64();
+        // The predicate path can only shrink the hit set.
+        let hits = sharded_results.iter().filter(|&&h| h).count();
+        assert!(
+            query_hits <= hits,
+            "predicate probes exceeded key-only hits"
+        );
+
+        // Determinism contract: parallel batches == sequential per-key loop.
+        let identical = self
+            .probes
+            .iter()
+            .zip(&sharded_results)
+            .all(|(&k, &hit)| service.contains_key(k) == hit);
+
+        ShardedThroughputReport {
+            workload: self.workload,
+            shards: service.num_shards(),
+            threads: service.threads(),
+            batch,
+            probes: self.probes.len(),
+            baseline_secs,
+            sharded_secs,
+            sharded_query_secs,
+            identical,
+            hits,
+        }
+    }
+}
+
+/// Results of one full sweep: the throughput cells plus the per-shard-count
+/// [`ccf_shard::ShardStats`] of the services the cells were measured on.
+pub struct ShardedSweep {
+    /// One report per (shards × threads × batch) cell, best-of-`runs` each.
+    pub reports: Vec<ShardedThroughputReport>,
+    /// `(shard_count, stats)` for each service built by the sweep.
+    pub stats: Vec<(usize, ccf_shard::ShardStats)>,
+}
+
+/// Sweep shard count × thread count × batch size over a prebuilt experiment. Each
+/// shard-count service is built exactly once and reused across every thread/batch
+/// cell; each cell is timed `runs` times and the fastest sharded measurement kept
+/// (same data every time, so timings are comparable and the bit-identity and
+/// hit-count invariants are asserted on every candidate run, not just survivors).
+pub fn sharded_throughput_sweep(
+    experiment: &ShardedProbeExperiment,
+    shard_counts: &[usize],
+    thread_counts: &[usize],
+    batch_sizes: &[usize],
+    runs: usize,
+) -> ShardedSweep {
+    let runs = runs.max(1);
+    let mut reports = Vec::new();
+    let mut stats = Vec::new();
+    for &shards in shard_counts {
+        let shards = shards.max(1);
+        let mut service = experiment.build_service(shards);
+        for &threads in thread_counts {
+            // The thread cap clamps to the shard count, so cells with more threads
+            // than shards would duplicate the threads == shards cell.
+            if threads > shards {
+                continue;
+            }
+            for &batch in batch_sizes {
+                let mut best = experiment.run_cell(&mut service, threads, batch);
+                assert!(best.identical, "sharded results diverged from reference");
+                for _ in 1..runs {
+                    let candidate = experiment.run_cell(&mut service, threads, batch);
+                    assert!(candidate.identical);
+                    assert_eq!(
+                        candidate.hits, best.hits,
+                        "same data must reproduce the same hits"
+                    );
+                    if candidate.sharded_throughput() > best.sharded_throughput() {
+                        best = candidate;
+                    }
+                }
+                reports.push(best);
+            }
+        }
+        stats.push((shards, service.stats()));
+    }
+    ShardedSweep { reports, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_experiment_is_bit_identical_across_configs() {
+        let experiment = ShardedProbeExperiment::new(ProbeWorkload::Zipf, 2000, 6000, 7);
+        for shards in [1, 4] {
+            let mut service = experiment.build_service(shards);
+            for threads in [1, 4] {
+                let report = experiment.run_cell(&mut service, threads, 512);
+                assert!(report.identical, "{shards} shards / {threads} threads");
+                assert_eq!(report.probes, 6000);
+                assert!(report.hits > 0, "hot Zipf ranks must hit inserted keys");
+            }
+        }
+    }
+
+    #[test]
+    fn multiset_experiment_is_bit_identical_and_half_hits() {
+        let experiment = ShardedProbeExperiment::new(ProbeWorkload::Multiset, 3000, 4000, 9);
+        let mut service = experiment.build_service(3);
+        let report = experiment.run_cell(&mut service, 2, 1000);
+        assert!(report.identical);
+        // Even probe indices are inserted keys, so at least half must hit.
+        assert!(report.hits >= 2000, "hits {} < 2000", report.hits);
+    }
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let experiment = ShardedProbeExperiment::new(ProbeWorkload::Zipf, 500, 1000, 11);
+        let sweep = sharded_throughput_sweep(&experiment, &[1, 2], &[1, 2], &[64, 256], 2);
+        // shards=1 keeps only threads=1 (2 batch cells); shards=2 keeps both thread
+        // counts (4 cells).
+        assert_eq!(sweep.reports.len(), 2 + 4);
+        assert!(sweep.reports.iter().all(|r| r.identical));
+        // Same service, same probes: hit counts must agree across every cell of a
+        // shard count.
+        let reports = &sweep.reports;
+        assert!(reports[..2].iter().all(|r| r.hits == reports[0].hits));
+        assert!(reports[2..].iter().all(|r| r.hits == reports[2].hits));
+        // One stats snapshot per shard count, with every row inserted.
+        assert_eq!(sweep.stats.len(), 2);
+        assert!(sweep
+            .stats
+            .iter()
+            .all(|(_, s)| s.occupied_entries() > 0 && s.load_imbalance() >= 1.0));
+    }
+
+    #[test]
+    fn tiny_scales_do_not_panic() {
+        // The smoke harness runs the binary with --rows 2.
+        let experiment = ShardedProbeExperiment::new(ProbeWorkload::Multiset, 1, 4, 5);
+        let sweep = sharded_throughput_sweep(&experiment, &[1, 2], &[1], &[1], 1);
+        assert!(sweep.reports.iter().all(|r| r.identical));
+    }
+}

@@ -15,6 +15,7 @@
 use ccf_bloom::TinyBloom;
 use ccf_cuckoo::geometry::probe_chunked;
 use ccf_cuckoo::CuckooFilter;
+use ccf_cuckoo::{GrowthStats, OccupancyStats};
 use ccf_hash::{Fingerprinter, HashFamily, SaltedHasher};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -99,6 +100,24 @@ impl BloomCcf {
     /// Serialized size in bits: every slot carries |κ| + Bloom bits.
     pub fn size_bits(&self) -> usize {
         self.capacity() * self.params.bloom_entry_bits()
+    }
+
+    /// Per-bucket occupancy summary.
+    pub fn occupancy(&self) -> OccupancyStats {
+        OccupancyStats::from_counts(
+            self.buckets.iter().map(Vec::len),
+            self.params.entries_per_bucket,
+        )
+    }
+
+    /// Resize-history summary. The Bloom variant does not grow, so the history is
+    /// always empty (zero doublings).
+    pub fn growth_stats(&self) -> GrowthStats {
+        GrowthStats {
+            base_buckets: self.buckets.len(),
+            current_buckets: self.buckets.len(),
+            growth_bits: 0,
+        }
     }
 
     #[inline]

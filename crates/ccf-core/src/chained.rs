@@ -17,6 +17,7 @@
 //! recurrence would have cycled, for the curious.
 
 use ccf_cuckoo::geometry::{grow_and_retry, probe_chunked, split_buckets, SplitGeometry};
+use ccf_cuckoo::{GrowthStats, OccupancyStats};
 use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily, SaltedHasher};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -127,6 +128,23 @@ impl ChainedCcf {
     /// Number of capacity doublings applied so far.
     pub fn growth_bits(&self) -> u32 {
         self.geometry.growth_bits()
+    }
+
+    /// Per-bucket occupancy summary.
+    pub fn occupancy(&self) -> OccupancyStats {
+        OccupancyStats::from_counts(
+            self.buckets.iter().map(Vec::len),
+            self.params.entries_per_bucket,
+        )
+    }
+
+    /// Resize-history summary.
+    pub fn growth_stats(&self) -> GrowthStats {
+        GrowthStats {
+            base_buckets: self.geometry.base_buckets(),
+            current_buckets: self.buckets.len(),
+            growth_bits: self.geometry.growth_bits(),
+        }
     }
 
     /// Raw storage snapshot: per bucket, the (κ, attribute-fingerprint-vector) entries

@@ -78,6 +78,9 @@ pub use mixed::MixedCcf;
 pub use outcome::{InsertFailure, InsertOutcome};
 pub use params::{AttrSketchKind, CcfParams};
 pub use plain::PlainCcf;
-pub use predicate::{binning::Binning, ColumnPredicate, Predicate};
+pub use predicate::{
+    binning::{Binning, BinningError},
+    ColumnPredicate, Predicate,
+};
 pub use sizing::{DuplicationProfile, VariantKind};
 pub use variant::{AnyCcf, ConditionalFilter};

@@ -23,6 +23,7 @@
 use ccf_bloom::TinyBloom;
 use ccf_cuckoo::geometry::{grow_and_retry, probe_chunked, split_buckets, SplitGeometry};
 use ccf_cuckoo::CuckooFilter;
+use ccf_cuckoo::{GrowthStats, OccupancyStats};
 use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -151,6 +152,23 @@ impl MixedCcf {
     /// Number of capacity doublings applied so far.
     pub fn growth_bits(&self) -> u32 {
         self.geometry.growth_bits()
+    }
+
+    /// Per-bucket occupancy summary.
+    pub fn occupancy(&self) -> OccupancyStats {
+        OccupancyStats::from_counts(
+            self.buckets.iter().map(Vec::len),
+            self.params.entries_per_bucket,
+        )
+    }
+
+    /// Resize-history summary.
+    pub fn growth_stats(&self) -> GrowthStats {
+        GrowthStats {
+            base_buckets: self.geometry.base_buckets(),
+            current_buckets: self.buckets.len(),
+            growth_bits: self.geometry.growth_bits(),
+        }
     }
 
     /// The alternate bucket ℓ′ = ℓ ⊕ h(κ), with the xor confined to the base-geometry

@@ -10,6 +10,7 @@
 //! comparisons can be reproduced.
 
 use ccf_cuckoo::geometry::{grow_and_retry, probe_chunked, split_buckets, SplitGeometry};
+use ccf_cuckoo::{GrowthStats, OccupancyStats};
 use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -93,6 +94,23 @@ impl PlainCcf {
     /// Number of capacity doublings applied so far.
     pub fn growth_bits(&self) -> u32 {
         self.geometry.growth_bits()
+    }
+
+    /// Per-bucket occupancy summary.
+    pub fn occupancy(&self) -> OccupancyStats {
+        OccupancyStats::from_counts(
+            self.buckets.iter().map(Vec::len),
+            self.params.entries_per_bucket,
+        )
+    }
+
+    /// Resize-history summary.
+    pub fn growth_stats(&self) -> GrowthStats {
+        GrowthStats {
+            base_buckets: self.geometry.base_buckets(),
+            current_buckets: self.buckets.len(),
+            growth_bits: self.geometry.growth_bits(),
+        }
     }
 
     fn pair_of(&self, key: u64) -> (u16, usize, usize) {

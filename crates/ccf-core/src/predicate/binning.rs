@@ -12,6 +12,47 @@
 
 use super::ColumnPredicate;
 
+/// Why a binning scheme could not be built or consulted. Serving processes (the
+/// sharded filter service, the join bridge) use the fallible `try_*` constructors and
+/// accessors so a malformed predicate is reported instead of aborting the process; the
+/// panicking wrappers remain for the experiment harness, where the workload generator
+/// guarantees well-formed inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinningError {
+    /// `min > max`: the value domain is empty.
+    EmptyDomain {
+        /// Requested domain minimum.
+        min: u64,
+        /// Requested domain maximum.
+        max: u64,
+    },
+    /// `num_bins == 0`: at least one bin is required.
+    ZeroBins,
+    /// A bin id at or beyond `num_bins` was consulted.
+    BinOutOfRange {
+        /// The offending bin id.
+        bin: u64,
+        /// Number of bins in the scheme.
+        num_bins: u64,
+    },
+}
+
+impl std::fmt::Display for BinningError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinningError::EmptyDomain { min, max } => {
+                write!(f, "empty domain: min {min} > max {max}")
+            }
+            BinningError::ZeroBins => write!(f, "need at least one bin"),
+            BinningError::BinOutOfRange { bin, num_bins } => {
+                write!(f, "bin {bin} out of range (scheme has {num_bins} bins)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BinningError {}
+
 /// A binning scheme mapping a value domain `[min, max]` to `num_bins` roughly
 /// equal-width bins.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,18 +63,29 @@ pub struct Binning {
 }
 
 impl Binning {
-    /// Create a binning of `[min, max]` (inclusive) into `num_bins` bins.
-    ///
-    /// # Panics
-    /// Panics if `min > max` or `num_bins == 0`.
-    pub fn new(min: u64, max: u64, num_bins: usize) -> Self {
-        assert!(min <= max, "empty domain: min {min} > max {max}");
-        assert!(num_bins > 0, "need at least one bin");
-        Self {
+    /// Create a binning of `[min, max]` (inclusive) into `num_bins` bins, reporting
+    /// impossible configurations as a typed error instead of panicking.
+    pub fn try_new(min: u64, max: u64, num_bins: usize) -> Result<Self, BinningError> {
+        if min > max {
+            return Err(BinningError::EmptyDomain { min, max });
+        }
+        if num_bins == 0 {
+            return Err(BinningError::ZeroBins);
+        }
+        Ok(Self {
             min,
             max,
             num_bins: num_bins as u64,
-        }
+        })
+    }
+
+    /// Create a binning of `[min, max]` (inclusive) into `num_bins` bins.
+    ///
+    /// # Panics
+    /// Panics if `min > max` or `num_bins == 0`; use [`Binning::try_new`] to handle
+    /// those cases as values.
+    pub fn new(min: u64, max: u64, num_bins: usize) -> Self {
+        Self::try_new(min, max, num_bins).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Equal-size binning for the JOB-light `production_year` column: 1880–2019 in 16
@@ -56,9 +108,15 @@ impl Binning {
         (((v - self.min) as u128 * self.num_bins as u128) / width as u128) as u64
     }
 
-    /// Inclusive value range `[lo, hi]` covered by a bin.
-    pub fn bin_range(&self, bin: u64) -> (u64, u64) {
-        assert!(bin < self.num_bins, "bin {bin} out of range");
+    /// Inclusive value range `[lo, hi]` covered by a bin, with out-of-range bin ids
+    /// reported as a typed error instead of a panic.
+    pub fn try_bin_range(&self, bin: u64) -> Result<(u64, u64), BinningError> {
+        if bin >= self.num_bins {
+            return Err(BinningError::BinOutOfRange {
+                bin,
+                num_bins: self.num_bins,
+            });
+        }
         let width = (self.max - self.min + 1) as u128;
         let n = self.num_bins as u128;
         // bin_of(v) = floor((v - min)·n / width) = bin  ⇔
@@ -66,7 +124,16 @@ impl Binning {
         let ceil_div = |a: u128, b: u128| a.div_ceil(b) as u64;
         let lo = self.min + ceil_div(bin as u128 * width, n);
         let hi = self.min + ceil_div((bin + 1) as u128 * width, n) - 1;
-        (lo, hi.min(self.max))
+        Ok((lo, hi.min(self.max)))
+    }
+
+    /// Inclusive value range `[lo, hi]` covered by a bin.
+    ///
+    /// # Panics
+    /// Panics if `bin >= num_bins`; use [`Binning::try_bin_range`] to handle that case
+    /// as a value.
+    pub fn bin_range(&self, bin: u64) -> (u64, u64) {
+        self.try_bin_range(bin).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Convert an inclusive range predicate `[lo, hi]` into the in-list of bins that
@@ -198,5 +265,30 @@ mod tests {
     #[should_panic(expected = "empty domain")]
     fn inverted_domain_rejected() {
         let _ = Binning::new(10, 5, 4);
+    }
+
+    #[test]
+    fn fallible_constructors_report_typed_errors() {
+        assert_eq!(
+            Binning::try_new(10, 5, 4),
+            Err(BinningError::EmptyDomain { min: 10, max: 5 })
+        );
+        assert_eq!(Binning::try_new(0, 9, 0), Err(BinningError::ZeroBins));
+        let b = Binning::try_new(0, 99, 10).unwrap();
+        assert_eq!(b.try_bin_range(3), Ok(b.bin_range(3)));
+        assert_eq!(
+            b.try_bin_range(10),
+            Err(BinningError::BinOutOfRange {
+                bin: 10,
+                num_bins: 10
+            })
+        );
+        // The error messages used by the panicking wrappers stay descriptive.
+        assert!(BinningError::ZeroBins.to_string().contains("one bin"));
+        assert!(b
+            .try_bin_range(12)
+            .unwrap_err()
+            .to_string()
+            .contains("bin 12 out of range"));
     }
 }

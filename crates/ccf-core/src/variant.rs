@@ -7,6 +7,8 @@
 //! remain available for variant-specific features (chained predicate filters,
 //! conversion statistics, ...).
 
+use ccf_cuckoo::{GrowthStats, OccupancyStats};
+
 use crate::bloom_ccf::BloomCcf;
 use crate::chained::ChainedCcf;
 use crate::mixed::MixedCcf;
@@ -44,6 +46,11 @@ pub trait ConditionalFilter {
     fn size_bits(&self) -> usize;
     /// The filter's parameters.
     fn params(&self) -> &CcfParams;
+    /// Per-bucket occupancy summary (for monitoring / shard aggregation).
+    fn occupancy(&self) -> OccupancyStats;
+    /// Resize-history summary (the Bloom variant never grows, so its history is
+    /// always empty).
+    fn growth_stats(&self) -> GrowthStats;
 }
 
 macro_rules! impl_conditional_filter {
@@ -79,6 +86,12 @@ macro_rules! impl_conditional_filter {
             }
             fn params(&self) -> &CcfParams {
                 <$ty>::params(self)
+            }
+            fn occupancy(&self) -> OccupancyStats {
+                <$ty>::occupancy(self)
+            }
+            fn growth_stats(&self) -> GrowthStats {
+                <$ty>::growth_stats(self)
             }
         }
     };
@@ -169,6 +182,12 @@ impl ConditionalFilter for AnyCcf {
     }
     fn params(&self) -> &CcfParams {
         self.as_dyn().params()
+    }
+    fn occupancy(&self) -> OccupancyStats {
+        self.as_dyn().occupancy()
+    }
+    fn growth_stats(&self) -> GrowthStats {
+        self.as_dyn().growth_stats()
     }
 }
 

@@ -80,6 +80,23 @@ impl OccupancyStats {
         }
     }
 
+    /// Merge two occupancy summaries, e.g. per-shard stats into a service-wide total.
+    /// The bucket/occupancy counts are exact field-wise sums over disjoint buckets.
+    /// When the two sides use different `entries_per_bucket` (heterogeneous shards),
+    /// the merged width is their max, so the merged [`OccupancyStats::capacity`] and
+    /// [`OccupancyStats::load_factor`] are an upper bound / lower bound respectively —
+    /// aggregators that need exact service-wide figures should sum the per-side
+    /// `capacity()` values themselves (as the shard-layer `ShardStats` does).
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            num_buckets: self.num_buckets + other.num_buckets,
+            entries_per_bucket: self.entries_per_bucket.max(other.entries_per_bucket),
+            occupied: self.occupied + other.occupied,
+            full_buckets: self.full_buckets + other.full_buckets,
+            empty_buckets: self.empty_buckets + other.empty_buckets,
+        }
+    }
+
     /// Fraction of buckets that are completely full.
     pub fn full_fraction(&self) -> f64 {
         if self.num_buckets == 0 {
@@ -104,6 +121,18 @@ mod tests {
         assert_eq!(stats.capacity(), 20);
         assert!((stats.load_factor() - 0.55).abs() < 1e-12);
         assert!((stats.full_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_disjoint_bucket_counts() {
+        let a = OccupancyStats::from_counts(vec![0, 4, 2], 4);
+        let b = OccupancyStats::from_counts(vec![4, 4, 0, 1], 4);
+        let m = a.merge(&b);
+        assert_eq!(m.num_buckets, 7);
+        assert_eq!(m.occupied, 6 + 9);
+        assert_eq!(m.full_buckets, 3);
+        assert_eq!(m.empty_buckets, 2);
+        assert!((m.load_factor() - 15.0 / 28.0).abs() < 1e-12);
     }
 
     #[test]

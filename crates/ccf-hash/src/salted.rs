@@ -114,6 +114,11 @@ pub mod purpose {
     /// fingerprint, so entries can be migrated (and later queried) without the
     /// original keys.
     pub const GROWTH: u64 = 4;
+    /// Key → shard index for the sharded service layer. Disjoint from every in-shard
+    /// hash (bucket, fingerprint, partial-key, chain, growth) so that the routing of a
+    /// key to a shard never correlates with its placement *inside* the shard: a shard
+    /// receives a uniform slice of the keyspace, not a slice of any bucket range.
+    pub const SHARD: u64 = 5;
     /// Base index for per-attribute-column fingerprint hashes; column `c` uses
     /// `ATTRIBUTE_BASE + c`.
     pub const ATTRIBUTE_BASE: u64 = 16;
@@ -185,6 +190,24 @@ mod tests {
         let sub = f.subfamily(0);
         assert_ne!(f.hasher(0), sub.hasher(0));
         assert_ne!(f.master_seed(), sub.master_seed());
+    }
+
+    #[test]
+    fn shard_purpose_is_disjoint_from_in_shard_hashes() {
+        // Shard routing must not correlate with any in-shard hash purpose; at minimum
+        // the purpose indices are distinct and the derived hashers disagree.
+        let f = HashFamily::new(0xCCF);
+        let shard = f.hasher(purpose::SHARD);
+        for p in [
+            purpose::KEY_BUCKET,
+            purpose::KEY_FINGERPRINT,
+            purpose::PARTIAL_KEY,
+            purpose::CHAIN,
+            purpose::GROWTH,
+        ] {
+            assert_ne!(p, purpose::SHARD);
+            assert_ne!(f.hasher(p).seed(), shard.seed());
+        }
     }
 
     #[test]

@@ -14,6 +14,79 @@ use ccf_core::{ColumnPredicate, Predicate};
 use ccf_workloads::imdb::{spec_of, SyntheticTable, TableId};
 use ccf_workloads::joblight::{QueryPredicate, QueryTable};
 
+/// Why a query predicate could not be bridged to a table's columns. The serving
+/// paths (`try_*` functions, used by the sharded service layer) report these as
+/// values; the experiment harness keeps the infallible wrappers, whose only failure
+/// mode is a workload-generator bug surfaced as an `unreachable!` with this message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BridgeError {
+    /// A predicate referenced a column the table does not have.
+    ColumnOutOfRange {
+        /// The table being scanned.
+        table: TableId,
+        /// The referenced column index.
+        column: usize,
+        /// How many predicate columns the table actually has.
+        num_columns: usize,
+    },
+    /// A predicate was paired with a row index past the end of the table.
+    RowOutOfRange {
+        /// The table being scanned.
+        table: TableId,
+        /// The referenced row.
+        row: usize,
+        /// Number of rows in the table.
+        num_rows: usize,
+    },
+}
+
+impl std::fmt::Display for BridgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BridgeError::ColumnOutOfRange {
+                table,
+                column,
+                num_columns,
+            } => write!(
+                f,
+                "predicate references column {column} of {table:?}, which has only \
+                 {num_columns} predicate columns"
+            ),
+            BridgeError::RowOutOfRange {
+                table,
+                row,
+                num_rows,
+            } => write!(f, "row {row} out of range for {table:?} ({num_rows} rows)"),
+        }
+    }
+}
+
+impl std::error::Error for BridgeError {}
+
+/// Validate that a predicate's column exists on the table.
+fn check_column(table: &SyntheticTable, column: usize) -> Result<(), BridgeError> {
+    if column >= table.columns.len() {
+        return Err(BridgeError::ColumnOutOfRange {
+            table: table.id,
+            column,
+            num_columns: table.columns.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Validate that a row index exists on the table.
+fn check_row(table: &SyntheticTable, row: usize) -> Result<(), BridgeError> {
+    if row >= table.num_rows() {
+        return Err(BridgeError::RowOutOfRange {
+            table: table.id,
+            row,
+            num_rows: table.num_rows(),
+        });
+    }
+    Ok(())
+}
+
 /// The binning used for `title.production_year` (16 bins over 1880–2019, §10.3).
 pub fn production_year_binning() -> Binning {
     Binning::production_year()
@@ -45,23 +118,57 @@ pub fn ccf_attrs_for_row(table: &SyntheticTable, row: usize) -> Vec<u64> {
         .collect()
 }
 
-/// Evaluate a single query predicate against one raw row of a table.
-pub fn row_matches_predicate(table: &SyntheticTable, row: usize, pred: &QueryPredicate) -> bool {
+/// Evaluate a single query predicate against one raw row of a table, reporting
+/// out-of-range columns/rows as a typed error instead of an index panic.
+pub fn try_row_matches_predicate(
+    table: &SyntheticTable,
+    row: usize,
+    pred: &QueryPredicate,
+) -> Result<bool, BridgeError> {
+    check_row(table, row)?;
     match pred {
-        QueryPredicate::Eq { column, value } => table.columns[*column][row] == *value,
+        QueryPredicate::Eq { column, value } => {
+            check_column(table, *column)?;
+            Ok(table.columns[*column][row] == *value)
+        }
         QueryPredicate::Range { column, lo, hi } => {
+            check_column(table, *column)?;
             let v = table.columns[*column][row];
-            v >= *lo && v <= *hi
+            Ok(v >= *lo && v <= *hi)
         }
     }
 }
 
+/// Evaluate a single query predicate against one raw row of a table.
+pub fn row_matches_predicate(table: &SyntheticTable, row: usize, pred: &QueryPredicate) -> bool {
+    try_row_matches_predicate(table, row, pred)
+        .unwrap_or_else(|e| unreachable!("generated JOB-light predicates are in-spec: {e}"))
+}
+
+/// Evaluate all of a query-table's predicates against one raw row (conjunction),
+/// with malformed predicates reported as a typed error.
+pub fn try_row_matches_table_predicates(
+    table: &SyntheticTable,
+    row: usize,
+    qt: &QueryTable,
+) -> Result<bool, BridgeError> {
+    debug_assert_eq!(table.id, qt.table);
+    // Check the row up front so a nonexistent row is reported even when the
+    // predicate list is empty (an empty conjunction is trivially true, but only for
+    // rows that exist).
+    check_row(table, row)?;
+    for p in &qt.predicates {
+        if !try_row_matches_predicate(table, row, p)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
 /// Evaluate all of a query-table's predicates against one raw row (conjunction).
 pub fn row_matches_table_predicates(table: &SyntheticTable, row: usize, qt: &QueryTable) -> bool {
-    debug_assert_eq!(table.id, qt.table);
-    qt.predicates
-        .iter()
-        .all(|p| row_matches_predicate(table, row, p))
+    try_row_matches_table_predicates(table, row, qt)
+        .unwrap_or_else(|e| unreachable!("generated JOB-light predicates are in-spec: {e}"))
 }
 
 /// Evaluate a query-table's predicates against one raw row *after binning* range
@@ -73,34 +180,72 @@ pub fn row_matches_table_predicates_binned(
     row: usize,
     qt: &QueryTable,
 ) -> bool {
+    try_row_matches_table_predicates_binned(table, row, qt)
+        .unwrap_or_else(|e| unreachable!("generated JOB-light predicates are in-spec: {e}"))
+}
+
+/// As [`row_matches_table_predicates_binned`], with malformed predicates reported as a
+/// typed error.
+pub fn try_row_matches_table_predicates_binned(
+    table: &SyntheticTable,
+    row: usize,
+    qt: &QueryTable,
+) -> Result<bool, BridgeError> {
     debug_assert_eq!(table.id, qt.table);
+    check_row(table, row)?;
     let binning = production_year_binning();
-    qt.predicates.iter().all(|p| match p {
-        QueryPredicate::Eq { .. } => row_matches_predicate(table, row, p),
-        QueryPredicate::Range { column, lo, hi } => {
-            if column_is_binned(table.id, *column) {
-                let bin = binning.bin_of(table.columns[*column][row]);
-                match binning.range_to_bins(*lo, *hi) {
-                    ColumnPredicate::Any => true,
-                    cond => cond.matches_value(bin),
+    for p in &qt.predicates {
+        let matched = match p {
+            QueryPredicate::Eq { .. } => try_row_matches_predicate(table, row, p)?,
+            QueryPredicate::Range { column, lo, hi } => {
+                if column_is_binned(table.id, *column) {
+                    check_column(table, *column)?;
+                    let bin = binning.bin_of(table.columns[*column][row]);
+                    match binning.range_to_bins(*lo, *hi) {
+                        ColumnPredicate::Any => true,
+                        cond => cond.matches_value(bin),
+                    }
+                } else {
+                    try_row_matches_predicate(table, row, p)?
                 }
-            } else {
-                row_matches_predicate(table, row, p)
             }
+        };
+        if !matched {
+            return Ok(false);
         }
-    })
+    }
+    Ok(true)
 }
 
 /// Translate a query-table's predicates into a [`Predicate`] over the table's CCF
 /// attribute columns (equality stays equality; ranges on binned columns become bin
 /// in-lists; unconstrained columns stay unconstrained).
 pub fn ccf_predicate_for(qt: &QueryTable) -> Predicate {
+    try_ccf_predicate_for(qt)
+        .unwrap_or_else(|e| unreachable!("generated JOB-light predicates are in-spec: {e}"))
+}
+
+/// As [`ccf_predicate_for`], reporting predicates on nonexistent columns as a typed
+/// error instead of an index panic — the form the sharded serving path uses, so a
+/// malformed client predicate cannot abort the process.
+pub fn try_ccf_predicate_for(qt: &QueryTable) -> Result<Predicate, BridgeError> {
     let spec = spec_of(qt.table);
     let binning = production_year_binning();
     let mut conditions = vec![ColumnPredicate::Any; spec.columns.len()];
+    let check = |column: usize| -> Result<(), BridgeError> {
+        if column >= spec.columns.len() {
+            return Err(BridgeError::ColumnOutOfRange {
+                table: qt.table,
+                column,
+                num_columns: spec.columns.len(),
+            });
+        }
+        Ok(())
+    };
     for p in &qt.predicates {
         match p {
             QueryPredicate::Eq { column, value } => {
+                check(*column)?;
                 let literal = if column_is_binned(qt.table, *column) {
                     binning.bin_of(*value)
                 } else {
@@ -109,6 +254,7 @@ pub fn ccf_predicate_for(qt: &QueryTable) -> Predicate {
                 conditions[*column] = ColumnPredicate::Eq(literal);
             }
             QueryPredicate::Range { column, lo, hi } => {
+                check(*column)?;
                 conditions[*column] = if column_is_binned(qt.table, *column) {
                     binning.range_to_bins(*lo, *hi)
                 } else {
@@ -119,7 +265,7 @@ pub fn ccf_predicate_for(qt: &QueryTable) -> Predicate {
             }
         }
     }
-    Predicate::new(conditions)
+    Ok(Predicate::new(conditions))
 }
 
 #[cfg(test)]
@@ -244,6 +390,76 @@ mod tests {
             predicates: vec![],
         };
         assert!(ccf_predicate_for(&bare).is_unconstrained());
+    }
+
+    #[test]
+    fn malformed_predicates_become_typed_errors_not_panics() {
+        let db = db();
+        let title = db.table(TableId::Title);
+        // title has 2 predicate columns; column 9 is malformed client input.
+        let bad_eq = QueryPredicate::Eq {
+            column: 9,
+            value: 1,
+        };
+        let err = try_row_matches_predicate(title, 0, &bad_eq).unwrap_err();
+        assert_eq!(
+            err,
+            BridgeError::ColumnOutOfRange {
+                table: TableId::Title,
+                column: 9,
+                num_columns: 2
+            }
+        );
+        assert!(err.to_string().contains("column 9"));
+
+        let bad_qt = QueryTable {
+            table: TableId::Title,
+            predicates: vec![QueryPredicate::Range {
+                column: 7,
+                lo: 0,
+                hi: 10,
+            }],
+        };
+        assert!(try_ccf_predicate_for(&bad_qt).is_err());
+        assert!(try_row_matches_table_predicates(title, 0, &bad_qt).is_err());
+        assert!(try_row_matches_table_predicates_binned(title, 0, &bad_qt).is_err());
+
+        // Row past the end of the table is also a value, not a panic.
+        let ok_qt = QueryTable {
+            table: TableId::Title,
+            predicates: vec![QueryPredicate::Eq {
+                column: 0,
+                value: 1,
+            }],
+        };
+        let err = try_row_matches_table_predicates(title, usize::MAX, &ok_qt).unwrap_err();
+        assert!(matches!(err, BridgeError::RowOutOfRange { .. }));
+        // ... even with an empty predicate list, which is trivially true only for
+        // rows that exist.
+        let empty_qt = QueryTable {
+            table: TableId::Title,
+            predicates: vec![],
+        };
+        assert!(matches!(
+            try_row_matches_table_predicates(title, usize::MAX, &empty_qt),
+            Err(BridgeError::RowOutOfRange { .. })
+        ));
+        assert!(matches!(
+            try_row_matches_table_predicates_binned(title, usize::MAX, &empty_qt),
+            Err(BridgeError::RowOutOfRange { .. })
+        ));
+        assert_eq!(
+            try_row_matches_table_predicates(title, 0, &empty_qt),
+            Ok(true)
+        );
+
+        // Well-formed predicates agree with the infallible wrappers.
+        for row in 0..20 {
+            assert_eq!(
+                try_row_matches_table_predicates(title, row, &ok_qt).unwrap(),
+                row_matches_table_predicates(title, row, &ok_qt)
+            );
+        }
     }
 
     #[test]

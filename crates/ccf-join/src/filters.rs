@@ -67,7 +67,9 @@ impl FilterConfig {
         }
     }
 
-    fn params_for(&self, table: &SyntheticTable) -> CcfParams {
+    /// The §8-sized parameters for one table's filter (shared with the sharded bank,
+    /// which slices the bucket budget over its shards).
+    pub(crate) fn params_for(&self, table: &SyntheticTable) -> CcfParams {
         let spec = spec_of(table.id);
         let base = CcfParams {
             fingerprint_bits: self.fingerprint_bits,

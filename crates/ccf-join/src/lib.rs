@@ -16,7 +16,10 @@
 //! * [`semijoin`] — exact semijoin reducers (the "Exact Semijoin" and "Exact Semijoin
 //!   After Binning" baselines).
 //! * [`reduction`] — per-(query, base-table) instance evaluation producing the
-//!   reduction factors of Figures 6–9 and the aggregates of §10.6.
+//!   reduction factors of Figures 6–9 and the aggregates of §10.6, generic over a
+//!   [`reduction::ProbeBank`] of per-table filters.
+//! * [`sharded`] — the parallel build + probe path: per-table [`ccf_shard::ShardedCcf`]
+//!   banks built and probed with multi-threaded batch operations.
 //! * [`hash_join`] — a cuckoo-hash-table-based hash join used by the examples to show
 //!   the end-to-end effect (smaller build sides) rather than just the counts.
 
@@ -28,8 +31,14 @@ pub mod filters;
 pub mod hash_join;
 pub mod reduction;
 pub mod semijoin;
+pub mod sharded;
 
-pub use bridge::{ccf_predicate_for, row_matches_table_predicates};
+pub use bridge::{
+    ccf_predicate_for, row_matches_table_predicates, try_ccf_predicate_for, BridgeError,
+};
 pub use filters::{FilterBank, FilterConfig};
-pub use reduction::{evaluate_workload, InstanceResult, WorkloadSummary};
+pub use reduction::{
+    evaluate_workload, evaluate_workload_with, InstanceResult, ProbeBank, WorkloadSummary,
+};
 pub use semijoin::{exact_semijoin_keys, predicate_matching_keys};
+pub use sharded::{evaluate_workload_sharded, ShardConfig, ShardedFilterBank};

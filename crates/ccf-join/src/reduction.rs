@@ -19,13 +19,35 @@
 //! (total surviving rows over total predicate-qualified rows) and computes the CCF's
 //! FPR relative to the exact baselines.
 
-use ccf_core::ConditionalFilter;
+use ccf_core::{ConditionalFilter, Predicate};
 use ccf_workloads::imdb::{SyntheticImdb, TableId};
 use ccf_workloads::joblight::{JobLightQuery, JobLightWorkload};
 
 use crate::bridge::{ccf_predicate_for, row_matches_table_predicates};
 use crate::filters::FilterBank;
 use crate::semijoin::exact_semijoin_keys;
+
+/// A bank of per-table probe-able filters. The reduction pipeline is generic over
+/// this, so the same instance accounting runs against the sequential [`FilterBank`]
+/// and the sharded bank of [`crate::sharded`] (whose probes fan out over worker
+/// threads internally). Both probes must be bit-identical to a per-key loop — the
+/// contract the batch APIs guarantee.
+pub trait ProbeBank {
+    /// Key-only membership probes against `table`'s filter (the predicate-blind
+    /// "current state of the art" strategy).
+    fn key_probe(&self, table: TableId, keys: &[u64]) -> Vec<bool>;
+    /// Predicate-qualified probes against `table`'s CCF.
+    fn ccf_probe(&self, table: TableId, pred: &Predicate, keys: &[u64]) -> Vec<bool>;
+}
+
+impl ProbeBank for FilterBank {
+    fn key_probe(&self, table: TableId, keys: &[u64]) -> Vec<bool> {
+        self.table(table).key_filter.contains_batch(keys)
+    }
+    fn ccf_probe(&self, table: TableId, pred: &Predicate, keys: &[u64]) -> Vec<bool> {
+        self.table(table).ccf.query_batch(keys, pred)
+    }
+}
 
 /// Per-(query, base-table) instance counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,19 +106,37 @@ pub fn evaluate_workload(
     workload: &JobLightWorkload,
     bank: &FilterBank,
 ) -> Vec<InstanceResult> {
+    evaluate_workload_with(db, workload, bank)
+}
+
+/// Evaluate every instance of a workload against any [`ProbeBank`] implementation.
+pub fn evaluate_workload_with<B: ProbeBank>(
+    db: &SyntheticImdb,
+    workload: &JobLightWorkload,
+    bank: &B,
+) -> Vec<InstanceResult> {
     workload
         .queries
         .iter()
-        .flat_map(|query| evaluate_query(db, query, bank))
+        .flat_map(|query| evaluate_query_with(db, query, bank))
         .collect()
 }
 
-/// Evaluate the instances of a single query (one per table occurrence with at least one
-/// other table to reduce by).
+/// Evaluate the instances of a single query against the sequential filter bank.
 pub fn evaluate_query(
     db: &SyntheticImdb,
     query: &JobLightQuery,
     bank: &FilterBank,
+) -> Vec<InstanceResult> {
+    evaluate_query_with(db, query, bank)
+}
+
+/// Evaluate the instances of a single query (one per table occurrence with at least one
+/// other table to reduce by) against any [`ProbeBank`].
+pub fn evaluate_query_with<B: ProbeBank>(
+    db: &SyntheticImdb,
+    query: &JobLightQuery,
+    bank: &B,
 ) -> Vec<InstanceResult> {
     let mut out = Vec::new();
     for base in &query.tables {
@@ -151,10 +191,7 @@ pub fn evaluate_query(
             if key_survivors.is_empty() {
                 break;
             }
-            let hits = bank
-                .table(qt.table)
-                .key_filter
-                .contains_batch(&key_survivors);
+            let hits = bank.key_probe(qt.table, &key_survivors);
             key_survivors = keep_survivors(key_survivors, hits);
         }
         let mut ccf_survivors = probe_keys;
@@ -162,7 +199,7 @@ pub fn evaluate_query(
             if ccf_survivors.is_empty() {
                 break;
             }
-            let hits = bank.table(*tid).ccf.query_batch(&ccf_survivors, pred);
+            let hits = bank.ccf_probe(*tid, pred, &ccf_survivors);
             ccf_survivors = keep_survivors(ccf_survivors, hits);
         }
         let m_key_filter = key_survivors.len();

@@ -1,0 +1,89 @@
+//! The one scoped-thread fan-out primitive every parallel path in the service layer
+//! shares.
+//!
+//! Batch queries, batch inserts and the join-side bank build all need the same
+//! shape: `n` independent items, up to `W` workers, worker `w` deterministically
+//! handling items `w, w + W, w + 2W, ...` (round-robin keeps the assignment
+//! independent of timing, so runs are reproducible), results tagged with their item
+//! index so the caller can scatter them back. Keeping the load-bearing concurrency
+//! in one function means one place to reason about panics, worker counts and the
+//! sequential fast path.
+
+/// Run `work(item)` for every item in `0..num_items` on up to `workers` scoped
+/// threads and return the produced results tagged by item index, in unspecified
+/// order. Items for which `work` returns `None` (e.g. empty per-shard chunks)
+/// produce nothing. With `workers <= 1` everything runs on the calling thread, in
+/// item order, with no spawn overhead.
+///
+/// `work` runs concurrently on multiple threads; a panicking `work` call propagates
+/// as a panic here (after the scope joins the remaining workers).
+pub fn fan_out_indexed<T: Send>(
+    num_items: usize,
+    workers: usize,
+    work: impl Fn(usize) -> Option<T> + Sync,
+) -> Vec<(usize, T)> {
+    let workers = workers.clamp(1, num_items.max(1));
+    if workers <= 1 {
+        return (0..num_items)
+            .filter_map(|i| work(i).map(|r| (i, r)))
+            .collect();
+    }
+    let mut out = Vec::with_capacity(num_items);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let work = &work;
+                scope.spawn(move || {
+                    let mut produced = Vec::new();
+                    let mut i = w;
+                    while i < num_items {
+                        if let Some(r) = work(i) {
+                            produced.push((i, r));
+                        }
+                        i += workers;
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("fan-out worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_item_exactly_once() {
+        for workers in [1, 2, 3, 8, 100] {
+            let mut results = fan_out_indexed(17, workers, |i| Some(i * i));
+            results.sort_unstable();
+            assert_eq!(results.len(), 17, "workers = {workers}");
+            for (i, (idx, sq)) in results.iter().enumerate() {
+                assert_eq!((*idx, *sq), (i, i * i));
+            }
+        }
+    }
+
+    #[test]
+    fn none_items_are_skipped() {
+        let results = fan_out_indexed(10, 4, |i| (i % 2 == 0).then_some(i));
+        assert_eq!(results.len(), 5);
+        assert!(results.iter().all(|(i, v)| i == v && i % 2 == 0));
+    }
+
+    #[test]
+    fn zero_items_is_a_no_op() {
+        assert!(fan_out_indexed(0, 4, |_| Some(())).is_empty());
+    }
+
+    #[test]
+    fn sequential_path_preserves_item_order() {
+        let results = fan_out_indexed(6, 1, Some);
+        assert_eq!(results, (0..6).map(|i| (i, i)).collect::<Vec<_>>());
+    }
+}

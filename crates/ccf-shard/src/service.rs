@@ -1,0 +1,468 @@
+//! The sharded conditional-filter service.
+//!
+//! A [`ShardedCcf`] partitions the keyspace over `N` independent [`AnyCcf`] shards by
+//! the dedicated shard hash ([`crate::router::ShardRouter`]). Each shard sits behind
+//! its own [`RwLock`], so:
+//!
+//! * point reads (`query`, `contains_key`) on different shards never contend;
+//! * writers block only the one shard they touch, and per-shard `auto_grow` doublings
+//!   happen under that single shard's write lock while the other `N − 1` shards keep
+//!   serving;
+//! * batch operations route keys to per-shard chunks and fan the chunks out over
+//!   [`std::thread::scope`] workers — no dependencies, no global stop-the-world.
+//!
+//! **Determinism contract.** Partitioning preserves each key's relative order within
+//! its shard, shards share no state, and every shard runs the PR 2 chunked two-pass
+//! batch kernels. Batch results are therefore *bit-identical* to a sequential per-key
+//! loop over the same `ShardedCcf`, regardless of shard count, worker count, or how
+//! the scheduler interleaves workers. Inserts are deterministic too: the state after
+//! `insert_batch` equals the state after inserting the same rows one by one.
+
+use std::sync::RwLock;
+
+use ccf_core::{
+    AnyCcf, CcfParams, ConditionalFilter, InsertFailure, InsertOutcome, Predicate, VariantKind,
+};
+
+use crate::fanout::fan_out_indexed;
+use crate::router::ShardRouter;
+use crate::stats::{ShardSnapshot, ShardStats};
+
+/// A sharded, thread-safe conditional cuckoo filter service.
+///
+/// All operations take `&self`; interior locking is per shard. See the module docs for
+/// the determinism contract.
+#[derive(Debug)]
+pub struct ShardedCcf {
+    router: ShardRouter,
+    shards: Vec<RwLock<AnyCcf>>,
+    threads: usize,
+}
+
+/// Read guard errors are invariant violations (a worker panicked while holding the
+/// write lock); surface them with context instead of a bare unwrap.
+const POISONED: &str = "shard lock poisoned: a writer panicked mid-mutation";
+
+impl ShardedCcf {
+    /// Build a service of `num_shards` identical shards of the given variant. Each
+    /// shard gets `shard_params` verbatim (so `num_buckets` etc. are *per shard*);
+    /// use [`CcfParams::sized_for_entries`] on the per-shard expected entry count, or
+    /// [`ShardedCcf::sized_for_entries`] to size from a service-wide total. Enable
+    /// `shard_params.auto_grow` to let each shard double independently under load.
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0` (via [`ShardRouter::new`]) or the params are
+    /// invalid (via the shard constructor).
+    pub fn new(kind: VariantKind, shard_params: CcfParams, num_shards: usize) -> Self {
+        let shards = (0..num_shards)
+            .map(|_| RwLock::new(AnyCcf::new(kind, shard_params)))
+            .collect();
+        Self {
+            router: ShardRouter::new(shard_params.seed, num_shards),
+            shards,
+            threads: num_shards,
+        }
+    }
+
+    /// Build a service sized for a *service-wide* expected entry count at the target
+    /// per-shard load factor: each shard is sized for its `1/num_shards` slice.
+    pub fn sized_for_entries(
+        kind: VariantKind,
+        shard_params: CcfParams,
+        num_shards: usize,
+        total_entries: usize,
+        target_load_factor: f64,
+    ) -> Self {
+        let per_shard = total_entries.div_ceil(num_shards.max(1));
+        Self::new(
+            kind,
+            shard_params.sized_for_entries(per_shard.max(1), target_load_factor),
+            num_shards,
+        )
+    }
+
+    /// Build a service from pre-constructed shards (heterogeneous variants or
+    /// per-shard configs are allowed). `router_seed` must be the seed the keys were —
+    /// or will be — routed with; pass the same seed used by [`ShardedCcf::new`]
+    /// (`shard_params.seed`) to stay compatible.
+    pub fn from_shards(filters: Vec<AnyCcf>, router_seed: u64) -> Self {
+        let num_shards = filters.len();
+        Self {
+            router: ShardRouter::new(router_seed, num_shards),
+            shards: filters.into_iter().map(RwLock::new).collect(),
+            threads: num_shards.max(1),
+        }
+    }
+
+    /// Cap the number of worker threads batch operations fan out over (default: one
+    /// per shard). A cap of 1 makes every batch operation run sequentially on the
+    /// calling thread — useful as the reference in equivalence tests.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// Set the worker-thread cap (see [`ShardedCcf::with_threads`]).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.clamp(1, self.shards.len());
+    }
+
+    /// The worker-thread cap for batch operations.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The key router (e.g. for building a shard-by-shard reference in tests).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The shard index a key is served by.
+    pub fn shard_of(&self, key: u64) -> usize {
+        self.router.shard_of(key)
+    }
+
+    /// Run a closure against a read-locked shard.
+    pub fn with_shard<T>(&self, shard: usize, f: impl FnOnce(&AnyCcf) -> T) -> T {
+        f(&self.shards[shard].read().expect(POISONED))
+    }
+
+    /// Insert a row, write-locking only the key's shard.
+    pub fn insert(&self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
+        self.shards[self.router.shard_of(key)]
+            .write()
+            .expect(POISONED)
+            .insert_row(key, attrs)
+    }
+
+    /// Query a key under a predicate, read-locking only the key's shard.
+    pub fn query(&self, key: u64, pred: &Predicate) -> bool {
+        self.shards[self.router.shard_of(key)]
+            .read()
+            .expect(POISONED)
+            .query(key, pred)
+    }
+
+    /// Key-only membership, read-locking only the key's shard.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.shards[self.router.shard_of(key)]
+            .read()
+            .expect(POISONED)
+            .contains_key(key)
+    }
+
+    /// How many workers a batch over the given per-shard chunk sizes should use.
+    fn workers_for(&self, non_empty_chunks: usize) -> usize {
+        self.threads.min(non_empty_chunks).max(1)
+    }
+
+    /// Fan per-shard chunks out over [`fan_out_indexed`] workers, read-locking each
+    /// shard once per chunk. Returns per-shard results.
+    fn fan_out_read<T: Send>(
+        &self,
+        chunks: &[Vec<u64>],
+        probe: impl Fn(&AnyCcf, &[u64]) -> Vec<T> + Sync,
+    ) -> Vec<Vec<T>> {
+        let non_empty = chunks.iter().filter(|c| !c.is_empty()).count();
+        let produced = fan_out_indexed(chunks.len(), self.workers_for(non_empty), |s| {
+            (!chunks[s].is_empty())
+                .then(|| probe(&self.shards[s].read().expect(POISONED), &chunks[s]))
+        });
+        let mut results: Vec<Vec<T>> = Vec::new();
+        results.resize_with(chunks.len(), Vec::new);
+        for (s, shard_results) in produced {
+            results[s] = shard_results;
+        }
+        results
+    }
+
+    /// Batched predicate query. Bit-identical to a per-key [`ShardedCcf::query`] loop
+    /// (see the module docs); runs shards on up to [`ShardedCcf::threads`] workers.
+    pub fn query_batch(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
+        let part = self.router.partition(keys);
+        let results = self.fan_out_read(&part.chunks, |filter, chunk| {
+            filter.query_batch(chunk, pred)
+        });
+        part.scatter(&results, keys.len())
+    }
+
+    /// Batched key-only membership. Bit-identical to a per-key
+    /// [`ShardedCcf::contains_key`] loop.
+    pub fn contains_key_batch(&self, keys: &[u64]) -> Vec<bool> {
+        let part = self.router.partition(keys);
+        let results = self.fan_out_read(&part.chunks, |filter, chunk| {
+            filter.contains_key_batch(chunk)
+        });
+        part.scatter(&results, keys.len())
+    }
+
+    /// Batched insert: rows are routed to their shards and each shard absorbs its
+    /// rows in their relative input order under one write-lock acquisition, fanned out
+    /// over up to [`ShardedCcf::threads`] workers. Per-row outcomes come back in input
+    /// order, and the resulting filter state is identical to a sequential per-row
+    /// [`ShardedCcf::insert`] loop.
+    pub fn insert_batch<A>(&self, rows: &[(u64, A)]) -> Vec<Result<InsertOutcome, InsertFailure>>
+    where
+        A: AsRef<[u64]> + Sync,
+    {
+        let mut row_indices: Vec<Vec<usize>> = vec![Vec::new(); self.num_shards()];
+        for (i, (key, _)) in rows.iter().enumerate() {
+            row_indices[self.router.shard_of(*key)].push(i);
+        }
+        let non_empty = row_indices.iter().filter(|c| !c.is_empty()).count();
+        let produced = fan_out_indexed(row_indices.len(), self.workers_for(non_empty), |s| {
+            let indices = &row_indices[s];
+            (!indices.is_empty()).then(|| {
+                let mut guard = self.shards[s].write().expect(POISONED);
+                indices
+                    .iter()
+                    .map(|&i| (i, guard.insert_row(rows[i].0, rows[i].1.as_ref())))
+                    .collect::<Vec<_>>()
+            })
+        });
+        let mut results: Vec<Option<Result<InsertOutcome, InsertFailure>>> = vec![None; rows.len()];
+        for (_, shard_outcomes) in produced {
+            for (i, outcome) in shard_outcomes {
+                results[i] = Some(outcome);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every row is routed to exactly one shard"))
+            .collect()
+    }
+
+    /// Total occupied entries across shards.
+    pub fn occupied_entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect(POISONED).occupied_entries())
+            .sum()
+    }
+
+    /// Total serialized size in bits.
+    pub fn size_bits(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect(POISONED).size_bits())
+            .sum()
+    }
+
+    /// Service-wide load factor.
+    pub fn load_factor(&self) -> f64 {
+        self.stats().load_factor()
+    }
+
+    /// Snapshot service-wide metrics: merged occupancy, per-shard growth history and
+    /// expected key-only FPRs (§7.1), aggregated via [`ShardStats`]. Shards are
+    /// snapshotted one at a time, so the result is per-shard consistent but not a
+    /// global atomic cut — fine for monitoring, which is its purpose.
+    pub fn stats(&self) -> ShardStats {
+        let snapshots = self
+            .shards
+            .iter()
+            .map(|lock| {
+                let f = lock.read().expect(POISONED);
+                let p = f.params();
+                ShardSnapshot {
+                    occupancy: f.occupancy(),
+                    growth: f.growth_stats(),
+                    size_bits: f.size_bits(),
+                    expected_key_fpr: ccf_core::fpr::key_only_fpr(
+                        2.0 * f.load_factor() * p.entries_per_bucket as f64,
+                        p.fingerprint_bits,
+                    ),
+                }
+            })
+            .collect();
+        ShardStats::aggregate(snapshots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard_params(seed: u64) -> CcfParams {
+        CcfParams {
+            num_buckets: 1 << 7,
+            num_attrs: 2,
+            seed,
+            ..CcfParams::default()
+        }
+    }
+
+    fn rows(n: u64) -> Vec<(u64, [u64; 2])> {
+        (0..n)
+            .map(|k| (k.wrapping_mul(0x9E37), [k % 5, k % 9]))
+            .collect()
+    }
+
+    #[test]
+    fn point_ops_route_and_round_trip() {
+        let service = ShardedCcf::new(VariantKind::Chained, shard_params(3), 4);
+        for (key, attrs) in rows(500) {
+            service.insert(key, &attrs).unwrap();
+        }
+        for (key, attrs) in rows(500) {
+            assert!(service.contains_key(key));
+            let pred = Predicate::any(2).and_eq(0, attrs[0]).and_eq(1, attrs[1]);
+            assert!(service.query(key, &pred), "false negative for {key}");
+            assert!(service.shard_of(key) < 4);
+        }
+    }
+
+    #[test]
+    fn batch_results_are_bit_identical_to_per_key_loops() {
+        for threads in [1, 2, 4] {
+            for shards in [1, 3, 4] {
+                let service = ShardedCcf::new(
+                    VariantKind::Chained,
+                    CcfParams {
+                        num_buckets: 1 << 8,
+                        ..shard_params(11)
+                    },
+                    shards,
+                )
+                .with_threads(threads);
+                let data = rows(800);
+                let outcomes = service.insert_batch(&data);
+                assert!(outcomes.iter().all(|o| o.is_ok()));
+                // Mixed hit/miss probe stream.
+                let keys: Vec<u64> = (0..2000u64)
+                    .map(|i| {
+                        if i % 2 == 0 {
+                            data[(i as usize / 2) % data.len()].0
+                        } else {
+                            u64::MAX - i
+                        }
+                    })
+                    .collect();
+                let pred = Predicate::any(2).and_eq(0, 2);
+                let batched = service.query_batch(&keys, &pred);
+                let contained = service.contains_key_batch(&keys);
+                for (i, &k) in keys.iter().enumerate() {
+                    assert_eq!(batched[i], service.query(k, &pred), "{shards}x{threads}");
+                    assert_eq!(contained[i], service.contains_key(k), "{shards}x{threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_batch_state_matches_sequential_inserts() {
+        let data = rows(600);
+        let parallel = ShardedCcf::new(VariantKind::Chained, shard_params(5), 4).with_threads(4);
+        parallel.insert_batch(&data);
+        let sequential = ShardedCcf::new(VariantKind::Chained, shard_params(5), 4).with_threads(1);
+        for (key, attrs) in &data {
+            sequential.insert(*key, attrs).unwrap();
+        }
+        assert_eq!(parallel.occupied_entries(), sequential.occupied_entries());
+        let probes: Vec<u64> = (0..5000).collect();
+        assert_eq!(
+            parallel.contains_key_batch(&probes),
+            sequential.contains_key_batch(&probes),
+            "parallel and sequential inserts must build identical filters"
+        );
+    }
+
+    #[test]
+    fn per_shard_auto_grow_under_batch_inserts() {
+        let params = CcfParams {
+            num_buckets: 1 << 4,
+            num_attrs: 1,
+            seed: 17,
+            ..CcfParams::default()
+        }
+        .with_auto_grow();
+        let service = ShardedCcf::new(VariantKind::Chained, params, 4).with_threads(4);
+        // 4x the total sized capacity forces every shard to double at least once.
+        let total = 4 * 4 * (1 << 4) * 6;
+        let data: Vec<(u64, [u64; 1])> = (0..total as u64).map(|k| (k, [k % 3])).collect();
+        let outcomes = service.insert_batch(&data);
+        assert!(
+            outcomes.iter().all(|o| o.is_ok()),
+            "auto-grow shards must absorb the whole stream"
+        );
+        let stats = service.stats();
+        assert!(
+            stats.total_doublings() >= 4,
+            "expected growth in every shard"
+        );
+        for (key, _) in &data {
+            assert!(service.contains_key(*key), "key {key} lost after growth");
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_shard_metrics() {
+        let service = ShardedCcf::new(VariantKind::Chained, shard_params(23), 8);
+        let data = rows(1000);
+        service.insert_batch(&data);
+        let stats = service.stats();
+        assert_eq!(stats.num_shards(), 8);
+        assert_eq!(stats.occupied_entries(), service.occupied_entries());
+        assert_eq!(stats.total_size_bits, service.size_bits());
+        assert!(stats.load_factor() > 0.0);
+        assert!(stats.expected_key_fpr() > 0.0);
+        assert!(stats.load_imbalance() >= 1.0);
+        // Uniform routing keeps shards reasonably balanced even at this small scale.
+        assert!(
+            stats.load_imbalance() < 2.0,
+            "shards look skewed: {:?}",
+            stats
+                .shards
+                .iter()
+                .map(|s| s.occupancy.occupied)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_shards_via_from_shards() {
+        // Different variants AND different bucket widths per shard: stats() must
+        // aggregate with exact per-shard capacities, not a merged width.
+        let filters = vec![
+            AnyCcf::new(VariantKind::Chained, shard_params(31)),
+            AnyCcf::new(VariantKind::Bloom, shard_params(31)),
+            AnyCcf::new(
+                VariantKind::Mixed,
+                CcfParams {
+                    entries_per_bucket: 4,
+                    max_dupes: 2,
+                    ..shard_params(31)
+                },
+            ),
+        ];
+        let service = ShardedCcf::from_shards(filters, 31);
+        assert_eq!(service.num_shards(), 3);
+        for (key, attrs) in rows(300) {
+            service.insert(key, &attrs).unwrap();
+        }
+        for (key, _) in rows(300) {
+            assert!(service.contains_key(key));
+        }
+        assert_eq!(service.with_shard(1, |f| f.kind()), VariantKind::Bloom);
+        let stats = service.stats();
+        let exact_capacity: usize = (0..3)
+            .map(|s| service.with_shard(s, |f| f.occupancy().capacity()))
+            .sum();
+        assert_eq!(stats.total_capacity, exact_capacity);
+        assert!(stats.load_factor() > 0.0 && stats.load_factor() <= 1.0);
+    }
+
+    #[test]
+    fn thread_cap_is_clamped() {
+        let mut service = ShardedCcf::new(VariantKind::Chained, shard_params(1), 3);
+        service.set_threads(100);
+        assert_eq!(service.threads(), 3);
+        service.set_threads(0);
+        assert_eq!(service.threads(), 1);
+    }
+}

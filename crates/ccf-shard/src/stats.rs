@@ -1,0 +1,193 @@
+//! Service-wide metrics aggregation over shards.
+//!
+//! Each shard is an ordinary [`ccf_core::AnyCcf`], so per-shard metrics come in the
+//! existing [`ccf_cuckoo::metrics`] vocabulary ([`OccupancyStats`], [`GrowthStats`]).
+//! [`ShardStats`] merges them into one service-wide summary plus the per-shard
+//! breakdown an operator needs to spot imbalance (a hot shard growing ahead of the
+//! others is the sharded analogue of a filter nearing kick exhaustion).
+
+use ccf_cuckoo::{GrowthStats, OccupancyStats};
+
+/// One shard's metrics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSnapshot {
+    /// Bucket occupancy of the shard.
+    pub occupancy: OccupancyStats,
+    /// Resize history of the shard.
+    pub growth: GrowthStats,
+    /// Serialized size of the shard in bits.
+    pub size_bits: usize,
+    /// The shard's expected key-only false-positive rate at its current load (§7.1).
+    pub expected_key_fpr: f64,
+}
+
+/// Aggregated metrics for a sharded filter service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Per-shard snapshots, in shard order.
+    pub shards: Vec<ShardSnapshot>,
+    /// Occupancy merged across all shards (field-wise sums over disjoint buckets).
+    /// With heterogeneous shard widths its `capacity()` is an upper bound; the exact
+    /// service-wide slot count is [`ShardStats::total_capacity`].
+    pub occupancy: OccupancyStats,
+    /// Exact total slot capacity: the sum of per-shard capacities, correct even when
+    /// shards use different `entries_per_bucket` (heterogeneous banks built via
+    /// `ShardedCcf::from_shards`).
+    pub total_capacity: usize,
+    /// Total serialized size in bits.
+    pub total_size_bits: usize,
+}
+
+impl ShardStats {
+    /// Aggregate per-shard snapshots into service-wide stats.
+    pub fn aggregate(shards: Vec<ShardSnapshot>) -> Self {
+        assert!(
+            !shards.is_empty(),
+            "a sharded filter has at least one shard"
+        );
+        let occupancy = shards
+            .iter()
+            .skip(1)
+            .fold(shards[0].occupancy, |acc, s| acc.merge(&s.occupancy));
+        let total_capacity = shards.iter().map(|s| s.occupancy.capacity()).sum();
+        let total_size_bits = shards.iter().map(|s| s.size_bits).sum();
+        Self {
+            shards,
+            occupancy,
+            total_capacity,
+            total_size_bits,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Service-wide load factor: occupied slots over the exact summed capacity.
+    pub fn load_factor(&self) -> f64 {
+        if self.total_capacity == 0 {
+            0.0
+        } else {
+            self.occupancy.occupied as f64 / self.total_capacity as f64
+        }
+    }
+
+    /// Total occupied entries across shards.
+    pub fn occupied_entries(&self) -> usize {
+        self.occupancy.occupied
+    }
+
+    /// Total capacity doublings applied across shards.
+    pub fn total_doublings(&self) -> u32 {
+        self.shards.iter().map(|s| s.growth.growth_bits).sum()
+    }
+
+    /// Load factor of the fullest shard.
+    pub fn max_shard_load(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| s.occupancy.load_factor())
+            .fold(0.0, f64::max)
+    }
+
+    /// Load factor of the emptiest shard.
+    pub fn min_shard_load(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| s.occupancy.load_factor())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Ratio of the fullest shard's load to the mean load (1.0 = perfectly balanced).
+    /// Routing by an independent hash keeps this near 1 for non-adversarial keys.
+    pub fn load_imbalance(&self) -> f64 {
+        let mean = self.load_factor();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_shard_load() / mean
+        }
+    }
+
+    /// Expected key-only FPR of the whole service: the mean of per-shard rates. Shard
+    /// routing is uniform, so a random absent key probes each shard with equal
+    /// probability and the service FPR is the unweighted mean.
+    pub fn expected_key_fpr(&self) -> f64 {
+        self.shards.iter().map(|s| s.expected_key_fpr).sum::<f64>() / self.shards.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(counts: Vec<usize>, b: usize, growth_bits: u32, fpr: f64) -> ShardSnapshot {
+        let occupancy = OccupancyStats::from_counts(counts, b);
+        ShardSnapshot {
+            occupancy,
+            growth: GrowthStats {
+                base_buckets: occupancy.num_buckets >> growth_bits,
+                current_buckets: occupancy.num_buckets,
+                growth_bits,
+            },
+            size_bits: occupancy.capacity() * 16,
+            expected_key_fpr: fpr,
+        }
+    }
+
+    #[test]
+    fn aggregate_merges_occupancy_and_sums_sizes() {
+        let stats = ShardStats::aggregate(vec![
+            snapshot(vec![4, 4, 0, 2], 4, 1, 0.01),
+            snapshot(vec![1, 1, 1, 1], 4, 0, 0.03),
+        ]);
+        assert_eq!(stats.num_shards(), 2);
+        assert_eq!(stats.occupancy.num_buckets, 8);
+        assert_eq!(stats.occupied_entries(), 14);
+        assert_eq!(stats.total_size_bits, 2 * 16 * 16);
+        assert_eq!(stats.total_doublings(), 1);
+        assert!((stats.load_factor() - 14.0 / 32.0).abs() < 1e-12);
+        assert!((stats.expected_key_fpr() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        let stats = ShardStats::aggregate(vec![
+            snapshot(vec![4, 4], 4, 0, 0.0),
+            snapshot(vec![0, 0], 4, 0, 0.0),
+        ]);
+        assert!((stats.max_shard_load() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.min_shard_load(), 0.0);
+        assert!((stats.load_imbalance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_service_is_balanced_by_definition() {
+        let stats = ShardStats::aggregate(vec![snapshot(vec![0, 0], 4, 0, 0.0)]);
+        assert_eq!(stats.load_imbalance(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn aggregate_rejects_zero_shards() {
+        let _ = ShardStats::aggregate(Vec::new());
+    }
+
+    #[test]
+    fn heterogeneous_bucket_widths_use_exact_capacity() {
+        // One shard with b = 4 (2 buckets, 6 occupied), one with b = 8 (2 buckets,
+        // 8 occupied): the exact capacity is 2·4 + 2·8 = 24, not 4·8 = 32.
+        let stats = ShardStats::aggregate(vec![
+            snapshot(vec![4, 2], 4, 0, 0.01),
+            snapshot(vec![8, 0], 8, 0, 0.01),
+        ]);
+        assert_eq!(stats.total_capacity, 24);
+        assert_eq!(stats.occupied_entries(), 14);
+        assert!((stats.load_factor() - 14.0 / 24.0).abs() < 1e-12);
+        // The merged OccupancyStats capacity is only an upper bound here.
+        assert!(stats.occupancy.capacity() >= stats.total_capacity);
+        // Imbalance stays finite and >= 1 (per-shard loads 0.75 and 0.5).
+        assert!(stats.load_imbalance() >= 1.0);
+    }
+}
