@@ -8,11 +8,14 @@ use std::hint::black_box;
 
 use ccf_bench::joblight_experiments::JobLightContext;
 use ccf_core::sizing::VariantKind;
-use ccf_core::ConditionalFilter;
+use ccf_core::{AnyCcf, ConditionalFilter};
 use ccf_join::bridge::{ccf_attrs_for_row, ccf_predicate_for};
 use ccf_join::filters::{FilterBank, FilterConfig};
 use ccf_join::reduction::evaluate_query;
+use ccf_shard::ShardedCcf;
 use ccf_workloads::imdb::TableId;
+use ccf_workloads::multiset::DuplicateDistribution;
+use ccf_workloads::strkeys::StringKeyStream;
 
 fn context() -> JobLightContext {
     JobLightContext::generate(512, 0xBE7C)
@@ -112,9 +115,76 @@ fn bench_single_table_probe(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `u64` surrogate of a string key: its numeric suffix, mixed. Gives the u64
+/// baseline the *identical* workload shape (same duplicate structure on insertion,
+/// same hit/miss pattern on probing) so the measured delta is the `FilterKey`
+/// lowering cost, not a probe-mix difference.
+fn surrogate(key: &str) -> u64 {
+    key.rsplit('-')
+        .next()
+        .and_then(|n| n.parse::<u64>().ok())
+        .expect("stream keys end in a numeric suffix")
+        .wrapping_mul(0x9E3779B97F4A7C15)
+}
+
+/// Typed-key probe cost: the same batched probe stream keyed by `u64` surrogates
+/// (identity lowering) versus strings (lookup3 lowering), through a single filter and
+/// through the sharded service — quantifying what the `FilterKey` layer costs when
+/// join keys arrive as the strings the paper's deployments actually join on.
+fn bench_string_keys(c: &mut Criterion) {
+    let stream = StringKeyStream::new("user", DuplicateDistribution::zipf_with_mean(3.0), 2, 0xCCF);
+    let rows = stream.generate(20_000);
+    let probes = stream.probes(8_000, 20_000);
+    let probe_refs: Vec<&str> = probes.iter().map(String::as_str).collect();
+    let u64_probes: Vec<u64> = probes.iter().map(|p| surrogate(p)).collect();
+
+    let build = AnyCcf::builder()
+        .variant(VariantKind::Mixed)
+        .num_attrs(2)
+        .expected_rows(rows.len())
+        .auto_grow()
+        .seed(7);
+    let mut filter = build.build().expect("builder params are valid");
+    let mut u64_filter = build.build().expect("builder params are valid");
+    for r in &rows {
+        filter
+            .insert_row(r.key.as_str(), &r.attrs)
+            .expect("auto-grow filter absorbs the stream");
+        u64_filter
+            .insert_row(surrogate(&r.key), &r.attrs)
+            .expect("auto-grow filter absorbs the surrogate stream");
+    }
+    let sharded = ShardedCcf::try_new(
+        VariantKind::Mixed,
+        filter.params().sized_for_entries(rows.len() / 4, 0.85),
+        4,
+    )
+    .expect("shard params are valid");
+    let sharded_outcomes = sharded.insert_batch(
+        &rows
+            .iter()
+            .map(|r| (r.key.as_str(), r.attrs.as_slice()))
+            .collect::<Vec<_>>(),
+    );
+    assert!(sharded_outcomes.iter().all(|o| o.is_ok()));
+
+    let mut group = c.benchmark_group("string_keys");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("contains_batch/u64", |b| {
+        b.iter(|| black_box(u64_filter.contains_key_batch(black_box(&u64_probes))))
+    });
+    group.bench_function("contains_batch/str", |b| {
+        b.iter(|| black_box(filter.contains_key_batch(black_box(&probe_refs))))
+    });
+    group.bench_function("contains_batch/str_sharded", |b| {
+        b.iter(|| black_box(sharded.contains_key_batch(black_box(&probe_refs))))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_bank_build, bench_scan_reduction, bench_single_table_probe
+    targets = bench_bank_build, bench_scan_reduction, bench_single_table_probe, bench_string_keys
 }
 criterion_main!(benches);

@@ -5,13 +5,15 @@
 //! honest wall-clock measurements:
 //!
 //! 1. **Batched probing** — how much throughput does splitting a probe loop into a
-//!    hash pass plus a probe pass buy ([`probe_comparison`])? The comparison also
-//!    cross-checks that the batched results are bit-identical to the per-key loop,
-//!    which is the correctness contract of the batch API.
+//!    hash pass plus a probe pass buy ([`cuckoo_probe_comparison`],
+//!    [`ccf_probe_comparison`])? The comparison also cross-checks that the batched
+//!    results are bit-identical to the per-key loop, which is the correctness
+//!    contract of the batch API.
 //! 2. **Growth cost** — what does it cost to insert into a filter sized for `n` until
 //!    it holds `factor·n` keys with `auto_grow` doing the doubling
-//!    ([`growth_experiment`])? The report counts doublings and verifies the zero
-//!    failure / zero false-negative contract along the way.
+//!    ([`cuckoo_growth_experiment`], [`ccf_growth_experiment`])? The report counts
+//!    doublings and verifies the zero failure / zero false-negative contract along
+//!    the way.
 
 use std::time::Instant;
 

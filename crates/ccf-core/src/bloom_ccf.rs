@@ -21,8 +21,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::attr::match_raw_bloom;
+use crate::key::FilterKey;
 use crate::outcome::{InsertFailure, InsertOutcome};
-use crate::params::CcfParams;
+use crate::params::{CcfParams, ParamsError};
 use crate::predicate::Predicate;
 
 /// Maximum kick rounds before an insertion is reported as failed.
@@ -44,6 +45,7 @@ pub struct BloomCcf {
     fingerprinter: Fingerprinter,
     partial_hasher: SaltedHasher,
     bloom_family: HashFamily,
+    key_lower: SaltedHasher,
     rng: StdRng,
     occupied: usize,
     rows_absorbed: usize,
@@ -51,25 +53,41 @@ pub struct BloomCcf {
 
 impl BloomCcf {
     /// Create an empty filter. `params.num_buckets` is rounded up to a power of two.
-    pub fn new(mut params: CcfParams) -> Self {
+    ///
+    /// # Panics
+    /// Panics on impossible parameters; use [`BloomCcf::try_new`] (or the
+    /// [`crate::CcfBuilder`] facade) to get a [`ParamsError`] instead.
+    pub fn new(params: CcfParams) -> Self {
+        Self::try_new(params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Create an empty filter, reporting impossible parameters as a [`ParamsError`].
+    /// `params.num_buckets` is rounded up to a power of two.
+    pub fn try_new(mut params: CcfParams) -> Result<Self, ParamsError> {
         params.num_buckets = params.num_buckets.next_power_of_two().max(1);
-        params.validate();
-        assert!(
-            params.bloom_bits > 0,
-            "bloom_bits must be positive for the Bloom variant"
-        );
+        params.try_validate()?;
+        if params.bloom_bits == 0 {
+            return Err(ParamsError::ZeroBloomBits);
+        }
         let family = HashFamily::new(params.seed);
-        Self {
+        Ok(Self {
             buckets: vec![Vec::new(); params.num_buckets],
             bucket_mask: params.num_buckets - 1,
             fingerprinter: Fingerprinter::new(&family, params.fingerprint_bits),
             partial_hasher: family.hasher(ccf_hash::salted::purpose::PARTIAL_KEY),
             bloom_family: family.subfamily(7),
+            key_lower: family.hasher(ccf_hash::salted::purpose::KEY_LOWER),
             rng: StdRng::seed_from_u64(params.seed ^ 0xB100),
             occupied: 0,
             rows_absorbed: 0,
             params,
-        }
+        })
+    }
+
+    /// The hasher typed keys are lowered with ([`FilterKey::lower`]); see
+    /// [`crate::key`] for the prehashed-key contract.
+    pub fn key_lower_hasher(&self) -> SaltedHasher {
+        self.key_lower
     }
 
     /// The filter's parameters (with `num_buckets` normalized).
@@ -135,14 +153,23 @@ impl BloomCcf {
 
     /// Insert a row. Rows whose key fingerprint is already present in the bucket pair
     /// are merged into the existing entry's Bloom sketch.
-    pub fn insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
-        assert_eq!(
-            attrs.len(),
-            self.params.num_attrs,
-            "row has {} attributes, filter expects {}",
-            attrs.len(),
-            self.params.num_attrs
-        );
+    pub fn insert_row<K: FilterKey>(
+        &mut self,
+        key: K,
+        attrs: &[u64],
+    ) -> Result<InsertOutcome, InsertFailure> {
+        let key = key.lower(&self.key_lower);
+        self.insert_row_prehashed(key, attrs)
+    }
+
+    /// [`BloomCcf::insert_row`] on already-lowered key material (see
+    /// [`BloomCcf::key_lower_hasher`]). For `u64` keys the two are identical.
+    pub fn insert_row_prehashed(
+        &mut self,
+        key: u64,
+        attrs: &[u64],
+    ) -> Result<InsertOutcome, InsertFailure> {
+        self.params.check_arity(attrs)?;
         let (fp, l) = self
             .fingerprinter
             .fingerprint_and_bucket(key, self.buckets.len());
@@ -200,7 +227,12 @@ impl BloomCcf {
     /// Query for a key under a predicate (Algorithm 1): true if some entry in the key's
     /// bucket pair carries the key's fingerprint and its Bloom sketch matches every
     /// constrained column.
-    pub fn query(&self, key: u64, pred: &Predicate) -> bool {
+    pub fn query<K: FilterKey>(&self, key: K, pred: &Predicate) -> bool {
+        self.query_prehashed(key.lower(&self.key_lower), pred)
+    }
+
+    /// [`BloomCcf::query`] on already-lowered key material.
+    pub fn query_prehashed(&self, key: u64, pred: &Predicate) -> bool {
         let (fp, l, l_alt) = self.pair_of(key);
         self.query_pair(fp, l, l_alt, pred)
     }
@@ -218,7 +250,13 @@ impl BloomCcf {
 
     /// Batched predicate query: bit-identical to calling [`BloomCcf::query`] per key,
     /// using the chunked two-pass driver ([`ccf_cuckoo::geometry::probe_chunked`]).
-    pub fn query_batch(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
+    /// `u64` key batches are lowered copy-free.
+    pub fn query_batch<K: FilterKey>(&self, keys: &[K], pred: &Predicate) -> Vec<bool> {
+        self.query_batch_prehashed(&K::lower_batch(keys, &self.key_lower), pred)
+    }
+
+    /// [`BloomCcf::query_batch`] on already-lowered key material.
+    pub fn query_batch_prehashed(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
         probe_chunked(
             keys,
             |key| self.pair_of(key),
@@ -227,7 +265,12 @@ impl BloomCcf {
     }
 
     /// Key-only membership query — identical to a regular cuckoo filter (§7.1).
-    pub fn contains_key(&self, key: u64) -> bool {
+    pub fn contains_key<K: FilterKey>(&self, key: K) -> bool {
+        self.contains_key_prehashed(key.lower(&self.key_lower))
+    }
+
+    /// [`BloomCcf::contains_key`] on already-lowered key material.
+    pub fn contains_key_prehashed(&self, key: u64) -> bool {
         let (fp, l) = self
             .fingerprinter
             .fingerprint_and_bucket(key, self.buckets.len());
@@ -236,7 +279,12 @@ impl BloomCcf {
     }
 
     /// Batched key-only membership query (see [`BloomCcf::query_batch`]).
-    pub fn contains_key_batch(&self, keys: &[u64]) -> Vec<bool> {
+    pub fn contains_key_batch<K: FilterKey>(&self, keys: &[K]) -> Vec<bool> {
+        self.contains_key_batch_prehashed(&K::lower_batch(keys, &self.key_lower))
+    }
+
+    /// [`BloomCcf::contains_key_batch`] on already-lowered key material.
+    pub fn contains_key_batch_prehashed(&self, keys: &[u64]) -> Vec<bool> {
         probe_chunked(
             keys,
             |key| self.pair_of(key),

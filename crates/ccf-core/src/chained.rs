@@ -23,8 +23,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::attr::match_fingerprint_vector;
+use crate::key::FilterKey;
 use crate::outcome::{InsertFailure, InsertOutcome};
-use crate::params::CcfParams;
+use crate::params::{CcfParams, ParamsError};
 use crate::predicate::Predicate;
 
 /// Maximum kick rounds before an insertion is reported as failed.
@@ -52,6 +53,7 @@ pub struct ChainedCcf {
     fingerprinter: Fingerprinter,
     attr_fp: AttrFingerprinter,
     chain_hasher: SaltedHasher,
+    key_lower: SaltedHasher,
     rng: StdRng,
     occupied: usize,
     rows_absorbed: usize,
@@ -61,23 +63,40 @@ pub struct ChainedCcf {
 
 impl ChainedCcf {
     /// Create an empty filter. `params.num_buckets` is rounded up to a power of two.
-    pub fn new(mut params: CcfParams) -> Self {
+    ///
+    /// # Panics
+    /// Panics on impossible parameters; use [`ChainedCcf::try_new`] (or the
+    /// [`crate::CcfBuilder`] facade) to get a [`ParamsError`] instead.
+    pub fn new(params: CcfParams) -> Self {
+        Self::try_new(params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Create an empty filter, reporting impossible parameters as a [`ParamsError`].
+    /// `params.num_buckets` is rounded up to a power of two.
+    pub fn try_new(mut params: CcfParams) -> Result<Self, ParamsError> {
         params.num_buckets = params.num_buckets.next_power_of_two().max(1);
-        params.validate();
+        params.try_validate()?;
         let family = HashFamily::new(params.seed);
-        Self {
+        Ok(Self {
             buckets: vec![Vec::new(); params.num_buckets],
             geometry: SplitGeometry::new(&family, params.num_buckets, 0),
             fingerprinter: Fingerprinter::new(&family, params.fingerprint_bits),
             attr_fp: AttrFingerprinter::new(&family, params.attr_bits, params.small_value_opt),
             chain_hasher: family.hasher(ccf_hash::salted::purpose::CHAIN),
+            key_lower: family.hasher(ccf_hash::salted::purpose::KEY_LOWER),
             rng: StdRng::seed_from_u64(params.seed ^ 0xC4A1),
             occupied: 0,
             rows_absorbed: 0,
             rows_dropped: 0,
             max_chain_seen: 0,
             params,
-        }
+        })
+    }
+
+    /// The hasher typed keys are lowered with ([`FilterKey::lower`]); see
+    /// [`crate::key`] for the prehashed-key contract.
+    pub fn key_lower_hasher(&self) -> SaltedHasher {
+        self.key_lower
     }
 
     /// The filter's parameters (with `num_buckets` normalized).
@@ -223,7 +242,23 @@ impl ChainedCcf {
     /// rolls back; with it, the filter doubles and retries (chained filters never
     /// fail on duplicate saturation — that is what chains are for — so every
     /// `KicksExhausted` is a genuine capacity problem growth can relieve).
-    pub fn insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
+    pub fn insert_row<K: FilterKey>(
+        &mut self,
+        key: K,
+        attrs: &[u64],
+    ) -> Result<InsertOutcome, InsertFailure> {
+        let key = key.lower(&self.key_lower);
+        self.insert_row_prehashed(key, attrs)
+    }
+
+    /// [`ChainedCcf::insert_row`] on already-lowered key material (see
+    /// [`ChainedCcf::key_lower_hasher`]). For `u64` keys the two are identical.
+    pub fn insert_row_prehashed(
+        &mut self,
+        key: u64,
+        attrs: &[u64],
+    ) -> Result<InsertOutcome, InsertFailure> {
+        self.params.check_arity(attrs)?;
         grow_and_retry(
             self,
             self.params.auto_grow,
@@ -234,13 +269,6 @@ impl ChainedCcf {
     }
 
     fn try_insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
-        assert_eq!(
-            attrs.len(),
-            self.params.num_attrs,
-            "row has {} attributes, filter expects {}",
-            attrs.len(),
-            self.params.num_attrs
-        );
         let (fp, mut l) = self.home_of(key);
         let entry = Entry {
             fp,
@@ -305,7 +333,12 @@ impl ChainedCcf {
     }
 
     /// Query for a key under a predicate (Algorithm 5).
-    pub fn query(&self, key: u64, pred: &Predicate) -> bool {
+    pub fn query<K: FilterKey>(&self, key: K, pred: &Predicate) -> bool {
+        self.query_prehashed(key.lower(&self.key_lower), pred)
+    }
+
+    /// [`ChainedCcf::query`] on already-lowered key material.
+    pub fn query_prehashed(&self, key: u64, pred: &Predicate) -> bool {
         let (fp, l) = self.home_of(key);
         self.query_walk(fp, l, |e| {
             match_fingerprint_vector(pred, &e.attrs, &self.attr_fp)
@@ -315,8 +348,13 @@ impl ChainedCcf {
     /// Batched predicate query: bit-identical to calling [`ChainedCcf::query`] per
     /// key. The `(κ, ℓ, ℓ′)` triples for every key are derived in a hash-only first
     /// pass; the probe pass then streams over them (chains beyond the first pair are
-    /// rare and walked on demand).
-    pub fn query_batch(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
+    /// rare and walked on demand). `u64` key batches are lowered copy-free.
+    pub fn query_batch<K: FilterKey>(&self, keys: &[K], pred: &Predicate) -> Vec<bool> {
+        self.query_batch_prehashed(&K::lower_batch(keys, &self.key_lower), pred)
+    }
+
+    /// [`ChainedCcf::query_batch`] on already-lowered key material.
+    pub fn query_batch_prehashed(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
         probe_chunked(
             keys,
             |key| self.first_pair_of(key),
@@ -331,14 +369,24 @@ impl ChainedCcf {
     /// Key-only membership query. Lemma 2 implies only the first bucket pair needs to
     /// be examined: if the key was ever inserted, a copy of its fingerprint is in the
     /// first pair.
-    pub fn contains_key(&self, key: u64) -> bool {
+    pub fn contains_key<K: FilterKey>(&self, key: K) -> bool {
+        self.contains_key_prehashed(key.lower(&self.key_lower))
+    }
+
+    /// [`ChainedCcf::contains_key`] on already-lowered key material.
+    pub fn contains_key_prehashed(&self, key: u64) -> bool {
         let (fp, l) = self.home_of(key);
         let l_alt = self.alt_bucket(l, fp);
         self.buckets[l].iter().any(|e| e.fp == fp) || self.buckets[l_alt].iter().any(|e| e.fp == fp)
     }
 
     /// Batched key-only membership query (see [`ChainedCcf::query_batch`]).
-    pub fn contains_key_batch(&self, keys: &[u64]) -> Vec<bool> {
+    pub fn contains_key_batch<K: FilterKey>(&self, keys: &[K]) -> Vec<bool> {
+        self.contains_key_batch_prehashed(&K::lower_batch(keys, &self.key_lower))
+    }
+
+    /// [`ChainedCcf::contains_key_batch`] on already-lowered key material.
+    pub fn contains_key_batch_prehashed(&self, keys: &[u64]) -> Vec<bool> {
         probe_chunked(
             keys,
             |key| self.first_pair_of(key),
@@ -425,6 +473,7 @@ impl ChainedCcf {
             params: self.params,
             fingerprinter: self.fingerprinter,
             chain_hasher: self.chain_hasher,
+            key_lower: self.key_lower,
         }
     }
 
@@ -462,13 +511,20 @@ pub struct ChainedPredicateFilter {
     params: CcfParams,
     fingerprinter: Fingerprinter,
     chain_hasher: SaltedHasher,
+    key_lower: SaltedHasher,
 }
 
 impl ChainedPredicateFilter {
     /// Whether `key` may belong to the predicate's key set. Mirrors the source
     /// filter's walk through the shared [`SplitGeometry`], so the two can never
-    /// drift apart — including after the source has grown.
-    pub fn contains_key(&self, key: u64) -> bool {
+    /// drift apart — including after the source has grown. Accepts the same typed
+    /// keys as the source filter (the lowering hasher is copied from it).
+    pub fn contains_key<K: FilterKey>(&self, key: K) -> bool {
+        self.contains_key_prehashed(key.lower(&self.key_lower))
+    }
+
+    /// [`ChainedPredicateFilter::contains_key`] on already-lowered key material.
+    pub fn contains_key_prehashed(&self, key: u64) -> bool {
         let (fp, base) = self
             .fingerprinter
             .fingerprint_and_bucket(key, self.geometry.base_buckets());

@@ -1,0 +1,117 @@
+//! The workspace-level error type.
+//!
+//! Service-layer callers (the sharded service, the join bridge, an RPC front end)
+//! compose operations from several crates: construction can fail with a
+//! [`ParamsError`], insertion with an [`InsertFailure`], range-predicate translation
+//! with a [`BinningError`], and predicate bridging with `ccf_join::BridgeError`. Each
+//! converts into [`CcfError`] via `From`, so a serving path can bubble everything
+//! through one `Result<_, CcfError>` with `?` instead of juggling four error enums.
+//!
+//! `ccf_join::BridgeError` lives upstream of this crate; its `From` impl (in
+//! `ccf-join`) folds into [`CcfError::Bridge`], which carries the rendered message so
+//! `ccf-core` needs no service-layer dependencies.
+
+use crate::outcome::InsertFailure;
+use crate::params::ParamsError;
+use crate::predicate::binning::BinningError;
+
+/// Any error a conditional-cuckoo-filter deployment can surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CcfError {
+    /// An insertion failed (kick exhaustion, attribute-arity mismatch, ...).
+    Insert(InsertFailure),
+    /// A filter was configured with impossible parameters.
+    Params(ParamsError),
+    /// A binning scheme was malformed or consulted out of range.
+    Binning(BinningError),
+    /// A service-layer bridge rejected a request (e.g. a `ccf_join::BridgeError` for
+    /// a predicate referencing a nonexistent column), carried as its rendered
+    /// message.
+    Bridge(String),
+}
+
+impl std::fmt::Display for CcfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CcfError::Insert(e) => write!(f, "insert failed: {e}"),
+            CcfError::Params(e) => write!(f, "invalid parameters: {e}"),
+            CcfError::Binning(e) => write!(f, "binning error: {e}"),
+            CcfError::Bridge(msg) => write!(f, "bridge error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CcfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CcfError::Insert(e) => Some(e),
+            CcfError::Params(e) => Some(e),
+            CcfError::Binning(e) => Some(e),
+            CcfError::Bridge(_) => None,
+        }
+    }
+}
+
+impl From<InsertFailure> for CcfError {
+    fn from(e: InsertFailure) -> Self {
+        CcfError::Insert(e)
+    }
+}
+
+impl From<ParamsError> for CcfError {
+    fn from(e: ParamsError) -> Self {
+        CcfError::Params(e)
+    }
+}
+
+impl From<BinningError> for CcfError {
+    fn from(e: BinningError) -> Self {
+        CcfError::Binning(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn takes_ccf_error(r: Result<(), impl Into<CcfError>>) -> Result<(), CcfError> {
+        r.map_err(Into::into)
+    }
+
+    #[test]
+    fn every_workspace_error_converts_via_question_mark() {
+        let insert: Result<(), InsertFailure> = Err(InsertFailure::KicksExhausted {
+            load_factor_millis: 950,
+        });
+        let params: Result<(), ParamsError> = Err(ParamsError::ZeroMaxDupes);
+        let binning: Result<(), BinningError> = Err(BinningError::ZeroBins);
+        assert!(matches!(
+            takes_ccf_error(insert),
+            Err(CcfError::Insert(InsertFailure::KicksExhausted { .. }))
+        ));
+        assert!(matches!(
+            takes_ccf_error(params),
+            Err(CcfError::Params(ParamsError::ZeroMaxDupes))
+        ));
+        assert!(matches!(
+            takes_ccf_error(binning),
+            Err(CcfError::Binning(BinningError::ZeroBins))
+        ));
+    }
+
+    #[test]
+    fn display_includes_the_inner_message() {
+        let e = CcfError::from(ParamsError::ZeroMaxDupes);
+        assert!(e.to_string().contains("max_dupes"));
+        let e = CcfError::Bridge("column 9 of Title".into());
+        assert!(e.to_string().contains("column 9"));
+    }
+
+    #[test]
+    fn source_chains_to_the_typed_error() {
+        use std::error::Error;
+        let e = CcfError::from(BinningError::ZeroBins);
+        assert!(e.source().is_some());
+        assert!(CcfError::Bridge("x".into()).source().is_none());
+    }
+}

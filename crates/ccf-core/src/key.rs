@@ -1,0 +1,190 @@
+//! Typed filter keys.
+//!
+//! The paper's motivating deployment — join pushdown inside a SQL engine (§1) — joins
+//! on whatever the schema provides: integer surrogate keys, strings, composite keys.
+//! [`FilterKey`] is the single extension point that lets every public entry point
+//! (`insert_row`, `query`, `contains_key` and their `_batch` variants) accept all of
+//! them, while the filters themselves keep operating on one canonical `u64` of *key
+//! material*:
+//!
+//! * `u64` keys lower to **themselves** — the identity, no extra hash — so the u64 hot
+//!   path is bit-identical to the pre-typed-key API (asserted by the golden tests in
+//!   `tests/typed_keys.rs`);
+//! * `str` / `String` / byte-slice keys lower through
+//!   [`SaltedHasher::hash_bytes`] (Jenkins lookup3) at the dedicated
+//!   [`ccf_hash::salted::purpose::KEY_LOWER`] family index;
+//! * `(u64, u64)` composite keys lower through [`SaltedHasher::hash_pair`]
+//!   (order-sensitive, so `(a, b)` and `(b, a)` are distinct keys).
+//!
+//! Every consumer of a key — bucket choice, fingerprinting, shard routing — sees only
+//! the lowered material, so a string key inserted through a sharded service is found
+//! by a point query on the owning shard: both lower the key once with the same hasher
+//! and agree on every downstream hash.
+//!
+//! The lowered `u64` is also the *prehashed* representation accepted by the
+//! `*_prehashed` methods on the filters and on [`crate::ConditionalFilter`]; callers
+//! that hash keys themselves (or store lowered keys in an index) can skip the lowering
+//! step entirely.
+
+use std::borrow::Cow;
+
+use ccf_hash::SaltedHasher;
+
+/// A type usable as a filter key.
+///
+/// Implementations lower the key to canonical 64-bit key material via the filter's
+/// dedicated lowering hasher. Lowering must be deterministic and must depend only on
+/// the key's value and the hasher — two equal keys always produce identical material,
+/// which is what the no-false-negative guarantee rides on.
+pub trait FilterKey {
+    /// Lower the key to its canonical 64-bit key material.
+    fn lower(&self, hasher: &SaltedHasher) -> u64;
+
+    /// Lower a batch of keys. The default collects [`FilterKey::lower`] per key;
+    /// `u64` overrides it to borrow the input slice so the u64 batch path stays
+    /// copy-free.
+    fn lower_batch<'a>(keys: &'a [Self], hasher: &SaltedHasher) -> Cow<'a, [u64]>
+    where
+        Self: Sized,
+    {
+        Cow::Owned(keys.iter().map(|k| k.lower(hasher)).collect())
+    }
+}
+
+impl FilterKey for u64 {
+    /// Identity: `u64` keys *are* their key material. No hash is applied, so every
+    /// downstream hash (bucket, fingerprint, shard) sees exactly the same input as
+    /// the pre-typed-key API.
+    #[inline]
+    fn lower(&self, _hasher: &SaltedHasher) -> u64 {
+        *self
+    }
+
+    #[inline]
+    fn lower_batch<'a>(keys: &'a [u64], _hasher: &SaltedHasher) -> Cow<'a, [u64]> {
+        Cow::Borrowed(keys)
+    }
+}
+
+impl FilterKey for [u8] {
+    #[inline]
+    fn lower(&self, hasher: &SaltedHasher) -> u64 {
+        hasher.hash_bytes(self)
+    }
+}
+
+impl FilterKey for str {
+    #[inline]
+    fn lower(&self, hasher: &SaltedHasher) -> u64 {
+        hasher.hash_bytes(self.as_bytes())
+    }
+}
+
+impl FilterKey for String {
+    #[inline]
+    fn lower(&self, hasher: &SaltedHasher) -> u64 {
+        hasher.hash_bytes(self.as_bytes())
+    }
+}
+
+impl FilterKey for Vec<u8> {
+    #[inline]
+    fn lower(&self, hasher: &SaltedHasher) -> u64 {
+        hasher.hash_bytes(self)
+    }
+}
+
+/// Composite two-part keys, e.g. `(tenant_id, user_id)`. Order-sensitive.
+impl FilterKey for (u64, u64) {
+    #[inline]
+    fn lower(&self, hasher: &SaltedHasher) -> u64 {
+        hasher.hash_pair(self.0, self.1)
+    }
+}
+
+/// References lower like the keys they point at, so `&str`, `&[u8]`, `&String` and
+/// `&u64` all work directly.
+impl<K: FilterKey + ?Sized> FilterKey for &K {
+    #[inline]
+    fn lower(&self, hasher: &SaltedHasher) -> u64 {
+        (**self).lower(hasher)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hasher() -> SaltedHasher {
+        SaltedHasher::new(0xC0FFEE)
+    }
+
+    #[test]
+    fn u64_lowering_is_the_identity() {
+        let h = hasher();
+        for k in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(k.lower(&h), k);
+            assert_eq!(<&u64 as FilterKey>::lower(&&k, &h), k); // the blanket &K impl
+        }
+        // ... regardless of the hasher's seed.
+        assert_eq!(7u64.lower(&SaltedHasher::new(999)), 7);
+    }
+
+    #[test]
+    fn u64_batch_lowering_borrows() {
+        let keys = [3u64, 1, 4, 1, 5];
+        match u64::lower_batch(&keys, &hasher()) {
+            Cow::Borrowed(b) => assert_eq!(b, &keys),
+            Cow::Owned(_) => panic!("u64 batch lowering must not copy"),
+        }
+    }
+
+    #[test]
+    fn string_forms_agree_with_each_other_and_with_lookup3() {
+        let h = hasher();
+        let s = "movie_keyword";
+        let expected = h.hash_bytes(s.as_bytes());
+        assert_eq!(s.lower(&h), expected);
+        assert_eq!(String::from(s).lower(&h), expected);
+        assert_eq!(s.as_bytes().lower(&h), expected);
+        assert_eq!(s.as_bytes().to_vec().lower(&h), expected);
+        assert_eq!(<&&str as FilterKey>::lower(&&s, &h), expected); // blanket &K impl
+    }
+
+    #[test]
+    fn generic_batch_lowering_matches_per_key() {
+        let h = hasher();
+        let keys = ["a", "bb", "ccc"];
+        let lowered = <&str>::lower_batch(&keys, &h);
+        assert_eq!(lowered.len(), 3);
+        for (k, &l) in keys.iter().zip(lowered.iter()) {
+            assert_eq!(k.lower(&h), l);
+        }
+    }
+
+    #[test]
+    fn composite_keys_are_order_sensitive() {
+        let h = hasher();
+        assert_eq!((1u64, 2u64).lower(&h), h.hash_pair(1, 2));
+        assert_ne!((1u64, 2u64).lower(&h), (2u64, 1u64).lower(&h));
+    }
+
+    #[test]
+    fn lowering_depends_on_the_hasher_seed_except_for_u64() {
+        let a = SaltedHasher::new(1);
+        let b = SaltedHasher::new(2);
+        assert_ne!("key".lower(&a), "key".lower(&b));
+        assert_ne!((5u64, 6u64).lower(&a), (5u64, 6u64).lower(&b));
+        assert_eq!(5u64.lower(&a), 5u64.lower(&b));
+    }
+
+    #[test]
+    fn distinct_strings_rarely_collide() {
+        let h = hasher();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            seen.insert(format!("user-{i:06}").lower(&h));
+        }
+        assert_eq!(seen.len(), 10_000, "lookup3 collided on tiny key set");
+    }
+}

@@ -22,31 +22,41 @@
 //!
 //! # Quick start
 //!
+//! Construction goes through the fallible [`CcfBuilder`] facade, and keys are *typed*
+//! ([`FilterKey`]): `u64`, `&str`/`String`, byte slices and `(u64, u64)` composites
+//! all work, with `u64` keys taking the classic hot path bit-identically.
+//!
 //! ```
-//! use ccf_core::{CcfParams, ChainedCcf, Predicate};
+//! use ccf_core::{AnyCcf, CcfError, ConditionalFilter, VariantKind};
 //!
-//! // Rows of (movie_id, [role_id, company_type_id]).
-//! let rows = [(10u64, [4u64, 2u64]), (10, [4, 1]), (11, [1, 2])];
+//! // Rows of (movie_title, [role_id, company_type_id]).
+//! let rows = [("Heat", [4u64, 2u64]), ("Heat", [4, 1]), ("Ronin", [1, 2])];
 //!
-//! let mut filter = ChainedCcf::new(CcfParams {
-//!     num_buckets: 1 << 8,
-//!     num_attrs: 2,
-//!     ..CcfParams::default()
-//! });
+//! let mut filter = AnyCcf::builder()
+//!     .variant(VariantKind::Chained)
+//!     .num_attrs(2)
+//!     .expected_rows(rows.len())
+//!     .seed(42)
+//!     .build()?;
 //! for (key, attrs) in &rows {
-//!     filter.insert_row(*key, attrs).unwrap();
+//!     filter.insert_row(*key, attrs)?;
 //! }
 //!
-//! // Key + predicate queries: "is there a row for movie 10 with role_id = 4 and
+//! // Key + predicate queries: "is there a row for 'Heat' with role_id = 4 and
 //! // company_type_id = 2?"
-//! let pred = Predicate::any(2).and_eq(0, 4).and_eq(1, 2);
-//! assert!(filter.query(10, &pred));
-//! assert!(!filter.query(11, &pred) || filter.contains_key(11)); // 11 has role_id = 1
+//! let pred = filter.predicate().and_eq(0, 4).and_eq(1, 2);
+//! assert!(filter.query("Heat", &pred));
+//! assert!(!filter.query("Ronin", &pred) || filter.contains_key("Ronin"));
+//! # Ok::<(), CcfError>(())
 //! ```
 //!
 //! # Module map
 //!
-//! * [`params`] — parameters and the §8 sizing rules.
+//! * [`key`] — the [`FilterKey`] trait: typed keys and their lowering to the salted
+//!   hash family.
+//! * [`builder`] — the fallible [`CcfBuilder`] construction facade.
+//! * [`params`] — parameters, [`ParamsError`] and the §8 sizing rules.
+//! * [`error`] — the workspace-level [`CcfError`].
 //! * [`predicate`] — equality / in-list predicates, range binning and dyadic expansion.
 //! * [`attr`] — attribute-sketch matching primitives.
 //! * [`plain`], [`chained`], [`bloom_ccf`], [`mixed`] — the four variants.
@@ -60,9 +70,12 @@
 
 pub mod attr;
 pub mod bloom_ccf;
+pub mod builder;
 pub mod chained;
 pub mod compress;
+pub mod error;
 pub mod fpr;
+pub mod key;
 pub mod mixed;
 pub mod outcome;
 pub mod params;
@@ -72,11 +85,14 @@ pub mod sizing;
 pub mod variant;
 
 pub use bloom_ccf::BloomCcf;
+pub use builder::CcfBuilder;
 pub use chained::{ChainedCcf, ChainedPredicateFilter};
 pub use compress::AttributeCompressor;
+pub use error::CcfError;
+pub use key::FilterKey;
 pub use mixed::MixedCcf;
 pub use outcome::{InsertFailure, InsertOutcome};
-pub use params::{AttrSketchKind, CcfParams};
+pub use params::{AttrSketchKind, CcfParams, ParamsError};
 pub use plain::PlainCcf;
 pub use predicate::{
     binning::{Binning, BinningError},

@@ -29,8 +29,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::attr::{match_fingerprint_bloom, match_fingerprint_vector};
+use crate::key::FilterKey;
 use crate::outcome::{InsertFailure, InsertOutcome};
-use crate::params::CcfParams;
+use crate::params::{CcfParams, ParamsError};
 use crate::predicate::Predicate;
 
 /// Maximum kick rounds before an insertion is reported as failed.
@@ -69,6 +70,7 @@ pub struct MixedCcf {
     attr_fp: AttrFingerprinter,
     bloom_family: HashFamily,
     conversion_hashes: usize,
+    key_lower: ccf_hash::SaltedHasher,
     rng: StdRng,
     occupied: usize,
     rows_absorbed: usize,
@@ -77,35 +79,51 @@ pub struct MixedCcf {
 
 impl MixedCcf {
     /// Create an empty filter. `params.num_buckets` is rounded up to a power of two.
-    pub fn new(mut params: CcfParams) -> Self {
+    ///
+    /// # Panics
+    /// Panics on impossible parameters; use [`MixedCcf::try_new`] (or the
+    /// [`crate::CcfBuilder`] facade) to get a [`ParamsError`] instead.
+    pub fn new(params: CcfParams) -> Self {
+        Self::try_new(params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Create an empty filter, reporting impossible parameters as a [`ParamsError`].
+    /// `params.num_buckets` is rounded up to a power of two.
+    pub fn try_new(mut params: CcfParams) -> Result<Self, ParamsError> {
         params.num_buckets = params.num_buckets.next_power_of_two().max(1);
-        params.validate();
-        assert!(
-            params.max_dupes <= params.entries_per_bucket,
-            "Bloom conversion stores a group of max_dupes = {} slots, which must fit in one \
-             bucket of {} entries",
-            params.max_dupes,
-            params.entries_per_bucket
-        );
+        params.try_validate()?;
+        if params.max_dupes > params.entries_per_bucket {
+            return Err(ParamsError::ConversionGroupTooWide {
+                max_dupes: params.max_dupes,
+                entries_per_bucket: params.entries_per_bucket,
+            });
+        }
         let family = HashFamily::new(params.seed);
         let conversion_hashes = ccf_bloom::params::conversion_num_hashes(
             params.conversion_bloom_bits(),
             params.max_dupes,
             params.num_attrs,
         );
-        Self {
+        Ok(Self {
             buckets: vec![Vec::new(); params.num_buckets],
             geometry: SplitGeometry::new(&family, params.num_buckets, 0),
             fingerprinter: Fingerprinter::new(&family, params.fingerprint_bits),
             attr_fp: AttrFingerprinter::new(&family, params.attr_bits, params.small_value_opt),
             bloom_family: family.subfamily(13),
             conversion_hashes,
+            key_lower: family.hasher(ccf_hash::salted::purpose::KEY_LOWER),
             rng: StdRng::seed_from_u64(params.seed ^ 0x30D),
             occupied: 0,
             rows_absorbed: 0,
             conversions: 0,
             params,
-        }
+        })
+    }
+
+    /// The hasher typed keys are lowered with ([`FilterKey::lower`]); see
+    /// [`crate::key`] for the prehashed-key contract.
+    pub fn key_lower_hasher(&self) -> ccf_hash::SaltedHasher {
+        self.key_lower
     }
 
     /// The filter's parameters (with `num_buckets` normalized).
@@ -211,7 +229,23 @@ impl MixedCcf {
     /// kick-exhaustion failure doubles the filter and retries (duplicate saturation
     /// never fails here — it converts — so every failure is a genuine capacity
     /// problem).
-    pub fn insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
+    pub fn insert_row<K: FilterKey>(
+        &mut self,
+        key: K,
+        attrs: &[u64],
+    ) -> Result<InsertOutcome, InsertFailure> {
+        let key = key.lower(&self.key_lower);
+        self.insert_row_prehashed(key, attrs)
+    }
+
+    /// [`MixedCcf::insert_row`] on already-lowered key material (see
+    /// [`MixedCcf::key_lower_hasher`]). For `u64` keys the two are identical.
+    pub fn insert_row_prehashed(
+        &mut self,
+        key: u64,
+        attrs: &[u64],
+    ) -> Result<InsertOutcome, InsertFailure> {
+        self.params.check_arity(attrs)?;
         grow_and_retry(
             self,
             self.params.auto_grow,
@@ -222,13 +256,6 @@ impl MixedCcf {
     }
 
     fn try_insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
-        assert_eq!(
-            attrs.len(),
-            self.params.num_attrs,
-            "row has {} attributes, filter expects {}",
-            attrs.len(),
-            self.params.num_attrs
-        );
         let (fp, l, l_alt) = self.pair_of(key);
         let alpha = self.fingerprint_row(attrs);
         self.rows_absorbed += 1;
@@ -360,7 +387,12 @@ impl MixedCcf {
     /// Query for a key under a predicate: vector entries are matched per column against
     /// the predicate's candidate fingerprints; converted groups are matched through
     /// their Bloom sketch (which stores fingerprints, §6.1).
-    pub fn query(&self, key: u64, pred: &Predicate) -> bool {
+    pub fn query<K: FilterKey>(&self, key: K, pred: &Predicate) -> bool {
+        self.query_prehashed(key.lower(&self.key_lower), pred)
+    }
+
+    /// [`MixedCcf::query`] on already-lowered key material.
+    pub fn query_prehashed(&self, key: u64, pred: &Predicate) -> bool {
         let (fp, l, l_alt) = self.pair_of(key);
         self.query_pair(fp, l, l_alt, pred)
     }
@@ -382,7 +414,13 @@ impl MixedCcf {
 
     /// Batched predicate query: bit-identical to calling [`MixedCcf::query`] per key,
     /// using the chunked two-pass driver ([`ccf_cuckoo::geometry::probe_chunked`]).
-    pub fn query_batch(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
+    /// `u64` key batches are lowered copy-free.
+    pub fn query_batch<K: FilterKey>(&self, keys: &[K], pred: &Predicate) -> Vec<bool> {
+        self.query_batch_prehashed(&K::lower_batch(keys, &self.key_lower), pred)
+    }
+
+    /// [`MixedCcf::query_batch`] on already-lowered key material.
+    pub fn query_batch_prehashed(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
         probe_chunked(
             keys,
             |key| self.pair_of(key),
@@ -391,14 +429,24 @@ impl MixedCcf {
     }
 
     /// Key-only membership query.
-    pub fn contains_key(&self, key: u64) -> bool {
+    pub fn contains_key<K: FilterKey>(&self, key: K) -> bool {
+        self.contains_key_prehashed(key.lower(&self.key_lower))
+    }
+
+    /// [`MixedCcf::contains_key`] on already-lowered key material.
+    pub fn contains_key_prehashed(&self, key: u64) -> bool {
         let (fp, l, l_alt) = self.pair_of(key);
         self.buckets[l].iter().any(|e| e.fp() == fp)
             || self.buckets[l_alt].iter().any(|e| e.fp() == fp)
     }
 
     /// Batched key-only membership query (see [`MixedCcf::query_batch`]).
-    pub fn contains_key_batch(&self, keys: &[u64]) -> Vec<bool> {
+    pub fn contains_key_batch<K: FilterKey>(&self, keys: &[K]) -> Vec<bool> {
+        self.contains_key_batch_prehashed(&K::lower_batch(keys, &self.key_lower))
+    }
+
+    /// [`MixedCcf::contains_key_batch`] on already-lowered key material.
+    pub fn contains_key_batch_prehashed(&self, keys: &[u64]) -> Vec<bool> {
         probe_chunked(
             keys,
             |key| self.pair_of(key),

@@ -39,6 +39,16 @@ pub enum InsertFailure {
         /// Load factor at the time of failure.
         load_factor_millis: u32,
     },
+    /// The row's attribute vector does not have the filter's `num_attrs` columns. The
+    /// filter is left unchanged; a hot serving path reports this as a value instead of
+    /// aborting the process. Use [`crate::Predicate::for_params`] on the query side to
+    /// keep arities aligned by construction.
+    AttrArityMismatch {
+        /// The filter's configured number of attribute columns.
+        expected: usize,
+        /// The row's number of attributes.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for InsertFailure {
@@ -49,6 +59,9 @@ impl std::fmt::Display for InsertFailure {
                 "insertion failed after exhausting cuckoo kicks at load factor {:.3}",
                 *load_factor_millis as f64 / 1000.0
             ),
+            InsertFailure::AttrArityMismatch { expected, got } => {
+                write!(f, "row has {got} attributes, filter expects {expected}")
+            }
         }
     }
 }
@@ -75,5 +88,11 @@ mod tests {
         }
         .to_string();
         assert!(msg.contains("0.873"));
+        let msg = InsertFailure::AttrArityMismatch {
+            expected: 2,
+            got: 1,
+        }
+        .to_string();
+        assert!(msg.contains("1 attributes") && msg.contains("expects 2"));
     }
 }

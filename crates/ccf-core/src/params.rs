@@ -1,4 +1,4 @@
-//! Parameters for Conditional Cuckooo Filters (§8).
+//! Parameters for Conditional Cuckoo Filters (§8).
 //!
 //! A CCF has more parameters than a regular cuckoo filter: besides the number of
 //! buckets `m` and entries per bucket `b`, it needs the maximum number of duplicates
@@ -6,6 +6,110 @@
 //! configuration (fingerprint width |α| or Bloom bits), and the key fingerprint width
 //! |κ|. §8 derives the sizing rules this module implements as convenience constructors:
 //! `b ≈ 2d`, capacity `m·b ≈ E[Z′]/β`, and d = 3 as the recommended default.
+
+/// Why a parameter combination is impossible. Each variant mirrors one rule of
+/// [`CcfParams::try_validate`]; the panicking [`CcfParams::validate`] is a thin
+/// wrapper that formats the same error. [`ZeroShards`](ParamsError::ZeroShards) and
+/// [`TargetLoadOutOfRange`](ParamsError::TargetLoadOutOfRange) are produced by the
+/// sizing and service layers (`CcfBuilder`, `ShardedCcf`), which report through the
+/// same type so callers handle one error for all construction paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamsError {
+    /// `num_buckets == 0`.
+    ZeroBuckets,
+    /// `entries_per_bucket == 0`.
+    ZeroEntriesPerBucket,
+    /// Key fingerprint width |κ| outside `1..=16`.
+    FingerprintBitsOutOfRange {
+        /// The rejected width.
+        got: u32,
+    },
+    /// Attribute fingerprint width |α| outside `1..=16`.
+    AttrBitsOutOfRange {
+        /// The rejected width.
+        got: u32,
+    },
+    /// `max_dupes == 0`.
+    ZeroMaxDupes,
+    /// `max_dupes` exceeds the `2b` entries of a bucket pair.
+    MaxDupesExceedPair {
+        /// The configured duplicate cap d.
+        max_dupes: usize,
+        /// The pair's `2b` entry slots.
+        pair_slots: usize,
+    },
+    /// `bloom_hashes == 0`.
+    ZeroBloomHashes,
+    /// `bloom_bits == 0` on the Bloom variant, whose per-entry attribute sketches
+    /// need at least one bit. (The mixed variant's conversion budget is derived from
+    /// entry sizes instead and does not consult `bloom_bits`.)
+    ZeroBloomBits,
+    /// `max_chain == Some(0)`, which would fail every insertion.
+    ZeroMaxChain,
+    /// The mixed variant's conversion group of `max_dupes` slots does not fit in one
+    /// bucket of `entries_per_bucket` entries (§6.1 repacks a group in place).
+    ConversionGroupTooWide {
+        /// The configured duplicate cap d (= conversion group width).
+        max_dupes: usize,
+        /// Entries per bucket b.
+        entries_per_bucket: usize,
+    },
+    /// A sizing target load factor outside `(0, 1]`.
+    TargetLoadOutOfRange {
+        /// The rejected load factor.
+        got: f64,
+    },
+    /// A sharded service was requested with zero shards.
+    ZeroShards,
+}
+
+impl std::fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamsError::ZeroBuckets => write!(f, "num_buckets must be positive"),
+            ParamsError::ZeroEntriesPerBucket => {
+                write!(f, "entries_per_bucket must be positive")
+            }
+            ParamsError::FingerprintBitsOutOfRange { got } => {
+                write!(f, "fingerprint_bits must be 1..=16, got {got}")
+            }
+            ParamsError::AttrBitsOutOfRange { got } => {
+                write!(f, "attr_bits must be 1..=16, got {got}")
+            }
+            ParamsError::ZeroMaxDupes => write!(f, "max_dupes must be at least 1"),
+            ParamsError::MaxDupesExceedPair {
+                max_dupes,
+                pair_slots,
+            } => write!(
+                f,
+                "max_dupes {max_dupes} cannot exceed the 2b = {pair_slots} entries of a \
+                 bucket pair"
+            ),
+            ParamsError::ZeroBloomHashes => write!(f, "bloom_hashes must be at least 1"),
+            ParamsError::ZeroBloomBits => {
+                write!(f, "bloom_bits must be positive for the Bloom variant")
+            }
+            ParamsError::ZeroMaxChain => write!(
+                f,
+                "max_chain of 0 would make every insertion fail; use Some(1) or None"
+            ),
+            ParamsError::ConversionGroupTooWide {
+                max_dupes,
+                entries_per_bucket,
+            } => write!(
+                f,
+                "Bloom conversion stores a group of max_dupes = {max_dupes} slots, which must \
+                 fit in one bucket of {entries_per_bucket} entries"
+            ),
+            ParamsError::TargetLoadOutOfRange { got } => {
+                write!(f, "target load factor must be in (0, 1], got {got}")
+            }
+            ParamsError::ZeroShards => write!(f, "a sharded filter needs at least one shard"),
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
 
 /// How attribute values are sketched inside each entry (§5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,17 +204,36 @@ impl CcfParams {
 
     /// Size the filter for an expected number of occupied entries at a target load
     /// factor, following §8: choose `m` so that `m · b ≈ E[Z′] / β`.
-    pub fn sized_for_entries(mut self, expected_entries: usize, target_load_factor: f64) -> Self {
-        assert!(
-            target_load_factor > 0.0 && target_load_factor <= 1.0,
-            "target load factor must be in (0, 1]"
-        );
+    ///
+    /// # Panics
+    /// Panics if the target load factor is outside `(0, 1]`; use
+    /// [`CcfParams::try_sized_for_entries`] (or the `CcfBuilder` facade) to get a
+    /// [`ParamsError`] instead.
+    pub fn sized_for_entries(self, expected_entries: usize, target_load_factor: f64) -> Self {
+        self.try_sized_for_entries(expected_entries, target_load_factor)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`CcfParams::sized_for_entries`].
+    pub fn try_sized_for_entries(
+        mut self,
+        expected_entries: usize,
+        target_load_factor: f64,
+    ) -> Result<Self, ParamsError> {
+        if !(target_load_factor > 0.0 && target_load_factor <= 1.0) {
+            return Err(ParamsError::TargetLoadOutOfRange {
+                got: target_load_factor,
+            });
+        }
+        if self.entries_per_bucket == 0 {
+            return Err(ParamsError::ZeroEntriesPerBucket);
+        }
         let slots = (expected_entries as f64 / target_load_factor).ceil() as usize;
         self.num_buckets = slots
             .div_ceil(self.entries_per_bucket)
             .next_power_of_two()
             .max(1);
-        self
+        Ok(self)
     }
 
     /// Apply the `b ≈ 2d` rule of thumb from §8 for the configured `max_dupes`.
@@ -152,33 +275,65 @@ impl CcfParams {
         (d * s).saturating_sub(header).max(4)
     }
 
-    /// Validate parameter combinations, panicking with a descriptive message on
-    /// impossible configurations.
-    pub fn validate(&self) {
-        assert!(self.num_buckets > 0, "num_buckets must be positive");
-        assert!(
-            self.entries_per_bucket > 0,
-            "entries_per_bucket must be positive"
-        );
-        assert!(
-            (1..=16).contains(&self.fingerprint_bits),
-            "fingerprint_bits must be 1..=16"
-        );
-        assert!(
-            (1..=16).contains(&self.attr_bits),
-            "attr_bits must be 1..=16"
-        );
-        assert!(self.max_dupes >= 1, "max_dupes must be at least 1");
-        assert!(
-            self.max_dupes <= 2 * self.entries_per_bucket,
-            "max_dupes {} cannot exceed the 2b = {} entries of a bucket pair",
-            self.max_dupes,
-            2 * self.entries_per_bucket
-        );
-        assert!(self.bloom_hashes >= 1, "bloom_hashes must be at least 1");
-        if self.max_chain == Some(0) {
-            panic!("max_chain of 0 would make every insertion fail; use Some(1) or None");
+    /// Validate parameter combinations, reporting the first impossible configuration
+    /// as a typed [`ParamsError`]. This is what every `try_new` constructor and the
+    /// `CcfBuilder` facade call; nothing on the construction path panics on bad
+    /// parameters.
+    pub fn try_validate(&self) -> Result<(), ParamsError> {
+        if self.num_buckets == 0 {
+            return Err(ParamsError::ZeroBuckets);
         }
+        if self.entries_per_bucket == 0 {
+            return Err(ParamsError::ZeroEntriesPerBucket);
+        }
+        if !(1..=16).contains(&self.fingerprint_bits) {
+            return Err(ParamsError::FingerprintBitsOutOfRange {
+                got: self.fingerprint_bits,
+            });
+        }
+        if !(1..=16).contains(&self.attr_bits) {
+            return Err(ParamsError::AttrBitsOutOfRange {
+                got: self.attr_bits,
+            });
+        }
+        if self.max_dupes == 0 {
+            return Err(ParamsError::ZeroMaxDupes);
+        }
+        if self.max_dupes > 2 * self.entries_per_bucket {
+            return Err(ParamsError::MaxDupesExceedPair {
+                max_dupes: self.max_dupes,
+                pair_slots: 2 * self.entries_per_bucket,
+            });
+        }
+        if self.bloom_hashes == 0 {
+            return Err(ParamsError::ZeroBloomHashes);
+        }
+        if self.max_chain == Some(0) {
+            return Err(ParamsError::ZeroMaxChain);
+        }
+        Ok(())
+    }
+
+    /// Validate parameter combinations, panicking with a descriptive message on
+    /// impossible configurations. A thin wrapper over [`CcfParams::try_validate`] for
+    /// contexts (tests, experiment harnesses) where aborting is the right response.
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Check a row's attribute vector against `num_attrs` — the guard every
+    /// variant's insertion path runs before touching the table (and before any
+    /// auto-grow retry, so an arity error can never trigger growth).
+    pub fn check_arity(&self, attrs: &[u64]) -> Result<(), crate::outcome::InsertFailure> {
+        if attrs.len() != self.num_attrs {
+            return Err(crate::outcome::InsertFailure::AttrArityMismatch {
+                expected: self.num_attrs,
+                got: attrs.len(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -273,5 +428,111 @@ mod tests {
             ..CcfParams::default()
         }
         .validate();
+    }
+
+    /// One `ParamsError` case per `validate()` panic, in rule order.
+    #[test]
+    fn try_validate_mirrors_every_panic_as_a_typed_error() {
+        let ok = CcfParams::default();
+        assert_eq!(ok.try_validate(), Ok(()));
+        let cases: Vec<(CcfParams, ParamsError)> = vec![
+            (
+                CcfParams {
+                    num_buckets: 0,
+                    ..ok
+                },
+                ParamsError::ZeroBuckets,
+            ),
+            (
+                CcfParams {
+                    entries_per_bucket: 0,
+                    ..ok
+                },
+                ParamsError::ZeroEntriesPerBucket,
+            ),
+            (
+                CcfParams {
+                    fingerprint_bits: 0,
+                    ..ok
+                },
+                ParamsError::FingerprintBitsOutOfRange { got: 0 },
+            ),
+            (
+                CcfParams {
+                    fingerprint_bits: 17,
+                    ..ok
+                },
+                ParamsError::FingerprintBitsOutOfRange { got: 17 },
+            ),
+            (
+                CcfParams {
+                    attr_bits: 32,
+                    ..ok
+                },
+                ParamsError::AttrBitsOutOfRange { got: 32 },
+            ),
+            (CcfParams { max_dupes: 0, ..ok }, ParamsError::ZeroMaxDupes),
+            (
+                CcfParams {
+                    max_dupes: 9,
+                    entries_per_bucket: 4,
+                    ..ok
+                },
+                ParamsError::MaxDupesExceedPair {
+                    max_dupes: 9,
+                    pair_slots: 8,
+                },
+            ),
+            (
+                CcfParams {
+                    bloom_hashes: 0,
+                    ..ok
+                },
+                ParamsError::ZeroBloomHashes,
+            ),
+            (
+                CcfParams {
+                    max_chain: Some(0),
+                    ..ok
+                },
+                ParamsError::ZeroMaxChain,
+            ),
+        ];
+        for (params, expected) in cases {
+            assert_eq!(params.try_validate(), Err(expected));
+            // The panicking wrapper formats the same error, so `should_panic`
+            // substrings keep matching.
+            let msg = std::panic::catch_unwind(|| params.validate())
+                .expect_err("validate() must panic where try_validate errors");
+            let msg = msg
+                .downcast_ref::<String>()
+                .expect("panic payload is the formatted ParamsError");
+            assert_eq!(msg, &expected.to_string());
+        }
+    }
+
+    #[test]
+    fn try_sized_for_entries_rejects_bad_load_factors() {
+        for bad in [0.0, -0.5, 1.01, f64::NAN] {
+            let err = CcfParams::default()
+                .try_sized_for_entries(1000, bad)
+                .unwrap_err();
+            assert!(matches!(err, ParamsError::TargetLoadOutOfRange { .. }));
+        }
+        let sized = CcfParams::default()
+            .try_sized_for_entries(100_000, 0.85)
+            .unwrap();
+        assert_eq!(
+            sized.num_buckets,
+            CcfParams::default()
+                .sized_for_entries(100_000, 0.85)
+                .num_buckets
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "target load factor")]
+    fn sized_for_entries_panics_on_bad_load_factor() {
+        let _ = CcfParams::default().sized_for_entries(1000, 0.0);
     }
 }

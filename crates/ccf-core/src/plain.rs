@@ -11,13 +11,15 @@
 
 use ccf_cuckoo::geometry::{grow_and_retry, probe_chunked, split_buckets, SplitGeometry};
 use ccf_cuckoo::{GrowthStats, OccupancyStats};
-use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily};
+use ccf_hash::salted::purpose;
+use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily, SaltedHasher};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::attr::match_fingerprint_vector;
+use crate::key::FilterKey;
 use crate::outcome::{InsertFailure, InsertOutcome};
-use crate::params::CcfParams;
+use crate::params::{CcfParams, ParamsError};
 use crate::predicate::Predicate;
 
 /// Maximum kick rounds before an insertion is reported as failed.
@@ -38,6 +40,7 @@ pub struct PlainCcf {
     params: CcfParams,
     fingerprinter: Fingerprinter,
     attr_fp: AttrFingerprinter,
+    key_lower: SaltedHasher,
     rng: StdRng,
     occupied: usize,
     rows_absorbed: usize,
@@ -45,20 +48,38 @@ pub struct PlainCcf {
 
 impl PlainCcf {
     /// Create an empty filter. `params.num_buckets` is rounded up to a power of two.
-    pub fn new(mut params: CcfParams) -> Self {
+    ///
+    /// # Panics
+    /// Panics on impossible parameters; use [`PlainCcf::try_new`] (or the
+    /// [`crate::CcfBuilder`] facade) to get a [`ParamsError`] instead.
+    pub fn new(params: CcfParams) -> Self {
+        Self::try_new(params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Create an empty filter, reporting impossible parameters as a [`ParamsError`].
+    /// `params.num_buckets` is rounded up to a power of two.
+    pub fn try_new(mut params: CcfParams) -> Result<Self, ParamsError> {
         params.num_buckets = params.num_buckets.next_power_of_two().max(1);
-        params.validate();
+        params.try_validate()?;
         let family = HashFamily::new(params.seed);
-        Self {
+        Ok(Self {
             buckets: vec![Vec::new(); params.num_buckets],
             geometry: SplitGeometry::new(&family, params.num_buckets, 0),
             fingerprinter: Fingerprinter::new(&family, params.fingerprint_bits),
             attr_fp: AttrFingerprinter::new(&family, params.attr_bits, params.small_value_opt),
+            key_lower: family.hasher(purpose::KEY_LOWER),
             rng: StdRng::seed_from_u64(params.seed ^ 0x9A1C),
             occupied: 0,
             rows_absorbed: 0,
             params,
-        }
+        })
+    }
+
+    /// The hasher typed keys are lowered with ([`FilterKey::lower`]). Exposed so
+    /// callers that pre-hash keys themselves (or store lowered keys in an index) can
+    /// produce material the `*_prehashed` methods accept.
+    pub fn key_lower_hasher(&self) -> SaltedHasher {
+        self.key_lower
     }
 
     /// The filter's parameters (with `num_buckets` normalized).
@@ -141,7 +162,23 @@ impl PlainCcf {
     /// bucket pair is already saturated with its key fingerprint (the §4.3 `2b` cap,
     /// which growth cannot lift because fingerprint copies share both buckets at every
     /// size).
-    pub fn insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
+    pub fn insert_row<K: FilterKey>(
+        &mut self,
+        key: K,
+        attrs: &[u64],
+    ) -> Result<InsertOutcome, InsertFailure> {
+        let key = key.lower(&self.key_lower);
+        self.insert_row_prehashed(key, attrs)
+    }
+
+    /// [`PlainCcf::insert_row`] on already-lowered key material (see
+    /// [`PlainCcf::key_lower_hasher`]). For `u64` keys the two are identical.
+    pub fn insert_row_prehashed(
+        &mut self,
+        key: u64,
+        attrs: &[u64],
+    ) -> Result<InsertOutcome, InsertFailure> {
+        self.params.check_arity(attrs)?;
         grow_and_retry(
             self,
             self.params.auto_grow,
@@ -172,13 +209,6 @@ impl PlainCcf {
     }
 
     fn try_insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
-        assert_eq!(
-            attrs.len(),
-            self.params.num_attrs,
-            "row has {} attributes, filter expects {}",
-            attrs.len(),
-            self.params.num_attrs
-        );
         let (fp, l, alt) = self.pair_of(key);
         let entry = Entry {
             fp,
@@ -231,7 +261,12 @@ impl PlainCcf {
 
     /// Query for a key under a predicate: true if some entry in the key's bucket pair
     /// has the key's fingerprint and an attribute vector matching the predicate.
-    pub fn query(&self, key: u64, pred: &Predicate) -> bool {
+    pub fn query<K: FilterKey>(&self, key: K, pred: &Predicate) -> bool {
+        self.query_prehashed(key.lower(&self.key_lower), pred)
+    }
+
+    /// [`PlainCcf::query`] on already-lowered key material.
+    pub fn query_prehashed(&self, key: u64, pred: &Predicate) -> bool {
         let (fp, l, alt) = self.pair_of(key);
         self.query_pair(fp, l, alt, pred)
     }
@@ -247,8 +282,13 @@ impl PlainCcf {
 
     /// Batched predicate query: bit-identical to calling [`PlainCcf::query`] per key,
     /// using the chunked two-pass driver ([`ccf_cuckoo::geometry::probe_chunked`])
-    /// shared by every batched query path.
-    pub fn query_batch(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
+    /// shared by every batched query path. `u64` key batches are lowered copy-free.
+    pub fn query_batch<K: FilterKey>(&self, keys: &[K], pred: &Predicate) -> Vec<bool> {
+        self.query_batch_prehashed(&K::lower_batch(keys, &self.key_lower), pred)
+    }
+
+    /// [`PlainCcf::query_batch`] on already-lowered key material.
+    pub fn query_batch_prehashed(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
         probe_chunked(
             keys,
             |key| self.pair_of(key),
@@ -257,13 +297,23 @@ impl PlainCcf {
     }
 
     /// Key-only membership query.
-    pub fn contains_key(&self, key: u64) -> bool {
+    pub fn contains_key<K: FilterKey>(&self, key: K) -> bool {
+        self.contains_key_prehashed(key.lower(&self.key_lower))
+    }
+
+    /// [`PlainCcf::contains_key`] on already-lowered key material.
+    pub fn contains_key_prehashed(&self, key: u64) -> bool {
         let (fp, l, alt) = self.pair_of(key);
         self.buckets[l].iter().any(|e| e.fp == fp) || self.buckets[alt].iter().any(|e| e.fp == fp)
     }
 
     /// Batched key-only membership query (see [`PlainCcf::query_batch`]).
-    pub fn contains_key_batch(&self, keys: &[u64]) -> Vec<bool> {
+    pub fn contains_key_batch<K: FilterKey>(&self, keys: &[K]) -> Vec<bool> {
+        self.contains_key_batch_prehashed(&K::lower_batch(keys, &self.key_lower))
+    }
+
+    /// [`PlainCcf::contains_key_batch`] on already-lowered key material.
+    pub fn contains_key_batch_prehashed(&self, keys: &[u64]) -> Vec<bool> {
         probe_chunked(
             keys,
             |key| self.pair_of(key),
@@ -338,9 +388,12 @@ mod tests {
     #[test]
     fn duplicate_rows_are_deduplicated() {
         let mut f = PlainCcf::new(params(4));
-        assert_eq!(f.insert_row(5, &[1, 1]).unwrap(), InsertOutcome::Inserted);
         assert_eq!(
-            f.insert_row(5, &[1, 1]).unwrap(),
+            f.insert_row(5u64, &[1, 1]).unwrap(),
+            InsertOutcome::Inserted
+        );
+        assert_eq!(
+            f.insert_row(5u64, &[1, 1]).unwrap(),
             InsertOutcome::Deduplicated
         );
         assert_eq!(f.occupied_entries(), 1);
@@ -476,17 +529,65 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "attributes")]
-    fn wrong_attribute_arity_panics() {
+    fn wrong_attribute_arity_is_a_typed_error_not_a_panic() {
         let mut f = PlainCcf::new(params(8));
-        let _ = f.insert_row(1, &[1]);
+        assert_eq!(
+            f.insert_row(1u64, &[1]),
+            Err(InsertFailure::AttrArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        // The filter is untouched and the failure does not trigger auto-growth.
+        assert_eq!(f.occupied_entries(), 0);
+        assert_eq!(f.rows_absorbed(), 0);
+        let mut growable = PlainCcf::new(params(8).with_auto_grow());
+        assert!(growable.insert_row(1u64, &[1, 2, 3]).is_err());
+        assert_eq!(growable.growth_bits(), 0, "arity errors must never grow");
     }
 
     #[test]
     fn in_list_queries_match_any_candidate() {
         let mut f = PlainCcf::new(params(9));
-        f.insert_row(10, &[6, 0]).unwrap();
-        assert!(f.query(10, &Predicate::in_list(2, 0, vec![5, 6, 7])));
-        assert!(!f.query(10, &Predicate::in_list(2, 0, vec![1, 2])));
+        f.insert_row(10u64, &[6, 0]).unwrap();
+        assert!(f.query(10u64, &Predicate::in_list(2, 0, vec![5, 6, 7])));
+        assert!(!f.query(10u64, &Predicate::in_list(2, 0, vec![1, 2])));
+    }
+
+    #[test]
+    fn typed_keys_round_trip_and_match_their_lowered_material() {
+        let mut f = PlainCcf::new(params(14));
+        f.insert_row("user-7", &[3, 4]).unwrap();
+        f.insert_row((9u64, 11u64), &[5, 6]).unwrap();
+        f.insert_row(b"raw-bytes".as_slice(), &[1, 2]).unwrap();
+        assert!(f.contains_key("user-7"));
+        assert!(f.query("user-7", &Predicate::any(2).and_eq(0, 3)));
+        assert!(f.contains_key((9u64, 11u64)));
+        assert!(f.contains_key(b"raw-bytes".as_slice()));
+        // Typed queries agree with the prehashed core on the lowered material.
+        let h = f.key_lower_hasher();
+        assert!(f.contains_key_prehashed("user-7".lower(&h)));
+        assert_eq!(
+            f.query_batch(&["user-7", "nobody"], &Predicate::any(2)),
+            f.query_batch_prehashed(
+                &["user-7".lower(&h), "nobody".lower(&h)],
+                &Predicate::any(2)
+            ),
+        );
+        // (a, b) and (b, a) are distinct composite keys (overwhelmingly likely to
+        // miss on a near-empty filter).
+        assert!(!f.contains_key((11u64, 9u64)));
+    }
+
+    #[test]
+    fn try_new_reports_bad_params_instead_of_panicking() {
+        let bad = CcfParams {
+            fingerprint_bits: 19,
+            ..params(0)
+        };
+        assert_eq!(
+            PlainCcf::try_new(bad).err(),
+            Some(ParamsError::FingerprintBitsOutOfRange { got: 19 })
+        );
     }
 }

@@ -66,6 +66,17 @@ impl Predicate {
         }
     }
 
+    /// An unconstrained predicate spanning exactly the filter's attribute columns.
+    ///
+    /// Prefer this (or `ConditionalFilter::predicate()`, which calls it) over
+    /// hand-passing a count to [`Predicate::any`]: a predicate whose arity disagrees
+    /// with the filter's `num_attrs` silently mis-evaluates — conditions past the
+    /// stored columns are never consulted — so deriving the arity from the parameters
+    /// removes the mismatch by construction.
+    pub fn for_params(params: &crate::params::CcfParams) -> Self {
+        Self::any(params.num_attrs)
+    }
+
     /// Build a predicate from explicit per-column conditions.
     pub fn new(conditions: Vec<ColumnPredicate>) -> Self {
         Self { conditions }
@@ -144,6 +155,19 @@ impl Predicate {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn for_params_spans_the_filter_columns() {
+        let params = crate::params::CcfParams {
+            num_attrs: 3,
+            ..crate::params::CcfParams::default()
+        };
+        let p = Predicate::for_params(&params);
+        assert_eq!(p.num_attrs(), 3);
+        assert!(p.is_unconstrained());
+        assert_eq!(p, Predicate::any(3));
+        assert!(p.and_eq(2, 9).matches_row(&[0, 0, 9]));
+    }
 
     #[test]
     fn any_predicate_matches_everything() {

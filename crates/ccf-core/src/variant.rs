@@ -8,36 +8,60 @@
 //! conversion statistics, ...).
 
 use ccf_cuckoo::{GrowthStats, OccupancyStats};
+use ccf_hash::SaltedHasher;
 
 use crate::bloom_ccf::BloomCcf;
+use crate::builder::CcfBuilder;
 use crate::chained::ChainedCcf;
+use crate::key::FilterKey;
 use crate::mixed::MixedCcf;
 use crate::outcome::{InsertFailure, InsertOutcome};
-use crate::params::CcfParams;
+use crate::params::{CcfParams, ParamsError};
 use crate::plain::PlainCcf;
 use crate::predicate::Predicate;
 use crate::sizing::VariantKind;
 
 /// Operations every conditional cuckoo filter supports.
+///
+/// The trait is split in two layers:
+///
+/// * an **object-safe prehashed core** (`*_prehashed` plus the metadata methods) that
+///   operates on already-lowered 64-bit key material, usable through
+///   `dyn ConditionalFilter`;
+/// * **generic extension methods** (`insert_row`, `query`, `contains_key` and their
+///   `_batch` forms, `where Self: Sized`) that accept any [`FilterKey`] — `u64`,
+///   `&str`, `String`, byte slices, `(u64, u64)` composites — lower it with
+///   [`ConditionalFilter::key_lower_hasher`] and call the core. `u64` keys lower to
+///   themselves, so the generic layer is bit-identical to calling the core directly.
 pub trait ConditionalFilter {
-    /// Insert a row (key plus attribute vector).
-    fn insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure>;
-    /// Query for a key under a predicate.
-    fn query(&self, key: u64, pred: &Predicate) -> bool;
-    /// Key-only membership query.
-    fn contains_key(&self, key: u64) -> bool;
-    /// Batched predicate query: results are bit-identical to calling
-    /// [`ConditionalFilter::query`] per key. Variants override the default per-key
-    /// loop with a two-pass implementation that hashes all `(κ, ℓ, ℓ′)` triples
-    /// before probing.
-    fn query_batch(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
-        keys.iter().map(|&k| self.query(k, pred)).collect()
+    /// Insert a row (already-lowered key plus attribute vector).
+    fn insert_row_prehashed(
+        &mut self,
+        key: u64,
+        attrs: &[u64],
+    ) -> Result<InsertOutcome, InsertFailure>;
+    /// Query for an already-lowered key under a predicate.
+    fn query_prehashed(&self, key: u64, pred: &Predicate) -> bool;
+    /// Key-only membership query on an already-lowered key.
+    fn contains_key_prehashed(&self, key: u64) -> bool;
+    /// Batched predicate query on already-lowered keys: results are bit-identical to
+    /// calling [`ConditionalFilter::query_prehashed`] per key. Variants override the
+    /// default per-key loop with a two-pass implementation that hashes all
+    /// `(κ, ℓ, ℓ′)` triples before probing.
+    fn query_batch_prehashed(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
+        keys.iter()
+            .map(|&k| self.query_prehashed(k, pred))
+            .collect()
     }
-    /// Batched key-only membership query: bit-identical to a per-key
-    /// [`ConditionalFilter::contains_key`] loop.
-    fn contains_key_batch(&self, keys: &[u64]) -> Vec<bool> {
-        keys.iter().map(|&k| self.contains_key(k)).collect()
+    /// Batched key-only membership query on already-lowered keys: bit-identical to a
+    /// per-key [`ConditionalFilter::contains_key_prehashed`] loop.
+    fn contains_key_batch_prehashed(&self, keys: &[u64]) -> Vec<bool> {
+        keys.iter()
+            .map(|&k| self.contains_key_prehashed(k))
+            .collect()
     }
+    /// The hasher typed keys are lowered with before they reach the prehashed core.
+    fn key_lower_hasher(&self) -> SaltedHasher;
     /// Number of occupied entry slots.
     fn occupied_entries(&self) -> usize;
     /// Load factor β.
@@ -51,29 +75,87 @@ pub trait ConditionalFilter {
     /// Resize-history summary (the Bloom variant never grows, so its history is
     /// always empty).
     fn growth_stats(&self) -> GrowthStats;
+
+    /// An unconstrained predicate spanning this filter's attribute columns — the
+    /// arity-safe starting point for building query predicates
+    /// (`filter.predicate().and_eq(0, v)`), equivalent to
+    /// [`Predicate::for_params`]`(self.params())`.
+    fn predicate(&self) -> Predicate {
+        Predicate::for_params(self.params())
+    }
+
+    // --- generic typed-key layer -------------------------------------------------
+
+    /// Insert a row (typed key plus attribute vector).
+    fn insert_row<K: FilterKey>(
+        &mut self,
+        key: K,
+        attrs: &[u64],
+    ) -> Result<InsertOutcome, InsertFailure>
+    where
+        Self: Sized,
+    {
+        let key = key.lower(&self.key_lower_hasher());
+        self.insert_row_prehashed(key, attrs)
+    }
+
+    /// Query for a typed key under a predicate.
+    fn query<K: FilterKey>(&self, key: K, pred: &Predicate) -> bool
+    where
+        Self: Sized,
+    {
+        self.query_prehashed(key.lower(&self.key_lower_hasher()), pred)
+    }
+
+    /// Key-only membership query for a typed key.
+    fn contains_key<K: FilterKey>(&self, key: K) -> bool
+    where
+        Self: Sized,
+    {
+        self.contains_key_prehashed(key.lower(&self.key_lower_hasher()))
+    }
+
+    /// Batched predicate query over typed keys (`u64` batches are lowered copy-free).
+    fn query_batch<K: FilterKey>(&self, keys: &[K], pred: &Predicate) -> Vec<bool>
+    where
+        Self: Sized,
+    {
+        self.query_batch_prehashed(&K::lower_batch(keys, &self.key_lower_hasher()), pred)
+    }
+
+    /// Batched key-only membership query over typed keys.
+    fn contains_key_batch<K: FilterKey>(&self, keys: &[K]) -> Vec<bool>
+    where
+        Self: Sized,
+    {
+        self.contains_key_batch_prehashed(&K::lower_batch(keys, &self.key_lower_hasher()))
+    }
 }
 
 macro_rules! impl_conditional_filter {
     ($ty:ty) => {
         impl ConditionalFilter for $ty {
-            fn insert_row(
+            fn insert_row_prehashed(
                 &mut self,
                 key: u64,
                 attrs: &[u64],
             ) -> Result<InsertOutcome, InsertFailure> {
-                <$ty>::insert_row(self, key, attrs)
+                <$ty>::insert_row_prehashed(self, key, attrs)
             }
-            fn query(&self, key: u64, pred: &Predicate) -> bool {
-                <$ty>::query(self, key, pred)
+            fn query_prehashed(&self, key: u64, pred: &Predicate) -> bool {
+                <$ty>::query_prehashed(self, key, pred)
             }
-            fn contains_key(&self, key: u64) -> bool {
-                <$ty>::contains_key(self, key)
+            fn contains_key_prehashed(&self, key: u64) -> bool {
+                <$ty>::contains_key_prehashed(self, key)
             }
-            fn query_batch(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
-                <$ty>::query_batch(self, keys, pred)
+            fn query_batch_prehashed(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
+                <$ty>::query_batch_prehashed(self, keys, pred)
             }
-            fn contains_key_batch(&self, keys: &[u64]) -> Vec<bool> {
-                <$ty>::contains_key_batch(self, keys)
+            fn contains_key_batch_prehashed(&self, keys: &[u64]) -> Vec<bool> {
+                <$ty>::contains_key_batch_prehashed(self, keys)
+            }
+            fn key_lower_hasher(&self) -> SaltedHasher {
+                <$ty>::key_lower_hasher(self)
             }
             fn occupied_entries(&self) -> usize {
                 <$ty>::occupied_entries(self)
@@ -117,13 +199,30 @@ pub enum AnyCcf {
 
 impl AnyCcf {
     /// Construct an empty filter of the requested variant.
+    ///
+    /// # Panics
+    /// Panics on impossible parameters; use [`AnyCcf::try_new`] or the
+    /// [`AnyCcf::builder`] facade to get a [`ParamsError`] instead.
     pub fn new(kind: VariantKind, params: CcfParams) -> Self {
-        match kind {
-            VariantKind::Plain => AnyCcf::Plain(PlainCcf::new(params)),
-            VariantKind::Chained => AnyCcf::Chained(ChainedCcf::new(params)),
-            VariantKind::Bloom => AnyCcf::Bloom(BloomCcf::new(params)),
-            VariantKind::Mixed => AnyCcf::Mixed(MixedCcf::new(params)),
-        }
+        Self::try_new(kind, params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Construct an empty filter of the requested variant, reporting impossible
+    /// parameters as a [`ParamsError`].
+    pub fn try_new(kind: VariantKind, params: CcfParams) -> Result<Self, ParamsError> {
+        Ok(match kind {
+            VariantKind::Plain => AnyCcf::Plain(PlainCcf::try_new(params)?),
+            VariantKind::Chained => AnyCcf::Chained(ChainedCcf::try_new(params)?),
+            VariantKind::Bloom => AnyCcf::Bloom(BloomCcf::try_new(params)?),
+            VariantKind::Mixed => AnyCcf::Mixed(MixedCcf::try_new(params)?),
+        })
+    }
+
+    /// The fallible, typed construction facade:
+    /// `AnyCcf::builder().variant(VariantKind::Mixed).expected_rows(1_000_000)
+    /// .target_load(0.85).auto_grow().seed(s).build()?`.
+    pub fn builder() -> CcfBuilder {
+        CcfBuilder::new()
     }
 
     /// Which variant this is.
@@ -156,20 +255,27 @@ impl AnyCcf {
 }
 
 impl ConditionalFilter for AnyCcf {
-    fn insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
-        self.as_dyn_mut().insert_row(key, attrs)
+    fn insert_row_prehashed(
+        &mut self,
+        key: u64,
+        attrs: &[u64],
+    ) -> Result<InsertOutcome, InsertFailure> {
+        self.as_dyn_mut().insert_row_prehashed(key, attrs)
     }
-    fn query(&self, key: u64, pred: &Predicate) -> bool {
-        self.as_dyn().query(key, pred)
+    fn query_prehashed(&self, key: u64, pred: &Predicate) -> bool {
+        self.as_dyn().query_prehashed(key, pred)
     }
-    fn contains_key(&self, key: u64) -> bool {
-        self.as_dyn().contains_key(key)
+    fn contains_key_prehashed(&self, key: u64) -> bool {
+        self.as_dyn().contains_key_prehashed(key)
     }
-    fn query_batch(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
-        self.as_dyn().query_batch(keys, pred)
+    fn query_batch_prehashed(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
+        self.as_dyn().query_batch_prehashed(keys, pred)
     }
-    fn contains_key_batch(&self, keys: &[u64]) -> Vec<bool> {
-        self.as_dyn().contains_key_batch(keys)
+    fn contains_key_batch_prehashed(&self, keys: &[u64]) -> Vec<bool> {
+        self.as_dyn().contains_key_batch_prehashed(keys)
+    }
+    fn key_lower_hasher(&self) -> SaltedHasher {
+        self.as_dyn().key_lower_hasher()
     }
     fn occupied_entries(&self) -> usize {
         self.as_dyn().occupied_entries()
@@ -300,7 +406,7 @@ mod tests {
     }
 
     #[test]
-    fn trait_objects_are_usable() {
+    fn trait_objects_are_usable_through_the_prehashed_core() {
         let mut filters: Vec<Box<dyn ConditionalFilter>> = vec![
             Box::new(PlainCcf::new(params())),
             Box::new(ChainedCcf::new(params())),
@@ -308,8 +414,62 @@ mod tests {
             Box::new(MixedCcf::new(params())),
         ];
         for f in &mut filters {
-            f.insert_row(1, &[2, 3]).unwrap();
-            assert!(f.query(1, &Predicate::any(2).and_eq(0, 2)));
+            // Trait objects expose the object-safe prehashed core; typed keys are
+            // lowered by hand with the filter's own hasher.
+            f.insert_row_prehashed(1, &[2, 3]).unwrap();
+            assert!(f.query_prehashed(1, &f.predicate().and_eq(0, 2)));
+            let lowered = "alice".lower(&f.key_lower_hasher());
+            f.insert_row_prehashed(lowered, &[4, 5]).unwrap();
+            assert!(f.contains_key_prehashed(lowered));
+        }
+    }
+
+    #[test]
+    fn typed_keys_agree_between_generic_and_prehashed_layers() {
+        for kind in [
+            VariantKind::Plain,
+            VariantKind::Chained,
+            VariantKind::Bloom,
+            VariantKind::Mixed,
+        ] {
+            let mut f = AnyCcf::new(kind, params());
+            f.insert_row("user-1", &[1, 2]).unwrap();
+            f.insert_row(String::from("user-2"), &[3, 4]).unwrap();
+            f.insert_row((7u64, 8u64), &[5, 6]).unwrap();
+            f.insert_row(77u64, &[7, 8]).unwrap();
+            let h = f.key_lower_hasher();
+            assert!(f.contains_key("user-1"), "{kind:?}");
+            assert!(f.contains_key_prehashed("user-1".lower(&h)), "{kind:?}");
+            assert!(f.query("user-2", &f.predicate().and_eq(0, 3)), "{kind:?}");
+            assert!(f.contains_key((7u64, 8u64)), "{kind:?}");
+            // u64 keys lower to themselves: generic and prehashed layers coincide.
+            assert!(f.contains_key_prehashed(77));
+            let string_keys = vec![String::from("user-1"), String::from("nope")];
+            assert_eq!(
+                f.contains_key_batch(&string_keys),
+                vec![true, f.contains_key("nope")],
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_new_surfaces_params_errors_for_every_variant() {
+        for kind in [
+            VariantKind::Plain,
+            VariantKind::Chained,
+            VariantKind::Bloom,
+            VariantKind::Mixed,
+        ] {
+            let err = AnyCcf::try_new(
+                kind,
+                CcfParams {
+                    attr_bits: 99,
+                    ..params()
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err, ParamsError::AttrBitsOutOfRange { got: 99 }, "{kind:?}");
         }
     }
 }

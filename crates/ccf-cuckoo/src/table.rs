@@ -1,7 +1,7 @@
 //! An open-addressing cuckoo hash table storing full keys and values (§4.1).
 //!
 //! The join substrate uses this for exact hash joins and for the §10.7 comparison
-//! against "a open addressing hash table [that] would require 429 megabytes ... if it
+//! against "a open addressing hash table \[that\] would require 429 megabytes ... if it
 //! could achieve a 75 % load factor". Unlike the cuckoo *filter*, the table stores full
 //! keys, so relocation rehashes the key rather than using partial-key hashing, and
 //! inserting an existing key updates its value.

@@ -119,6 +119,13 @@ pub mod purpose {
     /// key to a shard never correlates with its placement *inside* the shard: a shard
     /// receives a uniform slice of the keyspace, not a slice of any bucket range.
     pub const SHARD: u64 = 5;
+    /// Typed key → canonical 64-bit key material (`FilterKey` lowering in `ccf-core`).
+    /// String, byte and composite keys are hashed at this index before entering the
+    /// u64 hot path; `u64` keys bypass it entirely (identity lowering), which is what
+    /// keeps the u64 path bit-identical to a filter that never heard of typed keys.
+    /// Disjoint from every other purpose so lowering never correlates with bucket
+    /// choice, fingerprints, chains, growth bits or shard routing.
+    pub const KEY_LOWER: u64 = 6;
     /// Base index for per-attribute-column fingerprint hashes; column `c` uses
     /// `ATTRIBUTE_BASE + c`.
     pub const ATTRIBUTE_BASE: u64 = 16;
@@ -204,9 +211,29 @@ mod tests {
             purpose::PARTIAL_KEY,
             purpose::CHAIN,
             purpose::GROWTH,
+            purpose::KEY_LOWER,
         ] {
             assert_ne!(p, purpose::SHARD);
             assert_ne!(f.hasher(p).seed(), shard.seed());
+        }
+    }
+
+    #[test]
+    fn key_lower_purpose_is_disjoint_from_all_other_purposes() {
+        let f = HashFamily::new(0xCCF);
+        let lower = f.hasher(purpose::KEY_LOWER);
+        for p in [
+            purpose::KEY_BUCKET,
+            purpose::KEY_FINGERPRINT,
+            purpose::PARTIAL_KEY,
+            purpose::CHAIN,
+            purpose::GROWTH,
+            purpose::SHARD,
+            purpose::ATTRIBUTE_BASE,
+            purpose::BLOOM_BASE,
+        ] {
+            assert_ne!(p, purpose::KEY_LOWER);
+            assert_ne!(f.hasher(p).seed(), lower.seed());
         }
     }
 

@@ -63,6 +63,15 @@ impl std::fmt::Display for BridgeError {
 
 impl std::error::Error for BridgeError {}
 
+/// Fold into the workspace-level error, so service paths composing construction,
+/// insertion and predicate bridging can bubble one error type
+/// (`Result<_, CcfError>`) with `?`.
+impl From<BridgeError> for ccf_core::CcfError {
+    fn from(e: BridgeError) -> Self {
+        ccf_core::CcfError::Bridge(e.to_string())
+    }
+}
+
 /// Validate that a predicate's column exists on the table.
 fn check_column(table: &SyntheticTable, column: usize) -> Result<(), BridgeError> {
     if column >= table.columns.len() {
@@ -459,6 +468,25 @@ mod tests {
                 try_row_matches_table_predicates(title, row, &ok_qt).unwrap(),
                 row_matches_table_predicates(title, row, &ok_qt)
             );
+        }
+    }
+
+    #[test]
+    fn bridge_errors_fold_into_the_workspace_error() {
+        use ccf_core::CcfError;
+        fn serve() -> Result<Predicate, CcfError> {
+            let bad = QueryTable {
+                table: TableId::Title,
+                predicates: vec![QueryPredicate::Eq {
+                    column: 9,
+                    value: 1,
+                }],
+            };
+            Ok(try_ccf_predicate_for(&bad)?)
+        }
+        match serve() {
+            Err(CcfError::Bridge(msg)) => assert!(msg.contains("column 9")),
+            other => panic!("expected a bridge error, got {other:?}"),
         }
     }
 

@@ -13,7 +13,7 @@
 //! relevant filters per scan (see [`crate::reduction`]).
 
 use ccf_core::sizing::{size_for_profile, DuplicationProfile, VariantKind};
-use ccf_core::{AnyCcf, CcfParams, ConditionalFilter};
+use ccf_core::{AnyCcf, CcfParams, ConditionalFilter, FilterKey, Predicate};
 use ccf_cuckoo::{CuckooFilter, CuckooFilterParams};
 use ccf_workloads::imdb::{spec_of, SyntheticImdb, SyntheticTable, TableId};
 
@@ -161,6 +161,22 @@ impl FilterBank {
             .iter()
             .find(|t| t.table == id)
             .expect("bank contains every table")
+    }
+
+    /// Batched key-only probe of one table's CCF with typed keys (any
+    /// [`FilterKey`]: join keys arriving as strings, composites, or raw `u64`s).
+    pub fn contains_key_batch<K: FilterKey>(&self, id: TableId, keys: &[K]) -> Vec<bool> {
+        self.table(id).ccf.contains_key_batch(keys)
+    }
+
+    /// Batched predicate probe of one table's CCF with typed keys.
+    pub fn query_batch<K: FilterKey>(
+        &self,
+        id: TableId,
+        pred: &Predicate,
+        keys: &[K],
+    ) -> Vec<bool> {
+        self.table(id).ccf.query_batch(keys, pred)
     }
 
     /// Total serialized size of all CCFs, in bits.

@@ -1,6 +1,7 @@
 //! Sharded build + probe path for JOB-light filter banks.
 //!
-//! A [`ShardedFilterBank`] is the concurrent counterpart of [`FilterBank`]: per table
+//! A [`ShardedFilterBank`] is the concurrent counterpart of
+//! [`FilterBank`](crate::filters::FilterBank): per table
 //! it holds a [`ShardedCcf`] instead of a single filter, so the bank is *built* in
 //! parallel (tables fan out over threads, each table's rows absorbed via the sharded
 //! batch-insert path) and *probed* in parallel (the [`ProbeBank`] impl routes probe
@@ -15,7 +16,7 @@
 //! loops, so the instance accounting is exactly as reproducible as the sequential
 //! path.
 
-use ccf_core::{CcfParams, Predicate};
+use ccf_core::{CcfParams, FilterKey, Predicate};
 use ccf_shard::ShardedCcf;
 use ccf_workloads::imdb::{SyntheticImdb, SyntheticTable, TableId};
 use ccf_workloads::joblight::JobLightWorkload;
@@ -153,6 +154,22 @@ impl ShardedFilterBank {
     /// Total rows no shard could absorb.
     pub fn total_failed_rows(&self) -> usize {
         self.tables.iter().map(|t| t.failed_rows).sum()
+    }
+
+    /// Batched key-only probe of one table's sharded CCF with typed keys (any
+    /// [`FilterKey`]).
+    pub fn contains_key_batch<K: FilterKey>(&self, id: TableId, keys: &[K]) -> Vec<bool> {
+        self.table(id).ccf.contains_key_batch(keys)
+    }
+
+    /// Batched predicate probe of one table's sharded CCF with typed keys.
+    pub fn query_batch<K: FilterKey>(
+        &self,
+        id: TableId,
+        pred: &Predicate,
+        keys: &[K],
+    ) -> Vec<bool> {
+        self.table(id).ccf.query_batch(keys, pred)
     }
 }
 

@@ -21,8 +21,11 @@
 use std::sync::RwLock;
 
 use ccf_core::{
-    AnyCcf, CcfParams, ConditionalFilter, InsertFailure, InsertOutcome, Predicate, VariantKind,
+    AnyCcf, CcfParams, ConditionalFilter, FilterKey, InsertFailure, InsertOutcome, ParamsError,
+    Predicate, VariantKind,
 };
+use ccf_hash::salted::purpose;
+use ccf_hash::{HashFamily, SaltedHasher};
 
 use crate::fanout::fan_out_indexed;
 use crate::router::ShardRouter;
@@ -32,9 +35,17 @@ use crate::stats::{ShardSnapshot, ShardStats};
 ///
 /// All operations take `&self`; interior locking is per shard. See the module docs for
 /// the determinism contract.
+///
+/// **Typed keys.** Every entry point is generic over [`FilterKey`]. A key is lowered
+/// *once* — with the same `KEY_LOWER` hasher the shard filters use, since router and
+/// shards share a seed — and that single lowered `u64` is consumed by both the shard
+/// routing hash and the shard's prehashed filter core. `u64` keys lower to
+/// themselves, so the u64 path routes and probes bit-identically to the pre-typed-key
+/// service.
 #[derive(Debug)]
 pub struct ShardedCcf {
     router: ShardRouter,
+    key_lower: SaltedHasher,
     shards: Vec<RwLock<AnyCcf>>,
     threads: usize,
 }
@@ -51,17 +62,32 @@ impl ShardedCcf {
     /// `shard_params.auto_grow` to let each shard double independently under load.
     ///
     /// # Panics
-    /// Panics if `num_shards == 0` (via [`ShardRouter::new`]) or the params are
-    /// invalid (via the shard constructor).
+    /// Panics if `num_shards == 0` or the params are invalid; use
+    /// [`ShardedCcf::try_new`] to get a [`ParamsError`] instead.
     pub fn new(kind: VariantKind, shard_params: CcfParams, num_shards: usize) -> Self {
+        Self::try_new(kind, shard_params, num_shards).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// As [`ShardedCcf::new`], reporting a zero shard count or impossible shard
+    /// parameters as a [`ParamsError`] — so a serving process can reject a bad
+    /// configuration request instead of aborting.
+    pub fn try_new(
+        kind: VariantKind,
+        shard_params: CcfParams,
+        num_shards: usize,
+    ) -> Result<Self, ParamsError> {
+        if num_shards == 0 {
+            return Err(ParamsError::ZeroShards);
+        }
         let shards = (0..num_shards)
-            .map(|_| RwLock::new(AnyCcf::new(kind, shard_params)))
-            .collect();
-        Self {
+            .map(|_| AnyCcf::try_new(kind, shard_params).map(RwLock::new))
+            .collect::<Result<_, _>>()?;
+        Ok(Self {
             router: ShardRouter::new(shard_params.seed, num_shards),
+            key_lower: HashFamily::new(shard_params.seed).hasher(purpose::KEY_LOWER),
             shards,
             threads: num_shards,
-        }
+        })
     }
 
     /// Build a service sized for a *service-wide* expected entry count at the target
@@ -85,13 +111,35 @@ impl ShardedCcf {
     /// per-shard configs are allowed). `router_seed` must be the seed the keys were —
     /// or will be — routed with; pass the same seed used by [`ShardedCcf::new`]
     /// (`shard_params.seed`) to stay compatible.
+    ///
+    /// **Typed-key caveat.** The service lowers non-`u64` keys with the `KEY_LOWER`
+    /// hasher derived from `router_seed`. If you pre-populated the shards *directly*
+    /// with typed keys, those filters must have been built with `seed == router_seed`
+    /// — a shard built on a different seed lowered the same string to different
+    /// material, and point queries through the service would miss it (a silent
+    /// false negative). `u64` keys are unaffected (identity lowering), and keys
+    /// inserted *through* the service are always consistent.
     pub fn from_shards(filters: Vec<AnyCcf>, router_seed: u64) -> Self {
         let num_shards = filters.len();
         Self {
             router: ShardRouter::new(router_seed, num_shards),
+            key_lower: HashFamily::new(router_seed).hasher(purpose::KEY_LOWER),
             shards: filters.into_iter().map(RwLock::new).collect(),
             threads: num_shards.max(1),
         }
+    }
+
+    /// The hasher typed keys are lowered with before routing and probing
+    /// ([`FilterKey::lower`]); the same lowered material the shard filters consume.
+    pub fn key_lower_hasher(&self) -> SaltedHasher {
+        self.key_lower
+    }
+
+    /// An unconstrained predicate spanning the shards' attribute columns — the
+    /// arity-safe starting point for query predicates (see
+    /// [`ccf_core::Predicate::for_params`]).
+    pub fn predicate(&self) -> Predicate {
+        self.with_shard(0, |f| Predicate::for_params(f.params()))
     }
 
     /// Cap the number of worker threads batch operations fan out over (default: one
@@ -123,8 +171,8 @@ impl ShardedCcf {
     }
 
     /// The shard index a key is served by.
-    pub fn shard_of(&self, key: u64) -> usize {
-        self.router.shard_of(key)
+    pub fn shard_of<K: FilterKey>(&self, key: K) -> usize {
+        self.router.shard_of(key.lower(&self.key_lower))
     }
 
     /// Run a closure against a read-locked shard.
@@ -132,28 +180,36 @@ impl ShardedCcf {
         f(&self.shards[shard].read().expect(POISONED))
     }
 
-    /// Insert a row, write-locking only the key's shard.
-    pub fn insert(&self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
+    /// Insert a row, write-locking only the key's shard. The key is lowered once;
+    /// routing and the shard's filter consume the same material.
+    pub fn insert<K: FilterKey>(
+        &self,
+        key: K,
+        attrs: &[u64],
+    ) -> Result<InsertOutcome, InsertFailure> {
+        let key = key.lower(&self.key_lower);
         self.shards[self.router.shard_of(key)]
             .write()
             .expect(POISONED)
-            .insert_row(key, attrs)
+            .insert_row_prehashed(key, attrs)
     }
 
     /// Query a key under a predicate, read-locking only the key's shard.
-    pub fn query(&self, key: u64, pred: &Predicate) -> bool {
+    pub fn query<K: FilterKey>(&self, key: K, pred: &Predicate) -> bool {
+        let key = key.lower(&self.key_lower);
         self.shards[self.router.shard_of(key)]
             .read()
             .expect(POISONED)
-            .query(key, pred)
+            .query_prehashed(key, pred)
     }
 
     /// Key-only membership, read-locking only the key's shard.
-    pub fn contains_key(&self, key: u64) -> bool {
+    pub fn contains_key<K: FilterKey>(&self, key: K) -> bool {
+        let key = key.lower(&self.key_lower);
         self.shards[self.router.shard_of(key)]
             .read()
             .expect(POISONED)
-            .contains_key(key)
+            .contains_key_prehashed(key)
     }
 
     /// How many workers a batch over the given per-shard chunk sizes should use.
@@ -183,22 +239,26 @@ impl ShardedCcf {
 
     /// Batched predicate query. Bit-identical to a per-key [`ShardedCcf::query`] loop
     /// (see the module docs); runs shards on up to [`ShardedCcf::threads`] workers.
-    pub fn query_batch(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
-        let part = self.router.partition(keys);
+    /// Keys are lowered once up front (`u64` batches copy-free); partitioning and the
+    /// per-shard prehashed batch kernels consume the lowered material.
+    pub fn query_batch<K: FilterKey>(&self, keys: &[K], pred: &Predicate) -> Vec<bool> {
+        let lowered = K::lower_batch(keys, &self.key_lower);
+        let part = self.router.partition(&lowered);
         let results = self.fan_out_read(&part.chunks, |filter, chunk| {
-            filter.query_batch(chunk, pred)
+            filter.query_batch_prehashed(chunk, pred)
         });
-        part.scatter(&results, keys.len())
+        part.scatter(&results, lowered.len())
     }
 
     /// Batched key-only membership. Bit-identical to a per-key
     /// [`ShardedCcf::contains_key`] loop.
-    pub fn contains_key_batch(&self, keys: &[u64]) -> Vec<bool> {
-        let part = self.router.partition(keys);
+    pub fn contains_key_batch<K: FilterKey>(&self, keys: &[K]) -> Vec<bool> {
+        let lowered = K::lower_batch(keys, &self.key_lower);
+        let part = self.router.partition(&lowered);
         let results = self.fan_out_read(&part.chunks, |filter, chunk| {
-            filter.contains_key_batch(chunk)
+            filter.contains_key_batch_prehashed(chunk)
         });
-        part.scatter(&results, keys.len())
+        part.scatter(&results, lowered.len())
     }
 
     /// Batched insert: rows are routed to their shards and each shard absorbs its
@@ -206,13 +266,16 @@ impl ShardedCcf {
     /// over up to [`ShardedCcf::threads`] workers. Per-row outcomes come back in input
     /// order, and the resulting filter state is identical to a sequential per-row
     /// [`ShardedCcf::insert`] loop.
-    pub fn insert_batch<A>(&self, rows: &[(u64, A)]) -> Vec<Result<InsertOutcome, InsertFailure>>
+    pub fn insert_batch<K, A>(&self, rows: &[(K, A)]) -> Vec<Result<InsertOutcome, InsertFailure>>
     where
+        K: FilterKey + Sync,
         A: AsRef<[u64]> + Sync,
     {
+        // Lower every key once; routing and the per-shard inserts share the material.
+        let lowered: Vec<u64> = rows.iter().map(|(k, _)| k.lower(&self.key_lower)).collect();
         let mut row_indices: Vec<Vec<usize>> = vec![Vec::new(); self.num_shards()];
-        for (i, (key, _)) in rows.iter().enumerate() {
-            row_indices[self.router.shard_of(*key)].push(i);
+        for (i, &key) in lowered.iter().enumerate() {
+            row_indices[self.router.shard_of(key)].push(i);
         }
         let non_empty = row_indices.iter().filter(|c| !c.is_empty()).count();
         let produced = fan_out_indexed(row_indices.len(), self.workers_for(non_empty), |s| {
@@ -221,7 +284,12 @@ impl ShardedCcf {
                 let mut guard = self.shards[s].write().expect(POISONED);
                 indices
                     .iter()
-                    .map(|&i| (i, guard.insert_row(rows[i].0, rows[i].1.as_ref())))
+                    .map(|&i| {
+                        (
+                            i,
+                            guard.insert_row_prehashed(lowered[i], rows[i].1.as_ref()),
+                        )
+                    })
                     .collect::<Vec<_>>()
             })
         });
@@ -455,6 +523,57 @@ mod tests {
             .sum();
         assert_eq!(stats.total_capacity, exact_capacity);
         assert!(stats.load_factor() > 0.0 && stats.load_factor() <= 1.0);
+    }
+
+    #[test]
+    fn typed_keys_route_and_round_trip_through_the_service() {
+        let service = ShardedCcf::new(VariantKind::Mixed, shard_params(9), 4);
+        let rows: Vec<(String, [u64; 2])> = (0..400)
+            .map(|i| (format!("user-{i:05}"), [i % 5, i % 9]))
+            .collect();
+        let outcomes = service.insert_batch(&rows);
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        for (key, attrs) in &rows {
+            assert!(service.contains_key(key.as_str()), "lost {key}");
+            let pred = service.predicate().and_eq(0, attrs[0]).and_eq(1, attrs[1]);
+            assert!(
+                service.query(key.as_str(), &pred),
+                "false negative on {key}"
+            );
+        }
+        // Point and batch paths agree on typed keys, and the service agrees with the
+        // owning shard probed directly (same lowered material end to end).
+        let probe: Vec<&str> = rows.iter().map(|(k, _)| k.as_str()).collect();
+        let batched = service.contains_key_batch(&probe);
+        let h = service.key_lower_hasher();
+        for (i, (key, _)) in rows.iter().enumerate() {
+            assert_eq!(batched[i], service.contains_key(key.as_str()));
+            let lowered = key.as_str().lower(&h);
+            let shard = service.shard_of(key.as_str());
+            assert_eq!(shard, service.router().shard_of(lowered));
+            assert!(service.with_shard(shard, |f| f.contains_key_prehashed(lowered)));
+        }
+        // Composite keys work too and are order-sensitive.
+        service.insert((1u64, 2u64), &[0, 0]).unwrap();
+        assert!(service.contains_key((1u64, 2u64)));
+    }
+
+    #[test]
+    fn try_new_reports_bad_configs_as_values() {
+        use ccf_core::ParamsError;
+        assert_eq!(
+            ShardedCcf::try_new(VariantKind::Chained, shard_params(1), 0).unwrap_err(),
+            ParamsError::ZeroShards
+        );
+        let bad = CcfParams {
+            fingerprint_bits: 0,
+            ..shard_params(1)
+        };
+        assert_eq!(
+            ShardedCcf::try_new(VariantKind::Chained, bad, 4).unwrap_err(),
+            ParamsError::FingerprintBitsOutOfRange { got: 0 }
+        );
+        assert!(ShardedCcf::try_new(VariantKind::Chained, shard_params(1), 4).is_ok());
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //!   attribute values per join key), and [`joblight`] generates a 70-query workload
 //!   with the same structure as JOB-light (star joins of 2–5 tables on `movie_id`,
 //!   equality predicates plus inequality predicates on `title.production_year`).
+//!
+//! A third family, [`strkeys`], generates **string-keyed** streams (synthetic
+//! identifiers with Zipf duplication) for exercising the typed-key (`FilterKey`)
+//! API end-to-end — the paper's deployments join on strings and composite keys, not
+//! only `u64` surrogates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,9 +28,11 @@
 pub mod imdb;
 pub mod joblight;
 pub mod multiset;
+pub mod strkeys;
 pub mod zipf;
 
 pub use imdb::{SyntheticImdb, TableId, TableSpec};
 pub use joblight::{JobLightQuery, JobLightWorkload, QueryPredicate, QueryTable};
 pub use multiset::{DuplicateDistribution, MultisetStream, Row};
+pub use strkeys::{StringKeyStream, StringRow};
 pub use zipf::ZipfMandelbrot;

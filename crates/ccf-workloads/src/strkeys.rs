@@ -1,0 +1,184 @@
+//! String-keyed workloads for the typed-key API.
+//!
+//! The paper's motivating deployment is join pushdown inside Tableau's query engine
+//! (§1), where join keys are whatever the schema provides — strings, composite keys,
+//! arbitrary tuples — not the `u64` surrogates the multiset experiments use. This
+//! module generates a string-keyed counterpart of [`crate::multiset`]: rows keyed by
+//! synthetic identifiers like `"user-000042"` (with a configurable entity prefix),
+//! duplicated per key by the same constant / Zipf-Mandelbrot machinery, shuffled, and
+//! paired with a hit/miss probe stream. It exercises the `FilterKey` lowering path
+//! (lookup3 over the key bytes) end-to-end through `AnyCcf`, `ShardedCcf` and the
+//! join-bank probes.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::multiset::DuplicateDistribution;
+
+/// One row of a string-keyed workload: an owned string key plus its attribute vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringRow {
+    /// Join key, e.g. `"user-000042"`.
+    pub key: String,
+    /// Attribute values (one per attribute column).
+    pub attrs: Vec<u64>,
+}
+
+/// Generator for string-keyed insertion streams and probe sets.
+#[derive(Debug, Clone)]
+pub struct StringKeyStream {
+    /// Identifier prefix (`"user"` produces keys `user-000000`, `user-000001`, ...).
+    pub prefix: String,
+    /// Distribution of distinct duplicates per key.
+    pub duplicates: DuplicateDistribution,
+    /// Number of attribute columns per row.
+    pub num_attrs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl StringKeyStream {
+    /// Create a stream generator.
+    pub fn new(
+        prefix: impl Into<String>,
+        duplicates: DuplicateDistribution,
+        num_attrs: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(num_attrs >= 1, "need at least one attribute column");
+        Self {
+            prefix: prefix.into(),
+            duplicates,
+            num_attrs,
+            seed,
+        }
+    }
+
+    /// The `i`-th key of this stream (stable, so probe generation and ground truth
+    /// can re-derive any key without storing the rows).
+    pub fn key(&self, i: u64) -> String {
+        format!("{}-{:06}", self.prefix, i)
+    }
+
+    /// Generate approximately `target_rows` rows: keys are taken in order, each with
+    /// its sampled number of *distinct* duplicate rows (different attribute vectors),
+    /// and the concatenation is shuffled — mirroring [`crate::multiset`]'s §10.1
+    /// setup, with string keys.
+    pub fn generate(&self, target_rows: usize) -> Vec<StringRow> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rows = Vec::with_capacity(target_rows + 16);
+        let mut next_key = 0u64;
+        while rows.len() < target_rows {
+            let key = self.key(next_key);
+            let dupes = d_sample(&self.duplicates, &mut rng);
+            for dup in 0..dupes {
+                // Distinct attribute vectors per duplicate: column 0 carries the
+                // duplicate index (small values stay exactly representable under the
+                // §9 small-value optimisation); later columns are random.
+                let mut attrs = Vec::with_capacity(self.num_attrs);
+                attrs.push(dup);
+                for _ in 1..self.num_attrs {
+                    attrs.push(rng.gen_range(0..1000));
+                }
+                rows.push(StringRow {
+                    key: key.clone(),
+                    attrs,
+                });
+            }
+            next_key += 1;
+        }
+        rows.truncate(target_rows);
+        rows.shuffle(&mut rng);
+        rows
+    }
+
+    /// A probe stream of `count` keys alternating present keys (drawn from the first
+    /// `present_keys` identifiers) and absent keys (identifiers far past the
+    /// insertion range), for FPR / throughput measurements.
+    pub fn probes(&self, present_keys: u64, count: usize) -> Vec<String> {
+        (0..count as u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    self.key((i / 2) % present_keys.max(1))
+                } else {
+                    self.key(1_000_000_000 + i)
+                }
+            })
+            .collect()
+    }
+}
+
+fn d_sample<R: Rng + ?Sized>(d: &DuplicateDistribution, rng: &mut R) -> u64 {
+    match d {
+        DuplicateDistribution::Constant(c) => (*c).max(1),
+        DuplicateDistribution::Zipf(z) => z.sample(rng),
+    }
+}
+
+/// Number of distinct keys in a generated stream.
+pub fn distinct_keys(rows: &[StringRow]) -> usize {
+    let mut keys: Vec<&str> = rows.iter().map(|r| r.key.as_str()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> StringKeyStream {
+        StringKeyStream::new("user", DuplicateDistribution::zipf_with_mean(3.0), 2, 11)
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let a = stream().generate(5_000);
+        let b = stream().generate(5_000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5_000);
+        assert!(a.iter().all(|r| r.attrs.len() == 2));
+        assert!(a.iter().all(|r| r.key.starts_with("user-")));
+    }
+
+    #[test]
+    fn duplicates_have_distinct_attribute_vectors() {
+        let rows = stream().generate(3_000);
+        let mut seen = std::collections::HashSet::new();
+        for r in &rows {
+            assert!(
+                seen.insert((r.key.clone(), r.attrs.clone())),
+                "exact duplicate row generated for {}",
+                r.key
+            );
+        }
+        let mean = rows.len() as f64 / distinct_keys(&rows) as f64;
+        assert!(mean > 1.5, "zipf(3.0) stream should duplicate keys: {mean}");
+    }
+
+    #[test]
+    fn probes_alternate_hits_and_misses() {
+        let s = stream();
+        let probes = s.probes(100, 50);
+        assert_eq!(probes.len(), 50);
+        for (i, p) in probes.iter().enumerate() {
+            if i % 2 == 0 {
+                let n: u64 = p.trim_start_matches("user-").parse().unwrap();
+                assert!(n < 100);
+            } else {
+                let n: u64 = p.trim_start_matches("user-").parse().unwrap();
+                assert!(n >= 1_000_000_000);
+            }
+        }
+    }
+
+    #[test]
+    fn keys_are_stable() {
+        assert_eq!(stream().key(42), "user-000042");
+        assert_eq!(
+            StringKeyStream::new("movie", DuplicateDistribution::Constant(1), 1, 0).key(7),
+            "movie-000007"
+        );
+    }
+}

@@ -1,35 +1,41 @@
-//! Quickstart: build a Conditional Cuckoo Filter over a keyed table, query it with
-//! predicates, and compare against what a plain key-only filter could tell you.
+//! Quickstart: build a Conditional Cuckoo Filter over a keyed table with the fallible
+//! builder facade, insert rows under *typed* keys (strings here — any `FilterKey`
+//! works), and query with predicates.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use conditional_cuckoo_filters::ccf::{CcfParams, ChainedCcf, Predicate};
+use conditional_cuckoo_filters::ccf::{AnyCcf, CcfError, ConditionalFilter, VariantKind};
 
-fn main() {
-    // A toy "movie_companies"-like table: (movie_id, [company_id, company_type_id]).
-    // Movie 10 was produced by company 7 (type 1) and distributed by company 21 (type 2);
-    // movie 11 only has a distribution row; movie 12 has three companies.
-    let rows: &[(u64, [u64; 2])] = &[
-        (10, [7, 1]),
-        (10, [21, 2]),
-        (11, [21, 2]),
-        (12, [7, 1]),
-        (12, [8, 1]),
-        (12, [33, 2]),
+fn main() -> Result<(), CcfError> {
+    // A toy "movie_companies"-like table keyed by movie title:
+    // (title, [company_id, company_type_id]). "Heat" was produced by company 7
+    // (type 1) and distributed by company 21 (type 2); "Ronin" only has a
+    // distribution row; "Spartan" has three companies.
+    let rows: &[(&str, [u64; 2])] = &[
+        ("Heat", [7, 1]),
+        ("Heat", [21, 2]),
+        ("Ronin", [21, 2]),
+        ("Spartan", [7, 1]),
+        ("Spartan", [8, 1]),
+        ("Spartan", [33, 2]),
     ];
 
-    // Size and build a chained CCF: 2 attribute columns, defaults otherwise
-    // (d = 3 duplicates per bucket pair, b = 6 entries per bucket, 12-bit key
+    // Construction is typed and fallible: describe the workload, get a filter or a
+    // `ParamsError` value — nothing panics on bad parameters. The defaults follow the
+    // paper (d = 3 duplicates per bucket pair, b = 6 entries per bucket, 12-bit key
     // fingerprints, 8-bit attribute fingerprints).
-    let mut filter = ChainedCcf::new(CcfParams {
-        num_buckets: 1 << 8,
-        num_attrs: 2,
-        ..CcfParams::default()
-    });
-    for (movie_id, attrs) in rows {
-        filter
-            .insert_row(*movie_id, attrs)
-            .expect("a 256-bucket filter easily holds six rows");
+    let mut filter = AnyCcf::builder()
+        .variant(VariantKind::Chained)
+        .num_attrs(2)
+        .expected_rows(rows.len())
+        .target_load(0.85)
+        .seed(42)
+        .build()?;
+    for (title, attrs) in rows {
+        // `insert_row` accepts any `FilterKey`: &str and String lower through
+        // lookup3, u64 keys take the classic hot path bit-identically, and
+        // (u64, u64) composites are supported for multi-column join keys.
+        filter.insert_row(*title, attrs)?;
     }
 
     println!(
@@ -39,32 +45,35 @@ fn main() {
         filter.size_bits()
     );
 
-    // Key + predicate queries: "does movie X have a company of type 2?"
-    let type2 = Predicate::any(2).and_eq(1, 2);
-    for movie in [10u64, 11, 12, 99] {
+    // Key + predicate queries: "does this movie have a company of type 2?".
+    // `filter.predicate()` spans the filter's attribute columns, so the arity can
+    // never drift out of sync with the filter.
+    let type2 = filter.predicate().and_eq(1, 2);
+    for movie in ["Heat", "Ronin", "Spartan", "Sphere"] {
         println!(
-            "movie {movie}: key present = {:<5} | has a type-2 company = {}",
+            "{movie:<8}: key present = {:<5} | has a type-2 company = {}",
             filter.contains_key(movie),
             filter.query(movie, &type2)
         );
     }
 
     // Conjunctions work too: "produced by company 7 AND type 1".
-    let produced_by_7 = Predicate::any(2).and_eq(0, 7).and_eq(1, 1);
+    let produced_by_7 = filter.predicate().and_eq(0, 7).and_eq(1, 1);
     println!();
-    for movie in [10u64, 11, 12] {
+    for movie in ["Heat", "Ronin", "Spartan"] {
         println!(
-            "movie {movie}: produced by company 7 = {}",
+            "{movie:<8}: produced by company 7 = {}",
             filter.query(movie, &produced_by_7)
         );
     }
 
     // The guarantee that makes this safe to use for pruning work: no false negatives.
-    for (movie_id, attrs) in rows {
-        let exact = Predicate::any(2).and_eq(0, attrs[0]).and_eq(1, attrs[1]);
-        assert!(filter.query(*movie_id, &exact), "no false negatives, ever");
+    for (title, attrs) in rows {
+        let exact = filter.predicate().and_eq(0, attrs[0]).and_eq(1, attrs[1]);
+        assert!(filter.query(*title, &exact), "no false negatives, ever");
     }
     println!(
         "\nevery inserted row is found by its own (key, predicate) query — no false negatives"
     );
+    Ok(())
 }

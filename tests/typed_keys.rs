@@ -1,0 +1,404 @@
+//! The typed-key / fallible-builder redesign's cross-crate contract tests.
+//!
+//! Three pillars:
+//!
+//! 1. **Golden bit-identity.** The digests hardcoded below were captured on the
+//!    pre-redesign code (u64-only API) for every variant and for the sharded service.
+//!    The redesigned generic API must reproduce them bit-for-bit for `u64` keys —
+//!    identity lowering means the u64 hot path never changed.
+//! 2. **Lowering agreement.** Property tests check every `FilterKey` impl agrees with
+//!    the prehashed-u64 core across variants and the sharded service.
+//! 3. **End-to-end string keys.** A string-keyed workload flows through `AnyCcf`
+//!    (via the builder), `ShardedCcf`, and the join-bank probes.
+
+use conditional_cuckoo_filters::ccf::sizing::VariantKind;
+use conditional_cuckoo_filters::ccf::{
+    AnyCcf, CcfError, CcfParams, ConditionalFilter, FilterKey, InsertFailure, ParamsError,
+    Predicate,
+};
+use conditional_cuckoo_filters::join::filters::{FilterBank, FilterConfig};
+use conditional_cuckoo_filters::shard::ShardedCcf;
+use conditional_cuckoo_filters::workloads::imdb::{SyntheticImdb, TableId};
+use conditional_cuckoo_filters::workloads::multiset::DuplicateDistribution;
+use conditional_cuckoo_filters::workloads::strkeys::StringKeyStream;
+use proptest::prelude::*;
+
+const ALL_VARIANTS: [VariantKind; 4] = [
+    VariantKind::Plain,
+    VariantKind::Chained,
+    VariantKind::Bloom,
+    VariantKind::Mixed,
+];
+
+// --- 1. Golden bit-identity -------------------------------------------------------
+
+fn fold(digest: &mut u64, bit: bool) {
+    *digest = digest.wrapping_mul(0x100000001B3).wrapping_add(if bit {
+        0x9E3779B97F4A7C15
+    } else {
+        0x2545F4914F6CDD1D
+    });
+}
+
+fn golden_params() -> CcfParams {
+    CcfParams {
+        num_buckets: 1 << 9,
+        num_attrs: 2,
+        seed: 0xC0FFEE,
+        ..CcfParams::default()
+    }
+}
+
+/// Duplicate-heavy stream: key i/5 appears 5 times with distinct attribute vectors,
+/// so chaining, Bloom merging and mixed conversion all engage.
+fn golden_rows() -> Vec<(u64, [u64; 2])> {
+    (0..900u64)
+        .map(|i| {
+            (
+                (i / 5).wrapping_mul(0x9E3779B97F4A7C15) >> 17,
+                [1000 + i % 7 + 10 * (i % 5), 2000 + i % 13],
+            )
+        })
+        .collect()
+}
+
+fn golden_probes() -> Vec<u64> {
+    let rows = golden_rows();
+    (0..3000u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                rows[(i as usize / 2) % 900].0
+            } else {
+                i.wrapping_mul(0xA24BAED4963EE407)
+            }
+        })
+        .collect()
+}
+
+/// Digests captured on the pre-redesign code (u64-only API, commit 16d11f1): the
+/// insert outcomes, 3000 predicate-query results and 3000 contains results folded
+/// FNV-style, per variant.
+const GOLDEN_VARIANT_DIGESTS: [(VariantKind, u64); 4] = [
+    (VariantKind::Plain, 0x2E551D3840882AED),
+    (VariantKind::Chained, 0x2E551D3840882AED),
+    (VariantKind::Bloom, 0x77F2C80F283FC725),
+    (VariantKind::Mixed, 0x2E551D3840882AED),
+];
+
+/// As above for a 4-shard chained `ShardedCcf` (batch insert, batch probes, and the
+/// shard-routing of the first 64 probe keys).
+const GOLDEN_SHARDED_DIGEST: u64 = 0xDF59F9387029BD0D;
+
+#[test]
+fn u64_keys_are_bit_identical_to_the_pre_redesign_behavior() {
+    let pred = Predicate::any(2).and_eq(0, 1013);
+    let probes = golden_probes();
+    for (kind, expected) in GOLDEN_VARIANT_DIGESTS {
+        let mut f = AnyCcf::new(kind, golden_params());
+        let mut digest = 0xCBF29CE484222325u64;
+        for (k, attrs) in golden_rows() {
+            fold(&mut digest, f.insert_row(k, &attrs).is_ok());
+        }
+        for q in f.query_batch(&probes, &pred) {
+            fold(&mut digest, q);
+        }
+        for c in f.contains_key_batch(&probes) {
+            fold(&mut digest, c);
+        }
+        assert_eq!(
+            digest, expected,
+            "{kind:?}: the u64 hot path diverged from the pre-redesign behavior"
+        );
+    }
+}
+
+#[test]
+fn sharded_u64_keys_are_bit_identical_to_the_pre_redesign_behavior() {
+    let pred = Predicate::any(2).and_eq(0, 1013);
+    let probes = golden_probes();
+    let service = ShardedCcf::new(VariantKind::Chained, golden_params(), 4);
+    let mut digest = 0xCBF29CE484222325u64;
+    for o in service.insert_batch(&golden_rows()) {
+        fold(&mut digest, o.is_ok());
+    }
+    for q in service.query_batch(&probes, &pred) {
+        fold(&mut digest, q);
+    }
+    for c in service.contains_key_batch(&probes) {
+        fold(&mut digest, c);
+    }
+    for k in probes.iter().take(64) {
+        fold(&mut digest, service.shard_of(*k) == 0);
+    }
+    assert_eq!(
+        digest, GOLDEN_SHARDED_DIGEST,
+        "sharded routing or probing diverged from the pre-redesign behavior"
+    );
+}
+
+// --- 2. Lowering agreement (property tests) ---------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every `FilterKey` impl agrees with the prehashed-u64 core: inserting typed keys
+    /// and querying them generically gives exactly the answers the prehashed core
+    /// gives on the lowered material — u64 keys being the identity — for all four
+    /// variants.
+    #[test]
+    fn every_key_type_agrees_with_the_prehashed_core(seed in any::<u64>()) {
+        let params = CcfParams {
+            num_buckets: 1 << 8,
+            num_attrs: 1,
+            seed,
+            ..CcfParams::default()
+        };
+        for kind in ALL_VARIANTS {
+            let mut f = AnyCcf::new(kind, params);
+            let h = f.key_lower_hasher();
+            let strings: Vec<String> = (0..200).map(|i| format!("key-{seed:x}-{i}")).collect();
+            let composites: Vec<(u64, u64)> = (0..200).map(|i| (seed, i)).collect();
+            let raw: Vec<u64> = (0..200u64).map(|i| seed.wrapping_add(i * 0x9E37)).collect();
+            for i in 0..200usize {
+                f.insert_row(strings[i].as_str(), &[i as u64 % 7]).unwrap();
+                f.insert_row(composites[i], &[i as u64 % 7]).unwrap();
+                f.insert_row(raw[i], &[i as u64 % 7]).unwrap();
+            }
+            // u64 lowering is the identity.
+            for &k in raw.iter().take(32) {
+                prop_assert_eq!(k.lower(&h), k);
+            }
+            let pred = f.predicate().and_eq(0, 3);
+            for i in (0..200usize).step_by(7) {
+                let s = strings[i].as_str();
+                let c = composites[i];
+                let k = raw[i];
+                prop_assert_eq!(f.contains_key(s), f.contains_key_prehashed(s.lower(&h)));
+                prop_assert_eq!(f.contains_key(c), f.contains_key_prehashed(c.lower(&h)));
+                prop_assert_eq!(f.contains_key(k), f.contains_key_prehashed(k));
+                prop_assert_eq!(f.query(s, &pred), f.query_prehashed(s.lower(&h), &pred));
+                prop_assert_eq!(f.query(c, &pred), f.query_prehashed(c.lower(&h), &pred));
+                prop_assert_eq!(f.query(k, &pred), f.query_prehashed(k, &pred));
+                // String forms agree with each other.
+                prop_assert_eq!(f.contains_key(s), f.contains_key(strings[i].clone()));
+                prop_assert_eq!(f.contains_key(s), f.contains_key(s.as_bytes()));
+            }
+            // Batch layers agree with their prehashed cores.
+            let str_refs: Vec<&str> = strings.iter().map(String::as_str).collect();
+            let lowered: Vec<u64> = str_refs.iter().map(|s| s.lower(&h)).collect();
+            prop_assert_eq!(
+                f.contains_key_batch(&str_refs),
+                f.contains_key_batch_prehashed(&lowered)
+            );
+            prop_assert_eq!(
+                f.query_batch(&str_refs, &pred),
+                f.query_batch_prehashed(&lowered, &pred)
+            );
+            prop_assert_eq!(
+                f.contains_key_batch(&raw),
+                f.contains_key_batch_prehashed(&raw)
+            );
+        }
+    }
+
+    /// The sharded service agrees with a single-filter reference on every key type:
+    /// routing consumes the same lowered material as probing, so a key inserted
+    /// through the service is found on exactly the shard its lowered material routes
+    /// to, and batch results match per-key loops.
+    #[test]
+    fn sharded_service_agrees_with_single_filter_for_typed_keys(seed in any::<u64>()) {
+        let params = CcfParams {
+            num_buckets: 1 << 7,
+            num_attrs: 1,
+            seed,
+            ..CcfParams::default()
+        };
+        let service = ShardedCcf::new(VariantKind::Chained, params, 3);
+        let mut reference = AnyCcf::new(VariantKind::Chained, params);
+        let keys: Vec<String> = (0..300).map(|i| format!("u-{seed:x}-{i}")).collect();
+        for (i, k) in keys.iter().enumerate() {
+            service.insert(k.as_str(), &[i as u64 % 5]).unwrap();
+            reference.insert_row(k.as_str(), &[i as u64 % 5]).unwrap();
+        }
+        // No false negatives through the service, and point == batch.
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let batch = service.contains_key_batch(&refs);
+        for (i, k) in refs.iter().enumerate() {
+            prop_assert!(batch[i], "service lost {k}");
+            prop_assert_eq!(batch[i], service.contains_key(*k));
+        }
+        // Absent probes: the service can only answer true if the single-filter
+        // reference sees a fingerprint collision on the same lowered material in the
+        // shard's smaller table — but both must agree with their own prehashed path.
+        let h = service.key_lower_hasher();
+        for i in 0..100 {
+            let probe = format!("absent-{seed:x}-{i}");
+            let lowered = probe.as_str().lower(&h);
+            let shard = service.shard_of(probe.as_str());
+            prop_assert_eq!(
+                service.contains_key(probe.as_str()),
+                service.with_shard(shard, |f| f.contains_key_prehashed(lowered))
+            );
+        }
+    }
+}
+
+// --- 3. End-to-end string keys ----------------------------------------------------
+
+#[test]
+fn string_workload_flows_through_builder_sharded_service_and_join_bank() -> Result<(), CcfError> {
+    let stream = StringKeyStream::new("user", DuplicateDistribution::zipf_with_mean(2.5), 2, 0xA11);
+    let rows = stream.generate(4_000);
+
+    // Builder-constructed AnyCcf.
+    let mut filter = AnyCcf::builder()
+        .variant(VariantKind::Mixed)
+        .num_attrs(2)
+        .expected_rows(rows.len())
+        .auto_grow()
+        .seed(3)
+        .build()?;
+    for r in &rows {
+        filter.insert_row(r.key.as_str(), &r.attrs)?;
+    }
+
+    // Sharded service over the same stream.
+    let service = ShardedCcf::try_new(
+        VariantKind::Mixed,
+        CcfParams {
+            num_attrs: 2,
+            seed: 3,
+            auto_grow: true,
+            ..CcfParams::default()
+        }
+        .try_sized_for_entries(rows.len() / 4, 0.85)?,
+        4,
+    )?;
+    let row_refs: Vec<(&str, &[u64])> = rows
+        .iter()
+        .map(|r| (r.key.as_str(), r.attrs.as_slice()))
+        .collect();
+    for outcome in service.insert_batch(&row_refs) {
+        outcome?;
+    }
+
+    // No false negatives anywhere, with full predicates.
+    for r in &rows {
+        let pred = filter
+            .predicate()
+            .and_eq(0, r.attrs[0])
+            .and_eq(1, r.attrs[1]);
+        assert!(filter.query(r.key.as_str(), &pred), "AnyCcf lost {}", r.key);
+        assert!(
+            service.query(r.key.as_str(), &pred),
+            "ShardedCcf lost {}",
+            r.key
+        );
+    }
+
+    // Probe stream: single filter and sharded service agree on hits (both have every
+    // inserted key; misses may differ only through each geometry's own collisions).
+    let probes = stream.probes(1_000, 2_000);
+    let probe_refs: Vec<&str> = probes.iter().map(String::as_str).collect();
+    let single = filter.contains_key_batch(&probe_refs);
+    let sharded = service.contains_key_batch(&probe_refs);
+    for (i, p) in probe_refs.iter().enumerate() {
+        if i % 2 == 0 {
+            assert!(single[i] && sharded[i], "present probe {p} missed");
+        }
+    }
+
+    // Join bank: probe a table's CCF with string keys through the typed-key bridge
+    // (u64 join keys rendered as strings on the client side).
+    let db = SyntheticImdb::generate(256, 5);
+    let bank = FilterBank::build(&db, FilterConfig::small(VariantKind::Chained));
+    let table = db.table(TableId::MovieCompanies);
+    let string_keys: Vec<String> = table
+        .join_keys
+        .iter()
+        .map(|k| format!("movie-{k}"))
+        .collect();
+    let hits = bank.contains_key_batch(TableId::MovieCompanies, &string_keys);
+    // String keys were never inserted (the bank is keyed by u64 movie ids), so these
+    // are pure FPR probes: the typed path must answer, and mostly with "no".
+    let fp_rate = hits.iter().filter(|&&h| h).count() as f64 / hits.len() as f64;
+    assert!(
+        fp_rate < 0.05,
+        "string-key probes against a u64-keyed bank should mostly miss: {fp_rate}"
+    );
+    // And u64 probes through the same typed entry point still hit every join key.
+    let u64_hits = bank.contains_key_batch(TableId::MovieCompanies, &table.join_keys);
+    assert!(u64_hits.iter().all(|&h| h), "u64 typed path lost join keys");
+    Ok(())
+}
+
+// --- ParamsError / CcfError surface ------------------------------------------------
+
+#[test]
+fn construction_and_hot_paths_report_errors_as_values() {
+    // Constructors: every variant plus the sharded service.
+    for kind in ALL_VARIANTS {
+        assert!(matches!(
+            AnyCcf::try_new(
+                kind,
+                CcfParams {
+                    max_dupes: 0,
+                    ..CcfParams::default()
+                }
+            ),
+            Err(ParamsError::ZeroMaxDupes)
+        ));
+    }
+    assert!(matches!(
+        ShardedCcf::try_new(VariantKind::Chained, CcfParams::default(), 0),
+        Err(ParamsError::ZeroShards)
+    ));
+    // Builder.
+    assert!(matches!(
+        AnyCcf::builder().entries_per_bucket(0).build(),
+        Err(ParamsError::ZeroEntriesPerBucket)
+    ));
+    // Hot path: arity mismatches are values, not panics, on every variant and the
+    // sharded service.
+    for kind in ALL_VARIANTS {
+        let mut f = AnyCcf::new(
+            kind,
+            CcfParams {
+                num_attrs: 2,
+                ..CcfParams::default()
+            },
+        );
+        assert_eq!(
+            f.insert_row("k", &[1]),
+            Err(InsertFailure::AttrArityMismatch {
+                expected: 2,
+                got: 1
+            }),
+            "{kind:?}"
+        );
+    }
+    let service = ShardedCcf::new(
+        VariantKind::Chained,
+        CcfParams {
+            num_attrs: 2,
+            ..CcfParams::default()
+        },
+        2,
+    );
+    assert_eq!(
+        service.insert("k", &[1, 2, 3]),
+        Err(InsertFailure::AttrArityMismatch {
+            expected: 2,
+            got: 3
+        })
+    );
+    // Everything converges on CcfError.
+    let as_ccf: CcfError = ParamsError::ZeroShards.into();
+    assert!(as_ccf.to_string().contains("shard"));
+    let as_ccf: CcfError = InsertFailure::AttrArityMismatch {
+        expected: 2,
+        got: 1,
+    }
+    .into();
+    assert!(as_ccf.to_string().contains("attributes"));
+}
