@@ -1,0 +1,134 @@
+//! Criterion bench for the deletion work: sustained sliding-window churn
+//! (insert + delete per steady-state arrival) on the chained and mixed variants and
+//! the sharded service, plus the raw point-delete throughput of a chained filter.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use ccf_core::{AnyCcf, CcfParams, ConditionalFilter, VariantKind};
+use ccf_shard::ShardedCcf;
+use ccf_workloads::churn::{ChurnOp, SlidingWindowChurn};
+
+const WINDOW: usize = 4_000;
+const ARRIVALS: usize = 20_000;
+const KEYSPACE: u64 = 512;
+
+fn churn_params(seed: u64) -> CcfParams {
+    CcfParams {
+        num_attrs: 2,
+        seed,
+        ..CcfParams::default()
+    }
+    .sized_for_entries(WINDOW, 0.7)
+    .with_auto_grow()
+}
+
+fn ops() -> Vec<ChurnOp> {
+    SlidingWindowChurn::new(WINDOW, 2, KEYSPACE, 0xC4DE).ops(ARRIVALS)
+}
+
+fn bench_churn_variants(c: &mut Criterion) {
+    let stream = ops();
+    let mut group = c.benchmark_group("churn_replay");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for (kind, name) in [
+        (VariantKind::Chained, "chained"),
+        (VariantKind::Mixed, "mixed"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut filter = AnyCcf::new(kind, churn_params(0xC4DE));
+                let mut applied = 0usize;
+                for op in &stream {
+                    match op {
+                        ChurnOp::Insert(row) => {
+                            let _ = filter.insert_row(row.key, &row.attrs);
+                        }
+                        ChurnOp::Delete(row) => {
+                            let _ = filter.delete_row(row.key, &row.attrs);
+                        }
+                    }
+                    applied += 1;
+                }
+                black_box(applied)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharded_churn(c: &mut Criterion) {
+    let stream = ops();
+    let mut group = c.benchmark_group("churn_replay_sharded");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("chained_x4", |b| {
+        b.iter(|| {
+            // The service's own sizing policy (per-shard slice of the window), so
+            // the bench measures the geometry a real deployment would construct.
+            let service = ShardedCcf::sized_for_entries(
+                VariantKind::Chained,
+                CcfParams {
+                    num_attrs: 2,
+                    seed: 0xC4DE,
+                    ..CcfParams::default()
+                }
+                .with_auto_grow(),
+                4,
+                WINDOW,
+                0.7,
+            );
+            let mut applied = 0usize;
+            for op in &stream {
+                match op {
+                    ChurnOp::Insert(row) => {
+                        let _ = service.insert(row.key, &row.attrs);
+                    }
+                    ChurnOp::Delete(row) => {
+                        let _ = service.delete_row(row.key, &row.attrs);
+                    }
+                }
+                applied += 1;
+            }
+            black_box(applied)
+        })
+    });
+    group.finish();
+}
+
+fn bench_point_deletes(c: &mut Criterion) {
+    // Raw delete throughput: fill a chained filter, then time delete_row over the
+    // stored rows (re-inserting between iterations is part of the measured loop to
+    // keep the filter occupied; inserts and deletes are counted as one element).
+    let rows: Vec<(u64, [u64; 2])> = (0..WINDOW as u64)
+        .map(|k| (k % KEYSPACE, [k % 251, (k / KEYSPACE) % 251]))
+        .collect();
+    let mut filter = AnyCcf::new(VariantKind::Chained, churn_params(0xDE1E));
+    for (k, a) in &rows {
+        filter.insert_row(*k, a).unwrap();
+    }
+    let mut group = c.benchmark_group("chained_delete_reinsert");
+    group.throughput(Throughput::Elements(2 * rows.len() as u64));
+    group.bench_function("delete_then_reinsert", |b| {
+        b.iter(|| {
+            let mut removed = 0usize;
+            for (k, a) in &rows {
+                if filter.delete_row(*k, a) == Ok(true) {
+                    removed += 1;
+                }
+            }
+            for (k, a) in &rows {
+                let _ = filter.insert_row(*k, a);
+            }
+            black_box(removed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_churn_variants,
+    bench_sharded_churn,
+    bench_point_deletes
+);
+criterion_main!(benches);

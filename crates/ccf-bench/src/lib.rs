@@ -14,11 +14,13 @@
 //! | [`joblight_experiments`] | Figures 6–10, Tables 2–3, §10.6 aggregates |
 //! | [`growth_experiments`] | beyond the paper: auto-grow cost and batched-probe throughput |
 //! | [`sharded_experiments`] | beyond the paper: sharded-service batch-probe scaling |
+//! | [`churn_experiments`] | beyond the paper: sliding-window insert/delete churn |
 //! | [`report`] | plain-text table formatting shared by the binaries |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn_experiments;
 pub mod fpr_experiments;
 pub mod growth_experiments;
 pub mod joblight_experiments;

@@ -1,5 +1,5 @@
 //! Smoke tests for the experiment binaries (the 13 paper artefacts plus the
-//! growth/batch and sharded-throughput harnesses): each one must run to completion at a minimal workload scale
+//! growth/batch, sharded-throughput and churn harnesses): each one must run to completion at a minimal workload scale
 //! and produce non-empty tabular output. For `growth_batch` this also re-verifies the
 //! bit-identity and zero-failure contracts at smoke scale, so the growth/batch bench
 //! cannot silently rot.
@@ -71,4 +71,5 @@ bin_smoke_tests!(
     aggregate,
     growth_batch,
     sharded_throughput,
+    churn,
 );

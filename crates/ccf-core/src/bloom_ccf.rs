@@ -22,7 +22,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::attr::match_raw_bloom;
 use crate::key::FilterKey;
-use crate::outcome::{InsertFailure, InsertOutcome};
+use crate::outcome::{DeleteFailure, InsertFailure, InsertOutcome};
 use crate::params::{CcfParams, ParamsError};
 use crate::predicate::Predicate;
 
@@ -222,6 +222,78 @@ impl BloomCcf {
         Err(InsertFailure::KicksExhausted {
             load_factor_millis: (self.load_factor() * 1000.0).round() as u32,
         })
+    }
+
+    /// Deletion is structurally unsupported: every row of a key is merged into one
+    /// per-entry Bloom sketch, and Bloom bits cannot be unmerged without breaking the
+    /// other rows' no-false-negative guarantee. Always returns
+    /// [`DeleteFailure::Unsupported`] as a value (never panics), so churn-capable
+    /// deployments can detect the misconfiguration and pick a deletable variant.
+    pub fn delete_row<K: FilterKey>(
+        &mut self,
+        _key: K,
+        _attrs: &[u64],
+    ) -> Result<bool, DeleteFailure> {
+        Err(DeleteFailure::Unsupported)
+    }
+
+    /// [`BloomCcf::delete_row`] on already-lowered key material (also unsupported).
+    pub fn delete_row_prehashed(
+        &mut self,
+        _key: u64,
+        _attrs: &[u64],
+    ) -> Result<bool, DeleteFailure> {
+        Err(DeleteFailure::Unsupported)
+    }
+
+    /// Key deletion is unsupported for the same reason as [`BloomCcf::delete_row`]:
+    /// removing the key's entry would also erase every row merged into its sketch,
+    /// including rows the caller did not ask to delete (colliding fingerprints merge
+    /// *different* keys into one entry).
+    pub fn delete_key<K: FilterKey>(&mut self, _key: K) -> Result<bool, DeleteFailure> {
+        Err(DeleteFailure::Unsupported)
+    }
+
+    /// [`BloomCcf::delete_key`] on already-lowered key material (also unsupported).
+    pub fn delete_key_prehashed(&mut self, _key: u64) -> Result<bool, DeleteFailure> {
+        Err(DeleteFailure::Unsupported)
+    }
+
+    /// Batched row deletion: one [`DeleteFailure::Unsupported`] per row.
+    pub fn delete_row_batch<K: FilterKey, A: AsRef<[u64]>>(
+        &mut self,
+        rows: &[(K, A)],
+    ) -> Vec<Result<bool, DeleteFailure>> {
+        rows.iter()
+            .map(|_| Err(DeleteFailure::Unsupported))
+            .collect()
+    }
+
+    /// [`BloomCcf::delete_row_batch`] on already-lowered key material.
+    pub fn delete_row_batch_prehashed(
+        &mut self,
+        rows: &[(u64, &[u64])],
+    ) -> Vec<Result<bool, DeleteFailure>> {
+        rows.iter()
+            .map(|_| Err(DeleteFailure::Unsupported))
+            .collect()
+    }
+
+    /// Batched key deletion: one [`DeleteFailure::Unsupported`] per key.
+    pub fn delete_key_batch<K: FilterKey>(
+        &mut self,
+        keys: &[K],
+    ) -> Vec<Result<bool, DeleteFailure>> {
+        keys.iter()
+            .map(|_| Err(DeleteFailure::Unsupported))
+            .collect()
+    }
+
+    /// [`BloomCcf::delete_key_batch`] on already-lowered key material.
+    pub fn delete_key_batch_prehashed(&mut self, keys: &[u64]) -> Vec<Result<bool, DeleteFailure>> {
+        keys.iter()
+            .map(|_| Err(DeleteFailure::Unsupported))
+            .collect()
     }
 
     /// Query for a key under a predicate (Algorithm 1): true if some entry in the key's
@@ -457,6 +529,24 @@ mod tests {
         assert_eq!(f.insert_row(1, &[2, 2]).unwrap(), InsertOutcome::Merged);
         assert_eq!(f.occupied_entries(), 1);
         assert_eq!(f.rows_absorbed(), 2);
+    }
+
+    #[test]
+    fn deletion_is_a_typed_error_and_leaves_the_filter_untouched() {
+        let mut f = BloomCcf::new(params(9));
+        f.insert_row(1u64, &[2, 3]).unwrap();
+        assert_eq!(f.delete_row(1u64, &[2, 3]), Err(DeleteFailure::Unsupported));
+        assert_eq!(f.delete_key(1u64), Err(DeleteFailure::Unsupported));
+        assert_eq!(
+            f.delete_row_batch(&[(1u64, [2u64, 3])]),
+            vec![Err(DeleteFailure::Unsupported)]
+        );
+        assert_eq!(
+            f.delete_key_batch(&[1u64, 2u64]),
+            vec![Err(DeleteFailure::Unsupported); 2]
+        );
+        assert!(f.contains_key(1u64));
+        assert_eq!(f.occupied_entries(), 1);
     }
 
     #[test]

@@ -59,6 +59,11 @@ impl CcfBuilder {
     }
 
     /// Which variant to build (default: [`VariantKind::Mixed`]).
+    ///
+    /// Churn-heavy deployments (sliding windows, rolling caches) should check
+    /// [`VariantKind::supports_deletion`] here: the Bloom variant cannot delete at
+    /// all, and the mixed default refuses deletes for keys whose rows were converted
+    /// — [`VariantKind::Chained`] keeps every key deletable.
     pub fn variant(mut self, kind: VariantKind) -> Self {
         self.variant = kind;
         self
@@ -308,6 +313,36 @@ mod tests {
                 max_dupes: 4,
                 entries_per_bucket: 3
             }
+        );
+    }
+
+    #[test]
+    fn built_filters_delete_when_the_variant_supports_it() {
+        // The builder is the construction path services use; a churn-capable caller
+        // picks a deletable variant up front and the built filter honors it.
+        let deletable = VariantKind::Chained;
+        assert!(deletable.supports_deletion());
+        let mut filter = AnyCcf::builder()
+            .variant(deletable)
+            .num_attrs(2)
+            .expected_rows(1000)
+            .seed(5)
+            .build()
+            .unwrap();
+        filter.insert_row("evt-1", &[1, 2]).unwrap();
+        assert_eq!(filter.delete_row("evt-1", &[1, 2]), Ok(true));
+        assert!(!filter.contains_key("evt-1"));
+        // The Bloom variant advertises its inability before anything is built.
+        assert!(!VariantKind::Bloom.supports_deletion());
+        let mut bloom = AnyCcf::builder()
+            .variant(VariantKind::Bloom)
+            .num_attrs(2)
+            .build()
+            .unwrap();
+        bloom.insert_row("evt-1", &[1, 2]).unwrap();
+        assert_eq!(
+            bloom.delete_row("evt-1", &[1, 2]),
+            Err(crate::outcome::DeleteFailure::Unsupported)
         );
     }
 

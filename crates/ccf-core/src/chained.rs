@@ -24,7 +24,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::attr::match_fingerprint_vector;
 use crate::key::FilterKey;
-use crate::outcome::{InsertFailure, InsertOutcome};
+use crate::outcome::{DeleteFailure, InsertFailure, InsertOutcome};
 use crate::params::{CcfParams, ParamsError};
 use crate::predicate::Predicate;
 
@@ -332,6 +332,218 @@ impl ChainedCcf {
         Ok(InsertOutcome::DroppedChainCap)
     }
 
+    /// Delete one stored copy of a row without breaking the chain encoding.
+    ///
+    /// The chain is a counting code: a query walks to the next bucket pair only while
+    /// the current pair holds `d` copies of κ, so naïvely removing a copy from a
+    /// saturated pair would strand every entry stored deeper in the chain (a false
+    /// negative). Deletion therefore always *shrinks the chain from its tail*: the
+    /// matching entry is located, the deepest pair still holding κ copies is located,
+    /// and if they differ, the deepest copy is moved into the matched entry's slot
+    /// before the tail copy is removed. Every pair's saturation count is preserved
+    /// except the tail's, which decrements — exactly the inverse of how insertion
+    /// extends the chain, so chain traversal (and Lemma 2's first-pair invariant,
+    /// which key-only queries rely on) survives arbitrary delete/insert interleaving.
+    ///
+    /// Returns `Ok(true)` if a copy was removed, `Ok(false)` if no stored entry
+    /// matched — including rows that were discarded at the chain cap (`Lmax`), which
+    /// were never stored. Exact duplicates were deduplicated at insert
+    /// ([`InsertOutcome::Deduplicated`] — they share one entry), so deletion has set
+    /// semantics per (key, attributes): one delete retires the row however many times
+    /// it was inserted. Deletion composes with growth: pairs and chain hops are
+    /// derived under the current split geometry, so relocated copies are found.
+    ///
+    /// # Exactness and the fingerprint-collision caveat
+    ///
+    /// For a key whose fingerprint κ is not shared by another live key, deletion is
+    /// *exact*: arbitrary insert/delete/grow interleavings never strand a stored row
+    /// (pinned by the collision-free churn property tests). The classic cuckoo
+    /// deletion caveat, however, is amplified by chains: two distinct keys that share
+    /// κ share each other's saturation counts wherever their chains overlap, and a
+    /// deletion for one can shorten the other's walk, transiently hiding its deeper
+    /// rows (subsequent inserts of either key re-extend the walk). The entanglement
+    /// probability is ≈ `n²·c²∕(2^{|κ|}·m)` for `n` live keys with `c`-bucket chains
+    /// — negligible at production fingerprint widths, measured honestly as the
+    /// *collision casualty rate* by the `churn` experiment harness. Churn-heavy
+    /// chained deployments should size |κ| with deletion in mind, and, as with every
+    /// cuckoo filter, only rows known to be present may be deleted.
+    pub fn delete_row<K: FilterKey>(
+        &mut self,
+        key: K,
+        attrs: &[u64],
+    ) -> Result<bool, DeleteFailure> {
+        let key = key.lower(&self.key_lower);
+        self.delete_row_prehashed(key, attrs)
+    }
+
+    /// [`ChainedCcf::delete_row`] on already-lowered key material.
+    pub fn delete_row_prehashed(&mut self, key: u64, attrs: &[u64]) -> Result<bool, DeleteFailure> {
+        self.params.check_delete_arity(attrs)?;
+        let alpha = self.attr_fp.fingerprint_vector(attrs);
+        let (fp, l) = self.home_of(key);
+        Ok(self.delete_from_chain(fp, l, |e| e.attrs == alpha))
+    }
+
+    /// Delete one stored entry carrying the key's fingerprint, regardless of its
+    /// attribute vector (see [`ChainedCcf::delete_row`] for the chain-safety
+    /// mechanics; the deepest copy is removed, shrinking the chain from its tail).
+    pub fn delete_key<K: FilterKey>(&mut self, key: K) -> Result<bool, DeleteFailure> {
+        let key = key.lower(&self.key_lower);
+        self.delete_key_prehashed(key)
+    }
+
+    /// [`ChainedCcf::delete_key`] on already-lowered key material.
+    pub fn delete_key_prehashed(&mut self, key: u64) -> Result<bool, DeleteFailure> {
+        let (fp, l) = self.home_of(key);
+        Ok(self.delete_from_chain(fp, l, |_| true))
+    }
+
+    /// The sequence of bucket pairs a walk for `fp` starting at `home` visits, under
+    /// the *current* counts: pairs are appended while saturated (≥ d copies of κ) and
+    /// the first non-saturated pair ends the list. The hop sequence itself is
+    /// deterministic (it depends only on the pair, κ and the depth), so this prefix is
+    /// exactly the set of pairs a query would scan — and, by the chain invariant,
+    /// every stored copy of κ lives in one of its buckets.
+    fn walk_pairs(&self, fp: u16, home: usize) -> Vec<(usize, usize)> {
+        let d = self.params.max_dupes;
+        let mut pairs = Vec::new();
+        let mut l = home;
+        for depth in 0..self.max_walk() {
+            let l_alt = self.alt_bucket(l, fp);
+            pairs.push((l, l_alt));
+            if self.pair_fp_count(l, l_alt, fp) >= d {
+                l = self.next_chain_bucket(l, l_alt, fp, depth);
+            } else {
+                break;
+            }
+        }
+        pairs
+    }
+
+    /// Walk the key's chain, remove one entry satisfying `matches`, and repair the
+    /// chain encoding (module-level mechanics in [`ChainedCcf::delete_row`]).
+    ///
+    /// The deepest matching copy is removed (tail-first), then
+    /// [`ChainedCcf::repair_chain`] restores the saturation invariant. "Depth" of an
+    /// entry means the first walk depth whose pair contains the entry's bucket —
+    /// chain hops occasionally land on a bucket an earlier pair already uses, and
+    /// that aliasing is precisely what the repair pass exists for.
+    fn delete_from_chain(
+        &mut self,
+        fp: u16,
+        home: usize,
+        matches: impl Fn(&Entry) -> bool,
+    ) -> bool {
+        let pairs = self.walk_pairs(fp, home);
+        let visited = visited_buckets(&pairs);
+        // Deepest (by first-visit depth) entry satisfying the match.
+        let mut matched: Option<(usize, usize, usize)> = None; // (first_depth, bucket, slot)
+        for &(fd, bkt) in &visited {
+            for slot in 0..self.buckets[bkt].len() {
+                let e = &self.buckets[bkt][slot];
+                if e.fp == fp && matches(e) && matched.map_or(true, |(mfd, _, _)| fd >= mfd) {
+                    matched = Some((fd, bkt, slot));
+                }
+            }
+        }
+        let Some((_, mb, ms)) = matched else {
+            return false;
+        };
+        self.buckets[mb].swap_remove(ms);
+        self.occupied -= 1;
+        self.rows_absorbed = self.rows_absorbed.saturating_sub(1);
+        self.repair_chain(fp, &pairs, &visited);
+        true
+    }
+
+    /// Restore the chain invariant after a removal: every pair shallower than the
+    /// deepest remaining copy must stay saturated (hold ≥ d copies), or the query
+    /// walk would stop early and strand the deeper copies. A removal can dent a
+    /// shallower pair's count only through bucket aliasing (the removed slot's bucket
+    /// also belongs to that pair) — in which case the freed slot sits *in* the dented
+    /// pair, so the deficit is repaired by pulling the deepest remaining copy into
+    /// it. Each pull moves an entry strictly shallower, so the loop terminates; in
+    /// the common (alias-free) case it exits on the first pass without moving
+    /// anything.
+    fn repair_chain(&mut self, fp: u16, pairs: &[(usize, usize)], visited: &[(usize, usize)]) {
+        let d = self.params.max_dupes;
+        let b = self.params.entries_per_bucket;
+        loop {
+            // Deepest first-visit depth among the remaining copies.
+            let deepest = visited
+                .iter()
+                .filter(|&&(_, bkt)| self.buckets[bkt].iter().any(|e| e.fp == fp))
+                .map(|&(fd, _)| fd)
+                .max();
+            let Some(deepest) = deepest else { return };
+            // Shallowest dented pair in front of it.
+            let deficit = pairs[..deepest]
+                .iter()
+                .position(|&(l, l_alt)| self.pair_fp_count(l, l_alt, fp) < d);
+            let Some(t) = deficit else { return };
+            // Donor: any copy whose bucket first appears at the deepest depth.
+            let Some(&(_, donor_bkt)) = visited
+                .iter()
+                .find(|&&(fd, bkt)| fd == deepest && self.buckets[bkt].iter().any(|e| e.fp == fp))
+            else {
+                return;
+            };
+            let donor_slot = self.buckets[donor_bkt]
+                .iter()
+                .position(|e| e.fp == fp)
+                .expect("donor bucket holds a copy");
+            // Target: a bucket of the dented pair with spare capacity — the freed
+            // slot is in one of them by construction.
+            let (l, l_alt) = pairs[t];
+            let target = [l, l_alt]
+                .into_iter()
+                .find(|&bkt| self.buckets[bkt].len() < b);
+            let Some(target) = target else {
+                debug_assert!(false, "dented chain pair has no free slot");
+                return;
+            };
+            let entry = self.buckets[donor_bkt].swap_remove(donor_slot);
+            self.buckets[target].push(entry);
+        }
+    }
+
+    /// Batched row deletion: equivalent to calling [`ChainedCcf::delete_row`] per row
+    /// in input order.
+    pub fn delete_row_batch<K: FilterKey, A: AsRef<[u64]>>(
+        &mut self,
+        rows: &[(K, A)],
+    ) -> Vec<Result<bool, DeleteFailure>> {
+        rows.iter()
+            .map(|(k, a)| self.delete_row_prehashed(k.lower(&self.key_lower), a.as_ref()))
+            .collect()
+    }
+
+    /// [`ChainedCcf::delete_row_batch`] on already-lowered key material.
+    pub fn delete_row_batch_prehashed(
+        &mut self,
+        rows: &[(u64, &[u64])],
+    ) -> Vec<Result<bool, DeleteFailure>> {
+        rows.iter()
+            .map(|&(k, a)| self.delete_row_prehashed(k, a))
+            .collect()
+    }
+
+    /// Batched key deletion: equivalent to calling [`ChainedCcf::delete_key`] per key
+    /// in input order.
+    pub fn delete_key_batch<K: FilterKey>(
+        &mut self,
+        keys: &[K],
+    ) -> Vec<Result<bool, DeleteFailure>> {
+        keys.iter()
+            .map(|k| self.delete_key_prehashed(k.lower(&self.key_lower)))
+            .collect()
+    }
+
+    /// [`ChainedCcf::delete_key_batch`] on already-lowered key material.
+    pub fn delete_key_batch_prehashed(&mut self, keys: &[u64]) -> Vec<Result<bool, DeleteFailure>> {
+        keys.iter().map(|&k| self.delete_key_prehashed(k)).collect()
+    }
+
     /// Query for a key under a predicate (Algorithm 5).
     pub fn query<K: FilterKey>(&self, key: K, pred: &Predicate) -> bool {
         self.query_prehashed(key.lower(&self.key_lower), pred)
@@ -477,6 +689,13 @@ impl ChainedCcf {
         }
     }
 
+    /// The key's fingerprint — exposed so churn harnesses and tests can reason about
+    /// cross-key fingerprint collisions (the one condition under which deletion is
+    /// approximate; see [`ChainedCcf::delete_row`]).
+    pub fn fingerprint_of<K: FilterKey>(&self, key: K) -> u16 {
+        self.home_of(key.lower(&self.key_lower)).0
+    }
+
     /// Diagnostics: walking the *unsalted* paper recurrence
     /// ℓ₁, ℓ₂ = ℓ₁ ⊕ h(κ), ℓ₃ = h(min(ℓ₁, ℓ₂), κ), ... for `steps` hops from each of
     /// `sample_keys`, how many walks revisit a bucket pair (i.e. would have cycled
@@ -499,6 +718,21 @@ impl ChainedCcf {
         }
         cycles
     }
+}
+
+/// The distinct buckets of a walked pair list, each tagged with the first depth at
+/// which it appears (chain hops can revisit a bucket an earlier pair already uses;
+/// deletion's repair pass reasons about that aliasing explicitly).
+fn visited_buckets(pairs: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    for (depth, &(l, l_alt)) in pairs.iter().enumerate() {
+        for bkt in [l, l_alt] {
+            if !out.iter().any(|&(_, seen)| seen == bkt) {
+                out.push((depth, bkt));
+            }
+        }
+    }
+    out
 }
 
 /// The result of a predicate-only query on a chained CCF (§6.2): key fingerprints with
@@ -902,6 +1136,121 @@ mod tests {
         for (i, &k) in keys.iter().enumerate() {
             assert_eq!(queried[i], f.query(k, &pred), "query mismatch for {k}");
             assert_eq!(contained[i], f.contains_key(k), "contains mismatch for {k}");
+        }
+    }
+
+    #[test]
+    fn delete_from_a_long_chain_never_strands_deeper_rows() {
+        // A single hot key with enough distinct rows to span several chain pairs.
+        // Deleting rows one at a time — in insertion order, which targets entries at
+        // the *front* of the chain — must never make any still-present row
+        // unreachable: the tail-shrink swap is what keeps the walk alive.
+        let mut f = ChainedCcf::new(params(30));
+        let key = 99u64;
+        let rows: Vec<[u64; 2]> = (0..18u64).map(|i| [5000 + i, 6000 + i]).collect();
+        for attrs in &rows {
+            f.insert_row(key, attrs).unwrap();
+        }
+        assert!(f.max_chain_seen() >= 3, "need a real chain for this test");
+        for deleted in 0..rows.len() {
+            assert_eq!(
+                f.delete_row(key, &rows[deleted]),
+                Ok(true),
+                "row {deleted} not found for deletion"
+            );
+            // Every remaining row must still be reachable through the shrunken chain.
+            for attrs in rows.iter().skip(deleted + 1) {
+                let pred = Predicate::any(2).and_eq(0, attrs[0]).and_eq(1, attrs[1]);
+                assert!(
+                    f.query(key, &pred),
+                    "row {attrs:?} stranded after deleting {deleted} rows"
+                );
+            }
+            // Lemma 1 must keep holding on the first pair.
+            let (fp, l) = f.home_of(key);
+            let l_alt = f.alt_bucket(l, fp);
+            assert!(f.pair_fp_count(l, l_alt, fp) <= f.params().max_dupes);
+        }
+        assert!(!f.contains_key(key), "all rows deleted, key must be gone");
+        assert_eq!(f.delete_key(key), Ok(false));
+    }
+
+    #[test]
+    fn delete_key_shrinks_the_chain_tail_first() {
+        let mut f = ChainedCcf::new(params(31));
+        let key = 7u64;
+        for i in 0..12u64 {
+            f.insert_row(key, &[100 + i, 200 + i]).unwrap();
+        }
+        let (fp, l) = f.home_of(key);
+        let l_alt = f.alt_bucket(l, fp);
+        let d = f.params().max_dupes;
+        // Delete all copies; the first pair must stay saturated (at d) until the
+        // deeper pairs are drained — Lemma 2's "a copy lives in the first pair"
+        // invariant, which contains_key relies on.
+        for remaining in (1..=12usize).rev() {
+            assert_eq!(f.pair_fp_count(l, l_alt, fp), d.min(remaining));
+            assert!(f.contains_key(key));
+            assert_eq!(f.delete_key(key), Ok(true));
+        }
+        assert!(!f.contains_key(key));
+        assert_eq!(f.occupied_entries(), 0);
+    }
+
+    #[test]
+    fn delete_after_grow_finds_relocated_chained_copies() {
+        let mut f = ChainedCcf::new(params(32));
+        for key in 0..120u64 {
+            for i in 0..10u64 {
+                f.insert_row(key, &[1000 + i, 2000 + (i % 4)]).unwrap();
+            }
+        }
+        assert!(f.max_chain_seen() > 1);
+        f.grow();
+        for key in 0..120u64 {
+            for i in (0..10u64).step_by(2) {
+                assert_eq!(
+                    f.delete_row(key, &[1000 + i, 2000 + (i % 4)]),
+                    Ok(true),
+                    "key {key} row {i} not found after growth"
+                );
+            }
+            for i in (1..10u64).step_by(2) {
+                let pred = Predicate::any(2)
+                    .and_eq(0, 1000 + i)
+                    .and_eq(1, 2000 + (i % 4));
+                assert!(f.query(key, &pred), "key {key} row {i} lost after deletes");
+            }
+        }
+    }
+
+    #[test]
+    fn churn_reuses_space_without_growing() {
+        // Sustained insert/delete traffic at a fixed live-set size must be absorbed
+        // by a fixed-size filter: deletes genuinely free slots.
+        let mut f = ChainedCcf::new(CcfParams {
+            num_buckets: 1 << 8,
+            ..params(33)
+        });
+        let window = 800usize;
+        let mut live: std::collections::VecDeque<(u64, [u64; 2])> = Default::default();
+        for seq in 0..20_000u64 {
+            // Attribute values < 2^attr_bits are stored exactly (small-value
+            // optimisation), and column 0 pins the key: deletes can never collide
+            // with another live row, so every assertion below is exact.
+            let row = (seq % 97, [seq % 97, (seq / 97) % 251]);
+            f.insert_row(row.0, &row.1).unwrap();
+            live.push_back(row);
+            if live.len() > window {
+                let (k, a) = live.pop_front().unwrap();
+                assert_eq!(f.delete_row(k, &a), Ok(true), "evict {k} at seq {seq}");
+            }
+        }
+        assert_eq!(f.occupied_entries(), window);
+        assert_eq!(f.growth_bits(), 0, "bounded churn must not grow the filter");
+        for (k, a) in &live {
+            let pred = Predicate::any(2).and_eq(0, a[0]).and_eq(1, a[1]);
+            assert!(f.query(*k, &pred), "live row ({k}, {a:?}) lost");
         }
     }
 

@@ -11,7 +11,7 @@
 //! `ccf-join`) folds into [`CcfError::Bridge`], which carries the rendered message so
 //! `ccf-core` needs no service-layer dependencies.
 
-use crate::outcome::InsertFailure;
+use crate::outcome::{DeleteFailure, InsertFailure};
 use crate::params::ParamsError;
 use crate::predicate::binning::BinningError;
 
@@ -20,6 +20,8 @@ use crate::predicate::binning::BinningError;
 pub enum CcfError {
     /// An insertion failed (kick exhaustion, attribute-arity mismatch, ...).
     Insert(InsertFailure),
+    /// A deletion was refused (unsupported variant, converted group, arity mismatch).
+    Delete(DeleteFailure),
     /// A filter was configured with impossible parameters.
     Params(ParamsError),
     /// A binning scheme was malformed or consulted out of range.
@@ -34,6 +36,7 @@ impl std::fmt::Display for CcfError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CcfError::Insert(e) => write!(f, "insert failed: {e}"),
+            CcfError::Delete(e) => write!(f, "delete refused: {e}"),
             CcfError::Params(e) => write!(f, "invalid parameters: {e}"),
             CcfError::Binning(e) => write!(f, "binning error: {e}"),
             CcfError::Bridge(msg) => write!(f, "bridge error: {msg}"),
@@ -45,6 +48,7 @@ impl std::error::Error for CcfError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CcfError::Insert(e) => Some(e),
+            CcfError::Delete(e) => Some(e),
             CcfError::Params(e) => Some(e),
             CcfError::Binning(e) => Some(e),
             CcfError::Bridge(_) => None,
@@ -55,6 +59,12 @@ impl std::error::Error for CcfError {
 impl From<InsertFailure> for CcfError {
     fn from(e: InsertFailure) -> Self {
         CcfError::Insert(e)
+    }
+}
+
+impl From<DeleteFailure> for CcfError {
+    fn from(e: DeleteFailure) -> Self {
+        CcfError::Delete(e)
     }
 }
 
@@ -83,11 +93,16 @@ mod tests {
         let insert: Result<(), InsertFailure> = Err(InsertFailure::KicksExhausted {
             load_factor_millis: 950,
         });
+        let delete: Result<(), DeleteFailure> = Err(DeleteFailure::ConvertedGroup);
         let params: Result<(), ParamsError> = Err(ParamsError::ZeroMaxDupes);
         let binning: Result<(), BinningError> = Err(BinningError::ZeroBins);
         assert!(matches!(
             takes_ccf_error(insert),
             Err(CcfError::Insert(InsertFailure::KicksExhausted { .. }))
+        ));
+        assert!(matches!(
+            takes_ccf_error(delete),
+            Err(CcfError::Delete(DeleteFailure::ConvertedGroup))
         ));
         assert!(matches!(
             takes_ccf_error(params),

@@ -10,15 +10,18 @@
 //!
 //! # Variants
 //!
-//! | Variant | Attribute sketch | Duplicate handling | Type |
-//! |---------|------------------|--------------------|------|
-//! | Plain   | fingerprint vector | none (2b cap, §4.3) | [`PlainCcf`] |
-//! | Chained | fingerprint vector | chaining (§6.2)     | [`ChainedCcf`] |
-//! | Bloom   | per-entry Bloom (§5.2) | merge into one entry | [`BloomCcf`] |
-//! | Mixed   | fingerprint vector → Bloom conversion (§6.1) | conversion at d duplicates | [`MixedCcf`] |
+//! | Variant | Attribute sketch | Duplicate handling | Deletion | Type |
+//! |---------|------------------|--------------------|----------|------|
+//! | Plain   | fingerprint vector | none (2b cap, §4.3) | yes | [`PlainCcf`] |
+//! | Chained | fingerprint vector | chaining (§6.2)     | yes (chain-safe, tail-first) | [`ChainedCcf`] |
+//! | Bloom   | per-entry Bloom (§5.2) | merge into one entry | no ([`DeleteFailure::Unsupported`]) | [`BloomCcf`] |
+//! | Mixed   | fingerprint vector → Bloom conversion (§6.1) | conversion at d duplicates | vector entries only ([`DeleteFailure::ConvertedGroup`] after conversion) | [`MixedCcf`] |
 //!
 //! All variants guarantee **no false negatives** for rows that were inserted (and, for
-//! the chained variant, even for rows dropped at the chain cap — Theorem 3).
+//! the chained variant, even for rows dropped at the chain cap — Theorem 3). Deletion
+//! (`delete_row`/`delete_key` and their batch forms) keeps that guarantee for every
+//! row that remains stored, and — as with all cuckoo filters — requires that only rows
+//! known to be present are deleted.
 //!
 //! # Quick start
 //!
@@ -91,7 +94,7 @@ pub use compress::AttributeCompressor;
 pub use error::CcfError;
 pub use key::FilterKey;
 pub use mixed::MixedCcf;
-pub use outcome::{InsertFailure, InsertOutcome};
+pub use outcome::{DeleteFailure, InsertFailure, InsertOutcome};
 pub use params::{AttrSketchKind, CcfParams, ParamsError};
 pub use plain::PlainCcf;
 pub use predicate::{

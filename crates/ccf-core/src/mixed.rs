@@ -30,7 +30,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::attr::{match_fingerprint_bloom, match_fingerprint_vector};
 use crate::key::FilterKey;
-use crate::outcome::{InsertFailure, InsertOutcome};
+use crate::outcome::{DeleteFailure, InsertFailure, InsertOutcome};
 use crate::params::{CcfParams, ParamsError};
 use crate::predicate::Predicate;
 
@@ -384,6 +384,120 @@ impl MixedCcf {
         self.conversions += 1;
     }
 
+    /// Delete one stored copy of a row. Vector entries (the vast majority of keys —
+    /// everything below `d` duplicates) are deletable exactly as in the plain variant;
+    /// a key whose rows were *converted* into a Bloom group (§6.1) refuses with
+    /// [`DeleteFailure::ConvertedGroup`], because the group's sketch covers all of the
+    /// key's rows collectively and cannot un-absorb one. Returns `Ok(true)` if a copy
+    /// was removed, `Ok(false)` if none matched.
+    ///
+    /// The usual caveat applies: only delete rows known to have been inserted (a
+    /// colliding (κ, α) pair from another row satisfies the match), and — as in the
+    /// plain variant — exact duplicates were deduplicated at insert, so deletion has
+    /// set semantics per (key, attributes): one delete retires the row however many
+    /// times it was inserted. Deletion composes with growth: the pair is derived
+    /// under the current split geometry.
+    pub fn delete_row<K: FilterKey>(
+        &mut self,
+        key: K,
+        attrs: &[u64],
+    ) -> Result<bool, DeleteFailure> {
+        let key = key.lower(&self.key_lower);
+        self.delete_row_prehashed(key, attrs)
+    }
+
+    /// [`MixedCcf::delete_row`] on already-lowered key material.
+    pub fn delete_row_prehashed(&mut self, key: u64, attrs: &[u64]) -> Result<bool, DeleteFailure> {
+        self.params.check_delete_arity(attrs)?;
+        let alpha = self.fingerprint_row(attrs);
+        let (fp, l, l_alt) = self.pair_of(key);
+        self.remove_vector_entry(fp, l, l_alt, |attrs| *attrs == alpha)
+    }
+
+    /// Delete one stored vector entry carrying the key's fingerprint, regardless of
+    /// its attribute vector; converted keys refuse with
+    /// [`DeleteFailure::ConvertedGroup`] (see [`MixedCcf::delete_row`]).
+    pub fn delete_key<K: FilterKey>(&mut self, key: K) -> Result<bool, DeleteFailure> {
+        let key = key.lower(&self.key_lower);
+        self.delete_key_prehashed(key)
+    }
+
+    /// [`MixedCcf::delete_key`] on already-lowered key material.
+    pub fn delete_key_prehashed(&mut self, key: u64) -> Result<bool, DeleteFailure> {
+        let (fp, l, l_alt) = self.pair_of(key);
+        self.remove_vector_entry(fp, l, l_alt, |_| true)
+    }
+
+    /// Remove one vector entry for `fp` whose attribute fingerprints satisfy
+    /// `matches`, refusing if the fingerprint's rows live in a converted group.
+    fn remove_vector_entry(
+        &mut self,
+        fp: u16,
+        l: usize,
+        l_alt: usize,
+        matches: impl Fn(&Vec<u16>) -> bool,
+    ) -> Result<bool, DeleteFailure> {
+        let pair: &[usize] = if l == l_alt { &[l] } else { &[l, l_alt] };
+        // A converted group owns *all* of this fingerprint's rows in the pair, so its
+        // presence makes any deletion for the fingerprint unanswerable.
+        for &bkt in pair {
+            if self.buckets[bkt]
+                .iter()
+                .any(|e| e.fp() == fp && !matches!(e, Entry::Vector { .. }))
+            {
+                return Err(DeleteFailure::ConvertedGroup);
+            }
+        }
+        for &bkt in pair {
+            if let Some(pos) = self.buckets[bkt].iter().position(
+                |e| matches!(e, Entry::Vector { fp: efp, attrs } if *efp == fp && matches(attrs)),
+            ) {
+                self.buckets[bkt].swap_remove(pos);
+                self.occupied -= 1;
+                self.rows_absorbed = self.rows_absorbed.saturating_sub(1);
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Batched row deletion: equivalent to calling [`MixedCcf::delete_row`] per row in
+    /// input order.
+    pub fn delete_row_batch<K: FilterKey, A: AsRef<[u64]>>(
+        &mut self,
+        rows: &[(K, A)],
+    ) -> Vec<Result<bool, DeleteFailure>> {
+        rows.iter()
+            .map(|(k, a)| self.delete_row_prehashed(k.lower(&self.key_lower), a.as_ref()))
+            .collect()
+    }
+
+    /// [`MixedCcf::delete_row_batch`] on already-lowered key material.
+    pub fn delete_row_batch_prehashed(
+        &mut self,
+        rows: &[(u64, &[u64])],
+    ) -> Vec<Result<bool, DeleteFailure>> {
+        rows.iter()
+            .map(|&(k, a)| self.delete_row_prehashed(k, a))
+            .collect()
+    }
+
+    /// Batched key deletion: equivalent to calling [`MixedCcf::delete_key`] per key in
+    /// input order.
+    pub fn delete_key_batch<K: FilterKey>(
+        &mut self,
+        keys: &[K],
+    ) -> Vec<Result<bool, DeleteFailure>> {
+        keys.iter()
+            .map(|k| self.delete_key_prehashed(k.lower(&self.key_lower)))
+            .collect()
+    }
+
+    /// [`MixedCcf::delete_key_batch`] on already-lowered key material.
+    pub fn delete_key_batch_prehashed(&mut self, keys: &[u64]) -> Vec<Result<bool, DeleteFailure>> {
+        keys.iter().map(|&k| self.delete_key_prehashed(k)).collect()
+    }
+
     /// Query for a key under a predicate: vector entries are matched per column against
     /// the predicate's candidate fingerprints; converted groups are matched through
     /// their Bloom sketch (which stores fingerprints, §6.1).
@@ -714,6 +828,87 @@ mod tests {
             assert_eq!(queried[i], f.query(k, &pred));
             assert_eq!(contained[i], f.contains_key(k));
         }
+    }
+
+    #[test]
+    fn vector_entries_delete_but_converted_groups_refuse() {
+        let mut f = MixedCcf::new(params(20));
+        // Cold key: two vector rows, freely deletable.
+        f.insert_row(5u64, &[300, 400]).unwrap();
+        f.insert_row(5u64, &[301, 401]).unwrap();
+        assert_eq!(f.delete_row(5u64, &[300, 400]), Ok(true));
+        assert!(f.query(5u64, &Predicate::any(2).and_eq(0, 301).and_eq(1, 401)));
+        assert!(!f.query(5u64, &Predicate::any(2).and_eq(0, 300).and_eq(1, 400)));
+        // Hot key: conversion happens at d+1 distinct rows, after which deletion is a
+        // typed refusal and the filter is untouched.
+        for i in 0..8u64 {
+            f.insert_row(9u64, &[500 + i, 600 + i]).unwrap();
+        }
+        assert_eq!(f.conversions(), 1);
+        let occupied = f.occupied_entries();
+        assert_eq!(
+            f.delete_row(9u64, &[500, 600]),
+            Err(DeleteFailure::ConvertedGroup)
+        );
+        assert_eq!(f.delete_key(9u64), Err(DeleteFailure::ConvertedGroup));
+        assert_eq!(f.occupied_entries(), occupied);
+        for i in 0..8u64 {
+            assert!(
+                f.query(
+                    9u64,
+                    &Predicate::any(2).and_eq(0, 500 + i).and_eq(1, 600 + i)
+                ),
+                "converted rows must survive refused deletions"
+            );
+        }
+        // Deleting rows *before* conversion keeps the key below the conversion
+        // threshold indefinitely.
+        let mut g = MixedCcf::new(params(21));
+        for round in 0..20u64 {
+            g.insert_row(3u64, &[700 + round, 1]).unwrap();
+            if round >= 2 {
+                assert_eq!(g.delete_row(3u64, &[700 + round - 2, 1]), Ok(true));
+            }
+        }
+        assert_eq!(g.conversions(), 0, "churned key must never convert");
+    }
+
+    #[test]
+    fn delete_after_grow_finds_relocated_vector_entries() {
+        let mut f = MixedCcf::new(params(22));
+        for k in 0..800u64 {
+            f.insert_row(k, &[k % 7, k % 11]).unwrap();
+        }
+        f.grow();
+        for k in (0..800u64).step_by(2) {
+            assert_eq!(
+                f.delete_row(k, &[k % 7, k % 11]),
+                Ok(true),
+                "key {k} not found after growth"
+            );
+        }
+        for k in (1..800u64).step_by(2) {
+            assert!(f.contains_key(k), "undeleted key {k} lost");
+        }
+    }
+
+    #[test]
+    fn delete_batches_report_per_row_results() {
+        let mut f = MixedCcf::new(params(23));
+        f.insert_row(1u64, &[10, 20]).unwrap();
+        for i in 0..6u64 {
+            f.insert_row(2u64, &[30 + i, 40]).unwrap(); // converts
+        }
+        let results = f.delete_row_batch(&[
+            (1u64, vec![10u64, 20]),
+            (1u64, vec![10u64, 20]),
+            (2u64, vec![30u64, 40]),
+        ]);
+        assert_eq!(
+            results,
+            vec![Ok(true), Ok(false), Err(DeleteFailure::ConvertedGroup)]
+        );
+        assert_eq!(f.delete_key_batch(&[1u64]), vec![Ok(false)]);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Insertion outcomes and failures shared by all CCF variants.
+//! Insertion/deletion outcomes and failures shared by all CCF variants.
 
 /// What happened when a row was (successfully) absorbed by a CCF.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +68,58 @@ impl std::fmt::Display for InsertFailure {
 
 impl std::error::Error for InsertFailure {}
 
+/// Why a deletion was refused. A refused deletion leaves the filter unchanged.
+///
+/// A deletion that simply finds no matching entry is *not* a failure — the point
+/// deletes return `Ok(false)` for that case — so every variant of this enum marks a
+/// structural reason the variant cannot honor the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeleteFailure {
+    /// The filter variant cannot delete at all. The Bloom variant merges every row of
+    /// a key into one per-entry Bloom sketch; bits cannot be unmerged, so removing a
+    /// row (or key) would silently break other rows' no-false-negative guarantee.
+    Unsupported,
+    /// The key's rows were converted into a Bloom group (§6.1, mixed variant). The
+    /// group's sketch covers every row of the key collectively, so individual rows can
+    /// no longer be separated out. Callers that need hot keys deletable should use the
+    /// chained variant (or rebuild the filter without the key).
+    ConvertedGroup,
+    /// The row's attribute vector does not have the filter's `num_attrs` columns, so
+    /// no stored entry could possibly match it. Reported as a typed error (rather than
+    /// `Ok(false)`) because it is a caller bug worth surfacing.
+    AttrArityMismatch {
+        /// The filter's configured number of attribute columns.
+        expected: usize,
+        /// The row's number of attributes.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for DeleteFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeleteFailure::Unsupported => {
+                write!(
+                    f,
+                    "this filter variant merges rows into Bloom sketches and cannot delete"
+                )
+            }
+            DeleteFailure::ConvertedGroup => {
+                write!(
+                    f,
+                    "the key's rows were converted into a Bloom group and can no longer be \
+                     deleted individually"
+                )
+            }
+            DeleteFailure::AttrArityMismatch { expected, got } => {
+                write!(f, "row has {got} attributes, filter expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeleteFailure {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +146,21 @@ mod tests {
         }
         .to_string();
         assert!(msg.contains("1 attributes") && msg.contains("expects 2"));
+    }
+
+    #[test]
+    fn delete_failures_format_readably() {
+        assert!(DeleteFailure::Unsupported
+            .to_string()
+            .contains("cannot delete"));
+        assert!(DeleteFailure::ConvertedGroup
+            .to_string()
+            .contains("Bloom group"));
+        let msg = DeleteFailure::AttrArityMismatch {
+            expected: 3,
+            got: 2,
+        }
+        .to_string();
+        assert!(msg.contains("2 attributes") && msg.contains("expects 3"));
     }
 }

@@ -335,6 +335,18 @@ impl CcfParams {
         }
         Ok(())
     }
+
+    /// [`CcfParams::check_arity`] for the deletion paths, reporting the mismatch as a
+    /// [`crate::outcome::DeleteFailure`] so delete results stay a single error type.
+    pub fn check_delete_arity(&self, attrs: &[u64]) -> Result<(), crate::outcome::DeleteFailure> {
+        if attrs.len() != self.num_attrs {
+            return Err(crate::outcome::DeleteFailure::AttrArityMismatch {
+                expected: self.num_attrs,
+                got: attrs.len(),
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::attr::match_fingerprint_vector;
 use crate::key::FilterKey;
-use crate::outcome::{InsertFailure, InsertOutcome};
+use crate::outcome::{DeleteFailure, InsertFailure, InsertOutcome};
 use crate::params::{CcfParams, ParamsError};
 use crate::predicate::Predicate;
 
@@ -257,6 +257,110 @@ impl PlainCcf {
         Err(InsertFailure::KicksExhausted {
             load_factor_millis: (self.load_factor() * 1000.0).round() as u32,
         })
+    }
+
+    /// Delete one stored copy of a row: removes an entry in the key's bucket pair
+    /// whose fingerprint and attribute fingerprint vector both match. Returns
+    /// `Ok(true)` if a copy was removed, `Ok(false)` if none matched.
+    ///
+    /// The usual cuckoo-filter deletion caveat applies: only delete rows known to have
+    /// been inserted, since a colliding (κ, α) pair from a different row would satisfy
+    /// the match. Note also that exact duplicates are *deduplicated at insert*
+    /// ([`InsertOutcome::Deduplicated`] — they share one entry), so deletion has set
+    /// semantics per (key, attributes): one delete retires the row no matter how many
+    /// times it was inserted, and a caller balancing inserts against deletes must
+    /// count `Deduplicated` outcomes as already-covered. Deletion composes with
+    /// growth — the pair is derived under the current split geometry, so relocated
+    /// copies are found.
+    pub fn delete_row<K: FilterKey>(
+        &mut self,
+        key: K,
+        attrs: &[u64],
+    ) -> Result<bool, DeleteFailure> {
+        let key = key.lower(&self.key_lower);
+        self.delete_row_prehashed(key, attrs)
+    }
+
+    /// [`PlainCcf::delete_row`] on already-lowered key material.
+    pub fn delete_row_prehashed(&mut self, key: u64, attrs: &[u64]) -> Result<bool, DeleteFailure> {
+        self.params.check_delete_arity(attrs)?;
+        let alpha = self.attr_fp.fingerprint_vector(attrs);
+        let (fp, l, alt) = self.pair_of(key);
+        Ok(self.remove_matching(fp, l, alt, |e| e.attrs == alpha))
+    }
+
+    /// Delete one stored entry carrying the key's fingerprint, regardless of its
+    /// attribute vector. Returns `Ok(true)` if a copy was removed.
+    pub fn delete_key<K: FilterKey>(&mut self, key: K) -> Result<bool, DeleteFailure> {
+        let key = key.lower(&self.key_lower);
+        self.delete_key_prehashed(key)
+    }
+
+    /// [`PlainCcf::delete_key`] on already-lowered key material.
+    pub fn delete_key_prehashed(&mut self, key: u64) -> Result<bool, DeleteFailure> {
+        let (fp, l, alt) = self.pair_of(key);
+        Ok(self.remove_matching(fp, l, alt, |_| true))
+    }
+
+    /// Remove the first entry in the pair with fingerprint `fp` satisfying `matches`,
+    /// keeping `occupied`/`rows_absorbed` exact.
+    fn remove_matching(
+        &mut self,
+        fp: u16,
+        l: usize,
+        alt: usize,
+        matches: impl Fn(&Entry) -> bool,
+    ) -> bool {
+        let candidates: &[usize] = if l == alt { &[l] } else { &[l, alt] };
+        for &bkt in candidates {
+            if let Some(pos) = self.buckets[bkt]
+                .iter()
+                .position(|e| e.fp == fp && matches(e))
+            {
+                self.buckets[bkt].swap_remove(pos);
+                self.occupied -= 1;
+                self.rows_absorbed = self.rows_absorbed.saturating_sub(1);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Batched row deletion: equivalent to calling [`PlainCcf::delete_row`] per row in
+    /// input order.
+    pub fn delete_row_batch<K: FilterKey, A: AsRef<[u64]>>(
+        &mut self,
+        rows: &[(K, A)],
+    ) -> Vec<Result<bool, DeleteFailure>> {
+        rows.iter()
+            .map(|(k, a)| self.delete_row_prehashed(k.lower(&self.key_lower), a.as_ref()))
+            .collect()
+    }
+
+    /// [`PlainCcf::delete_row_batch`] on already-lowered key material.
+    pub fn delete_row_batch_prehashed(
+        &mut self,
+        rows: &[(u64, &[u64])],
+    ) -> Vec<Result<bool, DeleteFailure>> {
+        rows.iter()
+            .map(|&(k, a)| self.delete_row_prehashed(k, a))
+            .collect()
+    }
+
+    /// Batched key deletion: equivalent to calling [`PlainCcf::delete_key`] per key in
+    /// input order.
+    pub fn delete_key_batch<K: FilterKey>(
+        &mut self,
+        keys: &[K],
+    ) -> Vec<Result<bool, DeleteFailure>> {
+        keys.iter()
+            .map(|k| self.delete_key_prehashed(k.lower(&self.key_lower)))
+            .collect()
+    }
+
+    /// [`PlainCcf::delete_key_batch`] on already-lowered key material.
+    pub fn delete_key_batch_prehashed(&mut self, keys: &[u64]) -> Vec<Result<bool, DeleteFailure>> {
+        keys.iter().map(|&k| self.delete_key_prehashed(k)).collect()
     }
 
     /// Query for a key under a predicate: true if some entry in the key's bucket pair
@@ -577,6 +681,87 @@ mod tests {
         // (a, b) and (b, a) are distinct composite keys (overwhelmingly likely to
         // miss on a near-empty filter).
         assert!(!f.contains_key((11u64, 9u64)));
+    }
+
+    #[test]
+    fn delete_row_removes_exactly_one_copy_and_frees_the_slot() {
+        let mut f = PlainCcf::new(params(20));
+        f.insert_row(7u64, &[1000, 2000]).unwrap();
+        f.insert_row(7u64, &[1001, 2001]).unwrap();
+        assert_eq!(f.occupied_entries(), 2);
+        assert_eq!(f.rows_absorbed(), 2);
+        assert_eq!(f.delete_row(7u64, &[1000, 2000]), Ok(true));
+        assert_eq!(f.occupied_entries(), 1);
+        assert_eq!(f.rows_absorbed(), 1);
+        // The other row survives; the deleted one is gone.
+        assert!(f.query(7u64, &Predicate::any(2).and_eq(0, 1001).and_eq(1, 2001)));
+        assert!(!f.query(7u64, &Predicate::any(2).and_eq(0, 1000).and_eq(1, 2000)));
+        assert_eq!(f.delete_row(7u64, &[1000, 2000]), Ok(false));
+        // The freed slot is reusable and the key disappears with its last row.
+        assert_eq!(f.delete_key(7u64), Ok(true));
+        assert!(!f.contains_key(7u64));
+        assert_eq!(f.occupied_entries(), 0);
+    }
+
+    #[test]
+    fn delete_arity_mismatch_is_typed_and_leaves_the_filter_unchanged() {
+        let mut f = PlainCcf::new(params(21));
+        f.insert_row(1u64, &[5, 6]).unwrap();
+        assert_eq!(
+            f.delete_row(1u64, &[5]),
+            Err(DeleteFailure::AttrArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(f.occupied_entries(), 1);
+        assert!(f.contains_key(1u64));
+    }
+
+    #[test]
+    fn delete_after_grow_finds_relocated_copies() {
+        let mut f = PlainCcf::new(params(22));
+        for k in 0..1500u64 {
+            f.insert_row(k, &[k % 7, k % 11]).unwrap();
+        }
+        f.grow();
+        f.grow();
+        for k in (0..1500u64).step_by(3) {
+            assert_eq!(
+                f.delete_row(k, &[k % 7, k % 11]),
+                Ok(true),
+                "delete of {k} missed its relocated copy after growth"
+            );
+        }
+        for k in 0..1500u64 {
+            if k % 3 != 0 {
+                assert!(f.contains_key(k), "undeleted key {k} lost");
+            }
+        }
+    }
+
+    #[test]
+    fn delete_batches_match_sequential_loops() {
+        let mut batch = PlainCcf::new(params(23));
+        let mut seq = PlainCcf::new(params(23));
+        let rows: Vec<(u64, [u64; 2])> = (0..600u64).map(|k| (k, [k % 9, k % 13])).collect();
+        for (k, a) in &rows {
+            batch.insert_row(*k, a).unwrap();
+            seq.insert_row(*k, a).unwrap();
+        }
+        let victims: Vec<(u64, [u64; 2])> = rows.iter().step_by(2).cloned().collect();
+        let batched = batch.delete_row_batch(&victims);
+        let sequential: Vec<_> = victims.iter().map(|(k, a)| seq.delete_row(*k, a)).collect();
+        assert_eq!(batched, sequential);
+        assert_eq!(batch.occupied_entries(), seq.occupied_entries());
+        let keys: Vec<u64> = rows.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            batch.contains_key_batch(&keys),
+            seq.contains_key_batch(&keys)
+        );
+        // Key-batch form agrees too.
+        let more: Vec<u64> = keys.iter().copied().step_by(5).collect();
+        assert_eq!(batch.delete_key_batch(&more), seq.delete_key_batch(&more));
     }
 
     #[test]

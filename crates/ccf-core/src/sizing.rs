@@ -23,6 +23,21 @@ pub enum VariantKind {
     Chained,
 }
 
+impl VariantKind {
+    /// Whether the variant supports row/key deletion at all.
+    ///
+    /// Plain and chained filters delete freely; the mixed variant deletes vector
+    /// entries but refuses converted keys
+    /// ([`crate::outcome::DeleteFailure::ConvertedGroup`]); the Bloom variant merges
+    /// rows into per-key sketches that cannot be unmerged, so every deletion returns
+    /// [`crate::outcome::DeleteFailure::Unsupported`]. Churn-heavy deployments
+    /// (sliding windows, rolling caches) should pick a deletable variant up front —
+    /// [`crate::CcfBuilder`] callers can consult this before `build()`.
+    pub fn supports_deletion(&self) -> bool {
+        !matches!(self, VariantKind::Bloom)
+    }
+}
+
 /// Summary of a dataset's key-duplication structure: for every distinct key, the number
 /// of *distinct attribute vectors* associated with it (the random variable `A` of §8).
 #[derive(Debug, Clone, Default)]

@@ -15,7 +15,7 @@ use crate::builder::CcfBuilder;
 use crate::chained::ChainedCcf;
 use crate::key::FilterKey;
 use crate::mixed::MixedCcf;
-use crate::outcome::{InsertFailure, InsertOutcome};
+use crate::outcome::{DeleteFailure, InsertFailure, InsertOutcome};
 use crate::params::{CcfParams, ParamsError};
 use crate::plain::PlainCcf;
 use crate::predicate::Predicate;
@@ -59,6 +59,30 @@ pub trait ConditionalFilter {
         keys.iter()
             .map(|&k| self.contains_key_prehashed(k))
             .collect()
+    }
+    /// Delete one stored copy of a row (already-lowered key plus attribute vector).
+    /// `Ok(true)` removed a copy, `Ok(false)` found no match; variants that cannot
+    /// delete (Bloom always, mixed for converted keys) refuse with a typed
+    /// [`DeleteFailure`] and leave the filter unchanged.
+    fn delete_row_prehashed(&mut self, key: u64, attrs: &[u64]) -> Result<bool, DeleteFailure>;
+    /// Delete one stored entry carrying the key's fingerprint, regardless of its
+    /// attribute vector (same result contract as
+    /// [`ConditionalFilter::delete_row_prehashed`]).
+    fn delete_key_prehashed(&mut self, key: u64) -> Result<bool, DeleteFailure>;
+    /// Batched row deletion on already-lowered keys: equivalent to calling
+    /// [`ConditionalFilter::delete_row_prehashed`] per row in input order.
+    fn delete_row_batch_prehashed(
+        &mut self,
+        rows: &[(u64, &[u64])],
+    ) -> Vec<Result<bool, DeleteFailure>> {
+        rows.iter()
+            .map(|&(k, a)| self.delete_row_prehashed(k, a))
+            .collect()
+    }
+    /// Batched key deletion on already-lowered keys: equivalent to calling
+    /// [`ConditionalFilter::delete_key_prehashed`] per key in input order.
+    fn delete_key_batch_prehashed(&mut self, keys: &[u64]) -> Vec<Result<bool, DeleteFailure>> {
+        keys.iter().map(|&k| self.delete_key_prehashed(k)).collect()
     }
     /// The hasher typed keys are lowered with before they reach the prehashed core.
     fn key_lower_hasher(&self) -> SaltedHasher;
@@ -130,6 +154,50 @@ pub trait ConditionalFilter {
     {
         self.contains_key_batch_prehashed(&K::lower_batch(keys, &self.key_lower_hasher()))
     }
+
+    /// Delete one stored copy of a row (typed key plus attribute vector).
+    fn delete_row<K: FilterKey>(&mut self, key: K, attrs: &[u64]) -> Result<bool, DeleteFailure>
+    where
+        Self: Sized,
+    {
+        let key = key.lower(&self.key_lower_hasher());
+        self.delete_row_prehashed(key, attrs)
+    }
+
+    /// Delete one stored entry carrying the typed key's fingerprint.
+    fn delete_key<K: FilterKey>(&mut self, key: K) -> Result<bool, DeleteFailure>
+    where
+        Self: Sized,
+    {
+        let key = key.lower(&self.key_lower_hasher());
+        self.delete_key_prehashed(key)
+    }
+
+    /// Batched row deletion over typed keys (equivalent to per-row
+    /// [`ConditionalFilter::delete_row`] calls in input order).
+    fn delete_row_batch<K: FilterKey, A: AsRef<[u64]>>(
+        &mut self,
+        rows: &[(K, A)],
+    ) -> Vec<Result<bool, DeleteFailure>>
+    where
+        Self: Sized,
+    {
+        let hasher = self.key_lower_hasher();
+        let lowered: Vec<(u64, &[u64])> = rows
+            .iter()
+            .map(|(k, a)| (k.lower(&hasher), a.as_ref()))
+            .collect();
+        self.delete_row_batch_prehashed(&lowered)
+    }
+
+    /// Batched key deletion over typed keys.
+    fn delete_key_batch<K: FilterKey>(&mut self, keys: &[K]) -> Vec<Result<bool, DeleteFailure>>
+    where
+        Self: Sized,
+    {
+        let lowered = K::lower_batch(keys, &self.key_lower_hasher());
+        self.delete_key_batch_prehashed(&lowered)
+    }
 }
 
 macro_rules! impl_conditional_filter {
@@ -153,6 +221,28 @@ macro_rules! impl_conditional_filter {
             }
             fn contains_key_batch_prehashed(&self, keys: &[u64]) -> Vec<bool> {
                 <$ty>::contains_key_batch_prehashed(self, keys)
+            }
+            fn delete_row_prehashed(
+                &mut self,
+                key: u64,
+                attrs: &[u64],
+            ) -> Result<bool, DeleteFailure> {
+                <$ty>::delete_row_prehashed(self, key, attrs)
+            }
+            fn delete_key_prehashed(&mut self, key: u64) -> Result<bool, DeleteFailure> {
+                <$ty>::delete_key_prehashed(self, key)
+            }
+            fn delete_row_batch_prehashed(
+                &mut self,
+                rows: &[(u64, &[u64])],
+            ) -> Vec<Result<bool, DeleteFailure>> {
+                <$ty>::delete_row_batch_prehashed(self, rows)
+            }
+            fn delete_key_batch_prehashed(
+                &mut self,
+                keys: &[u64],
+            ) -> Vec<Result<bool, DeleteFailure>> {
+                <$ty>::delete_key_batch_prehashed(self, keys)
             }
             fn key_lower_hasher(&self) -> SaltedHasher {
                 <$ty>::key_lower_hasher(self)
@@ -273,6 +363,21 @@ impl ConditionalFilter for AnyCcf {
     }
     fn contains_key_batch_prehashed(&self, keys: &[u64]) -> Vec<bool> {
         self.as_dyn().contains_key_batch_prehashed(keys)
+    }
+    fn delete_row_prehashed(&mut self, key: u64, attrs: &[u64]) -> Result<bool, DeleteFailure> {
+        self.as_dyn_mut().delete_row_prehashed(key, attrs)
+    }
+    fn delete_key_prehashed(&mut self, key: u64) -> Result<bool, DeleteFailure> {
+        self.as_dyn_mut().delete_key_prehashed(key)
+    }
+    fn delete_row_batch_prehashed(
+        &mut self,
+        rows: &[(u64, &[u64])],
+    ) -> Vec<Result<bool, DeleteFailure>> {
+        self.as_dyn_mut().delete_row_batch_prehashed(rows)
+    }
+    fn delete_key_batch_prehashed(&mut self, keys: &[u64]) -> Vec<Result<bool, DeleteFailure>> {
+        self.as_dyn_mut().delete_key_batch_prehashed(keys)
     }
     fn key_lower_hasher(&self) -> SaltedHasher {
         self.as_dyn().key_lower_hasher()
@@ -450,6 +555,67 @@ mod tests {
                 vec![true, f.contains_key("nope")],
                 "{kind:?}"
             );
+        }
+    }
+
+    #[test]
+    fn deletion_round_trips_through_the_uniform_interface() {
+        use crate::outcome::DeleteFailure;
+        for kind in [VariantKind::Plain, VariantKind::Chained, VariantKind::Mixed] {
+            assert!(kind.supports_deletion());
+            let mut f = AnyCcf::new(kind, params());
+            for key in 0..200u64 {
+                f.insert_row(key, &[key % 5, key % 9]).unwrap();
+            }
+            for key in (0..200u64).step_by(2) {
+                assert_eq!(
+                    f.delete_row(key, &[key % 5, key % 9]),
+                    Ok(true),
+                    "{kind:?}: delete missed key {key}"
+                );
+            }
+            for key in (1..200u64).step_by(2) {
+                let pred = Predicate::any(2).and_eq(0, key % 5).and_eq(1, key % 9);
+                assert!(f.query(key, &pred), "{kind:?}: survivor {key} lost");
+            }
+            // Batch deletes agree with what a sequential loop would report.
+            let rows: Vec<(u64, [u64; 2])> =
+                (1..9u64).step_by(2).map(|k| (k, [k % 5, k % 9])).collect();
+            let batch = f.delete_row_batch(&rows);
+            assert_eq!(batch, vec![Ok(true); 4], "{kind:?}");
+            assert_eq!(f.delete_key_batch(&[1u64]), vec![Ok(false)], "{kind:?}");
+        }
+        // The Bloom variant reports a typed refusal through every layer.
+        assert!(!VariantKind::Bloom.supports_deletion());
+        let mut f = AnyCcf::new(VariantKind::Bloom, params());
+        f.insert_row(1u64, &[1, 2]).unwrap();
+        assert_eq!(f.delete_row(1u64, &[1, 2]), Err(DeleteFailure::Unsupported));
+        assert_eq!(f.delete_key(1u64), Err(DeleteFailure::Unsupported));
+        assert!(f.contains_key(1u64));
+    }
+
+    #[test]
+    fn trait_object_deletion_uses_the_prehashed_core() {
+        use crate::outcome::DeleteFailure;
+        let mut filters: Vec<(bool, Box<dyn ConditionalFilter>)> = vec![
+            (true, Box::new(PlainCcf::new(params()))),
+            (true, Box::new(ChainedCcf::new(params()))),
+            (false, Box::new(BloomCcf::new(params()))),
+            (true, Box::new(MixedCcf::new(params()))),
+        ];
+        for (deletable, f) in &mut filters {
+            let lowered = "carol".lower(&f.key_lower_hasher());
+            f.insert_row_prehashed(lowered, &[4, 5]).unwrap();
+            if *deletable {
+                assert_eq!(f.delete_row_prehashed(lowered, &[4, 5]), Ok(true));
+                assert!(!f.contains_key_prehashed(lowered));
+                assert_eq!(f.delete_key_batch_prehashed(&[lowered]), vec![Ok(false)]);
+            } else {
+                assert_eq!(
+                    f.delete_row_prehashed(lowered, &[4, 5]),
+                    Err(DeleteFailure::Unsupported)
+                );
+            }
         }
     }
 

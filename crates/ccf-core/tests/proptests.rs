@@ -282,6 +282,134 @@ proptest! {
         }
     }
 
+    /// Churn: random interleavings of inserts, deletes and growth on every variant.
+    ///
+    /// The model tracks the exact live row set (rows are constructed attribute-unique
+    /// per key, with small exact-stored values, so deletes target exactly one entry):
+    ///
+    /// * Plain/Chained: every delete of a live row must find it (`Ok(true)`), even
+    ///   right after a doubling relocated its entry;
+    /// * Mixed: deletes either succeed or refuse with `ConvertedGroup` (the row then
+    ///   stays live); `Ok(false)` for a live row is a bug;
+    /// * Bloom: every delete is the typed `Unsupported` error and mutates nothing;
+    /// * no false negatives for rows still live at the end, and `occupied_entries`
+    ///   tracks the outcome arithmetic exactly (so it can never underflow).
+    ///
+    /// Chained cases where two keys collide on a full 16-bit fingerprint are skipped:
+    /// colliding keys entangle each other's chain counts, which is the documented
+    /// deletion caveat, not a bug this test should trip over. (No parallel-speedup
+    /// assertions here — this is a single-threaded property, so there is nothing to
+    /// gate on `available_parallelism`.)
+    #[test]
+    fn churn_interleaved_insert_delete_grow_never_lies(
+        seed in any::<u64>(),
+        actions in proptest::collection::vec((0u8..10, 0u64..12, any::<u64>()), 1..300),
+    ) {
+        use ccf_core::DeleteFailure;
+        let params = CcfParams {
+            num_buckets: 1 << 9,
+            entries_per_bucket: 6,
+            fingerprint_bits: 16,
+            attr_bits: 8,
+            num_attrs: 3,
+            max_dupes: 3,
+            max_chain: None,
+            seed,
+            ..CcfParams::default()
+        }
+        .with_auto_grow();
+        let chained_fps_collide = {
+            let probe = ChainedCcf::new(params);
+            let fps: Vec<u16> = (0..12u64).map(|k| probe.fingerprint_of(k)).collect();
+            let mut sorted = fps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            sorted.len() != fps.len()
+        };
+        for kind in [VariantKind::Plain, VariantKind::Chained, VariantKind::Bloom, VariantKind::Mixed] {
+            if kind == VariantKind::Chained && chained_fps_collide {
+                continue;
+            }
+            let mut filter = AnyCcf::new(kind, params);
+            let mut live: Vec<(u64, Vec<u64>)> = Vec::new();
+            let mut per_key_seq = std::collections::HashMap::<u64, u64>::new();
+            let mut expected_occupied = 0usize;
+            for &(sel, key, x) in &actions {
+                match sel {
+                    0..=5 => {
+                        // Insert a fresh, attribute-unique row for the key (values
+                        // < 2^attr_bits are stored exactly).
+                        let seq = per_key_seq.entry(key).or_insert(0);
+                        let attrs = vec![key % 251, *seq % 251, (*seq / 251) % 251];
+                        *seq += 1;
+                        match filter.insert_row(key, &attrs) {
+                            Ok(outcome) => {
+                                if outcome.consumed_entry() {
+                                    expected_occupied += 1;
+                                }
+                                live.push((key, attrs));
+                            }
+                            Err(_) => {
+                                // Plain pair saturation: row is simply not stored.
+                            }
+                        }
+                    }
+                    6..=8 => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let idx = (x as usize).wrapping_add(key as usize * 7) % live.len();
+                        let (k, attrs) = live.remove(idx);
+                        match (kind, filter.delete_row(k, &attrs)) {
+                            (VariantKind::Bloom, Err(DeleteFailure::Unsupported)) => {
+                                live.push((k, attrs)); // refused: nothing changed
+                            }
+                            (VariantKind::Mixed, Err(DeleteFailure::ConvertedGroup)) => {
+                                live.push((k, attrs)); // converted: stays live
+                            }
+                            (VariantKind::Plain | VariantKind::Chained | VariantKind::Mixed, Ok(true)) => {
+                                expected_occupied -= 1;
+                            }
+                            (_, res) => {
+                                panic!("{kind:?}: delete of live ({k}, {attrs:?}) -> {res:?}")
+                            }
+                        }
+                    }
+                    _ => {
+                        // Explicit doubling (bounded, so a grow-heavy action stream
+                        // cannot blow the geometry up past a few doublings).
+                        if filter.params().num_buckets < (1 << 12) {
+                            match &mut filter {
+                                AnyCcf::Plain(f) => f.grow(),
+                                AnyCcf::Chained(f) => f.grow(),
+                                AnyCcf::Mixed(f) => f.grow(),
+                                AnyCcf::Bloom(_) => {}
+                            }
+                        }
+                    }
+                }
+                prop_assert_eq!(
+                    filter.occupied_entries(),
+                    expected_occupied,
+                    "{:?}: occupancy drifted from the outcome arithmetic",
+                    kind
+                );
+            }
+            for (k, attrs) in &live {
+                let pred = Predicate::any(3)
+                    .and_eq(0, attrs[0])
+                    .and_eq(1, attrs[1])
+                    .and_eq(2, attrs[2]);
+                prop_assert!(
+                    filter.query(*k, &pred),
+                    "{:?}: live row ({}, {:?}) lost after churn",
+                    kind, k, attrs
+                );
+                prop_assert!(filter.contains_key(*k), "{:?}: key {} lost", kind, k);
+            }
+        }
+    }
+
     /// Occupied-entry accounting: the number of occupied entries never exceeds the
     /// number of successful `Inserted` outcomes, and the load factor is consistent.
     #[test]

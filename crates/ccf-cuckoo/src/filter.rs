@@ -476,7 +476,9 @@ impl CuckooFilter {
         )
     }
 
-    /// Number of stored copies of the key's fingerprint in its bucket pair (≤ 2b).
+    /// Number of stored copies of the key's fingerprint in its bucket pair: at most
+    /// `2b`, or `b` for a degenerate self-paired fingerprint (ℓ′ == ℓ, where the
+    /// "pair" is a single bucket — the same cap insertion enforces).
     pub fn count(&self, key: u64) -> usize {
         let (fp, bucket) = self.index_of(key);
         let alt = self.alt_bucket(bucket, fp);
@@ -663,6 +665,32 @@ mod tests {
             "failing degenerate insert must not disturb the bucket"
         );
         assert_eq!(f.len(), items_before);
+    }
+
+    #[test]
+    fn count_caps_at_b_for_self_paired_keys() {
+        // A key whose fingerprint self-pairs (ℓ′ == ℓ) can hold at most b copies —
+        // count() must agree with insertion's cap and never report a copy twice.
+        let mut f = CuckooFilter::new(small_params(13));
+        let b = f.entries_per_bucket();
+        let key = (0..2_000_000u64)
+            .find(|&k| {
+                let (fp, bucket) = f.index_of(k);
+                f.alt_bucket(bucket, fp) == bucket
+            })
+            .expect("some key must map to a self-paired fingerprint");
+        for i in 0..b {
+            f.insert(key)
+                .unwrap_or_else(|_| panic!("copy {i} of a self-paired key should fit"));
+            assert_eq!(f.count(key), i + 1, "count must not double-scan the bucket");
+        }
+        assert!(f.insert(key).is_err(), "copy b+1 cannot fit");
+        assert_eq!(f.count(key), b, "self-paired count caps at b, not 2b");
+        // Deleting drains the copies one at a time through the same degenerate pair.
+        for remaining in (0..b).rev() {
+            assert!(f.delete(key));
+            assert_eq!(f.count(key), remaining);
+        }
     }
 
     #[test]

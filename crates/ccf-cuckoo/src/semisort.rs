@@ -33,9 +33,10 @@ pub fn sorted_prefix_bits(b: usize) -> u32 {
 }
 
 /// Bits saved per entry by the semi-sorting encoding relative to storing `b` raw 4-bit
-/// prefixes.
+/// prefixes: the raw cost is 4 bits per entry, the encoded cost
+/// [`sorted_prefix_bits`]`(b) / b`.
 pub fn bits_saved_per_entry(b: usize) -> f64 {
-    (4 * b) as f64 / b as f64 - sorted_prefix_bits(b) as f64 / b as f64
+    4.0 - sorted_prefix_bits(b) as f64 / b as f64
 }
 
 /// Encode the 4-bit prefixes of a bucket's `b` fingerprints as a single index into the
@@ -97,6 +98,23 @@ mod tests {
         assert_eq!(sorted_prefix_bits(4), 12);
         // One bit saved per entry relative to 4 raw prefixes (16 bits).
         assert!((bits_saved_per_entry(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bits_saved_per_entry_varies_with_bucket_size() {
+        // b = 2: C(17, 2) = 136 multisets → 8 bits, no saving over 2·4 raw bits.
+        assert_eq!(multiset_count(16, 2), 136);
+        assert_eq!(sorted_prefix_bits(2), 8);
+        assert!((bits_saved_per_entry(2) - 0.0).abs() < 1e-12);
+        // b = 4: 3876 → 12 bits, exactly 1 bit per entry (the paper's setting).
+        assert!((bits_saved_per_entry(4) - 1.0).abs() < 1e-12);
+        // b = 8: C(23, 8) = 490314 → 19 bits, 4 − 19/8 = 1.625 bits per entry.
+        assert_eq!(multiset_count(16, 8), 490_314);
+        assert_eq!(sorted_prefix_bits(8), 19);
+        assert!((bits_saved_per_entry(8) - 1.625).abs() < 1e-12);
+        // The saving grows with b (larger buckets sort away more entropy).
+        assert!(bits_saved_per_entry(8) > bits_saved_per_entry(4));
+        assert!(bits_saved_per_entry(4) > bits_saved_per_entry(2));
     }
 
     #[test]

@@ -233,10 +233,21 @@ impl<V: Clone> CuckooHashTable<V> {
         }
     }
 
+    /// The candidate buckets with the degenerate b1 == b2 case deduplicated, so scans
+    /// never walk the same bucket twice.
+    fn candidate_list(b1: usize, b2: usize) -> ([usize; 2], usize) {
+        if b1 == b2 {
+            ([b1, b2], 1)
+        } else {
+            ([b1, b2], 2)
+        }
+    }
+
     /// Look up the value for a key (the first stored copy if duplicates were inserted).
     pub fn get(&self, key: u64) -> Option<&V> {
         let (b1, b2) = self.candidate_buckets(key);
-        for &b in &[b1, b2] {
+        let (candidates, n) = Self::candidate_list(b1, b2);
+        for &b in &candidates[..n] {
             for slot in self.buckets[b].iter().flatten() {
                 if slot.key == key {
                     return Some(&slot.value);
@@ -249,9 +260,9 @@ impl<V: Clone> CuckooHashTable<V> {
     /// All values stored for a key (multiset lookups).
     pub fn get_all(&self, key: u64) -> Vec<&V> {
         let (b1, b2) = self.candidate_buckets(key);
+        let (candidates, n) = Self::candidate_list(b1, b2);
         let mut out = Vec::new();
-        let candidates: &[usize] = if b1 == b2 { &[b1] } else { &[b1, b2] };
-        for &b in candidates {
+        for &b in &candidates[..n] {
             for slot in self.buckets[b].iter().flatten() {
                 if slot.key == key {
                     out.push(&slot.value);
@@ -269,7 +280,8 @@ impl<V: Clone> CuckooHashTable<V> {
     /// Remove one copy of the key, returning its value.
     pub fn remove(&mut self, key: u64) -> Option<V> {
         let (b1, b2) = self.candidate_buckets(key);
-        for &b in &[b1, b2] {
+        let (candidates, n) = Self::candidate_list(b1, b2);
+        for &b in &candidates[..n] {
             for slot in &mut self.buckets[b] {
                 if slot.as_ref().is_some_and(|s| s.key == key) {
                     self.len -= 1;
@@ -367,6 +379,31 @@ mod tests {
         assert!(stored <= 8, "stored {stored} copies, cap is 2b = 8");
         assert_eq!(err.key, 42);
         assert_eq!(t.get_all(42).len(), stored);
+    }
+
+    #[test]
+    fn self_paired_keys_scan_their_bucket_once() {
+        // With 2 buckets, half of all keys hash both candidates onto one bucket.
+        // get/get_all/remove/contains_key must treat that degenerate pair as a single
+        // bucket (the dedup get_all always applied) and stay mutually consistent.
+        let mut t: CuckooHashTable<u32> = CuckooHashTable::new(2, 4, 8);
+        let self_paired = (0..200u64)
+            .find(|&k| {
+                let (b1, b2) = t.candidate_buckets(k);
+                b1 == b2
+            })
+            .expect("a 2-bucket table must self-pair some key");
+        t.insert_duplicate(self_paired, 1).unwrap();
+        t.insert_duplicate(self_paired, 2).unwrap();
+        assert!(t.contains_key(self_paired));
+        assert_eq!(t.get_all(self_paired).len(), 2, "each copy reported once");
+        assert_eq!(t.get(self_paired), Some(&1));
+        assert_eq!(t.remove(self_paired), Some(1));
+        assert_eq!(t.get_all(self_paired), vec![&2]);
+        assert_eq!(t.remove(self_paired), Some(2));
+        assert_eq!(t.remove(self_paired), None);
+        assert!(!t.contains_key(self_paired));
+        assert_eq!(t.len(), 0);
     }
 
     #[test]

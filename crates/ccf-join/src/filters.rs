@@ -13,7 +13,7 @@
 //! relevant filters per scan (see [`crate::reduction`]).
 
 use ccf_core::sizing::{size_for_profile, DuplicationProfile, VariantKind};
-use ccf_core::{AnyCcf, CcfParams, ConditionalFilter, FilterKey, Predicate};
+use ccf_core::{AnyCcf, CcfParams, ConditionalFilter, DeleteFailure, FilterKey, Predicate};
 use ccf_cuckoo::{CuckooFilter, CuckooFilterParams};
 use ccf_workloads::imdb::{spec_of, SyntheticImdb, SyntheticTable, TableId};
 
@@ -163,6 +163,48 @@ impl FilterBank {
             .expect("bank contains every table")
     }
 
+    /// The filters for one table, mutably (eviction).
+    fn table_mut(&mut self, id: TableId) -> &mut TableFilters {
+        self.tables
+            .iter_mut()
+            .find(|t| t.table == id)
+            .expect("bank contains every table")
+    }
+
+    /// Evict one row from a table's filters — the maintenance path for rolling
+    /// datasets (a deleted base-table row must stop matching probes, or the bank's
+    /// reduction factors drift as the table churns). Deletes the row from the CCF
+    /// and, when that removed the key's last copy, retires the key from the key-only
+    /// baseline filter too, keeping the two strategies' probe semantics aligned.
+    ///
+    /// Returns whether a CCF copy was removed. Banks built on the Bloom variant (or a
+    /// converted mixed key) refuse with a typed [`DeleteFailure`]; only rows that are
+    /// actually in the table should be evicted (the cuckoo deletion caveat).
+    pub fn evict_row(
+        &mut self,
+        id: TableId,
+        key: u64,
+        attrs: &[u64],
+    ) -> Result<bool, DeleteFailure> {
+        let t = self.table_mut(id);
+        let removed = t.ccf.delete_row(key, attrs)?;
+        if removed && !t.ccf.contains_key(key) {
+            t.key_filter.delete(key);
+        }
+        Ok(removed)
+    }
+
+    /// Evict one copy of a key from a table's filters, regardless of its attribute
+    /// vector (see [`FilterBank::evict_row`] for the semantics and caveats).
+    pub fn evict_key(&mut self, id: TableId, key: u64) -> Result<bool, DeleteFailure> {
+        let t = self.table_mut(id);
+        let removed = t.ccf.delete_key(key)?;
+        if removed && !t.ccf.contains_key(key) {
+            t.key_filter.delete(key);
+        }
+        Ok(removed)
+    }
+
     /// Batched key-only probe of one table's CCF with typed keys (any
     /// [`FilterKey`]: join keys arriving as strings, composites, or raw `u64`s).
     pub fn contains_key_batch<K: FilterKey>(&self, id: TableId, keys: &[K]) -> Vec<bool> {
@@ -244,6 +286,78 @@ mod tests {
         for &k in table.join_keys.iter().step_by(11) {
             assert!(filters.key_filter.contains(k));
         }
+    }
+
+    #[test]
+    fn eviction_removes_rows_and_retires_exhausted_keys() {
+        let db = db();
+        let mut bank = FilterBank::build(&db, FilterConfig::large(VariantKind::Chained));
+        let table = db.table(TableId::MovieCompanies);
+        // Evict every row of the first few keys; the CCF must stop matching them and
+        // the key-only baseline must retire each key with its last copy.
+        let mut evicted_keys = std::collections::HashSet::new();
+        let mut seen_rows = std::collections::HashSet::new();
+        for row in 0..table.num_rows() {
+            let key = table.join_keys[row];
+            if evicted_keys.len() >= 5 && !evicted_keys.contains(&key) {
+                continue;
+            }
+            evicted_keys.insert(key);
+            let attrs = crate::bridge::ccf_attrs_for_row(table, row);
+            if !seen_rows.insert((key, attrs.clone())) {
+                // Exact duplicate rows were deduplicated at build time: only the
+                // first copy occupies an entry, so only it is evictable.
+                continue;
+            }
+            assert_eq!(
+                bank.evict_row(TableId::MovieCompanies, key, &attrs),
+                Ok(true),
+                "row {row} of key {key} not found for eviction"
+            );
+        }
+        let filters = bank.table(TableId::MovieCompanies);
+        for &key in &evicted_keys {
+            assert!(
+                !filters.key_filter.contains(key),
+                "baseline kept evicted key {key}"
+            );
+        }
+        // Untouched keys keep both probes working.
+        let mut checked = 0;
+        for row in 0..table.num_rows() {
+            let key = table.join_keys[row];
+            if evicted_keys.contains(&key) {
+                continue;
+            }
+            let attrs = crate::bridge::ccf_attrs_for_row(table, row);
+            let pred = Predicate::any(2).and_eq(0, attrs[0]).and_eq(1, attrs[1]);
+            assert!(filters.ccf.query(key, &pred), "surviving row {row} lost");
+            assert!(filters.key_filter.contains(key));
+            checked += 1;
+            if checked > 50 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn bloom_banks_refuse_eviction_without_corrupting_state() {
+        let db = db();
+        let mut bank = FilterBank::build(&db, FilterConfig::small(VariantKind::Bloom));
+        let table = db.table(TableId::MovieKeyword);
+        let key = table.join_keys[0];
+        let attrs = crate::bridge::ccf_attrs_for_row(table, 0);
+        assert_eq!(
+            bank.evict_row(TableId::MovieKeyword, key, &attrs),
+            Err(DeleteFailure::Unsupported)
+        );
+        assert_eq!(
+            bank.evict_key(TableId::MovieKeyword, key),
+            Err(DeleteFailure::Unsupported)
+        );
+        let filters = bank.table(TableId::MovieKeyword);
+        assert!(filters.ccf.contains_key(key));
+        assert!(filters.key_filter.contains(key));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! loops, so the instance accounting is exactly as reproducible as the sequential
 //! path.
 
-use ccf_core::{CcfParams, FilterKey, Predicate};
+use ccf_core::{CcfParams, DeleteFailure, FilterKey, Predicate};
 use ccf_shard::ShardedCcf;
 use ccf_workloads::imdb::{SyntheticImdb, SyntheticTable, TableId};
 use ccf_workloads::joblight::JobLightWorkload;
@@ -171,6 +171,39 @@ impl ShardedFilterBank {
     ) -> Vec<bool> {
         self.table(id).ccf.query_batch(keys, pred)
     }
+
+    /// Evict one row from a table's sharded CCF, write-locking only the owning shard
+    /// — the maintenance path for rolling datasets probed concurrently (the sharded
+    /// bank has no separate key-only baseline to retire; key-only probes share the
+    /// CCF's storage). Same result contract as [`ccf_shard::ShardedCcf::delete_row`].
+    pub fn evict_row<K: FilterKey>(
+        &self,
+        id: TableId,
+        key: K,
+        attrs: &[u64],
+    ) -> Result<bool, DeleteFailure> {
+        self.table(id).ccf.delete_row(key, attrs)
+    }
+
+    /// Evict one copy of a key from a table's sharded CCF (see
+    /// [`ShardedFilterBank::evict_row`]).
+    pub fn evict_key<K: FilterKey>(&self, id: TableId, key: K) -> Result<bool, DeleteFailure> {
+        self.table(id).ccf.delete_key(key)
+    }
+
+    /// Batched eviction of rows from one table's sharded CCF: routed per shard and
+    /// bit-identical to a sequential [`ShardedFilterBank::evict_row`] loop.
+    pub fn evict_row_batch<K, A>(
+        &self,
+        id: TableId,
+        rows: &[(K, A)],
+    ) -> Vec<Result<bool, DeleteFailure>>
+    where
+        K: FilterKey + Sync,
+        A: AsRef<[u64]> + Sync,
+    {
+        self.table(id).ccf.delete_row_batch(rows)
+    }
 }
 
 impl ProbeBank for ShardedFilterBank {
@@ -267,6 +300,38 @@ mod tests {
                 "predicates can only reduce further: {r:?}"
             );
             assert!(r.m_ccf <= r.m_predicate, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_eviction_stops_rows_matching_and_is_batch_identical() {
+        let db = db();
+        let bank = ShardedFilterBank::build(
+            &db,
+            FilterConfig::large(VariantKind::Chained),
+            shard_config(4, 4),
+        );
+        let table = db.table(TableId::MovieCompanies);
+        // Dedupe exact rows (build deduplicated them) and evict the first 40.
+        let mut seen = std::collections::HashSet::new();
+        let mut victims: Vec<(u64, Vec<u64>)> = Vec::new();
+        for row in 0..table.num_rows() {
+            let key = table.join_keys[row];
+            let attrs = crate::bridge::ccf_attrs_for_row(table, row);
+            if seen.insert((key, attrs.clone())) && victims.len() < 40 {
+                victims.push((key, attrs));
+            }
+        }
+        let results = bank.evict_row_batch(TableId::MovieCompanies, &victims);
+        assert_eq!(results, vec![Ok(true); victims.len()]);
+        // Evicting the same rows again reports them gone — exactly what a sequential
+        // evict_row loop would say.
+        for (key, attrs) in &victims {
+            assert_eq!(
+                bank.evict_row(TableId::MovieCompanies, *key, attrs),
+                Ok(false),
+                "row of key {key} evicted twice"
+            );
         }
     }
 

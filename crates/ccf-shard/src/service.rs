@@ -21,8 +21,8 @@
 use std::sync::RwLock;
 
 use ccf_core::{
-    AnyCcf, CcfParams, ConditionalFilter, FilterKey, InsertFailure, InsertOutcome, ParamsError,
-    Predicate, VariantKind,
+    AnyCcf, CcfParams, ConditionalFilter, DeleteFailure, FilterKey, InsertFailure, InsertOutcome,
+    ParamsError, Predicate, VariantKind,
 };
 use ccf_hash::salted::purpose;
 use ccf_hash::{HashFamily, SaltedHasher};
@@ -194,6 +194,28 @@ impl ShardedCcf {
             .insert_row_prehashed(key, attrs)
     }
 
+    /// Delete one stored copy of a row, write-locking only the key's shard. Same
+    /// result contract as the per-variant `delete_row`: `Ok(true)` removed a copy,
+    /// `Ok(false)` found no match, and undeletable variants refuse with a typed
+    /// [`DeleteFailure`] leaving the shard unchanged.
+    pub fn delete_row<K: FilterKey>(&self, key: K, attrs: &[u64]) -> Result<bool, DeleteFailure> {
+        let key = key.lower(&self.key_lower);
+        self.shards[self.router.shard_of(key)]
+            .write()
+            .expect(POISONED)
+            .delete_row_prehashed(key, attrs)
+    }
+
+    /// Delete one stored entry carrying the key's fingerprint, write-locking only the
+    /// key's shard.
+    pub fn delete_key<K: FilterKey>(&self, key: K) -> Result<bool, DeleteFailure> {
+        let key = key.lower(&self.key_lower);
+        self.shards[self.router.shard_of(key)]
+            .write()
+            .expect(POISONED)
+            .delete_key_prehashed(key)
+    }
+
     /// Query a key under a predicate, read-locking only the key's shard.
     pub fn query<K: FilterKey>(&self, key: K, pred: &Predicate) -> bool {
         let key = key.lower(&self.key_lower);
@@ -261,6 +283,46 @@ impl ShardedCcf {
         part.scatter(&results, lowered.len())
     }
 
+    /// Route already-lowered keys to their shards and apply `op` per key, each shard
+    /// processing its keys in relative input order under one write-lock acquisition,
+    /// fanned out over up to [`ShardedCcf::threads`] workers. Per-key results come
+    /// back in input order, and because shards share no state and per-shard order is
+    /// preserved, the resulting filter state (and every result) is identical to a
+    /// sequential per-key loop — the scaffolding shared by batched inserts and
+    /// deletes.
+    fn fan_out_write<T: Send>(
+        &self,
+        lowered: &[u64],
+        op: impl Fn(&mut AnyCcf, usize) -> T + Sync,
+    ) -> Vec<T> {
+        let mut row_indices: Vec<Vec<usize>> = vec![Vec::new(); self.num_shards()];
+        for (i, &key) in lowered.iter().enumerate() {
+            row_indices[self.router.shard_of(key)].push(i);
+        }
+        let non_empty = row_indices.iter().filter(|c| !c.is_empty()).count();
+        let produced = fan_out_indexed(row_indices.len(), self.workers_for(non_empty), |s| {
+            let indices = &row_indices[s];
+            (!indices.is_empty()).then(|| {
+                let mut guard = self.shards[s].write().expect(POISONED);
+                indices
+                    .iter()
+                    .map(|&i| (i, op(&mut guard, i)))
+                    .collect::<Vec<_>>()
+            })
+        });
+        let mut results: Vec<Option<T>> = Vec::new();
+        results.resize_with(lowered.len(), || None);
+        for (_, shard_outcomes) in produced {
+            for (i, outcome) in shard_outcomes {
+                results[i] = Some(outcome);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every row is routed to exactly one shard"))
+            .collect()
+    }
+
     /// Batched insert: rows are routed to their shards and each shard absorbs its
     /// rows in their relative input order under one write-lock acquisition, fanned out
     /// over up to [`ShardedCcf::threads`] workers. Per-row outcomes come back in input
@@ -273,36 +335,37 @@ impl ShardedCcf {
     {
         // Lower every key once; routing and the per-shard inserts share the material.
         let lowered: Vec<u64> = rows.iter().map(|(k, _)| k.lower(&self.key_lower)).collect();
-        let mut row_indices: Vec<Vec<usize>> = vec![Vec::new(); self.num_shards()];
-        for (i, &key) in lowered.iter().enumerate() {
-            row_indices[self.router.shard_of(key)].push(i);
-        }
-        let non_empty = row_indices.iter().filter(|c| !c.is_empty()).count();
-        let produced = fan_out_indexed(row_indices.len(), self.workers_for(non_empty), |s| {
-            let indices = &row_indices[s];
-            (!indices.is_empty()).then(|| {
-                let mut guard = self.shards[s].write().expect(POISONED);
-                indices
-                    .iter()
-                    .map(|&i| {
-                        (
-                            i,
-                            guard.insert_row_prehashed(lowered[i], rows[i].1.as_ref()),
-                        )
-                    })
-                    .collect::<Vec<_>>()
-            })
-        });
-        let mut results: Vec<Option<Result<InsertOutcome, InsertFailure>>> = vec![None; rows.len()];
-        for (_, shard_outcomes) in produced {
-            for (i, outcome) in shard_outcomes {
-                results[i] = Some(outcome);
-            }
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("every row is routed to exactly one shard"))
-            .collect()
+        self.fan_out_write(&lowered, |filter, i| {
+            filter.insert_row_prehashed(lowered[i], rows[i].1.as_ref())
+        })
+    }
+
+    /// Batched row deletion: rows are routed to their shards and deleted in relative
+    /// input order under per-shard write locks (same fan-out as
+    /// [`ShardedCcf::insert_batch`]). Results and resulting state are bit-identical
+    /// to a sequential per-row [`ShardedCcf::delete_row`] loop for any shard/thread
+    /// count.
+    pub fn delete_row_batch<K, A>(&self, rows: &[(K, A)]) -> Vec<Result<bool, DeleteFailure>>
+    where
+        K: FilterKey + Sync,
+        A: AsRef<[u64]> + Sync,
+    {
+        let lowered: Vec<u64> = rows.iter().map(|(k, _)| k.lower(&self.key_lower)).collect();
+        self.fan_out_write(&lowered, |filter, i| {
+            filter.delete_row_prehashed(lowered[i], rows[i].1.as_ref())
+        })
+    }
+
+    /// Batched key deletion: bit-identical to a sequential per-key
+    /// [`ShardedCcf::delete_key`] loop (see [`ShardedCcf::delete_row_batch`]).
+    pub fn delete_key_batch<K: FilterKey + Sync>(
+        &self,
+        keys: &[K],
+    ) -> Vec<Result<bool, DeleteFailure>> {
+        let lowered = K::lower_batch(keys, &self.key_lower);
+        self.fan_out_write(&lowered, |filter, i| {
+            filter.delete_key_prehashed(lowered[i])
+        })
     }
 
     /// Total occupied entries across shards.
@@ -465,6 +528,121 @@ mod tests {
         );
         for (key, _) in &data {
             assert!(service.contains_key(*key), "key {key} lost after growth");
+        }
+    }
+
+    #[test]
+    fn point_deletes_route_to_the_owning_shard() {
+        let service = ShardedCcf::new(VariantKind::Chained, shard_params(41), 4);
+        let data = rows(400);
+        for (key, attrs) in &data {
+            service.insert(*key, attrs).unwrap();
+        }
+        for (key, attrs) in data.iter().step_by(2) {
+            assert_eq!(service.delete_row(*key, attrs), Ok(true), "delete {key}");
+        }
+        for (i, (key, attrs)) in data.iter().enumerate() {
+            let pred = Predicate::any(2).and_eq(0, attrs[0]).and_eq(1, attrs[1]);
+            if i % 2 == 0 {
+                assert!(
+                    !service.query(*key, &pred),
+                    "deleted row {key} still matches"
+                );
+            } else {
+                assert!(service.query(*key, &pred), "surviving row {key} lost");
+            }
+        }
+        // delete_key drains the remaining copies.
+        for (key, _) in data.iter().skip(1).step_by(2) {
+            assert_eq!(service.delete_key(*key), Ok(true));
+        }
+        assert_eq!(service.occupied_entries(), 0);
+    }
+
+    #[test]
+    fn batch_deletes_are_bit_identical_to_sequential_loops() {
+        for threads in [1, 4] {
+            for shards in [1, 3, 4] {
+                let data = rows(700);
+                let make = || {
+                    let s = ShardedCcf::new(VariantKind::Chained, shard_params(51), shards);
+                    s.insert_batch(&data);
+                    s
+                };
+                // Mix of present rows, already-deleted rows and absent keys.
+                let victims: Vec<(u64, [u64; 2])> = (0..900u64)
+                    .map(|i| {
+                        if i % 3 == 0 {
+                            (u64::MAX - i, [0, 0])
+                        } else {
+                            data[(i as usize * 7) % data.len()]
+                        }
+                    })
+                    .collect();
+                let parallel = make().with_threads(threads);
+                let batched = parallel.delete_row_batch(&victims);
+                let sequential = make();
+                let looped: Vec<_> = victims
+                    .iter()
+                    .map(|(k, a)| sequential.delete_row(*k, a))
+                    .collect();
+                assert_eq!(batched, looped, "{shards}x{threads}: delete results differ");
+                assert_eq!(
+                    parallel.occupied_entries(),
+                    sequential.occupied_entries(),
+                    "{shards}x{threads}: post-delete state differs"
+                );
+                let probes: Vec<u64> = (0..4000).collect();
+                assert_eq!(
+                    parallel.contains_key_batch(&probes),
+                    sequential.contains_key_batch(&probes),
+                    "{shards}x{threads}: post-delete filters answer differently"
+                );
+                // Key-batch form: same contract.
+                let keys: Vec<u64> = data.iter().map(|(k, _)| *k).step_by(3).collect();
+                assert_eq!(
+                    parallel.delete_key_batch(&keys),
+                    keys.iter()
+                        .map(|&k| sequential.delete_key(k))
+                        .collect::<Vec<_>>(),
+                    "{shards}x{threads}: key-delete results differ"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bloom_shards_refuse_deletion_with_a_typed_error() {
+        let service = ShardedCcf::new(VariantKind::Bloom, shard_params(61), 2);
+        service.insert(1u64, &[2, 3]).unwrap();
+        assert_eq!(
+            service.delete_row(1u64, &[2, 3]),
+            Err(DeleteFailure::Unsupported)
+        );
+        assert_eq!(service.delete_key(1u64), Err(DeleteFailure::Unsupported));
+        assert_eq!(
+            service.delete_key_batch(&[1u64, 9u64]),
+            vec![Err(DeleteFailure::Unsupported); 2]
+        );
+        assert!(service.contains_key(1u64));
+    }
+
+    #[test]
+    fn typed_key_deletes_reach_the_same_material_as_inserts() {
+        let service = ShardedCcf::new(VariantKind::Mixed, shard_params(71), 3);
+        let rows: Vec<(String, [u64; 2])> = (0..120)
+            .map(|i| (format!("sess-{i:04}"), [i % 5, i % 9]))
+            .collect();
+        service.insert_batch(&rows);
+        let victims: Vec<(String, [u64; 2])> = rows.iter().take(60).cloned().collect();
+        let results = service.delete_row_batch(&victims);
+        assert!(results.iter().all(|r| *r == Ok(true)), "{results:?}");
+        for (i, (key, _)) in rows.iter().enumerate() {
+            assert_eq!(
+                service.contains_key(key.as_str()),
+                i >= 60,
+                "key {key} in the wrong state after typed deletes"
+            );
         }
     }
 

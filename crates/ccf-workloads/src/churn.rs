@@ -1,0 +1,197 @@
+//! Sliding-window churn workloads: sustained insert **and delete** traffic.
+//!
+//! The paper's evaluation builds filters once and only queries them, but the
+//! deployments it motivates — streaming joins over rolling windows, caches of recent
+//! rows, session stores — retire old rows as fast as new ones arrive. A
+//! [`SlidingWindowChurn`] generates that traffic pattern deterministically: every
+//! arrival inserts a fresh (key, attribute-vector) row, and once more than `window`
+//! rows are live the oldest row is deleted (FIFO), so a correctly maintained filter's
+//! occupancy is *bounded by the window size* no matter how many rows stream through.
+//!
+//! Rows are constructed so the stream is exactly replayable against a filter:
+//!
+//! * keys are drawn uniformly from `keyspace`, so hot windows hold several live rows
+//!   per key (exercising chains and conversion pressure);
+//! * attribute values are small (< 2⁸, stored exactly under the small-value
+//!   optimisation) and encode the key in column 0 and a per-key sequence number in
+//!   the remaining columns — every live row of a key is attribute-distinct, so a
+//!   delete matches exactly the row it targets rather than an arbitrary duplicate.
+//!
+//! The harnesses in `ccf-bench` (the `churn` binary and bench) replay these ops and
+//! assert the churn contracts: no false negatives for live rows, exact occupancy
+//! accounting, and bounded filter size.
+
+use crate::multiset::Row;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Base for the per-column attribute encoding: values stay below 2⁸ so filters with
+/// `attr_bits ≥ 8` and the small-value optimisation store them exactly.
+const ATTR_BASE: u64 = 251;
+
+/// One operation of a churn stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// A new row arrives.
+    Insert(Row),
+    /// The oldest live row leaves the window.
+    Delete(Row),
+}
+
+/// Deterministic generator for sliding-window insert/delete streams.
+#[derive(Debug, Clone, Copy)]
+pub struct SlidingWindowChurn {
+    /// Maximum number of live rows; every arrival beyond it evicts the oldest row.
+    pub window: usize,
+    /// Attribute columns per row (at least 2: one pins the key, the rest the per-key
+    /// sequence number, which is what makes deletes target exact rows).
+    pub num_attrs: usize,
+    /// Keys are drawn uniformly from `0..keyspace`; a keyspace smaller than the
+    /// window keeps several rows per key live at once.
+    pub keyspace: u64,
+    /// RNG seed; equal seeds reproduce the stream exactly.
+    pub seed: u64,
+}
+
+impl SlidingWindowChurn {
+    /// Create a generator.
+    ///
+    /// # Panics
+    /// Panics if `window` or `keyspace` is zero, or `num_attrs < 2` (a single column
+    /// cannot make a key's rows distinct, so deletes would not be exactly targeted).
+    pub fn new(window: usize, num_attrs: usize, keyspace: u64, seed: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(keyspace > 0, "keyspace must be positive");
+        assert!(
+            num_attrs >= 2,
+            "need ≥ 2 attribute columns for exactly-targeted deletes"
+        );
+        Self {
+            window,
+            num_attrs,
+            keyspace,
+            seed,
+        }
+    }
+
+    /// The row for a key's `seq`-th arrival: column 0 pins the key, later columns the
+    /// per-key sequence in base-[`ATTR_BASE`] digits — all values exact under the
+    /// small-value optimisation, so rows of one key are attribute-distinct for
+    /// `ATTR_BASE^(num_attrs-1)` consecutive arrivals.
+    fn row(&self, key: u64, seq: u64) -> Row {
+        let mut attrs = Vec::with_capacity(self.num_attrs);
+        attrs.push(key % ATTR_BASE);
+        let mut rest = seq;
+        for _ in 1..self.num_attrs {
+            attrs.push(rest % ATTR_BASE);
+            rest /= ATTR_BASE;
+        }
+        Row { key, attrs }
+    }
+
+    /// Generate the operation stream for `total_inserts` arrivals: inserts
+    /// interleaved with the FIFO deletes that keep at most `window` rows live.
+    /// Applying the ops in order leaves exactly `min(window, total_inserts)` live
+    /// rows ([`SlidingWindowChurn::live_after`] reconstructs them).
+    pub fn ops(&self, total_inserts: usize) -> Vec<ChurnOp> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xC4_0112);
+        let mut per_key_seq: HashMap<u64, u64> = HashMap::new();
+        let mut live: std::collections::VecDeque<Row> = Default::default();
+        let mut ops = Vec::with_capacity(2 * total_inserts);
+        for _ in 0..total_inserts {
+            let key = rng.gen_range(0..self.keyspace);
+            let seq = per_key_seq.entry(key).or_insert(0);
+            let row = self.row(key, *seq);
+            *seq += 1;
+            live.push_back(row.clone());
+            ops.push(ChurnOp::Insert(row));
+            if live.len() > self.window {
+                ops.push(ChurnOp::Delete(
+                    live.pop_front().expect("window is positive"),
+                ));
+            }
+        }
+        ops
+    }
+
+    /// The rows still live after applying [`SlidingWindowChurn::ops`]`(total_inserts)`
+    /// in order — the reference set churn harnesses check for false negatives.
+    pub fn live_after(&self, total_inserts: usize) -> Vec<Row> {
+        let mut live: std::collections::VecDeque<Row> = Default::default();
+        for op in self.ops(total_inserts) {
+            match op {
+                ChurnOp::Insert(row) => live.push_back(row),
+                ChurnOp::Delete(row) => {
+                    let front = live.pop_front().expect("deletes follow inserts");
+                    debug_assert_eq!(front, row, "deletes are FIFO");
+                }
+            }
+        }
+        live.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_keep_the_live_set_bounded_and_fifo() {
+        let gen = SlidingWindowChurn::new(100, 2, 32, 7);
+        let ops = gen.ops(1000);
+        let inserts = ops
+            .iter()
+            .filter(|o| matches!(o, ChurnOp::Insert(_)))
+            .count();
+        let deletes = ops
+            .iter()
+            .filter(|o| matches!(o, ChurnOp::Delete(_)))
+            .count();
+        assert_eq!(inserts, 1000);
+        assert_eq!(deletes, 900);
+        // Replay: every delete targets the oldest live row, live size never exceeds
+        // the window (transiently window + 1 between an insert and its paired
+        // delete never appears in the op stream order).
+        let mut live: std::collections::VecDeque<Row> = Default::default();
+        for op in &ops {
+            match op {
+                ChurnOp::Insert(row) => live.push_back(row.clone()),
+                ChurnOp::Delete(row) => assert_eq!(live.pop_front().as_ref(), Some(row)),
+            }
+            assert!(live.len() <= 101);
+        }
+        assert_eq!(live.len(), 100);
+        assert_eq!(gen.live_after(1000), Vec::from(live));
+    }
+
+    #[test]
+    fn live_rows_of_a_key_are_attribute_distinct_and_small() {
+        let gen = SlidingWindowChurn::new(500, 3, 16, 21);
+        let live = gen.live_after(5000);
+        let mut seen = std::collections::HashSet::new();
+        for row in &live {
+            assert!(row.attrs.iter().all(|&v| v < 256), "non-small value");
+            assert_eq!(row.attrs.len(), 3);
+            assert!(
+                seen.insert((row.key, row.attrs.clone())),
+                "duplicate live row {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let a = SlidingWindowChurn::new(64, 2, 8, 3).ops(300);
+        let b = SlidingWindowChurn::new(64, 2, 8, 3).ops(300);
+        let c = SlidingWindowChurn::new(64, 2, 8, 4).ops(300);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute columns")]
+    fn single_column_streams_are_rejected() {
+        let _ = SlidingWindowChurn::new(10, 1, 4, 0);
+    }
+}

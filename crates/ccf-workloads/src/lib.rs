@@ -21,16 +21,23 @@
 //! identifiers with Zipf duplication) for exercising the typed-key (`FilterKey`)
 //! API end-to-end — the paper's deployments join on strings and composite keys, not
 //! only `u64` surrogates.
+//!
+//! A fourth family, [`churn`], generates **sliding-window insert/delete** streams for
+//! the deletion work: a bounded live set under sustained traffic, with deletes that
+//! target exact rows so churn harnesses can assert no-false-negative and occupancy
+//! contracts precisely.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod imdb;
 pub mod joblight;
 pub mod multiset;
 pub mod strkeys;
 pub mod zipf;
 
+pub use churn::{ChurnOp, SlidingWindowChurn};
 pub use imdb::{SyntheticImdb, TableId, TableSpec};
 pub use joblight::{JobLightQuery, JobLightWorkload, QueryPredicate, QueryTable};
 pub use multiset::{DuplicateDistribution, MultisetStream, Row};

@@ -1,0 +1,193 @@
+//! Cross-crate acceptance tests for the deletion work: deletes must work on the
+//! Plain/Chained/Mixed variants through every layer (`ConditionalFilter` trait
+//! objects, `AnyCcf`, the builder, `ShardedCcf`, the join banks), sharded batch
+//! deletes must be bit-identical to sequential loops, deletes must find copies
+//! relocated by (auto-)growth, and the Bloom variant must refuse with a typed error
+//! everywhere.
+
+use conditional_cuckoo_filters::ccf::{
+    AnyCcf, CcfParams, ConditionalFilter, DeleteFailure, Predicate, VariantKind,
+};
+use conditional_cuckoo_filters::shard::ShardedCcf;
+use conditional_cuckoo_filters::workloads::churn::{ChurnOp, SlidingWindowChurn};
+
+fn params(seed: u64) -> CcfParams {
+    CcfParams {
+        num_buckets: 1 << 8,
+        num_attrs: 2,
+        seed,
+        ..CcfParams::default()
+    }
+}
+
+#[test]
+fn deletes_compose_with_auto_growth_across_variants() {
+    // Fill far past the initial geometry so several doublings happen, then delete
+    // every other row: each delete must find its relocated copy under the grown
+    // split geometry, and the survivors must keep their guarantee.
+    for kind in [VariantKind::Plain, VariantKind::Chained, VariantKind::Mixed] {
+        let mut filter = AnyCcf::new(
+            kind,
+            CcfParams {
+                num_buckets: 1 << 5,
+                ..params(0xDE1)
+            }
+            .with_auto_grow(),
+        );
+        let n = 4 * 32 * 6u64;
+        for k in 0..n {
+            filter.insert_row(k, &[k % 11, k % 13]).unwrap();
+        }
+        assert!(
+            filter.params().num_buckets > 1 << 5,
+            "{kind:?}: the workload must actually have grown the filter"
+        );
+        for k in (0..n).step_by(2) {
+            assert_eq!(
+                filter.delete_row(k, &[k % 11, k % 13]),
+                Ok(true),
+                "{kind:?}: delete of {k} missed its relocated copy"
+            );
+        }
+        for k in (1..n).step_by(2) {
+            let pred = Predicate::any(2).and_eq(0, k % 11).and_eq(1, k % 13);
+            assert!(filter.query(k, &pred), "{kind:?}: survivor {k} lost");
+        }
+    }
+}
+
+#[test]
+fn dyn_conditional_filter_supports_the_full_delete_surface() {
+    let mut filters: Vec<(VariantKind, Box<dyn ConditionalFilter>)> = vec![
+        (
+            VariantKind::Plain,
+            Box::new(conditional_cuckoo_filters::ccf::PlainCcf::new(params(1))),
+        ),
+        (
+            VariantKind::Chained,
+            Box::new(conditional_cuckoo_filters::ccf::ChainedCcf::new(params(1))),
+        ),
+        (
+            VariantKind::Bloom,
+            Box::new(conditional_cuckoo_filters::ccf::BloomCcf::new(params(1))),
+        ),
+        (
+            VariantKind::Mixed,
+            Box::new(conditional_cuckoo_filters::ccf::MixedCcf::new(params(1))),
+        ),
+    ];
+    for (kind, filter) in &mut filters {
+        for k in 0..50u64 {
+            filter.insert_row_prehashed(k, &[k % 3, k % 5]).unwrap();
+        }
+        let arrays: Vec<(u64, [u64; 2])> = (0..50u64).map(|k| (k, [k % 3, k % 5])).collect();
+        let rows: Vec<(u64, &[u64])> = arrays.iter().map(|(k, a)| (*k, a.as_slice())).collect();
+        let results = filter.delete_row_batch_prehashed(&rows);
+        if kind.supports_deletion() {
+            assert_eq!(results, vec![Ok(true); 50], "{kind:?}");
+            assert_eq!(filter.occupied_entries(), 0, "{kind:?}");
+            assert_eq!(filter.delete_key_prehashed(7), Ok(false), "{kind:?}");
+        } else {
+            assert_eq!(
+                results,
+                vec![Err(DeleteFailure::Unsupported); 50],
+                "{kind:?}"
+            );
+            assert_eq!(filter.occupied_entries(), 50, "{kind:?}");
+        }
+    }
+}
+
+#[test]
+fn sharded_batch_deletes_are_bit_identical_to_sequential_loops() {
+    for kind in [VariantKind::Plain, VariantKind::Chained, VariantKind::Mixed] {
+        let rows: Vec<(u64, [u64; 2])> = (0..500u64)
+            .map(|k| (k.wrapping_mul(0x9E37_79B9), [k % 7, k % 9]))
+            .collect();
+        let build = || {
+            let s = ShardedCcf::new(kind, params(0x5E0), 4);
+            s.insert_batch(&rows);
+            s
+        };
+        let victims: Vec<(u64, [u64; 2])> = rows.iter().step_by(3).cloned().collect();
+        let parallel = build().with_threads(4);
+        let batched = parallel.delete_row_batch(&victims);
+        let sequential = build().with_threads(1);
+        let looped: Vec<_> = victims
+            .iter()
+            .map(|(k, a)| sequential.delete_row(*k, a))
+            .collect();
+        assert_eq!(batched, looped, "{kind:?}");
+        let probes: Vec<u64> = rows.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            parallel.contains_key_batch(&probes),
+            sequential.contains_key_batch(&probes),
+            "{kind:?}: batch and sequential deletes built different filters"
+        );
+        assert_eq!(
+            parallel.occupied_entries(),
+            sequential.occupied_entries(),
+            "{kind:?}"
+        );
+    }
+}
+
+#[test]
+fn sliding_window_churn_stays_bounded_through_the_sharded_service() {
+    // End-to-end: a churn stream through the sharded service keeps the service's
+    // occupancy pinned to the window and loses no live row.
+    let window = 600usize;
+    let service = ShardedCcf::new(VariantKind::Chained, params(0xC00F), 4);
+    let ops = SlidingWindowChurn::new(window, 2, 64, 0xC00F).ops(6000);
+    for op in &ops {
+        match op {
+            ChurnOp::Insert(row) => {
+                service.insert(row.key, &row.attrs).unwrap();
+            }
+            ChurnOp::Delete(row) => {
+                assert_eq!(service.delete_row(row.key, &row.attrs), Ok(true));
+            }
+        }
+        assert!(service.occupied_entries() <= window + 1);
+    }
+    assert_eq!(service.occupied_entries(), window);
+    let live = SlidingWindowChurn::new(window, 2, 64, 0xC00F).live_after(6000);
+    for row in &live {
+        let pred = service
+            .predicate()
+            .and_eq(0, row.attrs[0])
+            .and_eq(1, row.attrs[1]);
+        assert!(service.query(row.key, &pred), "live row {row:?} lost");
+    }
+}
+
+#[test]
+fn builder_to_sharded_churn_pipeline_round_trips() {
+    // The full construction path a churn service would use: builder-validated
+    // params, a deletable variant, sharded deployment, typed keys.
+    let shard_params = AnyCcf::builder()
+        .variant(VariantKind::Chained)
+        .num_attrs(2)
+        .expected_rows(500)
+        .seed(42)
+        .build_params()
+        .unwrap();
+    let service = ShardedCcf::new(VariantKind::Chained, shard_params, 3);
+    let sessions: Vec<(String, [u64; 2])> = (0..300)
+        .map(|i| (format!("sess-{i:05}"), [i % 5, i % 7]))
+        .collect();
+    service.insert_batch(&sessions);
+    let evicted: Vec<(String, [u64; 2])> = sessions.iter().take(150).cloned().collect();
+    assert_eq!(
+        service.delete_row_batch(&evicted),
+        vec![Ok(true); 150],
+        "typed-key sharded deletes must find every inserted row"
+    );
+    for (i, (key, _)) in sessions.iter().enumerate() {
+        assert_eq!(
+            service.contains_key(key.as_str()),
+            i >= 150,
+            "{key} in the wrong state"
+        );
+    }
+}
