@@ -70,6 +70,7 @@ bin_smoke_tests!(
     table3,
     aggregate,
     growth_batch,
+    packed_probe,
     sharded_throughput,
     churn,
 );

@@ -13,7 +13,7 @@
 //! returned as a standard [`CuckooFilter`].
 
 use ccf_bloom::TinyBloom;
-use ccf_cuckoo::geometry::probe_chunked;
+use ccf_cuckoo::geometry::{prefetch_index, probe_chunked};
 use ccf_cuckoo::CuckooFilter;
 use ccf_cuckoo::{GrowthStats, OccupancyStats};
 use ccf_hash::{Fingerprinter, HashFamily, SaltedHasher};
@@ -219,9 +219,7 @@ impl BloomCcf {
             std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
         }
         self.rows_absorbed -= 1;
-        Err(InsertFailure::KicksExhausted {
-            load_factor_millis: (self.load_factor() * 1000.0).round() as u32,
-        })
+        Err(InsertFailure::kicks_exhausted_at(self.load_factor()))
     }
 
     /// Deletion is structurally unsupported: every row of a key is merged into one
@@ -321,7 +319,7 @@ impl BloomCcf {
     }
 
     /// Batched predicate query: bit-identical to calling [`BloomCcf::query`] per key,
-    /// using the chunked two-pass driver ([`ccf_cuckoo::geometry::probe_chunked`]).
+    /// using the chunked hash→prefetch→probe driver ([`ccf_cuckoo::geometry::probe_chunked`]).
     /// `u64` key batches are lowered copy-free.
     pub fn query_batch<K: FilterKey>(&self, keys: &[K], pred: &Predicate) -> Vec<bool> {
         self.query_batch_prehashed(&K::lower_batch(keys, &self.key_lower), pred)
@@ -332,6 +330,7 @@ impl BloomCcf {
         probe_chunked(
             keys,
             |key| self.pair_of(key),
+            |bucket| prefetch_index(&self.buckets, bucket),
             |fp, l, l_alt| self.query_pair(fp, l, l_alt, pred),
         )
     }
@@ -360,6 +359,7 @@ impl BloomCcf {
         probe_chunked(
             keys,
             |key| self.pair_of(key),
+            |bucket| prefetch_index(&self.buckets, bucket),
             |fp, l, l_alt| {
                 self.buckets[l].iter().any(|e| e.fp == fp)
                     || self.buckets[l_alt].iter().any(|e| e.fp == fp)

@@ -16,7 +16,9 @@
 //! to agree on). [`ChainedCcf::chain_cycle_stats`] still reports how often the raw
 //! recurrence would have cycled, for the curious.
 
-use ccf_cuckoo::geometry::{grow_and_retry, probe_chunked, split_buckets, SplitGeometry};
+use ccf_cuckoo::geometry::{
+    grow_and_retry, prefetch_index, probe_chunked, split_buckets, SplitGeometry,
+};
 use ccf_cuckoo::{GrowthStats, OccupancyStats};
 use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily, SaltedHasher};
 use rand::rngs::StdRng;
@@ -322,9 +324,7 @@ impl ChainedCcf {
                 std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
             }
             self.rows_absorbed -= 1;
-            return Err(InsertFailure::KicksExhausted {
-                load_factor_millis: (self.load_factor() * 1000.0).round() as u32,
-            });
+            return Err(InsertFailure::kicks_exhausted_at(self.load_factor()));
         }
         // Chain cap Lmax reached with every pair saturated: the row is discarded, but
         // queries walking the same saturated chain return true (Theorem 3).
@@ -570,6 +570,7 @@ impl ChainedCcf {
         probe_chunked(
             keys,
             |key| self.first_pair_of(key),
+            |bucket| prefetch_index(&self.buckets, bucket),
             |fp, l, l_alt| {
                 self.query_walk_from(fp, l, l_alt, |e| {
                     match_fingerprint_vector(pred, &e.attrs, &self.attr_fp)
@@ -602,6 +603,7 @@ impl ChainedCcf {
         probe_chunked(
             keys,
             |key| self.first_pair_of(key),
+            |bucket| prefetch_index(&self.buckets, bucket),
             |fp, l, l_alt| {
                 self.buckets[l].iter().any(|e| e.fp == fp)
                     || self.buckets[l_alt].iter().any(|e| e.fp == fp)

@@ -21,7 +21,9 @@
 //! bookkeeping §6.1 describes.
 
 use ccf_bloom::TinyBloom;
-use ccf_cuckoo::geometry::{grow_and_retry, probe_chunked, split_buckets, SplitGeometry};
+use ccf_cuckoo::geometry::{
+    grow_and_retry, prefetch_index, probe_chunked, split_buckets, SplitGeometry,
+};
 use ccf_cuckoo::CuckooFilter;
 use ccf_cuckoo::{GrowthStats, OccupancyStats};
 use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily};
@@ -334,9 +336,7 @@ impl MixedCcf {
             std::mem::swap(&mut self.buckets[bkt][slot], &mut carried);
         }
         self.rows_absorbed -= 1;
-        Err(InsertFailure::KicksExhausted {
-            load_factor_millis: (self.load_factor() * 1000.0).round() as u32,
-        })
+        Err(InsertFailure::kicks_exhausted_at(self.load_factor()))
     }
 
     /// Algorithm 3: replace the `d` vector entries for `fp` in the pair (and the new
@@ -527,7 +527,7 @@ impl MixedCcf {
     }
 
     /// Batched predicate query: bit-identical to calling [`MixedCcf::query`] per key,
-    /// using the chunked two-pass driver ([`ccf_cuckoo::geometry::probe_chunked`]).
+    /// using the chunked hash→prefetch→probe driver ([`ccf_cuckoo::geometry::probe_chunked`]).
     /// `u64` key batches are lowered copy-free.
     pub fn query_batch<K: FilterKey>(&self, keys: &[K], pred: &Predicate) -> Vec<bool> {
         self.query_batch_prehashed(&K::lower_batch(keys, &self.key_lower), pred)
@@ -538,6 +538,7 @@ impl MixedCcf {
         probe_chunked(
             keys,
             |key| self.pair_of(key),
+            |bucket| prefetch_index(&self.buckets, bucket),
             |fp, l, l_alt| self.query_pair(fp, l, l_alt, pred),
         )
     }
@@ -564,6 +565,7 @@ impl MixedCcf {
         probe_chunked(
             keys,
             |key| self.pair_of(key),
+            |bucket| prefetch_index(&self.buckets, bucket),
             |fp, l, l_alt| {
                 self.buckets[l].iter().any(|e| e.fp() == fp)
                     || self.buckets[l_alt].iter().any(|e| e.fp() == fp)

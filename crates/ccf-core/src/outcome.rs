@@ -51,6 +51,18 @@ pub enum InsertFailure {
     },
 }
 
+impl InsertFailure {
+    /// [`InsertFailure::KicksExhausted`] at the given load factor, rounded (not
+    /// floored) to thousandths. Every variant constructs its kick failure through
+    /// here, so the reported granularity cannot drift between variants — the same
+    /// fix [`ccf_cuckoo::chained_table::TableFull::at`] applies on the table side.
+    pub fn kicks_exhausted_at(load_factor: f64) -> Self {
+        Self::KicksExhausted {
+            load_factor_millis: (load_factor * 1000.0).round() as u32,
+        }
+    }
+}
+
 impl std::fmt::Display for InsertFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -131,6 +143,24 @@ mod tests {
         assert!(!InsertOutcome::Merged.consumed_entry());
         assert!(!InsertOutcome::Converted.consumed_entry());
         assert!(!InsertOutcome::DroppedChainCap.consumed_entry());
+    }
+
+    #[test]
+    fn kicks_exhausted_rounds_load_factor_at_the_half_milli_boundary() {
+        // 1/16 = 62.5 thousandths, exactly representable in binary: rounding reports
+        // 63 where a flooring cast would report 62.
+        assert_eq!(
+            InsertFailure::kicks_exhausted_at(1.0 / 16.0),
+            InsertFailure::KicksExhausted {
+                load_factor_millis: 63
+            }
+        );
+        assert_eq!(
+            InsertFailure::kicks_exhausted_at(0.9994),
+            InsertFailure::KicksExhausted {
+                load_factor_millis: 999
+            }
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! factor at first failure collapsing as duplication grows. The variant exists so those
 //! comparisons can be reproduced.
 
-use ccf_cuckoo::geometry::{grow_and_retry, probe_chunked, split_buckets, SplitGeometry};
+use ccf_cuckoo::geometry::{
+    grow_and_retry, prefetch_index, probe_chunked, split_buckets, SplitGeometry,
+};
 use ccf_cuckoo::{GrowthStats, OccupancyStats};
 use ccf_hash::salted::purpose;
 use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily, SaltedHasher};
@@ -254,9 +256,7 @@ impl PlainCcf {
             std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
         }
         self.rows_absorbed -= 1;
-        Err(InsertFailure::KicksExhausted {
-            load_factor_millis: (self.load_factor() * 1000.0).round() as u32,
-        })
+        Err(InsertFailure::kicks_exhausted_at(self.load_factor()))
     }
 
     /// Delete one stored copy of a row: removes an entry in the key's bucket pair
@@ -385,7 +385,7 @@ impl PlainCcf {
     }
 
     /// Batched predicate query: bit-identical to calling [`PlainCcf::query`] per key,
-    /// using the chunked two-pass driver ([`ccf_cuckoo::geometry::probe_chunked`])
+    /// using the chunked hash→prefetch→probe driver ([`ccf_cuckoo::geometry::probe_chunked`])
     /// shared by every batched query path. `u64` key batches are lowered copy-free.
     pub fn query_batch<K: FilterKey>(&self, keys: &[K], pred: &Predicate) -> Vec<bool> {
         self.query_batch_prehashed(&K::lower_batch(keys, &self.key_lower), pred)
@@ -396,6 +396,7 @@ impl PlainCcf {
         probe_chunked(
             keys,
             |key| self.pair_of(key),
+            |bucket| prefetch_index(&self.buckets, bucket),
             |fp, l, alt| self.query_pair(fp, l, alt, pred),
         )
     }
@@ -421,6 +422,7 @@ impl PlainCcf {
         probe_chunked(
             keys,
             |key| self.pair_of(key),
+            |bucket| prefetch_index(&self.buckets, bucket),
             |fp, l, alt| {
                 self.buckets[l].iter().any(|e| e.fp == fp)
                     || self.buckets[alt].iter().any(|e| e.fp == fp)

@@ -43,13 +43,30 @@ impl std::fmt::Display for TableFull {
     }
 }
 
+impl TableFull {
+    /// Capture a failure at the given load factor, rounded (not floored) to
+    /// thousandths. Every failure path constructs through here so the reported
+    /// granularity can never diverge between paths again.
+    pub fn at(load_factor: f64) -> Self {
+        Self {
+            load_factor_millis: (load_factor * 1000.0).round() as u32,
+        }
+    }
+}
+
 impl std::error::Error for TableFull {}
 
 /// An exact multimap from `u64` keys to values, built on cuckoo hashing with the CCF's
 /// chaining technique for duplicate keys.
 #[derive(Debug, Clone)]
 pub struct ChainedCuckooTable<V> {
-    buckets: Vec<Vec<Slot<V>>>,
+    /// All `m · b` slots, flat and contiguous: bucket `B` owns
+    /// `slots[B·b .. (B+1)·b]`, its entries always forming a dense prefix (pushes
+    /// append; the kick loop only swaps within *full* buckets, and nothing is ever
+    /// removed, so the prefix invariant holds by construction).
+    slots: Vec<Option<Slot<V>>>,
+    /// Occupied-slot count per bucket, maintained on every insertion.
+    counts: Vec<u32>,
     bucket_mask: usize,
     entries_per_bucket: usize,
     max_dupes: usize,
@@ -81,7 +98,8 @@ impl<V> ChainedCuckooTable<V> {
         let m = num_buckets.next_power_of_two().max(2);
         let family = HashFamily::new(seed);
         Self {
-            buckets: (0..m).map(|_| Vec::new()).collect(),
+            slots: (0..m * entries_per_bucket).map(|_| None).collect(),
+            counts: vec![0; m],
             bucket_mask: m - 1,
             entries_per_bucket,
             max_dupes,
@@ -105,7 +123,28 @@ impl<V> ChainedCuckooTable<V> {
 
     /// Total slot capacity.
     pub fn capacity(&self) -> usize {
-        self.buckets.len() * self.entries_per_bucket
+        self.slots.len()
+    }
+
+    /// Occupied entries of `bucket`, in insertion order (the dense prefix of its slot
+    /// range).
+    #[inline]
+    fn bucket_entries(&self, bucket: usize) -> impl Iterator<Item = &Slot<V>> {
+        let base = bucket * self.entries_per_bucket;
+        self.slots[base..base + self.counts[bucket] as usize]
+            .iter()
+            .map(|s| s.as_ref().expect("dense prefix slot must be occupied"))
+    }
+
+    /// Append an entry to `bucket`'s dense prefix. The caller must have checked the
+    /// bucket is not full.
+    #[inline]
+    fn push_entry(&mut self, bucket: usize, entry: Slot<V>) {
+        let idx = bucket * self.entries_per_bucket + self.counts[bucket] as usize;
+        debug_assert!(self.slots[idx].is_none());
+        self.slots[idx] = Some(entry);
+        self.counts[bucket] += 1;
+        self.len += 1;
     }
 
     /// Current load factor.
@@ -133,7 +172,7 @@ impl<V> ChainedCuckooTable<V> {
     }
 
     fn key_count_in_pair(&self, l: usize, l_alt: usize, key: u64) -> usize {
-        let count = |b: usize| self.buckets[b].iter().filter(|s| s.key == key).count();
+        let count = |b: usize| self.bucket_entries(b).filter(|s| s.key == key).count();
         if l == l_alt {
             count(l)
         } else {
@@ -154,41 +193,46 @@ impl<V> ChainedCuckooTable<V> {
                 continue;
             }
             // Free slot in the primary or alternate bucket.
-            if self.buckets[l].len() < b {
-                self.buckets[l].push(Slot { key, value });
-                self.len += 1;
+            if (self.counts[l] as usize) < b {
+                self.push_entry(l, Slot { key, value });
                 return Ok(());
             }
-            if self.buckets[l_alt].len() < b {
-                self.buckets[l_alt].push(Slot { key, value });
-                self.len += 1;
+            if (self.counts[l_alt] as usize) < b {
+                self.push_entry(l_alt, Slot { key, value });
                 return Ok(());
             }
-            // Kick loop on the alternate bucket; rollback on failure.
+            // Kick loop on the alternate bucket; rollback on failure. Swaps only ever
+            // touch full buckets, preserving the dense-prefix invariant.
             let mut carried = Slot { key, value };
             let mut bucket = l_alt;
-            let mut swaps: Vec<(usize, usize)> = Vec::new();
+            let mut swaps: Vec<usize> = Vec::new();
             for _ in 0..MAX_KICKS {
                 let slot = self.rng.gen_range(0..b);
-                std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
-                swaps.push((bucket, slot));
+                let idx = bucket * b + slot;
+                std::mem::swap(
+                    self.slots[idx]
+                        .as_mut()
+                        .expect("kicked slot of a full bucket"),
+                    &mut carried,
+                );
+                swaps.push(idx);
                 bucket = self.alt_bucket(bucket, carried.key);
-                if self.buckets[bucket].len() < b {
-                    self.buckets[bucket].push(carried);
-                    self.len += 1;
+                if (self.counts[bucket] as usize) < b {
+                    self.push_entry(bucket, carried);
                     return Ok(());
                 }
             }
-            for (bkt, slot) in swaps.into_iter().rev() {
-                std::mem::swap(&mut self.buckets[bkt][slot], &mut carried);
+            for idx in swaps.into_iter().rev() {
+                std::mem::swap(
+                    self.slots[idx]
+                        .as_mut()
+                        .expect("rollback slot must be occupied"),
+                    &mut carried,
+                );
             }
-            return Err(TableFull {
-                load_factor_millis: (self.load_factor() * 1000.0).round() as u32,
-            });
+            return Err(TableFull::at(self.load_factor()));
         }
-        Err(TableFull {
-            load_factor_millis: (self.load_factor() * 1000.0) as u32,
-        })
+        Err(TableFull::at(self.load_factor()))
     }
 
     /// All values stored for a key, walking the chain as far as saturated pairs lead.
@@ -206,7 +250,7 @@ impl<V> ChainedCuckooTable<V> {
             let mut count = 0usize;
             for &bkt in buckets {
                 let first_visit = seen_buckets.insert(bkt);
-                for slot in &self.buckets[bkt] {
+                for slot in self.bucket_entries(bkt) {
                     if slot.key == key {
                         count += 1;
                         if first_visit {
@@ -228,8 +272,8 @@ impl<V> ChainedCuckooTable<V> {
     pub fn contains_key(&self, key: u64) -> bool {
         let l = self.primary_bucket(key);
         let l_alt = self.alt_bucket(l, key);
-        self.buckets[l].iter().any(|s| s.key == key)
-            || self.buckets[l_alt].iter().any(|s| s.key == key)
+        self.bucket_entries(l).any(|s| s.key == key)
+            || self.bucket_entries(l_alt).any(|s| s.key == key)
     }
 }
 
@@ -326,5 +370,28 @@ mod tests {
     #[should_panic(expected = "max_dupes cannot exceed")]
     fn rejects_impossible_duplicate_caps() {
         let _: ChainedCuckooTable<u8> = ChainedCuckooTable::new(8, 2, 5, 0);
+    }
+
+    #[test]
+    fn table_full_rounds_load_factor_at_the_half_milli_boundary() {
+        // 1/16 = 62.5 thousandths, exactly representable in binary, so this sits
+        // precisely on the .5-millis boundary: rounding reports 63 where the flooring
+        // cast this constructor replaced reported 62.
+        assert_eq!(TableFull::at(1.0 / 16.0).load_factor_millis, 63);
+        // Sanity off the boundary in both directions.
+        assert_eq!(TableFull::at(0.062).load_factor_millis, 62);
+        assert_eq!(TableFull::at(0.9994).load_factor_millis, 999);
+        assert_eq!(TableFull::at(1.0).load_factor_millis, 1000);
+    }
+
+    #[test]
+    fn failed_insert_reports_rounded_load_factor() {
+        // Drive a tiny table to an actual kick-loop failure and check the error agrees
+        // with the shared constructor (i.e. the failure path cannot floor again).
+        let mut t: ChainedCuckooTable<u64> = ChainedCuckooTable::new(4, 2, 2, 5);
+        let err = (0..64u64)
+            .find_map(|key| t.insert(key, key).err())
+            .expect("a 16-slot table must eventually fill");
+        assert_eq!(err, TableFull::at(t.load_factor()));
     }
 }

@@ -30,9 +30,9 @@ use ccf_hash::{Fingerprinter, HashFamily};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::bucket::Bucket;
 use crate::geometry::{probe_chunked, SplitGeometry, MAX_GROWTHS_PER_INSERT};
 use crate::metrics::{GrowthStats, OccupancyStats};
+use crate::packed::PackedBuckets;
 
 /// Maximum number of kick (evict-and-reinsert) rounds before an insertion fails,
 /// matching the constant used by the original cuckoo-filter implementation.
@@ -127,8 +127,10 @@ impl std::error::Error for InsertError {}
 /// A standard partial-key cuckoo filter over `u64` keys.
 #[derive(Debug, Clone)]
 pub struct CuckooFilter {
-    buckets: Vec<Bucket>,
-    /// `buckets.len() - 1`; sanitizes caller-supplied bucket indices.
+    /// All `m · b` fingerprint slots, bit-packed and contiguous, with maintained
+    /// occupancy counters (which also replace the old per-filter item counter).
+    store: PackedBuckets,
+    /// `num_buckets - 1`; sanitizes caller-supplied bucket indices.
     bucket_mask: usize,
     /// Split bucket geometry: base size, growth bits and the index-derivation hashes.
     geometry: SplitGeometry,
@@ -138,7 +140,6 @@ pub struct CuckooFilter {
     /// (h(κ) ≡ 0 mod base_buckets); feeds the occupied-pair estimate of
     /// [`CuckooFilter::expected_fpr`].
     self_paired_fraction: f64,
-    items: usize,
     auto_grow: bool,
     rng: StdRng,
     params: CuckooFilterParams,
@@ -185,15 +186,12 @@ impl CuckooFilter {
         let geometry = SplitGeometry::new(&family, base_buckets, growth_bits);
         let num_buckets = geometry.num_buckets();
         Self {
-            buckets: (0..num_buckets)
-                .map(|_| Bucket::new(params.entries_per_bucket))
-                .collect(),
+            store: PackedBuckets::new(num_buckets, params.entries_per_bucket),
             bucket_mask: num_buckets - 1,
             entries_per_bucket: params.entries_per_bucket,
             fingerprinter: Fingerprinter::new(&family, params.fingerprint_bits),
             self_paired_fraction: self_paired_fraction(&geometry, params.fingerprint_bits),
             geometry,
-            items: 0,
             auto_grow: params.auto_grow,
             rng: StdRng::seed_from_u64(params.seed ^ 0xCCF0_CCF0),
             params: CuckooFilterParams {
@@ -211,7 +209,7 @@ impl CuckooFilter {
 
     /// Number of buckets `m`.
     pub fn num_buckets(&self) -> usize {
-        self.buckets.len()
+        self.store.num_buckets()
     }
 
     /// Bucket count at construction (the key hash addresses only these; growth bits
@@ -235,24 +233,25 @@ impl CuckooFilter {
         self.entries_per_bucket
     }
 
-    /// Number of fingerprints currently stored.
+    /// Number of fingerprints currently stored — an O(1) maintained counter, not a
+    /// slot scan.
     pub fn len(&self) -> usize {
-        self.items
+        self.store.occupied()
     }
 
     /// Whether the filter stores no fingerprints.
     pub fn is_empty(&self) -> bool {
-        self.items == 0
+        self.store.occupied() == 0
     }
 
     /// Total number of entry slots (`m · b`).
     pub fn capacity(&self) -> usize {
-        self.buckets.len() * self.entries_per_bucket
+        self.store.num_buckets() * self.entries_per_bucket
     }
 
     /// Load factor β: occupied slots / total slots.
     pub fn load_factor(&self) -> f64 {
-        self.items as f64 / self.capacity() as f64
+        self.store.occupied() as f64 / self.capacity() as f64
     }
 
     /// Serialized size in bits: `m · b · |κ|`.
@@ -260,19 +259,17 @@ impl CuckooFilter {
         self.capacity() * self.params.fingerprint_bits as usize
     }
 
-    /// Occupancy statistics (used by the experiment harness).
+    /// Occupancy statistics (used by the experiment harness) — aggregated from the
+    /// store's maintained per-bucket counters, one byte read per bucket.
     pub fn occupancy(&self) -> OccupancyStats {
-        OccupancyStats::from_counts(
-            self.buckets.iter().map(|b| b.len()),
-            self.entries_per_bucket,
-        )
+        OccupancyStats::from_counts(self.store.bucket_counts(), self.entries_per_bucket)
     }
 
     /// Growth statistics: base geometry, current geometry and doubling count.
     pub fn growth_stats(&self) -> GrowthStats {
         GrowthStats {
             base_buckets: self.geometry.base_buckets(),
-            current_buckets: self.buckets.len(),
+            current_buckets: self.store.num_buckets(),
             growth_bits: self.geometry.growth_bits(),
         }
     }
@@ -305,9 +302,9 @@ impl CuckooFilter {
 
     fn pair_fp_count(&self, bucket: usize, alt: usize, fp: u16) -> usize {
         if bucket == alt {
-            self.buckets[bucket].count(fp)
+            self.store.count(bucket, fp)
         } else {
-            self.buckets[bucket].count(fp) + self.buckets[alt].count(fp)
+            self.store.count(bucket, fp) + self.store.count(alt, fp)
         }
     }
 
@@ -338,7 +335,7 @@ impl CuckooFilter {
                             fingerprint: homeless,
                         });
                     }
-                    let old_m = self.buckets.len();
+                    let old_m = self.store.num_buckets();
                     let bit = self.geometry.growth_bits();
                     self.grow();
                     // The homeless fingerprint's pair extends by its own growth bit.
@@ -370,12 +367,10 @@ impl CuckooFilter {
 
         // Prefer the primary bucket, then the alternate (§4.1: "ℓ being preferred
         // over ℓ′").
-        if self.buckets[bucket].try_insert(fp) {
-            self.items += 1;
+        if self.store.try_insert(bucket, fp) {
             return Ok(());
         }
-        if bucket != alt && self.buckets[alt].try_insert(fp) {
-            self.items += 1;
+        if bucket != alt && self.store.try_insert(alt, fp) {
             return Ok(());
         }
 
@@ -397,7 +392,7 @@ impl CuckooFilter {
             // the insertion is hopeless at this size — fail fast.
             let movable: Vec<usize> = (0..self.entries_per_bucket)
                 .filter(|&slot| {
-                    let victim = self.buckets[bucket].get(slot);
+                    let victim = self.store.get(bucket, slot);
                     self.alt_bucket(bucket, victim) != bucket
                 })
                 .collect();
@@ -405,11 +400,10 @@ impl CuckooFilter {
                 return Err((fp, bucket));
             }
             let slot = movable[self.rng.gen_range(0..movable.len())];
-            let victim = self.buckets[bucket].swap(slot, fp);
+            let victim = self.store.swap(bucket, slot, fp);
             current_fp = victim;
             current_bucket = self.alt_bucket(bucket, victim);
-            if self.buckets[current_bucket].try_insert(current_fp) {
-                self.items += 1;
+            if self.store.try_insert(current_bucket, current_fp) {
                 return Ok(());
             }
         } else {
@@ -418,12 +412,11 @@ impl CuckooFilter {
         }
         for _ in 0..MAX_KICKS {
             let slot = self.rng.gen_range(0..self.entries_per_bucket);
-            let victim = self.buckets[current_bucket].swap(slot, current_fp);
+            let victim = self.store.swap(current_bucket, slot, current_fp);
             debug_assert_ne!(victim, 0, "kicked an empty slot from a full bucket");
             current_fp = victim;
             current_bucket = self.alt_bucket(current_bucket, current_fp);
-            if self.buckets[current_bucket].try_insert(current_fp) {
-                self.items += 1;
+            if self.store.try_insert(current_bucket, current_fp) {
                 return Ok(());
             }
         }
@@ -435,23 +428,22 @@ impl CuckooFilter {
     /// bucket count, according to its fingerprint's next growth bit — an O(m·b) remap
     /// that cannot fail and preserves every membership answer.
     pub fn grow(&mut self) {
-        let old_m = self.buckets.len();
+        let old_m = self.store.num_buckets();
         let bit = self.geometry.growth_bits();
-        self.buckets
-            .extend((0..old_m).map(|_| Bucket::new(self.entries_per_bucket)));
+        self.store.extend_buckets(old_m);
         for bucket in 0..old_m {
             for slot in 0..self.entries_per_bucket {
-                let fp = self.buckets[bucket].get(slot);
+                let fp = self.store.get(bucket, slot);
                 if fp != 0 && self.geometry.growth_bit(fp, bit) {
-                    self.buckets[bucket].take(slot);
-                    let moved = self.buckets[bucket + old_m].try_insert(fp);
+                    self.store.take(bucket, slot);
+                    let moved = self.store.try_insert(bucket + old_m, fp);
                     debug_assert!(moved, "split target bucket cannot overflow");
                 }
             }
         }
         self.geometry.record_doubling();
-        self.bucket_mask = self.buckets.len() - 1;
-        self.params.num_buckets = self.buckets.len();
+        self.bucket_mask = self.store.num_buckets() - 1;
+        self.params.num_buckets = self.store.num_buckets();
     }
 
     /// Query whether a key may be in the set. No false negatives for inserted keys
@@ -459,12 +451,13 @@ impl CuckooFilter {
     pub fn contains(&self, key: u64) -> bool {
         let (fp, bucket) = self.index_of(key);
         let alt = self.alt_bucket(bucket, fp);
-        self.buckets[bucket].contains(fp) || self.buckets[alt].contains(fp)
+        self.store.contains_pair(bucket, alt, fp)
     }
 
     /// Batched membership query: results are bit-identical to calling
-    /// [`CuckooFilter::contains`] per key, using the chunked two-pass driver
-    /// ([`crate::geometry::probe_chunked`]) shared by every batched query path.
+    /// [`CuckooFilter::contains`] per key, using the chunked hash→prefetch→probe
+    /// driver ([`crate::geometry::probe_chunked`]) shared by every batched query
+    /// path, with the probe itself the store's branchless SWAR pair compare.
     pub fn contains_batch(&self, keys: &[u64]) -> Vec<bool> {
         probe_chunked(
             keys,
@@ -472,7 +465,8 @@ impl CuckooFilter {
                 let (fp, bucket) = self.index_of(key);
                 (fp, bucket, self.alt_bucket(bucket, fp))
             },
-            |fp, bucket, alt| self.buckets[bucket].contains(fp) || self.buckets[alt].contains(fp),
+            |bucket| self.store.prefetch(bucket),
+            |fp, bucket, alt| self.store.contains_pair(bucket, alt, fp),
         )
     }
 
@@ -492,14 +486,7 @@ impl CuckooFilter {
     pub fn delete(&mut self, key: u64) -> bool {
         let (fp, bucket) = self.index_of(key);
         let alt = self.alt_bucket(bucket, fp);
-        if self.buckets[bucket].remove_one(fp)
-            || (bucket != alt && self.buckets[alt].remove_one(fp))
-        {
-            self.items -= 1;
-            true
-        } else {
-            false
-        }
+        self.store.remove_one(bucket, fp) || (bucket != alt && self.store.remove_one(alt, fp))
     }
 
     /// Theoretical FPR bound for a membership query: `E[D] · 2^{-|κ|}` where `D` is
@@ -511,7 +498,7 @@ impl CuckooFilter {
     /// `p₀` the exact fraction of fingerprint values that self-pair. An empty filter
     /// reports 0.
     pub fn expected_fpr(&self) -> f64 {
-        if self.items == 0 {
+        if self.store.occupied() == 0 {
             return 0.0;
         }
         let mean_bucket_occupancy = self.load_factor() * self.entries_per_bucket as f64;
@@ -519,9 +506,10 @@ impl CuckooFilter {
         occupied_pair * 2f64.powi(-(self.params.fingerprint_bits as i32))
     }
 
-    /// Expose bucket contents for size/occupancy analysis and semi-sorting experiments.
-    pub fn buckets(&self) -> &[Bucket] {
-        &self.buckets
+    /// Expose the packed fingerprint store for size/occupancy analysis and
+    /// semi-sorting experiments.
+    pub fn store(&self) -> &PackedBuckets {
+        &self.store
     }
 }
 
@@ -652,7 +640,7 @@ mod tests {
             f.insert_fingerprint(fp, bucket)
                 .unwrap_or_else(|_| panic!("copy {i} of a self-paired κ should fit"));
         }
-        let before: Vec<u16> = f.buckets()[bucket].slots().to_vec();
+        let before = f.store().bucket_slots(bucket);
         let items_before = f.len();
         assert_eq!(
             f.insert_fingerprint(fp, bucket),
@@ -660,8 +648,8 @@ mod tests {
             "copy b+1 of a self-paired fingerprint cannot fit"
         );
         assert_eq!(
-            f.buckets()[bucket].slots(),
-            before.as_slice(),
+            f.store().bucket_slots(bucket),
+            before,
             "failing degenerate insert must not disturb the bucket"
         );
         assert_eq!(f.len(), items_before);
@@ -716,12 +704,12 @@ mod tests {
         }
         f.insert_fingerprint(fp, bucket)
             .expect("self-paired insert should relocate a movable victim");
-        assert!(f.buckets()[bucket].contains(fp));
+        assert!(f.store().contains(bucket, fp));
         // The displaced victims must all still be reachable from their pair.
         for &c in &movable {
             let alt = f.alt_bucket(bucket, c);
             assert!(
-                f.buckets()[bucket].contains(c) || f.buckets()[alt].contains(c),
+                f.store().contains_pair(bucket, alt, c),
                 "victim {c:#x} lost"
             );
         }

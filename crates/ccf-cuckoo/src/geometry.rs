@@ -173,15 +173,44 @@ pub fn split_buckets<E>(
     }
 }
 
-/// Chunked two-pass batch-probe driver shared by every batched query path: derive the
-/// `(κ, ℓ, ℓ′)` triples of a chunk into stack buffers (hash-only pass), then run
-/// `probe` over them (bucket pass). The split keeps the independent hashing work out
-/// of the dependency chain of the bucket loads, so a whole chunk's loads can be in
-/// flight together — the win grows with the structure (DRAM-resident buckets) — and
-/// no per-key heap traffic is added. Results are in key order, one `bool` per key.
+/// Best-effort prefetch of `slice[index]` into L1. A pure performance hint — out-of-
+/// range indices are ignored, nothing is dereferenced, and the call compiles to a
+/// no-op on targets without a prefetch intrinsic. This is the one place in the crate
+/// that needs `unsafe`: `_mm_prefetch` is an intrinsic, but it performs no memory
+/// access (architecturally it cannot fault), so any address — even a dangling one —
+/// is sound to pass.
+#[inline(always)]
+#[allow(unsafe_code)]
+pub fn prefetch_index<T>(slice: &[T], index: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if index < slice.len() {
+        // In-bounds pointer arithmetic (guarded above); the prefetch itself takes any
+        // address without dereferencing it.
+        unsafe {
+            let ptr = slice.as_ptr().add(index);
+            core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr.cast());
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (slice, index);
+}
+
+/// Chunked three-pass batch-probe driver shared by every batched query path: derive
+/// the `(κ, ℓ, ℓ′)` triples of a chunk into stack buffers (hash-only pass), issue
+/// best-effort `prefetch` hints for every bucket the chunk will touch (prefetch pass),
+/// then run `probe` over the triples (probe pass). The split keeps the independent
+/// hashing work out of the dependency chain of the bucket loads and lets a whole
+/// chunk's cache-line fills be in flight before the first probe executes — the win
+/// grows with the structure (DRAM-resident buckets) — and no per-key heap traffic is
+/// added. Results are in key order, one `bool` per key.
+///
+/// `prefetch` receives each bucket index of the pair; implementations forward to
+/// [`prefetch_index`] over their storage (or do nothing — the driver's correctness
+/// never depends on it).
 pub fn probe_chunked(
     keys: &[u64],
     mut derive: impl FnMut(u64) -> (u16, usize, usize),
+    mut prefetch: impl FnMut(usize),
     mut probe: impl FnMut(u16, usize, usize) -> bool,
 ) -> Vec<bool> {
     const CHUNK: usize = 64;
@@ -195,6 +224,12 @@ pub fn probe_chunked(
             fps[i] = fp;
             primary[i] = l;
             alt[i] = l_alt;
+        }
+        for i in 0..chunk.len() {
+            prefetch(primary[i]);
+            if alt[i] != primary[i] {
+                prefetch(alt[i]);
+            }
         }
         for i in 0..chunk.len() {
             out.push(probe(fps[i], primary[i], alt[i]));
@@ -261,19 +296,49 @@ mod tests {
     fn probe_chunked_visits_every_key_in_order() {
         let keys: Vec<u64> = (0..1000).collect();
         let mut derived = Vec::new();
+        let mut prefetched = 0usize;
         let out = probe_chunked(
             &keys,
             |k| {
                 derived.push(k);
                 (1, k as usize, k as usize + 1)
             },
+            |_| prefetched += 1,
             |_, l, _| l % 3 == 0,
         );
         assert_eq!(derived, keys);
         assert_eq!(out.len(), keys.len());
+        // Every pair here is distinct (ℓ′ = ℓ + 1), so both buckets get a hint.
+        assert_eq!(prefetched, 2 * keys.len());
         for (i, &hit) in out.iter().enumerate() {
             assert_eq!(hit, i % 3 == 0);
         }
+    }
+
+    #[test]
+    fn probe_chunked_hints_self_paired_buckets_once() {
+        let keys: Vec<u64> = (0..10).collect();
+        let mut prefetched = 0usize;
+        let out = probe_chunked(
+            &keys,
+            |k| (1, k as usize, k as usize),
+            |_| prefetched += 1,
+            |_, _, _| true,
+        );
+        assert_eq!(out.len(), keys.len());
+        assert_eq!(prefetched, keys.len(), "ℓ′ == ℓ must not be hinted twice");
+    }
+
+    #[test]
+    fn prefetch_index_ignores_out_of_range() {
+        // Must not panic or fault for any index, including past the end and on an
+        // empty slice — it is a hint, not an access.
+        let data = [1u64, 2, 3];
+        prefetch_index(&data, 0);
+        prefetch_index(&data, 2);
+        prefetch_index(&data, 3);
+        prefetch_index(&data, usize::MAX);
+        prefetch_index::<u64>(&[], 0);
     }
 
     #[test]

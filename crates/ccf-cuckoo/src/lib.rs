@@ -14,26 +14,31 @@
 //! * [`CuckooHashTable`] — an open-addressing cuckoo hash table storing full keys and
 //!   values (§4.1), used by the join substrate for exact hash joins and for the
 //!   raw-hash-table size comparison of §10.7.
+//! * [`packed`] — the bit-packed contiguous fingerprint store behind
+//!   [`CuckooFilter`]: all `m·b` slots in one `Vec<u64>`, SWAR whole-bucket
+//!   compares, O(1) maintained occupancy counters.
 //! * [`semisort`] — the semi-sorting encoding of §4.2 used in the bit-efficiency
 //!   analysis (Figure 5).
 //! * [`geometry`] — the split bucket geometry that makes partial-key structures
 //!   growable without their original keys, shared with the CCF variants upstream.
 //! * [`metrics`] — occupancy / load-factor accounting shared by the experiments.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one documented exception is the prefetch hint in
+// `geometry::prefetch_index` (an intrinsic that performs no memory access).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod bucket;
 pub mod chained_table;
 pub mod filter;
 pub mod geometry;
 pub mod metrics;
+pub mod packed;
 pub mod semisort;
 pub mod table;
 
-pub use bucket::Bucket;
 pub use chained_table::ChainedCuckooTable;
 pub use filter::{CuckooFilter, CuckooFilterParams, InsertError, MAX_KICKS};
 pub use geometry::SplitGeometry;
 pub use metrics::{GrowthStats, OccupancyStats};
+pub use packed::PackedBuckets;
 pub use table::CuckooHashTable;

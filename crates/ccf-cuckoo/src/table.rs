@@ -54,7 +54,11 @@ impl std::error::Error for DuplicateCapacityError {}
 /// insertion as described in §4.
 #[derive(Debug, Clone)]
 pub struct CuckooHashTable<V> {
-    buckets: Vec<Vec<Option<Slot<V>>>>,
+    /// All `m · b` slots, flat and contiguous: bucket `B` owns
+    /// `slots[B·b .. (B+1)·b]`. One allocation instead of `m + 1`, so probes touch a
+    /// single cache-line range per bucket.
+    slots: Vec<Option<Slot<V>>>,
+    num_buckets: usize,
     entries_per_bucket: usize,
     h1: SaltedHasher,
     h2: SaltedHasher,
@@ -74,7 +78,8 @@ impl<V: Clone> CuckooHashTable<V> {
         let m = initial_buckets.next_power_of_two().max(2);
         let family = HashFamily::new(seed);
         Self {
-            buckets: vec![vec![None; entries_per_bucket]; m],
+            slots: (0..m * entries_per_bucket).map(|_| None).collect(),
+            num_buckets: m,
             entries_per_bucket,
             h1: family.hasher(0),
             h2: family.hasher(1),
@@ -104,12 +109,19 @@ impl<V: Clone> CuckooHashTable<V> {
 
     /// Number of buckets currently allocated.
     pub fn num_buckets(&self) -> usize {
-        self.buckets.len()
+        self.num_buckets
     }
 
     /// Total slot capacity.
     pub fn capacity(&self) -> usize {
-        self.buckets.len() * self.entries_per_bucket
+        self.slots.len()
+    }
+
+    /// The slot range of `bucket`.
+    #[inline]
+    fn bucket_range(&self, bucket: usize) -> std::ops::Range<usize> {
+        let base = bucket * self.entries_per_bucket;
+        base..base + self.entries_per_bucket
     }
 
     /// Current load factor.
@@ -118,7 +130,7 @@ impl<V: Clone> CuckooHashTable<V> {
     }
 
     fn candidate_buckets(&self, key: u64) -> (usize, usize) {
-        let m = self.buckets.len();
+        let m = self.num_buckets;
         (self.h1.bucket_of(key, m), self.h2.bucket_of(key, m))
     }
 
@@ -127,7 +139,8 @@ impl<V: Clone> CuckooHashTable<V> {
     pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
         let (b1, b2) = self.candidate_buckets(key);
         for &b in &[b1, b2] {
-            for s in self.buckets[b].iter_mut().flatten() {
+            let range = self.bucket_range(b);
+            for s in self.slots[range].iter_mut().flatten() {
                 if s.key == key {
                     return Some(std::mem::replace(&mut s.value, value));
                 }
@@ -161,7 +174,7 @@ impl<V: Clone> CuckooHashTable<V> {
     }
 
     fn count_key_in(&self, bucket: usize, key: u64) -> usize {
-        self.buckets[bucket]
+        self.slots[self.bucket_range(bucket)]
             .iter()
             .flatten()
             .filter(|s| s.key == key)
@@ -187,7 +200,8 @@ impl<V: Clone> CuckooHashTable<V> {
     fn try_place(&mut self, mut item: Slot<V>) -> Result<(), Slot<V>> {
         let (b1, b2) = self.candidate_buckets(item.key);
         for &b in &[b1, b2] {
-            for slot in &mut self.buckets[b] {
+            let range = self.bucket_range(b);
+            for slot in &mut self.slots[range] {
                 if slot.is_none() {
                     *slot = Some(item);
                     return Ok(());
@@ -198,13 +212,14 @@ impl<V: Clone> CuckooHashTable<V> {
         let mut bucket = if self.rng.gen_bool(0.5) { b1 } else { b2 };
         for _ in 0..MAX_KICKS {
             let slot_idx = self.rng.gen_range(0..self.entries_per_bucket);
-            let victim = self.buckets[bucket][slot_idx]
+            let victim = self.slots[bucket * self.entries_per_bucket + slot_idx]
                 .replace(item)
                 .expect("full bucket had an empty slot");
             item = victim;
             let (v1, v2) = self.candidate_buckets(item.key);
             bucket = if bucket == v1 { v2 } else { v1 };
-            for slot in &mut self.buckets[bucket] {
+            let range = self.bucket_range(bucket);
+            for slot in &mut self.slots[range] {
                 if slot.is_none() {
                     *slot = Some(item);
                     return Ok(());
@@ -215,21 +230,20 @@ impl<V: Clone> CuckooHashTable<V> {
     }
 
     fn grow(&mut self) {
-        let new_m = self.buckets.len() * 2;
+        let new_m = self.num_buckets * 2;
         let old = std::mem::replace(
-            &mut self.buckets,
-            vec![vec![None; self.entries_per_bucket]; new_m],
+            &mut self.slots,
+            (0..new_m * self.entries_per_bucket).map(|_| None).collect(),
         );
+        self.num_buckets = new_m;
         // Re-derive the hashers with a tweaked seed so pathological layouts are not
         // reproduced after the resize.
         let family = HashFamily::new(self.seed ^ (new_m as u64));
         self.h1 = family.hasher(0);
         self.h2 = family.hasher(1);
         self.len = 0;
-        for bucket in old {
-            for slot in bucket.into_iter().flatten() {
-                self.insert_new(slot.key, slot.value);
-            }
+        for slot in old.into_iter().flatten() {
+            self.insert_new(slot.key, slot.value);
         }
     }
 
@@ -248,7 +262,7 @@ impl<V: Clone> CuckooHashTable<V> {
         let (b1, b2) = self.candidate_buckets(key);
         let (candidates, n) = Self::candidate_list(b1, b2);
         for &b in &candidates[..n] {
-            for slot in self.buckets[b].iter().flatten() {
+            for slot in self.slots[self.bucket_range(b)].iter().flatten() {
                 if slot.key == key {
                     return Some(&slot.value);
                 }
@@ -263,7 +277,7 @@ impl<V: Clone> CuckooHashTable<V> {
         let (candidates, n) = Self::candidate_list(b1, b2);
         let mut out = Vec::new();
         for &b in &candidates[..n] {
-            for slot in self.buckets[b].iter().flatten() {
+            for slot in self.slots[self.bucket_range(b)].iter().flatten() {
                 if slot.key == key {
                     out.push(&slot.value);
                 }
@@ -282,7 +296,8 @@ impl<V: Clone> CuckooHashTable<V> {
         let (b1, b2) = self.candidate_buckets(key);
         let (candidates, n) = Self::candidate_list(b1, b2);
         for &b in &candidates[..n] {
-            for slot in &mut self.buckets[b] {
+            let range = self.bucket_range(b);
+            for slot in &mut self.slots[range] {
                 if slot.as_ref().is_some_and(|s| s.key == key) {
                     self.len -= 1;
                     return slot.take().map(|s| s.value);
@@ -294,9 +309,7 @@ impl<V: Clone> CuckooHashTable<V> {
 
     /// Iterate over all (key, value) pairs in storage order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
-        self.buckets
-            .iter()
-            .flat_map(|b| b.iter().flatten().map(|s| (s.key, &s.value)))
+        self.slots.iter().flatten().map(|s| (s.key, &s.value))
     }
 }
 

@@ -1,6 +1,6 @@
 //! Property-based tests for the cuckoo filter and cuckoo hash table substrate.
 
-use ccf_cuckoo::{CuckooFilter, CuckooFilterParams, CuckooHashTable};
+use ccf_cuckoo::{CuckooFilter, CuckooFilterParams, CuckooHashTable, PackedBuckets};
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
@@ -124,6 +124,84 @@ proptest! {
         }
         for &k in &keys {
             prop_assert!(f.contains(k), "false negative for {} after growth", k);
+        }
+    }
+
+    /// The packed store's maintained occupancy counters never drift from a recount of
+    /// the raw words, under arbitrary interleavings of inserts, removes, takes, swaps
+    /// and growth — for bucket widths that pack exactly into words and widths with
+    /// padding lanes alike.
+    #[test]
+    fn packed_counters_never_drift_from_recount(
+        entries_per_bucket in 1usize..9,
+        ops in proptest::collection::vec((0u8..5, any::<u16>(), any::<u16>()), 1..400),
+    ) {
+        let mut p = PackedBuckets::new(8, entries_per_bucket);
+        for (op, a, b) in ops {
+            let bucket = usize::from(a) % p.num_buckets();
+            let fp = (b | 1).max(1); // never 0: κ = 0 is the empty-slot marker
+            match op {
+                0 => {
+                    p.try_insert(bucket, fp);
+                }
+                1 => {
+                    p.remove_one(bucket, fp);
+                }
+                2 => {
+                    p.take(bucket, usize::from(b) % entries_per_bucket);
+                }
+                3 => {
+                    p.swap(bucket, usize::from(b) % entries_per_bucket, fp);
+                }
+                _ => {
+                    if p.num_buckets() < 64 {
+                        p.extend_buckets(p.num_buckets());
+                    }
+                }
+            }
+            let (total, per_bucket) = p.recount();
+            prop_assert_eq!(total, p.occupied(), "total counter drifted");
+            for (bkt, &n) in per_bucket.iter().enumerate() {
+                prop_assert_eq!(n, p.bucket_len(bkt), "bucket {} counter drifted", bkt);
+                prop_assert_eq!(
+                    n == entries_per_bucket,
+                    p.is_full(bkt),
+                    "is_full disagrees with recount for bucket {}", bkt
+                );
+            }
+        }
+    }
+
+    /// The filter's O(1) len() (the store's total counter) always equals a recount of
+    /// its packed words under random insert/delete/grow churn.
+    #[test]
+    fn filter_len_never_drifts_from_recount(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u8..8, 0u64..300), 1..300),
+    ) {
+        let mut f = CuckooFilter::new(CuckooFilterParams {
+            num_buckets: 64,
+            entries_per_bucket: 4,
+            fingerprint_bits: 12,
+            seed,
+            auto_grow: false,
+        });
+        for (op, key) in ops {
+            match op {
+                0..=4 => {
+                    let _ = f.insert(key);
+                }
+                5 | 6 => {
+                    f.delete(key);
+                }
+                _ => {
+                    if f.num_buckets() < 512 {
+                        f.grow();
+                    }
+                }
+            }
+            let (total, _) = f.store().recount();
+            prop_assert_eq!(total, f.len(), "len drifted from a recount of the words");
         }
     }
 
