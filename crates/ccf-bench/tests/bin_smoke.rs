@@ -71,6 +71,7 @@ bin_smoke_tests!(
     aggregate,
     growth_batch,
     packed_probe,
+    compressed_probe,
     sharded_throughput,
     churn,
 );

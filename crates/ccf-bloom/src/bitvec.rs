@@ -87,6 +87,12 @@ impl BitVec {
         }
     }
 
+    /// Heap bytes backing the bit storage (the word array; excludes the inline
+    /// struct header).
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of_val(self.words.as_slice())
+    }
+
     /// Reset all bits to zero.
     pub fn reset(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);

@@ -119,6 +119,11 @@ impl TinyBloom {
         self.bits.saturation()
     }
 
+    /// Heap bytes owned by this sketch: the bit array plus the salted-hasher list.
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.heap_bytes() + std::mem::size_of_val(self.hashers.as_slice())
+    }
+
     /// Serialize the raw bits (for packing across CCF entries by Bloom conversion).
     pub fn to_bits(&self) -> BitVec {
         self.bits.clone()

@@ -120,12 +120,23 @@ impl BloomCcf {
         self.capacity() * self.params.bloom_entry_bits()
     }
 
-    /// Per-bucket occupancy summary.
+    /// Per-bucket occupancy summary, including the actual heap footprint of the
+    /// bucket storage (spine, per-bucket entry arrays, and per-entry Bloom sketches).
     pub fn occupancy(&self) -> OccupancyStats {
+        let heap = std::mem::size_of_val(self.buckets.as_slice())
+            + self
+                .buckets
+                .iter()
+                .map(|b| {
+                    std::mem::size_of_val(b.as_slice())
+                        + b.iter().map(|e| e.sketch.heap_bytes()).sum::<usize>()
+                })
+                .sum::<usize>();
         OccupancyStats::from_counts(
             self.buckets.iter().map(Vec::len),
             self.params.entries_per_bucket,
         )
+        .with_heap_bytes(heap)
     }
 
     /// Resize-history summary. The Bloom variant does not grow, so the history is
@@ -386,6 +397,7 @@ impl BloomCcf {
             self.params.entries_per_bucket,
             self.params.fingerprint_bits,
             self.params.seed,
+            self.params.storage,
         );
         for (bucket_idx, bucket) in self.buckets.iter().enumerate() {
             for e in bucket {

@@ -151,12 +151,26 @@ impl ChainedCcf {
         self.geometry.growth_bits()
     }
 
-    /// Per-bucket occupancy summary.
+    /// Per-bucket occupancy summary, including the actual heap footprint of the
+    /// bucket storage (spine, per-bucket entry arrays, and per-entry attribute
+    /// vectors).
     pub fn occupancy(&self) -> OccupancyStats {
+        let heap = std::mem::size_of_val(self.buckets.as_slice())
+            + self
+                .buckets
+                .iter()
+                .map(|b| {
+                    std::mem::size_of_val(b.as_slice())
+                        + b.iter()
+                            .map(|e| std::mem::size_of_val(e.attrs.as_slice()))
+                            .sum::<usize>()
+                })
+                .sum::<usize>();
         OccupancyStats::from_counts(
             self.buckets.iter().map(Vec::len),
             self.params.entries_per_bucket,
         )
+        .with_heap_bytes(heap)
     }
 
     /// Resize-history summary.

@@ -174,12 +174,32 @@ impl MixedCcf {
         self.geometry.growth_bits()
     }
 
-    /// Per-bucket occupancy summary.
+    /// Per-bucket occupancy summary, including the actual heap footprint of the
+    /// bucket storage (spine, per-bucket entry arrays, and per-entry payloads:
+    /// attribute vectors for vector slots, Bloom sketches for converted heads).
     pub fn occupancy(&self) -> OccupancyStats {
+        let heap = std::mem::size_of_val(self.buckets.as_slice())
+            + self
+                .buckets
+                .iter()
+                .map(|b| {
+                    std::mem::size_of_val(b.as_slice())
+                        + b.iter()
+                            .map(|e| match e {
+                                Entry::Vector { attrs, .. } => {
+                                    std::mem::size_of_val(attrs.as_slice())
+                                }
+                                Entry::BloomHead { sketch, .. } => sketch.heap_bytes(),
+                                Entry::Continuation { .. } => 0,
+                            })
+                            .sum::<usize>()
+                })
+                .sum::<usize>();
         OccupancyStats::from_counts(
             self.buckets.iter().map(Vec::len),
             self.params.entries_per_bucket,
         )
+        .with_heap_bytes(heap)
     }
 
     /// Resize-history summary.
@@ -589,6 +609,7 @@ impl MixedCcf {
                 fingerprint_bits: self.params.fingerprint_bits,
                 seed: self.params.seed,
                 auto_grow: false,
+                storage: self.params.storage,
             },
         );
         for (bucket_idx, bucket) in self.buckets.iter().enumerate() {

@@ -32,7 +32,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::geometry::{probe_chunked, SplitGeometry, MAX_GROWTHS_PER_INSERT};
 use crate::metrics::{GrowthStats, OccupancyStats};
-use crate::packed::PackedBuckets;
+use crate::store::{AnyBuckets, BucketStore, StorageKind};
 
 /// Maximum number of kick (evict-and-reinsert) rounds before an insertion fails,
 /// matching the constant used by the original cuckoo-filter implementation.
@@ -55,6 +55,11 @@ pub struct CuckooFilterParams {
     /// bucket pair saturated with copies of one fingerprint (which no amount of growth
     /// can separate — the §4.3 duplicate cap still applies).
     pub auto_grow: bool,
+    /// Which bucket-storage backend holds the fingerprints. Purely representational:
+    /// membership behavior is identical across backends. Defaults to the
+    /// [`StorageKind::from_env`] resolution (packed unless `CCF_STORAGE` says
+    /// otherwise), which is how CI runs the whole suite against both backends.
+    pub storage: StorageKind,
 }
 
 impl Default for CuckooFilterParams {
@@ -65,6 +70,7 @@ impl Default for CuckooFilterParams {
             fingerprint_bits: 12,
             seed: 0,
             auto_grow: false,
+            storage: StorageKind::from_env(),
         }
     }
 }
@@ -85,12 +91,19 @@ impl CuckooFilterParams {
             fingerprint_bits,
             seed,
             auto_grow: false,
+            storage: StorageKind::from_env(),
         }
     }
 
     /// Enable transparent grow-and-retry on insertion failure.
     pub fn with_auto_grow(mut self) -> Self {
         self.auto_grow = true;
+        self
+    }
+
+    /// Select the bucket-storage backend.
+    pub fn with_storage(mut self, storage: StorageKind) -> Self {
+        self.storage = storage;
         self
     }
 }
@@ -127,9 +140,10 @@ impl std::error::Error for InsertError {}
 /// A standard partial-key cuckoo filter over `u64` keys.
 #[derive(Debug, Clone)]
 pub struct CuckooFilter {
-    /// All `m · b` fingerprint slots, bit-packed and contiguous, with maintained
-    /// occupancy counters (which also replace the old per-filter item counter).
-    store: PackedBuckets,
+    /// All `m · b` fingerprint slots in the configured backend — bit-packed lanes or
+    /// semisort-compressed records — with maintained occupancy counters (which also
+    /// replace the old per-filter item counter).
+    store: AnyBuckets,
     /// `num_buckets - 1`; sanitizes caller-supplied bucket indices.
     bucket_mask: usize,
     /// Split bucket geometry: base size, growth bits and the index-derivation hashes.
@@ -152,12 +166,14 @@ impl CuckooFilter {
     }
 
     /// Create an empty filter with explicit geometry (used by Algorithm 2, which builds
-    /// a filter with the *same* `(m, b)` dimensions as the CCF it is derived from).
+    /// a filter with the *same* `(m, b)` dimensions — and storage backend — as the CCF
+    /// it is derived from).
     pub fn with_geometry(
         num_buckets: usize,
         entries_per_bucket: usize,
         fingerprint_bits: u32,
         seed: u64,
+        storage: StorageKind,
     ) -> Self {
         Self::new(CuckooFilterParams {
             num_buckets,
@@ -165,6 +181,7 @@ impl CuckooFilter {
             fingerprint_bits,
             seed,
             auto_grow: false,
+            storage,
         })
     }
 
@@ -186,7 +203,7 @@ impl CuckooFilter {
         let geometry = SplitGeometry::new(&family, base_buckets, growth_bits);
         let num_buckets = geometry.num_buckets();
         Self {
-            store: PackedBuckets::new(num_buckets, params.entries_per_bucket),
+            store: AnyBuckets::new(params.storage, num_buckets, params.entries_per_bucket),
             bucket_mask: num_buckets - 1,
             entries_per_bucket: params.entries_per_bucket,
             fingerprinter: Fingerprinter::new(&family, params.fingerprint_bits),
@@ -259,10 +276,20 @@ impl CuckooFilter {
         self.capacity() * self.params.fingerprint_bits as usize
     }
 
+    /// Which bucket-storage backend holds this filter's fingerprints.
+    pub fn storage_kind(&self) -> StorageKind {
+        self.store.kind()
+    }
+
     /// Occupancy statistics (used by the experiment harness) — aggregated from the
-    /// store's maintained per-bucket counters, one byte read per bucket.
+    /// store's maintained per-bucket counters, one byte read per bucket, with the
+    /// store's actual allocated bytes attached so memory savings are observable.
     pub fn occupancy(&self) -> OccupancyStats {
-        OccupancyStats::from_counts(self.store.bucket_counts(), self.entries_per_bucket)
+        OccupancyStats::from_counts(
+            self.store.counts().iter().map(|&c| usize::from(c)),
+            self.entries_per_bucket,
+        )
+        .with_heap_bytes(self.store.heap_bytes())
     }
 
     /// Growth statistics: base geometry, current geometry and doubling count.
@@ -506,9 +533,9 @@ impl CuckooFilter {
         occupied_pair * 2f64.powi(-(self.params.fingerprint_bits as i32))
     }
 
-    /// Expose the packed fingerprint store for size/occupancy analysis and
-    /// semi-sorting experiments.
-    pub fn store(&self) -> &PackedBuckets {
+    /// Expose the fingerprint store for size/occupancy analysis and storage-backend
+    /// experiments.
+    pub fn store(&self) -> &AnyBuckets {
         &self.store
     }
 }
@@ -529,12 +556,13 @@ mod tests {
     use super::*;
 
     fn small_params(seed: u64) -> CuckooFilterParams {
+        // `..Default::default()` picks up the storage backend from the environment,
+        // so `CCF_STORAGE=semisort` runs this whole suite against the compressed
+        // store (the CI storage matrix).
         CuckooFilterParams {
             num_buckets: 1 << 10,
-            entries_per_bucket: 4,
-            fingerprint_bits: 12,
             seed,
-            auto_grow: false,
+            ..Default::default()
         }
     }
 
@@ -688,9 +716,8 @@ mod tests {
         let mut f = CuckooFilter::new(CuckooFilterParams {
             num_buckets: 16,
             entries_per_bucket: 2,
-            fingerprint_bits: 12,
             seed: 11,
-            auto_grow: false,
+            ..Default::default()
         });
         let fp = self_paired_fp(&f);
         let bucket = 3;
@@ -817,7 +844,7 @@ mod tests {
             entries_per_bucket: 2,
             fingerprint_bits: 8,
             seed: 9,
-            auto_grow: false,
+            ..Default::default()
         });
         let mut keys: Vec<u64> = (0..12).collect();
         for &k in &keys {
@@ -862,10 +889,8 @@ mod tests {
     fn size_bits_matches_geometry() {
         let f = CuckooFilter::new(CuckooFilterParams {
             num_buckets: 1 << 8,
-            entries_per_bucket: 4,
             fingerprint_bits: 9,
-            seed: 0,
-            auto_grow: false,
+            ..Default::default()
         });
         assert_eq!(f.size_bits(), 256 * 4 * 9);
     }

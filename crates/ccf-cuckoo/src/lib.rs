@@ -17,8 +17,11 @@
 //! * [`packed`] — the bit-packed contiguous fingerprint store behind
 //!   [`CuckooFilter`]: all `m·b` slots in one `Vec<u64>`, SWAR whole-bucket
 //!   compares, O(1) maintained occupancy counters.
-//! * [`semisort`] — the semi-sorting encoding of §4.2 used in the bit-efficiency
-//!   analysis (Figure 5).
+//! * [`semisort`] — the semi-sorting encoding of §4.2: the rank codec behind the
+//!   bit-efficiency analysis (Figure 5) and [`SemisortBuckets`], the compressed
+//!   bucket store built on it.
+//! * [`store`] — the [`BucketStore`] abstraction over the two bucket backends and
+//!   the [`StorageKind`] runtime selector threaded through the filter stack.
 //! * [`geometry`] — the split bucket geometry that makes partial-key structures
 //!   growable without their original keys, shared with the CCF variants upstream.
 //! * [`metrics`] — occupancy / load-factor accounting shared by the experiments.
@@ -34,6 +37,7 @@ pub mod geometry;
 pub mod metrics;
 pub mod packed;
 pub mod semisort;
+pub mod store;
 pub mod table;
 
 pub use chained_table::ChainedCuckooTable;
@@ -41,4 +45,6 @@ pub use filter::{CuckooFilter, CuckooFilterParams, InsertError, MAX_KICKS};
 pub use geometry::SplitGeometry;
 pub use metrics::{GrowthStats, OccupancyStats};
 pub use packed::PackedBuckets;
+pub use semisort::SemisortBuckets;
+pub use store::{AnyBuckets, BucketStore, StorageKind, MAX_SEMISORT_ENTRIES};
 pub use table::CuckooHashTable;

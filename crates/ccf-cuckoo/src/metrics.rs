@@ -35,10 +35,16 @@ pub struct OccupancyStats {
     pub full_buckets: usize,
     /// Number of completely empty buckets.
     pub empty_buckets: usize,
+    /// Actual allocated bytes of the underlying storage (0 when the producer does not
+    /// track allocation, e.g. stats built directly from raw counts). This is what
+    /// makes the packed-vs-semisort memory saving observable rather than theoretical.
+    pub heap_bytes: usize,
 }
 
 impl OccupancyStats {
-    /// Build stats from an iterator of per-bucket occupancy counts.
+    /// Build stats from an iterator of per-bucket occupancy counts. The result carries
+    /// `heap_bytes: 0`; storage-aware producers attach their allocation via
+    /// [`OccupancyStats::with_heap_bytes`].
     pub fn from_counts<I: IntoIterator<Item = usize>>(
         counts: I,
         entries_per_bucket: usize,
@@ -63,6 +69,24 @@ impl OccupancyStats {
             occupied,
             full_buckets,
             empty_buckets,
+            heap_bytes: 0,
+        }
+    }
+
+    /// Attach the producer's actual allocated storage bytes.
+    pub fn with_heap_bytes(mut self, heap_bytes: usize) -> Self {
+        self.heap_bytes = heap_bytes;
+        self
+    }
+
+    /// Stored bits per entry slot: `heap_bytes · 8 / capacity` (0 when allocation is
+    /// untracked or the structure is empty of slots). The figure the semisort backend
+    /// lowers by [`crate::semisort::bits_saved_per_entry`].
+    pub fn stored_bits_per_entry(&self) -> f64 {
+        if self.capacity() == 0 {
+            0.0
+        } else {
+            self.heap_bytes as f64 * 8.0 / self.capacity() as f64
         }
     }
 
@@ -94,6 +118,7 @@ impl OccupancyStats {
             occupied: self.occupied + other.occupied,
             full_buckets: self.full_buckets + other.full_buckets,
             empty_buckets: self.empty_buckets + other.empty_buckets,
+            heap_bytes: self.heap_bytes + other.heap_bytes,
         }
     }
 
@@ -125,14 +150,26 @@ mod tests {
 
     #[test]
     fn merge_sums_disjoint_bucket_counts() {
-        let a = OccupancyStats::from_counts(vec![0, 4, 2], 4);
-        let b = OccupancyStats::from_counts(vec![4, 4, 0, 1], 4);
+        let a = OccupancyStats::from_counts(vec![0, 4, 2], 4).with_heap_bytes(27);
+        let b = OccupancyStats::from_counts(vec![4, 4, 0, 1], 4).with_heap_bytes(36);
         let m = a.merge(&b);
         assert_eq!(m.num_buckets, 7);
         assert_eq!(m.occupied, 6 + 9);
         assert_eq!(m.full_buckets, 3);
         assert_eq!(m.empty_buckets, 2);
+        assert_eq!(m.heap_bytes, 63, "merge must sum per-side allocations");
         assert!((m.load_factor() - 15.0 / 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heap_bytes_expose_stored_bits_per_entry() {
+        let stats = OccupancyStats::from_counts(vec![2; 16], 4);
+        assert_eq!(stats.heap_bytes, 0, "raw counts carry no allocation info");
+        assert_eq!(stats.stored_bits_per_entry(), 0.0);
+        // 16 buckets × 4 slots backed by 144 bytes → 18 bits per slot (the packed
+        // b = 4 figure: 16-bit lane + 2 counter bits).
+        let stats = stats.with_heap_bytes(144);
+        assert!((stats.stored_bits_per_entry() - 18.0).abs() < 1e-12);
     }
 
     #[test]

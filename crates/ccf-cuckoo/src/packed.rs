@@ -30,7 +30,7 @@ const LANE_MSB: u64 = 0x8000_8000_8000_8000;
 
 /// Broadcast a fingerprint into all four lanes of a word.
 #[inline(always)]
-fn broadcast(fp: u16) -> u64 {
+pub(crate) fn broadcast(fp: u16) -> u64 {
     u64::from(fp) * LANE_LSB
 }
 
@@ -40,7 +40,7 @@ fn broadcast(fp: u16) -> u64 {
 /// lowest set bit always marks a true zero lane (the guarantees the probe and the
 /// first-empty-slot search rely on).
 #[inline(always)]
-fn zero_lanes(x: u64) -> u64 {
+pub(crate) fn zero_lanes(x: u64) -> u64 {
     x.wrapping_sub(LANE_LSB) & !x & LANE_MSB
 }
 
@@ -120,6 +120,18 @@ impl PackedBuckets {
     /// byte read per bucket instead of a slot scan.
     pub fn bucket_counts(&self) -> impl Iterator<Item = usize> + '_ {
         self.counts.iter().map(|&c| usize::from(c))
+    }
+
+    /// Per-bucket occupancy counters, one byte per bucket.
+    pub fn counts(&self) -> &[u8] {
+        &self.counts
+    }
+
+    /// Bytes of the bucket storage: the packed fingerprint words plus the occupancy
+    /// counters. Measured from the live lengths, so it reflects what a right-sized
+    /// allocation holds (growth may leave `Vec` capacity slack beyond this).
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of_val(self.words.as_slice()) + self.counts.len()
     }
 
     /// The words backing `bucket` (exposed for analysis and the batch kernel's

@@ -1,15 +1,40 @@
-//! Semi-sorting bucket compression (§4.2).
+//! Semi-sorting bucket compression (§4.2): the rank codec and the compressed
+//! [`SemisortBuckets`] store built on it.
 //!
 //! "In order to further reduce the number of bits per item needed to achieve a target
 //! FPR, the entries in the bucket can be sorted. This reduces the entropy of the bucket
 //! and allows for a more efficient encoding. This can be done efficiently if only 4-bit
 //! prefixes of the fingerprints are sorted."
 //!
+//! # Prefix-width contract
+//!
+//! The codec operates on the **low [`PREFIX_BITS`] = 4 bits** of each 16-bit
+//! fingerprint lane (`fp & 0xF`); the remaining high [`REMAINDER_BITS`] = 12 bits are
+//! the *remainder*, stored verbatim and re-associated with its prefix by canonical
+//! sort order. Prefixes are passed and returned as `u16` — the fingerprint type —
+//! with only the low 4 bits significant, so encode and decode speak the same type.
+//! An all-zero lane (the empty-slot marker κ = 0) encodes like any other value and
+//! sorts first, which is what keeps the all-zero record a valid empty bucket.
+//!
 //! With `b = 4` entries per bucket, the sorted multiset of four 4-bit prefixes has
 //! C(16 + 4 − 1, 4) = 3876 possible values, which fits in 12 bits instead of 16 — one
 //! bit saved per entry, turning the cuckoo filter's `(log2(1/ρ) + 3)/β` bits per item
-//! into `(log2(1/ρ) + 2)/β`. The paper only uses this in its bit-efficiency analysis
-//! (Figure 5 / §10.2), so this module provides the codec plus the size accounting.
+//! into `(log2(1/ρ) + 2)/β`. Earlier revisions used this only for the bit-efficiency
+//! analysis (Figure 5 / §10.2); [`SemisortBuckets`] makes it operational as a
+//! [`crate::store::BucketStore`] backend: each bucket is one `rank_bits(b) + 12·b`-bit
+//! record (60 bits at `b = 4`, vs the packed layout's 64) in a contiguous bit array.
+
+use std::sync::Arc;
+
+use crate::packed::{broadcast, zero_lanes};
+use crate::store::MAX_SEMISORT_ENTRIES;
+
+/// Bits of each fingerprint that participate in the sorted-prefix encoding (the low
+/// nibble, `fp & 0xF`).
+pub const PREFIX_BITS: u32 = 4;
+
+/// Bits of each fingerprint stored verbatim alongside the rank (`fp >> PREFIX_BITS`).
+pub const REMAINDER_BITS: u32 = 16 - PREFIX_BITS;
 
 /// Number of distinct sorted multisets of `b` values drawn from an alphabet of size
 /// `a`: C(a + b − 1, b).
@@ -41,20 +66,22 @@ pub fn bits_saved_per_entry(b: usize) -> f64 {
 
 /// Encode the 4-bit prefixes of a bucket's `b` fingerprints as a single index into the
 /// lexicographically ordered list of sorted multisets. Returns the index and the sorted
-/// prefixes (the remainder of each fingerprint must be stored separately and
-/// re-associated by sort order).
-pub fn encode_prefixes(fingerprints: &[u16]) -> (u64, Vec<u8>) {
-    let mut prefixes: Vec<u8> = fingerprints.iter().map(|&f| (f & 0xF) as u8).collect();
+/// prefixes as `u16` values in `0..16` (the remainder of each fingerprint must be
+/// stored separately and re-associated by sort order — see the module-level
+/// prefix-width contract).
+pub fn encode_prefixes(fingerprints: &[u16]) -> (u64, Vec<u16>) {
+    let mut prefixes: Vec<u16> = fingerprints.iter().map(|&f| f & 0xF).collect();
     prefixes.sort_unstable();
     (rank_of_sorted_multiset(&prefixes), prefixes)
 }
 
-/// Decode an index produced by [`encode_prefixes`] back into the sorted prefixes.
-pub fn decode_prefixes(mut rank: u64, b: usize) -> Vec<u8> {
+/// Decode an index produced by [`encode_prefixes`] back into the sorted prefixes,
+/// returned as `u16` values in `0..16` — the same fingerprint type `encode` consumes.
+pub fn decode_prefixes(mut rank: u64, b: usize) -> Vec<u16> {
     // Enumerate sorted multisets of length b over 0..16 in lexicographic order and
     // invert the ranking combinatorially.
     let mut out = Vec::with_capacity(b);
-    let mut min = 0u8;
+    let mut min = 0u16;
     for pos in 0..b {
         let remaining = b - pos - 1;
         for v in min..16 {
@@ -73,10 +100,10 @@ pub fn decode_prefixes(mut rank: u64, b: usize) -> Vec<u8> {
 
 /// Rank of a sorted multiset (ascending) among all sorted multisets of the same length
 /// over 0..16, in lexicographic order.
-fn rank_of_sorted_multiset(sorted: &[u8]) -> u64 {
+fn rank_of_sorted_multiset(sorted: &[u16]) -> u64 {
     let b = sorted.len();
     let mut rank = 0u64;
-    let mut min = 0u8;
+    let mut min = 0u16;
     for (pos, &x) in sorted.iter().enumerate() {
         let remaining = b - pos - 1;
         for v in min..x {
@@ -85,6 +112,524 @@ fn rank_of_sorted_multiset(sorted: &[u8]) -> u64 {
         min = x;
     }
     rank
+}
+
+/// Precomputed rank tables for one bucket width `b`: O(1) decode of a rank into
+/// lane-spread prefixes (for the SWAR probe) and O(b) encode of sorted prefixes into
+/// a rank. Built once per store and shared across clones; a few KiB at `b = 4`
+/// (3876 ranks), ~4 MiB at the maximum `b = 8` (490 314 ranks).
+struct SemisortCodec {
+    /// Bucket width this codec serves.
+    b: usize,
+    /// [`sorted_prefix_bits`]`(b)`.
+    rank_bits: u32,
+    /// Words of 4 prefix lanes per rank: `⌈b / 4⌉`.
+    lane_words: usize,
+    /// `mask(rank_bits)`, precomputed for the hot probe path.
+    rank_mask: u64,
+    /// `mask(12 · b)`, precomputed for the hot probe path.
+    rem_mask: u64,
+    /// `suffix[v·b + r]` = number of sorted multisets of length `r` with values `≥ v`
+    /// (`v` in `0..=16`, `r` in `0..b`) — the prefix-sum form of the combinatorial
+    /// ranking, making encode two table lookups per position.
+    suffix: Vec<u64>,
+    /// Per rank, `lane_words` words holding the decoded sorted prefixes spread into
+    /// the low nibble of each 16-bit lane — ready to OR with the remainders for the
+    /// SWAR whole-bucket compare.
+    prefix_words: Vec<u64>,
+}
+
+impl std::fmt::Debug for SemisortCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SemisortCodec")
+            .field("b", &self.b)
+            .field("rank_bits", &self.rank_bits)
+            .field("ranks", &(self.prefix_words.len() / self.lane_words))
+            .finish()
+    }
+}
+
+impl SemisortCodec {
+    fn new(b: usize) -> Self {
+        let rank_count = multiset_count(16, b) as usize;
+        let lane_words = b.div_ceil(4);
+        let mut suffix = vec![0u64; 17 * b];
+        for r in 0..b {
+            for v in (0..16usize).rev() {
+                suffix[v * b + r] = suffix[(v + 1) * b + r] + multiset_count(16 - v, r);
+            }
+        }
+        // Enumerate every sorted multiset in lexicographic (= rank) order with a
+        // simple odometer instead of `rank_count` combinatorial decodes: the successor
+        // of a sorted multiset increments its last position that is below 15 and
+        // copies the new value into every later position.
+        let mut prefix_words = vec![0u64; rank_count * lane_words];
+        let mut cur = [0u8; MAX_SEMISORT_ENTRIES];
+        for rank in 0..rank_count {
+            for (i, &nib) in cur[..b].iter().enumerate() {
+                prefix_words[rank * lane_words + i / 4] |= u64::from(nib) << (16 * (i % 4));
+            }
+            if let Some(bump) = cur[..b].iter().rposition(|&v| v < 15) {
+                cur[bump] += 1;
+                let v = cur[bump];
+                cur[bump + 1..b].fill(v);
+            } else {
+                debug_assert_eq!(rank, rank_count - 1);
+            }
+        }
+        let rank_bits = sorted_prefix_bits(b);
+        Self {
+            b,
+            rank_bits,
+            lane_words,
+            rank_mask: mask(rank_bits),
+            rem_mask: mask((REMAINDER_BITS * b as u32).min(64)),
+            suffix,
+            prefix_words,
+        }
+    }
+
+    /// Rank of `b` fingerprints already in canonical (prefix-sorted) order.
+    #[inline]
+    fn rank_of(&self, sorted: &[u16]) -> u64 {
+        let b = self.b;
+        let mut rank = 0u64;
+        let mut min = 0usize;
+        for (pos, &fp) in sorted.iter().enumerate() {
+            let x = usize::from(fp & 0xF);
+            let r = b - pos - 1;
+            rank += self.suffix[min * b + r] - self.suffix[x * b + r];
+            min = x;
+        }
+        rank
+    }
+
+    /// Bytes of the shared decode/encode tables (constant-size metadata, reported
+    /// separately from per-bucket storage).
+    fn table_bytes(&self) -> usize {
+        std::mem::size_of_val(self.prefix_words.as_slice())
+            + std::mem::size_of_val(self.suffix.as_slice())
+    }
+}
+
+/// All `m · b` fingerprint slots in one contiguous **semisort-compressed** bit array:
+/// per bucket, a [`sorted_prefix_bits`]`(b)`-bit rank of the sorted 4-bit prefixes
+/// followed by `b` verbatim 12-bit remainders — `rank_bits(b) + 12·b` bits per bucket
+/// (60 at `b = 4`) against the packed layout's `16·b`-per-word-rounded cost, plus the
+/// same one-byte-per-bucket occupancy counters as [`crate::PackedBuckets`].
+///
+/// # Canonical slot order
+///
+/// A bucket's slots are always held in `(prefix, remainder)`-sorted order — the
+/// encoding *is* the sort — so empties (κ = 0) occupy the lowest slot indices and
+/// every mutation re-canonicalizes. Slot indices are therefore stable only between
+/// mutations of the bucket (the contract of [`crate::store::BucketStore`]); all
+/// value-level operations behave identically to the packed backend.
+///
+/// Membership probes reuse the packed backend's SWAR kernel: the rank is decoded
+/// through a precomputed lane-spread table, ORed with the remainders shifted into
+/// their lanes, and compared branchlessly against the broadcast fingerprint.
+#[derive(Debug, Clone)]
+pub struct SemisortBuckets {
+    /// The bit-packed bucket records, plus one zero pad word so any in-range bit read
+    /// may touch `word + 1` unconditionally.
+    words: Vec<u64>,
+    /// Occupied-slot count per bucket, maintained on every mutation.
+    counts: Vec<u8>,
+    /// Total occupied slots, maintained on every mutation.
+    occupied: usize,
+    /// Slots per bucket (the `b` parameter), `1..=`[`MAX_SEMISORT_ENTRIES`].
+    entries_per_bucket: usize,
+    /// Bits per bucket record: `rank_bits(b) + 12·b`.
+    record_bits: usize,
+    /// Shared rank tables (cheap to clone: behind an `Arc`).
+    codec: Arc<SemisortCodec>,
+}
+
+impl PartialEq for SemisortBuckets {
+    fn eq(&self, other: &Self) -> bool {
+        // The codec is a pure function of `b`; the stored bits and counters are the
+        // identity of the structure.
+        self.entries_per_bucket == other.entries_per_bucket
+            && self.words == other.words
+            && self.counts == other.counts
+    }
+}
+
+impl SemisortBuckets {
+    /// Create empty storage for `num_buckets` buckets of `entries_per_bucket` slots.
+    ///
+    /// # Panics
+    /// Panics if `entries_per_bucket` is 0 or exceeds [`MAX_SEMISORT_ENTRIES`] (the
+    /// rank table grows combinatorially with `b`; the paper's configurations use
+    /// `b ≤ 8`).
+    pub fn new(num_buckets: usize, entries_per_bucket: usize) -> Self {
+        assert!(entries_per_bucket > 0, "bucket must have at least one slot");
+        assert!(
+            entries_per_bucket <= MAX_SEMISORT_ENTRIES,
+            "semisort storage supports at most {MAX_SEMISORT_ENTRIES} entries per bucket \
+             (got {entries_per_bucket}); use packed storage for wider buckets"
+        );
+        let codec = Arc::new(SemisortCodec::new(entries_per_bucket));
+        let record_bits = codec.rank_bits as usize + REMAINDER_BITS as usize * entries_per_bucket;
+        Self {
+            words: vec![0; (num_buckets * record_bits).div_ceil(64) + 1],
+            counts: vec![0; num_buckets],
+            occupied: 0,
+            entries_per_bucket,
+            record_bits,
+            codec,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Slots per bucket (the `b` parameter).
+    pub fn entries_per_bucket(&self) -> usize {
+        self.entries_per_bucket
+    }
+
+    /// Total occupied slots across all buckets — O(1), maintained not scanned.
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Occupied slots in `bucket` — O(1), maintained not scanned.
+    #[inline]
+    pub fn bucket_len(&self, bucket: usize) -> usize {
+        usize::from(self.counts[bucket])
+    }
+
+    /// Whether every slot of `bucket` is occupied — O(1).
+    #[inline]
+    pub fn is_full(&self, bucket: usize) -> bool {
+        usize::from(self.counts[bucket]) == self.entries_per_bucket
+    }
+
+    /// Whether `bucket` has no occupied slots — O(1).
+    #[inline]
+    pub fn is_bucket_empty(&self, bucket: usize) -> bool {
+        self.counts[bucket] == 0
+    }
+
+    /// Per-bucket occupancy counters, one byte per bucket.
+    pub fn counts(&self) -> &[u8] {
+        &self.counts
+    }
+
+    /// Stored bits per bucket record: [`sorted_prefix_bits`]`(b) + 12·b`.
+    pub fn record_bits(&self) -> usize {
+        self.record_bits
+    }
+
+    /// Bytes of the bucket storage: the bit-packed record words plus the occupancy
+    /// counters. The shared rank tables are constant-size metadata independent of the
+    /// bucket count; [`SemisortBuckets::table_bytes`] reports them separately.
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of_val(self.words.as_slice()) + self.counts.len()
+    }
+
+    /// Bytes of the shared rank decode/encode tables (a pure function of `b`, shared
+    /// by every clone; ~38 KiB at `b = 4`).
+    pub fn table_bytes(&self) -> usize {
+        self.codec.table_bytes()
+    }
+
+    /// Best-effort prefetch of `bucket`'s record words into L1. A pure performance
+    /// hint for the batch kernel's prefetch pass; a no-op on non-x86_64 targets.
+    #[inline(always)]
+    pub fn prefetch(&self, bucket: usize) {
+        crate::geometry::prefetch_index(&self.words, bucket * self.record_bits / 64);
+    }
+
+    /// Read `n ≤ 64` bits at absolute bit offset `bit` (little-endian within and
+    /// across words). The pad word makes the `word + 1` access unconditionally safe.
+    #[inline(always)]
+    fn read_bits(&self, bit: usize, n: u32) -> u64 {
+        let word = bit / 64;
+        let shift = (bit % 64) as u32;
+        let lo = self.words[word] >> shift;
+        // Branchless two-word stitch: `(hi << 1) << (63 - shift)` equals
+        // `hi << (64 - shift)` for `shift > 0` and flushes to 0 at `shift == 0`
+        // (the two partial shifts total 64) without the undefined 64-bit shift.
+        let hi = (self.words[word + 1] << 1) << (63 - shift);
+        (lo | hi) & mask(n)
+    }
+
+    /// Unmasked 64-bit window at absolute bit offset `bit`: the caller masks out the
+    /// fields it needs (the hot probe path, which owns precomputed masks).
+    #[inline(always)]
+    fn read_raw(&self, bit: usize) -> u64 {
+        let word = bit / 64;
+        let shift = (bit % 64) as u32;
+        (self.words[word] >> shift) | ((self.words[word + 1] << 1) << (63 - shift))
+    }
+
+    /// Overwrite `n ≤ 64` bits at absolute bit offset `bit` with `value`.
+    #[inline(always)]
+    fn write_bits(&mut self, bit: usize, n: u32, value: u64) {
+        debug_assert!(n == 64 || value < (1u64 << n));
+        let word = bit / 64;
+        let shift = (bit % 64) as u32;
+        let m = mask(n);
+        self.words[word] = (self.words[word] & !(m << shift)) | (value << shift);
+        if shift + n > 64 {
+            // The field straddles into the next word; `shift > 0` here, so the
+            // complementary shifts are in range.
+            let spill = mask(shift + n - 64);
+            self.words[word + 1] = (self.words[word + 1] & !spill) | (value >> (64 - shift));
+        }
+    }
+
+    /// Decode `bucket`'s full slot array (empties as 0) in canonical order.
+    #[inline]
+    fn load_slots(&self, bucket: usize) -> [u16; MAX_SEMISORT_ENTRIES] {
+        let off = bucket * self.record_bits;
+        let rank_bits = self.codec.rank_bits;
+        let rank = self.read_bits(off, rank_bits) as usize;
+        let base = rank * self.codec.lane_words;
+        let mut slots = [0u16; MAX_SEMISORT_ENTRIES];
+        for (i, slot) in slots[..self.entries_per_bucket].iter_mut().enumerate() {
+            let nib = (self.codec.prefix_words[base + i / 4] >> (16 * (i % 4))) & 0xF;
+            let rem = self.read_bits(off + rank_bits as usize + 12 * i, REMAINDER_BITS) as u16;
+            *slot = (rem << PREFIX_BITS) | nib as u16;
+        }
+        slots
+    }
+
+    /// Canonicalize and re-encode `bucket` from a mutated slot array. Counters are the
+    /// caller's responsibility (each mutation knows its own delta).
+    fn store_slots(&mut self, bucket: usize, slots: &mut [u16; MAX_SEMISORT_ENTRIES]) {
+        let b = self.entries_per_bucket;
+        // Canonical order is (prefix, remainder)-lexicographic, which is exactly the
+        // order of fp.rotate_right(4); κ = 0 (empty) sorts first.
+        slots[..b].sort_unstable_by_key(|fp| fp.rotate_right(4));
+        let off = bucket * self.record_bits;
+        let rank_bits = self.codec.rank_bits;
+        let rank = self.codec.rank_of(&slots[..b]);
+        self.write_bits(off, rank_bits, rank);
+        for (i, &fp) in slots[..b].iter().enumerate() {
+            self.write_bits(
+                off + rank_bits as usize + 12 * i,
+                REMAINDER_BITS,
+                u64::from(fp >> PREFIX_BITS),
+            );
+        }
+    }
+
+    /// Fingerprint stored at `slot` of `bucket` (0 if empty), in canonical order.
+    #[inline]
+    pub fn get(&self, bucket: usize, slot: usize) -> u16 {
+        debug_assert!(slot < self.entries_per_bucket);
+        self.load_slots(bucket)[slot]
+    }
+
+    /// Insert `fp` into `bucket`. Returns `true` on success, `false` if the bucket is
+    /// full (an O(1) counter check). The bucket re-canonicalizes, so the new
+    /// fingerprint lands at its sorted position, not a fixed slot.
+    ///
+    /// # Panics
+    /// Panics (debug) if `fp == 0`, which is reserved for empty slots.
+    #[inline]
+    pub fn try_insert(&mut self, bucket: usize, fp: u16) -> bool {
+        debug_assert_ne!(fp, 0, "fingerprint 0 is reserved for empty slots");
+        if self.is_full(bucket) {
+            return false;
+        }
+        let mut slots = self.load_slots(bucket);
+        // Empties sort first, so a non-full bucket always has slot 0 empty.
+        debug_assert_eq!(slots[0], 0);
+        slots[0] = fp;
+        self.store_slots(bucket, &mut slots);
+        self.counts[bucket] += 1;
+        self.occupied += 1;
+        true
+    }
+
+    /// Reconstruct the 4-lane SWAR word of lane group `group` of the record at bit
+    /// offset `off` whose decoded prefix table base is `base`: prefix nibbles from the
+    /// table ORed with the 12-bit remainders shifted into bits 4.. of each lane.
+    /// Lanes beyond `b` reconstruct as 0 and can never match a (non-zero) probe.
+    #[inline(always)]
+    fn probe_word(&self, off: usize, base: usize, group: usize) -> u64 {
+        let prefixes = self.codec.prefix_words[base + group];
+        let lanes = (self.entries_per_bucket - 4 * group).min(4);
+        let rems = self.read_bits(
+            off + self.codec.rank_bits as usize + 48 * group,
+            (12 * lanes) as u32,
+        );
+        prefixes | spread_remainders(rems)
+    }
+
+    /// SWAR zero-lane mask of `bucket`'s reconstructed lanes XORed with a
+    /// pre-broadcast `pattern`: non-zero iff some slot holds the probed fingerprint.
+    #[inline(always)]
+    fn match_word(&self, bucket: usize, pattern: u64) -> u64 {
+        let off = bucket * self.record_bits;
+        if self.record_bits <= 64 {
+            // b ≤ 4: the whole record is one lane group and fits one fetch, so rank
+            // and remainders come out of a single bit read (the hot probe path).
+            let rec = self.read_raw(off);
+            let rank = (rec & self.codec.rank_mask) as usize;
+            let rems = (rec >> self.codec.rank_bits) & self.codec.rem_mask;
+            let lanes = self.codec.prefix_words[rank] | spread_remainders(rems);
+            zero_lanes(lanes ^ pattern)
+        } else {
+            let rank = self.read_bits(off, self.codec.rank_bits) as usize;
+            let base = rank * self.codec.lane_words;
+            let mut acc = 0u64;
+            for group in 0..self.codec.lane_words {
+                acc |= zero_lanes(self.probe_word(off, base, group) ^ pattern);
+            }
+            acc
+        }
+    }
+
+    /// Whether `bucket` holds `fp`: decode the rank through the lane-spread table and
+    /// run the same branchless SWAR compare as the packed backend.
+    #[inline]
+    pub fn contains(&self, bucket: usize, fp: u16) -> bool {
+        self.match_word(bucket, broadcast(fp)) != 0
+    }
+
+    /// Whether either bucket of a candidate pair holds `fp` — the whole-pair
+    /// membership probe.
+    #[inline]
+    pub fn contains_pair(&self, bucket: usize, alt: usize, fp: u16) -> bool {
+        let pattern = broadcast(fp);
+        self.match_word(bucket, pattern) != 0
+            || (alt != bucket && self.match_word(alt, pattern) != 0)
+    }
+
+    /// Number of copies of `fp` in `bucket` (exact slot-wise count).
+    pub fn count(&self, bucket: usize, fp: u16) -> usize {
+        let slots = self.load_slots(bucket);
+        slots[..self.entries_per_bucket]
+            .iter()
+            .filter(|&&s| s == fp)
+            .count()
+    }
+
+    /// Remove one copy of `fp` from `bucket` (the lowest-numbered matching slot; the
+    /// copies are adjacent in canonical order, so which copy is immaterial). Returns
+    /// `true` if a copy was removed.
+    pub fn remove_one(&mut self, bucket: usize, fp: u16) -> bool {
+        debug_assert_ne!(fp, 0);
+        let mut slots = self.load_slots(bucket);
+        let Some(hit) = slots[..self.entries_per_bucket]
+            .iter()
+            .position(|&s| s == fp)
+        else {
+            return false;
+        };
+        slots[hit] = 0;
+        self.store_slots(bucket, &mut slots);
+        self.counts[bucket] -= 1;
+        self.occupied -= 1;
+        true
+    }
+
+    /// Empty `slot` of `bucket`, returning the fingerprint it held (0 if already
+    /// empty). The growth remap's move primitive. The bucket re-canonicalizes:
+    /// surviving entries below `slot` shift up by one (a new empty sorts to the
+    /// front), entries above `slot` keep their indices — which is what lets the remap
+    /// iterate slots in ascending order without revisiting or skipping an entry.
+    #[inline]
+    pub fn take(&mut self, bucket: usize, slot: usize) -> u16 {
+        debug_assert!(slot < self.entries_per_bucket);
+        let mut slots = self.load_slots(bucket);
+        let prev = slots[slot];
+        if prev == 0 {
+            return 0;
+        }
+        slots[slot] = 0;
+        self.store_slots(bucket, &mut slots);
+        self.counts[bucket] -= 1;
+        self.occupied -= 1;
+        prev
+    }
+
+    /// Replace the fingerprint at `slot` of `bucket` with `fp`, returning the previous
+    /// occupant — the "kick" primitive of cuckoo insertion (re-canonicalizing, as
+    /// every mutation does).
+    ///
+    /// # Panics
+    /// Panics (debug) if `fp == 0`; use [`SemisortBuckets::take`] to clear a slot.
+    #[inline]
+    pub fn swap(&mut self, bucket: usize, slot: usize, fp: u16) -> u16 {
+        debug_assert_ne!(fp, 0);
+        debug_assert!(slot < self.entries_per_bucket);
+        let mut slots = self.load_slots(bucket);
+        let prev = slots[slot];
+        slots[slot] = fp;
+        self.store_slots(bucket, &mut slots);
+        if prev == 0 {
+            self.counts[bucket] += 1;
+            self.occupied += 1;
+        }
+        prev
+    }
+
+    /// Iterate over the occupied fingerprints of `bucket` in canonical order.
+    pub fn iter_bucket(&self, bucket: usize) -> impl Iterator<Item = u16> {
+        let slots = self.load_slots(bucket);
+        (0..self.entries_per_bucket)
+            .map(move |s| slots[s])
+            .filter(|&fp| fp != 0)
+    }
+
+    /// The raw slots of `bucket` including empties, in canonical order.
+    pub fn bucket_slots(&self, bucket: usize) -> Vec<u16> {
+        self.load_slots(bucket)[..self.entries_per_bucket].to_vec()
+    }
+
+    /// Append `extra` empty buckets (capacity doubling passes `extra == num_buckets`).
+    /// The all-zero record is the canonical empty bucket (rank 0 = the all-zero prefix
+    /// multiset, zero remainders), so fresh zero words need no initialization pass.
+    pub fn extend_buckets(&mut self, extra: usize) {
+        self.counts.resize(self.counts.len() + extra, 0);
+        let total_bits = self.counts.len() * self.record_bits;
+        self.words.resize(total_bits.div_ceil(64) + 1, 0);
+    }
+
+    /// Recount occupancy from the raw records, bypassing the maintained counters (the
+    /// drift proptests compare this against [`SemisortBuckets::occupied`] /
+    /// [`SemisortBuckets::bucket_len`]; production paths never need it).
+    pub fn recount(&self) -> (usize, Vec<usize>) {
+        let per_bucket: Vec<usize> = (0..self.num_buckets())
+            .map(|bucket| {
+                let slots = self.load_slots(bucket);
+                slots[..self.entries_per_bucket]
+                    .iter()
+                    .filter(|&&fp| fp != 0)
+                    .count()
+            })
+            .collect();
+        (per_bucket.iter().sum(), per_bucket)
+    }
+}
+
+/// Spread up to four packed 12-bit remainders into bits 4.. of the four 16-bit SWAR
+/// lanes (bits 0..4 of each lane stay clear for the decoded prefix nibbles).
+#[inline(always)]
+fn spread_remainders(rems: u64) -> u64 {
+    ((rems & 0xFFF) << 4)
+        | (((rems >> 12) & 0xFFF) << 20)
+        | (((rems >> 24) & 0xFFF) << 36)
+        | (((rems >> 36) & 0xFFF) << 52)
+}
+
+/// Low `n` bits set (`n ≤ 64`).
+#[inline(always)]
+fn mask(n: u32) -> u64 {
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +708,200 @@ mod tests {
         let (r1, _) = encode_prefixes(&[0x012, 0x345, 0x678, 0x9AB]);
         let (r2, _) = encode_prefixes(&[0xFF8, 0xCC5, 0x112, 0x00B]);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn codec_tables_agree_with_the_combinatorial_codec() {
+        // The precomputed lane-spread table and suffix-sum ranker must agree with the
+        // public combinatorial codec at every rank, for every supported bucket width
+        // that stays cheap to sweep exhaustively.
+        for b in 1..=4usize {
+            let codec = SemisortCodec::new(b);
+            for rank in 0..multiset_count(16, b) {
+                let expected = decode_prefixes(rank, b);
+                let base = rank as usize * codec.lane_words;
+                let decoded: Vec<u16> = (0..b)
+                    .map(|i| ((codec.prefix_words[base + i / 4] >> (16 * (i % 4))) & 0xF) as u16)
+                    .collect();
+                assert_eq!(decoded, expected, "b={b} rank={rank}");
+                assert_eq!(codec.rank_of(&decoded), rank, "b={b} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_bits_beat_packed_words() {
+        // b = 4: 12-bit rank + 4×12-bit remainders = 60 bits vs the packed word's 64.
+        let s = SemisortBuckets::new(8, 4);
+        assert_eq!(s.record_bits(), 60);
+        // b = 8: 19 + 96 = 115 bits vs the packed layout's 128.
+        assert_eq!(SemisortBuckets::new(8, 8).record_bits(), 115);
+        // b = 2: 8 + 24 = 32 bits vs a half-used 64-bit word.
+        assert_eq!(SemisortBuckets::new(8, 2).record_bits(), 32);
+    }
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut s = SemisortBuckets::new(4, 4);
+        assert!(s.try_insert(1, 0xABC));
+        assert!(s.try_insert(1, 0x00B));
+        assert!(s.try_insert(1, 0xABC));
+        assert_eq!(s.bucket_len(1), 3);
+        assert!(s.contains(1, 0xABC) && s.contains(1, 0x00B));
+        assert!(!s.contains(1, 0xABD) && !s.contains(1, 0xAB));
+        assert_eq!(s.count(1, 0xABC), 2);
+        assert!(s.remove_one(1, 0xABC));
+        assert_eq!(s.count(1, 0xABC), 1);
+        assert!(s.remove_one(1, 0xABC));
+        assert!(!s.remove_one(1, 0xABC));
+        assert!(s.contains(1, 0x00B));
+        assert_eq!(s.occupied(), 1);
+    }
+
+    #[test]
+    fn slots_stay_canonically_sorted() {
+        let mut s = SemisortBuckets::new(2, 4);
+        // Prefix order, not value order: 0x021 (prefix 1) sorts before 0x012
+        // (prefix 2) even though 0x012 < 0x021 as integers.
+        for fp in [0x012u16, 0x021, 0xFF1] {
+            assert!(s.try_insert(0, fp));
+        }
+        assert_eq!(s.bucket_slots(0), vec![0, 0x021, 0xFF1, 0x012]);
+        // Removal and reinsertion keep the canonical order.
+        assert!(s.remove_one(0, 0x021));
+        assert_eq!(s.bucket_slots(0), vec![0, 0, 0xFF1, 0x012]);
+    }
+
+    #[test]
+    fn full_bucket_rejects_and_neighbors_are_untouched() {
+        let mut s = SemisortBuckets::new(3, 2);
+        assert!(s.try_insert(1, 1));
+        assert!(s.try_insert(1, 2));
+        assert!(s.is_full(1));
+        assert!(!s.try_insert(1, 3));
+        assert!(s.is_bucket_empty(0) && s.is_bucket_empty(2));
+        assert_eq!(s.occupied(), 2);
+    }
+
+    #[test]
+    fn swap_and_take_maintain_counters_and_canonical_order() {
+        let mut s = SemisortBuckets::new(1, 4);
+        for fp in [0x101u16, 0x202, 0x303, 0x404] {
+            assert!(s.try_insert(0, fp));
+        }
+        // Swap out whatever canonical slot 2 holds.
+        let victim = s.get(0, 2);
+        assert_eq!(s.swap(0, 2, 0x505), victim);
+        assert!(!s.contains(0, victim));
+        assert!(s.contains(0, 0x505));
+        assert_eq!(s.bucket_len(0), 4);
+        // Take drains one slot; a new empty sorts to the front.
+        let taken = s.take(0, 3);
+        assert_ne!(taken, 0);
+        assert_eq!(s.bucket_len(0), 3);
+        assert_eq!(s.get(0, 0), 0);
+        assert_eq!(s.take(0, 0), 0, "taking an empty slot yields 0");
+        // Swapping into an empty slot occupies it.
+        assert_eq!(s.swap(0, 0, 0x666), 0);
+        assert_eq!(s.bucket_len(0), 4);
+    }
+
+    #[test]
+    fn extend_buckets_appends_canonical_empty_records() {
+        let mut s = SemisortBuckets::new(2, 4);
+        assert!(s.try_insert(1, 0x99));
+        s.extend_buckets(2);
+        assert_eq!(s.num_buckets(), 4);
+        assert!(s.is_bucket_empty(2) && s.is_bucket_empty(3));
+        assert_eq!(s.bucket_slots(3), vec![0, 0, 0, 0]);
+        assert!(s.contains(1, 0x99));
+        // The fresh buckets accept inserts (their records decode as rank 0).
+        assert!(s.try_insert(3, 0x77));
+        assert!(s.contains(3, 0x77));
+        let (total, _) = s.recount();
+        assert_eq!(total, s.occupied());
+    }
+
+    #[test]
+    fn records_straddle_word_boundaries_without_corruption() {
+        // b = 4 → 60-bit records: bucket k starts at bit 60k, so every second record
+        // straddles a word boundary. Fill many buckets and verify per-bucket isolation.
+        let mut s = SemisortBuckets::new(64, 4);
+        for bucket in 0..64 {
+            for copy in 0..4u16 {
+                assert!(s.try_insert(bucket, 0x100 + bucket as u16 * 4 + copy));
+            }
+        }
+        for bucket in 0..64usize {
+            for copy in 0..4u16 {
+                let fp = 0x100 + bucket as u16 * 4 + copy;
+                assert!(s.contains(bucket, fp), "bucket {bucket} lost {fp:#x}");
+                assert_eq!(s.count(bucket, fp), 1);
+            }
+            assert!(!s.contains(bucket, 0x099), "bucket {bucket} false positive");
+        }
+        let (total, per_bucket) = s.recount();
+        assert_eq!(total, 256);
+        assert!(per_bucket.iter().all(|&n| n == 4));
+    }
+
+    #[test]
+    fn all_bucket_widths_roundtrip_adversarial_values() {
+        // Every supported b, including rank fields that straddle words (b = 8 has
+        // 115-bit records), against boundary fingerprint values.
+        for b in 1..=MAX_SEMISORT_ENTRIES {
+            let mut s = SemisortBuckets::new(7, b);
+            let fps: Vec<u16> = [
+                0x0001u16, 0xFFFF, 0x8000, 0x7FFF, 0x000F, 0xFFF0, 0x0010, 0x1000,
+            ][..b]
+                .to_vec();
+            for &fp in &fps {
+                assert!(s.try_insert(5, fp), "b={b}: insert {fp:#x}");
+            }
+            assert!(s.is_full(5), "b={b}");
+            for &fp in &fps {
+                assert!(s.contains(5, fp), "b={b}: lost {fp:#x}");
+                assert!(s.contains_pair(5, 6, fp));
+            }
+            for absent in [0x0002u16, 0xFFFE, 0x8001, 0x00F0] {
+                if !fps.contains(&absent) {
+                    assert!(!s.contains(5, absent), "b={b}: false hit {absent:#x}");
+                }
+            }
+            for &fp in &fps {
+                assert!(s.remove_one(5, fp));
+            }
+            assert!(s.is_bucket_empty(5), "b={b}");
+        }
+    }
+
+    #[test]
+    fn heap_bytes_report_the_compression() {
+        // At b = 4 and large m: packed spends 64 + 8 bits per bucket, semisort
+        // 60 + 8 — exactly bits_saved_per_entry(4) = 1 bit per slot cheaper.
+        let m = 1 << 12;
+        let packed = crate::PackedBuckets::new(m, 4);
+        let semi = SemisortBuckets::new(m, 4);
+        let packed_bits_per_slot = packed.heap_bytes() as f64 * 8.0 / (m * 4) as f64;
+        let semi_bits_per_slot = semi.heap_bytes() as f64 * 8.0 / (m * 4) as f64;
+        assert!(
+            packed_bits_per_slot - semi_bits_per_slot >= 0.99,
+            "expected ≥ 1 stored bit/entry saving, got packed {packed_bits_per_slot} \
+             vs semisort {semi_bits_per_slot}"
+        );
+        // The shared tables are small constant-size metadata, not per-bucket storage.
+        assert!(semi.table_bytes() < 64 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        let _ = SemisortBuckets::new(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 8 entries per bucket")]
+    fn oversized_buckets_rejected() {
+        let _ = SemisortBuckets::new(4, 9);
     }
 }

@@ -1,0 +1,460 @@
+//! The pluggable bucket-storage abstraction behind [`crate::CuckooFilter`].
+//!
+//! Every filter operation touches bucket storage through exactly one interface:
+//! [`BucketStore`], implemented by two backends with identical *membership* semantics
+//! but different representations:
+//!
+//! * [`PackedBuckets`] — the default: four 16-bit fingerprint lanes per word, SWAR
+//!   whole-bucket compares, slot order preserved across mutations.
+//! * [`SemisortBuckets`] — the §4.2 semi-sorting encoding made operational: each
+//!   bucket's fingerprints are kept canonically sorted and their 4-bit prefixes are
+//!   stored as a single combinatorial rank, saving
+//!   [`crate::semisort::bits_saved_per_entry`]`(b)` bits per slot (1 bit at `b = 4`).
+//!
+//! The backends differ in *slot arrangement* (packed preserves insertion slots,
+//! semisort canonicalizes to sorted order), but every pair-level question a cuckoo
+//! filter asks — does this bucket pair hold κ, how many copies, remove one copy —
+//! answers identically, which is why a filter can swap representation without changing
+//! observable behavior as long as its insert paths succeed. The choice is a runtime
+//! [`StorageKind`] knob (an enum dispatch, [`AnyBuckets`]) rather than a generic
+//! parameter so one `CuckooFilter` type serves both backends and the builder facade
+//! can select storage from configuration.
+
+use crate::packed::PackedBuckets;
+use crate::semisort::SemisortBuckets;
+
+/// Which bucket-storage backend a filter uses.
+///
+/// Defaults to [`StorageKind::Packed`]. [`StorageKind::from_env`] lets a test harness
+/// flip the whole suite to the compressed backend via the `CCF_STORAGE` environment
+/// variable; parameter-struct `Default`s consult it so the CI storage matrix needs no
+/// per-test plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageKind {
+    /// Bit-packed 16-bit lanes with SWAR probes ([`PackedBuckets`]) — the default.
+    #[default]
+    Packed,
+    /// Semi-sorted buckets with rank-encoded 4-bit prefixes ([`SemisortBuckets`]),
+    /// saving [`crate::semisort::bits_saved_per_entry`]`(b)` stored bits per slot.
+    /// Requires `entries_per_bucket ≤` [`MAX_SEMISORT_ENTRIES`].
+    Semisort,
+}
+
+/// Widest bucket the semisort backend supports: the rank decode table has
+/// C(15 + b, b) entries, which stays cache-friendly up to `b = 8` (490 314 ranks,
+/// the paper's largest evaluated bucket) and grows combinatorially beyond it.
+pub const MAX_SEMISORT_ENTRIES: usize = 8;
+
+impl StorageKind {
+    /// Resolve the backend from the `CCF_STORAGE` environment variable:
+    /// `semisort` (or `compressed`) selects [`StorageKind::Semisort`]; anything else —
+    /// including unset — selects [`StorageKind::Packed`]. Read once and cached, so a
+    /// process cannot observe a mid-run flip.
+    pub fn from_env() -> Self {
+        static KIND: std::sync::OnceLock<StorageKind> = std::sync::OnceLock::new();
+        *KIND.get_or_init(|| match std::env::var("CCF_STORAGE").as_deref() {
+            Ok("semisort") | Ok("compressed") => StorageKind::Semisort,
+            _ => StorageKind::Packed,
+        })
+    }
+}
+
+impl std::fmt::Display for StorageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageKind::Packed => write!(f, "packed"),
+            StorageKind::Semisort => write!(f, "semisort"),
+        }
+    }
+}
+
+/// The storage interface a cuckoo filter drives: insert/kick (`try_insert`, `swap`),
+/// growth remap (`take`, `extend_buckets`), deletion (`remove_one`), the probe kernel
+/// (`prefetch`, `contains_pair`) and occupancy/size accounting.
+///
+/// # Slot semantics
+///
+/// Slot indices `0..entries_per_bucket` address a bucket's entries, but *which*
+/// fingerprint a given index holds is backend-defined: [`PackedBuckets`] preserves
+/// physical slots across mutations, while [`SemisortBuckets`] re-canonicalizes every
+/// bucket to `(prefix, remainder)`-sorted order (empties first). Callers may rely on
+/// slot indices only within the span between two mutations of that bucket — exactly
+/// how the kick loop and the growth remap use them. All *value*-level operations
+/// (`contains`, `count`, `remove_one`) are representation-independent.
+pub trait BucketStore {
+    /// Number of buckets.
+    fn num_buckets(&self) -> usize;
+    /// Slots per bucket (the `b` parameter).
+    fn entries_per_bucket(&self) -> usize;
+    /// Total occupied slots — O(1), maintained not scanned.
+    fn occupied(&self) -> usize;
+    /// Occupied slots in `bucket` — O(1).
+    fn bucket_len(&self, bucket: usize) -> usize;
+    /// Whether every slot of `bucket` is occupied — O(1).
+    fn is_full(&self, bucket: usize) -> bool;
+    /// Whether `bucket` has no occupied slots — O(1).
+    fn is_bucket_empty(&self, bucket: usize) -> bool;
+    /// Per-bucket occupancy counters, one byte per bucket, for
+    /// [`crate::OccupancyStats`] aggregation.
+    fn counts(&self) -> &[u8];
+    /// Best-effort prefetch of `bucket`'s backing words (the batch kernel's prefetch
+    /// pass); a pure performance hint.
+    fn prefetch(&self, bucket: usize);
+    /// Fingerprint stored at `slot` of `bucket` (0 if empty).
+    fn get(&self, bucket: usize, slot: usize) -> u16;
+    /// Insert `fp` into a free slot of `bucket`; `false` if the bucket is full.
+    fn try_insert(&mut self, bucket: usize, fp: u16) -> bool;
+    /// Whether `bucket` holds `fp`.
+    fn contains(&self, bucket: usize, fp: u16) -> bool;
+    /// Whether either bucket of a candidate pair holds `fp` — the whole-pair
+    /// membership probe.
+    fn contains_pair(&self, bucket: usize, alt: usize, fp: u16) -> bool;
+    /// Number of copies of `fp` in `bucket`.
+    fn count(&self, bucket: usize, fp: u16) -> usize;
+    /// Remove one copy of `fp` from `bucket`; `true` if a copy was removed.
+    fn remove_one(&mut self, bucket: usize, fp: u16) -> bool;
+    /// Empty `slot` of `bucket`, returning the fingerprint it held (0 if empty) — the
+    /// growth remap's move primitive.
+    fn take(&mut self, bucket: usize, slot: usize) -> u16;
+    /// Replace the fingerprint at `slot` of `bucket` with `fp`, returning the previous
+    /// occupant — the kick primitive.
+    fn swap(&mut self, bucket: usize, slot: usize, fp: u16) -> u16;
+    /// The slots of `bucket` including empties, in the backend's slot order.
+    fn bucket_slots(&self, bucket: usize) -> Vec<u16>;
+    /// Append `extra` empty buckets (capacity doubling passes `extra == num_buckets`).
+    fn extend_buckets(&mut self, extra: usize);
+    /// Recount occupancy from the raw representation, bypassing the maintained
+    /// counters (drift tests only).
+    fn recount(&self) -> (usize, Vec<usize>);
+    /// Actual allocated bytes of the bucket storage (backing words plus occupancy
+    /// counters; excludes constant-size shared metadata such as the semisort decode
+    /// table, which does not scale with the filter).
+    fn heap_bytes(&self) -> usize;
+}
+
+/// Runtime-dispatched bucket storage: the concrete backend behind a
+/// [`crate::CuckooFilter`], selected by [`StorageKind`] at construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyBuckets {
+    /// The default SWAR-probed packed layout.
+    Packed(PackedBuckets),
+    /// The semisort-compressed layout.
+    Semisort(SemisortBuckets),
+}
+
+impl AnyBuckets {
+    /// Create empty storage of the chosen backend.
+    ///
+    /// # Panics
+    /// Panics if `entries_per_bucket` is outside the chosen backend's supported range
+    /// (see [`PackedBuckets::new`] and [`SemisortBuckets::new`]).
+    pub fn new(kind: StorageKind, num_buckets: usize, entries_per_bucket: usize) -> Self {
+        match kind {
+            StorageKind::Packed => {
+                AnyBuckets::Packed(PackedBuckets::new(num_buckets, entries_per_bucket))
+            }
+            StorageKind::Semisort => {
+                AnyBuckets::Semisort(SemisortBuckets::new(num_buckets, entries_per_bucket))
+            }
+        }
+    }
+
+    /// Which backend this storage is.
+    pub fn kind(&self) -> StorageKind {
+        match self {
+            AnyBuckets::Packed(_) => StorageKind::Packed,
+            AnyBuckets::Semisort(_) => StorageKind::Semisort,
+        }
+    }
+}
+
+/// Delegate every [`BucketStore`] method to the active backend.
+macro_rules! dispatch {
+    ($self:ident, $s:ident => $e:expr) => {
+        match $self {
+            AnyBuckets::Packed($s) => $e,
+            AnyBuckets::Semisort($s) => $e,
+        }
+    };
+}
+
+impl BucketStore for AnyBuckets {
+    #[inline]
+    fn num_buckets(&self) -> usize {
+        dispatch!(self, s => s.num_buckets())
+    }
+    #[inline]
+    fn entries_per_bucket(&self) -> usize {
+        dispatch!(self, s => s.entries_per_bucket())
+    }
+    #[inline]
+    fn occupied(&self) -> usize {
+        dispatch!(self, s => s.occupied())
+    }
+    #[inline]
+    fn bucket_len(&self, bucket: usize) -> usize {
+        dispatch!(self, s => s.bucket_len(bucket))
+    }
+    #[inline]
+    fn is_full(&self, bucket: usize) -> bool {
+        dispatch!(self, s => s.is_full(bucket))
+    }
+    #[inline]
+    fn is_bucket_empty(&self, bucket: usize) -> bool {
+        dispatch!(self, s => s.is_bucket_empty(bucket))
+    }
+    #[inline]
+    fn counts(&self) -> &[u8] {
+        dispatch!(self, s => s.counts())
+    }
+    #[inline]
+    fn prefetch(&self, bucket: usize) {
+        dispatch!(self, s => s.prefetch(bucket))
+    }
+    #[inline]
+    fn get(&self, bucket: usize, slot: usize) -> u16 {
+        dispatch!(self, s => s.get(bucket, slot))
+    }
+    #[inline]
+    fn try_insert(&mut self, bucket: usize, fp: u16) -> bool {
+        dispatch!(self, s => s.try_insert(bucket, fp))
+    }
+    #[inline]
+    fn contains(&self, bucket: usize, fp: u16) -> bool {
+        dispatch!(self, s => s.contains(bucket, fp))
+    }
+    #[inline]
+    fn contains_pair(&self, bucket: usize, alt: usize, fp: u16) -> bool {
+        dispatch!(self, s => s.contains_pair(bucket, alt, fp))
+    }
+    #[inline]
+    fn count(&self, bucket: usize, fp: u16) -> usize {
+        dispatch!(self, s => s.count(bucket, fp))
+    }
+    #[inline]
+    fn remove_one(&mut self, bucket: usize, fp: u16) -> bool {
+        dispatch!(self, s => s.remove_one(bucket, fp))
+    }
+    #[inline]
+    fn take(&mut self, bucket: usize, slot: usize) -> u16 {
+        dispatch!(self, s => s.take(bucket, slot))
+    }
+    #[inline]
+    fn swap(&mut self, bucket: usize, slot: usize, fp: u16) -> u16 {
+        dispatch!(self, s => s.swap(bucket, slot, fp))
+    }
+    #[inline]
+    fn bucket_slots(&self, bucket: usize) -> Vec<u16> {
+        dispatch!(self, s => s.bucket_slots(bucket))
+    }
+    #[inline]
+    fn extend_buckets(&mut self, extra: usize) {
+        dispatch!(self, s => s.extend_buckets(extra))
+    }
+    fn recount(&self) -> (usize, Vec<usize>) {
+        dispatch!(self, s => s.recount())
+    }
+    fn heap_bytes(&self) -> usize {
+        dispatch!(self, s => s.heap_bytes())
+    }
+}
+
+impl BucketStore for PackedBuckets {
+    #[inline]
+    fn num_buckets(&self) -> usize {
+        PackedBuckets::num_buckets(self)
+    }
+    #[inline]
+    fn entries_per_bucket(&self) -> usize {
+        PackedBuckets::entries_per_bucket(self)
+    }
+    #[inline]
+    fn occupied(&self) -> usize {
+        PackedBuckets::occupied(self)
+    }
+    #[inline]
+    fn bucket_len(&self, bucket: usize) -> usize {
+        PackedBuckets::bucket_len(self, bucket)
+    }
+    #[inline]
+    fn is_full(&self, bucket: usize) -> bool {
+        PackedBuckets::is_full(self, bucket)
+    }
+    #[inline]
+    fn is_bucket_empty(&self, bucket: usize) -> bool {
+        PackedBuckets::is_bucket_empty(self, bucket)
+    }
+    #[inline]
+    fn counts(&self) -> &[u8] {
+        PackedBuckets::counts(self)
+    }
+    #[inline]
+    fn prefetch(&self, bucket: usize) {
+        PackedBuckets::prefetch(self, bucket)
+    }
+    #[inline]
+    fn get(&self, bucket: usize, slot: usize) -> u16 {
+        PackedBuckets::get(self, bucket, slot)
+    }
+    #[inline]
+    fn try_insert(&mut self, bucket: usize, fp: u16) -> bool {
+        PackedBuckets::try_insert(self, bucket, fp)
+    }
+    #[inline]
+    fn contains(&self, bucket: usize, fp: u16) -> bool {
+        PackedBuckets::contains(self, bucket, fp)
+    }
+    #[inline]
+    fn contains_pair(&self, bucket: usize, alt: usize, fp: u16) -> bool {
+        PackedBuckets::contains_pair(self, bucket, alt, fp)
+    }
+    #[inline]
+    fn count(&self, bucket: usize, fp: u16) -> usize {
+        PackedBuckets::count(self, bucket, fp)
+    }
+    #[inline]
+    fn remove_one(&mut self, bucket: usize, fp: u16) -> bool {
+        PackedBuckets::remove_one(self, bucket, fp)
+    }
+    #[inline]
+    fn take(&mut self, bucket: usize, slot: usize) -> u16 {
+        PackedBuckets::take(self, bucket, slot)
+    }
+    #[inline]
+    fn swap(&mut self, bucket: usize, slot: usize, fp: u16) -> u16 {
+        PackedBuckets::swap(self, bucket, slot, fp)
+    }
+    #[inline]
+    fn bucket_slots(&self, bucket: usize) -> Vec<u16> {
+        PackedBuckets::bucket_slots(self, bucket)
+    }
+    #[inline]
+    fn extend_buckets(&mut self, extra: usize) {
+        PackedBuckets::extend_buckets(self, extra)
+    }
+    fn recount(&self) -> (usize, Vec<usize>) {
+        PackedBuckets::recount(self)
+    }
+    fn heap_bytes(&self) -> usize {
+        PackedBuckets::heap_bytes(self)
+    }
+}
+
+impl BucketStore for SemisortBuckets {
+    #[inline]
+    fn num_buckets(&self) -> usize {
+        SemisortBuckets::num_buckets(self)
+    }
+    #[inline]
+    fn entries_per_bucket(&self) -> usize {
+        SemisortBuckets::entries_per_bucket(self)
+    }
+    #[inline]
+    fn occupied(&self) -> usize {
+        SemisortBuckets::occupied(self)
+    }
+    #[inline]
+    fn bucket_len(&self, bucket: usize) -> usize {
+        SemisortBuckets::bucket_len(self, bucket)
+    }
+    #[inline]
+    fn is_full(&self, bucket: usize) -> bool {
+        SemisortBuckets::is_full(self, bucket)
+    }
+    #[inline]
+    fn is_bucket_empty(&self, bucket: usize) -> bool {
+        SemisortBuckets::is_bucket_empty(self, bucket)
+    }
+    #[inline]
+    fn counts(&self) -> &[u8] {
+        SemisortBuckets::counts(self)
+    }
+    #[inline]
+    fn prefetch(&self, bucket: usize) {
+        SemisortBuckets::prefetch(self, bucket)
+    }
+    #[inline]
+    fn get(&self, bucket: usize, slot: usize) -> u16 {
+        SemisortBuckets::get(self, bucket, slot)
+    }
+    #[inline]
+    fn try_insert(&mut self, bucket: usize, fp: u16) -> bool {
+        SemisortBuckets::try_insert(self, bucket, fp)
+    }
+    #[inline]
+    fn contains(&self, bucket: usize, fp: u16) -> bool {
+        SemisortBuckets::contains(self, bucket, fp)
+    }
+    #[inline]
+    fn contains_pair(&self, bucket: usize, alt: usize, fp: u16) -> bool {
+        SemisortBuckets::contains_pair(self, bucket, alt, fp)
+    }
+    #[inline]
+    fn count(&self, bucket: usize, fp: u16) -> usize {
+        SemisortBuckets::count(self, bucket, fp)
+    }
+    #[inline]
+    fn remove_one(&mut self, bucket: usize, fp: u16) -> bool {
+        SemisortBuckets::remove_one(self, bucket, fp)
+    }
+    #[inline]
+    fn take(&mut self, bucket: usize, slot: usize) -> u16 {
+        SemisortBuckets::take(self, bucket, slot)
+    }
+    #[inline]
+    fn swap(&mut self, bucket: usize, slot: usize, fp: u16) -> u16 {
+        SemisortBuckets::swap(self, bucket, slot, fp)
+    }
+    #[inline]
+    fn bucket_slots(&self, bucket: usize) -> Vec<u16> {
+        SemisortBuckets::bucket_slots(self, bucket)
+    }
+    #[inline]
+    fn extend_buckets(&mut self, extra: usize) {
+        SemisortBuckets::extend_buckets(self, extra)
+    }
+    fn recount(&self) -> (usize, Vec<usize>) {
+        SemisortBuckets::recount(self)
+    }
+    fn heap_bytes(&self) -> usize {
+        SemisortBuckets::heap_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips_through_any_buckets() {
+        let p = AnyBuckets::new(StorageKind::Packed, 4, 4);
+        assert_eq!(p.kind(), StorageKind::Packed);
+        let s = AnyBuckets::new(StorageKind::Semisort, 4, 4);
+        assert_eq!(s.kind(), StorageKind::Semisort);
+        assert_eq!(StorageKind::default(), StorageKind::Packed);
+    }
+
+    #[test]
+    fn dispatch_reaches_both_backends() {
+        for kind in [StorageKind::Packed, StorageKind::Semisort] {
+            let mut b = AnyBuckets::new(kind, 2, 4);
+            assert!(b.try_insert(0, 0x123));
+            assert!(b.contains(0, 0x123));
+            assert!(b.contains_pair(1, 0, 0x123));
+            assert_eq!(b.count(0, 0x123), 1);
+            assert_eq!(b.occupied(), 1);
+            assert_eq!(b.counts(), &[1, 0]);
+            assert!(b.remove_one(0, 0x123));
+            assert!(b.is_bucket_empty(0));
+            b.extend_buckets(2);
+            assert_eq!(b.num_buckets(), 4);
+            assert!(b.heap_bytes() > 0, "{kind}: storage must report its bytes");
+        }
+    }
+
+    #[test]
+    fn display_matches_env_spelling() {
+        assert_eq!(StorageKind::Packed.to_string(), "packed");
+        assert_eq!(StorageKind::Semisort.to_string(), "semisort");
+    }
+}

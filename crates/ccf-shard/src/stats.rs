@@ -123,7 +123,10 @@ mod tests {
     use super::*;
 
     fn snapshot(counts: Vec<usize>, b: usize, growth_bits: u32, fpr: f64) -> ShardSnapshot {
+        // Pretend each shard stores 2 heap bytes per slot so aggregation of the
+        // heap estimate is observable in the tests below.
         let occupancy = OccupancyStats::from_counts(counts, b);
+        let occupancy = occupancy.with_heap_bytes(occupancy.capacity() * 2);
         ShardSnapshot {
             occupancy,
             growth: GrowthStats {
@@ -149,6 +152,8 @@ mod tests {
         assert_eq!(stats.total_doublings(), 1);
         assert!((stats.load_factor() - 14.0 / 32.0).abs() < 1e-12);
         assert!((stats.expected_key_fpr() - 0.02).abs() < 1e-12);
+        // Heap bytes sum across shards through `OccupancyStats::merge`.
+        assert_eq!(stats.occupancy.heap_bytes, 2 * 16 * 2);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use conditional_cuckoo_filters::ccf::sizing::VariantKind;
 use conditional_cuckoo_filters::ccf::{
     AnyCcf, CcfParams, ConditionalFilter, DeleteFailure, InsertOutcome, Predicate,
 };
-use conditional_cuckoo_filters::cuckoo::{CuckooFilter, CuckooFilterParams};
+use conditional_cuckoo_filters::cuckoo::{CuckooFilter, CuckooFilterParams, StorageKind};
 use conditional_cuckoo_filters::shard::ShardedCcf;
 
 /// FNV-style fold of one event bit into the stream digest.
@@ -170,12 +170,18 @@ const GOLDEN_CUCKOO_DIGEST: u64 = 0xE5FA896E29FD7FAA;
 
 #[test]
 fn cuckoo_filter_stream_is_bit_identical_to_the_word_sized_layout() {
+    // Storage is pinned to packed regardless of the `CCF_STORAGE` matrix: the golden
+    // digest folds *per-bucket* occupancy (full/empty bucket counts), and while both
+    // backends answer every membership question identically, their kick loops evict
+    // different victims (semisort buckets re-canonicalize slot order), so bucket-level
+    // occupancy distributions legitimately differ between backends.
     let mut f = CuckooFilter::new(CuckooFilterParams {
         num_buckets: 1 << 9,
         entries_per_bucket: 4,
         fingerprint_bits: 12,
         seed: 0xBEEF,
         auto_grow: false,
+        storage: StorageKind::Packed,
     });
     let mut digest = 0xCBF29CE484222325u64;
     // Fill to ~90 % load, with duplicates sprinkled in.
