@@ -6,16 +6,18 @@
 //! (`--runs 20` reproduces the paper's averaging; the default of 5 keeps the run short.)
 
 use ccf_bench::multiset_experiments::{
-    averaged_load_factor, MultisetConfig, MultisetFilter, StreamKind,
+    averaged_load_factor_with, MultisetConfig, MultisetFilter, StreamKind,
 };
 use ccf_bench::report::{f3, header, TextTable};
 use ccf_bench::{arg_value, DEFAULT_SEED};
+use ccf_telemetry::Telemetry;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let runs: usize = arg_value(&args, "--runs", 5);
     let num_buckets: usize = arg_value(&args, "--buckets", 1 << 10);
     let seed: u64 = arg_value(&args, "--seed", DEFAULT_SEED);
+    let telemetry = Telemetry::enabled();
 
     header(
         "Figure 4 — load factor at first failed insertion",
@@ -42,7 +44,7 @@ fn main() {
                 TextTable::new(["avg dupes", "chained load factor", "plain load factor"]);
             for &avg in &duplicate_settings {
                 let run = |filter| {
-                    averaged_load_factor(
+                    averaged_load_factor_with(
                         &MultisetConfig {
                             filter,
                             stream,
@@ -53,6 +55,7 @@ fn main() {
                             seed,
                         },
                         runs,
+                        &telemetry,
                     )
                 };
                 let chained = run(MultisetFilter::Chained);
@@ -71,4 +74,6 @@ fn main() {
          ≈0.87 at b=6) as duplicates grow, while the plain filter collapses — almost\n\
          immediately under the Zipf-Mandelbrot distribution."
     );
+    println!("--- telemetry (aggregated across the whole sweep) ---");
+    print!("{}", telemetry.render_table());
 }

@@ -3,13 +3,15 @@
 //!
 //! Usage: `cargo run --release -p ccf-bench --bin figure5 [--seed N]`
 
-use ccf_bench::multiset_experiments::{bit_efficiency_point, StreamKind};
+use ccf_bench::multiset_experiments::{bit_efficiency_point_with, StreamKind};
 use ccf_bench::report::{f3, header, TextTable};
 use ccf_bench::{arg_value, DEFAULT_SEED};
+use ccf_telemetry::Telemetry;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let seed: u64 = arg_value(&args, "--seed", DEFAULT_SEED);
+    let telemetry = Telemetry::enabled();
 
     header(
         "Figure 5 — bit efficiency vs fill, by maxDupe (d)",
@@ -44,7 +46,7 @@ fn main() {
         ]);
         for d in [2usize, 4, 6, 8, 10] {
             for &fill in &fills {
-                let p = bit_efficiency_point(stream, 8.0, d, fill, 1 << 11, seed);
+                let p = bit_efficiency_point_with(stream, 8.0, d, fill, 1 << 11, seed, &telemetry);
                 table.row([
                     d.to_string(),
                     format!("{:.0}%", fill * 100.0),
@@ -61,4 +63,6 @@ fn main() {
          best efficiency (the paper reports ≈1.9 for an optimized chained filter), and very low\n\
          fill wastes bits regardless of d."
     );
+    println!("--- telemetry (aggregated across the whole sweep) ---");
+    print!("{}", telemetry.render_table());
 }

@@ -15,6 +15,7 @@
 //! | [`growth_experiments`] | beyond the paper: auto-grow cost and batched-probe throughput |
 //! | [`sharded_experiments`] | beyond the paper: sharded-service batch-probe scaling |
 //! | [`churn_experiments`] | beyond the paper: sliding-window insert/delete churn |
+//! | [`telemetry_experiments`] | beyond the paper: the `telemetry_report` exposition workload |
 //! | [`report`] | plain-text table formatting shared by the binaries |
 
 #![forbid(unsafe_code)]
@@ -28,6 +29,7 @@ pub mod multiset_experiments;
 pub mod report;
 pub mod sharded_experiments;
 pub mod sizing_experiments;
+pub mod telemetry_experiments;
 
 /// Default seed used by every experiment binary (override with `--seed N`).
 pub const DEFAULT_SEED: u64 = 0xCCF_2020;

@@ -8,6 +8,7 @@
 //! over 20 runs using random salts for the hash functions."
 
 use ccf_core::{CcfParams, ChainedCcf, ConditionalFilter, PlainCcf};
+use ccf_telemetry::Telemetry;
 use ccf_workloads::multiset::{DuplicateDistribution, MultisetStream, Row};
 
 /// Which filter the multiset experiments compare (Figure 4's `type` facet).
@@ -115,26 +116,57 @@ fn run_until_failure<F: ConditionalFilter>(filter: &mut F, rows: &[Row]) -> Fail
 /// Run one Figure 4 cell: build the filter, generate a stream 20 % above capacity, and
 /// insert until the first failure.
 pub fn load_factor_at_failure(config: &MultisetConfig) -> FailurePoint {
+    load_factor_at_failure_with(config, &Telemetry::disabled())
+}
+
+/// As [`load_factor_at_failure`], with the cell's filter attached to a telemetry
+/// registry — the figure bins use this so kick-depth and outcome distributions print
+/// alongside the load-factor table (variant labels keep plain/chained series apart).
+pub fn load_factor_at_failure_with(config: &MultisetConfig, telemetry: &Telemetry) -> FailurePoint {
     let params = config.params();
     let capacity = params.num_buckets.next_power_of_two() * params.entries_per_bucket;
     let rows = config.stream().generate_for_capacity(capacity);
     match config.filter {
-        MultisetFilter::Plain => run_until_failure(&mut PlainCcf::new(params), &rows),
-        MultisetFilter::Chained => run_until_failure(&mut ChainedCcf::new(params), &rows),
+        MultisetFilter::Plain => {
+            let mut filter = PlainCcf::new(params);
+            if telemetry.is_enabled() {
+                filter.attach_telemetry(telemetry, &[]);
+            }
+            run_until_failure(&mut filter, &rows)
+        }
+        MultisetFilter::Chained => {
+            let mut filter = ChainedCcf::new(params);
+            if telemetry.is_enabled() {
+                filter.attach_telemetry(telemetry, &[]);
+            }
+            run_until_failure(&mut filter, &rows)
+        }
     }
 }
 
 /// Run one Figure 4 cell averaged over `runs` random salts.
 pub fn averaged_load_factor(config: &MultisetConfig, runs: usize) -> FailurePoint {
+    averaged_load_factor_with(config, runs, &Telemetry::disabled())
+}
+
+/// As [`averaged_load_factor`], threading a telemetry registry through every run.
+pub fn averaged_load_factor_with(
+    config: &MultisetConfig,
+    runs: usize,
+    telemetry: &Telemetry,
+) -> FailurePoint {
     assert!(runs >= 1);
     let mut load = 0.0;
     let mut rows = 0usize;
     let mut any_failed = false;
     for r in 0..runs {
-        let point = load_factor_at_failure(&MultisetConfig {
-            seed: config.seed.wrapping_add(r as u64 * 7919),
-            ..*config
-        });
+        let point = load_factor_at_failure_with(
+            &MultisetConfig {
+                seed: config.seed.wrapping_add(r as u64 * 7919),
+                ..*config
+            },
+            telemetry,
+        );
         load += point.load_factor;
         rows += point.rows_absorbed;
         any_failed |= point.failed;
@@ -171,6 +203,28 @@ pub fn bit_efficiency_point(
     num_buckets: usize,
     seed: u64,
 ) -> EfficiencyPoint {
+    bit_efficiency_point_with(
+        stream_kind,
+        avg_duplicates,
+        max_dupes,
+        target_fill,
+        num_buckets,
+        seed,
+        &Telemetry::disabled(),
+    )
+}
+
+/// As [`bit_efficiency_point`], with the filter attached to a telemetry registry.
+#[allow(clippy::too_many_arguments)]
+pub fn bit_efficiency_point_with(
+    stream_kind: StreamKind,
+    avg_duplicates: f64,
+    max_dupes: usize,
+    target_fill: f64,
+    num_buckets: usize,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> EfficiencyPoint {
     let params = CcfParams {
         num_buckets,
         entries_per_bucket: (2 * max_dupes).max(4),
@@ -187,6 +241,9 @@ pub fn bit_efficiency_point(
         ..CcfParams::default()
     };
     let mut filter = ChainedCcf::new(params);
+    if telemetry.is_enabled() {
+        filter.attach_telemetry(telemetry, &[]);
+    }
     let dist = match stream_kind {
         StreamKind::Constant => {
             DuplicateDistribution::Constant(avg_duplicates.round().max(1.0) as u64)

@@ -1,5 +1,5 @@
 //! Smoke tests for the experiment binaries (the 13 paper artefacts plus the
-//! growth/batch, sharded-throughput and churn harnesses): each one must run to completion at a minimal workload scale
+//! growth/batch, sharded-throughput, churn and telemetry-report harnesses): each one must run to completion at a minimal workload scale
 //! and produce non-empty tabular output. For `growth_batch` this also re-verifies the
 //! bit-identity and zero-failure contracts at smoke scale, so the growth/batch bench
 //! cannot silently rot.
@@ -21,6 +21,10 @@ const SMOKE_ARGS: &[&str] = &[
     "2",
     "--buckets",
     "512",
+    "--keys",
+    "64",
+    "--probes",
+    "64",
     "--seed",
     "7",
 ];
@@ -74,4 +78,5 @@ bin_smoke_tests!(
     compressed_probe,
     sharded_throughput,
     churn,
+    telemetry_report,
 );

@@ -17,17 +17,16 @@ use ccf_cuckoo::geometry::{prefetch_index, probe_chunked};
 use ccf_cuckoo::CuckooFilter;
 use ccf_cuckoo::{GrowthStats, OccupancyStats};
 use ccf_hash::{Fingerprinter, HashFamily, SaltedHasher};
+use ccf_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::attr::match_raw_bloom;
+use crate::instruments::CcfInstruments;
 use crate::key::FilterKey;
 use crate::outcome::{DeleteFailure, InsertFailure, InsertOutcome};
 use crate::params::{CcfParams, ParamsError};
 use crate::predicate::Predicate;
-
-/// Maximum kick rounds before an insertion is reported as failed.
-const MAX_KICKS: usize = 500;
 
 /// One entry: a key fingerprint plus the Bloom sketch of all its rows' attributes.
 #[derive(Debug, Clone)]
@@ -49,6 +48,7 @@ pub struct BloomCcf {
     rng: StdRng,
     occupied: usize,
     rows_absorbed: usize,
+    instruments: CcfInstruments,
 }
 
 impl BloomCcf {
@@ -80,8 +80,22 @@ impl BloomCcf {
             rng: StdRng::seed_from_u64(params.seed ^ 0xB100),
             occupied: 0,
             rows_absorbed: 0,
+            instruments: CcfInstruments::disabled(),
             params,
         })
+    }
+
+    /// Resolve this filter's [`CcfInstruments`] against `telemetry` (series get
+    /// `variant="bloom"` plus `extra` labels). Call once; hot paths then record
+    /// through pre-resolved handles. The Bloom variant never grows or rolls back
+    /// via retry, so its grow counter stays at zero by construction.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry, extra: &[(&str, &str)]) {
+        self.instruments = CcfInstruments::resolve(telemetry, "bloom", extra);
+    }
+
+    /// The telemetry bundle events are recorded into (disabled by default).
+    pub fn instruments(&self) -> &CcfInstruments {
+        &self.instruments
     }
 
     /// The hasher typed keys are lowered with ([`FilterKey::lower`]); see
@@ -180,7 +194,15 @@ impl BloomCcf {
         key: u64,
         attrs: &[u64],
     ) -> Result<InsertOutcome, InsertFailure> {
-        self.params.check_arity(attrs)?;
+        let result = match self.params.check_arity(attrs) {
+            Ok(()) => self.try_insert_row(key, attrs),
+            Err(e) => Err(e),
+        };
+        self.instruments.record_insert(&result);
+        result
+    }
+
+    fn try_insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
         let (fp, l) = self
             .fingerprinter
             .fingerprint_and_bucket(key, self.buckets.len());
@@ -205,17 +227,19 @@ impl BloomCcf {
         if self.buckets[l].len() < b {
             self.buckets[l].push(entry);
             self.occupied += 1;
+            self.instruments.kick_depth.observe(0);
             return Ok(InsertOutcome::Inserted);
         }
         if self.buckets[l_alt].len() < b {
             self.buckets[l_alt].push(entry);
             self.occupied += 1;
+            self.instruments.kick_depth.observe(0);
             return Ok(InsertOutcome::Inserted);
         }
         let mut carried = entry;
         let mut bucket = if self.rng.gen_bool(0.5) { l } else { l_alt };
         let mut swaps: Vec<(usize, usize)> = Vec::new();
-        for _ in 0..MAX_KICKS {
+        for _ in 0..self.params.max_kicks {
             let slot = self.rng.gen_range(0..b);
             std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
             swaps.push((bucket, slot));
@@ -223,9 +247,12 @@ impl BloomCcf {
             if self.buckets[bucket].len() < b {
                 self.buckets[bucket].push(carried);
                 self.occupied += 1;
+                self.instruments.kick_depth.observe(swaps.len() as u64);
                 return Ok(InsertOutcome::Inserted);
             }
         }
+        self.instruments.kick_depth.observe(swaps.len() as u64);
+        self.instruments.rollbacks.inc();
         for (bucket, slot) in swaps.into_iter().rev() {
             std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
         }
@@ -252,6 +279,8 @@ impl BloomCcf {
         _key: u64,
         _attrs: &[u64],
     ) -> Result<bool, DeleteFailure> {
+        self.instruments
+            .record_delete(&Err(DeleteFailure::Unsupported));
         Err(DeleteFailure::Unsupported)
     }
 
@@ -265,6 +294,8 @@ impl BloomCcf {
 
     /// [`BloomCcf::delete_key`] on already-lowered key material (also unsupported).
     pub fn delete_key_prehashed(&mut self, _key: u64) -> Result<bool, DeleteFailure> {
+        self.instruments
+            .record_delete(&Err(DeleteFailure::Unsupported));
         Err(DeleteFailure::Unsupported)
     }
 
@@ -274,7 +305,11 @@ impl BloomCcf {
         rows: &[(K, A)],
     ) -> Vec<Result<bool, DeleteFailure>> {
         rows.iter()
-            .map(|_| Err(DeleteFailure::Unsupported))
+            .map(|_| {
+                self.instruments
+                    .record_delete(&Err(DeleteFailure::Unsupported));
+                Err(DeleteFailure::Unsupported)
+            })
             .collect()
     }
 
@@ -284,7 +319,7 @@ impl BloomCcf {
         rows: &[(u64, &[u64])],
     ) -> Vec<Result<bool, DeleteFailure>> {
         rows.iter()
-            .map(|_| Err(DeleteFailure::Unsupported))
+            .map(|&(key, attrs)| self.delete_row_prehashed(key, attrs))
             .collect()
     }
 
@@ -294,14 +329,18 @@ impl BloomCcf {
         keys: &[K],
     ) -> Vec<Result<bool, DeleteFailure>> {
         keys.iter()
-            .map(|_| Err(DeleteFailure::Unsupported))
+            .map(|_| {
+                self.instruments
+                    .record_delete(&Err(DeleteFailure::Unsupported));
+                Err(DeleteFailure::Unsupported)
+            })
             .collect()
     }
 
     /// [`BloomCcf::delete_key_batch`] on already-lowered key material.
     pub fn delete_key_batch_prehashed(&mut self, keys: &[u64]) -> Vec<Result<bool, DeleteFailure>> {
         keys.iter()
-            .map(|_| Err(DeleteFailure::Unsupported))
+            .map(|&key| self.delete_key_prehashed(key))
             .collect()
     }
 
@@ -315,7 +354,9 @@ impl BloomCcf {
     /// [`BloomCcf::query`] on already-lowered key material.
     pub fn query_prehashed(&self, key: u64, pred: &Predicate) -> bool {
         let (fp, l, l_alt) = self.pair_of(key);
-        self.query_pair(fp, l, l_alt, pred)
+        let hit = self.query_pair(fp, l, l_alt, pred);
+        self.instruments.record_query(hit);
+        hit
     }
 
     /// The probe shared by [`BloomCcf::query`] and [`BloomCcf::query_batch`], so the
@@ -338,12 +379,14 @@ impl BloomCcf {
 
     /// [`BloomCcf::query_batch`] on already-lowered key material.
     pub fn query_batch_prehashed(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
-        probe_chunked(
+        let hits = probe_chunked(
             keys,
             |key| self.pair_of(key),
             |bucket| prefetch_index(&self.buckets, bucket),
             |fp, l, l_alt| self.query_pair(fp, l, l_alt, pred),
-        )
+        );
+        self.instruments.record_query_batch(&hits);
+        hits
     }
 
     /// Key-only membership query — identical to a regular cuckoo filter (§7.1).

@@ -23,6 +23,8 @@
 //! # Ok::<(), ccf_core::CcfError>(())
 //! ```
 
+use ccf_telemetry::Telemetry;
+
 use crate::params::{CcfParams, ParamsError};
 use crate::sizing::VariantKind;
 use crate::variant::AnyCcf;
@@ -36,6 +38,7 @@ pub struct CcfBuilder {
     params: CcfParams,
     expected_rows: Option<usize>,
     target_load: f64,
+    telemetry: Telemetry,
 }
 
 impl Default for CcfBuilder {
@@ -55,6 +58,7 @@ impl CcfBuilder {
             params: CcfParams::default(),
             expected_rows: None,
             target_load: 0.85,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -159,6 +163,24 @@ impl CcfBuilder {
         self
     }
 
+    /// Maximum kick (evict-and-reinsert) rounds per insertion before the attempt is
+    /// declared failed (default 500; `build()` rejects 0 as
+    /// [`ParamsError::ZeroMaxKicks`]).
+    pub fn max_kicks(mut self, max_kicks: usize) -> Self {
+        self.params.max_kicks = max_kicks;
+        self
+    }
+
+    /// Record the built filter's events into `telemetry`
+    /// ([`crate::CcfInstruments`]: insert/query/delete outcomes, kick depths,
+    /// grows, rollbacks — labelled `variant="..."`). The handle is an `Arc` clone;
+    /// the default disabled handle keeps every recording to a single branch, so
+    /// untouched callers pay nothing.
+    pub fn telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
     /// Bits per Bloom attribute sketch (Bloom variant).
     pub fn bloom_bits(mut self, bits: usize) -> Self {
         self.params.bloom_bits = bits;
@@ -205,9 +227,14 @@ impl CcfBuilder {
         crate::Predicate::for_params(&self.params)
     }
 
-    /// Build the filter.
+    /// Build the filter (attaching telemetry when [`CcfBuilder::telemetry`] was
+    /// given an enabled handle).
     pub fn build(&self) -> Result<AnyCcf, ParamsError> {
-        AnyCcf::try_new(self.variant, self.build_params()?)
+        let mut filter = AnyCcf::try_new(self.variant, self.build_params()?)?;
+        if self.telemetry.is_enabled() {
+            filter.attach_telemetry(&self.telemetry, &[]);
+        }
+        Ok(filter)
     }
 }
 

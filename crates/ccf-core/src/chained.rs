@@ -21,17 +21,16 @@ use ccf_cuckoo::geometry::{
 };
 use ccf_cuckoo::{GrowthStats, OccupancyStats};
 use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily, SaltedHasher};
+use ccf_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::attr::match_fingerprint_vector;
+use crate::instruments::CcfInstruments;
 use crate::key::FilterKey;
 use crate::outcome::{DeleteFailure, InsertFailure, InsertOutcome};
 use crate::params::{CcfParams, ParamsError};
 use crate::predicate::Predicate;
-
-/// Maximum kick rounds before an insertion is reported as failed.
-const MAX_KICKS: usize = 500;
 
 /// Safety cap on the number of bucket pairs a single insert/query may walk when
 /// `Lmax = ∞`; in practice chains stay short, and hitting this indicates a saturated
@@ -61,6 +60,7 @@ pub struct ChainedCcf {
     rows_absorbed: usize,
     rows_dropped: usize,
     max_chain_seen: usize,
+    instruments: CcfInstruments,
 }
 
 impl ChainedCcf {
@@ -91,8 +91,21 @@ impl ChainedCcf {
             rows_absorbed: 0,
             rows_dropped: 0,
             max_chain_seen: 0,
+            instruments: CcfInstruments::disabled(),
             params,
         })
+    }
+
+    /// Resolve this filter's [`CcfInstruments`] against `telemetry` (series get
+    /// `variant="chained"` plus `extra` labels, and the chain-walk histogram is
+    /// enabled). Call once; hot paths then record through pre-resolved handles.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry, extra: &[(&str, &str)]) {
+        self.instruments = CcfInstruments::resolve_chained(telemetry, "chained", extra);
+    }
+
+    /// The telemetry bundle events are recorded into (disabled by default).
+    pub fn instruments(&self) -> &CcfInstruments {
+        &self.instruments
     }
 
     /// The hasher typed keys are lowered with ([`FilterKey::lower`]); see
@@ -230,6 +243,7 @@ impl ChainedCcf {
     /// saturation counts and every chain walk, and cannot fail. No original keys (and
     /// no chain re-walking) are needed.
     pub fn grow(&mut self) {
+        self.instruments.grows.inc();
         let old_m = self.buckets.len();
         let bit = self.geometry.growth_bits();
         self.buckets.resize_with(old_m * 2, Vec::new);
@@ -274,14 +288,18 @@ impl ChainedCcf {
         key: u64,
         attrs: &[u64],
     ) -> Result<InsertOutcome, InsertFailure> {
-        self.params.check_arity(attrs)?;
-        grow_and_retry(
-            self,
-            self.params.auto_grow,
-            |f| f.try_insert_row(key, attrs),
-            |_| true, // chained failures are genuine fullness; growth always helps
-            |f| f.grow(),
-        )
+        let result = match self.params.check_arity(attrs) {
+            Ok(()) => grow_and_retry(
+                self,
+                self.params.auto_grow,
+                |f| f.try_insert_row(key, attrs),
+                |_| true, // chained failures are genuine fullness; growth always helps
+                |f| f.grow(),
+            ),
+            Err(e) => Err(e),
+        };
+        self.instruments.record_insert(&result);
+        result
     }
 
     fn try_insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
@@ -301,6 +319,7 @@ impl ChainedCcf {
 
             // Dedupe: (κ, α) already present in this pair.
             if self.buckets[l].contains(&entry) || self.buckets[l_alt].contains(&entry) {
+                self.instruments.chain_walk_depth.observe(depth as u64);
                 return Ok(InsertOutcome::Deduplicated);
             }
 
@@ -314,16 +333,20 @@ impl ChainedCcf {
             if self.buckets[l].len() < b {
                 self.buckets[l].push(entry);
                 self.occupied += 1;
+                self.instruments.chain_walk_depth.observe(depth as u64);
+                self.instruments.kick_depth.observe(0);
                 return Ok(InsertOutcome::Inserted);
             }
             // Room in the alternate bucket, else kick loop on it (Algorithm 4's loop).
             let mut carried = entry;
             let mut bucket = l_alt;
             let mut swaps: Vec<(usize, usize)> = Vec::new();
-            for _ in 0..MAX_KICKS {
+            for _ in 0..self.params.max_kicks {
                 if self.buckets[bucket].len() < b {
                     self.buckets[bucket].push(carried);
                     self.occupied += 1;
+                    self.instruments.chain_walk_depth.observe(depth as u64);
+                    self.instruments.kick_depth.observe(swaps.len() as u64);
                     return Ok(InsertOutcome::Inserted);
                 }
                 let slot = self.rng.gen_range(0..b);
@@ -334,6 +357,9 @@ impl ChainedCcf {
                 bucket = self.alt_bucket(bucket, carried.fp);
             }
             // Exhausted kicks: roll back so earlier rows keep their guarantee.
+            self.instruments.chain_walk_depth.observe(depth as u64);
+            self.instruments.kick_depth.observe(swaps.len() as u64);
+            self.instruments.rollbacks.inc();
             for (bucket, slot) in swaps.into_iter().rev() {
                 std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
             }
@@ -342,6 +368,7 @@ impl ChainedCcf {
         }
         // Chain cap Lmax reached with every pair saturated: the row is discarded, but
         // queries walking the same saturated chain return true (Theorem 3).
+        self.instruments.chain_walk_depth.observe(max_walk as u64);
         self.rows_dropped += 1;
         Ok(InsertOutcome::DroppedChainCap)
     }
@@ -392,10 +419,16 @@ impl ChainedCcf {
 
     /// [`ChainedCcf::delete_row`] on already-lowered key material.
     pub fn delete_row_prehashed(&mut self, key: u64, attrs: &[u64]) -> Result<bool, DeleteFailure> {
-        self.params.check_delete_arity(attrs)?;
-        let alpha = self.attr_fp.fingerprint_vector(attrs);
-        let (fp, l) = self.home_of(key);
-        Ok(self.delete_from_chain(fp, l, |e| e.attrs == alpha))
+        let result = match self.params.check_delete_arity(attrs) {
+            Ok(()) => {
+                let alpha = self.attr_fp.fingerprint_vector(attrs);
+                let (fp, l) = self.home_of(key);
+                Ok(self.delete_from_chain(fp, l, |e| e.attrs == alpha))
+            }
+            Err(e) => Err(e),
+        };
+        self.instruments.record_delete(&result);
+        result
     }
 
     /// Delete one stored entry carrying the key's fingerprint, regardless of its
@@ -409,7 +442,9 @@ impl ChainedCcf {
     /// [`ChainedCcf::delete_key`] on already-lowered key material.
     pub fn delete_key_prehashed(&mut self, key: u64) -> Result<bool, DeleteFailure> {
         let (fp, l) = self.home_of(key);
-        Ok(self.delete_from_chain(fp, l, |_| true))
+        let result = Ok(self.delete_from_chain(fp, l, |_| true));
+        self.instruments.record_delete(&result);
+        result
     }
 
     /// The sequence of bucket pairs a walk for `fp` starting at `home` visits, under
@@ -566,9 +601,11 @@ impl ChainedCcf {
     /// [`ChainedCcf::query`] on already-lowered key material.
     pub fn query_prehashed(&self, key: u64, pred: &Predicate) -> bool {
         let (fp, l) = self.home_of(key);
-        self.query_walk(fp, l, |e| {
+        let hit = self.query_walk(fp, l, |e| {
             match_fingerprint_vector(pred, &e.attrs, &self.attr_fp)
-        })
+        });
+        self.instruments.record_query(hit);
+        hit
     }
 
     /// Batched predicate query: bit-identical to calling [`ChainedCcf::query`] per
@@ -581,7 +618,7 @@ impl ChainedCcf {
 
     /// [`ChainedCcf::query_batch`] on already-lowered key material.
     pub fn query_batch_prehashed(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
-        probe_chunked(
+        let hits = probe_chunked(
             keys,
             |key| self.first_pair_of(key),
             |bucket| prefetch_index(&self.buckets, bucket),
@@ -590,7 +627,9 @@ impl ChainedCcf {
                     match_fingerprint_vector(pred, &e.attrs, &self.attr_fp)
                 })
             },
-        )
+        );
+        self.instruments.record_query_batch(&hits);
+        hits
     }
 
     /// Key-only membership query. Lemma 2 implies only the first bucket pair needs to

@@ -64,6 +64,8 @@
 //! * [`attr`] — attribute-sketch matching primitives.
 //! * [`plain`], [`chained`], [`bloom_ccf`], [`mixed`] — the four variants.
 //! * [`variant`] — a uniform [`ConditionalFilter`] interface over all of them.
+//! * [`instruments`] — the `ccf-telemetry` event bundle (insert/query/delete
+//!   outcomes, kick depths, conversions) every variant records into when attached.
 //! * [`fpr`] — the §7 false-positive-rate estimators.
 //! * [`sizing`] — Table 1 entry-count predictions and load-factor targets.
 //! * [`compress`] — the §9 two-stage attribute compression.
@@ -78,6 +80,7 @@ pub mod chained;
 pub mod compress;
 pub mod error;
 pub mod fpr;
+pub mod instruments;
 pub mod key;
 pub mod mixed;
 pub mod outcome;
@@ -92,6 +95,7 @@ pub use builder::CcfBuilder;
 pub use chained::{ChainedCcf, ChainedPredicateFilter};
 pub use compress::AttributeCompressor;
 pub use error::CcfError;
+pub use instruments::CcfInstruments;
 pub use key::FilterKey;
 pub use mixed::MixedCcf;
 pub use outcome::{DeleteFailure, InsertFailure, InsertOutcome};

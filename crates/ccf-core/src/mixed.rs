@@ -27,17 +27,16 @@ use ccf_cuckoo::geometry::{
 use ccf_cuckoo::CuckooFilter;
 use ccf_cuckoo::{GrowthStats, OccupancyStats};
 use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily};
+use ccf_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::attr::{match_fingerprint_bloom, match_fingerprint_vector};
+use crate::instruments::CcfInstruments;
 use crate::key::FilterKey;
 use crate::outcome::{DeleteFailure, InsertFailure, InsertOutcome};
 use crate::params::{CcfParams, ParamsError};
 use crate::predicate::Predicate;
-
-/// Maximum kick rounds before an insertion is reported as failed.
-const MAX_KICKS: usize = 500;
 
 /// One slot of a mixed CCF.
 #[derive(Debug, Clone)]
@@ -77,6 +76,7 @@ pub struct MixedCcf {
     occupied: usize,
     rows_absorbed: usize,
     conversions: usize,
+    instruments: CcfInstruments,
 }
 
 impl MixedCcf {
@@ -118,8 +118,21 @@ impl MixedCcf {
             occupied: 0,
             rows_absorbed: 0,
             conversions: 0,
+            instruments: CcfInstruments::disabled(),
             params,
         })
+    }
+
+    /// Resolve this filter's [`CcfInstruments`] against `telemetry` (series get
+    /// `variant="mixed"` plus `extra` labels). Call once; hot paths then record
+    /// through pre-resolved handles.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry, extra: &[(&str, &str)]) {
+        self.instruments = CcfInstruments::resolve(telemetry, "mixed", extra);
+    }
+
+    /// The telemetry bundle events are recorded into (disabled by default).
+    pub fn instruments(&self) -> &CcfInstruments {
+        &self.instruments
     }
 
     /// The hasher typed keys are lowered with ([`FilterKey::lower`]); see
@@ -237,6 +250,7 @@ impl MixedCcf {
     /// to the same bucket pair together; the remap cannot fail and preserves every
     /// query answer.
     pub fn grow(&mut self) {
+        self.instruments.grows.inc();
         let old_m = self.buckets.len();
         let bit = self.geometry.growth_bits();
         self.buckets.resize_with(old_m * 2, Vec::new);
@@ -267,14 +281,18 @@ impl MixedCcf {
         key: u64,
         attrs: &[u64],
     ) -> Result<InsertOutcome, InsertFailure> {
-        self.params.check_arity(attrs)?;
-        grow_and_retry(
-            self,
-            self.params.auto_grow,
-            |f| f.try_insert_row(key, attrs),
-            |_| true, // duplicate saturation converts instead of failing; growth always helps
-            |f| f.grow(),
-        )
+        let result = match self.params.check_arity(attrs) {
+            Ok(()) => grow_and_retry(
+                self,
+                self.params.auto_grow,
+                |f| f.try_insert_row(key, attrs),
+                |_| true, // duplicate saturation converts instead of failing; growth always helps
+                |f| f.grow(),
+            ),
+            Err(e) => Err(e),
+        };
+        self.instruments.record_insert(&result);
+        result
     }
 
     fn try_insert_row(&mut self, key: u64, attrs: &[u64]) -> Result<InsertOutcome, InsertFailure> {
@@ -327,20 +345,23 @@ impl MixedCcf {
         if self.buckets[l].len() < b {
             self.buckets[l].push(entry);
             self.occupied += 1;
+            self.instruments.kick_depth.observe(0);
             return Ok(InsertOutcome::Inserted);
         }
         if self.buckets[l_alt].len() < b {
             self.buckets[l_alt].push(entry);
             self.occupied += 1;
+            self.instruments.kick_depth.observe(0);
             return Ok(InsertOutcome::Inserted);
         }
         let mut carried = entry;
         let mut bucket = if self.rng.gen_bool(0.5) { l } else { l_alt };
         let mut swaps: Vec<(usize, usize)> = Vec::new();
-        for _ in 0..MAX_KICKS {
+        for _ in 0..self.params.max_kicks {
             if self.buckets[bucket].len() < b {
                 self.buckets[bucket].push(carried);
                 self.occupied += 1;
+                self.instruments.kick_depth.observe(swaps.len() as u64);
                 return Ok(InsertOutcome::Inserted);
             }
             // Any entry may be kicked: a kick only ever moves an entry to the other
@@ -352,6 +373,8 @@ impl MixedCcf {
             swaps.push((bucket, slot));
             bucket = self.alt_bucket(bucket, carried.fp());
         }
+        self.instruments.kick_depth.observe(swaps.len() as u64);
+        self.instruments.rollbacks.inc();
         for (bkt, slot) in swaps.into_iter().rev() {
             std::mem::swap(&mut self.buckets[bkt][slot], &mut carried);
         }
@@ -428,10 +451,16 @@ impl MixedCcf {
 
     /// [`MixedCcf::delete_row`] on already-lowered key material.
     pub fn delete_row_prehashed(&mut self, key: u64, attrs: &[u64]) -> Result<bool, DeleteFailure> {
-        self.params.check_delete_arity(attrs)?;
-        let alpha = self.fingerprint_row(attrs);
-        let (fp, l, l_alt) = self.pair_of(key);
-        self.remove_vector_entry(fp, l, l_alt, |attrs| *attrs == alpha)
+        let result = match self.params.check_delete_arity(attrs) {
+            Ok(()) => {
+                let alpha = self.fingerprint_row(attrs);
+                let (fp, l, l_alt) = self.pair_of(key);
+                self.remove_vector_entry(fp, l, l_alt, |attrs| *attrs == alpha)
+            }
+            Err(e) => Err(e),
+        };
+        self.instruments.record_delete(&result);
+        result
     }
 
     /// Delete one stored vector entry carrying the key's fingerprint, regardless of
@@ -445,7 +474,9 @@ impl MixedCcf {
     /// [`MixedCcf::delete_key`] on already-lowered key material.
     pub fn delete_key_prehashed(&mut self, key: u64) -> Result<bool, DeleteFailure> {
         let (fp, l, l_alt) = self.pair_of(key);
-        self.remove_vector_entry(fp, l, l_alt, |_| true)
+        let result = self.remove_vector_entry(fp, l, l_alt, |_| true);
+        self.instruments.record_delete(&result);
+        result
     }
 
     /// Remove one vector entry for `fp` whose attribute fingerprints satisfy
@@ -528,7 +559,9 @@ impl MixedCcf {
     /// [`MixedCcf::query`] on already-lowered key material.
     pub fn query_prehashed(&self, key: u64, pred: &Predicate) -> bool {
         let (fp, l, l_alt) = self.pair_of(key);
-        self.query_pair(fp, l, l_alt, pred)
+        let hit = self.query_pair(fp, l, l_alt, pred);
+        self.instruments.record_query(hit);
+        hit
     }
 
     fn query_pair(&self, fp: u16, l: usize, l_alt: usize, pred: &Predicate) -> bool {
@@ -555,12 +588,14 @@ impl MixedCcf {
 
     /// [`MixedCcf::query_batch`] on already-lowered key material.
     pub fn query_batch_prehashed(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
-        probe_chunked(
+        let hits = probe_chunked(
             keys,
             |key| self.pair_of(key),
             |bucket| prefetch_index(&self.buckets, bucket),
             |fp, l, l_alt| self.query_pair(fp, l, l_alt, pred),
-        )
+        );
+        self.instruments.record_query_batch(&hits);
+        hits
     }
 
     /// Key-only membership query.
@@ -610,6 +645,7 @@ impl MixedCcf {
                 seed: self.params.seed,
                 auto_grow: false,
                 storage: self.params.storage,
+                ..Default::default()
             },
         );
         for (bucket_idx, bucket) in self.buckets.iter().enumerate() {

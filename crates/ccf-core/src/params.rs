@@ -46,6 +46,9 @@ pub enum ParamsError {
     ZeroBloomBits,
     /// `max_chain == Some(0)`, which would fail every insertion.
     ZeroMaxChain,
+    /// `max_kicks == 0`, which would refuse any insertion that misses both direct
+    /// buckets.
+    ZeroMaxKicks,
     /// The mixed variant's conversion group of `max_dupes` slots does not fit in one
     /// bucket of `entries_per_bucket` entries (§6.1 repacks a group in place).
     ConversionGroupTooWide {
@@ -100,6 +103,7 @@ impl std::fmt::Display for ParamsError {
                 f,
                 "max_chain of 0 would make every insertion fail; use Some(1) or None"
             ),
+            ParamsError::ZeroMaxKicks => write!(f, "max_kicks must be positive"),
             ParamsError::ConversionGroupTooWide {
                 max_dupes,
                 entries_per_bucket,
@@ -151,6 +155,13 @@ pub struct CcfParams {
     /// Maximum chain length `Lmax` (§6.2). `None` means uncapped, as in the multiset
     /// experiments of §10.1.
     pub max_chain: Option<usize>,
+    /// Maximum number of kick (evict-and-reinsert) rounds per insertion before the
+    /// attempt is declared failed. Defaults to 500, the budget used throughout the
+    /// cuckoo-filter literature; must be positive. Lowering it bounds insertion tail
+    /// latency (and makes the `cuckoo_kick_depth` telemetry histogram directly
+    /// checkable against the configured budget) at the cost of a lower achievable
+    /// load factor.
+    pub max_kicks: usize,
     /// Bits of the per-entry Bloom attribute sketch (§5.2); only used by the Bloom
     /// variant. The paper evaluates 4–24 bits.
     pub bloom_bits: usize,
@@ -185,6 +196,7 @@ impl Default for CcfParams {
             num_attrs: 1,
             max_dupes: 3,
             max_chain: None,
+            max_kicks: 500,
             bloom_bits: 16,
             bloom_hashes: 2,
             small_value_opt: true,
@@ -330,6 +342,9 @@ impl CcfParams {
         }
         if self.max_chain == Some(0) {
             return Err(ParamsError::ZeroMaxChain);
+        }
+        if self.max_kicks == 0 {
+            return Err(ParamsError::ZeroMaxKicks);
         }
         if self.storage == ccf_cuckoo::StorageKind::Semisort
             && self.entries_per_bucket > ccf_cuckoo::MAX_SEMISORT_ENTRIES
@@ -536,6 +551,7 @@ mod tests {
                 },
                 ParamsError::ZeroMaxChain,
             ),
+            (CcfParams { max_kicks: 0, ..ok }, ParamsError::ZeroMaxKicks),
             (
                 CcfParams {
                     storage: ccf_cuckoo::StorageKind::Semisort,

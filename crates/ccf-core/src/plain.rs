@@ -15,17 +15,16 @@ use ccf_cuckoo::geometry::{
 use ccf_cuckoo::{GrowthStats, OccupancyStats};
 use ccf_hash::salted::purpose;
 use ccf_hash::{AttrFingerprinter, Fingerprinter, HashFamily, SaltedHasher};
+use ccf_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::attr::match_fingerprint_vector;
+use crate::instruments::CcfInstruments;
 use crate::key::FilterKey;
 use crate::outcome::{DeleteFailure, InsertFailure, InsertOutcome};
 use crate::params::{CcfParams, ParamsError};
 use crate::predicate::Predicate;
-
-/// Maximum kick rounds before an insertion is reported as failed.
-const MAX_KICKS: usize = 500;
 
 /// One stored row: a key fingerprint plus the row's attribute fingerprint vector.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +45,7 @@ pub struct PlainCcf {
     rng: StdRng,
     occupied: usize,
     rows_absorbed: usize,
+    instruments: CcfInstruments,
 }
 
 impl PlainCcf {
@@ -73,8 +73,20 @@ impl PlainCcf {
             rng: StdRng::seed_from_u64(params.seed ^ 0x9A1C),
             occupied: 0,
             rows_absorbed: 0,
+            instruments: CcfInstruments::disabled(),
             params,
         })
+    }
+
+    /// Start recording events into `telemetry`, labelling every series with
+    /// `variant="plain"` plus `extra`. Untouched filters record nothing.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry, extra: &[(&str, &str)]) {
+        self.instruments = CcfInstruments::resolve(telemetry, "plain", extra);
+    }
+
+    /// The telemetry bundle this filter records into (disabled unless attached).
+    pub fn instruments(&self) -> &CcfInstruments {
+        &self.instruments
     }
 
     /// The hasher typed keys are lowered with ([`FilterKey::lower`]). Exposed so
@@ -164,6 +176,7 @@ impl PlainCcf {
     /// according to its fingerprint's next growth bit
     /// ([`ccf_cuckoo::geometry::split_buckets`]). The remap cannot fail.
     pub fn grow(&mut self) {
+        self.instruments.grows.inc();
         let old_m = self.buckets.len();
         let bit = self.geometry.growth_bits();
         self.buckets.resize_with(old_m * 2, Vec::new);
@@ -194,16 +207,20 @@ impl PlainCcf {
         key: u64,
         attrs: &[u64],
     ) -> Result<InsertOutcome, InsertFailure> {
-        self.params.check_arity(attrs)?;
-        grow_and_retry(
-            self,
-            self.params.auto_grow,
-            |f| f.try_insert_row(key, attrs),
-            // Growth cannot lift the §4.3 duplicate cap: fingerprint copies share
-            // both buckets at every size.
-            |f| !f.pair_saturated_with_own_fp(key),
-            |f| f.grow(),
-        )
+        let result = match self.params.check_arity(attrs) {
+            Ok(()) => grow_and_retry(
+                self,
+                self.params.auto_grow,
+                |f| f.try_insert_row(key, attrs),
+                // Growth cannot lift the §4.3 duplicate cap: fingerprint copies share
+                // both buckets at every size.
+                |f| !f.pair_saturated_with_own_fp(key),
+                |f| f.grow(),
+            ),
+            Err(e) => Err(e),
+        };
+        self.instruments.record_insert(&result);
+        result
     }
 
     /// Whether the key's bucket pair is already filled to its slot capacity (`2b`, or
@@ -242,11 +259,13 @@ impl PlainCcf {
         if self.buckets[l].len() < b {
             self.buckets[l].push(entry);
             self.occupied += 1;
+            self.instruments.kick_depth.observe(0);
             return Ok(InsertOutcome::Inserted);
         }
         if self.buckets[alt].len() < b {
             self.buckets[alt].push(entry);
             self.occupied += 1;
+            self.instruments.kick_depth.observe(0);
             return Ok(InsertOutcome::Inserted);
         }
 
@@ -254,7 +273,9 @@ impl PlainCcf {
         let mut carried = entry;
         let mut bucket = if self.rng.gen_bool(0.5) { l } else { alt };
         let mut swaps: Vec<(usize, usize)> = Vec::new();
-        for _ in 0..MAX_KICKS {
+        let mut kicks = 0u64;
+        for _ in 0..self.params.max_kicks {
+            kicks += 1;
             let slot = self.rng.gen_range(0..b);
             std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
             swaps.push((bucket, slot));
@@ -262,10 +283,13 @@ impl PlainCcf {
             if self.buckets[bucket].len() < b {
                 self.buckets[bucket].push(carried);
                 self.occupied += 1;
+                self.instruments.kick_depth.observe(kicks);
                 return Ok(InsertOutcome::Inserted);
             }
         }
         // Roll back so previously inserted rows keep their no-false-negative guarantee.
+        self.instruments.kick_depth.observe(kicks);
+        self.instruments.rollbacks.inc();
         for (bucket, slot) in swaps.into_iter().rev() {
             std::mem::swap(&mut self.buckets[bucket][slot], &mut carried);
         }
@@ -297,10 +321,16 @@ impl PlainCcf {
 
     /// [`PlainCcf::delete_row`] on already-lowered key material.
     pub fn delete_row_prehashed(&mut self, key: u64, attrs: &[u64]) -> Result<bool, DeleteFailure> {
-        self.params.check_delete_arity(attrs)?;
-        let alpha = self.attr_fp.fingerprint_vector(attrs);
-        let (fp, l, alt) = self.pair_of(key);
-        Ok(self.remove_matching(fp, l, alt, |e| e.attrs == alpha))
+        let result = match self.params.check_delete_arity(attrs) {
+            Ok(()) => {
+                let alpha = self.attr_fp.fingerprint_vector(attrs);
+                let (fp, l, alt) = self.pair_of(key);
+                Ok(self.remove_matching(fp, l, alt, |e| e.attrs == alpha))
+            }
+            Err(e) => Err(e),
+        };
+        self.instruments.record_delete(&result);
+        result
     }
 
     /// Delete one stored entry carrying the key's fingerprint, regardless of its
@@ -313,7 +343,9 @@ impl PlainCcf {
     /// [`PlainCcf::delete_key`] on already-lowered key material.
     pub fn delete_key_prehashed(&mut self, key: u64) -> Result<bool, DeleteFailure> {
         let (fp, l, alt) = self.pair_of(key);
-        Ok(self.remove_matching(fp, l, alt, |_| true))
+        let result = Ok(self.remove_matching(fp, l, alt, |_| true));
+        self.instruments.record_delete(&result);
+        result
     }
 
     /// Remove the first entry in the pair with fingerprint `fp` satisfying `matches`,
@@ -386,7 +418,9 @@ impl PlainCcf {
     /// [`PlainCcf::query`] on already-lowered key material.
     pub fn query_prehashed(&self, key: u64, pred: &Predicate) -> bool {
         let (fp, l, alt) = self.pair_of(key);
-        self.query_pair(fp, l, alt, pred)
+        let hit = self.query_pair(fp, l, alt, pred);
+        self.instruments.record_query(hit);
+        hit
     }
 
     fn query_pair(&self, fp: u16, l: usize, alt: usize, pred: &Predicate) -> bool {
@@ -407,12 +441,14 @@ impl PlainCcf {
 
     /// [`PlainCcf::query_batch`] on already-lowered key material.
     pub fn query_batch_prehashed(&self, keys: &[u64], pred: &Predicate) -> Vec<bool> {
-        probe_chunked(
+        let hits = probe_chunked(
             keys,
             |key| self.pair_of(key),
             |bucket| prefetch_index(&self.buckets, bucket),
             |fp, l, alt| self.query_pair(fp, l, alt, pred),
-        )
+        );
+        self.instruments.record_query_batch(&hits);
+        hits
     }
 
     /// Key-only membership query.

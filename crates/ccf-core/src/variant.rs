@@ -325,6 +325,33 @@ impl AnyCcf {
         }
     }
 
+    /// Resolve this filter's [`crate::CcfInstruments`] against `telemetry`; series
+    /// are labelled with the concrete variant name plus `extra` labels. See
+    /// [`crate::CcfBuilder::telemetry`] for attaching at construction time.
+    pub fn attach_telemetry(
+        &mut self,
+        telemetry: &ccf_telemetry::Telemetry,
+        extra: &[(&str, &str)],
+    ) {
+        match self {
+            AnyCcf::Plain(f) => f.attach_telemetry(telemetry, extra),
+            AnyCcf::Chained(f) => f.attach_telemetry(telemetry, extra),
+            AnyCcf::Bloom(f) => f.attach_telemetry(telemetry, extra),
+            AnyCcf::Mixed(f) => f.attach_telemetry(telemetry, extra),
+        }
+    }
+
+    /// The telemetry bundle the underlying variant records into (disabled until
+    /// [`AnyCcf::attach_telemetry`] is called).
+    pub fn instruments(&self) -> &crate::CcfInstruments {
+        match self {
+            AnyCcf::Plain(f) => f.instruments(),
+            AnyCcf::Chained(f) => f.instruments(),
+            AnyCcf::Bloom(f) => f.instruments(),
+            AnyCcf::Mixed(f) => f.instruments(),
+        }
+    }
+
     fn as_dyn(&self) -> &dyn ConditionalFilter {
         match self {
             AnyCcf::Plain(f) => f,
@@ -617,6 +644,142 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn telemetry_labels_series_by_variant_and_tracks_outcomes() {
+        use ccf_telemetry::Telemetry;
+        let t = Telemetry::enabled();
+        for kind in [
+            VariantKind::Plain,
+            VariantKind::Chained,
+            VariantKind::Bloom,
+            VariantKind::Mixed,
+        ] {
+            let mut f = AnyCcf::new(kind, params());
+            f.attach_telemetry(&t, &[]);
+            assert!(f.instruments().is_enabled(), "{kind:?}");
+            for key in 0..100u64 {
+                f.insert_row(key, &[key % 5, key % 9]).unwrap();
+            }
+            let pred = Predicate::any(2).and_eq(0, 2);
+            let _ = f.query(3u64, &pred);
+            let _ = f.query_batch(&(0..50u64).collect::<Vec<_>>(), &pred);
+            let _ = f.delete_key(0u64);
+        }
+        let snap = t.snapshot();
+        for variant in ["plain", "chained", "bloom", "mixed"] {
+            let v = [("variant", variant)];
+            let outcome_sum: u64 = [
+                "inserted",
+                "deduplicated",
+                "merged",
+                "converted",
+                "dropped_chain_cap",
+            ]
+            .iter()
+            .filter_map(|o| {
+                snap.counter("ccf_inserts_total", &[("variant", variant), ("outcome", o)])
+            })
+            .sum();
+            assert_eq!(outcome_sum, 100, "{variant}");
+            assert_eq!(snap.counter("ccf_queries_total", &v), Some(51), "{variant}");
+            let delete_sum: u64 = ["removed", "missing"]
+                .iter()
+                .filter_map(|r| {
+                    snap.counter("ccf_deletes_total", &[("variant", variant), ("result", r)])
+                })
+                .chain(
+                    ["unsupported", "converted_group", "attr_arity_mismatch"]
+                        .iter()
+                        .filter_map(|k| {
+                            snap.counter(
+                                "ccf_delete_failures_total",
+                                &[("variant", variant), ("kind", k)],
+                            )
+                        }),
+                )
+                .sum();
+            assert_eq!(delete_sum, 1, "{variant}");
+            // Every variant observed one kick-depth sample per stored entry.
+            assert!(
+                snap.histogram("ccf_kick_depth", &v)
+                    .map(|h| h.count())
+                    .unwrap_or(0)
+                    > 0,
+                "{variant}"
+            );
+        }
+        // Only the chained variant emits the chain-walk series.
+        assert!(snap
+            .histogram("ccf_chain_walk_depth", &[("variant", "chained")])
+            .is_some());
+        assert!(snap
+            .histogram("ccf_chain_walk_depth", &[("variant", "plain")])
+            .is_none());
+    }
+
+    #[test]
+    fn telemetry_counts_mixed_conversions_and_chained_drops() {
+        use ccf_telemetry::Telemetry;
+        // Mixed: a hot key converts once, then merges.
+        let t = Telemetry::enabled();
+        let mut f = MixedCcf::new(params());
+        f.attach_telemetry(&t, &[]);
+        for i in 0..10u64 {
+            f.insert_row(42u64, &[i, 0]).unwrap();
+        }
+        let snap = t.snapshot();
+        let m = |outcome| {
+            snap.counter(
+                "ccf_inserts_total",
+                &[("variant", "mixed"), ("outcome", outcome)],
+            )
+            .unwrap_or(0)
+        };
+        assert_eq!(m("inserted"), 3);
+        assert_eq!(m("converted"), 1);
+        assert_eq!(m("merged"), 6);
+        assert_eq!(
+            f.delete_key(42u64),
+            Err(DeleteFailure::ConvertedGroup),
+            "hot key must be converted"
+        );
+        assert_eq!(
+            t.snapshot().counter(
+                "ccf_delete_failures_total",
+                &[("variant", "mixed"), ("kind", "converted_group")]
+            ),
+            Some(1)
+        );
+
+        // Chained: a capped chain drops rows past its capacity and records the walk.
+        let t2 = Telemetry::enabled();
+        let mut c = ChainedCcf::new(CcfParams {
+            max_chain: Some(2),
+            ..params()
+        });
+        c.attach_telemetry(&t2, &[]);
+        for i in 0..50u64 {
+            c.insert_row(7u64, &[i, 0]).unwrap();
+        }
+        let snap2 = t2.snapshot();
+        let dropped = snap2
+            .counter(
+                "ccf_inserts_total",
+                &[("variant", "chained"), ("outcome", "dropped_chain_cap")],
+            )
+            .unwrap_or(0);
+        assert_eq!(dropped as usize, c.rows_dropped());
+        assert!(dropped > 0, "Lmax=2 must drop some of 50 duplicate rows");
+        assert!(
+            snap2
+                .histogram("ccf_chain_walk_depth", &[("variant", "chained")])
+                .map(|h| h.sum)
+                .unwrap_or(0)
+                > 0,
+            "deep chains must register non-zero walk depths"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@ use ccf_core::predicate::binning::Binning;
 use ccf_core::predicate::dyadic::DyadicDomain;
 use ccf_core::sizing::VariantKind;
 use ccf_core::{AnyCcf, CcfParams, ChainedCcf, ColumnPredicate, ConditionalFilter, Predicate};
+use ccf_telemetry::Telemetry;
 use proptest::prelude::*;
 
 fn params(seed: u64, num_attrs: usize) -> CcfParams {
@@ -428,6 +429,154 @@ proptest! {
             let expected_lf = inserted_entries as f64
                 / (filter.params().num_buckets * filter.params().entries_per_bucket) as f64;
             prop_assert!((filter.load_factor() - expected_lf).abs() < 1e-9);
+        }
+    }
+}
+
+/// One step of an interleaved telemetry workload: `(selector, key, attrs, value)`.
+/// The selector picks the op kind (skewed toward inserts so the filter fills and
+/// grows); keys repeat so deletes and queries hit; attribute vectors of length 1..=3
+/// against a 2-attr filter make arity-mismatch failures part of the mix.
+type TelemetryOp = (u8, u64, Vec<u64>, u64);
+
+/// Event tallies maintained op-by-op from the filter's *return values* — the ground
+/// truth the telemetry counters must match exactly.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct EventTally {
+    inserts: u64,
+    insert_failures: u64,
+    deletes: u64,
+    delete_failures: u64,
+    queries: u64,
+    query_hits: u64,
+}
+
+fn telemetry_ops_strategy() -> impl Strategy<Value = Vec<TelemetryOp>> {
+    proptest::collection::vec(
+        (
+            0u8..10,
+            0u64..64,
+            proptest::collection::vec(0u64..6, 1..=3),
+            0u64..6,
+        ),
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Telemetry counters are an exact event log, not an approximation: under an
+    /// arbitrary interleaving of inserts, deletes, and queries on an auto-growing
+    /// filter, per-family counter sums never drift from tallies maintained op-by-op
+    /// from the return values, grows match the observed capacity doublings, a
+    /// mid-run snapshot diff accounts for exactly the second half, and key-only
+    /// membership probes move no predicate-query counter.
+    #[test]
+    fn telemetry_counters_never_drift_from_ground_truth(
+        seed in any::<u64>(),
+        ops in telemetry_ops_strategy(),
+    ) {
+        for kind in [VariantKind::Plain, VariantKind::Chained, VariantKind::Bloom, VariantKind::Mixed] {
+            let telemetry = Telemetry::enabled();
+            let mut filter = AnyCcf::builder()
+                .variant(kind)
+                .params(CcfParams {
+                    // Small enough that the workload forces capacity doublings.
+                    num_buckets: 1 << 4,
+                    entries_per_bucket: 4,
+                    fingerprint_bits: 12,
+                    attr_bits: 8,
+                    num_attrs: 2,
+                    max_dupes: 3,
+                    bloom_bits: 16,
+                    bloom_hashes: 2,
+                    seed,
+                    ..CcfParams::default()
+                }.with_auto_grow())
+                .telemetry(&telemetry)
+                .build()
+                .expect("params are valid");
+            let initial_buckets = filter.occupancy().num_buckets;
+
+            let mut tally = EventTally::default();
+            let mut midpoint: Option<(ccf_telemetry::Snapshot, EventTally)> = None;
+            for (i, (selector, key, attrs, value)) in ops.iter().enumerate() {
+                if i == ops.len() / 2 {
+                    midpoint = Some((telemetry.snapshot(), tally));
+                }
+                match selector {
+                    0..=3 => match filter.insert_row(*key, attrs) {
+                        Ok(_) => tally.inserts += 1,
+                        Err(_) => tally.insert_failures += 1,
+                    },
+                    4..=5 => match filter.delete_row(*key, attrs) {
+                        Ok(_) => tally.deletes += 1,
+                        Err(_) => tally.delete_failures += 1,
+                    },
+                    6 => match filter.delete_key(*key) {
+                        Ok(_) => tally.deletes += 1,
+                        Err(_) => tally.delete_failures += 1,
+                    },
+                    7..=8 => {
+                        let pred = Predicate::any(2).and_eq(0, *value);
+                        tally.queries += 1;
+                        tally.query_hits += filter.query(*key, &pred) as u64;
+                    }
+                    // Key-only probes are deliberately uninstrumented; the final
+                    // assertions prove they move no counter.
+                    _ => {
+                        let _ = filter.contains_key(*key);
+                    }
+                }
+            }
+
+            let snap = telemetry.snapshot();
+            let observed = EventTally {
+                inserts: snap.counter_sum("ccf_inserts_total"),
+                insert_failures: snap.counter_sum("ccf_insert_failures_total"),
+                deletes: snap.counter_sum("ccf_deletes_total"),
+                delete_failures: snap.counter_sum("ccf_delete_failures_total"),
+                queries: snap.counter_sum("ccf_queries_total"),
+                query_hits: snap.counter_sum("ccf_query_hits_total"),
+            };
+            prop_assert_eq!(observed, tally, "{:?}: counters drifted from ground truth", kind);
+
+            // Each grow doubles the bucket count, so the counter must equal the
+            // doublings observable from the geometry.
+            let ratio = filter.occupancy().num_buckets / initial_buckets;
+            prop_assert!(ratio.is_power_of_two(), "{:?}: growth is always a doubling", kind);
+            prop_assert_eq!(
+                snap.counter_sum("ccf_grows_total"),
+                u64::from(ratio.trailing_zeros()),
+                "{:?}: grow counter drifted from the observed doublings", kind
+            );
+
+            // Snapshot/diff semantics: the diff against the midpoint accounts for
+            // exactly the second half of the workload.
+            if let Some((mid_snap, mid_tally)) = midpoint {
+                let diff = snap.diff(&mid_snap);
+                let second_half = EventTally {
+                    inserts: tally.inserts - mid_tally.inserts,
+                    insert_failures: tally.insert_failures - mid_tally.insert_failures,
+                    deletes: tally.deletes - mid_tally.deletes,
+                    delete_failures: tally.delete_failures - mid_tally.delete_failures,
+                    queries: tally.queries - mid_tally.queries,
+                    query_hits: tally.query_hits - mid_tally.query_hits,
+                };
+                let diffed = EventTally {
+                    inserts: diff.counter_sum("ccf_inserts_total"),
+                    insert_failures: diff.counter_sum("ccf_insert_failures_total"),
+                    deletes: diff.counter_sum("ccf_deletes_total"),
+                    delete_failures: diff.counter_sum("ccf_delete_failures_total"),
+                    queries: diff.counter_sum("ccf_queries_total"),
+                    query_hits: diff.counter_sum("ccf_query_hits_total"),
+                };
+                prop_assert_eq!(
+                    diffed, second_half,
+                    "{:?}: snapshot diff drifted from the second-half tallies", kind
+                );
+            }
         }
     }
 }

@@ -10,8 +10,11 @@
 //! [`crate::CuckooHashTable::insert_duplicate`].
 
 use ccf_hash::{HashFamily, SaltedHasher};
+use ccf_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use crate::instruments::FilterInstruments;
 
 /// Maximum kick rounds before an insertion is reported as failed.
 const MAX_KICKS: usize = 500;
@@ -75,6 +78,9 @@ pub struct ChainedCuckooTable<V> {
     chain_hasher: SaltedHasher,
     rng: StdRng,
     len: usize,
+    /// Event telemetry (kick depths, chain walks, rollbacks); disabled until
+    /// [`ChainedCuckooTable::attach_telemetry`].
+    instruments: FilterInstruments,
 }
 
 impl<V> ChainedCuckooTable<V> {
@@ -108,7 +114,14 @@ impl<V> ChainedCuckooTable<V> {
             chain_hasher: family.hasher(2),
             rng: StdRng::seed_from_u64(seed ^ 0xC7A1),
             len: 0,
+            instruments: FilterInstruments::disabled(),
         }
+    }
+
+    /// Resolve this table's event instruments against `telemetry`, labelling its
+    /// series `structure="chained_table"` plus the caller's `extra` labels.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry, extra: &[(&str, &str)]) {
+        self.instruments = FilterInstruments::resolve_chained(telemetry, "chained_table", extra);
     }
 
     /// Number of stored (key, value) entries.
@@ -195,10 +208,12 @@ impl<V> ChainedCuckooTable<V> {
             // Free slot in the primary or alternate bucket.
             if (self.counts[l] as usize) < b {
                 self.push_entry(l, Slot { key, value });
+                self.record_insert_telemetry(depth, 0);
                 return Ok(());
             }
             if (self.counts[l_alt] as usize) < b {
                 self.push_entry(l_alt, Slot { key, value });
+                self.record_insert_telemetry(depth, 0);
                 return Ok(());
             }
             // Kick loop on the alternate bucket; rollback on failure. Swaps only ever
@@ -206,7 +221,7 @@ impl<V> ChainedCuckooTable<V> {
             let mut carried = Slot { key, value };
             let mut bucket = l_alt;
             let mut swaps: Vec<usize> = Vec::new();
-            for _ in 0..MAX_KICKS {
+            for kicks in 1..=MAX_KICKS as u64 {
                 let slot = self.rng.gen_range(0..b);
                 let idx = bucket * b + slot;
                 std::mem::swap(
@@ -219,6 +234,7 @@ impl<V> ChainedCuckooTable<V> {
                 bucket = self.alt_bucket(bucket, carried.key);
                 if (self.counts[bucket] as usize) < b {
                     self.push_entry(bucket, carried);
+                    self.record_insert_telemetry(depth, kicks);
                     return Ok(());
                 }
             }
@@ -230,9 +246,24 @@ impl<V> ChainedCuckooTable<V> {
                     &mut carried,
                 );
             }
+            self.instruments.kick_depth.observe(MAX_KICKS as u64);
+            self.instruments.rollbacks.inc();
+            self.instruments.insert_failures.inc();
             return Err(TableFull::at(self.load_factor()));
         }
+        self.instruments.insert_failures.inc();
         Err(TableFull::at(self.load_factor()))
+    }
+
+    /// Record the per-insert distributions: how far the chain walk went and how many
+    /// kick rounds the final placement needed.
+    #[inline]
+    fn record_insert_telemetry(&self, chain_depth: usize, kicks: u64) {
+        self.instruments.inserts.inc();
+        self.instruments
+            .chain_walk_depth
+            .observe(chain_depth as u64);
+        self.instruments.kick_depth.observe(kicks);
     }
 
     /// All values stored for a key, walking the chain as far as saturated pairs lead.
@@ -364,6 +395,38 @@ mod tests {
         for key in stored {
             assert_eq!(t.get_all(key), vec![&(key * 7)]);
         }
+    }
+
+    #[test]
+    fn telemetry_tracks_chain_walks_and_rollbacks() {
+        let telemetry = Telemetry::enabled();
+        let mut t: ChainedCuckooTable<u32> = ChainedCuckooTable::new(256, 4, 3, 1);
+        t.attach_telemetry(&telemetry, &[]);
+        for i in 0..300u32 {
+            t.insert(42, i).unwrap();
+        }
+        let labels = [("structure", "chained_table")];
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("cuckoo_inserts_total", &labels), Some(300));
+        let walks = snap.histogram("cuckoo_chain_walk_depth", &labels).unwrap();
+        assert_eq!(walks.count(), 300);
+        assert!(
+            walks.sum > 0,
+            "300 copies of one key must walk past the primary pair"
+        );
+        assert_eq!(snap.counter("cuckoo_rollbacks_total", &labels), Some(0));
+
+        // Drive a tiny table to failure: the undone kick chain must count.
+        let mut small: ChainedCuckooTable<u64> = ChainedCuckooTable::new(4, 2, 2, 5);
+        small.attach_telemetry(&telemetry, &[("size", "tiny")]);
+        assert!(
+            (0..64u64).any(|key| small.insert(key, key).is_err()),
+            "a 16-slot table must eventually fill"
+        );
+        let tiny = [("structure", "chained_table"), ("size", "tiny")];
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("cuckoo_rollbacks_total", &tiny), Some(1));
+        assert_eq!(snap.counter("cuckoo_insert_failures_total", &tiny), Some(1));
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! The filter stores only a small fingerprint κ of each key. An item hashes to a
 //! primary bucket ℓ; the alternate bucket is ℓ′ = ℓ ⊕ h(κ), computable from the stored
 //! fingerprint alone, which is what allows kicked entries to be relocated without the
-//! original key. Insertion kicks random victims for up to [`MAX_KICKS`] rounds before
-//! reporting failure.
+//! original key. Insertion kicks random victims for up to
+//! [`CuckooFilterParams::max_kicks`] rounds (default [`MAX_KICKS`]) before reporting
+//! failure.
 //!
 //! Duplicate keys *can* be inserted (each inserts another copy of κ), but a bucket pair
 //! holds at most `2b` entries, so heavy duplication quickly causes insertion failures —
@@ -27,15 +28,18 @@
 //! classic ℓ ⊕ h(κ) layout.
 
 use ccf_hash::{Fingerprinter, HashFamily};
+use ccf_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::geometry::{probe_chunked, SplitGeometry, MAX_GROWTHS_PER_INSERT};
+use crate::instruments::FilterInstruments;
 use crate::metrics::{GrowthStats, OccupancyStats};
 use crate::store::{AnyBuckets, BucketStore, StorageKind};
 
-/// Maximum number of kick (evict-and-reinsert) rounds before an insertion fails,
-/// matching the constant used by the original cuckoo-filter implementation.
+/// Default maximum number of kick (evict-and-reinsert) rounds before an insertion
+/// fails, matching the constant used by the original cuckoo-filter implementation.
+/// The per-filter budget is the [`CuckooFilterParams::max_kicks`] knob.
 pub const MAX_KICKS: usize = 500;
 
 /// Configuration for a [`CuckooFilter`].
@@ -60,6 +64,11 @@ pub struct CuckooFilterParams {
     /// [`StorageKind::from_env`] resolution (packed unless `CCF_STORAGE` says
     /// otherwise), which is how CI runs the whole suite against both backends.
     pub storage: StorageKind,
+    /// Maximum kick (evict-and-reinsert) rounds per placement attempt before the
+    /// insertion is reported as failed (default [`MAX_KICKS`]; must be positive).
+    /// Bounded configs make kick-depth telemetry directly checkable: every recorded
+    /// depth is `≤ max_kicks`.
+    pub max_kicks: usize,
 }
 
 impl Default for CuckooFilterParams {
@@ -71,6 +80,7 @@ impl Default for CuckooFilterParams {
             seed: 0,
             auto_grow: false,
             storage: StorageKind::from_env(),
+            max_kicks: MAX_KICKS,
         }
     }
 }
@@ -92,6 +102,7 @@ impl CuckooFilterParams {
             seed,
             auto_grow: false,
             storage: StorageKind::from_env(),
+            max_kicks: MAX_KICKS,
         }
     }
 
@@ -106,12 +117,18 @@ impl CuckooFilterParams {
         self.storage = storage;
         self
     }
+
+    /// Set the kick budget per placement attempt (must be positive).
+    pub fn with_max_kicks(mut self, max_kicks: usize) -> Self {
+        self.max_kicks = max_kicks;
+        self
+    }
 }
 
 /// Why an insertion failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InsertError {
-    /// The kick loop ran for [`MAX_KICKS`] rounds without finding a free slot, the
+    /// The kick loop ran for [`CuckooFilterParams::max_kicks`] rounds without finding a free slot, the
     /// bucket pair was already saturated with copies of the fingerprint, or (with
     /// `auto_grow`) growth retries were exhausted.
     FilterFull {
@@ -157,6 +174,9 @@ pub struct CuckooFilter {
     auto_grow: bool,
     rng: StdRng,
     params: CuckooFilterParams,
+    /// Event telemetry (kick depths, grows, fail-fasts); disabled until
+    /// [`CuckooFilter::attach_telemetry`] resolves it against a registry.
+    instruments: FilterInstruments,
 }
 
 impl CuckooFilter {
@@ -182,6 +202,7 @@ impl CuckooFilter {
             seed,
             auto_grow: false,
             storage,
+            max_kicks: MAX_KICKS,
         })
     }
 
@@ -199,6 +220,7 @@ impl CuckooFilter {
             params.entries_per_bucket > 0,
             "entries_per_bucket must be positive"
         );
+        assert!(params.max_kicks > 0, "max_kicks must be positive");
         let family = HashFamily::new(params.seed);
         let geometry = SplitGeometry::new(&family, base_buckets, growth_bits);
         let num_buckets = geometry.num_buckets();
@@ -215,7 +237,21 @@ impl CuckooFilter {
                 num_buckets,
                 ..params
             },
+            instruments: FilterInstruments::disabled(),
         }
+    }
+
+    /// Resolve this filter's event instruments against `telemetry`, labelling its
+    /// series `structure="cuckoo_filter"` plus the caller's `extra` labels (`shard`,
+    /// `storage`, …). Attaching a [`Telemetry::disabled`] handle detaches the filter.
+    /// Until attached, every recording site costs one branch.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry, extra: &[(&str, &str)]) {
+        self.instruments = FilterInstruments::resolve(telemetry, "cuckoo_filter", extra);
+    }
+
+    /// The instrument bundle this filter records into (disabled by default).
+    pub fn instruments(&self) -> &FilterInstruments {
+        &self.instruments
     }
 
     /// The parameters this filter was built with (with `num_buckets` normalized to the
@@ -346,6 +382,15 @@ impl CuckooFilter {
     /// the same keyless property growth relies on. Either bucket of the pair is
     /// accepted (the ℓ ⊕ h(κ) mapping is an involution).
     pub fn insert_fingerprint(&mut self, fp: u16, bucket: usize) -> Result<(), InsertError> {
+        let result = self.insert_fingerprint_inner(fp, bucket);
+        match &result {
+            Ok(()) => self.instruments.inserts.inc(),
+            Err(_) => self.instruments.insert_failures.inc(),
+        }
+        result
+    }
+
+    fn insert_fingerprint_inner(&mut self, fp: u16, bucket: usize) -> Result<(), InsertError> {
         match self.place_fingerprint(fp, bucket) {
             Ok(()) => Ok(()),
             Err((fp, _)) if !self.auto_grow => Err(InsertError::FilterFull { fingerprint: fp }),
@@ -395,21 +440,25 @@ impl CuckooFilter {
         // Prefer the primary bucket, then the alternate (§4.1: "ℓ being preferred
         // over ℓ′").
         if self.store.try_insert(bucket, fp) {
+            self.instruments.kick_depth.observe(0);
             return Ok(());
         }
         if bucket != alt && self.store.try_insert(alt, fp) {
+            self.instruments.kick_depth.observe(0);
             return Ok(());
         }
 
         // A pair already holding its maximum number of κ copies cannot accept another:
         // every copy shares both candidate buckets, so the kick loop would only churn
-        // copies of κ in place until MAX_KICKS. Fail fast with the filter untouched.
-        // Note the degenerate self-paired case (ℓ′ == ℓ, i.e. h(κ) ≡ 0 mod m₀) caps at
-        // `b`, not `2b`: the "pair" is a single bucket.
+        // copies of κ in place until the kick budget runs out. Fail fast with the
+        // filter untouched. Note the degenerate self-paired case (ℓ′ == ℓ, i.e.
+        // h(κ) ≡ 0 mod m₀) caps at `b`, not `2b`: the "pair" is a single bucket.
         if self.pair_fp_count(bucket, alt, fp) >= self.pair_slot_capacity(bucket, alt) {
+            self.instruments.pair_saturated_failfasts.inc();
             return Err((fp, bucket));
         }
 
+        let mut kicks = 0u64;
         let mut current_fp = fp;
         let mut current_bucket;
         if bucket == alt {
@@ -424,29 +473,35 @@ impl CuckooFilter {
                 })
                 .collect();
             if movable.is_empty() {
+                self.instruments.self_paired_failfasts.inc();
                 return Err((fp, bucket));
             }
             let slot = movable[self.rng.gen_range(0..movable.len())];
             let victim = self.store.swap(bucket, slot, fp);
+            kicks = 1;
             current_fp = victim;
             current_bucket = self.alt_bucket(bucket, victim);
             if self.store.try_insert(current_bucket, current_fp) {
+                self.instruments.kick_depth.observe(kicks);
                 return Ok(());
             }
         } else {
             // Both buckets full: start the kick loop from a random side.
             current_bucket = if self.rng.gen_bool(0.5) { bucket } else { alt };
         }
-        for _ in 0..MAX_KICKS {
+        for _ in 0..self.params.max_kicks {
             let slot = self.rng.gen_range(0..self.entries_per_bucket);
             let victim = self.store.swap(current_bucket, slot, current_fp);
             debug_assert_ne!(victim, 0, "kicked an empty slot from a full bucket");
+            kicks += 1;
             current_fp = victim;
             current_bucket = self.alt_bucket(current_bucket, current_fp);
             if self.store.try_insert(current_bucket, current_fp) {
+                self.instruments.kick_depth.observe(kicks);
                 return Ok(());
             }
         }
+        self.instruments.kick_depth.observe(kicks);
         Err((current_fp, current_bucket))
     }
 
@@ -455,6 +510,7 @@ impl CuckooFilter {
     /// bucket count, according to its fingerprint's next growth bit — an O(m·b) remap
     /// that cannot fail and preserves every membership answer.
     pub fn grow(&mut self) {
+        self.instruments.grows.inc();
         let old_m = self.store.num_buckets();
         let bit = self.geometry.growth_bits();
         self.store.extend_buckets(old_m);
@@ -513,7 +569,12 @@ impl CuckooFilter {
     pub fn delete(&mut self, key: u64) -> bool {
         let (fp, bucket) = self.index_of(key);
         let alt = self.alt_bucket(bucket, fp);
-        self.store.remove_one(bucket, fp) || (bucket != alt && self.store.remove_one(alt, fp))
+        let removed =
+            self.store.remove_one(bucket, fp) || (bucket != alt && self.store.remove_one(alt, fp));
+        if removed {
+            self.instruments.deletes.inc();
+        }
+        removed
     }
 
     /// Theoretical FPR bound for a membership query: `E[D] · 2^{-|κ|}` where `D` is
@@ -923,6 +984,87 @@ mod tests {
             let (fp, b) = derived.index_of(key);
             assert_eq!(derived.alt_bucket(b, fp), grown.alt_bucket(b, fp));
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_kicks must be positive")]
+    fn zero_max_kicks_is_rejected() {
+        let _ = CuckooFilter::new(small_params(1).with_max_kicks(0));
+    }
+
+    #[test]
+    fn max_kicks_bounds_the_kick_loop() {
+        // With a kick budget of 1 the filter still works, just gives up earlier; the
+        // recorded kick depths must respect the bound exactly.
+        let telemetry = Telemetry::enabled();
+        let mut f = CuckooFilter::new(small_params(31).with_max_kicks(1));
+        f.attach_telemetry(&telemetry, &[]);
+        let mut first_failure = None;
+        for k in 0..f.capacity() as u64 {
+            if f.insert(k).is_err() {
+                first_failure = Some(k);
+                break;
+            }
+        }
+        assert!(
+            first_failure.is_some(),
+            "a 1-kick budget must fail before 100% load"
+        );
+        let depth = telemetry
+            .snapshot()
+            .histogram("cuckoo_kick_depth", &[("structure", "cuckoo_filter")])
+            .cloned()
+            .expect("kick depth series must exist");
+        // Bounds are [0, 1, 2, ...]: nothing may land above the ≤1 bucket.
+        assert_eq!(depth.counts[2..].iter().sum::<u64>(), 0);
+        assert!(depth.count() > 0);
+    }
+
+    #[test]
+    fn telemetry_counts_inserts_failures_grows_and_deletes() {
+        let telemetry = Telemetry::enabled();
+        let mut f = CuckooFilter::new(small_params(32));
+        f.attach_telemetry(&telemetry, &[]);
+        for k in 0..100u64 {
+            f.insert(k).unwrap();
+        }
+        f.grow();
+        assert!(f.delete(7));
+        let b = f.entries_per_bucket();
+        for _ in 0..2 * b {
+            f.insert(999).unwrap();
+        }
+        assert!(f.insert(999).is_err(), "2b+1-th copy must fail");
+        let labels = [("structure", "cuckoo_filter")];
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter("cuckoo_inserts_total", &labels),
+            Some(100 + 2 * b as u64)
+        );
+        assert_eq!(
+            snap.counter("cuckoo_insert_failures_total", &labels),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("cuckoo_pair_saturated_failfasts_total", &labels),
+            Some(1)
+        );
+        assert_eq!(snap.counter("cuckoo_grows_total", &labels), Some(1));
+        assert_eq!(snap.counter("cuckoo_deletes_total", &labels), Some(1));
+        // Every successful non-fail-fast placement observed a kick depth.
+        let depth = snap
+            .histogram("cuckoo_kick_depth", &labels)
+            .expect("kick depth series");
+        assert_eq!(depth.count(), 100 + 2 * b as u64);
+        // Detaching (disabled handle) stops recording without touching old series.
+        f.attach_telemetry(&Telemetry::disabled(), &[]);
+        f.insert(5000).unwrap();
+        assert_eq!(
+            telemetry
+                .snapshot()
+                .counter("cuckoo_inserts_total", &labels),
+            Some(100 + 2 * b as u64)
+        );
     }
 
     #[test]

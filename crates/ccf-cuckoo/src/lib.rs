@@ -25,6 +25,8 @@
 //! * [`geometry`] — the split bucket geometry that makes partial-key structures
 //!   growable without their original keys, shared with the CCF variants upstream.
 //! * [`metrics`] — occupancy / load-factor accounting shared by the experiments.
+//! * [`instruments`] — the `ccf-telemetry` event bundle (kick depths, grows,
+//!   fail-fasts) every cuckoo structure here records into when attached.
 
 // `deny`, not `forbid`: the one documented exception is the prefetch hint in
 // `geometry::prefetch_index` (an intrinsic that performs no memory access).
@@ -34,6 +36,7 @@
 pub mod chained_table;
 pub mod filter;
 pub mod geometry;
+pub mod instruments;
 pub mod metrics;
 pub mod packed;
 pub mod semisort;
@@ -43,6 +46,7 @@ pub mod table;
 pub use chained_table::ChainedCuckooTable;
 pub use filter::{CuckooFilter, CuckooFilterParams, InsertError, MAX_KICKS};
 pub use geometry::SplitGeometry;
+pub use instruments::FilterInstruments;
 pub use metrics::{GrowthStats, OccupancyStats};
 pub use packed::PackedBuckets;
 pub use semisort::SemisortBuckets;

@@ -1,8 +1,14 @@
-//! Occupancy metrics shared by the filter experiments.
+//! Point-in-time occupancy and growth metrics shared across the whole filter stack.
 //!
-//! The multiset experiments (§10.1–10.2, Figures 4–5) report the *load factor at first
-//! failed insertion* and the distribution of bucket occupancy; this module provides the
-//! summary statistics those experiments print.
+//! Originally written for the multiset experiments (§10.1–10.2, Figures 4–5), these
+//! summaries are now the *state* half of the stack's observability story: every CCF
+//! variant, the sharded service ([`ShardStats`] aggregates [`OccupancyStats`] and
+//! [`GrowthStats`] per shard) and the join banks report through them. The *event* half
+//! — kick-depth distributions, grow/rollback counters, latency histograms — lives in
+//! the companion `ccf-telemetry` crate (see [`crate::instruments`] for the bundle the
+//! cuckoo structures record into).
+//!
+//! [`ShardStats`]: https://docs.rs/ccf-shard
 
 /// Summary of a growable cuckoo structure's resize history.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

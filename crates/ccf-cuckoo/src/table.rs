@@ -12,8 +12,11 @@
 //! hash tables as well; that extension is [`crate::ChainedCuckooTable`].
 
 use ccf_hash::{HashFamily, SaltedHasher};
+use ccf_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use crate::instruments::FilterInstruments;
 
 /// Maximum kick rounds before the table grows.
 const MAX_KICKS: usize = 500;
@@ -65,6 +68,9 @@ pub struct CuckooHashTable<V> {
     len: usize,
     rng: StdRng,
     seed: u64,
+    /// Event telemetry (kick depths, grows); disabled until
+    /// [`CuckooHashTable::attach_telemetry`].
+    instruments: FilterInstruments,
 }
 
 impl<V: Clone> CuckooHashTable<V> {
@@ -86,7 +92,14 @@ impl<V: Clone> CuckooHashTable<V> {
             len: 0,
             rng: StdRng::seed_from_u64(seed ^ 0x7AB1E),
             seed,
+            instruments: FilterInstruments::disabled(),
         }
+    }
+
+    /// Resolve this table's event instruments against `telemetry`, labelling its
+    /// series `structure="cuckoo_table"` plus the caller's `extra` labels.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry, extra: &[(&str, &str)]) {
+        self.instruments = FilterInstruments::resolve(telemetry, "cuckoo_table", extra);
     }
 
     /// Create a table sized for `capacity` items at a 75 % target load factor with
@@ -146,6 +159,7 @@ impl<V: Clone> CuckooHashTable<V> {
                 }
             }
         }
+        self.instruments.inserts.inc();
         self.insert_new(key, value);
         None
     }
@@ -167,8 +181,11 @@ impl<V: Clone> CuckooHashTable<V> {
             };
         if copies >= 2 * self.entries_per_bucket || (b1 == b2 && copies >= self.entries_per_bucket)
         {
+            self.instruments.pair_saturated_failfasts.inc();
+            self.instruments.insert_failures.inc();
             return Err(DuplicateCapacityError { key, copies });
         }
+        self.instruments.inserts.inc();
         self.insert_new(key, value);
         Ok(())
     }
@@ -204,13 +221,14 @@ impl<V: Clone> CuckooHashTable<V> {
             for slot in &mut self.slots[range] {
                 if slot.is_none() {
                     *slot = Some(item);
+                    self.instruments.kick_depth.observe(0);
                     return Ok(());
                 }
             }
         }
         // Kick loop.
         let mut bucket = if self.rng.gen_bool(0.5) { b1 } else { b2 };
-        for _ in 0..MAX_KICKS {
+        for kicks in 1..=MAX_KICKS as u64 {
             let slot_idx = self.rng.gen_range(0..self.entries_per_bucket);
             let victim = self.slots[bucket * self.entries_per_bucket + slot_idx]
                 .replace(item)
@@ -222,14 +240,17 @@ impl<V: Clone> CuckooHashTable<V> {
             for slot in &mut self.slots[range] {
                 if slot.is_none() {
                     *slot = Some(item);
+                    self.instruments.kick_depth.observe(kicks);
                     return Ok(());
                 }
             }
         }
+        self.instruments.kick_depth.observe(MAX_KICKS as u64);
         Err(item)
     }
 
     fn grow(&mut self) {
+        self.instruments.grows.inc();
         let new_m = self.num_buckets * 2;
         let old = std::mem::replace(
             &mut self.slots,
@@ -300,6 +321,7 @@ impl<V: Clone> CuckooHashTable<V> {
             for slot in &mut self.slots[range] {
                 if slot.as_ref().is_some_and(|s| s.key == key) {
                     self.len -= 1;
+                    self.instruments.deletes.inc();
                     return slot.take().map(|s| s.value);
                 }
             }
@@ -432,6 +454,30 @@ mod tests {
             assert_eq!(k, i as u64);
             assert_eq!(v, k + 1000);
         }
+    }
+
+    #[test]
+    fn telemetry_tracks_inserts_kicks_and_grows() {
+        use ccf_telemetry::Telemetry;
+        let telemetry = Telemetry::enabled();
+        let mut t: CuckooHashTable<u64> = CuckooHashTable::new(2, 2, 2);
+        t.attach_telemetry(&telemetry, &[]);
+        for k in 0..500u64 {
+            t.insert(k, k);
+        }
+        assert_eq!(t.remove(3), Some(3));
+        let labels = [("structure", "cuckoo_table")];
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("cuckoo_inserts_total", &labels), Some(500));
+        assert_eq!(snap.counter("cuckoo_deletes_total", &labels), Some(1));
+        assert!(
+            snap.counter("cuckoo_grows_total", &labels).unwrap() >= 1,
+            "500 keys into a 4-slot table must grow"
+        );
+        // Placement attempts (including rehash traffic during growth) all record a
+        // kick depth, so the histogram has at least one observation per insert.
+        let depth = snap.histogram("cuckoo_kick_depth", &labels).unwrap();
+        assert!(depth.count() >= 500);
     }
 
     #[test]

@@ -15,9 +15,62 @@
 use ccf_core::sizing::{size_for_profile, DuplicationProfile, VariantKind};
 use ccf_core::{AnyCcf, CcfParams, ConditionalFilter, DeleteFailure, FilterKey, Predicate};
 use ccf_cuckoo::{CuckooFilter, CuckooFilterParams};
+use ccf_telemetry::{buckets, Counter, Telemetry};
 use ccf_workloads::imdb::{spec_of, SyntheticImdb, SyntheticTable, TableId};
 
 use crate::bridge::ccf_attrs_for_row;
+
+/// Per-table probe counters for a filter bank: keys probed through the bank's batch
+/// entry points, split by probe kind. Disabled (free) unless the bank was built with
+/// [`FilterBank::build_with_telemetry`].
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ProbeCounters {
+    /// `ccf_join_probe_keys_total{table=…, probe="query"}`: predicate-qualified CCF
+    /// probes.
+    pub(crate) query: Counter,
+    /// `ccf_join_probe_keys_total{table=…, probe="contains_key"}`: key-only CCF
+    /// probes.
+    pub(crate) contains_key: Counter,
+    /// `ccf_join_probe_keys_total{table=…, probe="key_baseline"}`: probes of the
+    /// predicate-blind baseline filter (the "current state of the art" strategy).
+    pub(crate) key_baseline: Counter,
+}
+
+impl ProbeCounters {
+    pub(crate) fn resolve(telemetry: &Telemetry, extra: &[(&str, &str)]) -> Self {
+        let probe = |kind| {
+            let mut labels = extra.to_vec();
+            labels.push(("probe", kind));
+            telemetry.counter(
+                "ccf_join_probe_keys_total",
+                "Keys probed through a join filter bank, by probe kind",
+                &labels,
+            )
+        };
+        Self {
+            query: probe("query"),
+            contains_key: probe("contains_key"),
+            key_baseline: probe("key_baseline"),
+        }
+    }
+}
+
+/// Register (and start) a bank-build timer for one table. The histogram is the
+/// coarse ns latency layout; `extra` carries the `table` label (and `bank` for the
+/// sharded counterpart).
+pub(crate) fn bank_build_timer(
+    telemetry: &Telemetry,
+    extra: &[(&str, &str)],
+) -> ccf_telemetry::Timer {
+    telemetry
+        .histogram(
+            "ccf_join_bank_build_ns",
+            "Wall-clock nanoseconds to build one table's filters",
+            &buckets::latency_ns(),
+            extra,
+        )
+        .start_timer()
+}
 
 /// Configuration for building a [`FilterBank`].
 #[derive(Debug, Clone, Copy)]
@@ -105,6 +158,9 @@ pub struct TableFilters {
     /// Rows the CCF failed to absorb (kick exhaustion). Zero in a properly sized bank;
     /// reported so experiments can verify sizing.
     pub failed_rows: usize,
+    /// Probe counters for this table (disabled unless the bank was built with
+    /// [`FilterBank::build_with_telemetry`]).
+    pub(crate) probes: ProbeCounters,
 }
 
 /// Pre-built filters for every table of the dataset.
@@ -119,16 +175,37 @@ pub struct FilterBank {
 impl FilterBank {
     /// Build filters for every table of a synthetic IMDB dataset.
     pub fn build(db: &SyntheticImdb, config: FilterConfig) -> Self {
+        Self::build_with_telemetry(db, config, &Telemetry::disabled())
+    }
+
+    /// As [`FilterBank::build`], with telemetry: each table's build is timed into
+    /// `ccf_join_bank_build_ns{table=…}`, the per-table CCF and key-only baseline
+    /// attach their own instruments under a `table` label, and the bank's batch probe
+    /// entry points count probed keys into `ccf_join_probe_keys_total{table=…,probe=…}`.
+    pub fn build_with_telemetry(
+        db: &SyntheticImdb,
+        config: FilterConfig,
+        telemetry: &Telemetry,
+    ) -> Self {
         let tables = TableId::ALL
             .iter()
-            .map(|&id| Self::build_table(db.table(id), config))
+            .map(|&id| Self::build_table(db.table(id), config, telemetry))
             .collect();
         Self { config, tables }
     }
 
-    fn build_table(table: &SyntheticTable, config: FilterConfig) -> TableFilters {
+    fn build_table(
+        table: &SyntheticTable,
+        config: FilterConfig,
+        telemetry: &Telemetry,
+    ) -> TableFilters {
+        let labels = [("table", table.id.name())];
+        let _timer = bank_build_timer(telemetry, &labels);
         let params = config.params_for(table);
         let mut ccf = AnyCcf::new(config.variant, params);
+        if telemetry.is_enabled() {
+            ccf.attach_telemetry(telemetry, &labels);
+        }
         let mut failed_rows = 0usize;
         for row in 0..table.num_rows() {
             let attrs = ccf_attrs_for_row(table, row);
@@ -149,6 +226,9 @@ impl FilterBank {
             )
             .with_storage(config.storage),
         );
+        if telemetry.is_enabled() {
+            key_filter.attach_telemetry(telemetry, &labels);
+        }
         for &k in &distinct_keys {
             // Sized for the key count, so failures are not expected; a failure would
             // only make the baseline look *better* (fewer positives), so ignore it.
@@ -160,6 +240,7 @@ impl FilterBank {
             ccf,
             key_filter,
             failed_rows,
+            probes: ProbeCounters::resolve(telemetry, &labels),
         }
     }
 
@@ -216,7 +297,9 @@ impl FilterBank {
     /// Batched key-only probe of one table's CCF with typed keys (any
     /// [`FilterKey`]: join keys arriving as strings, composites, or raw `u64`s).
     pub fn contains_key_batch<K: FilterKey>(&self, id: TableId, keys: &[K]) -> Vec<bool> {
-        self.table(id).ccf.contains_key_batch(keys)
+        let t = self.table(id);
+        t.probes.contains_key.add(keys.len() as u64);
+        t.ccf.contains_key_batch(keys)
     }
 
     /// Batched predicate probe of one table's CCF with typed keys.
@@ -226,7 +309,9 @@ impl FilterBank {
         pred: &Predicate,
         keys: &[K],
     ) -> Vec<bool> {
-        self.table(id).ccf.query_batch(keys, pred)
+        let t = self.table(id);
+        t.probes.query.add(keys.len() as u64);
+        t.ccf.query_batch(keys, pred)
     }
 
     /// Total serialized size of all CCFs, in bits.
@@ -366,6 +451,54 @@ mod tests {
         let filters = bank.table(TableId::MovieKeyword);
         assert!(filters.ccf.contains_key(key));
         assert!(filters.key_filter.contains(key));
+    }
+
+    #[test]
+    fn telemetry_times_builds_and_counts_probes_per_table() {
+        use crate::reduction::ProbeBank;
+
+        let db = db();
+        let telemetry = ccf_telemetry::Telemetry::enabled();
+        let bank = FilterBank::build_with_telemetry(
+            &db,
+            FilterConfig::small(VariantKind::Chained),
+            &telemetry,
+        );
+        let keys: Vec<u64> = db.table(TableId::MovieCompanies).join_keys[..100].to_vec();
+        bank.contains_key_batch(TableId::MovieCompanies, &keys);
+        bank.query_batch(TableId::MovieCompanies, &Predicate::any(2), &keys[..40]);
+        bank.key_probe(TableId::MovieKeyword, &keys);
+
+        let snap = telemetry.snapshot();
+        // One build timing per table.
+        for id in TableId::ALL {
+            let h = snap
+                .histogram("ccf_join_bank_build_ns", &[("table", id.name())])
+                .unwrap_or_else(|| panic!("no build timing for {id:?}"));
+            assert_eq!(h.count(), 1, "{id:?} built exactly once");
+            assert!(h.sum > 0, "{id:?} build took measurable time");
+        }
+        // Probe-key counters, split by table and probe kind.
+        let probe = |table: TableId, kind| {
+            snap.counter(
+                "ccf_join_probe_keys_total",
+                &[("table", table.name()), ("probe", kind)],
+            )
+        };
+        assert_eq!(probe(TableId::MovieCompanies, "contains_key"), Some(100));
+        assert_eq!(probe(TableId::MovieCompanies, "query"), Some(40));
+        assert_eq!(probe(TableId::MovieKeyword, "key_baseline"), Some(100));
+        assert_eq!(probe(TableId::MovieKeyword, "query"), Some(0));
+        // The per-table CCFs attached their own instruments under the table label:
+        // every row insert was counted somewhere in ccf_inserts_total.
+        let total_rows: u64 = db.tables.iter().map(|t| t.num_rows() as u64).sum();
+        assert_eq!(
+            snap.counter_sum("ccf_inserts_total") + snap.counter_sum("ccf_insert_failures_total"),
+            total_rows,
+            "bank build must count every row insert exactly once"
+        );
+        // The key-only baselines attached too (cuckoo_* namespace).
+        assert!(snap.counter_sum("cuckoo_inserts_total") > 0);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! (total surviving rows over total predicate-qualified rows) and computes the CCF's
 //! FPR relative to the exact baselines.
 
-use ccf_core::{ConditionalFilter, Predicate};
+use ccf_core::Predicate;
 use ccf_workloads::imdb::{SyntheticImdb, TableId};
 use ccf_workloads::joblight::{JobLightQuery, JobLightWorkload};
 
@@ -42,10 +42,12 @@ pub trait ProbeBank {
 
 impl ProbeBank for FilterBank {
     fn key_probe(&self, table: TableId, keys: &[u64]) -> Vec<bool> {
-        self.table(table).key_filter.contains_batch(keys)
+        let t = self.table(table);
+        t.probes.key_baseline.add(keys.len() as u64);
+        t.key_filter.contains_batch(keys)
     }
     fn ccf_probe(&self, table: TableId, pred: &Predicate, keys: &[u64]) -> Vec<bool> {
-        self.table(table).ccf.query_batch(keys, pred)
+        self.query_batch(table, pred, keys)
     }
 }
 
@@ -268,6 +270,7 @@ impl WorkloadSummary {
 mod tests {
     use super::*;
     use ccf_core::sizing::VariantKind;
+    use ccf_core::ConditionalFilter;
     use ccf_workloads::imdb::SyntheticImdb;
 
     use crate::filters::FilterConfig;

@@ -21,8 +21,10 @@ use ccf_shard::ShardedCcf;
 use ccf_workloads::imdb::{SyntheticImdb, SyntheticTable, TableId};
 use ccf_workloads::joblight::JobLightWorkload;
 
+use ccf_telemetry::Telemetry;
+
 use crate::bridge::ccf_attrs_for_row;
-use crate::filters::FilterConfig;
+use crate::filters::{bank_build_timer, FilterConfig, ProbeCounters};
 use crate::reduction::{evaluate_workload_with, InstanceResult, ProbeBank};
 
 /// How a [`ShardedFilterBank`] is partitioned and parallelised.
@@ -60,6 +62,9 @@ pub struct ShardedTableFilters {
     /// Rows no shard could absorb. With `auto_grow` shards this is zero unless a row
     /// hits the §4.3 duplicate cap, which growth cannot lift.
     pub failed_rows: usize,
+    /// Probe counters for this table (disabled unless the bank was built with
+    /// [`ShardedFilterBank::build_with_telemetry`]).
+    pub(crate) probes: ProbeCounters,
 }
 
 /// Sharded filters for every table of the dataset.
@@ -81,6 +86,19 @@ impl ShardedFilterBank {
     /// the two fan-out levels would oversubscribe the machine with up to `threads²`
     /// workers for no added parallelism.
     pub fn build(db: &SyntheticImdb, config: FilterConfig, shard_config: ShardConfig) -> Self {
+        Self::build_with_telemetry(db, config, shard_config, &Telemetry::disabled())
+    }
+
+    /// As [`ShardedFilterBank::build`], with telemetry: per-table build timers
+    /// (`ccf_join_bank_build_ns{bank="sharded",table=…}`), per-shard filter
+    /// instruments (each table's [`ShardedCcf`] attaches under `table` + `shard`
+    /// labels), and probe-key counters on the bank's batch probe entry points.
+    pub fn build_with_telemetry(
+        db: &SyntheticImdb,
+        config: FilterConfig,
+        shard_config: ShardConfig,
+        telemetry: &Telemetry,
+    ) -> Self {
         let ids = TableId::ALL;
         let workers = shard_config.threads.clamp(1, ids.len());
         let insert_threads = if workers > 1 { 1 } else { shard_config.threads };
@@ -90,6 +108,7 @@ impl ShardedFilterBank {
                 config,
                 shard_config,
                 insert_threads,
+                telemetry,
             ))
         });
         built.sort_by_key(|(t, _)| *t);
@@ -105,7 +124,10 @@ impl ShardedFilterBank {
         config: FilterConfig,
         shard_config: ShardConfig,
         insert_threads: usize,
+        telemetry: &Telemetry,
     ) -> ShardedTableFilters {
+        let labels = [("bank", "sharded"), ("table", table.id.name())];
+        let _timer = bank_build_timer(telemetry, &labels);
         // Start from the sequential sizing, give each shard its keyspace slice (the
         // variants round shard bucket counts up to powers of two, so total capacity
         // never shrinks), and let auto_grow absorb routing imbalance.
@@ -122,6 +144,9 @@ impl ShardedFilterBank {
         // out), then hand the filter to probing with the full thread budget.
         let mut ccf = ShardedCcf::new(config.variant, shard_params, shard_config.num_shards)
             .with_threads(insert_threads);
+        if telemetry.is_enabled() {
+            ccf.attach_telemetry(telemetry, &labels);
+        }
         let rows: Vec<(u64, Vec<u64>)> = (0..table.num_rows())
             .map(|row| (table.join_keys[row], ccf_attrs_for_row(table, row)))
             .collect();
@@ -135,6 +160,7 @@ impl ShardedFilterBank {
             table: table.id,
             ccf,
             failed_rows,
+            probes: ProbeCounters::resolve(telemetry, &labels),
         }
     }
 
@@ -159,7 +185,9 @@ impl ShardedFilterBank {
     /// Batched key-only probe of one table's sharded CCF with typed keys (any
     /// [`FilterKey`]).
     pub fn contains_key_batch<K: FilterKey>(&self, id: TableId, keys: &[K]) -> Vec<bool> {
-        self.table(id).ccf.contains_key_batch(keys)
+        let t = self.table(id);
+        t.probes.contains_key.add(keys.len() as u64);
+        t.ccf.contains_key_batch(keys)
     }
 
     /// Batched predicate probe of one table's sharded CCF with typed keys.
@@ -169,7 +197,9 @@ impl ShardedFilterBank {
         pred: &Predicate,
         keys: &[K],
     ) -> Vec<bool> {
-        self.table(id).ccf.query_batch(keys, pred)
+        let t = self.table(id);
+        t.probes.query.add(keys.len() as u64);
+        t.ccf.query_batch(keys, pred)
     }
 
     /// Evict one row from a table's sharded CCF, write-locking only the owning shard
@@ -208,10 +238,12 @@ impl ShardedFilterBank {
 
 impl ProbeBank for ShardedFilterBank {
     fn key_probe(&self, table: TableId, keys: &[u64]) -> Vec<bool> {
-        self.table(table).ccf.contains_key_batch(keys)
+        // The sharded bank's key-only strategy shares the CCF's storage (no separate
+        // baseline filter), so key probes count as `contains_key`.
+        self.contains_key_batch(table, keys)
     }
     fn ccf_probe(&self, table: TableId, pred: &Predicate, keys: &[u64]) -> Vec<bool> {
-        self.table(table).ccf.query_batch(keys, pred)
+        self.query_batch(table, pred, keys)
     }
 }
 

@@ -26,10 +26,70 @@ use ccf_core::{
 };
 use ccf_hash::salted::purpose;
 use ccf_hash::{HashFamily, SaltedHasher};
+use ccf_telemetry::{buckets, Histogram, Telemetry};
 
 use crate::fanout::fan_out_indexed;
 use crate::router::ShardRouter;
 use crate::stats::{ShardSnapshot, ShardStats};
+
+/// Largest batch size the `ccf_shard_batch_keys` histogram resolves exactly;
+/// bigger batches land in the `+Inf` bucket.
+const BATCH_KEYS_BUCKET_MAX: u64 = 1 << 20;
+
+/// Latency + size histograms for one batch entry point (`op` label fixed at resolve
+/// time). Disabled by default — each batch call then costs two branches and no clock
+/// read.
+#[derive(Debug, Default, Clone)]
+struct BatchInstruments {
+    /// `ccf_shard_batch_latency_ns{op=…}`: wall-clock ns per batch call, including
+    /// key lowering, routing, and the fan-out join.
+    latency: Histogram,
+    /// `ccf_shard_batch_keys{op=…}`: number of keys/rows per batch call.
+    keys: Histogram,
+}
+
+/// Service-level instruments for [`ShardedCcf`]: one latency/size histogram pair per
+/// batch entry point. Per-shard *op* counters are not duplicated here — attaching
+/// telemetry labels every shard's own [`ccf_core::CcfInstruments`] with
+/// `shard="<idx>"`, so the existing `ccf_*_total` series already break down by shard.
+#[derive(Debug, Default, Clone)]
+struct ServiceInstruments {
+    query_batch: BatchInstruments,
+    contains_key_batch: BatchInstruments,
+    insert_batch: BatchInstruments,
+    delete_row_batch: BatchInstruments,
+    delete_key_batch: BatchInstruments,
+}
+
+impl ServiceInstruments {
+    fn resolve(telemetry: &Telemetry, extra: &[(&str, &str)]) -> Self {
+        let op = |name| {
+            let mut labels = extra.to_vec();
+            labels.push(("op", name));
+            BatchInstruments {
+                latency: telemetry.histogram(
+                    "ccf_shard_batch_latency_ns",
+                    "Wall-clock nanoseconds per sharded batch call",
+                    &buckets::latency_ns(),
+                    &labels,
+                ),
+                keys: telemetry.histogram(
+                    "ccf_shard_batch_keys",
+                    "Keys (or rows) per sharded batch call",
+                    &buckets::log2(BATCH_KEYS_BUCKET_MAX),
+                    &labels,
+                ),
+            }
+        };
+        Self {
+            query_batch: op("query"),
+            contains_key_batch: op("contains_key"),
+            insert_batch: op("insert"),
+            delete_row_batch: op("delete_row"),
+            delete_key_batch: op("delete_key"),
+        }
+    }
+}
 
 /// A sharded, thread-safe conditional cuckoo filter service.
 ///
@@ -48,6 +108,7 @@ pub struct ShardedCcf {
     key_lower: SaltedHasher,
     shards: Vec<RwLock<AnyCcf>>,
     threads: usize,
+    instruments: ServiceInstruments,
 }
 
 /// Read guard errors are invariant violations (a worker panicked while holding the
@@ -87,6 +148,7 @@ impl ShardedCcf {
             key_lower: HashFamily::new(shard_params.seed).hasher(purpose::KEY_LOWER),
             shards,
             threads: num_shards,
+            instruments: ServiceInstruments::default(),
         })
     }
 
@@ -126,7 +188,38 @@ impl ShardedCcf {
             key_lower: HashFamily::new(router_seed).hasher(purpose::KEY_LOWER),
             shards: filters.into_iter().map(RwLock::new).collect(),
             threads: num_shards.max(1),
+            instruments: ServiceInstruments::default(),
         }
+    }
+
+    /// Attach a telemetry registry to the service: every shard's filter resolves its
+    /// [`ccf_core::CcfInstruments`] with a `shard="<idx>"` label (on top of `extra`),
+    /// giving per-shard insert/query/delete/kick series, and the service itself
+    /// registers batch latency/size histograms (`ccf_shard_batch_latency_ns`,
+    /// `ccf_shard_batch_keys`, one `op` label per batch entry point). Attaching a
+    /// [`Telemetry::disabled()`] handle detaches everything. Takes `&mut self` (no
+    /// locking): wire telemetry up before the service starts serving.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry, extra: &[(&str, &str)]) {
+        self.instruments = if telemetry.is_enabled() {
+            ServiceInstruments::resolve(telemetry, extra)
+        } else {
+            ServiceInstruments::default()
+        };
+        for (idx, shard) in self.shards.iter_mut().enumerate() {
+            let shard_label = idx.to_string();
+            let mut labels = extra.to_vec();
+            labels.push(("shard", shard_label.as_str()));
+            shard
+                .get_mut()
+                .expect(POISONED)
+                .attach_telemetry(telemetry, &labels);
+        }
+    }
+
+    /// Builder-style [`ShardedCcf::attach_telemetry`] with no extra labels.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.attach_telemetry(telemetry, &[]);
+        self
     }
 
     /// The hasher typed keys are lowered with before routing and probing
@@ -264,6 +357,8 @@ impl ShardedCcf {
     /// Keys are lowered once up front (`u64` batches copy-free); partitioning and the
     /// per-shard prehashed batch kernels consume the lowered material.
     pub fn query_batch<K: FilterKey>(&self, keys: &[K], pred: &Predicate) -> Vec<bool> {
+        let _timer = self.instruments.query_batch.latency.start_timer();
+        self.instruments.query_batch.keys.observe_len(keys.len());
         let lowered = K::lower_batch(keys, &self.key_lower);
         let part = self.router.partition(&lowered);
         let results = self.fan_out_read(&part.chunks, |filter, chunk| {
@@ -275,6 +370,11 @@ impl ShardedCcf {
     /// Batched key-only membership. Bit-identical to a per-key
     /// [`ShardedCcf::contains_key`] loop.
     pub fn contains_key_batch<K: FilterKey>(&self, keys: &[K]) -> Vec<bool> {
+        let _timer = self.instruments.contains_key_batch.latency.start_timer();
+        self.instruments
+            .contains_key_batch
+            .keys
+            .observe_len(keys.len());
         let lowered = K::lower_batch(keys, &self.key_lower);
         let part = self.router.partition(&lowered);
         let results = self.fan_out_read(&part.chunks, |filter, chunk| {
@@ -333,6 +433,8 @@ impl ShardedCcf {
         K: FilterKey + Sync,
         A: AsRef<[u64]> + Sync,
     {
+        let _timer = self.instruments.insert_batch.latency.start_timer();
+        self.instruments.insert_batch.keys.observe_len(rows.len());
         // Lower every key once; routing and the per-shard inserts share the material.
         let lowered: Vec<u64> = rows.iter().map(|(k, _)| k.lower(&self.key_lower)).collect();
         self.fan_out_write(&lowered, |filter, i| {
@@ -350,6 +452,11 @@ impl ShardedCcf {
         K: FilterKey + Sync,
         A: AsRef<[u64]> + Sync,
     {
+        let _timer = self.instruments.delete_row_batch.latency.start_timer();
+        self.instruments
+            .delete_row_batch
+            .keys
+            .observe_len(rows.len());
         let lowered: Vec<u64> = rows.iter().map(|(k, _)| k.lower(&self.key_lower)).collect();
         self.fan_out_write(&lowered, |filter, i| {
             filter.delete_row_prehashed(lowered[i], rows[i].1.as_ref())
@@ -362,6 +469,11 @@ impl ShardedCcf {
         &self,
         keys: &[K],
     ) -> Vec<Result<bool, DeleteFailure>> {
+        let _timer = self.instruments.delete_key_batch.latency.start_timer();
+        self.instruments
+            .delete_key_batch
+            .keys
+            .observe_len(keys.len());
         let lowered = K::lower_batch(keys, &self.key_lower);
         self.fan_out_write(&lowered, |filter, i| {
             filter.delete_key_prehashed(lowered[i])
@@ -761,5 +873,109 @@ mod tests {
         assert_eq!(service.threads(), 3);
         service.set_threads(0);
         assert_eq!(service.threads(), 1);
+    }
+
+    #[test]
+    fn telemetry_labels_ops_by_shard_and_times_batches() {
+        let telemetry = Telemetry::enabled();
+        let service =
+            ShardedCcf::new(VariantKind::Chained, shard_params(77), 4).with_telemetry(&telemetry);
+        let data = rows(400);
+        service.insert_batch(&data);
+        let keys: Vec<u64> = data.iter().map(|(k, _)| *k).collect();
+        let hits = service.contains_key_batch(&keys);
+        assert!(hits.iter().all(|&h| h));
+        service.query_batch(&keys, &service.predicate());
+        service.delete_key_batch(&keys[..10]);
+        service.delete_row_batch(&data[10..20]);
+        // A point op lands on exactly one shard's series.
+        service.query(data[30].0, &service.predicate());
+
+        let snap = telemetry.snapshot();
+        // Per-shard op counters: every op was recorded under some shard label, and
+        // the shard-labelled series sum to the service-wide totals.
+        let per_shard: Vec<u64> = (0..4)
+            .map(|s| {
+                let shard = s.to_string();
+                ["inserted", "deduplicated", "merged", "converted"]
+                    .iter()
+                    .filter_map(|o| {
+                        snap.counter(
+                            "ccf_inserts_total",
+                            &[
+                                ("variant", "chained"),
+                                ("shard", shard.as_str()),
+                                ("outcome", o),
+                            ],
+                        )
+                    })
+                    .sum()
+            })
+            .collect();
+        assert_eq!(
+            per_shard.iter().sum::<u64>(),
+            data.len() as u64,
+            "per-shard insert counters must cover the whole batch: {per_shard:?}"
+        );
+        assert!(
+            per_shard.iter().all(|&n| n > 0),
+            "uniform routing should touch every shard: {per_shard:?}"
+        );
+        assert_eq!(
+            snap.counter_sum("ccf_queries_total"),
+            keys.len() as u64 + 1,
+            "one query_batch plus one point query; contains_key is not a predicate query"
+        );
+        assert_eq!(snap.counter_sum("ccf_deletes_total"), 20);
+
+        // Service-level batch histograms: one observation per batch call, labelled
+        // by op, recording both the batch size and a wall-clock latency.
+        for (op, calls, keys_seen) in [
+            ("insert", 1, 400),
+            ("contains_key", 1, 400),
+            ("query", 1, 400),
+            ("delete_key", 1, 10),
+            ("delete_row", 1, 10),
+        ] {
+            let labels = [("op", op)];
+            let sizes = snap
+                .histogram("ccf_shard_batch_keys", &labels)
+                .unwrap_or_else(|| panic!("missing batch-keys series for op={op}"));
+            assert_eq!(sizes.count(), calls, "op={op}: one observation per call");
+            assert_eq!(
+                sizes.sum, keys_seen,
+                "op={op}: batch sizes recorded exactly"
+            );
+            let latency = snap
+                .histogram("ccf_shard_batch_latency_ns", &labels)
+                .unwrap_or_else(|| panic!("missing latency series for op={op}"));
+            assert_eq!(
+                latency.count(),
+                calls,
+                "op={op}: every batch call must record exactly one latency"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_telemetry_detaches_instruments() {
+        let telemetry = Telemetry::enabled();
+        let mut service =
+            ShardedCcf::new(VariantKind::Chained, shard_params(78), 2).with_telemetry(&telemetry);
+        service.insert_batch(&rows(50));
+        let before = telemetry.snapshot();
+        assert_eq!(before.counter_sum("ccf_inserts_total"), 50);
+        // Re-attaching a disabled handle stops all recording (service and shards).
+        service.attach_telemetry(&Telemetry::disabled(), &[]);
+        service.insert_batch(&rows(50));
+        let after = telemetry.snapshot();
+        assert_eq!(after.counter_sum("ccf_inserts_total"), 50);
+        assert_eq!(
+            after
+                .histogram("ccf_shard_batch_keys", &[("op", "insert")])
+                .unwrap()
+                .count(),
+            1
+        );
     }
 }

@@ -174,6 +174,51 @@ mod tests {
     }
 
     #[test]
+    fn all_empty_shards_stay_finite() {
+        // Every shard empty: mean load is 0, so the imbalance ratio must short-circuit
+        // to 1.0 (balanced by definition) instead of dividing by zero, and the
+        // min/max loads are plain zeros — no NaN or infinity anywhere.
+        let stats = ShardStats::aggregate(vec![
+            snapshot(vec![0, 0], 4, 0, 0.0),
+            snapshot(vec![0, 0, 0], 4, 0, 0.0),
+            snapshot(vec![0], 8, 0, 0.0),
+        ]);
+        assert_eq!(stats.load_factor(), 0.0);
+        assert_eq!(stats.load_imbalance(), 1.0);
+        assert_eq!(stats.min_shard_load(), 0.0);
+        assert_eq!(stats.max_shard_load(), 0.0);
+        assert!(stats.load_imbalance().is_finite());
+    }
+
+    #[test]
+    fn single_shard_service_is_its_own_mean() {
+        // One shard: max load == mean load, so imbalance is exactly 1 and min == max,
+        // at any occupancy.
+        for counts in [vec![0, 0], vec![4, 0], vec![4, 4]] {
+            let stats = ShardStats::aggregate(vec![snapshot(counts.clone(), 4, 0, 0.01)]);
+            assert_eq!(stats.num_shards(), 1);
+            assert!(
+                (stats.load_imbalance() - 1.0).abs() < 1e-12,
+                "single shard {counts:?} must be balanced, got {}",
+                stats.load_imbalance()
+            );
+            assert_eq!(stats.min_shard_load(), stats.max_shard_load());
+            assert_eq!(stats.min_shard_load(), stats.load_factor());
+        }
+    }
+
+    #[test]
+    fn min_shard_load_tracks_the_emptiest_shard() {
+        let stats = ShardStats::aggregate(vec![
+            snapshot(vec![4, 4], 4, 0, 0.0), // load 1.0
+            snapshot(vec![2, 0], 4, 0, 0.0), // load 0.25
+            snapshot(vec![4, 0], 4, 0, 0.0), // load 0.5
+        ]);
+        assert!((stats.min_shard_load() - 0.25).abs() < 1e-12);
+        assert!((stats.max_shard_load() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one shard")]
     fn aggregate_rejects_zero_shards() {
         let _ = ShardStats::aggregate(Vec::new());

@@ -1,0 +1,72 @@
+//! Standard bucket layouts for the stack's histograms.
+//!
+//! Fixed layouts keep recording allocation-free and make series from different
+//! components directly comparable. Two families cover every current use:
+//!
+//! * [`log2`] — powers of two, for small structural quantities (kick depth per insert,
+//!   chain walk length, fan-out batch size). A `0` bucket leads so the common
+//!   "no kicks at all" case is its own bin.
+//! * [`latency_ns`] — coarse decimal nanosecond bounds (1 µs … 1 s), for wall-clock
+//!   timings recorded via [`crate::Histogram::start_timer`].
+
+/// `[0, 1, 2, 4, …]` up to the first power of two `≥ max`.
+///
+/// # Panics
+/// Panics if `max == 0` (the layout would collapse to the single `0` bucket).
+pub fn log2(max: u64) -> Vec<u64> {
+    assert!(max > 0, "log2 bucket layout needs max > 0");
+    let mut bounds = vec![0, 1];
+    let mut b = 2u64;
+    while b < max {
+        bounds.push(b);
+        b = b.saturating_mul(2);
+    }
+    bounds.push(b.min(max.next_power_of_two()));
+    bounds.dedup();
+    bounds
+}
+
+/// Coarse nanosecond latency bounds: `1-5-10` steps from 1 µs to 1 s.
+pub fn latency_ns() -> Vec<u64> {
+    vec![
+        1_000,         // 1 µs
+        5_000,         // 5 µs
+        10_000,        // 10 µs
+        50_000,        // 50 µs
+        100_000,       // 100 µs
+        500_000,       // 500 µs
+        1_000_000,     // 1 ms
+        5_000_000,     // 5 ms
+        10_000_000,    // 10 ms
+        50_000_000,    // 50 ms
+        100_000_000,   // 100 ms
+        500_000_000,   // 500 ms
+        1_000_000_000, // 1 s
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_covers_zero_through_max() {
+        assert_eq!(log2(1), vec![0, 1]);
+        assert_eq!(log2(2), vec![0, 1, 2]);
+        assert_eq!(log2(500), vec![0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512]);
+        assert_eq!(log2(512).last(), Some(&512));
+    }
+
+    #[test]
+    fn layouts_are_strictly_increasing() {
+        for bounds in [log2(500), log2(7), latency_ns()] {
+            assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max > 0")]
+    fn log2_rejects_zero() {
+        let _ = log2(0);
+    }
+}

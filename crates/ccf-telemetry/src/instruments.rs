@@ -1,0 +1,361 @@
+//! The three instrument kinds: counters, gauges, and fixed-bucket histograms.
+//!
+//! Every handle wraps an `Option<Arc<…Core>>`. A handle created from a disabled
+//! [`crate::Telemetry`] (or via `Default`) holds `None`, so the per-operation cost of
+//! unused telemetry is a single branch — no allocation, no atomics, and for latency
+//! timers not even a clock read. All atomic traffic uses `Ordering::Relaxed`: the
+//! instruments count events, they do not synchronize them.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+pub(crate) struct CounterCore {
+    value: AtomicU64,
+}
+
+impl CounterCore {
+    pub(crate) fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A monotonically increasing event counter.
+///
+/// Cloning is cheap and clones share the underlying series. The `Default` handle is
+/// disabled: every method is a no-op costing one branch.
+#[derive(Debug, Default, Clone)]
+pub struct Counter {
+    pub(crate) core: Option<Arc<CounterCore>>,
+}
+
+impl Counter {
+    /// A no-op counter (what every instrument field starts as).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn from_core(core: Arc<CounterCore>) -> Self {
+        Self { core: Some(core) }
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(core) = &self.core {
+            core.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.core.as_ref().map_or(0, |c| c.get())
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct GaugeCore {
+    value: AtomicI64,
+}
+
+impl GaugeCore {
+    pub(crate) fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways (live entries, open shards, …).
+#[derive(Debug, Default, Clone)]
+pub struct Gauge {
+    pub(crate) core: Option<Arc<GaugeCore>>,
+}
+
+impl Gauge {
+    /// A no-op gauge.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn from_core(core: Arc<GaugeCore>) -> Self {
+        Self { core: Some(core) }
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(core) = &self.core {
+            core.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `n` (negative values subtract).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(core) = &self.core {
+            core.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtract `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.core.as_ref().map_or(0, |c| c.get())
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// Inclusive upper bounds of the finite buckets, strictly increasing. Observations
+    /// above the last bound land in the implicit `+Inf` bucket.
+    pub(crate) bounds: Vec<u64>,
+    /// One count per finite bound plus the `+Inf` overflow bucket (not cumulative;
+    /// cumulation happens at snapshot/render time, the Prometheus convention).
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "a histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn observe(&self, value: u64) {
+        // partition_point is a branch-light binary search over a handful of bounds.
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    pub(crate) fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram of `u64` observations (kick depths, chain lengths, batch
+/// sizes, nanosecond latencies).
+///
+/// Bucket layouts come from [`crate::buckets`]; the layout is fixed at registration so
+/// recording is a small binary search plus two relaxed atomic adds.
+#[derive(Debug, Default, Clone)]
+pub struct Histogram {
+    pub(crate) core: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// A no-op histogram.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn from_core(core: Arc<HistogramCore>) -> Self {
+        Self { core: Some(core) }
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if let Some(core) = &self.core {
+            core.observe(value);
+        }
+    }
+
+    /// Record a `usize` observation (saturating into `u64`, which cannot actually
+    /// truncate on any supported platform).
+    #[inline]
+    pub fn observe_len(&self, value: usize) {
+        self.observe(value as u64);
+    }
+
+    /// Start a wall-clock timer whose drop records elapsed **nanoseconds** into this
+    /// histogram. When the histogram is disabled the timer holds nothing and never
+    /// touches the clock — `Instant::now()` is skipped entirely.
+    #[inline]
+    pub fn start_timer(&self) -> Timer {
+        Timer {
+            inner: self
+                .core
+                .as_ref()
+                .map(|core| (Arc::clone(core), Instant::now())),
+        }
+    }
+
+    /// Total number of observations (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.core
+            .as_ref()
+            .map_or(0, |c| c.counts().iter().sum::<u64>())
+    }
+
+    /// Sum of all observed values (0 when disabled).
+    pub fn sum(&self) -> u64 {
+        self.core.as_ref().map_or(0, |c| c.sum())
+    }
+}
+
+/// Records the elapsed time since [`Histogram::start_timer`] when dropped (or
+/// explicitly via [`Timer::observe_duration`]).
+#[derive(Debug)]
+pub struct Timer {
+    inner: Option<(Arc<HistogramCore>, Instant)>,
+}
+
+impl Timer {
+    /// Stop the timer now and record the elapsed nanoseconds.
+    pub fn observe_duration(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let Some((core, start)) = self.inner.take() {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            core.observe(ns);
+        }
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_instruments_are_inert() {
+        let c = Counter::disabled();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        assert!(!c.is_enabled());
+
+        let g = Gauge::disabled();
+        g.set(5);
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 0);
+
+        let h = Histogram::disabled();
+        h.observe(99);
+        h.start_timer().observe_duration();
+        drop(h.start_timer());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn counter_accumulates_across_clones() {
+        let c = Counter::from_core(Arc::new(CounterCore::default()));
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c2.get(), 5);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::from_core(Arc::new(GaugeCore::default()));
+        g.set(10);
+        g.add(5);
+        g.sub(20);
+        assert_eq!(g.get(), -5);
+    }
+
+    #[test]
+    fn histogram_buckets_observations_by_upper_bound() {
+        let core = Arc::new(HistogramCore::new(&[1, 2, 4]));
+        let h = Histogram::from_core(core.clone());
+        for v in [0, 1, 2, 3, 4, 5, 100] {
+            h.observe(v);
+        }
+        // Non-cumulative per-bucket counts: ≤1 → {0,1}, ≤2 → {2}, ≤4 → {3,4}, +Inf →
+        // {5,100}.
+        assert_eq!(core.counts(), vec![2, 1, 2, 2]);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 115);
+    }
+
+    #[test]
+    fn timer_records_nanoseconds() {
+        let core = Arc::new(HistogramCore::new(&crate::buckets::latency_ns()));
+        let h = Histogram::from_core(core);
+        h.start_timer().observe_duration();
+        {
+            let _t = h.start_timer();
+        }
+        assert_eq!(h.count(), 2, "both explicit stop and drop must record");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        let _ = HistogramCore::new(&[4, 2]);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let c = Counter::from_core(Arc::new(CounterCore::default()));
+        let h = Histogram::from_core(Arc::new(HistogramCore::new(&[8, 64])));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let c = c.clone();
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        c.inc();
+                        h.observe(t * 31 + i % 100);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -1,0 +1,355 @@
+//! The instrument registry and the [`Telemetry`] handle threaded through the stack.
+
+use std::sync::{Arc, Mutex};
+
+use crate::instruments::{Counter, CounterCore, Gauge, GaugeCore, Histogram, HistogramCore};
+use crate::snapshot::{MetricEntry, MetricValue, Snapshot};
+
+/// Owned label pairs, kept in registration order (callers pass them pre-sorted by
+/// convention: identity labels like `variant` before topology labels like `shard`).
+pub(crate) type Labels = Vec<(String, String)>;
+
+fn owned_labels(labels: &[(&str, &str)]) -> Labels {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+#[derive(Debug)]
+enum InstrumentCore {
+    Counter(Arc<CounterCore>),
+    Gauge(Arc<GaugeCore>),
+    Histogram(Arc<HistogramCore>),
+}
+
+impl InstrumentCore {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            InstrumentCore::Counter(_) => "counter",
+            InstrumentCore::Gauge(_) => "gauge",
+            InstrumentCore::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    labels: Labels,
+    core: InstrumentCore,
+}
+
+/// A collection of named, labelled instruments.
+///
+/// Registration deduplicates by `(name, labels)`: two components that resolve the same
+/// series get handles onto the same underlying atomics, which is what lets a filter and
+/// the shard service that owns it contribute to one exposition. Registering an existing
+/// series with a different instrument kind (or different histogram bounds) is a
+/// programming error and panics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolve (registering on first use) a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let labels = owned_labels(labels);
+        let mut entries = self.entries.lock().expect("telemetry registry poisoned");
+        if let Some(entry) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            match &entry.core {
+                InstrumentCore::Counter(core) => return Counter::from_core(Arc::clone(core)),
+                other => panic!(
+                    "telemetry series {name} already registered as a {}",
+                    other.kind_name()
+                ),
+            }
+        }
+        let core = Arc::new(CounterCore::default());
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            core: InstrumentCore::Counter(Arc::clone(&core)),
+        });
+        Counter::from_core(core)
+    }
+
+    /// Resolve (registering on first use) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let labels = owned_labels(labels);
+        let mut entries = self.entries.lock().expect("telemetry registry poisoned");
+        if let Some(entry) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            match &entry.core {
+                InstrumentCore::Gauge(core) => return Gauge::from_core(Arc::clone(core)),
+                other => panic!(
+                    "telemetry series {name} already registered as a {}",
+                    other.kind_name()
+                ),
+            }
+        }
+        let core = Arc::new(GaugeCore::default());
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            core: InstrumentCore::Gauge(Arc::clone(&core)),
+        });
+        Gauge::from_core(core)
+    }
+
+    /// Resolve (registering on first use) a histogram series with the given finite
+    /// bucket bounds (see [`crate::buckets`] for the standard layouts).
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[u64],
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        let labels = owned_labels(labels);
+        let mut entries = self.entries.lock().expect("telemetry registry poisoned");
+        if let Some(entry) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            match &entry.core {
+                InstrumentCore::Histogram(core) => {
+                    assert_eq!(
+                        core.bounds, bounds,
+                        "telemetry histogram {name} re-registered with different buckets"
+                    );
+                    return Histogram::from_core(Arc::clone(core));
+                }
+                other => panic!(
+                    "telemetry series {name} already registered as a {}",
+                    other.kind_name()
+                ),
+            }
+        }
+        let core = Arc::new(HistogramCore::new(bounds));
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            core: InstrumentCore::Histogram(Arc::clone(&core)),
+        });
+        Histogram::from_core(core)
+    }
+
+    /// Capture every registered series as plain data, in registration order.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.entries.lock().expect("telemetry registry poisoned");
+        Snapshot {
+            entries: entries
+                .iter()
+                .map(|e| MetricEntry {
+                    name: e.name.clone(),
+                    help: e.help.clone(),
+                    labels: e.labels.clone(),
+                    value: match &e.core {
+                        InstrumentCore::Counter(c) => MetricValue::Counter(c.get()),
+                        InstrumentCore::Gauge(g) => MetricValue::Gauge(g.get()),
+                        InstrumentCore::Histogram(h) => {
+                            MetricValue::Histogram(crate::snapshot::HistogramSnapshot {
+                                bounds: h.bounds.clone(),
+                                counts: h.counts(),
+                                sum: h.sum(),
+                            })
+                        }
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The handle the filter stack threads around: either a live registry behind an `Arc`
+/// or the disabled default.
+///
+/// Cloning is one `Arc` clone (or a copy of `None`). Every instrument resolved from a
+/// disabled handle is itself disabled, so downstream code holds plain instrument
+/// structs and never branches on the telemetry mode beyond the instruments' own
+/// internal `Option` check.
+#[derive(Debug, Default, Clone)]
+pub struct Telemetry {
+    registry: Option<Arc<Registry>>,
+}
+
+impl Telemetry {
+    /// The no-op handle: instruments resolved from it record nothing.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A handle backed by a fresh registry.
+    pub fn enabled() -> Self {
+        Self {
+            registry: Some(Arc::new(Registry::new())),
+        }
+    }
+
+    /// Whether instruments resolved from this handle record anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// The backing registry, if enabled.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.registry.as_deref()
+    }
+
+    /// Resolve a counter (disabled handle ⇒ disabled counter).
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match &self.registry {
+            Some(r) => r.counter(name, help, labels),
+            None => Counter::disabled(),
+        }
+    }
+
+    /// Resolve a gauge (disabled handle ⇒ disabled gauge).
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match &self.registry {
+            Some(r) => r.gauge(name, help, labels),
+            None => Gauge::disabled(),
+        }
+    }
+
+    /// Resolve a histogram (disabled handle ⇒ disabled histogram).
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[u64],
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        match &self.registry {
+            Some(r) => r.histogram(name, help, bounds, labels),
+            None => Histogram::disabled(),
+        }
+    }
+
+    /// Snapshot every registered series (empty when disabled).
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry
+            .as_ref()
+            .map(|r| r.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Render the Prometheus-style text exposition (empty string when disabled).
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+
+    /// Render the compact human-readable table (empty string when disabled).
+    pub fn render_table(&self) -> String {
+        self.snapshot().render_table()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buckets;
+
+    #[test]
+    fn series_deduplicate_by_name_and_labels() {
+        let t = Telemetry::enabled();
+        let a = t.counter("ops_total", "ops", &[("shard", "0")]);
+        let b = t.counter("ops_total", "ops", &[("shard", "0")]);
+        let other = t.counter("ops_total", "ops", &[("shard", "1")]);
+        a.inc();
+        b.inc();
+        other.inc();
+        assert_eq!(a.get(), 2, "same (name, labels) must share a series");
+        assert_eq!(other.get(), 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.entries.len(), 2);
+    }
+
+    #[test]
+    fn histograms_share_series_when_bounds_match() {
+        let t = Telemetry::enabled();
+        let h1 = t.histogram("depth", "d", &buckets::log2(8), &[]);
+        let h2 = t.histogram("depth", "d", &buckets::log2(8), &[]);
+        h1.observe(3);
+        h2.observe(5);
+        assert_eq!(h1.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different buckets")]
+    fn histogram_bound_mismatch_panics() {
+        let t = Telemetry::enabled();
+        let _ = t.histogram("depth", "d", &buckets::log2(8), &[]);
+        let _ = t.histogram("depth", "d", &buckets::log2(16), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let t = Telemetry::enabled();
+        let _ = t.counter("x", "x", &[]);
+        let _ = t.gauge("x", "x", &[]);
+    }
+
+    #[test]
+    fn disabled_handle_resolves_disabled_instruments() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        assert!(t.registry().is_none());
+        let c = t.counter("a", "a", &[]);
+        let g = t.gauge("b", "b", &[]);
+        let h = t.histogram("c", "c", &buckets::log2(4), &[]);
+        c.inc();
+        g.set(1);
+        h.observe(1);
+        assert!(!c.is_enabled() && !g.is_enabled() && !h.is_enabled());
+        assert!(t.snapshot().entries.is_empty());
+        assert!(t.render_text().is_empty());
+        assert!(t.render_table().is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let t = Telemetry::enabled();
+        let t2 = t.clone();
+        t.counter("a", "a", &[]).inc();
+        assert_eq!(t2.snapshot().counter("a", &[]), Some(1));
+    }
+
+    #[test]
+    fn registration_from_many_threads_is_safe() {
+        let t = Telemetry::enabled();
+        std::thread::scope(|scope| {
+            for i in 0..8 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    let shard = (i % 2).to_string();
+                    let c = t.counter("ops_total", "ops", &[("shard", shard.as_str())]);
+                    for _ in 0..100 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        let snap = t.snapshot();
+        assert_eq!(snap.entries.len(), 2);
+        assert_eq!(snap.counter("ops_total", &[("shard", "0")]), Some(400));
+        assert_eq!(snap.counter("ops_total", &[("shard", "1")]), Some(400));
+    }
+}

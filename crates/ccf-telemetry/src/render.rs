@@ -1,0 +1,216 @@
+//! Text renderings of a [`Snapshot`]: the Prometheus exposition format and a compact
+//! human table.
+
+use std::fmt::Write as _;
+
+use crate::snapshot::{MetricValue, Snapshot};
+
+fn format_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl Snapshot {
+    /// Render the Prometheus text exposition format: one `# HELP` / `# TYPE` header
+    /// per metric name (first-appearance order), then every series. Histograms emit
+    /// cumulative `_bucket{le="…"}` series plus `_sum` and `_count`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for entry in &self.entries {
+            if !seen.contains(&entry.name.as_str()) {
+                seen.push(&entry.name);
+                let kind = match &entry.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# HELP {} {}", entry.name, entry.help);
+                let _ = writeln!(out, "# TYPE {} {}", entry.name, kind);
+                // Emit every series of this name here so a metric's series stay
+                // grouped under one header even if registrations interleaved.
+                for series in self.entries.iter().filter(|e| e.name == entry.name) {
+                    match &series.value {
+                        MetricValue::Counter(v) => {
+                            let _ = writeln!(
+                                out,
+                                "{}{} {v}",
+                                series.name,
+                                format_labels(&series.labels, None)
+                            );
+                        }
+                        MetricValue::Gauge(v) => {
+                            let _ = writeln!(
+                                out,
+                                "{}{} {v}",
+                                series.name,
+                                format_labels(&series.labels, None)
+                            );
+                        }
+                        MetricValue::Histogram(h) => {
+                            let mut cumulative = 0u64;
+                            for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                                cumulative += count;
+                                let le = bound.to_string();
+                                let _ = writeln!(
+                                    out,
+                                    "{}_bucket{} {cumulative}",
+                                    series.name,
+                                    format_labels(&series.labels, Some(("le", &le)))
+                                );
+                            }
+                            cumulative += h.counts.last().copied().unwrap_or(0);
+                            let _ = writeln!(
+                                out,
+                                "{}_bucket{} {cumulative}",
+                                series.name,
+                                format_labels(&series.labels, Some(("le", "+Inf")))
+                            );
+                            let _ = writeln!(
+                                out,
+                                "{}_sum{} {}",
+                                series.name,
+                                format_labels(&series.labels, None),
+                                h.sum
+                            );
+                            let _ = writeln!(
+                                out,
+                                "{}_count{} {cumulative}",
+                                series.name,
+                                format_labels(&series.labels, None)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Render a compact aligned table for humans: one row per series with a value
+    /// summary (histograms show `count / mean / max-bucket`).
+    pub fn render_table(&self) -> String {
+        if self.entries.is_empty() {
+            return String::new();
+        }
+        let rows: Vec<(String, String)> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let series = format!("{}{}", e.name, format_labels(&e.labels, None));
+                let value = match &e.value {
+                    MetricValue::Counter(v) => v.to_string(),
+                    MetricValue::Gauge(v) => v.to_string(),
+                    MetricValue::Histogram(h) => {
+                        let max_bucket = if h.counts.last().copied().unwrap_or(0) > 0 {
+                            "+Inf".to_string()
+                        } else {
+                            h.bounds
+                                .iter()
+                                .zip(&h.counts)
+                                .filter(|(_, c)| **c > 0)
+                                .map(|(b, _)| format!("≤{b}"))
+                                .next_back()
+                                .unwrap_or_else(|| "-".to_string())
+                        };
+                        format!("count={} mean={:.1} max{}", h.count(), h.mean(), max_bucket)
+                    }
+                };
+                (series, value)
+            })
+            .collect();
+        let width = rows.iter().map(|(s, _)| s.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (series, value) in rows {
+            let _ = writeln!(out, "{series:<width$}  {value}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{buckets, Telemetry};
+
+    fn sample() -> Telemetry {
+        let t = Telemetry::enabled();
+        t.counter(
+            "ccf_inserts_total",
+            "Rows inserted",
+            &[("variant", "plain")],
+        )
+        .add(5);
+        t.gauge("ccf_live_rows", "Live rows", &[]).set(-2);
+        let h = t.histogram(
+            "ccf_kick_depth",
+            "Kick rounds per insert",
+            &buckets::log2(4),
+            &[("variant", "plain")],
+        );
+        h.observe(0);
+        h.observe(1);
+        h.observe(9);
+        t
+    }
+
+    #[test]
+    fn text_exposition_follows_prometheus_conventions() {
+        let text = sample().render_text();
+        assert!(text.contains("# HELP ccf_inserts_total Rows inserted"));
+        assert!(text.contains("# TYPE ccf_inserts_total counter"));
+        assert!(text.contains("ccf_inserts_total{variant=\"plain\"} 5"));
+        assert!(text.contains("# TYPE ccf_live_rows gauge"));
+        assert!(text.contains("ccf_live_rows -2"));
+        assert!(text.contains("# TYPE ccf_kick_depth histogram"));
+        // Cumulative buckets: ≤0 → 1, ≤1 → 2, ≤2 → 2, ≤4 → 2, +Inf → 3.
+        assert!(text.contains("ccf_kick_depth_bucket{variant=\"plain\",le=\"0\"} 1"));
+        assert!(text.contains("ccf_kick_depth_bucket{variant=\"plain\",le=\"1\"} 2"));
+        assert!(text.contains("ccf_kick_depth_bucket{variant=\"plain\",le=\"+Inf\"} 3"));
+        assert!(text.contains("ccf_kick_depth_sum{variant=\"plain\"} 10"));
+        assert!(text.contains("ccf_kick_depth_count{variant=\"plain\"} 3"));
+    }
+
+    #[test]
+    fn headers_are_emitted_once_per_name() {
+        let t = Telemetry::enabled();
+        t.counter("ops_total", "ops", &[("shard", "0")]).inc();
+        t.counter("other_total", "other", &[]).inc();
+        t.counter("ops_total", "ops", &[("shard", "1")]).inc();
+        let text = t.render_text();
+        assert_eq!(text.matches("# TYPE ops_total counter").count(), 1);
+        // Both series render even though their registrations interleaved.
+        assert!(text.contains("ops_total{shard=\"0\"} 1"));
+        assert!(text.contains("ops_total{shard=\"1\"} 1"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let t = Telemetry::enabled();
+        t.counter("x_total", "x", &[("q", "say \"hi\"")]).inc();
+        assert!(t.render_text().contains("x_total{q=\"say \\\"hi\\\"\"} 1"));
+    }
+
+    #[test]
+    fn table_is_aligned_and_summarizes_histograms() {
+        let table = sample().render_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("ccf_inserts_total{variant=\"plain\"}"));
+        assert!(lines[2].contains("count=3"));
+        assert!(lines[2].contains("max+Inf"));
+    }
+}

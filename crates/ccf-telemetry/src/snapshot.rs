@@ -1,0 +1,218 @@
+//! Plain-data captures of a registry with before/after diff semantics.
+
+/// A captured histogram: finite bucket bounds, per-bucket (non-cumulative) counts with
+/// the trailing `+Inf` overflow bucket, and the sum of observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds of the finite buckets.
+    pub bounds: Vec<u64>,
+    /// `bounds.len() + 1` per-bucket counts; the last is the `+Inf` bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean observed value, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+}
+
+/// The captured value of one series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Point-in-time level.
+    Gauge(i64),
+    /// Bucketed distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One series: name, help text, label pairs and captured value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// Metric name (Prometheus conventions: `snake_case`, counters end `_total`).
+    pub name: String,
+    /// One-line description, rendered as `# HELP`.
+    pub help: String,
+    /// Label pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+impl MetricEntry {
+    fn matches(&self, name: &str, labels: &[(&str, &str)]) -> bool {
+        self.name == name
+            && self.labels.len() == labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(labels)
+                .all(|((k, v), (qk, qv))| k == qk && v == qv)
+    }
+}
+
+/// Every registered series at one instant, in registration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// The captured series.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl Snapshot {
+    /// Value of a counter series, if present.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.matches(name, labels))
+            .and_then(|e| match &e.value {
+                MetricValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// Value of a gauge series, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        self.entries
+            .iter()
+            .find(|e| e.matches(name, labels))
+            .and_then(|e| match &e.value {
+                MetricValue::Gauge(v) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// Captured histogram of a series, if present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        self.entries
+            .iter()
+            .find(|e| e.matches(name, labels))
+            .and_then(|e| match &e.value {
+                MetricValue::Histogram(h) => Some(h),
+                _ => None,
+            })
+    }
+
+    /// Sum of every counter series with this name, across all label sets (how a
+    /// per-shard op mix rolls up to a service total).
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(|e| match &e.value {
+                MetricValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// The change since `earlier`: counters and histograms subtract (saturating, so a
+    /// series born after `earlier` reports its full value), gauges keep their later
+    /// level. Series present only in `self` are kept whole; series that vanished are
+    /// dropped.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                let labels: Vec<(&str, &str)> = e
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                let before = earlier.entries.iter().find(|b| b.matches(&e.name, &labels));
+                let value = match (&e.value, before.map(|b| &b.value)) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                        MetricValue::Counter(now.saturating_sub(*then))
+                    }
+                    (MetricValue::Histogram(now), Some(MetricValue::Histogram(then)))
+                        if now.bounds == then.bounds =>
+                    {
+                        MetricValue::Histogram(HistogramSnapshot {
+                            bounds: now.bounds.clone(),
+                            counts: now
+                                .counts
+                                .iter()
+                                .zip(&then.counts)
+                                .map(|(n, t)| n.saturating_sub(*t))
+                                .collect(),
+                            sum: now.sum.saturating_sub(then.sum),
+                        })
+                    }
+                    (value, _) => value.clone(),
+                };
+                MetricEntry {
+                    name: e.name.clone(),
+                    help: e.help.clone(),
+                    labels: e.labels.clone(),
+                    value,
+                }
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{buckets, Telemetry};
+
+    fn sample() -> Telemetry {
+        let t = Telemetry::enabled();
+        t.counter("ops_total", "ops", &[("shard", "0")]).add(7);
+        t.counter("ops_total", "ops", &[("shard", "1")]).add(3);
+        t.gauge("live", "live rows", &[]).set(42);
+        let h = t.histogram("depth", "kick depth", &buckets::log2(4), &[]);
+        h.observe(0);
+        h.observe(3);
+        t
+    }
+
+    #[test]
+    fn lookups_match_by_name_and_labels() {
+        let snap = sample().snapshot();
+        assert_eq!(snap.counter("ops_total", &[("shard", "0")]), Some(7));
+        assert_eq!(snap.counter("ops_total", &[("shard", "2")]), None);
+        assert_eq!(snap.counter_sum("ops_total"), 10);
+        assert_eq!(snap.gauge("live", &[]), Some(42));
+        let h = snap.histogram("depth", &[]).unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum, 3);
+        assert!((h.mean() - 1.5).abs() < 1e-12);
+        // Kind-mismatched lookups return None instead of lying.
+        assert_eq!(snap.counter("live", &[]), None);
+        assert_eq!(snap.gauge("ops_total", &[("shard", "0")]), None);
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_histograms_but_keeps_gauge_levels() {
+        let t = sample();
+        let before = t.snapshot();
+        t.counter("ops_total", "ops", &[("shard", "0")]).add(5);
+        t.gauge("live", "live rows", &[]).set(40);
+        t.histogram("depth", "kick depth", &buckets::log2(4), &[])
+            .observe(4);
+        t.counter("new_total", "born later", &[]).add(2);
+        let delta = t.snapshot().diff(&before);
+        assert_eq!(delta.counter("ops_total", &[("shard", "0")]), Some(5));
+        assert_eq!(delta.counter("ops_total", &[("shard", "1")]), Some(0));
+        assert_eq!(delta.gauge("live", &[]), Some(40));
+        assert_eq!(delta.counter("new_total", &[]), Some(2));
+        let h = delta.histogram("depth", &[]).unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum, 4);
+    }
+}

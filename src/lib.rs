@@ -10,4 +10,5 @@ pub use ccf_cuckoo as cuckoo;
 pub use ccf_hash as hash;
 pub use ccf_join as join;
 pub use ccf_shard as shard;
+pub use ccf_telemetry as telemetry;
 pub use ccf_workloads as workloads;

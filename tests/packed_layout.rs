@@ -17,7 +17,9 @@ use conditional_cuckoo_filters::ccf::sizing::VariantKind;
 use conditional_cuckoo_filters::ccf::{
     AnyCcf, CcfParams, ConditionalFilter, DeleteFailure, InsertOutcome, Predicate,
 };
-use conditional_cuckoo_filters::cuckoo::{CuckooFilter, CuckooFilterParams, StorageKind};
+use conditional_cuckoo_filters::cuckoo::{
+    CuckooFilter, CuckooFilterParams, StorageKind, MAX_KICKS,
+};
 use conditional_cuckoo_filters::shard::ShardedCcf;
 
 /// FNV-style fold of one event bit into the stream digest.
@@ -182,6 +184,7 @@ fn cuckoo_filter_stream_is_bit_identical_to_the_word_sized_layout() {
         seed: 0xBEEF,
         auto_grow: false,
         storage: StorageKind::Packed,
+        max_kicks: MAX_KICKS,
     });
     let mut digest = 0xCBF29CE484222325u64;
     // Fill to ~90 % load, with duplicates sprinkled in.
