@@ -1,5 +1,6 @@
 //! Smoke tests for the experiment binaries (the 13 paper artefacts plus the
-//! growth/batch, sharded-throughput, churn and telemetry-report harnesses): each one must run to completion at a minimal workload scale
+//! growth/batch, sharded-throughput, churn, telemetry-report and service-loopback
+//! harnesses): each one must run to completion at a minimal workload scale
 //! and produce non-empty tabular output. For `growth_batch` this also re-verifies the
 //! bit-identity and zero-failure contracts at smoke scale, so the growth/batch bench
 //! cannot silently rot.
@@ -79,4 +80,5 @@ bin_smoke_tests!(
     sharded_throughput,
     churn,
     telemetry_report,
+    service_loopback,
 );

@@ -85,6 +85,79 @@ impl BloomCcf {
         })
     }
 
+    /// Variant payload of the [`crate::AnyCcf`] snapshot format: exact RNG words,
+    /// the absorbed-rows counter, and every entry's fingerprint plus raw Bloom
+    /// sketch bits (the sketch hashers are shared configuration, rebuilt from the
+    /// seed). The Bloom variant never grows, so no growth state is stored.
+    pub(crate) fn snapshot_payload(&self, w: &mut ccf_cuckoo::ByteWriter) {
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        w.put_usize(self.rows_absorbed);
+        for bucket in &self.buckets {
+            w.put_u16(u16::try_from(bucket.len()).expect("bucket wider than u16"));
+            for entry in bucket {
+                w.put_u16(entry.fp);
+                w.put_usize(entry.sketch.pairs_inserted());
+                w.put_len_bytes(&entry.sketch.to_bits().to_bytes());
+            }
+        }
+    }
+
+    /// Inverse of [`BloomCcf::snapshot_payload`]; sketch widths are re-validated
+    /// against `params.bloom_bits` so a corrupted payload fails typed.
+    pub(crate) fn from_snapshot_payload(
+        params: CcfParams,
+        r: &mut ccf_cuckoo::ByteReader<'_>,
+    ) -> Result<Self, ccf_cuckoo::SnapshotError> {
+        use ccf_cuckoo::SnapshotError;
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.get_u64()?;
+        }
+        let rows_absorbed = r.get_usize()?;
+        let mut f = Self::try_new(params).map_err(|e| SnapshotError::Invalid(e.to_string()))?;
+        let sketch_bytes = params.bloom_bits.div_ceil(8);
+        let mut occupied = 0usize;
+        for bucket in &mut f.buckets {
+            let len = usize::from(r.get_u16()?);
+            if len > params.entries_per_bucket {
+                return Err(SnapshotError::Invalid(format!(
+                    "bucket holds {len} entries but b = {}",
+                    params.entries_per_bucket
+                )));
+            }
+            bucket.reserve_exact(len);
+            for _ in 0..len {
+                let fp = r.get_u16()?;
+                if fp == 0 {
+                    return Err(SnapshotError::Invalid("stored fingerprint is zero".into()));
+                }
+                let pairs_inserted = r.get_usize()?;
+                let bits = r.get_len_bytes()?;
+                if bits.len() != sketch_bytes {
+                    return Err(SnapshotError::Invalid(format!(
+                        "sketch image is {} bytes; bloom_bits = {} needs {sketch_bytes}",
+                        bits.len(),
+                        params.bloom_bits
+                    )));
+                }
+                let sketch = TinyBloom::from_bits(
+                    ccf_bloom::BitVec::from_bytes(bits, params.bloom_bits),
+                    params.bloom_hashes,
+                    &f.bloom_family,
+                    pairs_inserted,
+                );
+                bucket.push(Entry { fp, sketch });
+            }
+            occupied += len;
+        }
+        f.occupied = occupied;
+        f.rows_absorbed = rows_absorbed;
+        f.rng = StdRng::from_state(rng_state);
+        Ok(f)
+    }
+
     /// Resolve this filter's [`CcfInstruments`] against `telemetry` (series get
     /// `variant="bloom"` plus `extra` labels). Call once; hot paths then record
     /// through pre-resolved handles. The Bloom variant never grows or rolls back

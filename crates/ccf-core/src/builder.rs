@@ -117,6 +117,18 @@ impl CcfBuilder {
         self
     }
 
+    /// Resolve the storage backend from `CCF_STORAGE` *strictly*: unset (or empty)
+    /// keeps the packed default, but an unrecognized value is reported as
+    /// [`ParamsError::UnknownStorageEnv`] instead of the silent packed fallback the
+    /// infallible parameter-struct `Default`s use. Startup paths (the `ccf-service`
+    /// daemon, experiment harnesses) call this so a typo'd deployment environment
+    /// fails loudly at build time.
+    pub fn storage_from_env(mut self) -> Result<Self, ParamsError> {
+        self.params.storage =
+            ccf_cuckoo::StorageKind::try_from_env().map_err(|_| ParamsError::UnknownStorageEnv)?;
+        Ok(self)
+    }
+
     /// Number of attribute columns stored per row.
     pub fn num_attrs(mut self, num_attrs: usize) -> Self {
         self.params.num_attrs = num_attrs;

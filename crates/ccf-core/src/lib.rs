@@ -88,6 +88,7 @@ pub mod params;
 pub mod plain;
 pub mod predicate;
 pub mod sizing;
+pub mod snapshot;
 pub mod variant;
 
 pub use bloom_ccf::BloomCcf;
@@ -106,4 +107,5 @@ pub use predicate::{
     ColumnPredicate, Predicate,
 };
 pub use sizing::{DuplicationProfile, VariantKind};
+pub use snapshot::{SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use variant::{AnyCcf, ConditionalFilter};

@@ -123,6 +123,130 @@ impl MixedCcf {
         })
     }
 
+    /// Variant payload of the [`crate::AnyCcf`] snapshot format: growth state, exact
+    /// RNG words, the conversion counter, and every bucket's entries — vector rows,
+    /// Bloom-head sketches (raw bits) and continuation slots, each tagged.
+    pub(crate) fn snapshot_payload(&self, w: &mut ccf_cuckoo::ByteWriter) {
+        w.put_u32(self.geometry.growth_bits());
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        w.put_usize(self.rows_absorbed);
+        w.put_usize(self.conversions);
+        for bucket in &self.buckets {
+            w.put_u16(u16::try_from(bucket.len()).expect("bucket wider than u16"));
+            for entry in bucket {
+                match entry {
+                    Entry::Vector { fp, attrs } => {
+                        w.put_u8(0);
+                        w.put_u16(*fp);
+                        for &a in attrs {
+                            w.put_u16(a);
+                        }
+                    }
+                    Entry::BloomHead { fp, sketch } => {
+                        w.put_u8(1);
+                        w.put_u16(*fp);
+                        w.put_usize(sketch.pairs_inserted());
+                        w.put_len_bytes(&sketch.to_bits().to_bytes());
+                    }
+                    Entry::Continuation { fp } => {
+                        w.put_u8(2);
+                        w.put_u16(*fp);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inverse of [`MixedCcf::snapshot_payload`]; see
+    /// [`crate::PlainCcf::from_snapshot_payload`] for the shared validation rules.
+    /// Conversion-sketch widths are re-validated against
+    /// [`CcfParams::conversion_bloom_bits`].
+    pub(crate) fn from_snapshot_payload(
+        params: CcfParams,
+        r: &mut ccf_cuckoo::ByteReader<'_>,
+    ) -> Result<Self, ccf_cuckoo::SnapshotError> {
+        use ccf_cuckoo::SnapshotError;
+        let growth_bits = r.get_u32()?;
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.get_u64()?;
+        }
+        let rows_absorbed = r.get_usize()?;
+        let conversions = r.get_usize()?;
+        let base = crate::snapshot::split_growth(params.num_buckets, growth_bits)?;
+        let mut f = Self::try_new(CcfParams {
+            num_buckets: base,
+            ..params
+        })
+        .map_err(|e| SnapshotError::Invalid(e.to_string()))?;
+        if growth_bits > 0 {
+            let family = HashFamily::new(params.seed);
+            f.geometry = SplitGeometry::new(&family, base, growth_bits);
+            f.buckets = vec![Vec::new(); params.num_buckets];
+            f.params.num_buckets = params.num_buckets;
+        }
+        let sketch_bits = params.conversion_bloom_bits();
+        let sketch_bytes = sketch_bits.div_ceil(8);
+        let mut occupied = 0usize;
+        for bucket in &mut f.buckets {
+            let len = usize::from(r.get_u16()?);
+            if len > params.entries_per_bucket {
+                return Err(SnapshotError::Invalid(format!(
+                    "bucket holds {len} entries but b = {}",
+                    params.entries_per_bucket
+                )));
+            }
+            bucket.reserve_exact(len);
+            for _ in 0..len {
+                let tag = r.get_u8()?;
+                let fp = r.get_u16()?;
+                if fp == 0 {
+                    return Err(SnapshotError::Invalid("stored fingerprint is zero".into()));
+                }
+                let entry = match tag {
+                    0 => {
+                        let mut attrs = Vec::with_capacity(params.num_attrs);
+                        for _ in 0..params.num_attrs {
+                            attrs.push(r.get_u16()?);
+                        }
+                        Entry::Vector { fp, attrs }
+                    }
+                    1 => {
+                        let pairs_inserted = r.get_usize()?;
+                        let bits = r.get_len_bytes()?;
+                        if bits.len() != sketch_bytes {
+                            return Err(SnapshotError::Invalid(format!(
+                                "conversion sketch image is {} bytes; budget of \
+                                 {sketch_bits} bits needs {sketch_bytes}",
+                                bits.len()
+                            )));
+                        }
+                        let sketch = TinyBloom::from_bits(
+                            ccf_bloom::BitVec::from_bytes(bits, sketch_bits),
+                            f.conversion_hashes,
+                            &f.bloom_family,
+                            pairs_inserted,
+                        );
+                        Entry::BloomHead { fp, sketch }
+                    }
+                    2 => Entry::Continuation { fp },
+                    t => {
+                        return Err(SnapshotError::Invalid(format!("unknown entry tag {t}")));
+                    }
+                };
+                bucket.push(entry);
+            }
+            occupied += len;
+        }
+        f.occupied = occupied;
+        f.rows_absorbed = rows_absorbed;
+        f.conversions = conversions;
+        f.rng = StdRng::from_state(rng_state);
+        Ok(f)
+    }
+
     /// Resolve this filter's [`CcfInstruments`] against `telemetry` (series get
     /// `variant="mixed"` plus `extra` labels). Call once; hot paths then record
     /// through pre-resolved handles.

@@ -71,6 +71,12 @@ pub enum ParamsError {
         /// The rejected entries per bucket b.
         entries_per_bucket: usize,
     },
+    /// `CCF_STORAGE` is set to a value no backend recognizes (strict resolution via
+    /// [`ccf_cuckoo::StorageKind::try_from_env`], used by
+    /// [`crate::CcfBuilder::storage_from_env`] and daemon startup). `ParamsError` is
+    /// `Copy`, so the offending spelling is not carried here; the detailed
+    /// [`ccf_cuckoo::UnknownStorageKind`] is reported where the variable is read.
+    UnknownStorageEnv,
 }
 
 impl std::fmt::Display for ParamsError {
@@ -121,6 +127,11 @@ impl std::fmt::Display for ParamsError {
                 "semisort storage supports at most {} entries per bucket, got \
                  {entries_per_bucket}; use packed storage for wider buckets",
                 ccf_cuckoo::MAX_SEMISORT_ENTRIES
+            ),
+            ParamsError::UnknownStorageEnv => write!(
+                f,
+                "CCF_STORAGE is set to an unrecognized storage backend; expected \
+                 \"packed\", \"semisort\" or \"compressed\""
             ),
         }
     }

@@ -78,6 +78,82 @@ impl PlainCcf {
         })
     }
 
+    /// Variant payload of the [`crate::AnyCcf`] snapshot format: growth state, exact
+    /// RNG words, the absorbed-rows counter, and every bucket's entries. Params and
+    /// the sealed envelope are written by the caller.
+    pub(crate) fn snapshot_payload(&self, w: &mut ccf_cuckoo::ByteWriter) {
+        w.put_u32(self.geometry.growth_bits());
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        w.put_usize(self.rows_absorbed);
+        for bucket in &self.buckets {
+            w.put_u16(u16::try_from(bucket.len()).expect("bucket wider than u16"));
+            for entry in bucket {
+                w.put_u16(entry.fp);
+                for &a in &entry.attrs {
+                    w.put_u16(a);
+                }
+            }
+        }
+    }
+
+    /// Inverse of [`PlainCcf::snapshot_payload`]: rebuild hashers and geometry from
+    /// `params`, then restore bucket contents, counters and the RNG stream.
+    /// Structural invariants (bucket width, nonzero fingerprints, growth geometry)
+    /// are re-validated so a corrupted payload fails typed.
+    pub(crate) fn from_snapshot_payload(
+        params: CcfParams,
+        r: &mut ccf_cuckoo::ByteReader<'_>,
+    ) -> Result<Self, ccf_cuckoo::SnapshotError> {
+        use ccf_cuckoo::SnapshotError;
+        let growth_bits = r.get_u32()?;
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.get_u64()?;
+        }
+        let rows_absorbed = r.get_usize()?;
+        let base = crate::snapshot::split_growth(params.num_buckets, growth_bits)?;
+        let mut f = Self::try_new(CcfParams {
+            num_buckets: base,
+            ..params
+        })
+        .map_err(|e| SnapshotError::Invalid(e.to_string()))?;
+        if growth_bits > 0 {
+            let family = HashFamily::new(params.seed);
+            f.geometry = SplitGeometry::new(&family, base, growth_bits);
+            f.buckets = vec![Vec::new(); params.num_buckets];
+            f.params.num_buckets = params.num_buckets;
+        }
+        let mut occupied = 0usize;
+        for bucket in &mut f.buckets {
+            let len = usize::from(r.get_u16()?);
+            if len > params.entries_per_bucket {
+                return Err(SnapshotError::Invalid(format!(
+                    "bucket holds {len} entries but b = {}",
+                    params.entries_per_bucket
+                )));
+            }
+            bucket.reserve_exact(len);
+            for _ in 0..len {
+                let fp = r.get_u16()?;
+                if fp == 0 {
+                    return Err(SnapshotError::Invalid("stored fingerprint is zero".into()));
+                }
+                let mut attrs = Vec::with_capacity(params.num_attrs);
+                for _ in 0..params.num_attrs {
+                    attrs.push(r.get_u16()?);
+                }
+                bucket.push(Entry { fp, attrs });
+            }
+            occupied += len;
+        }
+        f.occupied = occupied;
+        f.rows_absorbed = rows_absorbed;
+        f.rng = StdRng::from_state(rng_state);
+        Ok(f)
+    }
+
     /// Start recording events into `telemetry`, labelling every series with
     /// `variant="plain"` plus `extra`. Untouched filters record nothing.
     pub fn attach_telemetry(&mut self, telemetry: &Telemetry, extra: &[(&str, &str)]) {

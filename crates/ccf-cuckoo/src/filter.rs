@@ -35,6 +35,7 @@ use rand::{Rng, SeedableRng};
 use crate::geometry::{probe_chunked, SplitGeometry, MAX_GROWTHS_PER_INSERT};
 use crate::instruments::FilterInstruments;
 use crate::metrics::{GrowthStats, OccupancyStats};
+use crate::snapshot::{ByteReader, ByteWriter, SnapshotError};
 use crate::store::{AnyBuckets, BucketStore, StorageKind};
 
 /// Default maximum number of kick (evict-and-reinsert) rounds before an insertion
@@ -599,6 +600,113 @@ impl CuckooFilter {
     pub fn store(&self) -> &AnyBuckets {
         &self.store
     }
+
+    /// Serialize the filter into a sealed snapshot image (see [`crate::snapshot`]):
+    /// configuration, split geometry, the RNG's exact state, and the raw storage
+    /// words of whichever backend is in use. [`CuckooFilter::from_snapshot_bytes`]
+    /// rebuilds a *bit-identical* filter — every post-restore membership answer,
+    /// kick-victim draw, and growth decision matches the never-persisted original.
+    /// Telemetry attachment is process state, not filter state, and is not
+    /// persisted; reloaded filters start detached.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new(Self::SNAPSHOT_MAGIC, Self::SNAPSHOT_VERSION);
+        w.put_u8(self.store.kind().tag());
+        w.put_usize(self.geometry.base_buckets());
+        w.put_u32(self.geometry.growth_bits());
+        w.put_usize(self.entries_per_bucket);
+        w.put_u32(self.params.fingerprint_bits);
+        w.put_u64(self.params.seed);
+        w.put_u8(u8::from(self.auto_grow));
+        w.put_usize(self.params.max_kicks);
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        w.put_len_bytes(self.store.counts());
+        w.put_u64_slice(self.store.raw_words());
+        w.seal()
+    }
+
+    /// Rebuild a filter from a [`CuckooFilter::to_snapshot_bytes`] image. Hashers,
+    /// geometry and derived statistics are reconstructed from the persisted seed and
+    /// dimensions; only the raw storage words, counters and RNG state are taken from
+    /// the image, and each is validated (envelope checksum first, then structural
+    /// checks) so corruption yields a typed [`SnapshotError`], never a panic or a
+    /// silently wrong filter.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = ByteReader::open(bytes, Self::SNAPSHOT_MAGIC, Self::SNAPSHOT_VERSION)?;
+        let storage = StorageKind::from_tag(r.get_u8()?)
+            .ok_or_else(|| SnapshotError::Invalid("unknown storage-backend tag".into()))?;
+        let base_buckets = r.get_usize()?;
+        let growth_bits = r.get_u32()?;
+        let entries_per_bucket = r.get_usize()?;
+        let fingerprint_bits = r.get_u32()?;
+        let seed = r.get_u64()?;
+        let auto_grow = match r.get_u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(SnapshotError::Invalid(format!("auto_grow flag byte {t}"))),
+        };
+        let max_kicks = r.get_usize()?;
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.get_u64()?;
+        }
+        let counts = r.get_len_bytes()?.to_vec();
+        let words = r.get_u64_slice()?;
+        r.finish()?;
+
+        if !base_buckets.is_power_of_two() {
+            return Err(SnapshotError::Invalid(format!(
+                "base_buckets {base_buckets} is not a power of two"
+            )));
+        }
+        let num_buckets = if growth_bits < usize::BITS {
+            base_buckets
+                .checked_shl(growth_bits)
+                .filter(|&m| m >> growth_bits == base_buckets)
+        } else {
+            None
+        }
+        .ok_or_else(|| {
+            SnapshotError::Invalid(format!(
+                "geometry overflows: base_buckets {base_buckets} doubled {growth_bits} times"
+            ))
+        })?;
+        if fingerprint_bits == 0 || fingerprint_bits > 16 {
+            return Err(SnapshotError::Invalid(format!(
+                "fingerprint_bits {fingerprint_bits} outside 1..=16"
+            )));
+        }
+        if max_kicks == 0 {
+            return Err(SnapshotError::Invalid("max_kicks is zero".into()));
+        }
+        // Validate the storage image (including the bucket width) *before* building
+        // the filter shell: `with_split_geometry` asserts on widths the backend
+        // cannot represent, and a corrupt image must fail typed, not panic.
+        let store =
+            AnyBuckets::from_raw_parts(storage, num_buckets, entries_per_bucket, words, counts)?;
+        let mut filter = Self::with_split_geometry(
+            base_buckets,
+            growth_bits,
+            CuckooFilterParams {
+                num_buckets: base_buckets,
+                entries_per_bucket,
+                fingerprint_bits,
+                seed,
+                auto_grow,
+                storage,
+                max_kicks,
+            },
+        );
+        filter.store = store;
+        filter.rng = StdRng::from_state(rng_state);
+        Ok(filter)
+    }
+
+    /// Magic of a [`CuckooFilter`] snapshot image: `"CKFS"`.
+    pub const SNAPSHOT_MAGIC: u32 = u32::from_le_bytes(*b"CKFS");
+    /// Current [`CuckooFilter`] snapshot format version.
+    pub const SNAPSHOT_VERSION: u8 = 1;
 }
 
 /// Exact fraction of fingerprint values whose alternate bucket equals their primary
@@ -1065,6 +1173,56 @@ mod tests {
                 .counter("cuckoo_inserts_total", &labels),
             Some(100 + 2 * b as u64)
         );
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        for storage in [StorageKind::Packed, StorageKind::Semisort] {
+            let mut f = CuckooFilter::new(small_params(77).with_storage(storage).with_auto_grow());
+            for k in 0..6000u64 {
+                f.insert(k).unwrap();
+            }
+            for k in (0..6000u64).step_by(3) {
+                assert!(f.delete(k));
+            }
+            let mut reloaded = CuckooFilter::from_snapshot_bytes(&f.to_snapshot_bytes()).unwrap();
+            assert_eq!(reloaded.store(), f.store(), "{storage}: stores diverge");
+            assert_eq!(reloaded.params(), f.params());
+            assert_eq!(reloaded.growth_bits(), f.growth_bits());
+            // Bit-identity must survive *post-restore mutation*: the RNG stream and
+            // geometry continue exactly where the original left off.
+            for k in 10_000..12_000u64 {
+                assert_eq!(f.insert(k).is_ok(), reloaded.insert(k).is_ok());
+            }
+            for k in 0..14_000u64 {
+                assert_eq!(f.contains(k), reloaded.contains(k), "{storage}: key {k}");
+            }
+            assert_eq!(
+                reloaded.store(),
+                f.store(),
+                "{storage}: post-mutation drift"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption_with_typed_errors() {
+        let mut f = CuckooFilter::new(small_params(3));
+        for k in 0..100u64 {
+            f.insert(k).unwrap();
+        }
+        let img = f.to_snapshot_bytes();
+        // Bit flip anywhere → checksum mismatch (or downstream typed error), no panic.
+        let mut flipped = img.clone();
+        flipped[img.len() / 2] ^= 0x10;
+        assert!(matches!(
+            CuckooFilter::from_snapshot_bytes(&flipped),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            CuckooFilter::from_snapshot_bytes(&img[..img.len() - 9]),
+            Err(SnapshotError::Truncated) | Err(SnapshotError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]

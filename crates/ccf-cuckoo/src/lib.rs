@@ -40,6 +40,7 @@ pub mod instruments;
 pub mod metrics;
 pub mod packed;
 pub mod semisort;
+pub mod snapshot;
 pub mod store;
 pub mod table;
 
@@ -50,5 +51,9 @@ pub use instruments::FilterInstruments;
 pub use metrics::{GrowthStats, OccupancyStats};
 pub use packed::PackedBuckets;
 pub use semisort::SemisortBuckets;
-pub use store::{AnyBuckets, BucketStore, StorageKind, MAX_SEMISORT_ENTRIES};
+pub use snapshot::{ByteReader, ByteWriter, SnapshotError};
+pub use store::{
+    AnyBuckets, BucketStore, StorageKind, StoreImportError, UnknownStorageKind,
+    MAX_SEMISORT_ENTRIES,
+};
 pub use table::CuckooHashTable;

@@ -333,6 +333,72 @@ impl PackedBuckets {
             .collect();
         (per_bucket.iter().sum(), per_bucket)
     }
+
+    /// The raw storage words, for zero-copy snapshot export. The lane/slot layout is
+    /// fixed by the module-level contract, so the words alone (plus the geometry the
+    /// caller already knows) are the complete identity of the store.
+    pub fn raw_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a store from an image captured by [`PackedBuckets::raw_words`] and
+    /// [`PackedBuckets::counts`]. Validates the image shape and that the persisted
+    /// counters agree with a full [`PackedBuckets::recount`] of the words, so a
+    /// corrupted or mismatched image is rejected instead of producing a store whose
+    /// O(1) occupancy answers disagree with its contents.
+    pub fn from_raw_parts(
+        num_buckets: usize,
+        entries_per_bucket: usize,
+        words: Vec<u64>,
+        counts: Vec<u8>,
+    ) -> Result<Self, crate::store::StoreImportError> {
+        use crate::store::StoreImportError;
+        if entries_per_bucket == 0 || entries_per_bucket > u8::MAX as usize {
+            return Err(StoreImportError::UnsupportedBucketWidth { entries_per_bucket });
+        }
+        let words_per_bucket = entries_per_bucket.div_ceil(LANES);
+        if words.len() != num_buckets * words_per_bucket {
+            return Err(StoreImportError::WordLenMismatch {
+                expected: num_buckets * words_per_bucket,
+                got: words.len(),
+            });
+        }
+        if counts.len() != num_buckets {
+            return Err(StoreImportError::CountLenMismatch {
+                expected: num_buckets,
+                got: counts.len(),
+            });
+        }
+        if let Some((bucket, &got)) = counts
+            .iter()
+            .enumerate()
+            .find(|&(_, &c)| usize::from(c) > entries_per_bucket)
+        {
+            return Err(StoreImportError::CountOutOfRange {
+                bucket,
+                got,
+                max: entries_per_bucket,
+            });
+        }
+        let store = Self {
+            words,
+            occupied: counts.iter().map(|&c| usize::from(c)).sum(),
+            counts,
+            entries_per_bucket,
+            words_per_bucket,
+        };
+        let (_, derived) = store.recount();
+        for (bucket, (&stored, derived)) in store.counts.iter().zip(&derived).enumerate() {
+            if usize::from(stored) != *derived {
+                return Err(StoreImportError::OccupancyMismatch {
+                    bucket,
+                    stored: usize::from(stored),
+                    derived: *derived,
+                });
+            }
+        }
+        Ok(store)
+    }
 }
 
 #[cfg(test)]

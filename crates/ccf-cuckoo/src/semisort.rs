@@ -610,6 +610,77 @@ impl SemisortBuckets {
             .collect();
         (per_bucket.iter().sum(), per_bucket)
     }
+
+    /// The raw storage words (including the trailing pad word), for zero-copy
+    /// snapshot export. The record layout is a pure function of `b`, so the words
+    /// alone (plus the geometry the caller already knows) are the complete identity
+    /// of the store.
+    pub fn raw_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a store from an image captured by [`SemisortBuckets::raw_words`] and
+    /// [`SemisortBuckets::counts`]. The codec is rebuilt from `entries_per_bucket`
+    /// (it is a pure function of `b`). Validates the image shape and that the
+    /// persisted counters agree with a full [`SemisortBuckets::recount`] of the
+    /// decoded records, so a corrupted or mismatched image is rejected instead of
+    /// producing a store whose O(1) occupancy answers disagree with its contents.
+    pub fn from_raw_parts(
+        num_buckets: usize,
+        entries_per_bucket: usize,
+        words: Vec<u64>,
+        counts: Vec<u8>,
+    ) -> Result<Self, crate::store::StoreImportError> {
+        use crate::store::StoreImportError;
+        if entries_per_bucket == 0 || entries_per_bucket > MAX_SEMISORT_ENTRIES {
+            return Err(StoreImportError::UnsupportedBucketWidth { entries_per_bucket });
+        }
+        let codec = Arc::new(SemisortCodec::new(entries_per_bucket));
+        let record_bits = codec.rank_bits as usize + REMAINDER_BITS as usize * entries_per_bucket;
+        let expected_words = (num_buckets * record_bits).div_ceil(64) + 1;
+        if words.len() != expected_words {
+            return Err(StoreImportError::WordLenMismatch {
+                expected: expected_words,
+                got: words.len(),
+            });
+        }
+        if counts.len() != num_buckets {
+            return Err(StoreImportError::CountLenMismatch {
+                expected: num_buckets,
+                got: counts.len(),
+            });
+        }
+        if let Some((bucket, &got)) = counts
+            .iter()
+            .enumerate()
+            .find(|&(_, &c)| usize::from(c) > entries_per_bucket)
+        {
+            return Err(StoreImportError::CountOutOfRange {
+                bucket,
+                got,
+                max: entries_per_bucket,
+            });
+        }
+        let store = Self {
+            words,
+            occupied: counts.iter().map(|&c| usize::from(c)).sum(),
+            counts,
+            entries_per_bucket,
+            record_bits,
+            codec,
+        };
+        let (_, derived) = store.recount();
+        for (bucket, (&stored, derived)) in store.counts.iter().zip(&derived).enumerate() {
+            if usize::from(stored) != *derived {
+                return Err(StoreImportError::OccupancyMismatch {
+                    bucket,
+                    stored: usize::from(stored),
+                    derived: *derived,
+                });
+            }
+        }
+        Ok(store)
+    }
 }
 
 /// Spread up to four packed 12-bit remainders into bits 4.. of the four 16-bit SWAR

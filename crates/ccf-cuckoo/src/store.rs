@@ -45,17 +45,97 @@ pub enum StorageKind {
 /// the paper's largest evaluated bucket) and grows combinatorially beyond it.
 pub const MAX_SEMISORT_ENTRIES: usize = 8;
 
+/// An unrecognized bucket-storage name (from `CCF_STORAGE` or a config string).
+///
+/// Produced by [`StorageKind::try_from_env`] and `StorageKind::from_str` so that
+/// startup paths (builders, daemons) can reject a typo'd backend selection with a
+/// typed error instead of silently serving from the default backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownStorageKind {
+    /// The rejected spelling.
+    pub value: String,
+}
+
+impl std::fmt::Display for UnknownStorageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unrecognized storage backend {:?}; expected \"packed\", \"semisort\" or \
+             \"compressed\"",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for UnknownStorageKind {}
+
+impl std::str::FromStr for StorageKind {
+    type Err = UnknownStorageKind;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "packed" => Ok(StorageKind::Packed),
+            "semisort" | "compressed" => Ok(StorageKind::Semisort),
+            other => Err(UnknownStorageKind {
+                value: other.to_string(),
+            }),
+        }
+    }
+}
+
 impl StorageKind {
     /// Resolve the backend from the `CCF_STORAGE` environment variable:
     /// `semisort` (or `compressed`) selects [`StorageKind::Semisort`]; anything else —
     /// including unset — selects [`StorageKind::Packed`]. Read once and cached, so a
     /// process cannot observe a mid-run flip.
+    ///
+    /// This is the *lenient* resolution used by parameter-struct `Default`s, which
+    /// must be infallible; startup paths that can report errors (the `CcfBuilder`
+    /// facade, the `ccf-service` daemon) should call [`StorageKind::try_from_env`]
+    /// instead, which rejects unrecognized values rather than silently serving from
+    /// the packed default.
     pub fn from_env() -> Self {
         static KIND: std::sync::OnceLock<StorageKind> = std::sync::OnceLock::new();
-        *KIND.get_or_init(|| match std::env::var("CCF_STORAGE").as_deref() {
-            Ok("semisort") | Ok("compressed") => StorageKind::Semisort,
-            _ => StorageKind::Packed,
+        *KIND.get_or_init(|| {
+            Self::resolve_env_value(std::env::var("CCF_STORAGE").ok().as_deref())
+                .unwrap_or_default()
         })
+    }
+
+    /// Strict form of [`StorageKind::from_env`]: an *unset* `CCF_STORAGE` still
+    /// defaults to [`StorageKind::Packed`], but a set-and-unrecognized value is a
+    /// typed [`UnknownStorageKind`] error instead of a silent fallback. Not cached —
+    /// startup paths call this once and either abort or proceed.
+    pub fn try_from_env() -> Result<Self, UnknownStorageKind> {
+        Self::resolve_env_value(std::env::var("CCF_STORAGE").ok().as_deref())
+    }
+
+    /// The pure resolution rule behind [`StorageKind::try_from_env`], taking the
+    /// environment value explicitly so both legs are unit-testable without mutating
+    /// process-global environment state.
+    pub fn resolve_env_value(value: Option<&str>) -> Result<Self, UnknownStorageKind> {
+        match value {
+            None | Some("") => Ok(StorageKind::default()),
+            Some(v) => v.parse(),
+        }
+    }
+
+    /// Stable one-byte encoding for snapshot images (the enum's declaration order is
+    /// not a wire contract; this is).
+    pub fn tag(self) -> u8 {
+        match self {
+            StorageKind::Packed => 0,
+            StorageKind::Semisort => 1,
+        }
+    }
+
+    /// Inverse of [`StorageKind::tag`]; `None` for bytes no release has written.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(StorageKind::Packed),
+            1 => Some(StorageKind::Semisort),
+            _ => None,
+        }
     }
 }
 
@@ -67,6 +147,85 @@ impl std::fmt::Display for StorageKind {
         }
     }
 }
+
+/// Why a raw-word storage image could not be imported. Every variant names the exact
+/// structural inconsistency, so snapshot loaders can distinguish a truncated file from
+/// a counter that disagrees with the words it summarizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreImportError {
+    /// The word array's length does not match the bucket geometry.
+    WordLenMismatch {
+        /// Words required by `num_buckets · words_per_bucket` (plus padding, if any).
+        expected: usize,
+        /// Words supplied.
+        got: usize,
+    },
+    /// The occupancy-counter array's length does not equal the bucket count.
+    CountLenMismatch {
+        /// `num_buckets`.
+        expected: usize,
+        /// Counters supplied.
+        got: usize,
+    },
+    /// A per-bucket counter exceeds the bucket's slot capacity.
+    CountOutOfRange {
+        /// The offending bucket index.
+        bucket: usize,
+        /// The counter value.
+        got: u8,
+        /// Slots per bucket.
+        max: usize,
+    },
+    /// A counter disagrees with the occupancy derived from the raw words themselves
+    /// (a corrupted image whose lengths happen to line up).
+    OccupancyMismatch {
+        /// The first disagreeing bucket.
+        bucket: usize,
+        /// The stored counter.
+        stored: usize,
+        /// Occupancy recounted from the words.
+        derived: usize,
+    },
+    /// `entries_per_bucket` is outside the backend's supported range.
+    UnsupportedBucketWidth {
+        /// The rejected width.
+        entries_per_bucket: usize,
+    },
+}
+
+impl std::fmt::Display for StoreImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreImportError::WordLenMismatch { expected, got } => {
+                write!(
+                    f,
+                    "storage image has {got} words, geometry needs {expected}"
+                )
+            }
+            StoreImportError::CountLenMismatch { expected, got } => {
+                write!(f, "storage image has {got} counters for {expected} buckets")
+            }
+            StoreImportError::CountOutOfRange { bucket, got, max } => write!(
+                f,
+                "bucket {bucket} claims {got} occupied slots but holds at most {max}"
+            ),
+            StoreImportError::OccupancyMismatch {
+                bucket,
+                stored,
+                derived,
+            } => write!(
+                f,
+                "bucket {bucket} counter says {stored} occupied slots, raw words say {derived}"
+            ),
+            StoreImportError::UnsupportedBucketWidth { entries_per_bucket } => write!(
+                f,
+                "entries_per_bucket {entries_per_bucket} is outside the backend's supported range"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreImportError {}
 
 /// The storage interface a cuckoo filter drives: insert/kick (`try_insert`, `swap`),
 /// growth remap (`take`, `extend_buckets`), deletion (`remove_one`), the probe kernel
@@ -164,6 +323,41 @@ impl AnyBuckets {
         match self {
             AnyBuckets::Packed(_) => StorageKind::Packed,
             AnyBuckets::Semisort(_) => StorageKind::Semisort,
+        }
+    }
+
+    /// The backing words of the whole structure, in bucket order — the zero-copy
+    /// snapshot export. Together with [`BucketStore::counts`] (and the geometry the
+    /// caller already knows) this is the *complete* mutable state of either backend:
+    /// [`AnyBuckets::from_raw_parts`] rebuilds a bit-identical store from it.
+    pub fn raw_words(&self) -> &[u64] {
+        match self {
+            AnyBuckets::Packed(s) => s.raw_words(),
+            AnyBuckets::Semisort(s) => s.raw_words(),
+        }
+    }
+
+    /// Rebuild storage from a raw image captured by [`AnyBuckets::raw_words`] and
+    /// [`BucketStore::counts`]. Validates lengths, per-bucket counter ranges, and that
+    /// the counters agree with an occupancy recount of the words themselves, so a
+    /// corrupted image is a typed [`StoreImportError`] — never a store that probes
+    /// incorrectly later.
+    pub fn from_raw_parts(
+        kind: StorageKind,
+        num_buckets: usize,
+        entries_per_bucket: usize,
+        words: Vec<u64>,
+        counts: Vec<u8>,
+    ) -> Result<Self, StoreImportError> {
+        match kind {
+            StorageKind::Packed => {
+                PackedBuckets::from_raw_parts(num_buckets, entries_per_bucket, words, counts)
+                    .map(AnyBuckets::Packed)
+            }
+            StorageKind::Semisort => {
+                SemisortBuckets::from_raw_parts(num_buckets, entries_per_bucket, words, counts)
+                    .map(AnyBuckets::Semisort)
+            }
         }
     }
 }
@@ -432,6 +626,123 @@ mod tests {
         let s = AnyBuckets::new(StorageKind::Semisort, 4, 4);
         assert_eq!(s.kind(), StorageKind::Semisort);
         assert_eq!(StorageKind::default(), StorageKind::Packed);
+    }
+
+    #[test]
+    fn env_resolution_accepts_every_documented_spelling() {
+        // The pure resolution rule is tested directly: mutating CCF_STORAGE in-process
+        // would race other tests and fight the from_env OnceLock cache.
+        assert_eq!(
+            StorageKind::resolve_env_value(None),
+            Ok(StorageKind::Packed)
+        );
+        assert_eq!(
+            StorageKind::resolve_env_value(Some("")),
+            Ok(StorageKind::Packed)
+        );
+        assert_eq!(
+            StorageKind::resolve_env_value(Some("packed")),
+            Ok(StorageKind::Packed)
+        );
+        assert_eq!(
+            StorageKind::resolve_env_value(Some("semisort")),
+            Ok(StorageKind::Semisort)
+        );
+        assert_eq!(
+            StorageKind::resolve_env_value(Some("compressed")),
+            Ok(StorageKind::Semisort)
+        );
+    }
+
+    #[test]
+    fn env_resolution_rejects_unknown_values_with_typed_error() {
+        let err = StorageKind::resolve_env_value(Some("zstd")).unwrap_err();
+        assert_eq!(err.value, "zstd");
+        let msg = err.to_string();
+        assert!(msg.contains("zstd") && msg.contains("packed"), "{msg}");
+        // Spellings are exact: case variants are rejected, not silently accepted.
+        assert!(StorageKind::resolve_env_value(Some("Packed")).is_err());
+        assert!("semisort".parse::<StorageKind>().is_ok());
+        assert!("semi-sort".parse::<StorageKind>().is_err());
+    }
+
+    #[test]
+    fn storage_tags_are_a_stable_wire_contract() {
+        assert_eq!(StorageKind::Packed.tag(), 0);
+        assert_eq!(StorageKind::Semisort.tag(), 1);
+        for kind in [StorageKind::Packed, StorageKind::Semisort] {
+            assert_eq!(StorageKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(StorageKind::from_tag(2), None);
+    }
+
+    #[test]
+    fn raw_round_trip_rebuilds_identical_stores() {
+        for kind in [StorageKind::Packed, StorageKind::Semisort] {
+            let mut b = AnyBuckets::new(kind, 8, 4);
+            for fp in [3u16, 9, 0xFFF, 3] {
+                assert!(b.try_insert(usize::from(fp) % 8, fp));
+            }
+            let rebuilt =
+                AnyBuckets::from_raw_parts(kind, 8, 4, b.raw_words().to_vec(), b.counts().to_vec())
+                    .unwrap();
+            assert_eq!(rebuilt, b);
+        }
+    }
+
+    #[test]
+    fn raw_import_rejects_inconsistent_images() {
+        let b = AnyBuckets::new(StorageKind::Packed, 8, 4);
+        let words = b.raw_words().to_vec();
+        let counts = b.counts().to_vec();
+        assert!(matches!(
+            AnyBuckets::from_raw_parts(
+                StorageKind::Packed,
+                8,
+                4,
+                words[1..].to_vec(),
+                counts.clone()
+            ),
+            Err(StoreImportError::WordLenMismatch { .. })
+        ));
+        assert!(matches!(
+            AnyBuckets::from_raw_parts(
+                StorageKind::Packed,
+                8,
+                4,
+                words.clone(),
+                counts[1..].to_vec()
+            ),
+            Err(StoreImportError::CountLenMismatch { .. })
+        ));
+        let mut high = counts.clone();
+        high[0] = 5;
+        assert!(matches!(
+            AnyBuckets::from_raw_parts(StorageKind::Packed, 8, 4, words.clone(), high),
+            Err(StoreImportError::CountOutOfRange {
+                bucket: 0,
+                got: 5,
+                max: 4
+            })
+        ));
+        // A counter claiming an occupant the words don't contain is caught by the
+        // recount cross-check.
+        let mut lying = counts.clone();
+        lying[3] = 1;
+        assert!(matches!(
+            AnyBuckets::from_raw_parts(StorageKind::Packed, 8, 4, words.clone(), lying),
+            Err(StoreImportError::OccupancyMismatch {
+                bucket: 3,
+                stored: 1,
+                derived: 0
+            })
+        ));
+        assert!(matches!(
+            AnyBuckets::from_raw_parts(StorageKind::Semisort, 8, 9, vec![], vec![]),
+            Err(StoreImportError::UnsupportedBucketWidth {
+                entries_per_bucket: 9
+            })
+        ));
     }
 
     #[test]

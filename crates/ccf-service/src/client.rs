@@ -1,0 +1,215 @@
+//! Blocking client for the filter daemon.
+//!
+//! One [`Client`] wraps one TCP connection and issues request/response frames in
+//! lockstep. Batched results come back as the same types the in-process filter APIs
+//! produce where the information survives the wire (booleans, outcome codes), so a
+//! caller can compare remote and in-process answers bit for bit.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use ccf_core::Predicate;
+
+use crate::error::{ProtocolError, ServiceError};
+use crate::wire::{self, BodyReader, BodyWriter, Opcode, Request, Status};
+
+/// Per-tenant statistics as reported by the `Stats` opcode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteStats {
+    /// Shard count (1 for single-filter tenants).
+    pub num_shards: u32,
+    /// Occupied entry slots across shards.
+    pub occupied: u64,
+    /// Total entry capacity across shards.
+    pub capacity: u64,
+    /// Serialized size in bits.
+    pub size_bits: u64,
+    /// Total capacity doublings across shards.
+    pub doublings: u64,
+    /// Service-wide load factor.
+    pub load_factor: f64,
+    /// Expected key-only false-positive rate (§7.1).
+    pub expected_key_fpr: f64,
+}
+
+/// A blocking connection to a filter daemon.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServiceError> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Bound every read so a wedged daemon surfaces as an I/O timeout error instead
+    /// of hanging the caller.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> Result<(), ServiceError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn call(
+        &mut self,
+        opcode: Opcode,
+        tenant: u32,
+        body: Vec<u8>,
+    ) -> Result<Vec<u8>, ServiceError> {
+        let frame = wire::encode_request(&Request {
+            opcode,
+            tenant,
+            body,
+        });
+        wire::write_frame(&mut self.stream, &frame)?;
+        let payload = wire::read_frame(&mut self.stream)?
+            .ok_or(ServiceError::Protocol(ProtocolError::Truncated))?;
+        let resp = wire::parse_response(&payload)?;
+        match resp.status {
+            Status::Ok => Ok(resp.body),
+            status => Err(ServiceError::Remote {
+                status: status as u8,
+                message: String::from_utf8_lossy(&resp.body).into_owned(),
+            }),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ServiceError> {
+        let body = self.call(Opcode::Ping, 0, Vec::new())?;
+        if !body.is_empty() {
+            return Err(ProtocolError::TrailingBytes {
+                remaining: body.len(),
+            }
+            .into());
+        }
+        Ok(())
+    }
+
+    /// Batched row insert; returns one wire outcome code per row
+    /// (see [`wire::insert_result_code`]).
+    pub fn insert_rows(
+        &mut self,
+        tenant: u32,
+        rows: &[(u64, Vec<u64>)],
+    ) -> Result<Vec<u8>, ServiceError> {
+        let num_attrs = rows.first().map_or(0, |(_, a)| a.len());
+        let mut w = BodyWriter::new();
+        wire::put_rows(&mut w, num_attrs, rows);
+        let body = self.call(Opcode::Insert, tenant, w.into_bytes())?;
+        let mut r = BodyReader::new(&body);
+        let codes = wire::get_codes(&mut r)?;
+        r.finish()?;
+        if codes.len() != rows.len() {
+            return Err(ProtocolError::BadPayload(format!(
+                "sent {} rows, daemon answered {}",
+                rows.len(),
+                codes.len()
+            ))
+            .into());
+        }
+        Ok(codes)
+    }
+
+    /// Batched predicate query.
+    pub fn query(
+        &mut self,
+        tenant: u32,
+        keys: &[u64],
+        pred: &Predicate,
+    ) -> Result<Vec<bool>, ServiceError> {
+        let mut w = BodyWriter::new();
+        wire::put_predicate(&mut w, pred);
+        wire::put_keys(&mut w, keys);
+        let body = self.call(Opcode::Query, tenant, w.into_bytes())?;
+        let mut r = BodyReader::new(&body);
+        let bools = wire::get_bools(&mut r)?;
+        r.finish()?;
+        Ok(bools)
+    }
+
+    /// Batched key-only membership.
+    pub fn contains(&mut self, tenant: u32, keys: &[u64]) -> Result<Vec<bool>, ServiceError> {
+        let mut w = BodyWriter::new();
+        wire::put_keys(&mut w, keys);
+        let body = self.call(Opcode::Contains, tenant, w.into_bytes())?;
+        let mut r = BodyReader::new(&body);
+        let bools = wire::get_bools(&mut r)?;
+        r.finish()?;
+        Ok(bools)
+    }
+
+    /// Batched row deletion; wire codes per [`wire::delete_result_code`].
+    pub fn delete_rows(
+        &mut self,
+        tenant: u32,
+        rows: &[(u64, Vec<u64>)],
+    ) -> Result<Vec<u8>, ServiceError> {
+        let num_attrs = rows.first().map_or(0, |(_, a)| a.len());
+        let mut w = BodyWriter::new();
+        wire::put_rows(&mut w, num_attrs, rows);
+        let body = self.call(Opcode::DeleteRow, tenant, w.into_bytes())?;
+        let mut r = BodyReader::new(&body);
+        let codes = wire::get_codes(&mut r)?;
+        r.finish()?;
+        Ok(codes)
+    }
+
+    /// Batched key deletion; wire codes per [`wire::delete_result_code`].
+    pub fn delete_keys(&mut self, tenant: u32, keys: &[u64]) -> Result<Vec<u8>, ServiceError> {
+        let mut w = BodyWriter::new();
+        wire::put_keys(&mut w, keys);
+        let body = self.call(Opcode::DeleteKey, tenant, w.into_bytes())?;
+        let mut r = BodyReader::new(&body);
+        let codes = wire::get_codes(&mut r)?;
+        r.finish()?;
+        Ok(codes)
+    }
+
+    /// Per-tenant occupancy/growth statistics.
+    pub fn stats(&mut self, tenant: u32) -> Result<RemoteStats, ServiceError> {
+        let body = self.call(Opcode::Stats, tenant, Vec::new())?;
+        let mut r = BodyReader::new(&body);
+        let stats = RemoteStats {
+            num_shards: r.get_u32()?,
+            occupied: r.get_u64()?,
+            capacity: r.get_u64()?,
+            size_bits: r.get_u64()?,
+            doublings: r.get_u64()?,
+            load_factor: f64::from_bits(r.get_u64()?),
+            expected_key_fpr: f64::from_bits(r.get_u64()?),
+        };
+        r.finish()?;
+        Ok(stats)
+    }
+
+    /// The daemon's Prometheus text exposition.
+    pub fn metrics(&mut self) -> Result<String, ServiceError> {
+        let body = self.call(Opcode::Metrics, 0, Vec::new())?;
+        String::from_utf8(body)
+            .map_err(|_| ProtocolError::BadPayload("metrics body is not UTF-8".into()).into())
+    }
+
+    /// Snapshot every tenant now; returns `(tenant id, file digest)` pairs.
+    pub fn snapshot_now(&mut self) -> Result<Vec<(u32, u64)>, ServiceError> {
+        let body = self.call(Opcode::SnapshotNow, 0, Vec::new())?;
+        let mut r = BodyReader::new(&body);
+        let count = r.get_u32()? as usize;
+        let mut digests = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            digests.push((r.get_u32()?, r.get_u64()?));
+        }
+        r.finish()?;
+        Ok(digests)
+    }
+
+    /// Request graceful shutdown (snapshot-on-exit happens daemon-side).
+    pub fn shutdown(&mut self) -> Result<(), ServiceError> {
+        self.call(Opcode::Shutdown, 0, Vec::new())?;
+        Ok(())
+    }
+}

@@ -1,0 +1,160 @@
+//! Typed errors for the service layer.
+//!
+//! [`ProtocolError`] covers everything a malformed byte stream can do — truncated
+//! frames, oversized length prefixes, wrong magic, unknown opcodes, garbage payloads.
+//! The daemon maps every one of them to an error response (or a clean connection
+//! close) and keeps serving; none of them can panic or hang a connection thread.
+//! [`ServiceError`] is the client/daemon umbrella: protocol trouble, socket I/O,
+//! unknown tenants, bad configuration, and snapshot corruption.
+
+use ccf_core::ParamsError;
+use ccf_cuckoo::SnapshotError;
+
+/// A malformed or unacceptable wire frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The frame ended before the announced (or structurally required) bytes.
+    Truncated,
+    /// The length prefix exceeds [`crate::wire::MAX_FRAME`].
+    FrameTooLarge {
+        /// Announced frame length.
+        len: u32,
+        /// The cap it exceeded.
+        max: u32,
+    },
+    /// A frame shorter than the fixed header can never be valid.
+    FrameTooShort {
+        /// Announced frame length.
+        len: u32,
+    },
+    /// The frame does not start with the protocol magic.
+    BadMagic {
+        /// The bytes found where the magic belongs.
+        got: u32,
+    },
+    /// The peer speaks a protocol version this build does not.
+    UnsupportedVersion {
+        /// Version this build speaks.
+        supported: u8,
+        /// Version byte received.
+        got: u8,
+    },
+    /// The opcode byte names no known operation.
+    UnknownOpcode(u8),
+    /// The status byte names no known response status.
+    UnknownStatus(u8),
+    /// The frame decoded structurally but its payload is inconsistent.
+    BadPayload(String),
+    /// Payload bytes were left over after a complete decode.
+    TrailingBytes {
+        /// How many bytes remained.
+        remaining: usize,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Truncated => write!(f, "frame truncated"),
+            ProtocolError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            ProtocolError::FrameTooShort { len } => {
+                write!(f, "frame of {len} bytes is shorter than the fixed header")
+            }
+            ProtocolError::BadMagic { got } => {
+                write!(f, "bad frame magic {got:#010x}")
+            }
+            ProtocolError::UnsupportedVersion { supported, got } => {
+                write!(
+                    f,
+                    "peer speaks protocol version {got}, this build speaks {supported}"
+                )
+            }
+            ProtocolError::UnknownOpcode(op) => write!(f, "unknown opcode {op}"),
+            ProtocolError::UnknownStatus(s) => write!(f, "unknown response status {s}"),
+            ProtocolError::BadPayload(msg) => write!(f, "bad payload: {msg}"),
+            ProtocolError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Anything that can go wrong in the client library or the daemon.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A malformed frame (either direction).
+    Protocol(ProtocolError),
+    /// Socket or filesystem I/O failed.
+    Io(std::io::Error),
+    /// The request named a tenant the daemon does not host.
+    UnknownTenant(u32),
+    /// The daemon refused the request and said why.
+    Remote {
+        /// Machine-readable status byte from the response header.
+        status: u8,
+        /// Human-readable reason from the response body.
+        message: String,
+    },
+    /// A tenant specification or daemon flag could not be parsed.
+    Config(String),
+    /// Filter construction from a tenant spec failed.
+    Params(ParamsError),
+    /// A persisted snapshot image was corrupt or incompatible.
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ServiceError::Io(e) => write!(f, "i/o error: {e}"),
+            ServiceError::UnknownTenant(id) => write!(f, "unknown tenant {id}"),
+            ServiceError::Remote { status, message } => {
+                write!(f, "daemon refused (status {status}): {message}")
+            }
+            ServiceError::Config(msg) => write!(f, "bad configuration: {msg}"),
+            ServiceError::Params(e) => write!(f, "invalid tenant parameters: {e}"),
+            ServiceError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Protocol(e) => Some(e),
+            ServiceError::Io(e) => Some(e),
+            ServiceError::Params(e) => Some(e),
+            ServiceError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtocolError> for ServiceError {
+    fn from(e: ProtocolError) -> Self {
+        ServiceError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<ParamsError> for ServiceError {
+    fn from(e: ParamsError) -> Self {
+        ServiceError::Params(e)
+    }
+}
+
+impl From<SnapshotError> for ServiceError {
+    fn from(e: SnapshotError) -> Self {
+        ServiceError::Snapshot(e)
+    }
+}

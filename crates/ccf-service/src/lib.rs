@@ -1,0 +1,42 @@
+//! Network service layer for conditional cuckoo filters.
+//!
+//! The paper's filters live in-process; this crate is the deployment shell around
+//! them: a std-only TCP daemon ([`daemon`]) hosting per-tenant filters — each a
+//! [`ccf_core::AnyCcf`] or [`ccf_shard::ShardedCcf`] built from a [`config`] spec —
+//! behind a small length-prefixed binary protocol ([`wire`]), with a blocking
+//! [`client`] library, snapshot-on-exit persistence ([`persist`]) and golden-digest
+//! helpers ([`digest`]) for pinning kill/restart losslessness.
+//!
+//! Everything runs on `std` alone: `std::net::TcpListener`, thread-per-connection,
+//! no async runtime, no external dependencies. Batched operations served over the
+//! wire are bit-identical to the same calls made in-process — the wire encodes
+//! transport, never semantics — and a daemon restarted from its snapshot directory
+//! answers every request exactly as the process it replaced would have.
+//!
+//! Two bins ship with the crate:
+//!
+//! * `ccf-serviced` — the daemon. `--listen`, repeated `--tenant` specs,
+//!   `--snapshot-dir`; prints `listening on <addr>` once bound, exits 0 after a
+//!   graceful shutdown.
+//! * `ccf-loadgen` — drives batched inserts/queries/deletes over loopback (or
+//!   `--embedded` against an in-process daemon), reporting throughput, latency
+//!   quantiles from telemetry histograms, and the stream digest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod daemon;
+pub mod digest;
+pub mod error;
+pub mod persist;
+pub mod tenant;
+pub mod wire;
+
+pub use client::{Client, RemoteStats};
+pub use config::{DaemonConfig, TenantSpec};
+pub use daemon::{start, RunningDaemon};
+pub use digest::StreamDigest;
+pub use error::{ProtocolError, ServiceError};
+pub use tenant::Tenant;

@@ -1,0 +1,76 @@
+//! Smoke tests for the service bins. The daemon and loadgen are the deployment
+//! artefacts of this crate; without these tests they would only be compiled, never
+//! executed, and could silently rot. (`env!` uses string literals here because the
+//! bin names contain hyphens, which an ident-based macro cannot spell.)
+
+use std::process::Command;
+
+const SERVICED: &str = env!("CARGO_BIN_EXE_ccf-serviced");
+const LOADGEN: &str = env!("CARGO_BIN_EXE_ccf-loadgen");
+
+#[test]
+fn serviced_help_exits_zero() {
+    let out = Command::new(SERVICED).arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: ccf-serviced"));
+}
+
+#[test]
+fn serviced_rejects_bad_flags_and_bad_specs() {
+    for args in [
+        &["--bogus"][..],
+        &[][..], // no tenants
+        &["--tenant", "id=1,variant=tetrahedral"][..],
+        &["--tenant", "variant=plain"][..], // id is required
+    ] {
+        let out = Command::new(SERVICED).args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
+        assert!(
+            !out.stderr.is_empty(),
+            "args {args:?} must explain the error"
+        );
+    }
+}
+
+#[test]
+fn loadgen_help_exits_zero() {
+    let out = Command::new(LOADGEN).arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: ccf-loadgen"));
+}
+
+#[test]
+fn loadgen_requires_exactly_one_target() {
+    for args in [&[][..], &["--embedded", "--addr", "127.0.0.1:1"][..]] {
+        let out = Command::new(LOADGEN).args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
+    }
+}
+
+/// The full loopback pipeline at smoke scale: embedded daemon, batched wire ops,
+/// digest + zero protocol errors, graceful shutdown, exit 0.
+#[test]
+fn loadgen_embedded_smoke_run() {
+    let out = Command::new(LOADGEN)
+        .args([
+            "--embedded",
+            "--rows",
+            "2000",
+            "--queries",
+            "4000",
+            "--batch",
+            "256",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "loadgen failed:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["rows/s", "keys/s", "stream digest:", "protocol errors: 0"] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Loopback end-to-end: the real `ccf-serviced` bin, a real TCP client, and the
+//! full lifecycle — serve, snapshot, kill, restart, warm-reload — pinned by golden
+//! digests. The remote results are also compared bit for bit against an in-process
+//! filter fed the same streams: the wire must add transport, never semantics.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+
+use ccf_core::{AnyCcf, ConditionalFilter, Predicate};
+use ccf_service::wire;
+use ccf_service::{Client, StreamDigest, TenantSpec};
+
+const TENANT_SINGLE: &str = "id=1,variant=chained,buckets=256,seed=9";
+const TENANT_SHARDED: &str = "id=2,variant=mixed,buckets=64,shards=4,seed=9";
+
+fn spawn_daemon(snapshot_dir: &std::path::Path) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ccf-serviced"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--tenant",
+            TENANT_SINGLE,
+            "--tenant",
+            TENANT_SHARDED,
+            "--snapshot-dir",
+            snapshot_dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("daemon bin spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("daemon prints its address")
+        .expect("readable stdout");
+    let addr = banner
+        .strip_prefix("ccf-serviced listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .parse()
+        .expect("parsable address");
+    // Keep draining stdout in the background so the child never blocks on a full
+    // pipe once it starts printing snapshot digests.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+fn rows() -> Vec<(u64, Vec<u64>)> {
+    (0..2_000u64)
+        .map(|i| (i.wrapping_mul(0x9E37).rotate_left(9), vec![i % 7, i % 11]))
+        .collect()
+}
+
+fn probe_keys() -> Vec<u64> {
+    let data = rows();
+    (0..5_000u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                data[(i as usize / 2) % data.len()].0
+            } else {
+                u64::MAX - i
+            }
+        })
+        .collect()
+}
+
+/// Drive the full read-only probe suite and fold every answer into one digest.
+fn probe_digest(client: &mut Client, pred: &Predicate) -> u64 {
+    let mut digest = StreamDigest::new();
+    let keys = probe_keys();
+    for tenant in [1, 2] {
+        for chunk in keys.chunks(512) {
+            digest.update_bools(&client.query(tenant, chunk, pred).expect("query"));
+            digest.update_bools(&client.contains(tenant, chunk).expect("contains"));
+        }
+    }
+    digest.value()
+}
+
+#[test]
+fn kill_restart_cycle_is_lossless_and_bit_identical_to_in_process() {
+    let dir = std::env::temp_dir().join(format!("ccf-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let pred = Predicate::any(2).and_eq(0, 3);
+
+    // In-process reference for tenant 1: same spec, same streams, never restarted.
+    let spec = TenantSpec::parse(TENANT_SINGLE).unwrap();
+    let mut reference = AnyCcf::try_new(spec.variant, spec.params).unwrap();
+
+    // ---- First daemon: insert, probe, snapshot, graceful shutdown. ----
+    let (mut child, addr) = spawn_daemon(&dir);
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping");
+
+    let data = rows();
+    let mut insert_digest = StreamDigest::new();
+    for chunk in data.chunks(512) {
+        let remote = client.insert_rows(1, chunk).expect("insert tenant 1");
+        // Bit-identity with in-process inserts, outcome by outcome.
+        let local: Vec<u8> = chunk
+            .iter()
+            .map(|(k, a)| wire::insert_result_code(&reference.insert_row(*k, a)))
+            .collect();
+        assert_eq!(remote, local, "remote inserts diverge from in-process");
+        insert_digest.update(&remote);
+        insert_digest.update(&client.insert_rows(2, chunk).expect("insert tenant 2"));
+    }
+    // Remote reads match the in-process filter exactly.
+    let keys = probe_keys();
+    for chunk in keys.chunks(512) {
+        let remote = client.query(1, chunk, &pred).expect("query");
+        let local: Vec<bool> = chunk.iter().map(|&k| reference.query(k, &pred)).collect();
+        assert_eq!(remote, local, "remote queries diverge from in-process");
+        let remote = client.contains(1, chunk).expect("contains");
+        let local: Vec<bool> = chunk.iter().map(|&k| reference.contains_key(k)).collect();
+        assert_eq!(remote, local, "remote membership diverges from in-process");
+    }
+    let probe_before = probe_digest(&mut client, &pred);
+    let admin_digests = client.snapshot_now().expect("snapshot now");
+    assert_eq!(admin_digests.len(), 2);
+    client.shutdown().expect("graceful shutdown request");
+    let status = child.wait().expect("daemon exits");
+    assert!(
+        status.success(),
+        "graceful shutdown must exit 0, got {status:?}"
+    );
+
+    // ---- Second daemon: warm-reload, digests must be identical. ----
+    let (mut child, addr) = spawn_daemon(&dir);
+    let mut client = Client::connect(addr).expect("reconnect");
+    let probe_after = probe_digest(&mut client, &pred);
+    assert_eq!(
+        probe_before, probe_after,
+        "warm-reloaded daemon answers differently"
+    );
+    // Snapshotting the reloaded state reproduces the same file digests: the reload
+    // was bit-identical, not merely answer-compatible.
+    let redigests = client.snapshot_now().expect("snapshot again");
+    assert_eq!(
+        admin_digests, redigests,
+        "snapshot digests drifted across restart"
+    );
+
+    // Continued mutation stays in lockstep with the never-restarted reference.
+    let victims: Vec<(u64, Vec<u64>)> = data.iter().step_by(5).cloned().collect();
+    for chunk in victims.chunks(512) {
+        let remote = client.delete_rows(1, chunk).expect("delete");
+        let local: Vec<u8> = chunk
+            .iter()
+            .map(|(k, a)| wire::delete_result_code(&reference.delete_row(*k, a)))
+            .collect();
+        assert_eq!(
+            remote, local,
+            "post-restart deletes diverge from in-process"
+        );
+    }
+
+    // ---- Hard-kill leg: snapshot, SIGKILL, restart, reload from the snapshot. ----
+    let kill_digests = client.snapshot_now().expect("snapshot before kill");
+    let probe_killpoint = probe_digest(&mut client, &pred);
+    child.kill().expect("hard kill");
+    let _ = child.wait();
+
+    let (mut child, addr) = spawn_daemon(&dir);
+    let mut client = Client::connect(addr).expect("reconnect after kill");
+    assert_eq!(
+        probe_digest(&mut client, &pred),
+        probe_killpoint,
+        "state lost across hard kill + snapshot reload"
+    );
+    assert_eq!(client.snapshot_now().expect("snapshot"), kill_digests);
+
+    // Metrics admin surface is live and carries daemon + filter series.
+    let metrics = client.metrics().expect("metrics");
+    for series in [
+        "ccf_service_connections_total",
+        "ccf_service_requests_total",
+        "ccf_service_uptime_seconds",
+        "ccf_inserts_total",
+    ] {
+        assert!(metrics.contains(series), "missing {series} in exposition");
+    }
+    let stats = client.stats(2).expect("stats");
+    assert_eq!(stats.num_shards, 4);
+    assert!(stats.occupied > 0);
+
+    client.shutdown().expect("final shutdown");
+    assert!(child.wait().expect("exit").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,183 @@
+//! Malformed-frame hardening: truncated, oversized and garbage frames must produce
+//! typed errors and cleanly closed connections — the daemon must never panic, hang,
+//! or stop serving other connections.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ccf_service::wire::{self, Opcode, Request};
+use ccf_service::{daemon, Client, DaemonConfig, TenantSpec};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn start_daemon() -> daemon::RunningDaemon {
+    daemon::start(DaemonConfig {
+        listen: "127.0.0.1:0".into(),
+        tenants: vec![TenantSpec::parse("id=1,buckets=128,seed=7").unwrap()],
+        snapshot_dir: None,
+    })
+    .expect("daemon starts")
+}
+
+fn raw_conn(addr: std::net::SocketAddr) -> TcpStream {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(TIMEOUT)).unwrap();
+    s.set_write_timeout(Some(TIMEOUT)).unwrap();
+    s
+}
+
+/// Drain whatever the daemon answers (possibly nothing) until it closes the
+/// connection; panics (via the read timeout) if the daemon hangs instead.
+fn read_until_close(s: &mut TcpStream) -> Vec<u8> {
+    let mut all = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) => return all,
+            Ok(n) => all.extend_from_slice(&buf[..n]),
+            Err(e) => panic!("daemon neither answered nor closed: {e}"),
+        }
+    }
+}
+
+/// The daemon must still serve a well-formed request on a *fresh* connection.
+fn assert_still_alive(addr: std::net::SocketAddr) {
+    let mut client = Client::connect(addr).expect("daemon still accepting");
+    client.set_timeout(Some(TIMEOUT)).unwrap();
+    client.ping().expect("daemon still serving");
+}
+
+#[test]
+fn garbage_frames_get_typed_errors_and_clean_closes() {
+    let running = start_daemon();
+    let addr = running.local_addr();
+
+    // 1. Pure garbage bytes (valid length prefix, garbage payload): the daemon
+    //    answers BadRequest (bad magic) and closes.
+    let mut s = raw_conn(addr);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&16u32.to_le_bytes());
+    frame.extend_from_slice(&[0xDE; 16]);
+    s.write_all(&frame).unwrap();
+    let answer = read_until_close(&mut s);
+    assert!(!answer.is_empty(), "expected a BadRequest response");
+    let resp = wire::parse_response(&answer[4..]).expect("well-formed error response");
+    assert_eq!(resp.status, wire::Status::BadRequest);
+    assert!(String::from_utf8_lossy(&resp.body).contains("magic"));
+    assert_still_alive(addr);
+
+    // 2. Truncated frame: announce 100 bytes, send 10, close. Daemon must just
+    //    drop the connection (nothing useful to answer) without hanging.
+    let mut s = raw_conn(addr);
+    s.write_all(&100u32.to_le_bytes()).unwrap();
+    s.write_all(&[0u8; 10]).unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    let _ = read_until_close(&mut s);
+    assert_still_alive(addr);
+
+    // 3. Oversized announcement: the daemon must refuse without allocating or
+    //    waiting for the bytes.
+    let mut s = raw_conn(addr);
+    s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    let answer = read_until_close(&mut s);
+    if !answer.is_empty() {
+        let resp = wire::parse_response(&answer[4..]).unwrap();
+        assert_eq!(resp.status, wire::Status::BadRequest);
+    }
+    assert_still_alive(addr);
+
+    // 4. Sub-header length.
+    let mut s = raw_conn(addr);
+    s.write_all(&2u32.to_le_bytes()).unwrap();
+    s.write_all(&[0u8; 2]).unwrap();
+    let _ = read_until_close(&mut s);
+    assert_still_alive(addr);
+
+    // 5. Wrong version, unknown opcode: typed errors.
+    type FrameMutation = (fn(&mut Vec<u8>), &'static str);
+    let cases: [FrameMutation; 2] = [(|f| f[8] = 99, "version"), (|f| f[9] = 200, "opcode")];
+    for (mutate, needle) in cases {
+        let mut frame = wire::encode_request(&Request {
+            opcode: Opcode::Ping,
+            tenant: 0,
+            body: vec![],
+        });
+        mutate(&mut frame);
+        let mut s = raw_conn(addr);
+        s.write_all(&frame).unwrap();
+        let answer = read_until_close(&mut s);
+        let resp = wire::parse_response(&answer[4..]).expect("typed error response");
+        assert_eq!(resp.status, wire::Status::BadRequest);
+        assert!(
+            String::from_utf8_lossy(&resp.body).contains(needle),
+            "expected {needle} in {:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        assert_still_alive(addr);
+    }
+
+    running.request_shutdown();
+    running.wait().expect("graceful shutdown");
+}
+
+#[test]
+fn garbage_bodies_are_refused_without_closing_the_daemon() {
+    let running = start_daemon();
+    let addr = running.local_addr();
+
+    // A structurally valid envelope whose body lies about its counts: the daemon
+    // answers BadRequest on the same connection and keeps serving it.
+    let mut s = raw_conn(addr);
+    let mut body = Vec::new();
+    body.extend_from_slice(&u32::MAX.to_le_bytes()); // row count nobody sent
+    body.extend_from_slice(&2u32.to_le_bytes());
+    let frame = wire::encode_request(&Request {
+        opcode: Opcode::Insert,
+        tenant: 1,
+        body,
+    });
+    s.write_all(&frame).unwrap();
+    let payload = wire::read_frame(&mut s).unwrap().expect("a response");
+    let resp = wire::parse_response(&payload).unwrap();
+    assert_eq!(resp.status, wire::Status::BadRequest);
+
+    // Unknown tenant: typed status, connection stays usable.
+    let frame = wire::encode_request(&Request {
+        opcode: Opcode::Contains,
+        tenant: 99,
+        body: {
+            let mut w = wire::BodyWriter::new();
+            wire::put_keys(&mut w, &[1, 2, 3]);
+            w.into_bytes()
+        },
+    });
+    s.write_all(&frame).unwrap();
+    let payload = wire::read_frame(&mut s).unwrap().expect("a response");
+    let resp = wire::parse_response(&payload).unwrap();
+    assert_eq!(resp.status, wire::Status::UnknownTenant);
+
+    // Same connection, now a good request: still served.
+    let frame = wire::encode_request(&Request {
+        opcode: Opcode::Ping,
+        tenant: 0,
+        body: vec![],
+    });
+    s.write_all(&frame).unwrap();
+    let payload = wire::read_frame(&mut s).unwrap().expect("a response");
+    assert_eq!(
+        wire::parse_response(&payload).unwrap().status,
+        wire::Status::Ok
+    );
+
+    // The daemon's protocol-error counter saw the garbage.
+    let mut client = Client::connect(addr).unwrap();
+    let metrics = client.metrics().unwrap();
+    assert!(
+        metrics.contains("ccf_service_protocol_errors_total"),
+        "admin exposition must carry the protocol-error counter"
+    );
+
+    running.request_shutdown();
+    running.wait().expect("graceful shutdown");
+}

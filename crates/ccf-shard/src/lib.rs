@@ -36,7 +36,7 @@ pub mod stats;
 
 pub use fanout::fan_out_indexed;
 pub use router::{Partition, ShardRouter};
-pub use service::ShardedCcf;
+pub use service::{ShardedCcf, SHARD_SNAPSHOT_MAGIC, SHARD_SNAPSHOT_VERSION};
 pub use stats::{ShardSnapshot, ShardStats};
 
 /// Compile-time `Send + Sync` witness: instantiating this in a `const` fails to

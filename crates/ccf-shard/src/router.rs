@@ -14,6 +14,7 @@ use ccf_hash::{HashFamily, SaltedHasher};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardRouter {
     hasher: SaltedHasher,
+    seed: u64,
     num_shards: usize,
 }
 
@@ -53,6 +54,7 @@ impl ShardRouter {
         assert!(num_shards > 0, "a sharded filter needs at least one shard");
         Self {
             hasher: HashFamily::new(seed).hasher(purpose::SHARD),
+            seed,
             num_shards,
         }
     }
@@ -60,6 +62,12 @@ impl ShardRouter {
     /// Number of shards routed over.
     pub fn num_shards(&self) -> usize {
         self.num_shards
+    }
+
+    /// The hash-family seed this router was derived from — what a snapshot must
+    /// persist to rebuild an identically-routing service.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The shard a key belongs to.

@@ -8,6 +8,8 @@
 //!   "no kicks at all" case is its own bin.
 //! * [`latency_ns`] — coarse decimal nanosecond bounds (1 µs … 1 s), for wall-clock
 //!   timings recorded via [`crate::Histogram::start_timer`].
+//! * [`frame_bytes`] — byte-size bounds for wire frames and snapshot images
+//!   (64 B … 16 MiB), used by the `ccf-service` daemon.
 
 /// `[0, 1, 2, 4, …]` up to the first power of two `≥ max`.
 ///
@@ -45,6 +47,19 @@ pub fn latency_ns() -> Vec<u64> {
     ]
 }
 
+/// Byte-size bounds for wire frames and snapshot images: powers of four from 64 B up
+/// to 16 MiB (the service's frame cap), so request, response and persistence sizes
+/// from different daemons land in comparable bins.
+pub fn frame_bytes() -> Vec<u64> {
+    let mut bounds = Vec::new();
+    let mut b = 64u64;
+    while b <= 16 * 1024 * 1024 {
+        bounds.push(b);
+        b *= 4;
+    }
+    bounds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,9 +74,16 @@ mod tests {
 
     #[test]
     fn layouts_are_strictly_increasing() {
-        for bounds in [log2(500), log2(7), latency_ns()] {
+        for bounds in [log2(500), log2(7), latency_ns(), frame_bytes()] {
             assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
         }
+    }
+
+    #[test]
+    fn frame_bytes_spans_tiny_frames_to_the_frame_cap() {
+        let bounds = frame_bytes();
+        assert_eq!(bounds.first(), Some(&64));
+        assert_eq!(bounds.last(), Some(&(16 * 1024 * 1024)));
     }
 
     #[test]

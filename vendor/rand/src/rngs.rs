@@ -13,6 +13,27 @@ pub struct StdRng {
 }
 
 impl StdRng {
+    /// The generator's raw xoshiro256++ state, for exact-state persistence: a filter
+    /// snapshot that stores these four words and restores them with
+    /// [`StdRng::from_state`] continues the *same* random stream, so post-restore
+    /// draws (e.g. cuckoo kick victim choices) are bit-identical to the
+    /// never-persisted generator.
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a state captured by [`StdRng::state`]. An all-zero
+    /// state (a xoshiro fixed point, never produced by a live generator) is nudged
+    /// the same way seeding does, so the result is always a working generator.
+    #[inline]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return Self::from_seed([0; 32]);
+        }
+        StdRng { s }
+    }
+
     #[inline]
     fn step(&mut self) -> u64 {
         let result = self.s[0]
