@@ -1,0 +1,86 @@
+//! Static analysis and concurrency checking for the conditional-cuckoo-filter
+//! workspace.
+//!
+//! Three layers, all std-only (zero new dependencies — the toolchain is the
+//! only thing this crate assumes):
+//!
+//! 1. **A custom lint engine** ([`lints`], [`source`], [`allowlist`],
+//!    [`report`], [`workspace`]) — a line/token scanner over every workspace
+//!    `.rs` file enforcing repo-specific invariants that `clippy` cannot know:
+//!    no flooring casts on load-factor/millis math outside the blessed rounding
+//!    constructors, no `unwrap()`/`expect()`/`panic!` on library paths (typed
+//!    errors only), every `unsafe` opt-in preceded by a `// SAFETY:` comment,
+//!    pairwise-distinct `purpose::*` hash salts, and telemetry instrument names
+//!    following the `layer_noun_unit` convention. Each rule has a stable
+//!    machine-readable ID (`CCF-L001`…), a fix-it hint, and an allowlist escape
+//!    hatch that *requires a justification*.
+//! 2. **A concurrency schedule checker** ([`schedule`]) — a deterministic,
+//!    seeded interleaving-stress harness that drives `ShardedCcf` and
+//!    `Telemetry` through randomized concurrent schedules and verifies the
+//!    results against sequential specifications; [`racy::RacyCounter`] is the
+//!    planted bug proving the checker has teeth.
+//! 3. **The `ccf-lint` binary** — stable one-line-per-finding output
+//!    (`RULE-ID file:line message`) and exit codes (0 clean / 1 findings /
+//!    2 error) for CI gating.
+
+pub mod allowlist;
+pub mod lints;
+pub mod racy;
+pub mod report;
+pub mod schedule;
+pub mod source;
+pub mod workspace;
+
+pub use allowlist::{AllowEntry, Allowlist, AllowlistParseError};
+pub use lints::{lint_sources, parse_purpose_salts, rule, LintRun, RuleInfo, RULES};
+pub use racy::RacyCounter;
+pub use report::{exit_code, Finding};
+pub use schedule::{
+    check_counter_subject, check_sharded_ccf, check_telemetry, CheckConfig, CheckFailure,
+    CounterSubject, Report, Violation,
+};
+pub use source::SourceFile;
+pub use workspace::{
+    collect_sources, find_workspace_root, lint_workspace, load_allowlist, DEFAULT_ALLOWLIST,
+};
+
+/// Errors from workspace discovery and allowlist loading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// Reading a file or directory failed.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying IO error, stringified.
+        message: String,
+    },
+    /// The allowlist file exists but does not parse.
+    Allowlist {
+        /// The allowlist path.
+        path: String,
+        /// The parse error.
+        message: String,
+    },
+    /// No ancestor of `start` has a `Cargo.toml` declaring `[workspace]`.
+    NoWorkspaceRoot {
+        /// Where the search started.
+        start: String,
+    },
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::Io { path, message } => write!(f, "io error at {path}: {message}"),
+            AnalysisError::Allowlist { path, message } => {
+                write!(f, "allowlist {path}: {message}")
+            }
+            AnalysisError::NoWorkspaceRoot { start } => write!(
+                f,
+                "no workspace root found at or above {start} (looked for a Cargo.toml with [workspace])"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}

@@ -1,0 +1,58 @@
+//! A deliberately racy toy structure — the schedule checker's "planted bug".
+//!
+//! [`RacyCounter`] looks like a lock-protected counter but the "lock" is a
+//! check-then-set flag (a classic TOCTOU) and the increment is a non-atomic
+//! read-modify-write composed of a separate load and store. Two threads can
+//! both observe the flag clear, both enter the critical section, both load the
+//! same value and both store `v + 1`: one increment is lost.
+//!
+//! Everything is built from `Relaxed` atomics, so this is **not** undefined
+//! behavior and is ThreadSanitizer/Miri-clean — the races it exhibits are
+//! *logical* lost updates, exactly the class of bug a linearizability checker
+//! must catch. `yield_now` calls widen the race windows so the lost updates
+//! reproduce reliably even on a single-CPU CI box (a yield between the load and
+//! the store hands the timeslice to the other thread mid-increment).
+//!
+//! If the schedule checker ever passes this structure, the checker is broken:
+//! `tests/schedule_checker.rs` pins that it is caught.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A counter guarded by a fake lock. See the module docs — do not use for
+/// anything but proving the schedule checker has teeth.
+#[derive(Debug, Default)]
+pub struct RacyCounter {
+    guard: AtomicBool,
+    value: AtomicU64,
+}
+
+impl RacyCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// "Lock", increment, "unlock" — with both the acquisition and the
+    /// increment broken in the standard ways.
+    pub fn increment(&self) {
+        // Broken acquire: check-then-set instead of a compare-and-swap. Both
+        // threads can see `false` here…
+        while self.guard.load(Ordering::Relaxed) {
+            std::thread::yield_now();
+        }
+        std::thread::yield_now(); // …especially with a yield inside the window.
+        self.guard.store(true, Ordering::Relaxed);
+
+        // Broken increment: load and store instead of fetch_add.
+        let v = self.value.load(Ordering::Relaxed);
+        std::thread::yield_now();
+        self.value.store(v + 1, Ordering::Relaxed);
+
+        self.guard.store(false, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,64 @@
+//! Findings and the stable machine-readable output format.
+//!
+//! One finding renders as exactly one line:
+//!
+//! ```text
+//! RULE-ID file:line message
+//! ```
+//!
+//! e.g. `CCF-L002 crates/ccf-core/src/plain.rs:58 \`.unwrap()\` in library code`.
+//! CI annotations and editor integrations parse this shape; it is pinned by a
+//! test and must not change without a major note in the README.
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule ID, e.g. `CCF-L002`.
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The raw source line (allowlist matching; not part of the output format).
+    pub raw_line: String,
+}
+
+impl Finding {
+    /// Render in the stable `RULE-ID file:line message` format.
+    pub fn render(&self) -> String {
+        format!("{} {}:{} {}", self.rule, self.path, self.line, self.message)
+    }
+}
+
+/// Exit codes of the `ccf-lint` binary (stable, for CI and editors).
+pub mod exit_code {
+    /// The workspace is clean.
+    pub const CLEAN: i32 = 0;
+    /// At least one finding was reported.
+    pub const FINDINGS: i32 = 1;
+    /// Usage, IO or allowlist-parse error — the lint did not complete.
+    pub const ERROR: i32 = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The output format is part of the tool's contract — pinned byte-for-byte.
+    #[test]
+    fn finding_format_is_stable() {
+        let f = Finding {
+            rule: "CCF-L002",
+            path: "crates/ccf-core/src/plain.rs".to_string(),
+            line: 58,
+            message: "`.unwrap()` in library code — typed errors only".to_string(),
+            raw_line: String::new(),
+        };
+        assert_eq!(
+            f.render(),
+            "CCF-L002 crates/ccf-core/src/plain.rs:58 `.unwrap()` in library code — typed errors only"
+        );
+    }
+}

@@ -1,0 +1,705 @@
+//! A deterministic, seeded interleaving-stress harness (lincheck-style) for the
+//! workspace's concurrent structures.
+//!
+//! The checker generates randomized concurrent op schedules from a seed, drives
+//! small [`ShardedCcf`] instances and raw [`Telemetry`] registries through them
+//! across scoped threads, and verifies the observable behavior against the
+//! sequential specification. Three complementary phases for the filter service:
+//!
+//! 1. **Shard-partitioned churn, bit-identity.** Each thread owns the keys of
+//!    one shard, so every shard serializes exactly one thread's program order.
+//!    The final filter state must be *bit-identical* (via snapshot bytes) to a
+//!    sequential replay of the same per-thread op sequences, and every op must
+//!    return the same outcome — inserts, deletes, growth, kicks and all.
+//! 2. **Cross-shard insert-only linearizability.** Writer threads insert
+//!    disjoint key sets anywhere in the keyspace while prober threads issue
+//!    point lookups, every op stamped with start/end ticks from a global atomic
+//!    clock. A probe that *begins after an insert of `k` completed* must see
+//!    `k` (filters never false-negative); the final state must contain every
+//!    inserted key. (Probes racing an in-flight insert may see either state —
+//!    that is the linearizable envelope, not a bug.)
+//! 3. **Frozen concurrent batch reads.** With writers quiesced, concurrent
+//!    batched probes from every thread must be bit-identical to the sequential
+//!    batch answer — the `ShardedCcf` determinism contract under read
+//!    concurrency.
+//!
+//! For telemetry the sequential specification is counter ground truth: after
+//! the threads join, every counter/gauge/histogram must equal the tally of the
+//! schedule that was executed, and snapshots taken mid-flight must observe
+//! counters monotonically.
+//!
+//! Schedules are deterministic in their *content* (seeded [`StdRng`]); the OS
+//! supplies the interleavings, so the harness runs a few bounded rounds rather
+//! than trusting any single execution. Thread counts are gated on
+//! [`std::thread::available_parallelism`] and iteration counts are bounded so
+//! the whole suite stays cheap on the 1-CPU CI box.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use ccf_core::{CcfParams, Predicate, VariantKind};
+use ccf_shard::ShardedCcf;
+use ccf_telemetry::{buckets, Telemetry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sizing knobs for one checker run.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Worker threads (and, in phase 1, shards). At least 2.
+    pub threads: usize,
+    /// Ops each thread executes per round.
+    pub ops_per_thread: usize,
+    /// Keys in each thread's private pool.
+    pub keys_per_thread: usize,
+    /// Master seed; every schedule derives from it.
+    pub seed: u64,
+    /// Rounds per phase (each re-seeds with `seed + round`).
+    pub rounds: usize,
+}
+
+impl CheckConfig {
+    /// A bounded configuration scaled to the host: 2–4 threads, fewer ops on
+    /// small boxes, so CI (1 CPU) finishes in seconds while a developer machine
+    /// gets more interleaving coverage.
+    pub fn for_host(seed: u64) -> Self {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        CheckConfig {
+            threads: hw.clamp(2, 4),
+            ops_per_thread: if hw >= 4 { 384 } else { 192 },
+            keys_per_thread: 48,
+            seed,
+            rounds: if hw >= 4 { 3 } else { 2 },
+        }
+    }
+}
+
+/// A linearizability/ground-truth violation the checker detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Concurrent execution left different bits than the sequential replay.
+    StateDivergence { phase: &'static str, detail: String },
+    /// An op returned a different outcome concurrently than sequentially.
+    OutcomeDivergence {
+        thread: usize,
+        op_index: usize,
+        detail: String,
+    },
+    /// A key whose insert completed was absent from the final state.
+    FalseNegative { key: u64 },
+    /// A probe that began after an insert of the key completed returned false.
+    StaleRead { key: u64, detail: String },
+    /// An instrument's final value diverged from the schedule's ground truth.
+    CounterDrift {
+        instrument: String,
+        expected: u64,
+        observed: u64,
+    },
+    /// A histogram's count/sum/buckets diverged from ground truth.
+    HistogramDrift { instrument: String, detail: String },
+    /// A counter moved backwards between two snapshots taken in order.
+    NonMonotonicSnapshot { instrument: String, detail: String },
+    /// A plain counting subject lost updates under contention.
+    LostUpdates { expected: u64, observed: u64 },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::StateDivergence { phase, detail } => {
+                write!(f, "[{phase}] concurrent state diverged from sequential replay: {detail}")
+            }
+            Violation::OutcomeDivergence {
+                thread,
+                op_index,
+                detail,
+            } => write!(
+                f,
+                "op {op_index} of thread {thread} returned a different outcome concurrently: {detail}"
+            ),
+            Violation::FalseNegative { key } => {
+                write!(f, "key {key} was inserted (completed) but is absent from the final state")
+            }
+            Violation::StaleRead { key, detail } => {
+                write!(f, "probe of key {key} missed a completed insert: {detail}")
+            }
+            Violation::CounterDrift {
+                instrument,
+                expected,
+                observed,
+            } => write!(
+                f,
+                "{instrument}: expected {expected} from the executed schedule, observed {observed}"
+            ),
+            Violation::HistogramDrift { instrument, detail } => {
+                write!(f, "{instrument}: {detail}")
+            }
+            Violation::NonMonotonicSnapshot { instrument, detail } => {
+                write!(f, "{instrument} moved backwards across ordered snapshots: {detail}")
+            }
+            Violation::LostUpdates { expected, observed } => write!(
+                f,
+                "lost updates: {expected} increments performed, {observed} recorded"
+            ),
+        }
+    }
+}
+
+/// Why a check run did not produce a clean report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckFailure {
+    /// The harness could not set the experiment up (bad params, key-pool
+    /// exhaustion) — says nothing about the subject.
+    Setup(String),
+    /// The subject violated its specification.
+    Violation(Violation),
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckFailure::Setup(s) => write!(f, "schedule-checker setup failed: {s}"),
+            CheckFailure::Violation(v) => write!(f, "schedule-checker violation: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckFailure {}
+
+/// Statistics from a clean run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Report {
+    /// Mutating + probing ops executed across all threads and rounds.
+    pub ops: u64,
+    /// Interval-stamped probe observations that were checked.
+    pub probes_checked: u64,
+    /// Rounds completed.
+    pub rounds: u64,
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ops, {} stamped probes, {} rounds — no violations",
+            self.ops, self.probes_checked, self.rounds
+        )
+    }
+}
+
+/// One scheduled filter operation.
+#[derive(Debug, Clone, Copy)]
+enum FilterOp {
+    Insert(u64),
+    Delete(u64),
+    Contains(u64),
+    Query(u64),
+}
+
+fn attrs_of(key: u64) -> [u64; 1] {
+    [key % 5]
+}
+
+fn filter_params(seed: u64) -> CcfParams {
+    CcfParams {
+        num_buckets: 1 << 7,
+        num_attrs: 1,
+        seed,
+        ..CcfParams::default()
+    }
+}
+
+fn new_service(seed: u64, shards: usize) -> Result<ShardedCcf, CheckFailure> {
+    ShardedCcf::try_new(VariantKind::Plain, filter_params(seed), shards)
+        .map(|s| s.with_threads(2))
+        .map_err(|e| CheckFailure::Setup(format!("ShardedCcf::try_new: {e}")))
+}
+
+/// Deterministic key pools, one per shard: thread `t` owns keys routed to
+/// shard `t`, so phase 1's per-shard op order is exactly one thread's program
+/// order.
+fn shard_key_pools(
+    service: &ShardedCcf,
+    threads: usize,
+    keys_per_thread: usize,
+    seed: u64,
+) -> Result<Vec<Vec<u64>>, CheckFailure> {
+    let mut pools: Vec<Vec<u64>> = vec![Vec::new(); threads];
+    let mut candidate = seed | 1;
+    let budget = keys_per_thread * threads * 4096;
+    for _ in 0..budget {
+        candidate = candidate
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(23)
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+        let shard = service.shard_of(candidate);
+        if shard < threads && pools[shard].len() < keys_per_thread {
+            pools[shard].push(candidate);
+            if pools.iter().all(|p| p.len() == keys_per_thread) {
+                return Ok(pools);
+            }
+        }
+    }
+    Err(CheckFailure::Setup(format!(
+        "could not fill {threads}×{keys_per_thread} shard-local key pools within {budget} draws"
+    )))
+}
+
+fn schedule_ops(pool: &[u64], ops: usize, rng: &mut StdRng) -> Vec<FilterOp> {
+    (0..ops)
+        .map(|_| {
+            let key = pool[rng.gen_range(0..pool.len())];
+            match rng.gen_range(0..100u32) {
+                0..=54 => FilterOp::Insert(key),
+                55..=74 => FilterOp::Delete(key),
+                75..=89 => FilterOp::Contains(key),
+                _ => FilterOp::Query(key),
+            }
+        })
+        .collect()
+}
+
+/// Execute one op, folding its observable outcome into a small code so
+/// concurrent and sequential runs can be compared exactly.
+fn exec_op(service: &ShardedCcf, pred: &Predicate, op: FilterOp) -> u8 {
+    match op {
+        FilterOp::Insert(k) => match service.insert(k, &attrs_of(k)) {
+            Ok(_) => 0,
+            Err(_) => 1,
+        },
+        FilterOp::Delete(k) => match service.delete_row(k, &attrs_of(k)) {
+            Ok(true) => 0,
+            Ok(false) => 1,
+            Err(_) => 2,
+        },
+        FilterOp::Contains(k) => u8::from(service.contains_key(k)),
+        FilterOp::Query(k) => u8::from(service.query(k, pred)),
+    }
+}
+
+/// Phase 1: shard-partitioned concurrent churn must be bit-identical to the
+/// sequential replay.
+fn check_shard_partitioned_round(cfg: &CheckConfig, round: u64) -> Result<u64, CheckFailure> {
+    let seed = cfg.seed.wrapping_add(round);
+    let threads = cfg.threads;
+    let service = new_service(seed, threads)?;
+    let pools = shard_key_pools(&service, threads, cfg.keys_per_thread, seed)?;
+    let plans: Vec<Vec<FilterOp>> = pools
+        .iter()
+        .enumerate()
+        .map(|(t, pool)| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0xA5A5_5A5A));
+            schedule_ops(pool, cfg.ops_per_thread, &mut rng)
+        })
+        .collect();
+
+    // Concurrent execution: thread t's ops all land on shard t.
+    let mut outcomes: Vec<Vec<u8>> = vec![Vec::new(); threads];
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|s| {
+        for (slot, plan) in outcomes.iter_mut().zip(plans.iter()) {
+            let service = &service;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let pred = service.predicate();
+                barrier.wait();
+                for &op in plan {
+                    slot.push(exec_op(service, &pred, op));
+                }
+            });
+        }
+    });
+
+    // Sequential replay: same per-thread sequences, thread by thread. Each
+    // shard sees the same op order either way, so outcomes and final bits must
+    // match exactly.
+    let reference = new_service(seed, threads)?;
+    let pred = reference.predicate();
+    for (t, plan) in plans.iter().enumerate() {
+        for (i, &op) in plan.iter().enumerate() {
+            let code = exec_op(&reference, &pred, op);
+            if outcomes[t][i] != code {
+                return Err(CheckFailure::Violation(Violation::OutcomeDivergence {
+                    thread: t,
+                    op_index: i,
+                    detail: format!(
+                        "concurrent={} sequential={} for {:?}",
+                        outcomes[t][i], code, plan[i]
+                    ),
+                }));
+            }
+        }
+    }
+    if service.to_snapshot_bytes() != reference.to_snapshot_bytes() {
+        return Err(CheckFailure::Violation(Violation::StateDivergence {
+            phase: "shard-partitioned",
+            detail: "final snapshot bytes differ".to_string(),
+        }));
+    }
+    Ok((threads * cfg.ops_per_thread) as u64)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WriteEvent {
+    key: u64,
+    end: u64,
+    ok: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ProbeEvent {
+    key: u64,
+    result: bool,
+    start: u64,
+}
+
+/// Phase 2: cross-shard insert-only writers + stamped probers.
+fn check_cross_shard_round(cfg: &CheckConfig, round: u64) -> Result<(u64, u64), CheckFailure> {
+    let seed = cfg.seed.wrapping_add(0x5EED).wrapping_add(round);
+    let writers = (cfg.threads / 2).max(1);
+    let probers = (cfg.threads - writers).max(1);
+    let service = new_service(seed, 2)?;
+
+    // Disjoint writer key sets over the full keyspace (any shard).
+    let key_sets: Vec<Vec<u64>> = (0..writers as u64)
+        .map(|w| {
+            (0..cfg.keys_per_thread as u64)
+                .map(|i| {
+                    (w * cfg.keys_per_thread as u64 + i + 1)
+                        .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                        .rotate_left(17)
+                        ^ seed
+                })
+                .collect()
+        })
+        .collect();
+    let all_keys: Vec<u64> = key_sets.iter().flatten().copied().collect();
+
+    let clock = AtomicU64::new(0);
+    let barrier = Barrier::new(writers + probers);
+    let mut write_logs: Vec<Vec<WriteEvent>> = vec![Vec::new(); writers];
+    let mut probe_logs: Vec<Vec<ProbeEvent>> = vec![Vec::new(); probers];
+    std::thread::scope(|s| {
+        for (slot, keys) in write_logs.iter_mut().zip(key_sets.iter()) {
+            let service = &service;
+            let clock = &clock;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for &key in keys {
+                    clock.fetch_add(1, Ordering::SeqCst);
+                    let ok = service.insert(key, &attrs_of(key)).is_ok();
+                    let end = clock.fetch_add(1, Ordering::SeqCst);
+                    slot.push(WriteEvent { key, end, ok });
+                }
+            });
+        }
+        for (p, slot) in probe_logs.iter_mut().enumerate() {
+            let service = &service;
+            let clock = &clock;
+            let barrier = &barrier;
+            let all_keys = &all_keys;
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF ^ (p as u64) << 8);
+            let probes = cfg.ops_per_thread;
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..probes {
+                    let key = all_keys[rng.gen_range(0..all_keys.len())];
+                    let start = clock.fetch_add(1, Ordering::SeqCst);
+                    let result = service.contains_key(key);
+                    let _end = clock.fetch_add(1, Ordering::SeqCst);
+                    slot.push(ProbeEvent { key, result, start });
+                    if start % 64 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+
+    // Spec checks. Every insert must have succeeded (the filter is sized with
+    // ample headroom), so "completed insert" == the event's end stamp.
+    let mut insert_end_of = std::collections::HashMap::new();
+    for ev in write_logs.iter().flatten() {
+        if !ev.ok {
+            return Err(CheckFailure::Setup(format!(
+                "insert of key {} failed — filter under-sized for the schedule",
+                ev.key
+            )));
+        }
+        insert_end_of.insert(ev.key, ev.end);
+    }
+    let mut probes_checked = 0u64;
+    for ev in probe_logs.iter().flatten() {
+        probes_checked += 1;
+        if ev.result {
+            continue; // positive answers are always linearizable here
+        }
+        if let Some(&end) = insert_end_of.get(&ev.key) {
+            if end < ev.start {
+                return Err(CheckFailure::Violation(Violation::StaleRead {
+                    key: ev.key,
+                    detail: format!(
+                        "insert completed at tick {end}, probe started at tick {}",
+                        ev.start
+                    ),
+                }));
+            }
+        }
+    }
+    for &key in &all_keys {
+        if !service.contains_key(key) {
+            return Err(CheckFailure::Violation(Violation::FalseNegative { key }));
+        }
+    }
+
+    // Phase 3 on the same populated filter: frozen concurrent batch reads must
+    // be bit-identical to the sequential batch answer.
+    let pred = service.predicate();
+    let expected_contains = service.contains_key_batch(&all_keys);
+    let expected_query = service.query_batch(&all_keys, &pred);
+    let readers = cfg.threads;
+    let mut mismatch: Vec<Option<&'static str>> = vec![None; readers];
+    std::thread::scope(|s| {
+        for slot in mismatch.iter_mut() {
+            let service = &service;
+            let all_keys = &all_keys;
+            let expected_contains = &expected_contains;
+            let expected_query = &expected_query;
+            let pred = service.predicate();
+            s.spawn(move || {
+                if &service.contains_key_batch(all_keys) != expected_contains {
+                    *slot = Some("contains_key_batch");
+                } else if &service.query_batch(all_keys, &pred) != expected_query {
+                    *slot = Some("query_batch");
+                }
+            });
+        }
+    });
+    if let Some(which) = mismatch.iter().flatten().next() {
+        return Err(CheckFailure::Violation(Violation::StateDivergence {
+            phase: "frozen-batch",
+            detail: format!("concurrent {which} diverged from the sequential batch answer"),
+        }));
+    }
+
+    let ops = all_keys.len() as u64 + probes_checked + (readers * 2) as u64;
+    Ok((ops, probes_checked))
+}
+
+/// Run the full `ShardedCcf` schedule check (all three phases, `cfg.rounds`
+/// rounds each).
+pub fn check_sharded_ccf(cfg: &CheckConfig) -> Result<Report, CheckFailure> {
+    let mut report = Report::default();
+    for round in 0..cfg.rounds as u64 {
+        report.ops += check_shard_partitioned_round(cfg, round)?;
+        let (ops, probes) = check_cross_shard_round(cfg, round)?;
+        report.ops += ops;
+        report.probes_checked += probes;
+        report.rounds += 1;
+    }
+    Ok(report)
+}
+
+/// A concurrently-incrementable counter the harness can interrogate — the
+/// seam that lets the same checker drive a real [`ccf_telemetry::Counter`] and
+/// the planted [`crate::racy::RacyCounter`].
+pub trait CounterSubject: Sync {
+    /// Add exactly one to the counter.
+    fn add_one(&self);
+    /// The current total.
+    fn total(&self) -> u64;
+}
+
+impl CounterSubject for ccf_telemetry::Counter {
+    fn add_one(&self) {
+        self.inc();
+    }
+    fn total(&self) -> u64 {
+        self.get()
+    }
+}
+
+impl CounterSubject for crate::racy::RacyCounter {
+    fn add_one(&self) {
+        self.increment();
+    }
+    fn total(&self) -> u64 {
+        self.get()
+    }
+}
+
+/// Drive `subject` with `cfg.threads × cfg.ops_per_thread × cfg.rounds`
+/// increments across scoped threads; the sequential spec is exact arithmetic.
+pub fn check_counter_subject<S: CounterSubject>(
+    subject: &S,
+    cfg: &CheckConfig,
+) -> Result<Report, CheckFailure> {
+    let before = subject.total();
+    let per_thread = cfg.ops_per_thread * cfg.rounds;
+    let barrier = Barrier::new(cfg.threads);
+    std::thread::scope(|s| {
+        for _ in 0..cfg.threads {
+            let barrier = &barrier;
+            let subject = &*subject;
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..per_thread {
+                    subject.add_one();
+                    if i % 128 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+    let expected = before + (cfg.threads * per_thread) as u64;
+    let observed = subject.total();
+    if observed != expected {
+        return Err(CheckFailure::Violation(Violation::LostUpdates {
+            expected: expected - before,
+            observed: observed - before,
+        }));
+    }
+    Ok(Report {
+        ops: (cfg.threads * per_thread) as u64,
+        probes_checked: 0,
+        rounds: cfg.rounds as u64,
+    })
+}
+
+/// Ground-truth tally one telemetry worker accumulates while executing its
+/// schedule.
+#[derive(Debug, Default, Clone, Copy)]
+struct TelemetryTally {
+    counter: u64,
+    gauge_net: i64,
+    observes: u64,
+    observe_sum: u64,
+    snapshot_regression: Option<(u64, u64)>,
+}
+
+/// Drive a live [`Telemetry`] registry through a seeded concurrent schedule and
+/// verify every instrument against the executed ground truth.
+pub fn check_telemetry(cfg: &CheckConfig) -> Result<Report, CheckFailure> {
+    let telemetry = Telemetry::enabled();
+    let mut tallies: Vec<TelemetryTally> = vec![TelemetryTally::default(); cfg.threads];
+    let barrier = Barrier::new(cfg.threads);
+    let per_thread = cfg.ops_per_thread * cfg.rounds;
+    std::thread::scope(|s| {
+        for (w, slot) in tallies.iter_mut().enumerate() {
+            let telemetry = telemetry.clone();
+            let barrier = &barrier;
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7E1E ^ (w as u64) << 16);
+            s.spawn(move || {
+                // Resolving inside the worker exercises first-use registration
+                // races: every thread must end up sharing one core per series.
+                let ops = telemetry.counter("ccf_analysis_ops_total", "schedule ops", &[]);
+                let inflight = telemetry.gauge("ccf_analysis_inflight_rows", "rows in flight", &[]);
+                let sizes = telemetry.histogram(
+                    "ccf_analysis_batch_keys",
+                    "scheduled batch sizes",
+                    &buckets::log2(1 << 10),
+                    &[],
+                );
+                let mut tally = TelemetryTally::default();
+                let mut last_seen = 0u64;
+                barrier.wait();
+                for i in 0..per_thread {
+                    match rng.gen_range(0..100u32) {
+                        0..=49 => {
+                            ops.inc();
+                            tally.counter += 1;
+                        }
+                        50..=69 => {
+                            let d: i64 = rng.gen_range(-3..=3);
+                            if d >= 0 {
+                                inflight.add(d);
+                            } else {
+                                inflight.sub(-d);
+                            }
+                            tally.gauge_net += d;
+                        }
+                        70..=94 => {
+                            let v: u64 = rng.gen_range(0..1 << 10);
+                            sizes.observe(v);
+                            tally.observes += 1;
+                            tally.observe_sum += v;
+                        }
+                        _ => {
+                            // Counters must be monotone across ordered snapshots.
+                            if let Some(seen) =
+                                telemetry.snapshot().counter("ccf_analysis_ops_total", &[])
+                            {
+                                if seen < last_seen && tally.snapshot_regression.is_none() {
+                                    tally.snapshot_regression = Some((last_seen, seen));
+                                }
+                                last_seen = seen;
+                            }
+                        }
+                    }
+                    if i % 128 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                *slot = tally;
+            });
+        }
+    });
+
+    for (w, tally) in tallies.iter().enumerate() {
+        if let Some((was, now)) = tally.snapshot_regression {
+            return Err(CheckFailure::Violation(Violation::NonMonotonicSnapshot {
+                instrument: "ccf_analysis_ops_total".to_string(),
+                detail: format!("worker {w} saw {was} then {now}"),
+            }));
+        }
+    }
+    let snap = telemetry.snapshot();
+    let expected_counter: u64 = tallies.iter().map(|t| t.counter).sum();
+    let observed_counter = snap.counter("ccf_analysis_ops_total", &[]).unwrap_or(0);
+    if observed_counter != expected_counter {
+        return Err(CheckFailure::Violation(Violation::CounterDrift {
+            instrument: "ccf_analysis_ops_total".to_string(),
+            expected: expected_counter,
+            observed: observed_counter,
+        }));
+    }
+    let expected_gauge: i64 = tallies.iter().map(|t| t.gauge_net).sum();
+    let observed_gauge = snap.gauge("ccf_analysis_inflight_rows", &[]).unwrap_or(0);
+    if observed_gauge != expected_gauge {
+        return Err(CheckFailure::Violation(Violation::CounterDrift {
+            instrument: "ccf_analysis_inflight_rows".to_string(),
+            expected: expected_gauge.unsigned_abs(),
+            observed: observed_gauge.unsigned_abs(),
+        }));
+    }
+    let expected_observes: u64 = tallies.iter().map(|t| t.observes).sum();
+    let expected_sum: u64 = tallies.iter().map(|t| t.observe_sum).sum();
+    match snap.histogram("ccf_analysis_batch_keys", &[]) {
+        Some(h) if h.count() != expected_observes || h.sum != expected_sum => {
+            return Err(CheckFailure::Violation(Violation::HistogramDrift {
+                instrument: "ccf_analysis_batch_keys".to_string(),
+                detail: format!(
+                    "count {} (expected {expected_observes}), sum {} (expected {expected_sum})",
+                    h.count(),
+                    h.sum
+                ),
+            }));
+        }
+        None if expected_observes > 0 => {
+            return Err(CheckFailure::Violation(Violation::HistogramDrift {
+                instrument: "ccf_analysis_batch_keys".to_string(),
+                detail: "series missing from the final snapshot".to_string(),
+            }));
+        }
+        _ => {}
+    }
+    Ok(Report {
+        ops: (cfg.threads * per_thread) as u64,
+        probes_checked: 0,
+        rounds: cfg.rounds as u64,
+    })
+}

@@ -1,0 +1,428 @@
+//! A lightweight lexical model of one Rust source file.
+//!
+//! The lint rules need to reason about *code*, not about comments or string
+//! literals: `panic!` inside a doc comment or a pattern string must never fire a
+//! rule, and a metric name can only be read out of a *string literal in code
+//! position*. This module classifies every byte of a file as code, comment or
+//! string, splits the file into lines carrying both the raw text and a
+//! code-only projection (non-code bytes blanked to spaces), and marks the line
+//! ranges covered by `#[cfg(test)]` items so rules can exempt test code.
+//!
+//! This is deliberately not a full Rust lexer (no `syn` — the workspace builds
+//! offline with zero new dependencies). It handles the token classes that matter
+//! for masking: line and nested block comments, plain/byte strings with escapes,
+//! raw strings `r#"…"#` up to any hash depth, and the char-literal vs lifetime
+//! ambiguity. Constructs it cannot see (macro-generated source) are out of scope
+//! by design; the rules are repo invariants over the literal source text.
+
+/// Classification of one byte of source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByteClass {
+    /// Ordinary code, including whitespace between tokens.
+    Code,
+    /// Inside `//…` or `/* … */` (the delimiters count as comment).
+    Comment,
+    /// Inside a string, byte-string, raw-string or char literal (delimiters
+    /// included).
+    Str,
+}
+
+/// One line of the file, in raw and code-only projections.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The raw text, without the trailing newline.
+    pub raw: String,
+    /// Same length as `raw`, with every non-[`ByteClass::Code`] byte replaced by a
+    /// space. Rules that match tokens do so against this projection.
+    pub code: String,
+    /// Comment text of the line (code and string bytes blanked) — used by rules
+    /// that look *for* comments, e.g. the `SAFETY:` requirement.
+    pub comment: String,
+    /// Whether the line is inside a `#[cfg(test)]` item (the attribute line
+    /// itself counts).
+    pub in_test_region: bool,
+}
+
+/// Where a file sits in the workspace, as far as rule applicability goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileKind {
+    /// Under a `tests/`, `benches/` or `examples/` directory: test harness code.
+    pub is_test_context: bool,
+    /// Under `src/bin/` or a `src/main.rs`: binary entry-point code.
+    pub is_bin: bool,
+}
+
+/// A scanned source file ready for linting.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (stable across platforms —
+    /// it is part of the machine-readable finding format).
+    pub path: String,
+    pub kind: FileKind,
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Scan `text` as the contents of `path` (workspace-relative).
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let classes = classify(text);
+        let mut lines = split_lines(text, &classes);
+        mark_test_regions(&mut lines);
+        SourceFile {
+            path: path.replace('\\', "/"),
+            kind: file_kind(path),
+            lines,
+        }
+    }
+
+    /// 1-indexed iteration over lines, the shape every rule wants.
+    pub fn numbered(&self) -> impl Iterator<Item = (usize, &Line)> {
+        self.lines.iter().enumerate().map(|(i, l)| (i + 1, l))
+    }
+}
+
+fn file_kind(path: &str) -> FileKind {
+    let p = path.replace('\\', "/");
+    let is_test_context = p.contains("/tests/")
+        || p.starts_with("tests/")
+        || p.contains("/benches/")
+        || p.contains("/examples/")
+        || p.starts_with("examples/");
+    let is_bin = p.contains("/bin/") || p.ends_with("src/main.rs");
+    FileKind {
+        is_test_context,
+        is_bin,
+    }
+}
+
+/// Lexer state for [`classify`].
+enum State {
+    Code,
+    LineComment,
+    BlockComment { depth: u32 },
+    Str { raw_hashes: Option<u32> },
+    CharLit,
+}
+
+/// Classify every byte of `text`.
+fn classify(text: &str) -> Vec<ByteClass> {
+    let b = text.as_bytes();
+    let mut out = vec![ByteClass::Code; b.len()];
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < b.len() {
+        match state {
+            State::Code => {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    state = State::LineComment;
+                    out[i] = ByteClass::Comment;
+                } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    state = State::BlockComment { depth: 1 };
+                    out[i] = ByteClass::Comment;
+                    out[i + 1] = ByteClass::Comment;
+                    i += 2;
+                    continue;
+                } else if b[i] == b'"' {
+                    state = State::Str { raw_hashes: None };
+                    out[i] = ByteClass::Str;
+                } else if let Some((prefix_len, hashes)) = raw_string_prefix(b, i) {
+                    for c in out.iter_mut().skip(i).take(prefix_len) {
+                        *c = ByteClass::Str;
+                    }
+                    state = State::Str {
+                        raw_hashes: Some(hashes),
+                    };
+                    i += prefix_len;
+                    continue;
+                } else if b[i] == b'\'' && is_char_literal(b, i) {
+                    state = State::CharLit;
+                    out[i] = ByteClass::Str;
+                }
+            }
+            State::LineComment => {
+                if b[i] == b'\n' {
+                    state = State::Code;
+                } else {
+                    out[i] = ByteClass::Comment;
+                }
+            }
+            State::BlockComment { depth } => {
+                out[i] = ByteClass::Comment;
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    out[i + 1] = ByteClass::Comment;
+                    state = State::BlockComment { depth: depth + 1 };
+                    i += 2;
+                    continue;
+                }
+                if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    out[i + 1] = ByteClass::Comment;
+                    state = if depth > 1 {
+                        State::BlockComment { depth: depth - 1 }
+                    } else {
+                        State::Code
+                    };
+                    i += 2;
+                    continue;
+                }
+            }
+            State::Str { raw_hashes: None } => {
+                out[i] = ByteClass::Str;
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    out[i + 1] = ByteClass::Str;
+                    i += 2;
+                    continue;
+                }
+                if b[i] == b'"' {
+                    state = State::Code;
+                }
+            }
+            State::Str {
+                raw_hashes: Some(h),
+            } => {
+                out[i] = ByteClass::Str;
+                if b[i] == b'"' && has_hashes(b, i + 1, h) {
+                    for c in out.iter_mut().skip(i).take(1 + h as usize) {
+                        *c = ByteClass::Str;
+                    }
+                    i += 1 + h as usize;
+                    state = State::Code;
+                    continue;
+                }
+            }
+            State::CharLit => {
+                out[i] = ByteClass::Str;
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    out[i + 1] = ByteClass::Str;
+                    i += 2;
+                    continue;
+                }
+                if b[i] == b'\'' {
+                    state = State::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Does a raw/byte-string prefix (`r"`, `r#"`, `br##"`, `b"`) start at `i`?
+/// Returns the prefix length (through the opening quote) and the hash count.
+fn raw_string_prefix(b: &[u8], i: usize) -> Option<(usize, u32)> {
+    // Must not be the tail of an identifier (`attr"` is not a raw string).
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return None;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    let is_raw = j < b.len() && b[j] == b'r';
+    if is_raw {
+        j += 1;
+    } else if j == i {
+        return None; // neither `b` nor `r` prefix
+    }
+    let mut hashes = 0u32;
+    while j < b.len() && b[j] == b'#' {
+        if !is_raw {
+            return None; // `b#` is not a string prefix
+        }
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'"' {
+        Some((j - i + 1, hashes))
+    } else {
+        None
+    }
+}
+
+fn has_hashes(b: &[u8], start: usize, h: u32) -> bool {
+    let h = h as usize;
+    start + h <= b.len() && b[start..start + h].iter().all(|&c| c == b'#')
+}
+
+/// Distinguish `'a'` / `'\n'` (char literal) from `'a` (lifetime) at a `'`.
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(b'\\') => true,
+        Some(&c) => {
+            if c == b'\'' {
+                return false; // `''` — not valid either way; treat as code
+            }
+            // `'x'` is a char literal; `'x` followed by anything else is a
+            // lifetime (or a label). Multi-byte chars ('λ') also end in a quote
+            // within a few bytes; scan a short window.
+            b.iter()
+                .skip(i + 1)
+                .take(5)
+                .take_while(|&&c2| c2 != b'\n')
+                .any(|&c2| c2 == b'\'')
+                && !(c.is_ascii_alphabetic() || c == b'_')
+                || (b.get(i + 2) == Some(&b'\''))
+        }
+        None => false,
+    }
+}
+
+fn split_lines(text: &str, classes: &[ByteClass]) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut start = 0usize;
+    let bytes = text.as_bytes();
+    for i in 0..=bytes.len() {
+        if i == bytes.len() || bytes[i] == b'\n' {
+            if i == bytes.len() && start == i && !lines.is_empty() {
+                break; // trailing newline: no phantom empty last line
+            }
+            let raw_bytes = &bytes[start..i];
+            let raw = String::from_utf8_lossy(raw_bytes).into_owned();
+            let mut code = String::with_capacity(raw.len());
+            let mut comment = String::with_capacity(raw.len());
+            for (k, &ch) in raw_bytes.iter().enumerate() {
+                let class = classes[start + k];
+                let printable = if ch.is_ascii() && !ch.is_ascii_control() {
+                    ch as char
+                } else {
+                    ' '
+                };
+                code.push(if class == ByteClass::Code {
+                    printable
+                } else {
+                    ' '
+                });
+                comment.push(if class == ByteClass::Comment {
+                    printable
+                } else {
+                    ' '
+                });
+            }
+            lines.push(Line {
+                raw,
+                code,
+                comment,
+                in_test_region: false,
+            });
+            start = i + 1;
+            if i == bytes.len() {
+                break;
+            }
+        }
+    }
+    lines
+}
+
+/// Mark the line span of every `#[cfg(test)]`-gated item.
+///
+/// Heuristic but robust for this workspace's style: from a line whose *code*
+/// contains `#[cfg(test)]` (or `#[cfg(all(test`…), scan forward for the first
+/// `{` at code level and mark through its matching `}`; if a `;` appears first
+/// the attribute gates a single-line item. Nested braces inside the region are
+/// balanced on the code projection, so strings and comments cannot derail it.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        let code = &lines[i].code;
+        if !(code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test")) {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut end = lines.len() - 1;
+        'scan: for (j, line) in lines.iter().enumerate().skip(i) {
+            for ch in line.code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            end = j;
+                            break 'scan;
+                        }
+                    }
+                    ';' if !opened => {
+                        end = j;
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for line in lines.iter_mut().take(end + 1).skip(i) {
+            line.in_test_region = true;
+        }
+        i = end + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_masked() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "let a = \"panic!()\"; // panic!()\nlet b = 1; /* .unwrap() */ let c = 2;\n",
+        );
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("let a ="));
+        assert!(f.lines[1].code.contains("let c = 2;"));
+        assert!(f.lines[0].comment.contains("panic!()"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "let s = r#\"has \"quotes\" and .unwrap()\"#;\nlet c = '\\''; let lt: &'static str = \"x\";\n",
+        );
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[1].code.contains("static"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "/* outer /* inner .expect( */ still comment */ let x = 1;\n",
+        );
+        assert!(!f.lines[0].code.contains("expect"));
+        assert!(f.lines[0].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test_region).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn file_kind_classification() {
+        assert!(
+            SourceFile::parse("crates/x/tests/t.rs", "")
+                .kind
+                .is_test_context
+        );
+        assert!(
+            SourceFile::parse("crates/x/benches/b.rs", "")
+                .kind
+                .is_test_context
+        );
+        assert!(SourceFile::parse("examples/e.rs", "").kind.is_test_context);
+        assert!(
+            SourceFile::parse("crates/x/src/bin/tool.rs", "")
+                .kind
+                .is_bin
+        );
+        let lib = SourceFile::parse("crates/x/src/lib.rs", "");
+        assert!(!lib.kind.is_test_context && !lib.kind.is_bin);
+    }
+}

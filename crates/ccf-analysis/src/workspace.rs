@@ -1,0 +1,103 @@
+//! Workspace file discovery and the top-level lint entry point.
+
+use std::path::{Path, PathBuf};
+
+use crate::allowlist::Allowlist;
+use crate::lints::{lint_sources, LintRun};
+use crate::source::SourceFile;
+use crate::AnalysisError;
+
+/// Directories never scanned: build output, vendored third-party stand-ins
+/// (their internal style is not this repo's to lint) and VCS metadata.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git"];
+
+/// Default allowlist file name, resolved relative to the workspace root.
+pub const DEFAULT_ALLOWLIST: &str = "ccf-lint.allow";
+
+/// Collect every lintable `.rs` file under `root`, sorted by path.
+pub fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, AnalysisError> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    walk(root, root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let text = std::fs::read_to_string(root.join(&p)).map_err(|e| AnalysisError::Io {
+            path: p.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let rel = p.to_string_lossy().replace('\\', "/");
+        files.push(SourceFile::parse(&rel, &text));
+    }
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), AnalysisError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| AnalysisError::Io {
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|e| AnalysisError::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Load the allowlist at `path`; a missing *default* allowlist is an empty one,
+/// a missing explicitly-requested file is an error (handled by the caller).
+pub fn load_allowlist(path: &Path) -> Result<Allowlist, AnalysisError> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Allowlist::parse(&text).map_err(|e| AnalysisError::Allowlist {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        }),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::empty()),
+        Err(e) => Err(AnalysisError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        }),
+    }
+}
+
+/// Lint the workspace rooted at `root` with its default allowlist
+/// (`<root>/ccf-lint.allow` if present).
+pub fn lint_workspace(root: &Path) -> Result<LintRun, AnalysisError> {
+    let allowlist = load_allowlist(&root.join(DEFAULT_ALLOWLIST))?;
+    let files = collect_sources(root)?;
+    Ok(lint_sources(&files, &allowlist))
+}
+
+/// Find the workspace root at or above `start`: the nearest ancestor whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, AnalysisError> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Ok(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    Err(AnalysisError::NoWorkspaceRoot {
+        start: start.display().to_string(),
+    })
+}

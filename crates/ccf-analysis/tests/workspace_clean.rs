@@ -1,0 +1,78 @@
+//! The workspace must lint clean through the engine (the same code path the
+//! `ccf-lint` binary runs), and the CCF-L004 source parser must agree with the
+//! compiled ground truth `ccf_hash::salted::purpose::ALL`.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/ccf-analysis → workspace root is two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate sits two levels under the workspace root")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let run = ccf_analysis::lint_workspace(workspace_root()).expect("lint run completes");
+    assert!(
+        run.files_scanned > 100,
+        "only {} files scanned — discovery broke",
+        run.files_scanned
+    );
+    let rendered: Vec<String> = run.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        run.findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn allowlist_parses_and_every_entry_is_justified() {
+    let path = workspace_root().join(ccf_analysis::DEFAULT_ALLOWLIST);
+    let allowlist = ccf_analysis::load_allowlist(&path).expect("allowlist parses");
+    assert!(
+        !allowlist.entries.is_empty(),
+        "the workspace allowlist exists and is non-trivial"
+    );
+    for e in &allowlist.entries {
+        assert!(
+            e.justification.split_whitespace().count() >= 3,
+            "allowlist line {} has a throwaway justification: {:?}",
+            e.source_line,
+            e.justification
+        );
+    }
+}
+
+/// The CCF-L004 parser reads salts out of the source text; `purpose::ALL` is the
+/// compiled truth. If the parser rots (a format change it cannot see), this
+/// cross-check fails rather than the rule silently passing on everything.
+#[test]
+fn salt_parser_agrees_with_compiled_ground_truth() {
+    let path = workspace_root().join("crates/ccf-hash/src/salted.rs");
+    let text = std::fs::read_to_string(&path).expect("salted.rs is readable");
+    let file = ccf_analysis::SourceFile::parse("crates/ccf-hash/src/salted.rs", &text);
+    let parsed = ccf_analysis::parse_purpose_salts(&file);
+
+    let mut parsed_pairs: Vec<(String, u64)> =
+        parsed.iter().map(|c| (c.name.clone(), c.value)).collect();
+    parsed_pairs.sort();
+    let mut truth: Vec<(String, u64)> = ccf_hash::salted::purpose::ALL
+        .iter()
+        .map(|(n, v)| (n.to_string(), *v))
+        .collect();
+    truth.sort();
+    assert_eq!(
+        parsed_pairs, truth,
+        "CCF-L004's source parse diverged from ccf_hash::salted::purpose::ALL"
+    );
+
+    // And the truth itself is pairwise distinct (the compiled-side guarantee the
+    // lint mirrors textually).
+    let mut values: Vec<u64> = truth.iter().map(|(_, v)| *v).collect();
+    values.sort_unstable();
+    values.dedup();
+    assert_eq!(values.len(), truth.len(), "purpose salts collide");
+}

@@ -82,3 +82,22 @@ bin_smoke_tests!(
     telemetry_report,
     service_loopback,
 );
+
+/// The workspace lint gate, in-process. `CARGO_BIN_EXE_*` variables only cover
+/// this package's own bins, so the `ccf-lint` binary (owned by `ccf-analysis`)
+/// can't be spawned here; `lint_workspace` is the exact code path the binary
+/// runs, and the binary itself is smoke-tested in `ccf-analysis/tests/bin_smoke.rs`.
+#[test]
+fn ccf_lint() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root is two levels up");
+    let run = ccf_analysis::lint_workspace(root).expect("lint run completes");
+    let rendered: Vec<String> = run.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        run.findings.is_empty(),
+        "ccf-lint findings:\n{}",
+        rendered.join("\n")
+    );
+}

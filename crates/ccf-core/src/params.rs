@@ -371,9 +371,7 @@ impl CcfParams {
     /// impossible configurations. A thin wrapper over [`CcfParams::try_validate`] for
     /// contexts (tests, experiment harnesses) where aborting is the right response.
     pub fn validate(&self) {
-        if let Err(e) = self.try_validate() {
-            panic!("{e}");
-        }
+        self.try_validate().unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Check a row's attribute vector against `num_attrs` — the guard every

@@ -179,6 +179,9 @@ pub fn split_buckets<E>(
 /// that needs `unsafe`: `_mm_prefetch` is an intrinsic, but it performs no memory
 /// access (architecturally it cannot fault), so any address — even a dangling one —
 /// is sound to pass.
+// SAFETY: the pointer arithmetic stays in bounds (guarded by the length check) and
+// `_mm_prefetch` never dereferences — it is architecturally incapable of faulting,
+// so passing any address, even dangling, is sound.
 #[inline(always)]
 #[allow(unsafe_code)]
 pub fn prefetch_index<T>(slice: &[T], index: usize) {

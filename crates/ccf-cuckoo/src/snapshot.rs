@@ -99,6 +99,15 @@ impl From<StoreImportError> for SnapshotError {
     }
 }
 
+/// Copy an exactly-`N`-byte slice into an array. Callers pass slices whose
+/// length a bounds check already established; `copy_from_slice` re-asserts it
+/// without routing through a fallible conversion.
+fn copy_arr<const N: usize>(slice: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(slice);
+    out
+}
+
 /// FNV-1a 64 over `bytes` — the workspace's snapshot checksum. Not cryptographic;
 /// it exists to catch truncation, bit rot and torn writes, and its simplicity keeps
 /// the snapshot path dependency-free.
@@ -205,12 +214,12 @@ impl<'a> ByteReader<'a> {
             return Err(SnapshotError::Truncated);
         }
         let (body, tail) = bytes.split_at(bytes.len() - CHECKSUM);
-        let stored = u64::from_le_bytes(tail.try_into().unwrap());
+        let stored = u64::from_le_bytes(copy_arr(tail));
         let computed = fnv64(body);
         if stored != computed {
             return Err(SnapshotError::ChecksumMismatch { stored, computed });
         }
-        let got_magic = u32::from_le_bytes(body[..4].try_into().unwrap());
+        let got_magic = u32::from_le_bytes(copy_arr(&body[..4]));
         if got_magic != magic {
             return Err(SnapshotError::WrongMagic {
                 expected: magic,
@@ -247,17 +256,17 @@ impl<'a> ByteReader<'a> {
 
     /// Read a little-endian `u16`.
     pub fn get_u16(&mut self) -> Result<u16, SnapshotError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(copy_arr(self.take(2)?)))
     }
 
     /// Read a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(copy_arr(self.take(4)?)))
     }
 
     /// Read a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(copy_arr(self.take(8)?)))
     }
 
     /// Read a `u64` and narrow it to `usize`.

@@ -132,6 +132,22 @@ pub mod purpose {
     /// Base index for Bloom-attribute-sketch hash functions; hash `j` uses
     /// `BLOOM_BASE + j`.
     pub const BLOOM_BASE: u64 = 1024;
+
+    /// Every purpose constant with its name — the ground truth the
+    /// pairwise-distinctness test (and the `ccf-lint` CCF-L004 cross-check)
+    /// iterates. **Keep in sync**: a constant added above must be added here,
+    /// or the distinctness guarantee silently stops covering it.
+    pub const ALL: &[(&str, u64)] = &[
+        ("KEY_BUCKET", KEY_BUCKET),
+        ("KEY_FINGERPRINT", KEY_FINGERPRINT),
+        ("PARTIAL_KEY", PARTIAL_KEY),
+        ("CHAIN", CHAIN),
+        ("GROWTH", GROWTH),
+        ("SHARD", SHARD),
+        ("KEY_LOWER", KEY_LOWER),
+        ("ATTRIBUTE_BASE", ATTRIBUTE_BASE),
+        ("BLOOM_BASE", BLOOM_BASE),
+    ];
 }
 
 #[cfg(test)]
@@ -235,6 +251,36 @@ mod tests {
             assert_ne!(p, purpose::KEY_LOWER);
             assert_ne!(f.hasher(p).seed(), lower.seed());
         }
+    }
+
+    #[test]
+    fn purpose_salts_are_pairwise_distinct() {
+        // The ground truth behind ccf-lint's CCF-L004: two components sharing a
+        // salt index would draw correlated hashers.
+        for (i, (name_b, b)) in purpose::ALL.iter().enumerate() {
+            for (name_a, a) in &purpose::ALL[..i] {
+                assert_ne!(a, b, "purpose::{name_a} and purpose::{name_b} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn purpose_ranges_do_not_overlap_scalars() {
+        // The base indices anchor open-ended ranges (ATTRIBUTE_BASE + c,
+        // BLOOM_BASE + j); scalar purposes must sit below ATTRIBUTE_BASE and the
+        // attribute range must not be able to reach BLOOM_BASE for realistic
+        // column counts (< 1008 attribute columns).
+        for (name, v) in purpose::ALL {
+            if *v < purpose::ATTRIBUTE_BASE {
+                continue; // scalar purpose, below the ranged region
+            }
+            assert!(
+                *v == purpose::ATTRIBUTE_BASE || *v == purpose::BLOOM_BASE,
+                "purpose::{name} = {v} sits inside a ranged region"
+            );
+        }
+        let (attr_base, bloom_base) = (purpose::ATTRIBUTE_BASE, purpose::BLOOM_BASE);
+        assert!(attr_base > purpose::KEY_LOWER && bloom_base > attr_base);
     }
 
     #[test]

@@ -244,12 +244,13 @@ impl FilterBank {
         }
     }
 
-    /// The filters for one table.
+    /// The filters for one table. Panics if `id` is not in the bank — banks are
+    /// built over a closed table set, so an unknown id is caller error.
     pub fn table(&self, id: TableId) -> &TableFilters {
         self.tables
             .iter()
             .find(|t| t.table == id)
-            .expect("bank contains every table")
+            .unwrap_or_else(|| panic!("filter bank has no table {id:?}"))
     }
 
     /// The filters for one table, mutably (eviction).
@@ -257,7 +258,7 @@ impl FilterBank {
         self.tables
             .iter_mut()
             .find(|t| t.table == id)
-            .expect("bank contains every table")
+            .unwrap_or_else(|| panic!("filter bank has no table {id:?}"))
     }
 
     /// Evict one row from a table's filters — the maintenance path for rolling

@@ -29,17 +29,10 @@ impl BuildSide {
             }
             rows += 1;
             let key = table.join_keys[row];
-            match ht.get(key) {
-                Some(_) => {
-                    // Append to the existing posting list.
-                    let mut list = ht.remove(key).expect("just observed the key");
-                    list.push(row as u32);
-                    ht.insert(key, list);
-                }
-                None => {
-                    ht.insert(key, vec![row as u32]);
-                }
-            }
+            // Append to the key's posting list (an absent key is an empty list).
+            let mut list = ht.remove(key).unwrap_or_default();
+            list.push(row as u32);
+            ht.insert(key, list);
         }
         Self { table: ht, rows }
     }

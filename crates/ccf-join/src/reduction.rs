@@ -152,10 +152,13 @@ pub fn evaluate_query_with<B: ProbeBank>(
             .map(|qt| (qt.table, ccf_predicate_for(qt)))
             .collect();
 
-        let exact_keys = exact_semijoin_keys(db, query, base, false)
-            .expect("query has at least one other table");
-        let exact_binned_keys =
-            exact_semijoin_keys(db, query, base, true).expect("query has at least one other table");
+        // `None` only when the query has no other table — excluded by the guard above.
+        let (Some(exact_keys), Some(exact_binned_keys)) = (
+            exact_semijoin_keys(db, query, base, false),
+            exact_semijoin_keys(db, query, base, true),
+        ) else {
+            continue;
+        };
 
         // Pass 1: evaluate the base table's own predicates and the exact baselines,
         // collecting the qualifying keys for the filter probes.

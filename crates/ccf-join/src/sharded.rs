@@ -164,12 +164,13 @@ impl ShardedFilterBank {
         }
     }
 
-    /// The sharded filters for one table.
+    /// The sharded filters for one table. Panics if `id` is not in the bank —
+    /// banks are built over a closed table set, so an unknown id is caller error.
     pub fn table(&self, id: TableId) -> &ShardedTableFilters {
         self.tables
             .iter()
             .find(|t| t.table == id)
-            .expect("bank contains every table")
+            .unwrap_or_else(|| panic!("filter bank has no table {id:?}"))
     }
 
     /// Total serialized size of all sharded CCFs, in bits.

@@ -229,13 +229,22 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &[u8]) -> Result<(), ServiceError
     Ok(())
 }
 
+/// Copy an exactly-`N`-byte slice into an array. Callers pass slices whose
+/// length a bounds check already established; `copy_from_slice` re-asserts it
+/// without routing through a fallible conversion.
+fn copy_arr<const N: usize>(slice: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(slice);
+    out
+}
+
 fn check_envelope(frame: &[u8]) -> Result<(), ProtocolError> {
     if frame.len() < RESPONSE_HEADER as usize {
         return Err(ProtocolError::FrameTooShort {
             len: frame.len() as u32,
         });
     }
-    let got = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
+    let got = u32::from_le_bytes(copy_arr(&frame[0..4]));
     if got != MAGIC {
         return Err(ProtocolError::BadMagic { got });
     }
@@ -258,7 +267,7 @@ pub fn parse_request(frame: &[u8]) -> Result<Request, ProtocolError> {
     }
     Ok(Request {
         opcode: Opcode::from_u8(frame[5])?,
-        tenant: u32::from_le_bytes(frame[6..10].try_into().expect("4 bytes")),
+        tenant: u32::from_le_bytes(copy_arr(&frame[6..10])),
         body: frame[10..].to_vec(),
     })
 }
@@ -346,16 +355,12 @@ impl<'a> BodyReader<'a> {
 
     /// Read a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, ProtocolError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(copy_arr(self.take(4)?)))
     }
 
     /// Read a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, ProtocolError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(copy_arr(self.take(8)?)))
     }
 
     /// Read a `u32`-length-prefixed byte string.

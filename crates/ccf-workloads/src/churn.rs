@@ -107,9 +107,9 @@ impl SlidingWindowChurn {
             live.push_back(row.clone());
             ops.push(ChurnOp::Insert(row));
             if live.len() > self.window {
-                ops.push(ChurnOp::Delete(
-                    live.pop_front().expect("window is positive"),
-                ));
+                if let Some(evicted) = live.pop_front() {
+                    ops.push(ChurnOp::Delete(evicted));
+                }
             }
         }
         ops
@@ -123,8 +123,8 @@ impl SlidingWindowChurn {
             match op {
                 ChurnOp::Insert(row) => live.push_back(row),
                 ChurnOp::Delete(row) => {
-                    let front = live.pop_front().expect("deletes follow inserts");
-                    debug_assert_eq!(front, row, "deletes are FIFO");
+                    debug_assert_eq!(live.front(), Some(&row), "deletes are FIFO");
+                    live.pop_front();
                 }
             }
         }

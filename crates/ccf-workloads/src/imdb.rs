@@ -272,7 +272,7 @@ pub fn spec_of(id: TableId) -> &'static TableSpec {
     TABLE_SPECS
         .iter()
         .find(|s| s.id == id)
-        .expect("every TableId has a spec")
+        .unwrap_or_else(|| panic!("no spec for table {id:?}"))
 }
 
 impl SyntheticImdb {
@@ -303,7 +303,7 @@ impl SyntheticImdb {
         self.tables
             .iter()
             .find(|t| t.id == id)
-            .expect("all six tables are generated")
+            .unwrap_or_else(|| panic!("table {id:?} was not generated"))
     }
 
     fn generate_table(spec: &'static TableSpec, num_movies: u64, seed: u64) -> SyntheticTable {

@@ -105,7 +105,7 @@ impl ZipfMandelbrot {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let u: f64 = rng.gen();
         // Binary search the CDF.
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+        match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) | Err(i) => (i as u64 + 1).min(self.max_value),
         }
     }
